@@ -1,0 +1,109 @@
+// E5 -- data-rate coverage (paper section 1.1 / 6.2): "telephone quality
+// recording requires 8,000 bytes per second; ... a stereo compact audio
+// disc consumes just over 175,000 bytes per second. ... The lower data
+// rates are usually adequate ... higher data rates are already supported
+// by the protocol."
+//
+// google-benchmark micro-benchmarks of the codec paths (bytes/second they
+// can sustain) plus an end-to-end virtual-time playback at each format,
+// reporting the real-time margin.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/dsp/encoding.h"
+
+namespace aud {
+namespace {
+
+std::vector<Sample> TestSignal(size_t n) {
+  std::vector<Sample> signal;
+  SineOscillator osc(440.0, 8000, 0.5);
+  osc.Generate(n, &signal);
+  return signal;
+}
+
+void BM_Encode(benchmark::State& state) {
+  auto encoding = static_cast<Encoding>(state.range(0));
+  auto signal = TestSignal(8000);
+  StreamEncoder encoder(encoding);
+  for (auto _ : state) {
+    std::vector<uint8_t> out;
+    out.reserve(16000);
+    encoder.Encode(signal, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          BytesForSamples(encoding, 8000));
+  state.SetLabel(std::string(EncodingName(encoding)));
+}
+BENCHMARK(BM_Encode)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_Decode(benchmark::State& state) {
+  auto encoding = static_cast<Encoding>(state.range(0));
+  auto signal = TestSignal(8000);
+  StreamEncoder encoder(encoding);
+  std::vector<uint8_t> bytes;
+  encoder.Encode(signal, &bytes);
+  StreamDecoder decoder(encoding);
+  for (auto _ : state) {
+    std::vector<Sample> out;
+    out.reserve(16000);
+    decoder.Decode(bytes, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+  state.SetLabel(std::string(EncodingName(encoding)));
+}
+BENCHMARK(BM_Decode)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+// End-to-end: play 2 s of audio in a given format through the server in
+// virtual time; report achieved speed relative to real time.
+void BM_EndToEndPlayback(benchmark::State& state) {
+  auto encoding = static_cast<Encoding>(state.range(0));
+  uint32_t rate = static_cast<uint32_t>(state.range(1));
+  AudioFormat format{encoding, rate};
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchWorld world;
+    AudioToolkit& toolkit = world.toolkit();
+    std::vector<Sample> pcm;
+    SineOscillator osc(440.0, rate, 0.4);
+    osc.Generate(rate * 2, &pcm);  // 2 s at the sound's rate
+    ResourceId sound = toolkit.UploadSound(pcm, format);
+    auto chain = toolkit.BuildPlaybackChain();
+    world.client().Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+    world.client().StartQueue(chain.loud);
+    world.client().Sync();
+    state.ResumeTiming();
+
+    // 2 s of engine time in 20 ms ticks.
+    for (int t = 0; t < 100; ++t) {
+      world.server().StepFrames(160);
+    }
+    state.PauseTiming();
+    bool done = toolkit.WaitCommandDone(1, 10000);
+    if (!done) {
+      state.SkipWithError("playback did not finish");
+    }
+    state.ResumeTiming();
+  }
+  // 2 s of audio per iteration: items/s > 1 means faster than real time.
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.SetLabel(std::string(EncodingName(encoding)) + "@" + std::to_string(rate) + "Hz (" +
+                 std::to_string(static_cast<int>(format.BytesPerSecond())) + " B/s)");
+}
+BENCHMARK(BM_EndToEndPlayback)
+    ->Args({static_cast<int>(Encoding::kMulaw8), 8000})    // 8,000 B/s (paper's low end)
+    ->Args({static_cast<int>(Encoding::kAdpcm4), 8000})    // 4,000 B/s
+    ->Args({static_cast<int>(Encoding::kPcm16), 8000})     // 16,000 B/s
+    ->Args({static_cast<int>(Encoding::kPcm16), 16000})    // 32,000 B/s
+    ->Args({static_cast<int>(Encoding::kPcm16), 44100})    // 88,200 B/s (mono CD)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E10 -- engine scaling ablation (paper section 6.1): the multi-threaded
+// prototype manages "multiple simultaneous audio data streams"; our
+// single-pump engine must keep per-tick cost well under the period as the
+// active device graph grows.
+//
+// google-benchmark: cost of one 20 ms engine tick vs the number of active
+// playback chains (LOUD + player + wire + output), and vs wire fan-out
+// through mixers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace aud {
+namespace {
+
+// One tick with N independent playing chains.
+void BM_TickWithActiveChains(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  BenchWorld world;
+  AudioToolkit& toolkit = world.toolkit();
+  AudioConnection& client = world.client();
+
+  std::vector<AudioToolkit::PlaybackChain> chains;
+  // One long looping-ish sound per chain (long enough to outlast the run).
+  std::vector<Sample> pcm(8000 * 60, 100);
+  for (int i = 0; i < n; ++i) {
+    ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
+    auto chain = toolkit.BuildPlaybackChain();
+    client.Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+    client.StartQueue(chain.loud);
+    chains.push_back(chain);
+  }
+  client.Sync();
+  world.server().StepFrames(160);  // warm up: everything starts
+
+  for (auto _ : state) {
+    world.server().StepFrames(160);
+  }
+  state.SetLabel(std::to_string(n) + " chains");
+  // A tick is 20 ms of audio; report the real-time multiple.
+  state.counters["audio_ms_per_tick"] = 20;
+}
+// Iterations are capped so the 60 s sounds outlast the measurement (each
+// iteration consumes 20 ms of audio).
+BENCHMARK(BM_TickWithActiveChains)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
+    ->Iterations(2500)->Unit(benchmark::kMicrosecond);
+
+// One tick with a deep transform pipeline: player -> dsp x K -> output.
+void BM_TickWithTransformDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  BenchWorld world;
+  AudioConnection& client = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+
+  ResourceId loud = client.CreateLoud(kNoResource, {});
+  ResourceId player = client.CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId prev = player;
+  for (int i = 0; i < depth; ++i) {
+    ResourceId dsp = client.CreateDevice(loud, DeviceClass::kDsp, {});
+    client.CreateWire(prev, 0, dsp, 0);
+    prev = dsp;
+  }
+  ResourceId output = client.CreateDevice(loud, DeviceClass::kOutput, {});
+  client.CreateWire(prev, 0, output, 0);
+  client.MapLoud(loud);
+
+  std::vector<Sample> pcm(8000 * 60, 100);
+  ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
+  client.Enqueue(loud, {PlayCommand(player, sound, 1)});
+  client.StartQueue(loud);
+  client.Sync();
+  world.server().StepFrames(160);
+
+  for (auto _ : state) {
+    world.server().StepFrames(160);
+  }
+  state.SetLabel("dsp depth " + std::to_string(depth));
+}
+BENCHMARK(BM_TickWithTransformDepth)->Arg(0)->Arg(2)->Arg(8)->Arg(32)
+    ->Iterations(2500)->Unit(benchmark::kMicrosecond);
+
+// Idle server tick (the floor: codecs + board only).
+void BM_IdleTick(benchmark::State& state) {
+  BenchWorld world;
+  for (auto _ : state) {
+    world.server().StepFrames(160);
+  }
+}
+BENCHMARK(BM_IdleTick)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aud
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// E3 -- seamless queue transitions (paper sections 5.5 and 6.2): "for a
+// set of digital sounds, there should be zero delay between them" and
+// "pre-issuing commands allows plays to occur without a single dropped or
+// inserted sample."
+//
+// Back-to-back plays with deliberately period-misaligned sound lengths,
+// and play->record turnarounds, verified sample-exactly in virtual time.
+
+#include "bench/bench_util.h"
+
+namespace aud {
+namespace {
+
+// Counts dropped/inserted samples at the A->B boundary in the speaker
+// capture. A is all `a_val`, B all `b_val`; returns -1 on structure error.
+int64_t BoundaryDefects(const std::vector<Sample>& played, Sample a_val, Sample b_val,
+                        size_t a_len, size_t b_len) {
+  size_t start = 0;
+  while (start < played.size() && played[start] != a_val) {
+    ++start;
+  }
+  if (start == played.size()) {
+    return -1;
+  }
+  int64_t defects = 0;
+  for (size_t i = 0; i < a_len; ++i) {
+    if (start + i >= played.size() || played[start + i] != a_val) {
+      ++defects;
+    }
+  }
+  for (size_t i = 0; i < b_len; ++i) {
+    size_t pos = start + a_len + i;
+    if (pos >= played.size() || played[pos] != b_val) {
+      ++defects;
+    }
+  }
+  return defects;
+}
+
+int Run() {
+  PrintHeader("E3: gapless queue transitions",
+              "zero delay between queued digital sounds; not a single dropped or "
+              "inserted sample (pre-issued commands, device-clock completion)");
+
+  // Sweep sound lengths that straddle period boundaries (period = 160).
+  const size_t kLengthsA[] = {160, 167, 480, 1234, 3201};
+  const size_t kLengthsB[] = {159, 320, 555, 2048, 4097};
+
+  std::printf("%-12s %-12s %-18s %-14s\n", "len A", "len B", "boundary defects",
+              "verdict");
+  int64_t total_defects = 0;
+  int failures = 0;
+  for (size_t a_len : kLengthsA) {
+    for (size_t b_len : kLengthsB) {
+      BenchWorld world;
+      world.board().speakers()[0]->set_capture_output(true);
+      AudioConnection& client = world.client();
+      AudioToolkit& toolkit = world.toolkit();
+
+      std::vector<Sample> a(a_len, 1000);
+      std::vector<Sample> b(b_len, -2000);
+      ResourceId sa = toolkit.UploadSound(a, {Encoding::kPcm16, 8000});
+      ResourceId sb = toolkit.UploadSound(b, {Encoding::kPcm16, 8000});
+      auto chain = toolkit.BuildPlaybackChain();
+      client.Enqueue(chain.loud, {PlayCommand(chain.player, sa, 1),
+                                  PlayCommand(chain.player, sb, 2)});
+      client.StartQueue(chain.loud);
+      client.Sync();
+      if (!toolkit.WaitCommandDone(2, 30000)) {
+        std::printf("%-12zu %-12zu %-18s FAILED (timeout)\n", a_len, b_len, "-");
+        ++failures;
+        continue;
+      }
+      world.server().StepFrames(static_cast<int64_t>(a_len + b_len) + 1600);
+
+      int64_t defects =
+          BoundaryDefects(world.board().speakers()[0]->played(), 1000, -2000, a_len, b_len);
+      total_defects += defects < 0 ? 1 : defects;
+      if (defects != 0) {
+        ++failures;
+      }
+      std::printf("%-12zu %-12zu %-18lld %-14s\n", a_len, b_len,
+                  static_cast<long long>(defects), defects == 0 ? "exact" : "DEFECT");
+    }
+  }
+
+  // Play -> record turnaround: the answering-machine transition. The beep
+  // must be fully played and recording must begin the very next sample.
+  {
+    BenchWorld world;
+    AudioConnection& client = world.client();
+    AudioToolkit& toolkit = world.toolkit();
+    // Loud: player -> output, input -> recorder; mic hears a constant tone
+    // so the first recorded sample is deterministic.
+    ResourceId loud = client.CreateLoud(kNoResource, {});
+    ResourceId player = client.CreateDevice(loud, DeviceClass::kPlayer, {});
+    ResourceId output = client.CreateDevice(loud, DeviceClass::kOutput, {});
+    ResourceId input = client.CreateDevice(loud, DeviceClass::kInput, {});
+    ResourceId recorder = client.CreateDevice(loud, DeviceClass::kRecorder, {});
+    client.CreateWire(player, 0, output, 0);
+    client.CreateWire(input, 0, recorder, 0);
+    client.SelectEvents(loud, kQueueEvents | kRecorderEvents);
+    client.MapLoud(loud);
+
+    world.board().microphones()[0]->set_source([](std::span<Sample> block) {
+      for (Sample& s : block) {
+        s = 7777;
+      }
+    });
+
+    std::vector<Sample> prompt(1111, 3000);  // misaligned length
+    ResourceId prompt_sound = toolkit.UploadSound(prompt, {Encoding::kPcm16, 8000});
+    ResourceId message = client.CreateSound({Encoding::kPcm16, 8000});
+    client.Enqueue(loud, {PlayCommand(player, prompt_sound, 1),
+                          RecordCommand(recorder, message, kTerminateOnStop, 100, 2)});
+    client.StartQueue(loud);
+    client.Sync();
+    bool ok = toolkit.WaitCommandDone(2, 30000);
+    auto recorded = toolkit.DownloadSound(message);
+    int64_t silent_lead = 0;
+    if (recorded.ok()) {
+      for (Sample s : recorded.value()) {
+        if (s == 7777) {
+          break;
+        }
+        ++silent_lead;
+      }
+    }
+    std::printf("play->record turnaround: recording leads with %lld non-live samples %s\n",
+                static_cast<long long>(silent_lead),
+                ok && silent_lead == 0 ? "(exact)" : "(DEFECT)");
+    if (!ok || silent_lead != 0) {
+      ++failures;
+    }
+  }
+
+  std::printf("total boundary defects: %lld across %zu combinations\n",
+              static_cast<long long>(total_defects),
+              std::size(kLengthsA) * std::size(kLengthsB));
+  std::printf("paper goal (zero dropped/inserted samples): %s\n",
+              failures == 0 ? "MET" : "MISSED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aud
+
+int main() { return aud::Run(); }

@@ -1,0 +1,105 @@
+// E6 -- synchronization-event delivery (paper section 5.7 / figure 6-1):
+// the Soundviewer updates its bar graph from server sync events; useful
+// synchronization needs marks delivered with low, stable latency relative
+// to the audio they describe.
+//
+// Real-time engine; sync marks every 125 ms. We measure the wall-clock
+// interval between consecutive marks as observed by the client, and the
+// skew between each mark's audio position and the wall time it arrived.
+
+#include <chrono>
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+namespace aud {
+namespace {
+
+int Run() {
+  PrintHeader("E6: synchronization event delivery",
+              "sync events drive media-synchronized graphics (Soundviewer); delivery "
+              "must track audio position closely");
+
+  BenchWorld world;
+  AudioConnection& client = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+
+  std::vector<Sample> pcm(8000 * 4, 5000);  // 4 s
+  ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
+  auto chain = toolkit.BuildPlaybackChain();
+  constexpr int kIntervalMs = 125;
+  client.SetSyncMarks(chain.loud, kIntervalMs);
+  client.Sync();
+
+  world.server().StartRealtime();
+  toolkit.set_time_pump({});
+
+  client.Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client.StartQueue(chain.loud);
+
+  struct Observation {
+    double wall_ms;       // arrival time since first mark
+    uint64_t position;    // audio position reported
+  };
+  std::vector<Observation> observations;
+  auto start = std::chrono::steady_clock::now();
+  bool done = false;
+  while (!done) {
+    EventMessage event;
+    if (!client.WaitEvent(&event, 8000)) {
+      break;
+    }
+    if (event.type == EventType::kSyncMark) {
+      auto now = std::chrono::steady_clock::now();
+      SyncMarkArgs mark = SyncMarkArgs::Decode(event.args);
+      observations.push_back(
+          {std::chrono::duration<double, std::milli>(now - start).count(),
+           mark.position_samples});
+    } else if (event.type == EventType::kCommandDone) {
+      done = true;
+    }
+  }
+  world.server().StopRealtime();
+
+  if (observations.size() < 8) {
+    std::printf("too few marks (%zu)\n", observations.size());
+    return 1;
+  }
+
+  // Inter-mark wall intervals.
+  std::vector<double> intervals;
+  for (size_t i = 1; i < observations.size(); ++i) {
+    intervals.push_back(observations[i].wall_ms - observations[i - 1].wall_ms);
+  }
+  auto interval_stats = Summarize(intervals);
+
+  // Position-vs-wall skew: audio ms described by the mark minus wall ms
+  // since the first mark (constant offset removed via the first sample).
+  double base_audio = static_cast<double>(observations[0].position) / 8.0;
+  double base_wall = observations[0].wall_ms;
+  std::vector<double> skews;
+  for (const auto& obs : observations) {
+    double audio_ms = static_cast<double>(obs.position) / 8.0 - base_audio;
+    skews.push_back(std::abs((obs.wall_ms - base_wall) - audio_ms));
+  }
+  auto skew_stats = Summarize(skews);
+
+  std::printf("marks delivered: %zu (nominal interval %d ms)\n", observations.size(),
+              kIntervalMs);
+  std::printf("%-30s %8.1f %8.1f %8.1f %8.1f  (ms)\n", "inter-mark wall interval",
+              interval_stats.min, interval_stats.median, interval_stats.p90,
+              interval_stats.max);
+  std::printf("%-30s %8.1f %8.1f %8.1f %8.1f  (ms)\n", "audio-vs-wall skew",
+              skew_stats.min, skew_stats.median, skew_stats.p90, skew_stats.max);
+  // Acceptable: skew bounded by ~2 engine periods.
+  bool pass = skew_stats.p90 < 60.0 && interval_stats.median > 100.0 &&
+              interval_stats.median < 150.0;
+  std::printf("verdict (skew p90 < 60 ms, median interval ~125 ms): %s\n",
+              pass ? "MET" : "MISSED");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace aud
+
+int main() { return aud::Run(); }

@@ -1,0 +1,88 @@
+// Shared scaffolding for the benchmark/experiment binaries. Each bench
+// reproduces one experiment from DESIGN.md (E1..E11) and prints rows
+// comparing the paper's stated goal with the measured value; EXPERIMENTS.md
+// records the results.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/alib/alib.h"
+#include "src/dsp/tone.h"
+#include "src/hw/board.h"
+#include "src/server/server.h"
+#include "src/toolkit/toolkit.h"
+#include "src/transport/pipe_stream.h"
+
+namespace aud {
+
+// An in-process server + one client, like the test fixture but bench-grade.
+class BenchWorld {
+ public:
+  explicit BenchWorld(const BoardConfig& config = BoardConfig{},
+                      ServerOptions options = ServerOptions{})
+      : board_(config), server_(&board_, options) {
+    client_ = Connect("bench");
+    toolkit_ = std::make_unique<AudioToolkit>(client_.get());
+    toolkit_->set_time_pump([this] { server_.StepFrames(160); });
+  }
+
+  ~BenchWorld() { server_.Shutdown(); }
+
+  std::unique_ptr<AudioConnection> Connect(const std::string& name) {
+    auto [client_end, server_end] = CreatePipePair();
+    server_.AddConnection(std::move(server_end));
+    return AudioConnection::Open(std::move(client_end), name);
+  }
+
+  Board& board() { return board_; }
+  AudioServer& server() { return server_; }
+  AudioConnection& client() { return *client_; }
+  AudioToolkit& toolkit() { return *toolkit_; }
+
+ private:
+  Board board_;
+  AudioServer server_;
+  std::unique_ptr<AudioConnection> client_;
+  std::unique_ptr<AudioToolkit> toolkit_;
+};
+
+struct DistributionStats {
+  double min = 0;
+  double median = 0;
+  double p90 = 0;
+  double max = 0;
+  double mean = 0;
+};
+
+inline DistributionStats Summarize(std::vector<double> values) {
+  DistributionStats stats;
+  if (values.empty()) {
+    return stats;
+  }
+  std::sort(values.begin(), values.end());
+  stats.min = values.front();
+  stats.max = values.back();
+  stats.median = values[values.size() / 2];
+  stats.p90 = values[values.size() * 9 / 10];
+  stats.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+               static_cast<double>(values.size());
+  return stats;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace aud
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Distinctive alerting (paper section 1.2): "synthesized speech or
+// playback of distinctive sounds can be much more effective for alerting
+// than the universal 'beep' employed in UNIX applications such as biff,
+// talk, wall...".
+//
+// Three "applications" alert concurrently through one speaker:
+//   * biff:  a soft two-tone chime for new mail,
+//   * talk:  a synthesized spoken announcement,
+//   * wall:  an urgent alert that claims EXCLUSIVE output, silencing the
+//            others while it sounds (section 5.8 ambient-domain exclusion).
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/dsp/tone.h"
+#include "src/music/note_synth.h"
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  ExampleWorld world("alerts", BoardConfig{}, argc, argv);
+  AudioConnection& audio = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+  world.board().speakers()[0]->set_capture_output(true);
+
+  // biff: an ascending two-note chime, rendered by the music synthesizer.
+  ResourceId biff_loud = audio.CreateLoud(kNoResource, {});
+  ResourceId biff_synth = audio.CreateDevice(biff_loud, DeviceClass::kMusicSynthesizer, {});
+  ResourceId biff_out = audio.CreateDevice(biff_loud, DeviceClass::kOutput, {});
+  audio.CreateWire(biff_synth, 0, biff_out, 0);
+  audio.SelectEvents(biff_loud, kQueueEvents);
+  audio.MapLoud(biff_loud);
+
+  // talk: a spoken announcement.
+  ResourceId talk_loud = audio.CreateLoud(kNoResource, {});
+  ResourceId talk_tts = audio.CreateDevice(talk_loud, DeviceClass::kSpeechSynthesizer, {});
+  ResourceId talk_out = audio.CreateDevice(talk_loud, DeviceClass::kOutput, {});
+  audio.CreateWire(talk_tts, 0, talk_out, 0);
+  audio.SelectEvents(talk_loud, kQueueEvents);
+  audio.MapLoud(talk_loud);
+
+  // wall: an exclusive-output klaxon.
+  ResourceId wall_loud = audio.CreateLoud(kNoResource, {});
+  ResourceId wall_player = audio.CreateDevice(wall_loud, DeviceClass::kPlayer, {});
+  AttrList exclusive;
+  exclusive.SetBool(AttrTag::kExclusiveOutput, true);
+  ResourceId wall_out = audio.CreateDevice(wall_loud, DeviceClass::kOutput, exclusive);
+  audio.CreateWire(wall_player, 0, wall_out, 0);
+  audio.SelectEvents(wall_loud, kQueueEvents | kLifecycleEvents);
+
+  std::vector<Sample> klaxon;
+  {
+    DualToneOscillator osc(600.0, 750.0, world.board().sample_rate_hz(), 0.45);
+    osc.Generate(world.board().sample_rate_hz(), &klaxon);  // 1 s
+  }
+  ResourceId klaxon_sound = toolkit.UploadSound(klaxon, kTelephoneFormat);
+
+  // Fire biff and talk together (they mix on the speaker).
+  std::printf("[biff] new mail chime + [talk] announcement, mixed...\n");
+  audio.Enqueue(biff_loud, {NoteCommand(biff_synth, 76, 90, 180, 1),   // E5
+                            NoteCommand(biff_synth, 83, 90, 350, 2)}); // B5
+  audio.Enqueue(talk_loud, {SpeakTextCommand(talk_tts, "you have new mail", 3)});
+  audio.StartQueue(biff_loud);
+  audio.StartQueue(talk_loud);
+  audio.Sync();
+  if (!toolkit.WaitCommandDone(3, 60000)) {
+    std::printf("talk alert never finished\n");
+    return 1;
+  }
+
+  // Now the wall alert: mapping the exclusive LOUD silences the desktop.
+  std::printf("[wall] urgent broadcast claims the speaker exclusively...\n");
+  audio.Enqueue(talk_loud,
+                {SpeakTextCommand(talk_tts, "this announcement will be interrupted", 4)});
+  audio.StartQueue(talk_loud);
+  audio.MapLoud(wall_loud);
+  audio.Enqueue(wall_loud, {PlayCommand(wall_player, klaxon_sound, 5)});
+  audio.StartQueue(wall_loud);
+  audio.Sync();
+  if (!toolkit.WaitCommandDone(5, 60000)) {
+    std::printf("wall alert never finished\n");
+    return 1;
+  }
+  // talk's LOUD was deactivated (its queue server-paused) during the
+  // klaxon; unmapping wall lets it finish.
+  audio.UnmapLoud(wall_loud);
+  audio.Sync();
+  bool talk_resumed = toolkit.WaitCommandDone(4, 60000);
+  std::printf("[talk] interrupted announcement %s\n",
+              talk_resumed ? "resumed and completed" : "never completed");
+
+  size_t audible = 0;
+  for (Sample s : world.board().speakers()[0]->played()) {
+    if (std::abs(s) > 500) {
+      ++audible;
+    }
+  }
+  std::printf("speaker carried %.1f s of alert audio\n",
+              static_cast<double>(audible) / world.board().sample_rate_hz());
+  std::printf("alerts demo %s\n", talk_resumed ? "complete" : "FAILED");
+  return talk_resumed ? 0 : 1;
+}

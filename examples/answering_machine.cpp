@@ -1,0 +1,149 @@
+// The paper's flagship application (section 5.9, figures 5-1..5-4): a
+// complete answering machine.
+//
+//   * The LOUD (telephone + player + recorder, wired per figure 5-3) stays
+//     unmapped while idle; the app monitors the *device LOUD* telephone
+//     for rings (footnote 6).
+//   * The greeting is synthesized text ("please leave a message...").
+//   * On ring: map the LOUD, start the preloaded queue: Answer -> Play
+//     greeting -> Play beep -> Record (terminate on pause or hangup).
+//   * Caller-id labels each message; messages are saved to the server
+//     catalogue.
+//
+// A scripted far-end caller exercises the machine twice.
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/dsp/tone.h"
+#include "src/synth/synthesizer.h"
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  ExampleWorld world("answering-machine", BoardConfig{}, argc, argv);
+  AudioConnection& audio = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+  uint32_t rate = world.board().sample_rate_hz();
+
+  // Build figure 5-3's LOUD via the toolkit (left unmapped).
+  auto machine = toolkit.BuildAnsweringChain();
+
+  // Synthesize the greeting and upload it.
+  TextToSpeech tts(rate);
+  auto greeting_pcm = tts.Synthesize("please leave a message after the beep.");
+  ResourceId greeting = toolkit.UploadSound(greeting_pcm, kTelephoneFormat);
+  ResourceId beep = audio.LoadCatalogueSound("beep");
+
+  // Monitor the device-LOUD telephone while unmapped.
+  ResourceId phone_device = kNoResource;
+  auto device_loud = audio.QueryDeviceLoud();
+  if (device_loud.ok()) {
+    for (const auto& dev : device_loud.value().devices) {
+      if (dev.device_class == DeviceClass::kTelephone) {
+        phone_device = dev.id;
+        std::printf("monitoring line %s via device LOUD entry 0x%x\n",
+                    dev.attrs.GetString(AttrTag::kPhoneNumber).value_or("?").c_str(),
+                    phone_device);
+      }
+    }
+  }
+  audio.SelectEvents(phone_device, kTelephoneEvents);
+  audio.Sync();
+
+  // Two scripted callers.
+  auto make_speech = [&](double freq, int ms) {
+    std::vector<Sample> speech;
+    SineOscillator osc(freq, rate, 0.4);
+    osc.Generate(static_cast<size_t>(rate) * ms / 1000, &speech);
+    return speech;
+  };
+  FarEndParty* alice = world.board().AddFarEnd("555-1111", "Alice");
+  alice->DialAndWait("555-0100")
+      .WaitForTone(20000)
+      .Speak(make_speech(300.0, 1500))
+      .WaitMs(2500)
+      .HangUp();
+
+  int messages_taken = 0;
+  while (messages_taken < 2) {
+    // Idle: wait for a ring on the monitored device.
+    std::printf("[machine] waiting for a call...\n");
+    auto ring = toolkit.WaitFor(
+        [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 60000);
+    if (!ring) {
+      std::printf("[machine] no call arrived\n");
+      break;
+    }
+    std::string caller = TelephoneRingArgs::Decode(ring->args).caller_id;
+    std::printf("[machine] ring! caller id: %s\n",
+                caller.empty() ? "(unavailable)" : caller.c_str());
+
+    // Map, preload the figure 5-4 queue, start.
+    ResourceId message = audio.CreateSound(kTelephoneFormat);
+    audio.Enqueue(machine.loud,
+                  {AnswerCommand(machine.telephone, 1),
+                   PlayCommand(machine.player, greeting, 2),
+                   PlayCommand(machine.player, beep, 3),
+                   RecordCommand(machine.recorder, message,
+                                 kTerminateOnPause | kTerminateOnHangup, 30000, 4)});
+    audio.MapLoud(machine.loud);
+    audio.StartQueue(machine.loud);
+    audio.Sync();
+
+    // Wait for the recording to terminate.
+    RecorderStoppedArgs stopped;
+    auto done = toolkit.WaitFor(
+        [&](const EventMessage& e) {
+          if (e.type == EventType::kRecorderStopped) {
+            stopped = RecorderStoppedArgs::Decode(e.args);
+            return true;
+          }
+          return false;
+        },
+        120000);
+    audio.StopQueue(machine.loud);
+    audio.UnmapLoud(machine.loud);
+    if (!done) {
+      std::printf("[machine] recording never finished\n");
+      break;
+    }
+
+    double seconds = static_cast<double>(stopped.samples) / rate;
+    const char* why = stopped.reason == static_cast<uint8_t>(RecordStopReason::kPauseDetected)
+                          ? "silence"
+                          : (stopped.reason ==
+                                     static_cast<uint8_t>(RecordStopReason::kSourceEnded)
+                                 ? "hangup"
+                                 : "limit");
+    ++messages_taken;
+    std::string label = "message-" + std::to_string(messages_taken) + "-from-" +
+                        (caller.empty() ? "unknown" : caller);
+    audio.SaveCatalogueSound(message, label);
+    audio.Sync();
+    std::printf("[machine] took message %d from %s: %.1f s (ended on %s), saved as \"%s\"\n",
+                messages_taken, caller.c_str(), seconds, why, label.c_str());
+
+    if (messages_taken == 1) {
+      // Second caller: leaves touch tones and a shorter message.
+      FarEndParty* bob = world.board().AddFarEnd("555-2222", "Bob");
+      bob->DialAndWait("555-0100")
+          .WaitForTone(20000)
+          .Speak(make_speech(500.0, 800))
+          .WaitMs(2500)
+          .HangUp();
+    }
+  }
+
+  // Show the message catalogue.
+  auto catalogue = audio.ListCatalogue();
+  if (catalogue.ok()) {
+    std::printf("[machine] catalogue now holds:\n");
+    for (const auto& entry : catalogue.value().entries) {
+      std::printf("  %-28s %7llu bytes\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.size_bytes));
+    }
+  }
+  std::printf("answering machine demo complete (%d messages)\n", messages_taken);
+  return messages_taken == 2 ? 0 : 1;
+}

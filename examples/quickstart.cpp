@@ -1,0 +1,71 @@
+// Quickstart: the smallest complete netaudio client.
+//
+// Connects to an (in-process) audio server, builds the canonical playback
+// structure -- a LOUD holding a player wired to an output -- uploads a
+// sound, and plays it through the command queue, waiting on the
+// CommandDone event.
+//
+// Run:  ./quickstart            (accelerated virtual time)
+//       ./quickstart --realtime (engine paced against the wall clock)
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/dsp/tone.h"
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  ExampleWorld world("quickstart", BoardConfig{}, argc, argv);
+  AudioConnection& audio = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+
+  std::printf("connected to \"%s\"\n", audio.server_name().c_str());
+
+  // List what the server's catalogue offers.
+  auto catalogue = audio.ListCatalogue();
+  if (catalogue.ok()) {
+    std::printf("server catalogue:\n");
+    for (const auto& entry : catalogue.value().entries) {
+      std::printf("  %-10s %6llu bytes, %s @ %u Hz\n", entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.size_bytes),
+                  std::string(EncodingName(entry.format.encoding)).c_str(),
+                  entry.format.sample_rate_hz);
+    }
+  }
+
+  // Upload one second of A440 as a telephone-quality (mu-law) sound.
+  std::vector<Sample> tone;
+  SineOscillator osc(440.0, world.board().sample_rate_hz(), 0.4);
+  osc.Generate(world.board().sample_rate_hz(), &tone);
+  ResourceId sound = toolkit.UploadSound(tone, kTelephoneFormat);
+
+  // Player -> output, mapped and active.
+  auto chain = toolkit.BuildPlaybackChain();
+
+  std::printf("playing 1 s tone...\n");
+  if (!toolkit.PlayAndWait(chain, sound)) {
+    std::printf("playback did not complete\n");
+    return 1;
+  }
+
+  // Then a catalogue sound, back to back with a beep via the queue.
+  ResourceId beep = audio.LoadCatalogueSound("beep");
+  std::printf("playing catalogue beep twice, gapless...\n");
+  audio.Enqueue(chain.loud,
+                {PlayCommand(chain.player, beep, 1), PlayCommand(chain.player, beep, 2)});
+  audio.StartQueue(chain.loud);
+  audio.Sync();
+  if (!toolkit.WaitCommandDone(2, 30000)) {
+    std::printf("queue did not finish\n");
+    return 1;
+  }
+
+  auto server_time = audio.GetServerTime();
+  if (server_time.ok()) {
+    std::printf("done; server time %lld us\n",
+                static_cast<long long>(server_time.value()));
+  }
+  std::printf("quickstart complete\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The Soundviewer (section 6, figure 6-1): a playback widget whose bar
+// graph advances in response to the server's synchronization events — the
+// paper's demonstration that audio can be synchronized with other media
+// (here, a terminal display standing in for X graphics).
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/dsp/tone.h"
+#include "src/synth/synthesizer.h"
+#include "src/toolkit/soundviewer.h"
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  ExampleWorld world("soundviewer", BoardConfig{}, argc, argv);
+  AudioConnection& audio = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+  uint32_t rate = world.board().sample_rate_hz();
+
+  // The sound under view: 4 s of synthesized speech.
+  TextToSpeech tts(rate);
+  auto pcm = tts.Synthesize(
+      "this is the sound viewer. the bar below follows playback, driven by "
+      "server synchronization events.");
+  ResourceId sound = toolkit.UploadSound(pcm, kTelephoneFormat);
+  auto info = audio.QuerySound(sound);
+  double seconds = info.ok() ? static_cast<double>(info.value().samples) / rate : 0.0;
+  std::printf("sound: %.1f s, %llu bytes mu-law\n", seconds,
+              info.ok() ? static_cast<unsigned long long>(info.value().size_bytes) : 0ull);
+
+  auto chain = toolkit.BuildPlaybackChain();
+  // Ask for a sync mark every 125 ms of audio.
+  audio.SetSyncMarks(chain.loud, 125);
+
+  Soundviewer viewer(rate, {.width_chars = 60, .tick_seconds = 1.0});
+  // Mark a "selection" the way figure 6-1 shows dashes mid-sound.
+  if (info.ok()) {
+    viewer.SetSelection(info.value().samples / 3, info.value().samples / 2);
+  }
+
+  audio.Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  audio.StartQueue(chain.loud);
+  audio.Sync();
+
+  int marks = 0;
+  bool done = false;
+  while (!done) {
+    auto event = toolkit.WaitFor(
+        [&](const EventMessage& e) {
+          return e.type == EventType::kSyncMark || e.type == EventType::kCommandDone;
+        },
+        30000);
+    if (!event) {
+      std::printf("\n(timeout)\n");
+      return 1;
+    }
+    if (event->type == EventType::kSyncMark) {
+      ++marks;
+      if (viewer.OnSyncMark(SyncMarkArgs::Decode(event->args))) {
+        std::printf("\r%s %5.1f%%", viewer.Render().c_str(), viewer.fraction() * 100.0);
+        std::fflush(stdout);
+      }
+    } else {
+      done = true;
+    }
+  }
+  std::printf("\nplayback complete: %d sync marks delivered\n", marks);
+  return marks >= 10 ? 0 : 1;
+}

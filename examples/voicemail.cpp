@@ -1,0 +1,125 @@
+// Telephone voice-mail access (section 1.2: "workstation-based personal
+// voice mail ... telephone access"): a caller dials the workstation and
+// drives a touch-tone menu built from synthesized prompts:
+//
+//   1  play the next message        2  replay the current message
+//   3  delete the current message   #  hang up
+//
+// Demonstrates: tone menus with barge-in, TTS prompts over the phone,
+// queue-driven playback to the line, and DTMF events.
+
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/dsp/tone.h"
+#include "src/synth/synthesizer.h"
+#include "src/toolkit/tone_menu.h"
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  ExampleWorld world("voicemail", BoardConfig{}, argc, argv);
+  AudioConnection& audio = world.client();
+  AudioToolkit& toolkit = world.toolkit();
+  uint32_t rate = world.board().sample_rate_hz();
+
+  // Seed a mailbox of three "messages" (distinct tones stand in for voice).
+  std::vector<ResourceId> mailbox;
+  for (double freq : {250.0, 350.0, 500.0}) {
+    std::vector<Sample> pcm;
+    SineOscillator osc(freq, rate, 0.4);
+    osc.Generate(rate, &pcm);  // 1 s each
+    mailbox.push_back(toolkit.UploadSound(pcm, kTelephoneFormat));
+  }
+
+  // Prompts, synthesized once.
+  TextToSpeech tts(rate);
+  auto upload_prompt = [&](const std::string& text) {
+    return toolkit.UploadSound(tts.Synthesize(text), kTelephoneFormat);
+  };
+  ResourceId menu_prompt =
+      upload_prompt("press one for next message. press three to delete. press pound to end.");
+  ResourceId empty_prompt = upload_prompt("no more messages. goodbye.");
+
+  // The phone LOUD: telephone + player (prompts/messages to the caller).
+  ResourceId loud = audio.CreateLoud(kNoResource, {});
+  ResourceId telephone = audio.CreateDevice(loud, DeviceClass::kTelephone, {});
+  ResourceId player = audio.CreateDevice(loud, DeviceClass::kPlayer, {});
+  audio.CreateWire(player, 0, telephone, 0);
+  audio.SelectEvents(loud, kAllEvents);
+  audio.MapLoud(loud);
+  audio.Sync();
+
+  // Scripted caller: checks two messages (1, 1), deletes one (3), hangs up.
+  FarEndParty* owner = world.board().AddFarEnd("555-9000", "Owner");
+  owner->DialAndWait("555-0100")
+      .WaitMs(400)
+      .SendDtmf("1")      // next message
+      .WaitForSilence(600, 30000)
+      .SendDtmf("1")      // next message
+      .WaitForSilence(600, 30000)
+      .SendDtmf("3")      // delete it
+      .WaitMs(400)
+      .SendDtmf("#")      // goodbye
+      .WaitMs(60000);
+
+  // Wait for the incoming call and answer.
+  auto ring = toolkit.WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 30000);
+  if (!ring) {
+    std::printf("no call\n");
+    return 1;
+  }
+  std::printf("[voicemail] call from %s\n",
+              TelephoneRingArgs::Decode(ring->args).caller_id.c_str());
+  audio.Enqueue(loud, {AnswerCommand(telephone, 1)});
+  audio.StartQueue(loud);
+  audio.Sync();
+
+  ToneMenu menu(&toolkit, loud, telephone, player);
+  size_t cursor = 0;
+  bool ended = false;
+  int served = 0;
+  int deleted = 0;
+  while (!ended) {
+    auto choice = menu.Run(menu_prompt, {.max_digits = 1, .digit_timeout_ms = 20000});
+    if (!choice.has_value()) {
+      std::printf("[voicemail] caller gone or silent; ending session\n");
+      break;
+    }
+    char digit = choice->empty() ? '#' : (*choice)[0];
+    switch (digit) {
+      case '1': {
+        if (cursor >= mailbox.size()) {
+          toolkit.PlayAndWait({loud, player, telephone}, empty_prompt, 60000);
+          ended = true;
+          break;
+        }
+        std::printf("[voicemail] playing message %zu\n", cursor + 1);
+        uint32_t tag = 100 + static_cast<uint32_t>(cursor);
+        audio.Enqueue(loud, {PlayCommand(player, mailbox[cursor], tag)});
+        audio.StartQueue(loud);
+        audio.Sync();
+        toolkit.WaitCommandDone(tag, 60000);
+        ++served;
+        ++cursor;
+        break;
+      }
+      case '3':
+        if (cursor > 0) {
+          std::printf("[voicemail] deleting message %zu\n", cursor);
+          audio.DestroySound(mailbox[cursor - 1]);
+          ++deleted;
+        }
+        break;
+      default:
+        ended = true;
+        break;
+    }
+  }
+
+  audio.Immediate(loud, HangUpCommand(telephone));
+  audio.Sync();
+  std::printf("voicemail session done: served %d, deleted %d\n", served, deleted);
+  return served >= 2 && deleted >= 1 ? 0 : 1;
+}

@@ -1,0 +1,194 @@
+#include "src/alib/alib.h"
+
+#include "src/common/logging.h"
+#include "src/transport/socket_stream.h"
+
+namespace aud {
+
+AudioConnection::AudioConnection(std::unique_ptr<ByteStream> stream, const SetupReply& setup)
+    : stream_(std::move(stream)),
+      server_name_(setup.server_name),
+      device_loud_(setup.device_loud),
+      id_next_(setup.id_base),
+      id_end_(setup.id_base + setup.id_count) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+AudioConnection::~AudioConnection() { Close(); }
+
+std::unique_ptr<AudioConnection> AudioConnection::Open(std::unique_ptr<ByteStream> stream,
+                                                       const std::string& client_name) {
+  SetupRequest request;
+  request.client_name = client_name;
+  ByteWriter w;
+  request.Encode(&w);
+  if (!WriteMessage(stream.get(), MessageType::kRequest, kSetupOpcode, 0, w.bytes())) {
+    return nullptr;
+  }
+  std::optional<FramedMessage> reply = ReadMessage(stream.get());
+  if (!reply || reply->header.code != kSetupOpcode) {
+    return nullptr;
+  }
+  ByteReader r(reply->payload);
+  SetupReply setup = SetupReply::Decode(&r);
+  if (!r.ok() || setup.success == 0) {
+    LogLine(LogLevel::kWarning) << "connection setup refused: " << setup.reason;
+    return nullptr;
+  }
+  return std::unique_ptr<AudioConnection>(new AudioConnection(std::move(stream), setup));
+}
+
+std::unique_ptr<AudioConnection> AudioConnection::OpenTcp(const std::string& host,
+                                                          uint16_t port,
+                                                          const std::string& client_name) {
+  std::unique_ptr<ByteStream> stream = ConnectTcp(host, port);
+  if (stream == nullptr) {
+    return nullptr;
+  }
+  return Open(std::move(stream), client_name);
+}
+
+ResourceId AudioConnection::AllocId() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (id_next_ >= id_end_) {
+    return kNoResource;
+  }
+  return id_next_++;
+}
+
+void AudioConnection::ReaderLoop() {
+  while (!closed_.load()) {
+    std::optional<FramedMessage> message = ReadMessage(stream_.get());
+    if (!message) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    switch (message->header.type) {
+      case MessageType::kReply:
+        replies_[message->header.sequence] = std::move(*message);
+        break;
+      case MessageType::kEvent: {
+        ByteReader r(message->payload);
+        events_.push_back(EventMessage::Decode(&r));
+        break;
+      }
+      case MessageType::kError: {
+        ByteReader r(message->payload);
+        AsyncError error;
+        error.sequence = message->header.sequence;
+        error.error = ErrorMessage::Decode(&r);
+        // Errors are visible both to WaitReply (keyed) and NextError.
+        reply_errors_[error.sequence] = error;
+        errors_.push_back(std::move(error));
+        break;
+      }
+      case MessageType::kRequest:
+        break;  // Servers do not send requests.
+    }
+    queue_cv_.notify_all();
+  }
+  closed_.store(true);
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  queue_cv_.notify_all();
+}
+
+uint32_t AudioConnection::SendRequest(Opcode opcode, std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint32_t seq = next_sequence_++;
+  if (!WriteMessage(stream_.get(), MessageType::kRequest, static_cast<uint16_t>(opcode), seq,
+                    payload)) {
+    closed_.store(true);
+  }
+  return seq;
+}
+
+Result<std::vector<uint8_t>> AudioConnection::WaitReply(uint32_t sequence) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [&] {
+    return replies_.count(sequence) != 0 || reply_errors_.count(sequence) != 0 ||
+           closed_.load();
+  });
+  auto reply_it = replies_.find(sequence);
+  if (reply_it != replies_.end()) {
+    std::vector<uint8_t> payload = std::move(reply_it->second.payload);
+    replies_.erase(reply_it);
+    return payload;
+  }
+  auto error_it = reply_errors_.find(sequence);
+  if (error_it != reply_errors_.end()) {
+    Status status(error_it->second.error.code, error_it->second.error.detail);
+    reply_errors_.erase(error_it);
+    return status;
+  }
+  return Status(ErrorCode::kConnection, "connection closed");
+}
+
+Result<std::vector<uint8_t>> AudioConnection::RoundTrip(Opcode opcode,
+                                                        std::span<const uint8_t> payload) {
+  return WaitReply(SendRequest(opcode, payload));
+}
+
+bool AudioConnection::PollEvent(EventMessage* event) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (events_.empty()) {
+    return false;
+  }
+  *event = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+bool AudioConnection::WaitEvent(EventMessage* event, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  auto ready = [&] { return !events_.empty() || closed_.load(); };
+  if (timeout_ms < 0) {
+    queue_cv_.wait(lock, ready);
+  } else if (!queue_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+    return false;
+  }
+  if (events_.empty()) {
+    return false;
+  }
+  *event = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+bool AudioConnection::NextError(AsyncError* error) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (errors_.empty()) {
+    return false;
+  }
+  *error = std::move(errors_.front());
+  errors_.pop_front();
+  return true;
+}
+
+size_t AudioConnection::pending_errors() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return errors_.size();
+}
+
+Status AudioConnection::Sync() {
+  auto result = RoundTrip(Opcode::kSync, {});
+  return result.status();
+}
+
+void AudioConnection::Close() {
+  if (closed_.exchange(true)) {
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    return;
+  }
+  stream_->Close();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_cv_.notify_all();
+  }
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+}  // namespace aud

@@ -1,0 +1,212 @@
+// Alib: the procedural client-side interface to the audio protocol
+// (section 4.2) — "a veneer over the protocol and the lowest level
+// interface that applications will expect to use."
+//
+// AudioConnection is the Display-equivalent: it owns the byte stream, the
+// client's resource-id range, the reply/event/error queues and a reader
+// thread. Requests are asynchronous (SendRequest returns immediately);
+// queries block for their reply; protocol errors arrive asynchronously and
+// are drained with NextError (section 4.1).
+
+#ifndef SRC_ALIB_ALIB_H_
+#define SRC_ALIB_ALIB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/transport/framer.h"
+#include "src/transport/stream.h"
+#include "src/wire/messages.h"
+
+namespace aud {
+
+// An asynchronous protocol error, tagged with the failing request.
+struct AsyncError {
+  uint32_t sequence = 0;
+  ErrorMessage error;
+};
+
+class AudioConnection {
+ public:
+  ~AudioConnection();
+
+  AudioConnection(const AudioConnection&) = delete;
+  AudioConnection& operator=(const AudioConnection&) = delete;
+
+  // Performs connection setup over an established stream. Returns nullptr
+  // (and closes the stream) if the server refuses.
+  static std::unique_ptr<AudioConnection> Open(std::unique_ptr<ByteStream> stream,
+                                               const std::string& client_name);
+
+  // Connects to host:port over TCP and performs setup.
+  static std::unique_ptr<AudioConnection> OpenTcp(const std::string& host, uint16_t port,
+                                                  const std::string& client_name);
+
+  bool connected() const { return !closed_; }
+  const std::string& server_name() const { return server_name_; }
+  ResourceId device_loud() const { return device_loud_; }
+
+  // Allocates a fresh resource id from this connection's block.
+  ResourceId AllocId();
+
+  // -- Raw protocol ---------------------------------------------------------------
+
+  // Sends one request; returns its sequence number without waiting.
+  uint32_t SendRequest(Opcode opcode, std::span<const uint8_t> payload);
+
+  // Blocks until the reply for `sequence` arrives. An error for that
+  // sequence surfaces as a non-OK status.
+  Result<std::vector<uint8_t>> WaitReply(uint32_t sequence);
+
+  // Round trip: send + wait, like the many small query wrappers below.
+  Result<std::vector<uint8_t>> RoundTrip(Opcode opcode, std::span<const uint8_t> payload);
+
+  // -- Events and errors -----------------------------------------------------------
+
+  // Non-blocking; returns false when the queue is empty.
+  bool PollEvent(EventMessage* event);
+
+  // Blocks up to timeout_ms (-1 = forever) for the next event.
+  bool WaitEvent(EventMessage* event, int timeout_ms = -1);
+
+  // Drains one queued asynchronous error.
+  bool NextError(AsyncError* error);
+  size_t pending_errors();
+
+  // Flushes the pipeline: a Sync round trip guarantees every prior request
+  // has been processed and its errors (if any) queued locally.
+  Status Sync();
+
+  // -- Typed request wrappers (requests.cc) ------------------------------------------
+
+  ResourceId CreateLoud(ResourceId parent, const AttrList& attrs);
+  void DestroyLoud(ResourceId loud);
+  ResourceId CreateDevice(ResourceId loud, DeviceClass device_class, const AttrList& attrs);
+  void DestroyDevice(ResourceId device);
+  void AugmentDevice(ResourceId device, const AttrList& attrs);
+  Result<VirtualDeviceReply> QueryDevice(ResourceId device);
+
+  ResourceId CreateWire(ResourceId src_device, uint16_t src_port, ResourceId dst_device,
+                        uint16_t dst_port);
+  ResourceId CreateTypedWire(ResourceId src_device, uint16_t src_port, ResourceId dst_device,
+                             uint16_t dst_port, AudioFormat format);
+  void DestroyWire(ResourceId wire);
+  Result<WiresReply> QueryWires(ResourceId device);
+
+  void MapLoud(ResourceId loud, bool override_redirect = false);
+  void UnmapLoud(ResourceId loud);
+  void RaiseLoud(ResourceId loud, bool override_redirect = false);
+  void LowerLoud(ResourceId loud, bool override_redirect = false);
+  Result<LoudStateReply> QueryLoud(ResourceId loud);
+
+  ResourceId CreateSound(AudioFormat format);
+  void DestroySound(ResourceId sound);
+  void WriteSound(ResourceId sound, uint64_t offset, std::span<const uint8_t> data);
+  Result<std::vector<uint8_t>> ReadSound(ResourceId sound, uint64_t offset, uint32_t length);
+  Result<SoundInfoReply> QuerySound(ResourceId sound);
+  ResourceId LoadCatalogueSound(const std::string& name);
+  void SaveCatalogueSound(ResourceId sound, const std::string& name);
+  Result<CatalogueReply> ListCatalogue();
+
+  void Enqueue(ResourceId loud, const std::vector<CommandSpec>& commands);
+  void Immediate(ResourceId loud, const CommandSpec& command);
+  void StartQueue(ResourceId loud);
+  void StopQueue(ResourceId loud);
+  void PauseQueue(ResourceId loud);
+  void ResumeQueue(ResourceId loud);
+  void FlushQueue(ResourceId loud);
+  Result<QueueStateReply> QueryQueue(ResourceId loud);
+
+  void SelectEvents(ResourceId resource, uint32_t mask);
+  void SetSyncMarks(ResourceId loud, uint32_t interval_ms);
+
+  void ChangeProperty(ResourceId resource, const std::string& name, const std::string& type,
+                      std::span<const uint8_t> value);
+  void DeleteProperty(ResourceId resource, const std::string& name);
+  Result<PropertyReply> GetProperty(ResourceId resource, const std::string& name);
+  Result<PropertyListReply> ListProperties(ResourceId resource);
+  void SetRedirect(bool enable);
+
+  Result<DeviceLoudReply> QueryDeviceLoud();
+  Result<ActiveStackReply> QueryActiveStack();
+  Result<int64_t> GetServerTime();
+
+  void Close();
+
+ private:
+  AudioConnection(std::unique_ptr<ByteStream> stream, const SetupReply& setup);
+
+  void ReaderLoop();
+
+  std::unique_ptr<ByteStream> stream_;
+  std::string server_name_;
+  ResourceId device_loud_ = kNoResource;
+  ResourceId id_next_ = kNoResource;
+  ResourceId id_end_ = kNoResource;
+
+  std::mutex write_mu_;
+  uint32_t next_sequence_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<EventMessage> events_;
+  std::deque<AsyncError> errors_;
+  std::map<uint32_t, FramedMessage> replies_;
+  std::map<uint32_t, AsyncError> reply_errors_;
+
+  std::thread reader_;
+  std::atomic<bool> closed_{false};
+};
+
+// -- Command builders (the queue vocabulary of section 5.5) -----------------------
+
+CommandSpec PlayCommand(ResourceId device, ResourceId sound, uint32_t tag = 0,
+                        int64_t start_sample = 0, int64_t end_sample = -1);
+CommandSpec RecordCommand(ResourceId device, ResourceId sound, uint8_t termination,
+                          uint32_t max_ms = 0, uint32_t tag = 0);
+CommandSpec StopCommand(ResourceId device, uint32_t tag = 0);
+CommandSpec PauseCommand(ResourceId device, uint32_t tag = 0);
+CommandSpec ResumeCommand(ResourceId device, uint32_t tag = 0);
+CommandSpec ChangeGainCommand(ResourceId device, int32_t gain, uint32_t tag = 0);
+CommandSpec DialCommand(ResourceId device, const std::string& number, uint32_t tag = 0);
+CommandSpec AnswerCommand(ResourceId device, uint32_t tag = 0);
+CommandSpec HangUpCommand(ResourceId device, uint32_t tag = 0);
+CommandSpec SendDtmfCommand(ResourceId device, const std::string& digits, uint32_t tag = 0);
+CommandSpec SetInputGainCommand(ResourceId device, uint16_t input, int32_t gain,
+                                uint32_t tag = 0);
+CommandSpec SpeakTextCommand(ResourceId device, const std::string& text, uint32_t tag = 0);
+CommandSpec SetTextLanguageCommand(ResourceId device, const std::string& language,
+                                   uint32_t tag = 0);
+CommandSpec SetValuesCommand(ResourceId device, const AttrList& values, uint32_t tag = 0);
+CommandSpec SetExceptionListCommand(
+    ResourceId device, const std::vector<std::pair<std::string, std::string>>& entries,
+    uint32_t tag = 0);
+CommandSpec TrainCommand(ResourceId device, const std::string& word, ResourceId sound,
+                         uint32_t tag = 0);
+CommandSpec SetVocabularyCommand(ResourceId device, const std::vector<std::string>& words,
+                                 uint32_t tag = 0);
+CommandSpec AdjustContextCommand(ResourceId device, const std::vector<std::string>& words,
+                                 uint32_t tag = 0);
+CommandSpec SaveVocabularyCommand(ResourceId device, const std::string& name,
+                                  uint32_t tag = 0);
+CommandSpec NoteCommand(ResourceId device, uint8_t midi_note, uint8_t velocity,
+                        uint32_t duration_ms, uint32_t tag = 0);
+CommandSpec SetVoiceCommand(ResourceId device, const VoiceArgs& voice, uint32_t tag = 0);
+CommandSpec SetCrossbarStateCommand(ResourceId device, const CrossbarStateArgs& state,
+                                    uint32_t tag = 0);
+CommandSpec CoBeginCommand();
+CommandSpec CoEndCommand();
+CommandSpec DelayCommand(uint32_t milliseconds);
+CommandSpec DelayEndCommand();
+
+}  // namespace aud
+
+#endif  // SRC_ALIB_ALIB_H_

@@ -1,0 +1,459 @@
+// Typed request wrappers and command builders: the bulk of the Alib
+// procedural surface.
+
+#include "src/alib/alib.h"
+
+namespace aud {
+
+namespace {
+
+template <typename Req>
+std::vector<uint8_t> EncodeReq(const Req& req) {
+  ByteWriter w;
+  req.Encode(&w);
+  return w.Take();
+}
+
+// Decodes a reply payload with the given struct's Decode.
+template <typename Reply>
+Result<Reply> DecodeReply(Result<std::vector<uint8_t>> raw) {
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  ByteReader r(raw.value());
+  Reply reply = Reply::Decode(&r);
+  if (!r.ok()) {
+    return Status(ErrorCode::kConnection, "malformed reply");
+  }
+  return reply;
+}
+
+}  // namespace
+
+// -- LOUD tree ---------------------------------------------------------------
+
+ResourceId AudioConnection::CreateLoud(ResourceId parent, const AttrList& attrs) {
+  CreateLoudReq req;
+  req.id = AllocId();
+  req.parent = parent;
+  req.attrs = attrs;
+  SendRequest(Opcode::kCreateLoud, EncodeReq(req));
+  return req.id;
+}
+
+void AudioConnection::DestroyLoud(ResourceId loud) {
+  SendRequest(Opcode::kDestroyLoud, EncodeReq(ResourceReq{loud}));
+}
+
+ResourceId AudioConnection::CreateDevice(ResourceId loud, DeviceClass device_class,
+                                         const AttrList& attrs) {
+  CreateVirtualDeviceReq req;
+  req.id = AllocId();
+  req.loud = loud;
+  req.device_class = device_class;
+  req.attrs = attrs;
+  SendRequest(Opcode::kCreateVirtualDevice, EncodeReq(req));
+  return req.id;
+}
+
+void AudioConnection::DestroyDevice(ResourceId device) {
+  SendRequest(Opcode::kDestroyVirtualDevice, EncodeReq(ResourceReq{device}));
+}
+
+void AudioConnection::AugmentDevice(ResourceId device, const AttrList& attrs) {
+  AugmentVirtualDeviceReq req;
+  req.id = device;
+  req.attrs = attrs;
+  SendRequest(Opcode::kAugmentVirtualDevice, EncodeReq(req));
+}
+
+Result<VirtualDeviceReply> AudioConnection::QueryDevice(ResourceId device) {
+  return DecodeReply<VirtualDeviceReply>(
+      RoundTrip(Opcode::kQueryVirtualDevice, EncodeReq(ResourceReq{device})));
+}
+
+// -- Wires ----------------------------------------------------------------------
+
+ResourceId AudioConnection::CreateWire(ResourceId src_device, uint16_t src_port,
+                                       ResourceId dst_device, uint16_t dst_port) {
+  CreateWireReq req;
+  req.id = AllocId();
+  req.src_device = src_device;
+  req.src_port = src_port;
+  req.dst_device = dst_device;
+  req.dst_port = dst_port;
+  req.has_format = 0;
+  SendRequest(Opcode::kCreateWire, EncodeReq(req));
+  return req.id;
+}
+
+ResourceId AudioConnection::CreateTypedWire(ResourceId src_device, uint16_t src_port,
+                                            ResourceId dst_device, uint16_t dst_port,
+                                            AudioFormat format) {
+  CreateWireReq req;
+  req.id = AllocId();
+  req.src_device = src_device;
+  req.src_port = src_port;
+  req.dst_device = dst_device;
+  req.dst_port = dst_port;
+  req.has_format = 1;
+  req.format = format;
+  SendRequest(Opcode::kCreateWire, EncodeReq(req));
+  return req.id;
+}
+
+void AudioConnection::DestroyWire(ResourceId wire) {
+  SendRequest(Opcode::kDestroyWire, EncodeReq(ResourceReq{wire}));
+}
+
+Result<WiresReply> AudioConnection::QueryWires(ResourceId device) {
+  return DecodeReply<WiresReply>(
+      RoundTrip(Opcode::kQueryWires, EncodeReq(ResourceReq{device})));
+}
+
+// -- Mapping ------------------------------------------------------------------------
+
+void AudioConnection::MapLoud(ResourceId loud, bool override_redirect) {
+  MapLoudReq req;
+  req.loud = loud;
+  req.override_redirect = override_redirect ? 1 : 0;
+  SendRequest(Opcode::kMapLoud, EncodeReq(req));
+}
+
+void AudioConnection::UnmapLoud(ResourceId loud) {
+  SendRequest(Opcode::kUnmapLoud, EncodeReq(ResourceReq{loud}));
+}
+
+void AudioConnection::RaiseLoud(ResourceId loud, bool override_redirect) {
+  MapLoudReq req;
+  req.loud = loud;
+  req.override_redirect = override_redirect ? 1 : 0;
+  SendRequest(Opcode::kRaiseLoud, EncodeReq(req));
+}
+
+void AudioConnection::LowerLoud(ResourceId loud, bool override_redirect) {
+  MapLoudReq req;
+  req.loud = loud;
+  req.override_redirect = override_redirect ? 1 : 0;
+  SendRequest(Opcode::kLowerLoud, EncodeReq(req));
+}
+
+Result<LoudStateReply> AudioConnection::QueryLoud(ResourceId loud) {
+  return DecodeReply<LoudStateReply>(
+      RoundTrip(Opcode::kQueryLoud, EncodeReq(ResourceReq{loud})));
+}
+
+// -- Sounds --------------------------------------------------------------------------
+
+ResourceId AudioConnection::CreateSound(AudioFormat format) {
+  CreateSoundReq req;
+  req.id = AllocId();
+  req.format = format;
+  SendRequest(Opcode::kCreateSound, EncodeReq(req));
+  return req.id;
+}
+
+void AudioConnection::DestroySound(ResourceId sound) {
+  SendRequest(Opcode::kDestroySound, EncodeReq(ResourceReq{sound}));
+}
+
+void AudioConnection::WriteSound(ResourceId sound, uint64_t offset,
+                                 std::span<const uint8_t> data) {
+  WriteSoundDataReq req;
+  req.id = sound;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  SendRequest(Opcode::kWriteSoundData, EncodeReq(req));
+}
+
+Result<std::vector<uint8_t>> AudioConnection::ReadSound(ResourceId sound, uint64_t offset,
+                                                        uint32_t length) {
+  ReadSoundDataReq req;
+  req.id = sound;
+  req.offset = offset;
+  req.length = length;
+  auto reply = DecodeReply<SoundDataReply>(RoundTrip(Opcode::kReadSoundData, EncodeReq(req)));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return std::move(reply.value().data);
+}
+
+Result<SoundInfoReply> AudioConnection::QuerySound(ResourceId sound) {
+  return DecodeReply<SoundInfoReply>(
+      RoundTrip(Opcode::kQuerySound, EncodeReq(ResourceReq{sound})));
+}
+
+ResourceId AudioConnection::LoadCatalogueSound(const std::string& name) {
+  NamedSoundReq req;
+  req.id = AllocId();
+  req.name = name;
+  SendRequest(Opcode::kLoadCatalogueSound, EncodeReq(req));
+  return req.id;
+}
+
+void AudioConnection::SaveCatalogueSound(ResourceId sound, const std::string& name) {
+  NamedSoundReq req;
+  req.id = sound;
+  req.name = name;
+  SendRequest(Opcode::kSaveCatalogueSound, EncodeReq(req));
+}
+
+Result<CatalogueReply> AudioConnection::ListCatalogue() {
+  return DecodeReply<CatalogueReply>(RoundTrip(Opcode::kListCatalogue, {}));
+}
+
+// -- Queues ------------------------------------------------------------------------------
+
+void AudioConnection::Enqueue(ResourceId loud, const std::vector<CommandSpec>& commands) {
+  EnqueueCommandsReq req;
+  req.loud = loud;
+  req.commands = commands;
+  SendRequest(Opcode::kEnqueueCommands, EncodeReq(req));
+}
+
+void AudioConnection::Immediate(ResourceId loud, const CommandSpec& command) {
+  ImmediateCommandReq req;
+  req.loud = loud;
+  req.command = command;
+  SendRequest(Opcode::kImmediateCommand, EncodeReq(req));
+}
+
+void AudioConnection::StartQueue(ResourceId loud) {
+  SendRequest(Opcode::kStartQueue, EncodeReq(ResourceReq{loud}));
+}
+
+void AudioConnection::StopQueue(ResourceId loud) {
+  SendRequest(Opcode::kStopQueue, EncodeReq(ResourceReq{loud}));
+}
+
+void AudioConnection::PauseQueue(ResourceId loud) {
+  SendRequest(Opcode::kPauseQueue, EncodeReq(ResourceReq{loud}));
+}
+
+void AudioConnection::ResumeQueue(ResourceId loud) {
+  SendRequest(Opcode::kResumeQueue, EncodeReq(ResourceReq{loud}));
+}
+
+void AudioConnection::FlushQueue(ResourceId loud) {
+  SendRequest(Opcode::kFlushQueue, EncodeReq(ResourceReq{loud}));
+}
+
+Result<QueueStateReply> AudioConnection::QueryQueue(ResourceId loud) {
+  return DecodeReply<QueueStateReply>(
+      RoundTrip(Opcode::kQueryQueue, EncodeReq(ResourceReq{loud})));
+}
+
+// -- Events / properties / manager ---------------------------------------------------------
+
+void AudioConnection::SelectEvents(ResourceId resource, uint32_t mask) {
+  SelectEventsReq req;
+  req.resource = resource;
+  req.mask = mask;
+  SendRequest(Opcode::kSelectEvents, EncodeReq(req));
+}
+
+void AudioConnection::SetSyncMarks(ResourceId loud, uint32_t interval_ms) {
+  SetSyncMarksReq req;
+  req.loud = loud;
+  req.interval_ms = interval_ms;
+  SendRequest(Opcode::kSetSyncMarks, EncodeReq(req));
+}
+
+void AudioConnection::ChangeProperty(ResourceId resource, const std::string& name,
+                                     const std::string& type,
+                                     std::span<const uint8_t> value) {
+  ChangePropertyReq req;
+  req.resource = resource;
+  req.name = name;
+  req.type = type;
+  req.value.assign(value.begin(), value.end());
+  SendRequest(Opcode::kChangeProperty, EncodeReq(req));
+}
+
+void AudioConnection::DeleteProperty(ResourceId resource, const std::string& name) {
+  NamedPropertyReq req;
+  req.resource = resource;
+  req.name = name;
+  SendRequest(Opcode::kDeleteProperty, EncodeReq(req));
+}
+
+Result<PropertyReply> AudioConnection::GetProperty(ResourceId resource,
+                                                   const std::string& name) {
+  NamedPropertyReq req;
+  req.resource = resource;
+  req.name = name;
+  return DecodeReply<PropertyReply>(RoundTrip(Opcode::kGetProperty, EncodeReq(req)));
+}
+
+Result<PropertyListReply> AudioConnection::ListProperties(ResourceId resource) {
+  return DecodeReply<PropertyListReply>(
+      RoundTrip(Opcode::kListProperties, EncodeReq(ResourceReq{resource})));
+}
+
+void AudioConnection::SetRedirect(bool enable) {
+  SetRedirectReq req;
+  req.enable = enable ? 1 : 0;
+  SendRequest(Opcode::kSetRedirect, EncodeReq(req));
+}
+
+Result<DeviceLoudReply> AudioConnection::QueryDeviceLoud() {
+  return DecodeReply<DeviceLoudReply>(RoundTrip(Opcode::kQueryDeviceLoud, {}));
+}
+
+Result<ActiveStackReply> AudioConnection::QueryActiveStack() {
+  return DecodeReply<ActiveStackReply>(RoundTrip(Opcode::kQueryActiveStack, {}));
+}
+
+Result<int64_t> AudioConnection::GetServerTime() {
+  auto reply = DecodeReply<ServerTimeReply>(RoundTrip(Opcode::kGetServerTime, {}));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return reply.value().server_time;
+}
+
+// -- Command builders ---------------------------------------------------------------------
+
+namespace {
+CommandSpec MakeCommand(ResourceId device, DeviceCommand command, uint32_t tag,
+                        std::vector<uint8_t> args = {}) {
+  CommandSpec spec;
+  spec.device = device;
+  spec.command = command;
+  spec.tag = tag;
+  spec.args = std::move(args);
+  return spec;
+}
+}  // namespace
+
+CommandSpec PlayCommand(ResourceId device, ResourceId sound, uint32_t tag,
+                        int64_t start_sample, int64_t end_sample) {
+  PlayArgs args{sound, start_sample, end_sample};
+  return MakeCommand(device, DeviceCommand::kPlay, tag, args.Encode());
+}
+
+CommandSpec RecordCommand(ResourceId device, ResourceId sound, uint8_t termination,
+                          uint32_t max_ms, uint32_t tag) {
+  RecordArgs args{sound, termination, max_ms};
+  return MakeCommand(device, DeviceCommand::kRecord, tag, args.Encode());
+}
+
+CommandSpec StopCommand(ResourceId device, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kStop, tag);
+}
+
+CommandSpec PauseCommand(ResourceId device, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kPause, tag);
+}
+
+CommandSpec ResumeCommand(ResourceId device, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kResume, tag);
+}
+
+CommandSpec ChangeGainCommand(ResourceId device, int32_t gain, uint32_t tag) {
+  GainArgs args{gain};
+  return MakeCommand(device, DeviceCommand::kChangeGain, tag, args.Encode());
+}
+
+CommandSpec DialCommand(ResourceId device, const std::string& number, uint32_t tag) {
+  StringArg args{number};
+  return MakeCommand(device, DeviceCommand::kDial, tag, args.Encode());
+}
+
+CommandSpec AnswerCommand(ResourceId device, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kAnswer, tag);
+}
+
+CommandSpec HangUpCommand(ResourceId device, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kHangUp, tag);
+}
+
+CommandSpec SendDtmfCommand(ResourceId device, const std::string& digits, uint32_t tag) {
+  StringArg args{digits};
+  return MakeCommand(device, DeviceCommand::kSendDtmf, tag, args.Encode());
+}
+
+CommandSpec SetInputGainCommand(ResourceId device, uint16_t input, int32_t gain,
+                                uint32_t tag) {
+  InputGainArgs args{input, gain};
+  return MakeCommand(device, DeviceCommand::kSetInputGain, tag, args.Encode());
+}
+
+CommandSpec SpeakTextCommand(ResourceId device, const std::string& text, uint32_t tag) {
+  StringArg args{text};
+  return MakeCommand(device, DeviceCommand::kSpeakText, tag, args.Encode());
+}
+
+CommandSpec SetTextLanguageCommand(ResourceId device, const std::string& language,
+                                   uint32_t tag) {
+  StringArg args{language};
+  return MakeCommand(device, DeviceCommand::kSetTextLanguage, tag, args.Encode());
+}
+
+CommandSpec SetValuesCommand(ResourceId device, const AttrList& values, uint32_t tag) {
+  ValuesArgs args{values};
+  return MakeCommand(device, DeviceCommand::kSetValues, tag, args.Encode());
+}
+
+CommandSpec SetExceptionListCommand(
+    ResourceId device, const std::vector<std::pair<std::string, std::string>>& entries,
+    uint32_t tag) {
+  ExceptionListArgs args{entries};
+  return MakeCommand(device, DeviceCommand::kSetExceptionList, tag, args.Encode());
+}
+
+CommandSpec TrainCommand(ResourceId device, const std::string& word, ResourceId sound,
+                         uint32_t tag) {
+  TrainArgs args{word, sound};
+  return MakeCommand(device, DeviceCommand::kTrain, tag, args.Encode());
+}
+
+CommandSpec SetVocabularyCommand(ResourceId device, const std::vector<std::string>& words,
+                                 uint32_t tag) {
+  WordListArgs args{words};
+  return MakeCommand(device, DeviceCommand::kSetVocabulary, tag, args.Encode());
+}
+
+CommandSpec AdjustContextCommand(ResourceId device, const std::vector<std::string>& words,
+                                 uint32_t tag) {
+  WordListArgs args{words};
+  return MakeCommand(device, DeviceCommand::kAdjustContext, tag, args.Encode());
+}
+
+CommandSpec SaveVocabularyCommand(ResourceId device, const std::string& name, uint32_t tag) {
+  StringArg args{name};
+  return MakeCommand(device, DeviceCommand::kSaveVocabulary, tag, args.Encode());
+}
+
+CommandSpec NoteCommand(ResourceId device, uint8_t midi_note, uint8_t velocity,
+                        uint32_t duration_ms, uint32_t tag) {
+  NoteArgs args{midi_note, velocity, duration_ms};
+  return MakeCommand(device, DeviceCommand::kNote, tag, args.Encode());
+}
+
+CommandSpec SetVoiceCommand(ResourceId device, const VoiceArgs& voice, uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kSetVoice, tag, voice.Encode());
+}
+
+CommandSpec SetCrossbarStateCommand(ResourceId device, const CrossbarStateArgs& state,
+                                    uint32_t tag) {
+  return MakeCommand(device, DeviceCommand::kSetState, tag, state.Encode());
+}
+
+CommandSpec CoBeginCommand() {
+  return MakeCommand(kNoResource, DeviceCommand::kCoBegin, 0);
+}
+
+CommandSpec CoEndCommand() { return MakeCommand(kNoResource, DeviceCommand::kCoEnd, 0); }
+
+CommandSpec DelayCommand(uint32_t milliseconds) {
+  DelayArgs args{milliseconds};
+  return MakeCommand(kNoResource, DeviceCommand::kDelay, 0, args.Encode());
+}
+
+CommandSpec DelayEndCommand() {
+  return MakeCommand(kNoResource, DeviceCommand::kDelayEnd, 0);
+}
+
+}  // namespace aud

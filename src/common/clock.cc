@@ -1,0 +1,43 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+namespace aud {
+
+RealClock::RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+Ticks RealClock::Now() const {
+  auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+}
+
+void RealClock::SleepUntil(Ticks deadline) {
+  std::this_thread::sleep_until(epoch_ + std::chrono::microseconds(deadline));
+}
+
+Ticks VirtualClock::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void VirtualClock::SleepUntil(Ticks deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+void VirtualClock::Advance(Ticks nominal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Ticks skewed = nominal + nominal * skew_ppm_ / 1'000'000;
+  now_ += skewed;
+  cv_.notify_all();
+}
+
+void VirtualClock::AdvanceTo(Ticks t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t > now_) {
+    now_ = t;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace aud

@@ -1,0 +1,91 @@
+// Clock abstractions. The paper's footnote 8 observes that the server CPU
+// and the CODEC may not share a time base ("clock skew is a problem"), so
+// the engine never assumes a single clock: each hardware device carries its
+// own Clock, and command queues ask devices for completion times instead of
+// computing them.
+//
+// Two implementations: RealClock (wall time) for interactive/bench use and
+// VirtualClock (manually advanced) for deterministic tests. VirtualClock can
+// apply a rate skew to model a CODEC crystal that drifts from the host.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace aud {
+
+// Time since an arbitrary epoch, in microseconds. All engine scheduling is
+// done in Ticks.
+using Ticks = int64_t;
+
+inline constexpr Ticks kTicksPerSecond = 1'000'000;
+inline constexpr Ticks kTicksPerMillisecond = 1'000;
+
+// Converts a sample count at `rate_hz` to Ticks (rounding down).
+inline constexpr Ticks SamplesToTicks(int64_t samples, uint32_t rate_hz) {
+  return samples * kTicksPerSecond / rate_hz;
+}
+
+// Converts Ticks to a sample count at `rate_hz` (rounding down).
+inline constexpr int64_t TicksToSamples(Ticks ticks, uint32_t rate_hz) {
+  return ticks * rate_hz / kTicksPerSecond;
+}
+
+// Monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Current time on this clock.
+  virtual Ticks Now() const = 0;
+
+  // Blocks until Now() >= deadline (RealClock sleeps; VirtualClock waits for
+  // another thread to advance time).
+  virtual void SleepUntil(Ticks deadline) = 0;
+};
+
+// Wall-clock implementation over std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  RealClock();
+
+  Ticks Now() const override;
+  void SleepUntil(Ticks deadline) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Deterministic test clock. Time moves only when Advance()/AdvanceTo() is
+// called. A skew factor (parts-per-million offset from nominal) models a
+// device crystal running fast or slow relative to the host clock driving it.
+class VirtualClock : public Clock {
+ public:
+  // `skew_ppm` > 0 runs this clock fast: advancing the nominal input by T
+  // advances this clock by T * (1 + skew_ppm/1e6).
+  explicit VirtualClock(int64_t skew_ppm = 0) : skew_ppm_(skew_ppm) {}
+
+  Ticks Now() const override;
+  void SleepUntil(Ticks deadline) override;
+
+  // Advances this clock by `nominal` host ticks, applying skew, and wakes
+  // sleepers.
+  void Advance(Ticks nominal);
+
+  // Advances so that Now() == t (no-op if t is in the past).
+  void AdvanceTo(Ticks t);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Ticks now_ = 0;
+  int64_t skew_ppm_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,102 @@
+// Fixed-capacity single-producer/single-consumer ring buffer.
+//
+// Used for the CODEC's "memory-mapped buffer" emulation and for wire data
+// paths between devices inside the engine. The SPSC discipline matches the
+// paper's data source/sink threads (section 6.1): exactly one thread feeds
+// a wire and exactly one drains it.
+
+#ifndef SRC_COMMON_RING_BUFFER_H_
+#define SRC_COMMON_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aud {
+
+template <typename T>
+class RingBuffer {
+ public:
+  // Capacity is rounded up to the next power of two; usable capacity is the
+  // rounded value (full/empty disambiguated by counters, not a wasted slot).
+  explicit RingBuffer(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t capacity() const { return buffer_.size(); }
+
+  // Elements currently readable.
+  size_t size() const {
+    return write_pos_.load(std::memory_order_acquire) -
+           read_pos_.load(std::memory_order_acquire);
+  }
+
+  size_t free_space() const { return capacity() - size(); }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == capacity(); }
+
+  // Writes up to data.size() elements; returns the number written (may be
+  // short when the buffer fills). Producer thread only.
+  size_t Write(std::span<const T> data) {
+    size_t w = write_pos_.load(std::memory_order_relaxed);
+    size_t r = read_pos_.load(std::memory_order_acquire);
+    size_t room = capacity() - (w - r);
+    size_t n = data.size() < room ? data.size() : room;
+    for (size_t i = 0; i < n; ++i) {
+      buffer_[(w + i) & mask_] = data[i];
+    }
+    write_pos_.store(w + n, std::memory_order_release);
+    return n;
+  }
+
+  // Reads up to out.size() elements; returns the number read. Consumer
+  // thread only.
+  size_t Read(std::span<T> out) {
+    size_t r = read_pos_.load(std::memory_order_relaxed);
+    size_t w = write_pos_.load(std::memory_order_acquire);
+    size_t avail = w - r;
+    size_t n = out.size() < avail ? out.size() : avail;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = buffer_[(r + i) & mask_];
+    }
+    read_pos_.store(r + n, std::memory_order_release);
+    return n;
+  }
+
+  // Drops up to n readable elements; returns the number dropped.
+  size_t Discard(size_t n) {
+    size_t r = read_pos_.load(std::memory_order_relaxed);
+    size_t w = write_pos_.load(std::memory_order_acquire);
+    size_t avail = w - r;
+    if (n > avail) {
+      n = avail;
+    }
+    read_pos_.store(r + n, std::memory_order_release);
+    return n;
+  }
+
+  // Removes everything. Safe only when producer and consumer are quiescent.
+  void Clear() {
+    read_pos_.store(write_pos_.load(std::memory_order_acquire), std::memory_order_release);
+  }
+
+  // Total elements ever written (monotonic); used for sample accounting.
+  uint64_t total_written() const { return write_pos_.load(std::memory_order_acquire); }
+  uint64_t total_read() const { return read_pos_.load(std::memory_order_acquire); }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> write_pos_{0};
+  std::atomic<uint64_t> read_pos_{0};
+};
+
+}  // namespace aud
+
+#endif  // SRC_COMMON_RING_BUFFER_H_

@@ -1,0 +1,21 @@
+#include "src/common/sample.h"
+
+namespace aud {
+
+std::string_view EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kMulaw8:
+      return "mulaw8";
+    case Encoding::kAlaw8:
+      return "alaw8";
+    case Encoding::kPcm8:
+      return "pcm8";
+    case Encoding::kPcm16:
+      return "pcm16";
+    case Encoding::kAdpcm4:
+      return "adpcm4";
+  }
+  return "unknown";
+}
+
+}  // namespace aud

@@ -1,0 +1,76 @@
+// Sample and audio-format vocabulary shared by the DSP, hardware and server
+// layers. The engine's canonical in-memory representation is 16-bit signed
+// linear PCM ("Sample"); encodings exist at sound-storage and wire-type
+// boundaries (section 5.6: a sound's type is the tuple (encoding,
+// samplesize, samplerate)).
+
+#ifndef SRC_COMMON_SAMPLE_H_
+#define SRC_COMMON_SAMPLE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace aud {
+
+// Canonical in-engine sample: 16-bit signed linear PCM, mono.
+using Sample = int16_t;
+
+// Audio data encodings supported below the application (section 2:
+// "multiple data representations at a level below the application").
+// Values are wire-stable.
+enum class Encoding : uint8_t {
+  // 8-bit mu-law companded (telephone quality, 8000 bytes/sec at 8 kHz).
+  kMulaw8 = 0,
+  // 8-bit A-law companded.
+  kAlaw8 = 1,
+  // 8-bit signed linear PCM.
+  kPcm8 = 2,
+  // 16-bit signed linear PCM, native byte order in memory, little-endian on
+  // the wire.
+  kPcm16 = 3,
+  // 4-bit IMA ADPCM ("can reduce audio data rates by about one half" --
+  // paper footnote 5 describes 2:1 ADPCM relative to 8-bit companding).
+  kAdpcm4 = 4,
+};
+
+// Human-readable encoding name.
+std::string_view EncodingName(Encoding encoding);
+
+// Bytes consumed per sample by an encoding. ADPCM packs two samples per
+// byte; callers must keep sample counts even at ADPCM boundaries.
+inline constexpr double BytesPerSample(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kMulaw8:
+    case Encoding::kAlaw8:
+    case Encoding::kPcm8:
+      return 1.0;
+    case Encoding::kPcm16:
+      return 2.0;
+    case Encoding::kAdpcm4:
+      return 0.5;
+  }
+  return 1.0;
+}
+
+// A sound/wire data type: the paper's (encoding, samplesize, samplerate)
+// tuple. Sample size is implied by the encoding; we keep the rate explicit.
+struct AudioFormat {
+  Encoding encoding = Encoding::kMulaw8;
+  uint32_t sample_rate_hz = 8000;
+
+  bool operator==(const AudioFormat&) const = default;
+
+  // Data rate in bytes per second for this format.
+  double BytesPerSecond() const { return BytesPerSample(encoding) * sample_rate_hz; }
+};
+
+// Telephone-quality default: 8 kHz mu-law, 8000 bytes/second (section 1.1).
+inline constexpr AudioFormat kTelephoneFormat{Encoding::kMulaw8, 8000};
+
+// Common rates.
+inline constexpr uint32_t kTelephoneRateHz = 8000;
+inline constexpr uint32_t kCdRateHz = 44100;
+
+}  // namespace aud
+
+#endif  // SRC_COMMON_SAMPLE_H_

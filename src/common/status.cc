@@ -1,0 +1,52 @@
+#include "src/common/status.h"
+
+namespace aud {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kBadResource:
+      return "BadResource";
+    case ErrorCode::kBadValue:
+      return "BadValue";
+    case ErrorCode::kBadMatch:
+      return "BadMatch";
+    case ErrorCode::kNoDevice:
+      return "NoDevice";
+    case ErrorCode::kDeviceBusy:
+      return "DeviceBusy";
+    case ErrorCode::kBadState:
+      return "BadState";
+    case ErrorCode::kBadWiring:
+      return "BadWiring";
+    case ErrorCode::kBadIdChoice:
+      return "BadIdChoice";
+    case ErrorCode::kBadRequest:
+      return "BadRequest";
+    case ErrorCode::kBadName:
+      return "BadName";
+    case ErrorCode::kBadAccess:
+      return "BadAccess";
+    case ErrorCode::kAlloc:
+      return "Alloc";
+    case ErrorCode::kBadQueue:
+      return "BadQueue";
+    case ErrorCode::kConnection:
+      return "Connection";
+    case ErrorCode::kLimit:
+      return "Limit";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace aud

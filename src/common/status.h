@@ -1,0 +1,115 @@
+// Error codes and a lightweight Status/Result vocabulary used across the
+// netaudio libraries. The codes mirror the asynchronous protocol errors of
+// the audio protocol (section 4.1 of the paper): a request may fail long
+// after it was issued, so every code here is also wire-encodable.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace aud {
+
+// Protocol-visible error codes. Values are part of the wire format; append
+// only.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  // A request referenced an id that names no live object.
+  kBadResource = 1,
+  // Request arguments were malformed or out of range.
+  kBadValue = 2,
+  // A wire's endpoint types are incompatible (section 5.2).
+  kBadMatch = 3,
+  // No physical device satisfies the virtual device's attributes (5.3).
+  kNoDevice = 4,
+  // The device is held exclusively by another LOUD (5.8).
+  kDeviceBusy = 5,
+  // Operation is illegal in the object's current state (e.g. command to an
+  // unmapped LOUD, wiring a mapped LOUD).
+  kBadState = 6,
+  // Attempt to wire across hard-wired physical constraints (5.2).
+  kBadWiring = 7,
+  // Resource-id allocation collided or exhausted.
+  kBadIdChoice = 8,
+  // Request opcode unknown to this server.
+  kBadRequest = 9,
+  // Named sound/catalogue entry does not exist.
+  kBadName = 10,
+  // Sound data access out of bounds.
+  kBadAccess = 11,
+  // Server resource exhaustion.
+  kAlloc = 12,
+  // Queue command illegal (e.g. CoEnd without CoBegin).
+  kBadQueue = 13,
+  // Transport-level failure (connection lost, framing violated).
+  kConnection = 14,
+  // Implementation limit reached (attribute list too long, etc.).
+  kLimit = 15,
+};
+
+// Human-readable name for an ErrorCode, for logs and test failures.
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error result carrying an optional detail message. Cheap to
+// copy on the success path (no allocation).
+class Status {
+ public:
+  // Success.
+  Status() = default;
+  // Error with code and optional context message.
+  explicit Status(ErrorCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// A value-or-Status result. Holds exactly one of the two.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value: `return value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // Implicit from error status: `return Status(...)`. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  // Precondition: ok().
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+
+  // Moves the value out. Precondition: ok().
+  T take() { return std::move(std::get<T>(data_)); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,150 @@
+#include "src/common/wav.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/byte_io.h"
+
+namespace aud {
+
+namespace {
+constexpr uint16_t kFormatPcm = 1;
+constexpr uint16_t kFormatMulaw = 7;
+
+// mu-law decode duplicated here to keep common/ free of dsp/ dependencies.
+Sample WavMulawDecode(uint8_t mulaw) {
+  int value = ~mulaw & 0xFF;
+  int sign = value & 0x80;
+  int exponent = (value >> 4) & 0x07;
+  int mantissa = value & 0x0F;
+  int sample = ((mantissa << 3) + 0x84) << exponent;
+  sample -= 0x84;
+  return static_cast<Sample>(sign != 0 ? -sample : sample);
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool WriteWavFile(const std::string& path, std::span<const Sample> samples,
+                  uint32_t sample_rate_hz) {
+  ByteWriter w;
+  uint32_t data_bytes = static_cast<uint32_t>(samples.size() * 2);
+  w.WriteU32(0x46464952);  // "RIFF"
+  w.WriteU32(36 + data_bytes);
+  w.WriteU32(0x45564157);  // "WAVE"
+  w.WriteU32(0x20746D66);  // "fmt "
+  w.WriteU32(16);
+  w.WriteU16(kFormatPcm);
+  w.WriteU16(1);  // mono
+  w.WriteU32(sample_rate_hz);
+  w.WriteU32(sample_rate_hz * 2);  // byte rate
+  w.WriteU16(2);                   // block align
+  w.WriteU16(16);                  // bits per sample
+  w.WriteU32(0x61746164);          // "data"
+  w.WriteU32(data_bytes);
+  for (Sample s : samples) {
+    w.WriteI16(s);
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  return std::fwrite(w.bytes().data(), 1, w.bytes().size(), f.get()) == w.bytes().size();
+}
+
+Result<WavData> ReadWavFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status(ErrorCode::kBadName, "cannot open " + path);
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 44) {
+    return Status(ErrorCode::kBadValue, "not a WAV file");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return Status(ErrorCode::kBadValue, "short read");
+  }
+
+  ByteReader r(bytes);
+  if (r.ReadU32() != 0x46464952) {
+    return Status(ErrorCode::kBadValue, "missing RIFF header");
+  }
+  r.ReadU32();  // riff size
+  if (r.ReadU32() != 0x45564157) {
+    return Status(ErrorCode::kBadValue, "not WAVE");
+  }
+
+  WavData out;
+  uint16_t format = 0;
+  uint16_t channels = 1;
+  uint16_t bits = 16;
+  bool have_fmt = false;
+
+  while (r.ok() && r.remaining() >= 8) {
+    uint32_t chunk_id = r.ReadU32();
+    uint32_t chunk_len = r.ReadU32();
+    if (chunk_id == 0x20746D66) {  // "fmt "
+      format = r.ReadU16();
+      channels = r.ReadU16();
+      out.sample_rate_hz = r.ReadU32();
+      r.ReadU32();  // byte rate
+      r.ReadU16();  // block align
+      bits = r.ReadU16();
+      if (chunk_len > 16) {
+        r.ReadBytes(chunk_len - 16);
+      }
+      have_fmt = true;
+    } else if (chunk_id == 0x61746164) {  // "data"
+      if (!have_fmt) {
+        return Status(ErrorCode::kBadValue, "data before fmt");
+      }
+      auto data = r.ReadBytes(chunk_len);
+      if (!r.ok()) {
+        return Status(ErrorCode::kBadValue, "truncated data chunk");
+      }
+      if (channels == 0) {
+        channels = 1;
+      }
+      if (format == kFormatPcm && bits == 16) {
+        size_t frames = data.size() / 2 / channels;
+        out.samples.reserve(frames);
+        for (size_t i = 0; i < frames; ++i) {
+          size_t off = i * channels * 2;
+          out.samples.push_back(static_cast<Sample>(
+              static_cast<uint16_t>(data[off]) | static_cast<uint16_t>(data[off + 1]) << 8));
+        }
+      } else if (format == kFormatPcm && bits == 8) {
+        size_t frames = data.size() / channels;
+        for (size_t i = 0; i < frames; ++i) {
+          // 8-bit WAV is unsigned.
+          out.samples.push_back(
+              static_cast<Sample>((static_cast<int>(data[i * channels]) - 128) << 8));
+        }
+      } else if (format == kFormatMulaw && bits == 8) {
+        size_t frames = data.size() / channels;
+        for (size_t i = 0; i < frames; ++i) {
+          out.samples.push_back(WavMulawDecode(data[i * channels]));
+        }
+      } else {
+        return Status(ErrorCode::kBadValue, "unsupported WAV format");
+      }
+      return out;
+    } else {
+      r.ReadBytes(chunk_len + (chunk_len & 1));  // skip (chunks are padded)
+    }
+  }
+  return Status(ErrorCode::kBadValue, "no data chunk");
+}
+
+}  // namespace aud

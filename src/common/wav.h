@@ -1,0 +1,32 @@
+// Minimal RIFF/WAVE reader and writer (PCM16 and G.711 mu-law), so sounds
+// can move between netaudio and ordinary audio tooling. Used by the
+// examples, the audioctl tool and the speaker file sink.
+
+#ifndef SRC_COMMON_WAV_H_
+#define SRC_COMMON_WAV_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/common/status.h"
+
+namespace aud {
+
+// Writes mono PCM16 samples as a WAV file. Returns false on I/O failure.
+bool WriteWavFile(const std::string& path, std::span<const Sample> samples,
+                  uint32_t sample_rate_hz);
+
+struct WavData {
+  uint32_t sample_rate_hz = 8000;
+  std::vector<Sample> samples;  // decoded to linear, first channel only
+};
+
+// Reads a WAV file (PCM16, PCM8 or mu-law; multi-channel files keep the
+// first channel).
+Result<WavData> ReadWavFile(const std::string& path);
+
+}  // namespace aud
+
+#endif  // SRC_COMMON_WAV_H_

@@ -1,0 +1,105 @@
+#include "src/dsp/adpcm.h"
+
+#include <algorithm>
+
+namespace aud {
+
+namespace {
+
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,   21,    23,
+    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,    66,   73,    80,
+    88,    97,    107,   118,   130,   143,   157,   173,   190,   209,   230,  253,   279,
+    307,   337,   371,   408,   449,   494,   544,   598,   658,   724,   796,  876,   963,
+    1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749, 3024,  3327,
+    3660,  4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493, 10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+int Clamp(int v, int lo, int hi) { return std::min(std::max(v, lo), hi); }
+
+}  // namespace
+
+uint8_t AdpcmEncoder::EncodeOne(Sample s) {
+  int step = kStepTable[step_index_];
+  int diff = s - predictor_;
+
+  uint8_t nibble = 0;
+  if (diff < 0) {
+    nibble = 8;
+    diff = -diff;
+  }
+  // Quantize diff into 3 magnitude bits against step, accumulating the
+  // reconstructed delta exactly as the decoder will.
+  int delta = step >> 3;
+  if (diff >= step) {
+    nibble |= 4;
+    diff -= step;
+    delta += step;
+  }
+  if (diff >= step >> 1) {
+    nibble |= 2;
+    diff -= step >> 1;
+    delta += step >> 1;
+  }
+  if (diff >= step >> 2) {
+    nibble |= 1;
+    delta += step >> 2;
+  }
+
+  predictor_ = Clamp((nibble & 8) != 0 ? predictor_ - delta : predictor_ + delta, -32768, 32767);
+  step_index_ = Clamp(step_index_ + kIndexTable[nibble], 0, 88);
+  return nibble;
+}
+
+void AdpcmEncoder::Encode(std::span<const Sample> in, std::vector<uint8_t>* out) {
+  for (Sample s : in) {
+    uint8_t nibble = EncodeOne(s);
+    if (have_pending_) {
+      out->push_back(static_cast<uint8_t>(pending_nibble_ | (nibble << 4)));
+      have_pending_ = false;
+    } else {
+      pending_nibble_ = nibble;
+      have_pending_ = true;
+    }
+  }
+}
+
+void AdpcmEncoder::Reset() {
+  predictor_ = 0;
+  step_index_ = 0;
+  have_pending_ = false;
+  pending_nibble_ = 0;
+}
+
+Sample AdpcmDecoder::DecodeOne(uint8_t nibble) {
+  int step = kStepTable[step_index_];
+  int delta = step >> 3;
+  if ((nibble & 4) != 0) {
+    delta += step;
+  }
+  if ((nibble & 2) != 0) {
+    delta += step >> 1;
+  }
+  if ((nibble & 1) != 0) {
+    delta += step >> 2;
+  }
+  predictor_ = Clamp((nibble & 8) != 0 ? predictor_ - delta : predictor_ + delta, -32768, 32767);
+  step_index_ = Clamp(step_index_ + kIndexTable[nibble], 0, 88);
+  return static_cast<Sample>(predictor_);
+}
+
+void AdpcmDecoder::Decode(std::span<const uint8_t> in, std::vector<Sample>* out) {
+  for (uint8_t byte : in) {
+    out->push_back(DecodeOne(byte & 0x0F));
+    out->push_back(DecodeOne(byte >> 4));
+  }
+}
+
+void AdpcmDecoder::Reset() {
+  predictor_ = 0;
+  step_index_ = 0;
+}
+
+}  // namespace aud

@@ -1,0 +1,55 @@
+// IMA ADPCM (DVI/IMA 4-bit) codec. The paper (footnote 5) cites ADPCM as
+// the compression that "can reduce audio data rates by about one half"
+// relative to 8-bit companded speech. The coder is stateful: a stream is
+// decoded/encoded by one codec instance from its start.
+
+#ifndef SRC_DSP_ADPCM_H_
+#define SRC_DSP_ADPCM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Stateful IMA ADPCM encoder. Two samples pack into one byte (first sample
+// in the low nibble).
+class AdpcmEncoder {
+ public:
+  // Encodes samples, appending packed bytes to `out`. The sample count
+  // should be even; a trailing odd sample is held until the next call.
+  void Encode(std::span<const Sample> in, std::vector<uint8_t>* out);
+
+  // Resets predictor state to stream start.
+  void Reset();
+
+ private:
+  uint8_t EncodeOne(Sample s);
+
+  int predictor_ = 0;
+  int step_index_ = 0;
+  bool have_pending_ = false;
+  uint8_t pending_nibble_ = 0;
+};
+
+// Stateful IMA ADPCM decoder.
+class AdpcmDecoder {
+ public:
+  // Decodes packed bytes, appending two samples per byte to `out`.
+  void Decode(std::span<const uint8_t> in, std::vector<Sample>* out);
+
+  // Resets predictor state to stream start.
+  void Reset();
+
+ private:
+  Sample DecodeOne(uint8_t nibble);
+
+  int predictor_ = 0;
+  int step_index_ = 0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_DSP_ADPCM_H_

@@ -1,0 +1,40 @@
+#include "src/dsp/agc.h"
+
+#include <cmath>
+
+#include "src/dsp/gain.h"
+
+namespace aud {
+
+AutomaticGainControl::AutomaticGainControl() : AutomaticGainControl(Options{}) {}
+
+AutomaticGainControl::AutomaticGainControl(Options options) : options_(options) {}
+
+void AutomaticGainControl::Process(std::span<Sample> samples) {
+  for (Sample& s : samples) {
+    double x = std::abs(s) / 32768.0;
+    // Asymmetric envelope follower.
+    if (x > envelope_) {
+      envelope_ = options_.attack * envelope_ + (1.0 - options_.attack) * x;
+    } else {
+      envelope_ = options_.release * envelope_ + (1.0 - options_.release) * x;
+    }
+    if (envelope_ > options_.silence_floor) {
+      double desired = options_.target_level / envelope_;
+      if (desired > options_.max_gain) {
+        desired = options_.max_gain;
+      }
+      // Glide the applied gain toward the desired gain.
+      gain_ += (desired - gain_) * 0.001;
+    }
+    double y = s * gain_;
+    s = SaturateSample(static_cast<int32_t>(std::lround(y)));
+  }
+}
+
+void AutomaticGainControl::Reset() {
+  envelope_ = 0.0;
+  gain_ = 1.0;
+}
+
+}  // namespace aud

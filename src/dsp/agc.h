@@ -1,0 +1,53 @@
+// Automatic gain control. The paper lists "whether the recorder supports
+// automatic gain control (AGC) during recording" as a recorder device
+// attribute (section 5.1); this is the software implementation backing
+// that attribute in our simulated hardware.
+
+#ifndef SRC_DSP_AGC_H_
+#define SRC_DSP_AGC_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Feed-forward AGC: tracks a smoothed peak envelope and scales toward a
+// target level, with asymmetric attack/release so onsets are tamed quickly
+// but quiet passages are boosted gradually.
+class AutomaticGainControl {
+ public:
+  struct Options {
+    // Desired output peak, as a fraction of full scale.
+    double target_level = 0.5;
+    // Maximum boost applied to quiet signals.
+    double max_gain = 8.0;
+    // Envelope smoothing coefficients per sample (closer to 1 = slower).
+    double attack = 0.9;
+    double release = 0.9995;
+    // Below this envelope the signal is treated as silence and gain is held
+    // (don't amplify noise floors).
+    double silence_floor = 0.005;
+  };
+
+  AutomaticGainControl();
+  explicit AutomaticGainControl(Options options);
+
+  // Processes a block in place.
+  void Process(std::span<Sample> samples);
+
+  // Current applied gain (for attribute queries / tests).
+  double current_gain() const { return gain_; }
+
+  void Reset();
+
+ private:
+  Options options_;
+  double envelope_ = 0.0;
+  double gain_ = 1.0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_DSP_AGC_H_

@@ -1,0 +1,57 @@
+#include "src/dsp/alaw.h"
+
+namespace aud {
+
+uint8_t AlawEncode(Sample linear) {
+  int sample = linear;
+  int sign = sample >= 0 ? 0x80 : 0;
+  if (sample < 0) {
+    sample = -sample - 1;
+  }
+  if (sample > 32767) {
+    sample = 32767;
+  }
+
+  int compressed;
+  if (sample < 256) {
+    compressed = sample >> 4;
+  } else {
+    // Segment number: highest set bit above bit 7.
+    int exponent = 7;
+    for (int mask = 0x4000; (sample & mask) == 0 && exponent > 1; mask >>= 1) {
+      --exponent;
+    }
+    int mantissa = (sample >> (exponent + 3)) & 0x0F;
+    compressed = (exponent << 4) | mantissa;
+  }
+  return static_cast<uint8_t>((sign | compressed) ^ 0x55);
+}
+
+Sample AlawDecode(uint8_t alaw) {
+  int value = alaw ^ 0x55;
+  int sign = value & 0x80;
+  int exponent = (value >> 4) & 0x07;
+  int mantissa = value & 0x0F;
+
+  int sample;
+  if (exponent == 0) {
+    sample = (mantissa << 4) + 8;
+  } else {
+    sample = ((mantissa << 4) + 0x108) << (exponent - 1);
+  }
+  return static_cast<Sample>(sign != 0 ? sample : -sample);
+}
+
+void AlawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = AlawEncode(in[i]);
+  }
+}
+
+void AlawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = AlawDecode(in[i]);
+  }
+}
+
+}  // namespace aud

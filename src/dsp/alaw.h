@@ -1,0 +1,25 @@
+// ITU-T G.711 A-law companding (the European telephone companding law).
+
+#ifndef SRC_DSP_ALAW_H_
+#define SRC_DSP_ALAW_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Encodes one 16-bit linear sample to A-law.
+uint8_t AlawEncode(Sample linear);
+
+// Decodes one A-law byte to a 16-bit linear sample.
+Sample AlawDecode(uint8_t alaw);
+
+// Bulk conversions. Output spans must be at least as long as inputs.
+void AlawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out);
+void AlawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_ALAW_H_

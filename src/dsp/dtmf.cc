@@ -1,0 +1,154 @@
+#include "src/dsp/dtmf.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/dsp/goertzel.h"
+#include "src/dsp/tone.h"
+
+namespace aud {
+
+namespace {
+
+constexpr std::array<double, 4> kRowFreqs = {697.0, 770.0, 852.0, 941.0};
+constexpr std::array<double, 4> kColFreqs = {1209.0, 1336.0, 1477.0, 1633.0};
+
+// Keypad layout rows x cols.
+constexpr char kKeypad[4][4] = {
+    {'1', '2', '3', 'A'},
+    {'4', '5', '6', 'B'},
+    {'7', '8', '9', 'C'},
+    {'*', '0', '#', 'D'},
+};
+
+bool DigitPosition(char digit, int* row, int* col) {
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      if (kKeypad[r][c] == digit) {
+        *row = r;
+        *col = c;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Detection threshold on normalized Goertzel power.
+constexpr double kPowerThreshold = 0.004;
+// A tone must dominate the other bins in its group by this ratio.
+constexpr double kDominanceRatio = 4.0;
+
+}  // namespace
+
+bool IsDtmfDigit(char c) {
+  int r;
+  int col;
+  return DigitPosition(c, &r, &col);
+}
+
+bool DtmfFrequencies(char digit, double* row_hz, double* col_hz) {
+  int r;
+  int c;
+  if (!DigitPosition(digit, &r, &c)) {
+    return false;
+  }
+  *row_hz = kRowFreqs[static_cast<size_t>(r)];
+  *col_hz = kColFreqs[static_cast<size_t>(c)];
+  return true;
+}
+
+std::vector<Sample> MakeDtmfDigit(char digit, uint32_t sample_rate_hz, int tone_ms, int gap_ms,
+                                  double amplitude) {
+  double row;
+  double col;
+  if (!DtmfFrequencies(digit, &row, &col)) {
+    return {};
+  }
+  size_t tone_n = static_cast<size_t>(static_cast<int64_t>(sample_rate_hz) * tone_ms / 1000);
+  size_t gap_n = static_cast<size_t>(static_cast<int64_t>(sample_rate_hz) * gap_ms / 1000);
+  std::vector<Sample> out;
+  out.reserve(tone_n + gap_n);
+  DualToneOscillator osc(row, col, sample_rate_hz, amplitude);
+  osc.Generate(tone_n, &out);
+  out.insert(out.end(), gap_n, 0);
+  return out;
+}
+
+std::vector<Sample> MakeDtmfString(const std::string& digits, uint32_t sample_rate_hz,
+                                   int tone_ms, int gap_ms) {
+  std::vector<Sample> out;
+  for (char d : digits) {
+    auto one = MakeDtmfDigit(d, sample_rate_hz, tone_ms, gap_ms);
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+DtmfDetector::DtmfDetector(uint32_t sample_rate_hz)
+    : rate_(sample_rate_hz),
+      // ~20 ms frames: good Goertzel resolution for the DTMF grid at 8 kHz.
+      frame_size_(sample_rate_hz / 50) {
+  frame_.reserve(frame_size_);
+}
+
+void DtmfDetector::Process(std::span<const Sample> in) {
+  for (Sample s : in) {
+    frame_.push_back(s);
+    if (frame_.size() == frame_size_) {
+      AnalyzeFrame();
+      frame_.clear();
+    }
+  }
+}
+
+void DtmfDetector::AnalyzeFrame() {
+  std::array<double, 4> row_power;
+  std::array<double, 4> col_power;
+  for (size_t i = 0; i < 4; ++i) {
+    row_power[i] = GoertzelPower(frame_, kRowFreqs[i], rate_);
+    col_power[i] = GoertzelPower(frame_, kColFreqs[i], rate_);
+  }
+  auto best_row = std::max_element(row_power.begin(), row_power.end()) - row_power.begin();
+  auto best_col = std::max_element(col_power.begin(), col_power.end()) - col_power.begin();
+
+  double rp = row_power[static_cast<size_t>(best_row)];
+  double cp = col_power[static_cast<size_t>(best_col)];
+
+  bool valid = rp > kPowerThreshold && cp > kPowerThreshold;
+  if (valid) {
+    // Dominance check: second-strongest bin must be well below the peak.
+    for (size_t i = 0; i < 4; ++i) {
+      if (static_cast<long>(i) != best_row && row_power[i] * kDominanceRatio > rp) {
+        valid = false;
+      }
+      if (static_cast<long>(i) != best_col && col_power[i] * kDominanceRatio > cp) {
+        valid = false;
+      }
+    }
+  }
+
+  if (valid) {
+    char digit = kKeypad[best_row][best_col];
+    silent_frames_ = 0;
+    if (!current_ || *current_ != digit) {
+      current_ = digit;
+      digits_.push_back(digit);
+    }
+  } else {
+    // Require two consecutive non-tone frames before declaring release, so
+    // a single noisy frame inside a press doesn't double-report the digit.
+    if (current_ && ++silent_frames_ >= 2) {
+      current_.reset();
+      silent_frames_ = 0;
+    }
+  }
+}
+
+std::string DtmfDetector::TakeDigits() {
+  std::string out;
+  out.swap(digits_);
+  return out;
+}
+
+}  // namespace aud

@@ -1,0 +1,63 @@
+// DTMF (touch-tone) generation and detection. Telephony applications in the
+// paper lean on touch tones ("dial by name", tone menus); the telephone
+// device class has a SendDTMF command and the recognizer side needs "touch
+// tone decoding" with immediate feedback (section 1.4).
+
+#ifndef SRC_DSP_DTMF_H_
+#define SRC_DSP_DTMF_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// The 16 DTMF digits: 0-9, *, #, A-D.
+bool IsDtmfDigit(char c);
+
+// Row/column frequencies for a digit; returns false for non-digits.
+bool DtmfFrequencies(char digit, double* row_hz, double* col_hz);
+
+// Renders a digit as `tone_ms` of dual tone followed by `gap_ms` of
+// silence. Returns empty for invalid digits.
+std::vector<Sample> MakeDtmfDigit(char digit, uint32_t sample_rate_hz, int tone_ms = 80,
+                                  int gap_ms = 60, double amplitude = 0.35);
+
+// Renders a whole digit string.
+std::vector<Sample> MakeDtmfString(const std::string& digits, uint32_t sample_rate_hz,
+                                   int tone_ms = 80, int gap_ms = 60);
+
+// Streaming DTMF detector using Goertzel filters over fixed frames.
+// Feed audio; collected digits appear in TakeDigits(). A digit is reported
+// once per continuous press (debounced).
+class DtmfDetector {
+ public:
+  explicit DtmfDetector(uint32_t sample_rate_hz);
+
+  // Processes a block of samples.
+  void Process(std::span<const Sample> in);
+
+  // Returns digits detected since the last call and clears the queue.
+  std::string TakeDigits();
+
+  // Currently pressed digit, if a tone is live right now.
+  std::optional<char> current() const { return current_; }
+
+ private:
+  void AnalyzeFrame();
+
+  uint32_t rate_;
+  size_t frame_size_;
+  std::vector<Sample> frame_;
+  std::string digits_;
+  std::optional<char> current_;
+  int silent_frames_ = 0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_DSP_DTMF_H_

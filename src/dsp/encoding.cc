@@ -1,0 +1,102 @@
+#include "src/dsp/encoding.h"
+
+#include "src/dsp/alaw.h"
+#include "src/dsp/mulaw.h"
+
+namespace aud {
+
+void StreamDecoder::Decode(std::span<const uint8_t> in, std::vector<Sample>* out) {
+  switch (encoding_) {
+    case Encoding::kMulaw8:
+      for (uint8_t b : in) {
+        out->push_back(MulawDecode(b));
+      }
+      break;
+    case Encoding::kAlaw8:
+      for (uint8_t b : in) {
+        out->push_back(AlawDecode(b));
+      }
+      break;
+    case Encoding::kPcm8:
+      for (uint8_t b : in) {
+        out->push_back(static_cast<Sample>(static_cast<int8_t>(b) << 8));
+      }
+      break;
+    case Encoding::kPcm16: {
+      size_t pairs = in.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        uint16_t v = static_cast<uint16_t>(in[2 * i]) |
+                     static_cast<uint16_t>(in[2 * i + 1]) << 8;
+        out->push_back(static_cast<Sample>(v));
+      }
+      break;
+    }
+    case Encoding::kAdpcm4:
+      adpcm_.Decode(in, out);
+      break;
+  }
+}
+
+void StreamDecoder::Reset() { adpcm_.Reset(); }
+
+void StreamEncoder::Encode(std::span<const Sample> in, std::vector<uint8_t>* out) {
+  switch (encoding_) {
+    case Encoding::kMulaw8:
+      for (Sample s : in) {
+        out->push_back(MulawEncode(s));
+      }
+      break;
+    case Encoding::kAlaw8:
+      for (Sample s : in) {
+        out->push_back(AlawEncode(s));
+      }
+      break;
+    case Encoding::kPcm8:
+      for (Sample s : in) {
+        out->push_back(static_cast<uint8_t>(static_cast<int8_t>(s >> 8)));
+      }
+      break;
+    case Encoding::kPcm16:
+      for (Sample s : in) {
+        uint16_t v = static_cast<uint16_t>(s);
+        out->push_back(static_cast<uint8_t>(v));
+        out->push_back(static_cast<uint8_t>(v >> 8));
+      }
+      break;
+    case Encoding::kAdpcm4:
+      adpcm_.Encode(in, out);
+      break;
+  }
+}
+
+void StreamEncoder::Reset() { adpcm_.Reset(); }
+
+int64_t SamplesInBytes(Encoding encoding, int64_t bytes) {
+  switch (encoding) {
+    case Encoding::kMulaw8:
+    case Encoding::kAlaw8:
+    case Encoding::kPcm8:
+      return bytes;
+    case Encoding::kPcm16:
+      return bytes / 2;
+    case Encoding::kAdpcm4:
+      return bytes * 2;
+  }
+  return bytes;
+}
+
+int64_t BytesForSamples(Encoding encoding, int64_t samples) {
+  switch (encoding) {
+    case Encoding::kMulaw8:
+    case Encoding::kAlaw8:
+    case Encoding::kPcm8:
+      return samples;
+    case Encoding::kPcm16:
+      return samples * 2;
+    case Encoding::kAdpcm4:
+      return (samples + 1) / 2;
+  }
+  return samples;
+}
+
+}  // namespace aud

@@ -1,0 +1,65 @@
+// Encoding-dispatch transcoder: converts a byte stream in any supported
+// Encoding to/from the engine's canonical 16-bit linear samples. Stateful
+// (ADPCM carries predictor state), so one Transcoder instance serves one
+// stream from its beginning. This is the device-boundary conversion the
+// paper requires so that "applications should be sheltered" from coding
+// changes (section 2).
+
+#ifndef SRC_DSP_ENCODING_H_
+#define SRC_DSP_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/dsp/adpcm.h"
+
+namespace aud {
+
+// Decodes encoded bytes into linear samples.
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(Encoding encoding) : encoding_(encoding) {}
+
+  Encoding encoding() const { return encoding_; }
+
+  // Appends decoded samples to `out`.
+  void Decode(std::span<const uint8_t> in, std::vector<Sample>* out);
+
+  // Restarts the stream (clears ADPCM predictor state).
+  void Reset();
+
+ private:
+  Encoding encoding_;
+  AdpcmDecoder adpcm_;
+};
+
+// Encodes linear samples into encoded bytes.
+class StreamEncoder {
+ public:
+  explicit StreamEncoder(Encoding encoding) : encoding_(encoding) {}
+
+  Encoding encoding() const { return encoding_; }
+
+  // Appends encoded bytes to `out`.
+  void Encode(std::span<const Sample> in, std::vector<uint8_t>* out);
+
+  // Restarts the stream.
+  void Reset();
+
+ private:
+  Encoding encoding_;
+  AdpcmEncoder adpcm_;
+};
+
+// Number of whole samples encoded by `bytes` bytes of `encoding`.
+int64_t SamplesInBytes(Encoding encoding, int64_t bytes);
+
+// Number of bytes that hold `samples` samples of `encoding` (rounded up for
+// ADPCM).
+int64_t BytesForSamples(Encoding encoding, int64_t samples);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_ENCODING_H_

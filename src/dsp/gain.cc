@@ -1,0 +1,45 @@
+#include "src/dsp/gain.h"
+
+#include <cmath>
+
+namespace aud {
+
+void ApplyGain(std::span<Sample> samples, int32_t gain) {
+  if (gain == kUnityGain) {
+    return;
+  }
+  for (Sample& s : samples) {
+    int64_t v = static_cast<int64_t>(s) * gain / kUnityGain;
+    s = SaturateSample(static_cast<int32_t>(v));
+  }
+}
+
+void ApplyGainRamp(std::span<Sample> samples, int32_t from_gain, int32_t to_gain) {
+  if (samples.empty()) {
+    return;
+  }
+  if (from_gain == to_gain) {
+    ApplyGain(samples, to_gain);
+    return;
+  }
+  int64_t n = static_cast<int64_t>(samples.size());
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t g = from_gain + (static_cast<int64_t>(to_gain) - from_gain) * i / (n - 1 == 0 ? 1 : n - 1);
+    int64_t v = static_cast<int64_t>(samples[i]) * g / kUnityGain;
+    samples[i] = SaturateSample(static_cast<int32_t>(v));
+  }
+}
+
+int32_t DecibelsToGain(double db) {
+  double linear = std::pow(10.0, db / 20.0);
+  double gain = linear * kUnityGain;
+  if (gain > INT32_MAX) {
+    return INT32_MAX;
+  }
+  if (gain < 0) {
+    return 0;
+  }
+  return static_cast<int32_t>(std::lround(gain));
+}
+
+}  // namespace aud

@@ -1,0 +1,42 @@
+// Gain application. The protocol's ChangeGain command (section 5.1) adjusts
+// device volume; mixer inputs carry per-input percentages (SetGain). Gains
+// are expressed in centi-percent of unity (10000 == 1.0) and applied in
+// fixed point with saturation.
+
+#ifndef SRC_DSP_GAIN_H_
+#define SRC_DSP_GAIN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Unity gain constant: 100.00%.
+inline constexpr int32_t kUnityGain = 10000;
+
+// Saturating 16-bit clamp.
+inline Sample SaturateSample(int32_t v) {
+  if (v > 32767) {
+    return 32767;
+  }
+  if (v < -32768) {
+    return -32768;
+  }
+  return static_cast<Sample>(v);
+}
+
+// Applies `gain` (centi-percent) to samples in place.
+void ApplyGain(std::span<Sample> samples, int32_t gain);
+
+// Applies a linear ramp from `from_gain` to `to_gain` across the block
+// (click-free gain changes while a device is running).
+void ApplyGainRamp(std::span<Sample> samples, int32_t from_gain, int32_t to_gain);
+
+// Converts decibels (as a float, e.g. -6.0) to a centi-percent gain.
+int32_t DecibelsToGain(double db);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_GAIN_H_

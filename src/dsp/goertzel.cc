@@ -1,0 +1,28 @@
+#include "src/dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aud {
+
+double GoertzelPower(std::span<const Sample> frame, double frequency_hz,
+                     uint32_t sample_rate_hz) {
+  if (frame.empty()) {
+    return 0.0;
+  }
+  double omega = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+  double coeff = 2.0 * std::cos(omega);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (Sample x : frame) {
+    double s = x / 32768.0 + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  double power = s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+  // Normalize: a unit sine of N samples yields power N^2/4.
+  double n = static_cast<double>(frame.size());
+  return power / (n * n / 4.0);
+}
+
+}  // namespace aud

@@ -1,0 +1,22 @@
+// Goertzel algorithm: single-bin DFT power estimation, the classical cheap
+// tone detector used for DTMF decoding on general-purpose processors.
+
+#ifndef SRC_DSP_GOERTZEL_H_
+#define SRC_DSP_GOERTZEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Computes the normalized power of `frequency_hz` in `frame` sampled at
+// `sample_rate_hz`. The result is scaled so that a full-scale sine at the
+// target frequency yields a value near 1.0.
+double GoertzelPower(std::span<const Sample> frame, double frequency_hz,
+                     uint32_t sample_rate_hz);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_GOERTZEL_H_

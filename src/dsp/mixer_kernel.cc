@@ -1,0 +1,43 @@
+#include "src/dsp/mixer_kernel.h"
+
+#include <algorithm>
+
+#include "src/dsp/gain.h"
+
+namespace aud {
+
+void MixAccumulator::Clear() {
+  std::fill(acc_.begin(), acc_.end(), 0);
+  input_count_ = 0;
+}
+
+void MixAccumulator::Accumulate(std::span<const Sample> in, int32_t gain) {
+  size_t n = std::min(in.size(), acc_.size());
+  if (gain == kUnityGain) {
+    for (size_t i = 0; i < n; ++i) {
+      acc_[i] += in[i];
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      acc_[i] += static_cast<int32_t>(static_cast<int64_t>(in[i]) * gain / kUnityGain);
+    }
+  }
+  ++input_count_;
+}
+
+void MixAccumulator::Resolve(std::span<Sample> out) const {
+  size_t n = std::min(out.size(), acc_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SaturateSample(acc_[i]);
+  }
+}
+
+void MixEqual(std::span<const std::span<const Sample>> inputs, std::span<Sample> out) {
+  MixAccumulator acc(out.size());
+  for (const auto& in : inputs) {
+    acc.Accumulate(in, kUnityGain);
+  }
+  acc.Resolve(out);
+}
+
+}  // namespace aud

@@ -1,0 +1,48 @@
+// Mixing kernels. The server mixes streams in two places: explicit Mixer
+// virtual devices (section 5.1) and the transparent mixers it inserts when
+// several applications play to one speaker (section 6.1). Both reduce to
+// weighted saturating accumulation over 32-bit intermediates.
+
+#ifndef SRC_DSP_MIXER_KERNEL_H_
+#define SRC_DSP_MIXER_KERNEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// A mix accumulator sized for one engine block. Accumulate inputs, then
+// Resolve to saturated 16-bit output.
+class MixAccumulator {
+ public:
+  explicit MixAccumulator(size_t block_size) : acc_(block_size, 0) {}
+
+  size_t size() const { return acc_.size(); }
+
+  // Zeroes the accumulator for a new block.
+  void Clear();
+
+  // Adds `in` scaled by `gain` (centi-percent; kUnityGain = 1.0). Inputs
+  // shorter than the block contribute silence for the remainder.
+  void Accumulate(std::span<const Sample> in, int32_t gain);
+
+  // Writes the saturated mix into `out` (must be at least size()).
+  void Resolve(std::span<Sample> out) const;
+
+  // Number of Accumulate calls since the last Clear.
+  int input_count() const { return input_count_; }
+
+ private:
+  std::vector<int32_t> acc_;
+  int input_count_ = 0;
+};
+
+// One-shot convenience: mixes equally weighted inputs into out.
+void MixEqual(std::span<const std::span<const Sample>> inputs, std::span<Sample> out);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_MIXER_KERNEL_H_

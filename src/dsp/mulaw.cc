@@ -1,0 +1,52 @@
+#include "src/dsp/mulaw.h"
+
+namespace aud {
+
+namespace {
+constexpr int kBias = 0x84;  // 132: standard G.711 bias.
+constexpr int kClip = 32635;
+}  // namespace
+
+uint8_t MulawEncode(Sample linear) {
+  int sample = linear;
+  int sign = (sample >> 8) & 0x80;
+  if (sign != 0) {
+    sample = -sample;
+  }
+  if (sample > kClip) {
+    sample = kClip;
+  }
+  sample += kBias;
+
+  // Find the segment: position of the highest set bit above bit 5.
+  int exponent = 7;
+  for (int mask = 0x4000; (sample & mask) == 0 && exponent > 0; mask >>= 1) {
+    --exponent;
+  }
+  int mantissa = (sample >> (exponent + 3)) & 0x0F;
+  return static_cast<uint8_t>(~(sign | (exponent << 4) | mantissa));
+}
+
+Sample MulawDecode(uint8_t mulaw) {
+  int value = ~mulaw & 0xFF;
+  int sign = value & 0x80;
+  int exponent = (value >> 4) & 0x07;
+  int mantissa = value & 0x0F;
+  int sample = ((mantissa << 3) + kBias) << exponent;
+  sample -= kBias;
+  return static_cast<Sample>(sign != 0 ? -sample : sample);
+}
+
+void MulawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = MulawEncode(in[i]);
+  }
+}
+
+void MulawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = MulawDecode(in[i]);
+  }
+}
+
+}  // namespace aud

@@ -1,0 +1,26 @@
+// ITU-T G.711 mu-law companding. Telephone-quality coding: 8 bits/sample,
+// 8000 bytes per second at 8 kHz (paper section 1.1).
+
+#ifndef SRC_DSP_MULAW_H_
+#define SRC_DSP_MULAW_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Encodes one 16-bit linear sample to mu-law.
+uint8_t MulawEncode(Sample linear);
+
+// Decodes one mu-law byte to a 16-bit linear sample.
+Sample MulawDecode(uint8_t mulaw);
+
+// Bulk conversions. Output spans must be at least as long as inputs.
+void MulawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out);
+void MulawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_MULAW_H_

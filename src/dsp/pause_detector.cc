@@ -1,0 +1,86 @@
+#include "src/dsp/pause_detector.h"
+
+#include <cmath>
+
+namespace aud {
+
+namespace {
+double FrameRms(std::span<const Sample> frame) {
+  if (frame.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (Sample s : frame) {
+    double x = s / 32768.0;
+    acc += x * x;
+  }
+  return std::sqrt(acc / static_cast<double>(frame.size()));
+}
+}  // namespace
+
+PauseDetector::PauseDetector(uint32_t sample_rate_hz)
+    : PauseDetector(sample_rate_hz, Options{}) {}
+
+PauseDetector::PauseDetector(uint32_t sample_rate_hz, Options options)
+    : rate_(sample_rate_hz),
+      options_(options),
+      frame_size_(static_cast<size_t>(static_cast<int64_t>(sample_rate_hz) * options.frame_ms /
+                                      1000)) {
+  frame_.reserve(frame_size_);
+}
+
+bool PauseDetector::Process(std::span<const Sample> in) {
+  for (Sample s : in) {
+    frame_.push_back(s);
+    if (frame_.size() == frame_size_) {
+      AnalyzeFrame();
+      frame_.clear();
+    }
+  }
+  return pause_detected_;
+}
+
+void PauseDetector::AnalyzeFrame() {
+  if (FrameRms(frame_) < options_.silence_threshold) {
+    ++silent_frames_;
+    if (silent_frames_ * options_.frame_ms >= options_.pause_ms) {
+      pause_detected_ = true;
+    }
+  } else {
+    silent_frames_ = 0;
+  }
+}
+
+int PauseDetector::trailing_silence_ms() const { return silent_frames_ * options_.frame_ms; }
+
+void PauseDetector::Reset() {
+  frame_.clear();
+  silent_frames_ = 0;
+  pause_detected_ = false;
+}
+
+std::vector<Sample> CompressPauses(std::span<const Sample> in, uint32_t sample_rate_hz,
+                                   double silence_threshold, int keep_ms) {
+  const size_t frame = sample_rate_hz / 50;  // 20 ms frames
+  const size_t keep_frames = static_cast<size_t>(keep_ms / 20);
+  std::vector<Sample> out;
+  out.reserve(in.size());
+
+  size_t silent_run = 0;
+  for (size_t pos = 0; pos < in.size(); pos += frame) {
+    size_t len = std::min(frame, in.size() - pos);
+    auto block = in.subspan(pos, len);
+    if (FrameRms(block) < silence_threshold) {
+      ++silent_run;
+      if (silent_run <= keep_frames) {
+        out.insert(out.end(), block.begin(), block.end());
+      }
+    } else {
+      silent_run = 0;
+      out.insert(out.end(), block.begin(), block.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace aud

@@ -1,0 +1,62 @@
+// Energy-based silence/pause detection. Backs two recorder attributes from
+// the paper (section 5.1): compressing recordings "by removing pauses" and
+// "pause detection to terminate recording" (the answering machine's Record
+// termination condition, section 5.9).
+
+#ifndef SRC_DSP_PAUSE_DETECTOR_H_
+#define SRC_DSP_PAUSE_DETECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Streaming pause detector over fixed frames with a hangover period.
+class PauseDetector {
+ public:
+  struct Options {
+    // Frame length for energy measurement.
+    int frame_ms = 20;
+    // RMS threshold (fraction of full scale) below which a frame is silent.
+    double silence_threshold = 0.01;
+    // A pause is declared after this much continuous silence.
+    int pause_ms = 1500;
+  };
+
+  explicit PauseDetector(uint32_t sample_rate_hz);
+  PauseDetector(uint32_t sample_rate_hz, Options options);
+
+  // Processes a block; returns true if a pause has been detected at or
+  // before the end of this block (latches until Reset).
+  bool Process(std::span<const Sample> in);
+
+  // True once a pause has been detected.
+  bool pause_detected() const { return pause_detected_; }
+
+  // Milliseconds of trailing continuous silence observed so far.
+  int trailing_silence_ms() const;
+
+  void Reset();
+
+ private:
+  void AnalyzeFrame();
+
+  uint32_t rate_;
+  Options options_;
+  size_t frame_size_;
+  std::vector<Sample> frame_;
+  int silent_frames_ = 0;
+  bool pause_detected_ = false;
+};
+
+// Offline pause compression: removes stretches of silence longer than
+// `keep_ms`, keeping `keep_ms` of each (so speech rhythm survives).
+std::vector<Sample> CompressPauses(std::span<const Sample> in, uint32_t sample_rate_hz,
+                                   double silence_threshold = 0.01, int keep_ms = 150);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_PAUSE_DETECTOR_H_

@@ -1,0 +1,53 @@
+#include "src/dsp/resampler.h"
+
+namespace aud {
+
+Resampler::Resampler(uint32_t in_rate_hz, uint32_t out_rate_hz)
+    : in_rate_(in_rate_hz), out_rate_(out_rate_hz) {}
+
+void Resampler::Process(std::span<const Sample> in, std::vector<Sample>* out) {
+  if (is_identity()) {
+    out->insert(out->end(), in.begin(), in.end());
+    return;
+  }
+  if (in.empty()) {
+    return;
+  }
+
+  size_t start = 0;
+  if (!has_history_) {
+    // The very first sample seeds the interpolation history; the first
+    // output equals the first input (phase 0 of the first interval).
+    history_ = in[0];
+    has_history_ = true;
+    start = 1;
+  }
+
+  // Walk the intervals [history_, in[i]]. `phase_num_` is the position of
+  // the next output inside the current interval, in units of 1/out_rate_ of
+  // one input sample period. Each output advances by in_rate_ units; each
+  // interval is out_rate_ units long.
+  for (size_t i = start; i < in.size(); ++i) {
+    Sample cur = in[i];
+    while (phase_num_ < out_rate_) {
+      int64_t interp =
+          history_ + (static_cast<int64_t>(cur) - history_) * phase_num_ / out_rate_;
+      out->push_back(static_cast<Sample>(interp));
+      phase_num_ += in_rate_;
+    }
+    phase_num_ -= out_rate_;
+    history_ = cur;
+  }
+}
+
+int64_t Resampler::OutputSizeFor(int64_t in_samples) const {
+  return in_samples * out_rate_ / in_rate_;
+}
+
+void Resampler::Reset() {
+  phase_num_ = 0;
+  has_history_ = false;
+  history_ = 0;
+}
+
+}  // namespace aud

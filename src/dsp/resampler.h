@@ -1,0 +1,51 @@
+// Linear-interpolation sample-rate converter. Used at wire boundaries when
+// two virtual devices run at different rates (e.g. a 44.1 kHz player wired
+// to the 8 kHz telephone line).
+
+#ifndef SRC_DSP_RESAMPLER_H_
+#define SRC_DSP_RESAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Stateful streaming resampler: feed input blocks, receive output blocks at
+// the target rate. Keeps one sample of history so block boundaries are
+// seamless.
+class Resampler {
+ public:
+  // Both rates must be positive.
+  Resampler(uint32_t in_rate_hz, uint32_t out_rate_hz);
+
+  uint32_t in_rate_hz() const { return in_rate_; }
+  uint32_t out_rate_hz() const { return out_rate_; }
+
+  // True when no conversion is needed (rates equal).
+  bool is_identity() const { return in_rate_ == out_rate_; }
+
+  // Converts `in` and appends output samples to `out`.
+  void Process(std::span<const Sample> in, std::vector<Sample>* out);
+
+  // Expected output count for `in_samples` more input (approximate, ±1).
+  int64_t OutputSizeFor(int64_t in_samples) const;
+
+  // Clears history (stream restart).
+  void Reset();
+
+ private:
+  uint32_t in_rate_;
+  uint32_t out_rate_;
+  // Phase of the next output sample, in units of 1/out_rate of an input
+  // sample period, expressed as a fraction: position = phase_num_/out_rate_.
+  int64_t phase_num_ = 0;
+  Sample history_ = 0;
+  bool has_history_ = false;
+};
+
+}  // namespace aud
+
+#endif  // SRC_DSP_RESAMPLER_H_

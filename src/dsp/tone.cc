@@ -1,0 +1,130 @@
+#include "src/dsp/tone.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aud {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+SineOscillator::SineOscillator(double frequency_hz, uint32_t sample_rate_hz, double amplitude)
+    : phase_step_(kTwoPi * frequency_hz / sample_rate_hz), amplitude_(amplitude) {}
+
+void SineOscillator::Generate(size_t n, std::vector<Sample>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(static_cast<Sample>(amplitude_ * 32767.0 * std::sin(phase_)));
+    phase_ += phase_step_;
+    if (phase_ >= kTwoPi) {
+      phase_ -= kTwoPi;
+    }
+  }
+}
+
+void SineOscillator::Fill(std::span<Sample> out) {
+  for (Sample& s : out) {
+    s = static_cast<Sample>(amplitude_ * 32767.0 * std::sin(phase_));
+    phase_ += phase_step_;
+    if (phase_ >= kTwoPi) {
+      phase_ -= kTwoPi;
+    }
+  }
+}
+
+DualToneOscillator::DualToneOscillator(double f1_hz, double f2_hz, uint32_t sample_rate_hz,
+                                       double amplitude)
+    : osc1_(f1_hz, sample_rate_hz, amplitude), osc2_(f2_hz, sample_rate_hz, amplitude) {}
+
+void DualToneOscillator::Generate(size_t n, std::vector<Sample>* out) {
+  size_t base = out->size();
+  osc1_.Generate(n, out);
+  scratch_.assign(n, 0);
+  osc2_.Fill(scratch_);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t v = (*out)[base + i] + scratch_[i];
+    (*out)[base + i] = static_cast<Sample>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+  }
+}
+
+void DualToneOscillator::Fill(std::span<Sample> out) {
+  osc1_.Fill(out);
+  scratch_.assign(out.size(), 0);
+  osc2_.Fill(scratch_);
+  for (size_t i = 0; i < out.size(); ++i) {
+    int32_t v = out[i] + scratch_[i];
+    out[i] = static_cast<Sample>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+  }
+}
+
+namespace {
+struct ToneSpec {
+  double f1;
+  double f2;
+  double on_s;
+  double off_s;
+};
+
+ToneSpec SpecFor(ProgressTone tone) {
+  switch (tone) {
+    case ProgressTone::kDialTone:
+      return {350.0, 440.0, 0.0, 0.0};
+    case ProgressTone::kRingback:
+      return {440.0, 480.0, 2.0, 4.0};
+    case ProgressTone::kBusy:
+      return {480.0, 620.0, 0.5, 0.5};
+    case ProgressTone::kReorder:
+      return {480.0, 620.0, 0.25, 0.25};
+  }
+  return {350.0, 440.0, 0.0, 0.0};
+}
+}  // namespace
+
+ProgressToneGenerator::ProgressToneGenerator(ProgressTone tone, uint32_t sample_rate_hz)
+    : osc_(SpecFor(tone).f1, SpecFor(tone).f2, sample_rate_hz),
+      rate_(sample_rate_hz),
+      on_samples_(static_cast<int64_t>(SpecFor(tone).on_s * sample_rate_hz)),
+      off_samples_(static_cast<int64_t>(SpecFor(tone).off_s * sample_rate_hz)) {}
+
+void ProgressToneGenerator::Generate(size_t n, std::vector<Sample>* out) {
+  if (off_samples_ == 0) {
+    osc_.Generate(n, out);
+    return;
+  }
+  int64_t period = on_samples_ + off_samples_;
+  for (size_t produced = 0; produced < n;) {
+    int64_t in_period = position_ % period;
+    if (in_period < on_samples_) {
+      size_t chunk = static_cast<size_t>(
+          std::min<int64_t>(on_samples_ - in_period, static_cast<int64_t>(n - produced)));
+      osc_.Generate(chunk, out);
+      produced += chunk;
+      position_ += chunk;
+    } else {
+      size_t chunk = static_cast<size_t>(
+          std::min<int64_t>(period - in_period, static_cast<int64_t>(n - produced)));
+      out->insert(out->end(), chunk, 0);
+      produced += chunk;
+      position_ += chunk;
+    }
+  }
+}
+
+std::vector<Sample> MakeBeep(uint32_t sample_rate_hz, int duration_ms, double frequency_hz,
+                             double amplitude) {
+  size_t n = static_cast<size_t>(static_cast<int64_t>(sample_rate_hz) * duration_ms / 1000);
+  std::vector<Sample> beep;
+  beep.reserve(n);
+  SineOscillator osc(frequency_hz, sample_rate_hz, amplitude);
+  osc.Generate(n, &beep);
+  // 5 ms attack/decay ramps.
+  size_t ramp = std::min<size_t>(sample_rate_hz / 200, n / 2);
+  for (size_t i = 0; i < ramp; ++i) {
+    beep[i] = static_cast<Sample>(static_cast<int64_t>(beep[i]) * i / ramp);
+    size_t j = n - 1 - i;
+    beep[j] = static_cast<Sample>(static_cast<int64_t>(beep[j]) * i / ramp);
+  }
+  return beep;
+}
+
+}  // namespace aud

@@ -1,0 +1,81 @@
+// Tone generation: sine oscillators, dual-frequency tones, and the North
+// American call-progress tones (dial tone, ringback, busy) used by the
+// telephone-line simulation, plus the answering-machine "beep".
+
+#ifndef SRC_DSP_TONE_H_
+#define SRC_DSP_TONE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Streaming sine oscillator with continuous phase across blocks.
+class SineOscillator {
+ public:
+  SineOscillator(double frequency_hz, uint32_t sample_rate_hz, double amplitude = 0.5);
+
+  // Appends `n` samples to `out`.
+  void Generate(size_t n, std::vector<Sample>* out);
+
+  // Fills `out` in place (overwrites).
+  void Fill(std::span<Sample> out);
+
+  void set_amplitude(double amplitude) { amplitude_ = amplitude; }
+
+ private:
+  double phase_ = 0.0;
+  double phase_step_;
+  double amplitude_;
+};
+
+// Sum of two sines (call-progress and DTMF tones are all dual-frequency).
+class DualToneOscillator {
+ public:
+  DualToneOscillator(double f1_hz, double f2_hz, uint32_t sample_rate_hz,
+                     double amplitude = 0.35);
+
+  void Generate(size_t n, std::vector<Sample>* out);
+  void Fill(std::span<Sample> out);
+
+ private:
+  SineOscillator osc1_;
+  SineOscillator osc2_;
+  std::vector<Sample> scratch_;
+};
+
+// Call-progress tone kinds (Bell System precise tone plan).
+enum class ProgressTone : uint8_t {
+  kDialTone = 0,   // 350 + 440 Hz continuous
+  kRingback = 1,   // 440 + 480 Hz, 2 s on / 4 s off
+  kBusy = 2,       // 480 + 620 Hz, 0.5 s on / 0.5 s off
+  kReorder = 3,    // 480 + 620 Hz, 0.25 s on / 0.25 s off
+};
+
+// Streaming generator for a cadenced call-progress tone.
+class ProgressToneGenerator {
+ public:
+  ProgressToneGenerator(ProgressTone tone, uint32_t sample_rate_hz);
+
+  // Appends `n` samples (tone or cadence silence) to `out`.
+  void Generate(size_t n, std::vector<Sample>* out);
+
+ private:
+  DualToneOscillator osc_;
+  uint32_t rate_;
+  int64_t on_samples_;
+  int64_t off_samples_;  // 0 => continuous
+  int64_t position_ = 0;
+};
+
+// Generates a single beep (1 kHz by default) of `duration_ms`, with a short
+// attack/decay ramp to avoid clicks. Returns the samples.
+std::vector<Sample> MakeBeep(uint32_t sample_rate_hz, int duration_ms = 250,
+                             double frequency_hz = 1000.0, double amplitude = 0.5);
+
+}  // namespace aud
+
+#endif  // SRC_DSP_TONE_H_

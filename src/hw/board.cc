@@ -1,0 +1,93 @@
+#include "src/hw/board.h"
+
+namespace aud {
+
+Board::Board(const BoardConfig& config) : config_(config), exchange_(config.sample_rate_hz) {
+  for (int i = 0; i < config.speakers; ++i) {
+    std::string position = config.speakers == 1 ? "center" : (i == 0 ? "left" : "right");
+    auto speaker = std::make_unique<SpeakerUnit>(
+        "speaker" + std::to_string(i), config.sample_rate_hz, kDesktopDomain,
+        config.codec_ring_frames, position);
+    speakers_.push_back(speaker.get());
+    devices_.push_back(speaker.get());
+    owned_.push_back(std::move(speaker));
+  }
+  for (int i = 0; i < config.microphones; ++i) {
+    auto mic = std::make_unique<MicrophoneUnit>("microphone" + std::to_string(i),
+                                                config.sample_rate_hz, kDesktopDomain,
+                                                config.codec_ring_frames);
+    microphones_.push_back(mic.get());
+    devices_.push_back(mic.get());
+    owned_.push_back(std::move(mic));
+  }
+  for (int i = 0; i < config.phone_lines; ++i) {
+    std::string number = config.number_prefix + std::to_string(i / 10) + std::to_string(i % 10);
+    ExchangeLine* line = exchange_.AddLine(number, "workstation-line" + std::to_string(i));
+    auto phone = std::make_unique<PhoneLineUnit>("phone" + std::to_string(i), line,
+                                                 kPhoneDomainBase + static_cast<uint32_t>(i),
+                                                 config.codec_ring_frames);
+    phone_lines_.push_back(phone.get());
+    devices_.push_back(phone.get());
+    owned_.push_back(std::move(phone));
+  }
+
+  if (config.speakerphone) {
+    // An outboard speaker-phone: its speaker, microphone and line are
+    // permanently wired to each other (section 5.2's example of hardware
+    // that is "not as general as might be desired").
+    auto sp_speaker = std::make_unique<SpeakerUnit>("speakerphone-speaker",
+                                                    config.sample_rate_hz, 2,
+                                                    config.codec_ring_frames, "speakerphone");
+    auto sp_mic = std::make_unique<MicrophoneUnit>("speakerphone-mic", config.sample_rate_hz,
+                                                   2, config.codec_ring_frames);
+    ExchangeLine* sp_line = exchange_.AddLine("555-0999", "speakerphone");
+    auto sp_phone = std::make_unique<PhoneLineUnit>("speakerphone-line", sp_line,
+                                                    kPhoneDomainBase + 99,
+                                                    config.codec_ring_frames);
+    hard_wires_.push_back({sp_phone.get(), sp_speaker.get()});  // line rx -> speaker
+    hard_wires_.push_back({sp_mic.get(), sp_phone.get()});      // mic -> line tx
+    speakers_.push_back(sp_speaker.get());
+    microphones_.push_back(sp_mic.get());
+    phone_lines_.push_back(sp_phone.get());
+    devices_.push_back(sp_speaker.get());
+    devices_.push_back(sp_mic.get());
+    devices_.push_back(sp_phone.get());
+    owned_.push_back(std::move(sp_speaker));
+    owned_.push_back(std::move(sp_mic));
+    owned_.push_back(std::move(sp_phone));
+  }
+}
+
+std::vector<PhysicalDevice*> Board::HardWirePartners(PhysicalDevice* device) const {
+  std::vector<PhysicalDevice*> partners;
+  for (const auto& [a, b] : hard_wires_) {
+    if (a == device) {
+      partners.push_back(b);
+    }
+    if (b == device) {
+      partners.push_back(a);
+    }
+  }
+  return partners;
+}
+
+FarEndParty* Board::AddFarEnd(const std::string& number, const std::string& display_name) {
+  ExchangeLine* line = exchange_.AddLine(number, display_name);
+  far_ends_.push_back(std::make_unique<FarEndParty>(line));
+  return far_ends_.back().get();
+}
+
+void Board::Advance(size_t frames) {
+  // Workstation-side units first (they feed tx into the exchange and will
+  // read the rx produced by this tick's exchange relay next tick).
+  for (PhysicalDevice* dev : devices_) {
+    dev->Advance(frames);
+  }
+  exchange_.Advance(frames);
+  for (auto& far_end : far_ends_) {
+    far_end->Advance(frames);
+  }
+  frames_elapsed_ += static_cast<int64_t>(frames);
+}
+
+}  // namespace aud

@@ -1,0 +1,86 @@
+// The simulated workstation audio board: the full set of physical devices
+// one server instance controls, plus the off-workstation world (the phone
+// exchange and its other subscribers). Tests and benches configure a board,
+// hand it to the server, and drive time through Advance().
+
+#ifndef SRC_HW_BOARD_H_
+#define SRC_HW_BOARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/exchange.h"
+#include "src/hw/far_end.h"
+#include "src/hw/microphone.h"
+#include "src/hw/phone_line.h"
+#include "src/hw/physical_device.h"
+#include "src/hw/speaker.h"
+
+namespace aud {
+
+struct BoardConfig {
+  uint32_t sample_rate_hz = 8000;
+  int speakers = 1;
+  int microphones = 1;
+  int phone_lines = 1;
+  size_t codec_ring_frames = 8192;
+  // The workstation lines get numbers 555-0100, 555-0101, ...
+  std::string number_prefix = "555-01";
+  // Adds an outboard speaker-phone: a speaker, microphone and phone line
+  // (number 555-0999) with permanent hard-wired connections between them
+  // (the paper's section 5.2 wiring-constraint example).
+  bool speakerphone = false;
+};
+
+class Board {
+ public:
+  explicit Board(const BoardConfig& config);
+
+  uint32_t sample_rate_hz() const { return config_.sample_rate_hz; }
+
+  // All physical devices, in device-LOUD order.
+  const std::vector<PhysicalDevice*>& devices() const { return devices_; }
+
+  std::vector<SpeakerUnit*>& speakers() { return speakers_; }
+  std::vector<MicrophoneUnit*>& microphones() { return microphones_; }
+  std::vector<PhoneLineUnit*>& phone_lines() { return phone_lines_; }
+
+  Exchange& exchange() { return exchange_; }
+
+  // Adds an off-workstation subscriber (a far-end phone) to the exchange.
+  // The returned party is owned by the board.
+  FarEndParty* AddFarEnd(const std::string& number, const std::string& display_name = "");
+
+  // Permanent physical connections ("some devices are connected via
+  // physical wires that cannot be broken", section 5.1/5.2). Pairs are
+  // (source-ish, sink-ish) in data-flow order.
+  const std::vector<std::pair<PhysicalDevice*, PhysicalDevice*>>& hard_wires() const {
+    return hard_wires_;
+  }
+
+  // All hard-wire partners of `device` (either direction).
+  std::vector<PhysicalDevice*> HardWirePartners(PhysicalDevice* device) const;
+
+  // Advances the whole hardware world by `frames`: all codecs, the
+  // exchange, and every scripted far-end party.
+  void Advance(size_t frames);
+
+  int64_t frames_elapsed() const { return frames_elapsed_; }
+
+ private:
+  BoardConfig config_;
+  Exchange exchange_;
+  std::vector<std::unique_ptr<PhysicalDevice>> owned_;
+  std::vector<PhysicalDevice*> devices_;
+  std::vector<SpeakerUnit*> speakers_;
+  std::vector<MicrophoneUnit*> microphones_;
+  std::vector<PhoneLineUnit*> phone_lines_;
+  std::vector<std::unique_ptr<FarEndParty>> far_ends_;
+  std::vector<std::pair<PhysicalDevice*, PhysicalDevice*>> hard_wires_;
+  int64_t frames_elapsed_ = 0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_HW_BOARD_H_

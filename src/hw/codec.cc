@@ -1,0 +1,42 @@
+#include "src/hw/codec.h"
+
+namespace aud {
+
+Codec::Codec(uint32_t sample_rate_hz, size_t ring_frames)
+    : rate_(sample_rate_hz), play_ring_(ring_frames), capture_ring_(ring_frames) {}
+
+size_t Codec::WritePlayback(std::span<const Sample> frames) {
+  if (!frames.empty()) {
+    playback_started_ = true;
+  }
+  return play_ring_.Write(frames);
+}
+
+size_t Codec::ReadCapture(std::span<Sample> out) { return capture_ring_.Read(out); }
+
+void Codec::PumpPlayback(size_t frames, std::vector<Sample>* played) {
+  scratch_.assign(frames, 0);
+  size_t got = play_ring_.Read(scratch_);
+  if (playback_started_ && got < frames) {
+    underrun_frames_ += static_cast<int64_t>(frames - got);
+    if (!in_underrun_) {
+      ++underrun_events_;
+      in_underrun_ = true;
+    }
+  } else if (got == frames) {
+    in_underrun_ = false;
+  }
+  frames_played_ += static_cast<int64_t>(frames);
+  if (played != nullptr) {
+    played->insert(played->end(), scratch_.begin(), scratch_.end());
+  }
+}
+
+void Codec::PumpCapture(std::span<const Sample> frames_in) {
+  size_t wrote = capture_ring_.Write(frames_in);
+  if (wrote < frames_in.size()) {
+    overrun_frames_ += static_cast<int64_t>(frames_in.size() - wrote);
+  }
+}
+
+}  // namespace aud

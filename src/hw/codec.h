@@ -1,0 +1,104 @@
+// CODEC emulation. The paper's prototype needed only "a simple CODEC with
+// memory-mapped buffers" (section 6); this class reproduces that contract:
+// a sample-clocked device with a playback ring and a capture ring. The
+// server side writes/reads the rings; the "hardware" side (Pump*) consumes
+// and produces frames at the device's own rate, counting underruns and
+// overruns — the observable failures the paper's real-time design exists
+// to avoid.
+//
+// The codec keeps its own notion of time (frames elapsed). Per the paper's
+// footnote 8, completion times are computed against *this* clock, never
+// the server CPU clock.
+
+#ifndef SRC_HW_CODEC_H_
+#define SRC_HW_CODEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/ring_buffer.h"
+#include "src/common/sample.h"
+
+namespace aud {
+
+class Codec {
+ public:
+  // `ring_frames` is the depth of each direction's buffer (the "memory-
+  // mapped buffer" size); typical is 4-16 periods of 160 frames.
+  Codec(uint32_t sample_rate_hz, size_t ring_frames);
+
+  uint32_t sample_rate_hz() const { return rate_; }
+
+  // -- Server (software) side ----------------------------------------------
+
+  // Queues playback samples; returns frames accepted (short on full ring).
+  size_t WritePlayback(std::span<const Sample> frames);
+
+  // Frames of queued playback not yet consumed by the hardware.
+  size_t PlaybackQueued() const { return play_ring_.size(); }
+
+  // Free playback ring space in frames.
+  size_t PlaybackSpace() const { return play_ring_.free_space(); }
+
+  // Reads captured samples; returns frames read.
+  size_t ReadCapture(std::span<Sample> out);
+
+  size_t CaptureAvailable() const { return capture_ring_.size(); }
+
+  // -- Hardware side (driven by the board/engine pump) ---------------------
+
+  // Consumes `frames` frames of playback at the device rate. Missing data
+  // is rendered as silence and counted as underrun — unless nothing at all
+  // has ever been queued (an idle codec is not "underrunning"). The
+  // consumed audio is appended to `played` when non-null.
+  void PumpPlayback(size_t frames, std::vector<Sample>* played);
+
+  // Produces `frames` frames of capture data into the capture ring;
+  // overflow is dropped and counted.
+  void PumpCapture(std::span<const Sample> frames_in);
+
+  // -- Device clock and accounting ------------------------------------------
+
+  // Total frames the device has consumed (its sample clock).
+  int64_t device_frames() const { return frames_played_; }
+
+  // Device time in Ticks (microseconds on the device's crystal).
+  Ticks DeviceTime() const { return SamplesToTicks(frames_played_, rate_); }
+
+  // Device frame at which currently queued playback will finish. This is
+  // the number the player device reports to the command queue so the next
+  // command can be pre-issued sample-accurately (section 6.2).
+  int64_t PlaybackEndFrame() const {
+    return frames_played_ + static_cast<int64_t>(play_ring_.size());
+  }
+
+  int64_t underrun_frames() const { return underrun_frames_; }
+  int64_t overrun_frames() const { return overrun_frames_; }
+  // Number of distinct underrun episodes (gaps), not frames.
+  int64_t underrun_events() const { return underrun_events_; }
+
+  // True if the playback path has started (ever had data).
+  bool playback_started() const { return playback_started_; }
+
+  // Drops all queued playback (used by immediate Stop).
+  void FlushPlayback() { play_ring_.Clear(); }
+
+ private:
+  uint32_t rate_;
+  RingBuffer<Sample> play_ring_;
+  RingBuffer<Sample> capture_ring_;
+  int64_t frames_played_ = 0;
+  int64_t underrun_frames_ = 0;
+  int64_t underrun_events_ = 0;
+  int64_t overrun_frames_ = 0;
+  bool playback_started_ = false;
+  bool in_underrun_ = false;
+  std::vector<Sample> scratch_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_HW_CODEC_H_

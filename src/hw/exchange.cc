@@ -1,0 +1,218 @@
+#include "src/hw/exchange.h"
+
+#include <algorithm>
+
+#include "src/dsp/dtmf.h"
+
+namespace aud {
+
+namespace {
+// Ring cadence: 2 s on / 4 s off; a ring event fires at each burst start.
+constexpr int kRingPeriodSeconds = 6;
+}  // namespace
+
+ExchangeLine::ExchangeLine(Exchange* exchange, std::string number, std::string display_name,
+                           uint32_t rate, bool caller_id_enabled)
+    : exchange_(exchange),
+      number_(std::move(number)),
+      display_name_(std::move(display_name)),
+      rate_(rate),
+      caller_id_enabled_(caller_id_enabled) {}
+
+Status ExchangeLine::Dial(const std::string& number) {
+  if (state_ != LineState::kOnHook) {
+    return Status(ErrorCode::kBadState, "line not on-hook");
+  }
+  return exchange_->PlaceCall(this, number);
+}
+
+Status ExchangeLine::Answer() {
+  if (state_ != LineState::kRingingIn) {
+    return Status(ErrorCode::kBadState, "no incoming call");
+  }
+  exchange_->AnswerCall(this);
+  return Status::Ok();
+}
+
+void ExchangeLine::HangUp() { exchange_->TearDown(this); }
+
+void ExchangeLine::SendDtmf(const std::string& digits) {
+  if (state_ != LineState::kConnected) {
+    return;
+  }
+  auto tone = MakeDtmfString(digits, rate_);
+  dtmf_tx_.insert(dtmf_tx_.end(), tone.begin(), tone.end());
+  for (char d : digits) {
+    if (IsDtmfDigit(d)) {
+      dtmf_digits_.push_back(d);
+    }
+  }
+}
+
+void ExchangeLine::WriteTx(std::span<const Sample> frames) { tx_.Write(frames); }
+
+size_t ExchangeLine::ReadRx(std::span<Sample> out) {
+  size_t n = rx_.Read(out);
+  std::fill(out.begin() + static_cast<ptrdiff_t>(n), out.end(), 0);
+  return out.size();
+}
+
+void ExchangeLine::Emit(const Event& event) {
+  if (event_sink_) {
+    event_sink_(event);
+  }
+}
+
+ExchangeLine* Exchange::AddLine(const std::string& number, const std::string& display_name,
+                                bool caller_id_enabled) {
+  lines_.push_back(std::make_unique<ExchangeLine>(this, number, display_name, rate_,
+                                                  caller_id_enabled));
+  return lines_.back().get();
+}
+
+ExchangeLine* Exchange::FindLine(const std::string& number) {
+  for (auto& line : lines_) {
+    if (line->number() == number) {
+      return line.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Exchange::PlaceCall(ExchangeLine* caller, const std::string& number) {
+  ExchangeLine* callee = FindLine(number);
+  if (callee == nullptr || callee == caller) {
+    caller->state_ = LineState::kReorderTone;
+    caller->tone_ = std::make_unique<ProgressToneGenerator>(ProgressTone::kReorder, rate_);
+    caller->Emit({ExchangeLine::Event::Type::kProgress, CallState::kFailed, "", 0});
+    return Status::Ok();  // The dial itself succeeded; progress says failed.
+  }
+  if (callee->state_ != LineState::kOnHook) {
+    caller->state_ = LineState::kBusyTone;
+    caller->tone_ = std::make_unique<ProgressToneGenerator>(ProgressTone::kBusy, rate_);
+    caller->Emit({ExchangeLine::Event::Type::kProgress, CallState::kBusy, "", 0});
+    return Status::Ok();
+  }
+
+  caller->state_ = LineState::kRingingOut;
+  caller->peer_ = callee;
+  caller->tone_ = std::make_unique<ProgressToneGenerator>(ProgressTone::kRingback, rate_);
+  caller->Emit({ExchangeLine::Event::Type::kProgress, CallState::kRinging, "", 0});
+
+  callee->state_ = LineState::kRingingIn;
+  callee->peer_ = caller;
+  callee->ring_frame_counter_ = 0;
+  std::string caller_id;
+  if (callee->caller_id_enabled()) {
+    caller_id = caller->display_name().empty() ? caller->number() : caller->display_name();
+  }
+  callee->Emit({ExchangeLine::Event::Type::kRing, CallState::kRinging, caller_id, 0});
+  return Status::Ok();
+}
+
+void Exchange::AnswerCall(ExchangeLine* callee) {
+  ExchangeLine* caller = callee->peer_;
+  callee->state_ = LineState::kConnected;
+  callee->tone_.reset();
+  callee->Emit({ExchangeLine::Event::Type::kAnswered, CallState::kConnected, "", 0});
+  if (caller != nullptr) {
+    caller->state_ = LineState::kConnected;
+    caller->tone_.reset();
+    caller->Emit({ExchangeLine::Event::Type::kAnswered, CallState::kConnected, "", 0});
+  }
+}
+
+void Exchange::TearDown(ExchangeLine* line) {
+  ExchangeLine* peer = line->peer_;
+  line->state_ = LineState::kOnHook;
+  line->peer_ = nullptr;
+  line->tone_.reset();
+  line->tx_.Clear();
+  line->rx_.Clear();
+  line->dtmf_tx_.clear();
+  line->dtmf_digits_.clear();
+
+  if (peer != nullptr && peer->peer_ == line) {
+    peer->peer_ = nullptr;
+    if (peer->state_ == LineState::kConnected) {
+      // Far end went on-hook mid-call.
+      peer->state_ = LineState::kOnHook;
+      peer->Emit({ExchangeLine::Event::Type::kProgress, CallState::kHungUp, "", 0});
+    } else if (peer->state_ == LineState::kRingingIn) {
+      // Caller abandoned before answer.
+      peer->state_ = LineState::kOnHook;
+      peer->Emit({ExchangeLine::Event::Type::kProgress, CallState::kIdle, "", 0});
+    } else if (peer->state_ == LineState::kRingingOut) {
+      peer->state_ = LineState::kOnHook;
+      peer->Emit({ExchangeLine::Event::Type::kProgress, CallState::kHungUp, "", 0});
+    }
+  }
+}
+
+void Exchange::Advance(size_t frames) {
+  // Phase 1: collect each line's outgoing audio (voice + pending DTMF).
+  for (auto& line_ptr : lines_) {
+    ExchangeLine* line = line_ptr.get();
+    switch (line->state_) {
+      case LineState::kConnected: {
+        scratch_.assign(frames, 0);
+        size_t got = line->tx_.Read(scratch_);
+        std::fill(scratch_.begin() + static_cast<ptrdiff_t>(got), scratch_.end(), 0);
+        // Overlay in-band DTMF (replaces voice while a digit sounds, as a
+        // real sender's keypad would mute the microphone).
+        size_t overlay = std::min(frames, line->dtmf_tx_.size());
+        for (size_t i = 0; i < overlay; ++i) {
+          scratch_[i] = line->dtmf_tx_.front();
+          line->dtmf_tx_.pop_front();
+        }
+        if (line->peer_ != nullptr) {
+          line->peer_->rx_.Write(scratch_);
+          // Deliver one out-of-band digit per tone burst as it drains (the
+          // last digit is due once the queue is fully drained).
+          while (!line->dtmf_digits_.empty() &&
+                 line->dtmf_tx_.size() <=
+                     (line->dtmf_digits_.size() - 1) *
+                         static_cast<size_t>(rate_ * 140 / 1000)) {
+            char digit = line->dtmf_digits_.front();
+            line->dtmf_digits_.pop_front();
+            line->peer_->Emit(
+                {ExchangeLine::Event::Type::kDtmf, CallState::kConnected, "", digit});
+          }
+        }
+        break;
+      }
+      case LineState::kRingingOut:
+      case LineState::kBusyTone:
+      case LineState::kReorderTone: {
+        // The network renders a progress tone into the subscriber's ear.
+        scratch_.clear();
+        line->tone_->Generate(frames, &scratch_);
+        line->rx_.Write(scratch_);
+        // Drop whatever the subscriber says meanwhile.
+        line->tx_.Discard(frames);
+        break;
+      }
+      case LineState::kRingingIn: {
+        // Repeat ring bursts on cadence.
+        line->ring_frame_counter_ += static_cast<int64_t>(frames);
+        int64_t period = static_cast<int64_t>(rate_) * kRingPeriodSeconds;
+        if (line->ring_frame_counter_ >= period) {
+          line->ring_frame_counter_ -= period;
+          std::string caller_id;
+          if (line->caller_id_enabled() && line->peer_ != nullptr) {
+            caller_id = line->peer_->display_name().empty() ? line->peer_->number()
+                                                            : line->peer_->display_name();
+          }
+          line->Emit({ExchangeLine::Event::Type::kRing, CallState::kRinging, caller_id, 0});
+        }
+        line->tx_.Discard(frames);
+        break;
+      }
+      case LineState::kOnHook:
+        line->tx_.Discard(frames);
+        break;
+    }
+  }
+}
+
+}  // namespace aud

@@ -1,0 +1,156 @@
+// Simulated telephone exchange. Substitutes for the analog/ISDN telephone
+// network the paper's telephone device class talks to: call setup and
+// teardown, ringing with caller id, call-progress tones (dial/ringback/
+// busy/reorder), full-duplex audio relay between connected lines, and DTMF
+// transport (in-band tones plus out-of-band digit events, the way a line
+// card would decode them).
+//
+// The exchange is advanced in frames by the board pump, so the whole
+// telephone world shares the engine's time base deterministically.
+
+#ifndef SRC_HW_EXCHANGE_H_
+#define SRC_HW_EXCHANGE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ring_buffer.h"
+#include "src/common/sample.h"
+#include "src/common/status.h"
+#include "src/dsp/tone.h"
+#include "src/wire/protocol.h"
+
+namespace aud {
+
+class Exchange;
+
+// Subscriber-loop states.
+enum class LineState : uint8_t {
+  kOnHook = 0,
+  kRingingIn = 1,   // Incoming call; Answer() is legal.
+  kRingingOut = 2,  // Placed a call; hearing ringback.
+  kConnected = 3,
+  kBusyTone = 4,    // Called party was busy.
+  kReorderTone = 5, // Number unreachable / call failed.
+};
+
+// One subscriber line on the exchange.
+class ExchangeLine {
+ public:
+  // Events delivered to the subscriber equipment (the workstation's phone
+  // device or a scripted far-end party).
+  struct Event {
+    enum class Type : uint8_t {
+      kRing,        // Incoming ring burst; caller id attached if available.
+      kAnswered,    // Our outbound call was answered (or we answered).
+      kProgress,    // Call-state change (CallState in `state`).
+      kDtmf,        // Digit decoded from the far end.
+    };
+    Type type = Type::kProgress;
+    CallState state = CallState::kIdle;
+    std::string caller_id;
+    char digit = 0;
+  };
+  using EventSink = std::function<void(const Event&)>;
+
+  ExchangeLine(Exchange* exchange, std::string number, std::string display_name,
+               uint32_t rate, bool caller_id_enabled);
+
+  const std::string& number() const { return number_; }
+  const std::string& display_name() const { return display_name_; }
+  uint32_t rate() const { return rate_; }
+  LineState state() const { return state_; }
+  bool caller_id_enabled() const { return caller_id_enabled_; }
+
+  // Subscriber controls -----------------------------------------------------
+
+  // Places a call. Errors if the line is not on-hook.
+  Status Dial(const std::string& number);
+
+  // Answers an incoming call. Errors unless ringing-in.
+  Status Answer();
+
+  // Returns the line to on-hook, tearing down any call.
+  void HangUp();
+
+  // Sends touch-tone digits to the far end (audible in-band and delivered
+  // as digit events). Silently ignored when not connected.
+  void SendDtmf(const std::string& digits);
+
+  // Subscriber audio ---------------------------------------------------------
+
+  // Voice toward the network (what the far end hears).
+  void WriteTx(std::span<const Sample> frames);
+
+  // Voice from the network (far-end speech or progress tones). Pads with
+  // silence when less is available.
+  size_t ReadRx(std::span<Sample> out);
+
+  void SetEventSink(EventSink sink) { event_sink_ = std::move(sink); }
+
+ private:
+  friend class Exchange;
+
+  void Emit(const Event& event);
+
+  Exchange* exchange_;
+  std::string number_;
+  std::string display_name_;
+  uint32_t rate_;
+  bool caller_id_enabled_;
+
+  LineState state_ = LineState::kOnHook;
+  ExchangeLine* peer_ = nullptr;
+
+  RingBuffer<Sample> tx_{1 << 16};
+  RingBuffer<Sample> rx_{1 << 16};
+  // Pending in-band DTMF samples mixed into tx during Advance.
+  std::deque<Sample> dtmf_tx_;
+  // Digits pending out-of-band delivery to the peer (paired with the tone).
+  std::deque<char> dtmf_digits_;
+
+  std::unique_ptr<ProgressToneGenerator> tone_;
+  int64_t ring_frame_counter_ = 0;
+
+  EventSink event_sink_;
+};
+
+// The switch itself.
+class Exchange {
+ public:
+  explicit Exchange(uint32_t sample_rate_hz) : rate_(sample_rate_hz) {}
+
+  uint32_t sample_rate_hz() const { return rate_; }
+
+  // Registers a subscriber line. `display_name` is the caller-id text other
+  // parties see. The returned pointer remains owned by the exchange.
+  ExchangeLine* AddLine(const std::string& number, const std::string& display_name = "",
+                        bool caller_id_enabled = true);
+
+  // Finds a line by number; nullptr when absent.
+  ExchangeLine* FindLine(const std::string& number);
+
+  // Advances network time: relays audio between connected lines, renders
+  // progress tones, and repeats ring bursts on ringing lines.
+  void Advance(size_t frames);
+
+ private:
+  friend class ExchangeLine;
+
+  Status PlaceCall(ExchangeLine* caller, const std::string& number);
+  void AnswerCall(ExchangeLine* callee);
+  void TearDown(ExchangeLine* line);
+
+  uint32_t rate_;
+  std::vector<std::unique_ptr<ExchangeLine>> lines_;
+  std::vector<Sample> scratch_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_HW_EXCHANGE_H_

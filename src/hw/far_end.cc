@@ -1,0 +1,188 @@
+#include "src/hw/far_end.h"
+
+#include <cmath>
+
+namespace aud {
+
+namespace {
+// RMS above this fraction of full scale counts as "a tone".
+constexpr double kToneThreshold = 0.05;
+// RMS below this counts as silence.
+constexpr double kSilenceThreshold = 0.01;
+
+double BlockRms(std::span<const Sample> block) {
+  if (block.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (Sample s : block) {
+    double x = s / 32768.0;
+    acc += x * x;
+  }
+  return std::sqrt(acc / static_cast<double>(block.size()));
+}
+}  // namespace
+
+FarEndParty::FarEndParty(ExchangeLine* line)
+    : line_(line), rate_(line->rate()) {
+  line_->SetEventSink([this](const ExchangeLine::Event& event) { OnEvent(event); });
+}
+
+FarEndParty& FarEndParty::AnswerAfterRings(int rings) {
+  steps_.push_back({Step::Kind::kAnswerAfterRings, rings, 0, "", {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::DialAndWait(const std::string& number) {
+  steps_.push_back({Step::Kind::kDialAndWait, 0, 0, number, {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::WaitMs(int ms) {
+  steps_.push_back({Step::Kind::kWaitMs, ms, 0, "", {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::WaitForSilence(int ms, int timeout_ms) {
+  steps_.push_back({Step::Kind::kWaitForSilence, ms, timeout_ms, "", {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::WaitForTone(int timeout_ms) {
+  steps_.push_back({Step::Kind::kWaitForTone, timeout_ms, 0, "", {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::Speak(std::vector<Sample> samples) {
+  steps_.push_back({Step::Kind::kSpeak, 0, 0, "", std::move(samples)});
+  return *this;
+}
+
+FarEndParty& FarEndParty::SendDtmf(const std::string& digits) {
+  steps_.push_back({Step::Kind::kSendDtmf, 0, 0, digits, {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::RecordMs(int ms) {
+  steps_.push_back({Step::Kind::kRecordMs, ms, 0, "", {}});
+  return *this;
+}
+
+FarEndParty& FarEndParty::HangUp() {
+  steps_.push_back({Step::Kind::kHangUp, 0, 0, "", {}});
+  return *this;
+}
+
+void FarEndParty::OnEvent(const ExchangeLine::Event& event) {
+  switch (event.type) {
+    case ExchangeLine::Event::Type::kRing:
+      ++rings_seen_;
+      break;
+    case ExchangeLine::Event::Type::kAnswered:
+      answered_ = true;
+      last_progress_ = CallState::kConnected;
+      break;
+    case ExchangeLine::Event::Type::kProgress:
+      last_progress_ = event.state;
+      break;
+    case ExchangeLine::Event::Type::kDtmf:
+      break;
+  }
+}
+
+void FarEndParty::Advance(size_t frames) {
+  // Always drain rx so the line's buffer doesn't grow unbounded, and keep
+  // the audio for assertions.
+  rx_scratch_.assign(frames, 0);
+  line_->ReadRx(rx_scratch_);
+  heard_.insert(heard_.end(), rx_scratch_.begin(), rx_scratch_.end());
+
+  // Execute script steps; several can complete inside one tick (e.g. a
+  // HangUp immediately after a RecordMs ends).
+  while (step_ < steps_.size()) {
+    if (!StepDone(steps_[step_], rx_scratch_, frames)) {
+      break;
+    }
+    ++step_;
+    step_frames_ = 0;
+    quiet_frames_ = 0;
+    tone_seen_ = false;
+    speak_offset_ = 0;
+  }
+}
+
+bool FarEndParty::StepDone(Step& step, std::span<const Sample> rx, size_t frames) {
+  switch (step.kind) {
+    case Step::Kind::kAnswerAfterRings:
+      if (rings_seen_ >= step.count && line_->state() == LineState::kRingingIn) {
+        line_->Answer();
+        return true;
+      }
+      return false;
+
+    case Step::Kind::kDialAndWait:
+      if (step_frames_ == 0) {
+        line_->Dial(step.text);
+      }
+      step_frames_ += static_cast<int64_t>(frames);
+      if (answered_ && line_->state() == LineState::kConnected) {
+        return true;
+      }
+      // Busy or failed ends the whole script.
+      if (last_progress_ == CallState::kBusy || last_progress_ == CallState::kFailed) {
+        step_ = steps_.size() - 1;  // advance loop will move past the end
+        return true;
+      }
+      return false;
+
+    case Step::Kind::kWaitMs:
+      step_frames_ += static_cast<int64_t>(frames);
+      return step_frames_ >= static_cast<int64_t>(rate_) * step.count / 1000;
+
+    case Step::Kind::kWaitForSilence: {
+      step_frames_ += static_cast<int64_t>(frames);
+      if (BlockRms(rx) < kSilenceThreshold) {
+        quiet_frames_ += static_cast<int64_t>(frames);
+      } else {
+        quiet_frames_ = 0;
+      }
+      bool timed_out = step_frames_ >= static_cast<int64_t>(rate_) * step.aux / 1000;
+      return quiet_frames_ >= static_cast<int64_t>(rate_) * step.count / 1000 || timed_out;
+    }
+
+    case Step::Kind::kWaitForTone: {
+      step_frames_ += static_cast<int64_t>(frames);
+      double rms = BlockRms(rx);
+      if (rms >= kToneThreshold) {
+        tone_seen_ = true;
+      }
+      bool tone_over = tone_seen_ && rms < kSilenceThreshold;
+      bool timed_out = step_frames_ >= static_cast<int64_t>(rate_) * step.count / 1000;
+      return tone_over || timed_out;
+    }
+
+    case Step::Kind::kSpeak: {
+      size_t remaining = step.audio.size() - speak_offset_;
+      size_t n = remaining < frames ? remaining : frames;
+      line_->WriteTx(std::span<const Sample>(step.audio).subspan(speak_offset_, n));
+      speak_offset_ += n;
+      return speak_offset_ >= step.audio.size();
+    }
+
+    case Step::Kind::kSendDtmf:
+      line_->SendDtmf(step.text);
+      return true;
+
+    case Step::Kind::kRecordMs:
+      recorded_.insert(recorded_.end(), rx.begin(), rx.end());
+      step_frames_ += static_cast<int64_t>(frames);
+      return step_frames_ >= static_cast<int64_t>(rate_) * step.count / 1000;
+
+    case Step::Kind::kHangUp:
+      line_->HangUp();
+      return true;
+  }
+  return true;
+}
+
+}  // namespace aud

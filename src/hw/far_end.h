@@ -1,0 +1,118 @@
+// Scripted far-end party: a fake human (or machine) on an exchange line.
+// Tests and examples use it to drive the telephony paths end to end — a
+// caller who rings the workstation, waits for the answering machine's
+// greeting and beep, speaks a message, punches touch tones, and hangs up.
+
+#ifndef SRC_HW_FAR_END_H_
+#define SRC_HW_FAR_END_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/hw/exchange.h"
+
+namespace aud {
+
+class FarEndParty {
+ public:
+  // `line` must outlive the party.
+  explicit FarEndParty(ExchangeLine* line);
+
+  // -- Script steps (executed in order) -------------------------------------
+
+  // Waits for `rings` ring events, then answers.
+  FarEndParty& AnswerAfterRings(int rings = 1);
+
+  // Dials a number, then waits until the call connects (or fails, which
+  // ends the script).
+  FarEndParty& DialAndWait(const std::string& number);
+
+  // Waits wall-(exchange-)clock milliseconds.
+  FarEndParty& WaitMs(int ms);
+
+  // Waits until `ms` of near-silence has been heard (e.g. the greeting
+  // finished playing), bounded by `timeout_ms`.
+  FarEndParty& WaitForSilence(int ms = 400, int timeout_ms = 30000);
+
+  // Waits until a loud burst (>= threshold) is heard — e.g. the beep —
+  // then until it ends. Bounded by `timeout_ms`.
+  FarEndParty& WaitForTone(int timeout_ms = 30000);
+
+  // Plays samples into the call.
+  FarEndParty& Speak(std::vector<Sample> samples);
+
+  // Sends touch tones.
+  FarEndParty& SendDtmf(const std::string& digits);
+
+  // Records incoming audio for `ms` into recorded().
+  FarEndParty& RecordMs(int ms);
+
+  // Hangs up.
+  FarEndParty& HangUp();
+
+  // -- Execution -------------------------------------------------------------
+
+  // Advances the script by `frames` of exchange time. Call in lockstep with
+  // Exchange::Advance (after it, so rx audio for the tick is visible).
+  void Advance(size_t frames);
+
+  bool done() const { return step_ >= steps_.size(); }
+
+  // Everything heard while a RecordMs step was active.
+  const std::vector<Sample>& recorded() const { return recorded_; }
+
+  // All audio heard since creation (for assertions on greetings etc.).
+  const std::vector<Sample>& heard() const { return heard_; }
+
+  int rings_seen() const { return rings_seen_; }
+  CallState last_progress() const { return last_progress_; }
+
+ private:
+  struct Step {
+    enum class Kind : uint8_t {
+      kAnswerAfterRings,
+      kDialAndWait,
+      kWaitMs,
+      kWaitForSilence,
+      kWaitForTone,
+      kSpeak,
+      kSendDtmf,
+      kRecordMs,
+      kHangUp,
+    };
+    Kind kind;
+    int count = 0;        // rings / ms / timeout
+    int aux = 0;          // secondary ms
+    std::string text;     // number / digits
+    std::vector<Sample> audio;
+  };
+
+  void OnEvent(const ExchangeLine::Event& event);
+  bool StepDone(Step& step, std::span<const Sample> rx, size_t frames);
+
+  ExchangeLine* line_;
+  uint32_t rate_;
+  std::vector<Step> steps_;
+  size_t step_ = 0;
+
+  // Per-step progress state.
+  int64_t step_frames_ = 0;
+  int64_t quiet_frames_ = 0;
+  bool tone_seen_ = false;
+  size_t speak_offset_ = 0;
+
+  int rings_seen_ = 0;
+  bool answered_ = false;
+  CallState last_progress_ = CallState::kIdle;
+
+  std::vector<Sample> recorded_;
+  std::vector<Sample> heard_;
+  std::vector<Sample> rx_scratch_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_HW_FAR_END_H_

@@ -1,0 +1,46 @@
+#include "src/hw/microphone.h"
+
+#include <algorithm>
+
+namespace aud {
+
+MicrophoneUnit::MicrophoneUnit(std::string name, uint32_t rate, uint32_t ambient_domain,
+                               size_t ring_frames)
+    : PhysicalDevice(DeviceClass::kInput, std::move(name), rate, ambient_domain),
+      codec_(rate, ring_frames) {}
+
+AttrList MicrophoneUnit::Attributes() const {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kClass, static_cast<uint32_t>(DeviceClass::kInput));
+  attrs.SetString(AttrTag::kName, name());
+  attrs.SetU32(AttrTag::kSampleRate, sample_rate_hz());
+  attrs.SetU32(AttrTag::kAmbientDomain, ambient_domain());
+  return attrs;
+}
+
+void MicrophoneUnit::AddPendingAudio(std::vector<Sample> samples) {
+  if (pending_offset_ == pending_.size()) {
+    pending_ = std::move(samples);
+    pending_offset_ = 0;
+  } else {
+    pending_.insert(pending_.end(), samples.begin(), samples.end());
+  }
+}
+
+void MicrophoneUnit::Advance(size_t frames) {
+  period_.assign(frames, 0);
+  // Pending one-shot audio takes priority over the ambient source.
+  size_t from_pending = std::min(frames, pending_.size() - pending_offset_);
+  if (from_pending > 0) {
+    std::copy_n(pending_.begin() + static_cast<ptrdiff_t>(pending_offset_), from_pending,
+                period_.begin());
+    pending_offset_ += from_pending;
+  }
+  if (from_pending < frames && source_) {
+    source_(std::span<Sample>(period_).subspan(from_pending));
+  }
+  codec_.PumpCapture(period_);
+  frames_elapsed_ += static_cast<int64_t>(frames);
+}
+
+}  // namespace aud

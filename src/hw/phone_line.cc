@@ -1,0 +1,35 @@
+#include "src/hw/phone_line.h"
+
+namespace aud {
+
+PhoneLineUnit::PhoneLineUnit(std::string name, ExchangeLine* line, uint32_t ambient_domain,
+                             size_t ring_frames)
+    : PhysicalDevice(DeviceClass::kTelephone, std::move(name), line->rate(), ambient_domain),
+      line_(line),
+      tx_codec_(line->rate(), ring_frames),
+      rx_codec_(line->rate(), ring_frames) {}
+
+AttrList PhoneLineUnit::Attributes() const {
+  AttrList attrs = PhysicalDevice::Attributes();
+  attrs.SetString(AttrTag::kPhoneNumber, line_->number());
+  attrs.SetU32(AttrTag::kLineCount, 1);
+  attrs.SetBool(AttrTag::kCallerId, line_->caller_id_enabled());
+  attrs.SetBool(AttrTag::kDigitalLine, false);
+  return attrs;
+}
+
+void PhoneLineUnit::SetEventSink(EventSink sink) { line_->SetEventSink(std::move(sink)); }
+
+void PhoneLineUnit::Advance(size_t frames) {
+  // tx: drain what the server queued for playback toward the line.
+  scratch_.clear();
+  tx_codec_.PumpPlayback(frames, &scratch_);
+  line_->WriteTx(scratch_);
+
+  // rx: pull the far-end/tone audio into the capture ring.
+  scratch_.assign(frames, 0);
+  line_->ReadRx(scratch_);
+  rx_codec_.PumpCapture(scratch_);
+}
+
+}  // namespace aud

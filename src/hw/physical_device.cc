@@ -1,0 +1,14 @@
+#include "src/hw/physical_device.h"
+
+namespace aud {
+
+AttrList PhysicalDevice::Attributes() const {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kClass, static_cast<uint32_t>(class_));
+  attrs.SetString(AttrTag::kName, name_);
+  attrs.SetU32(AttrTag::kSampleRate, rate_);
+  attrs.SetU32(AttrTag::kAmbientDomain, domain_);
+  return attrs;
+}
+
+}  // namespace aud

@@ -1,0 +1,32 @@
+#include "src/hw/speaker.h"
+
+namespace aud {
+
+SpeakerUnit::SpeakerUnit(std::string name, uint32_t rate, uint32_t ambient_domain,
+                         size_t ring_frames, std::string position)
+    : PhysicalDevice(DeviceClass::kOutput, std::move(name), rate, ambient_domain),
+      codec_(rate, ring_frames),
+      position_(std::move(position)) {}
+
+AttrList SpeakerUnit::Attributes() const {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kClass, static_cast<uint32_t>(DeviceClass::kOutput));
+  attrs.SetString(AttrTag::kName, name());
+  attrs.SetU32(AttrTag::kSampleRate, sample_rate_hz());
+  attrs.SetU32(AttrTag::kAmbientDomain, ambient_domain());
+  attrs.SetString(AttrTag::kPosition, position_);
+  return attrs;
+}
+
+void SpeakerUnit::Advance(size_t frames) {
+  period_.clear();
+  codec_.PumpPlayback(frames, &period_);
+  if (capture_output_) {
+    played_.insert(played_.end(), period_.begin(), period_.end());
+  }
+  if (sink_) {
+    sink_(period_);
+  }
+}
+
+}  // namespace aud

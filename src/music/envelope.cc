@@ -1,0 +1,57 @@
+#include "src/music/envelope.h"
+
+namespace aud {
+
+AdsrEnvelope::AdsrEnvelope(const EnvelopeParams& params, uint32_t sample_rate_hz)
+    : params_(params), rate_(sample_rate_hz) {}
+
+void AdsrEnvelope::NoteOn() {
+  stage_ = Stage::kAttack;
+}
+
+void AdsrEnvelope::NoteOff() {
+  if (stage_ != Stage::kIdle) {
+    stage_ = Stage::kRelease;
+  }
+}
+
+double AdsrEnvelope::Next() {
+  auto per_sample = [this](uint16_t ms) {
+    double samples = static_cast<double>(rate_) * ms / 1000.0;
+    return samples < 1.0 ? 1.0 : 1.0 / samples;
+  };
+  double sustain = params_.sustain_centi / 10000.0;
+
+  switch (stage_) {
+    case Stage::kIdle:
+      level_ = 0.0;
+      break;
+    case Stage::kAttack:
+      level_ += per_sample(params_.attack_ms);
+      if (level_ >= 1.0) {
+        level_ = 1.0;
+        stage_ = Stage::kDecay;
+      }
+      break;
+    case Stage::kDecay:
+      level_ -= per_sample(params_.decay_ms) * (1.0 - sustain);
+      if (level_ <= sustain) {
+        level_ = sustain;
+        stage_ = Stage::kSustain;
+      }
+      break;
+    case Stage::kSustain:
+      level_ = sustain;
+      break;
+    case Stage::kRelease:
+      level_ -= per_sample(params_.release_ms) * sustain;
+      if (level_ <= 0.0) {
+        level_ = 0.0;
+        stage_ = Stage::kIdle;
+      }
+      break;
+  }
+  return level_;
+}
+
+}  // namespace aud

@@ -1,0 +1,42 @@
+// ADSR amplitude envelope for the music synthesizer device class.
+
+#ifndef SRC_MUSIC_ENVELOPE_H_
+#define SRC_MUSIC_ENVELOPE_H_
+
+#include <cstdint>
+
+namespace aud {
+
+struct EnvelopeParams {
+  uint16_t attack_ms = 10;
+  uint16_t decay_ms = 50;
+  // Sustain level in centi-percent of peak (7000 = 0.70).
+  uint16_t sustain_centi = 7000;
+  uint16_t release_ms = 100;
+};
+
+// Sample-stepped ADSR. NoteOn starts attack; NoteOff enters release.
+class AdsrEnvelope {
+ public:
+  AdsrEnvelope(const EnvelopeParams& params, uint32_t sample_rate_hz);
+
+  void NoteOn();
+  void NoteOff();
+
+  // Current amplitude in [0,1]; advances one sample per call.
+  double Next();
+
+  bool active() const { return stage_ != Stage::kIdle; }
+
+ private:
+  enum class Stage : uint8_t { kIdle, kAttack, kDecay, kSustain, kRelease };
+
+  EnvelopeParams params_;
+  uint32_t rate_;
+  Stage stage_ = Stage::kIdle;
+  double level_ = 0.0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_MUSIC_ENVELOPE_H_

@@ -1,0 +1,86 @@
+#include "src/music/note_synth.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aud {
+
+double MidiNoteFrequency(int midi_note) {
+  return 440.0 * std::pow(2.0, (midi_note - 69) / 12.0);
+}
+
+NoteSynthesizer::NoteSynthesizer(uint32_t sample_rate_hz) : rate_(sample_rate_hz) {}
+
+void NoteSynthesizer::NoteOn(uint8_t midi_note, uint8_t velocity, uint32_t duration_ms) {
+  ActiveNote note{.phase = 0.0,
+                  .phase_step = MidiNoteFrequency(midi_note) / rate_,
+                  .amplitude = velocity / 127.0,
+                  .sustain_remaining =
+                      static_cast<int64_t>(rate_) * duration_ms / 1000,
+                  .waveform = voice_.waveform,
+                  .envelope = AdsrEnvelope(voice_.envelope, rate_)};
+  note.envelope.NoteOn();
+  notes_.push_back(std::move(note));
+}
+
+namespace {
+double Oscillate(Waveform waveform, double phase) {
+  switch (waveform) {
+    case Waveform::kSine:
+      return std::sin(2.0 * std::numbers::pi * phase);
+    case Waveform::kSquare:
+      return phase < 0.5 ? 1.0 : -1.0;
+    case Waveform::kSawtooth:
+      return 2.0 * phase - 1.0;
+    case Waveform::kTriangle:
+      return phase < 0.5 ? 4.0 * phase - 1.0 : 3.0 - 4.0 * phase;
+  }
+  return 0.0;
+}
+}  // namespace
+
+void NoteSynthesizer::Generate(size_t n, std::vector<Sample>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    double mix = 0.0;
+    for (auto it = notes_.begin(); it != notes_.end();) {
+      ActiveNote& note = *it;
+      if (note.sustain_remaining > 0 && --note.sustain_remaining == 0) {
+        note.envelope.NoteOff();
+      }
+      double env = note.envelope.Next();
+      mix += Oscillate(note.waveform, note.phase) * env * note.amplitude * 0.35;
+      note.phase += note.phase_step;
+      if (note.phase >= 1.0) {
+        note.phase -= 1.0;
+      }
+      if (!note.envelope.active()) {
+        it = notes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    double v = mix * 32767.0;
+    if (v > 32767.0) {
+      v = 32767.0;
+    }
+    if (v < -32768.0) {
+      v = -32768.0;
+    }
+    out->push_back(static_cast<Sample>(v));
+  }
+}
+
+std::vector<Sample> NoteSynthesizer::RenderNote(uint8_t midi_note, uint8_t velocity,
+                                                uint32_t duration_ms) {
+  NoteSynthesizer scratch(rate_);
+  scratch.SetVoice(voice_);
+  scratch.NoteOn(midi_note, velocity, duration_ms);
+  std::vector<Sample> out;
+  size_t block = rate_ / 50;
+  while (!scratch.idle()) {
+    scratch.Generate(block, &out);
+  }
+  return out;
+}
+
+}  // namespace aud

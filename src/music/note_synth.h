@@ -1,0 +1,71 @@
+// Note-based music synthesis: the protocol's music-synthesizer device
+// class ("process note-based audio ... Note makes a sound", section 5.1).
+// Polyphonic: concurrent notes mix; voices carry waveform + ADSR settings
+// controlled by SetVoice.
+
+#ifndef SRC_MUSIC_NOTE_SYNTH_H_
+#define SRC_MUSIC_NOTE_SYNTH_H_
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/music/envelope.h"
+
+namespace aud {
+
+enum class Waveform : uint8_t {
+  kSine = 0,
+  kSquare = 1,
+  kSawtooth = 2,
+  kTriangle = 3,
+};
+
+struct VoiceSettings {
+  Waveform waveform = Waveform::kSine;
+  EnvelopeParams envelope;
+};
+
+// Frequency of a MIDI note number (A4 = 69 = 440 Hz).
+double MidiNoteFrequency(int midi_note);
+
+class NoteSynthesizer {
+ public:
+  explicit NoteSynthesizer(uint32_t sample_rate_hz);
+
+  // Replaces the voice used by subsequently started notes.
+  void SetVoice(const VoiceSettings& settings) { voice_ = settings; }
+  const VoiceSettings& voice() const { return voice_; }
+
+  // Starts a note that sustains for duration_ms then releases. Velocity
+  // 0..127 scales amplitude.
+  void NoteOn(uint8_t midi_note, uint8_t velocity, uint32_t duration_ms);
+
+  // Renders the next `n` samples of all live notes (appends to out).
+  void Generate(size_t n, std::vector<Sample>* out);
+
+  // One-shot: renders a complete note (sustain + release tail) to PCM.
+  std::vector<Sample> RenderNote(uint8_t midi_note, uint8_t velocity, uint32_t duration_ms);
+
+  size_t active_notes() const { return notes_.size(); }
+  bool idle() const { return notes_.empty(); }
+
+ private:
+  struct ActiveNote {
+    double phase = 0.0;
+    double phase_step = 0.0;
+    double amplitude = 1.0;
+    int64_t sustain_remaining = 0;  // samples until NoteOff
+    Waveform waveform = Waveform::kSine;
+    AdsrEnvelope envelope;
+  };
+
+  uint32_t rate_;
+  VoiceSettings voice_;
+  std::list<ActiveNote> notes_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_MUSIC_NOTE_SYNTH_H_

@@ -1,0 +1,38 @@
+#include "src/recognize/dtw.h"
+
+#include <algorithm>
+
+namespace aud {
+
+double DtwDistance(const std::vector<FeatureVector>& a, const std::vector<FeatureVector>& b) {
+  size_t n = a.size();
+  size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return kDtwInfinity;
+  }
+  if (n > 2 * m + 4 || m > 2 * n + 4) {
+    return kDtwInfinity;
+  }
+
+  // Rolling two-row DP with symmetric step pattern (diag/up/left).
+  std::vector<double> prev(m + 1, kDtwInfinity);
+  std::vector<double> cur(m + 1, kDtwInfinity);
+  prev[0] = 0.0;
+
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = kDtwInfinity;
+    for (size_t j = 1; j <= m; ++j) {
+      double cost = FeatureDistance(a[i - 1], b[j - 1]);
+      double best = std::min({prev[j - 1], prev[j], cur[j - 1]});
+      cur[j] = best == kDtwInfinity ? kDtwInfinity : best + cost;
+    }
+    std::swap(prev, cur);
+  }
+  double total = prev[m];
+  if (total == kDtwInfinity) {
+    return kDtwInfinity;
+  }
+  return total / static_cast<double>(n + m);
+}
+
+}  // namespace aud

@@ -1,0 +1,24 @@
+// Dynamic time warping over feature sequences: the classical
+// small-vocabulary template matcher of the paper's era. Computes the
+// normalized alignment cost between an utterance and a stored template.
+
+#ifndef SRC_RECOGNIZE_DTW_H_
+#define SRC_RECOGNIZE_DTW_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/recognize/features.h"
+
+namespace aud {
+
+// Normalized DTW distance (cost per aligned frame). Lower is more similar.
+// Returns +inf when either sequence is empty or the length ratio exceeds
+// the warping window (a sequence can't warp to more than ~2x its length).
+double DtwDistance(const std::vector<FeatureVector>& a, const std::vector<FeatureVector>& b);
+
+inline constexpr double kDtwInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace aud
+
+#endif  // SRC_RECOGNIZE_DTW_H_

@@ -1,0 +1,80 @@
+#include "src/recognize/endpoint.h"
+
+#include <cmath>
+
+namespace aud {
+
+namespace {
+constexpr int kFrameMs = 20;
+
+double FrameRms(std::span<const Sample> frame) {
+  if (frame.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (Sample s : frame) {
+    double x = s / 32768.0;
+    acc += x * x;
+  }
+  return std::sqrt(acc / static_cast<double>(frame.size()));
+}
+}  // namespace
+
+Endpointer::Endpointer(uint32_t sample_rate_hz) : Endpointer(sample_rate_hz, Options{}) {}
+
+Endpointer::Endpointer(uint32_t sample_rate_hz, Options options)
+    : rate_(sample_rate_hz),
+      options_(options),
+      frame_len_(static_cast<size_t>(sample_rate_hz) * kFrameMs / 1000) {}
+
+void Endpointer::Process(std::span<const Sample> in, const UtteranceSink& sink) {
+  for (Sample s : in) {
+    frame_.push_back(s);
+    if (frame_.size() == frame_len_) {
+      AnalyzeFrame(sink);
+      frame_.clear();
+    }
+  }
+}
+
+void Endpointer::AnalyzeFrame(const UtteranceSink& sink) {
+  bool speech = FrameRms(frame_) >= options_.speech_threshold;
+
+  if (!in_utterance_) {
+    if (speech) {
+      in_utterance_ = true;
+      silent_frames_ = 0;
+      current_.assign(frame_.begin(), frame_.end());
+    }
+    return;
+  }
+
+  current_.insert(current_.end(), frame_.begin(), frame_.end());
+  silent_frames_ = speech ? 0 : silent_frames_ + 1;
+
+  bool ended = silent_frames_ * kFrameMs >= options_.end_silence_ms;
+  bool too_long = current_.size() >= static_cast<size_t>(rate_) * options_.max_utterance_ms / 1000;
+  if (ended || too_long) {
+    // Trim trailing silence frames.
+    size_t trim = static_cast<size_t>(silent_frames_) * frame_len_;
+    if (trim < current_.size()) {
+      current_.resize(current_.size() - trim);
+    }
+    if (current_.size() >= static_cast<size_t>(rate_) * options_.min_utterance_ms / 1000 &&
+        sink) {
+      sink(std::move(current_));
+    }
+    current_.clear();
+    in_utterance_ = false;
+    silent_frames_ = 0;
+  }
+}
+
+void Endpointer::Reset() {
+  frame_.clear();
+  current_.clear();
+  in_utterance_ = false;
+  silent_frames_ = 0;
+}
+
+}  // namespace aud

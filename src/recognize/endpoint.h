@@ -1,0 +1,57 @@
+// Utterance endpointing: segments a continuous audio stream into
+// utterances by energy, so the recognizer can match isolated words — the
+// "careful speaking style" constraint the paper notes for era recognizers.
+
+#ifndef SRC_RECOGNIZE_ENDPOINT_H_
+#define SRC_RECOGNIZE_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+class Endpointer {
+ public:
+  struct Options {
+    // RMS (fraction of full scale) above which a frame is speech.
+    double speech_threshold = 0.02;
+    // Trailing silence that ends an utterance.
+    int end_silence_ms = 250;
+    // Minimum utterance length to report (filters clicks).
+    int min_utterance_ms = 100;
+    // Hard cap on utterance length.
+    int max_utterance_ms = 3000;
+  };
+
+  explicit Endpointer(uint32_t sample_rate_hz);
+  Endpointer(uint32_t sample_rate_hz, Options options);
+
+  // Feeds audio. Every completed utterance is returned via the callback.
+  using UtteranceSink = std::function<void(std::vector<Sample> utterance)>;
+  void Process(std::span<const Sample> in, const UtteranceSink& sink);
+
+  // True while inside a (possibly still growing) utterance.
+  bool in_utterance() const { return in_utterance_; }
+
+  void Reset();
+
+ private:
+  void AnalyzeFrame(const UtteranceSink& sink);
+
+  uint32_t rate_;
+  Options options_;
+  size_t frame_len_;
+  std::vector<Sample> frame_;
+  std::vector<Sample> current_;
+  bool in_utterance_ = false;
+  int silent_frames_ = 0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_RECOGNIZE_ENDPOINT_H_

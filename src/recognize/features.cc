@@ -1,0 +1,74 @@
+#include "src/recognize/features.h"
+
+#include <cmath>
+
+#include "src/dsp/goertzel.h"
+
+namespace aud {
+
+namespace {
+// Filter-bank center frequencies (Hz): roughly mel-spaced over telephone
+// bandwidth.
+constexpr std::array<double, 6> kBandCenters = {250, 500, 1000, 1750, 2500, 3400};
+}  // namespace
+
+FeatureVector ExtractFrameFeatures(std::span<const Sample> frame, uint32_t sample_rate_hz) {
+  FeatureVector f{};
+  if (frame.empty()) {
+    return f;
+  }
+
+  // Log energy.
+  double energy = 0.0;
+  for (Sample s : frame) {
+    double x = s / 32768.0;
+    energy += x * x;
+  }
+  energy /= static_cast<double>(frame.size());
+  f[0] = std::log10(energy + 1e-9);
+
+  // Zero-crossing rate.
+  int crossings = 0;
+  for (size_t i = 1; i < frame.size(); ++i) {
+    if ((frame[i - 1] >= 0) != (frame[i] >= 0)) {
+      ++crossings;
+    }
+  }
+  f[1] = static_cast<double>(crossings) / static_cast<double>(frame.size());
+
+  // Band energies, normalized so spectral *shape* dominates over level.
+  double total = 1e-9;
+  std::array<double, kBandCenters.size()> bands;
+  for (size_t b = 0; b < kBandCenters.size(); ++b) {
+    bands[b] = GoertzelPower(frame, kBandCenters[b], sample_rate_hz);
+    total += bands[b];
+  }
+  for (size_t b = 0; b < kBandCenters.size(); ++b) {
+    f[2 + b] = bands[b] / total;
+  }
+  return f;
+}
+
+std::vector<FeatureVector> ExtractFeatures(std::span<const Sample> samples,
+                                           uint32_t sample_rate_hz) {
+  size_t frame_len = static_cast<size_t>(sample_rate_hz) * kFeatureFrameMs / 1000;
+  std::vector<FeatureVector> out;
+  if (frame_len == 0) {
+    return out;
+  }
+  for (size_t pos = 0; pos + frame_len <= samples.size(); pos += frame_len) {
+    out.push_back(ExtractFrameFeatures(samples.subspan(pos, frame_len), sample_rate_hz));
+  }
+  return out;
+}
+
+double FeatureDistance(const FeatureVector& a, const FeatureVector& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < kFeatureDim; ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace aud

@@ -1,0 +1,40 @@
+// Acoustic feature extraction for the word recognizer: the "digital signal
+// processor" half of recognition the paper describes (section 1.1). Each
+// 20 ms frame yields a small feature vector — log energy, zero-crossing
+// rate, and a 6-band filter-bank energy profile — which is cheap enough
+// for a general-purpose CPU and adequate for small-vocabulary DTW.
+
+#ifndef SRC_RECOGNIZE_FEATURES_H_
+#define SRC_RECOGNIZE_FEATURES_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Features per frame: [0] log energy, [1] zero-crossing rate, [2..7]
+// normalized band energies.
+inline constexpr size_t kFeatureDim = 8;
+using FeatureVector = std::array<double, kFeatureDim>;
+
+// Frame length used throughout the recognizer.
+inline constexpr int kFeatureFrameMs = 20;
+
+// Extracts a feature vector from one frame of samples.
+FeatureVector ExtractFrameFeatures(std::span<const Sample> frame, uint32_t sample_rate_hz);
+
+// Extracts features for a whole utterance (trailing partial frame is
+// dropped).
+std::vector<FeatureVector> ExtractFeatures(std::span<const Sample> samples,
+                                           uint32_t sample_rate_hz);
+
+// Euclidean distance between two feature vectors.
+double FeatureDistance(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace aud
+
+#endif  // SRC_RECOGNIZE_FEATURES_H_

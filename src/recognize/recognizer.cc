@@ -1,0 +1,155 @@
+#include "src/recognize/recognizer.h"
+
+#include <cmath>
+
+#include "src/common/byte_io.h"
+
+namespace aud {
+
+WordRecognizer::WordRecognizer(uint32_t sample_rate_hz)
+    : rate_(sample_rate_hz), endpointer_(sample_rate_hz) {}
+
+void WordRecognizer::Train(const std::string& word, std::span<const Sample> example) {
+  auto features = ExtractFeatures(example, rate_);
+  if (features.empty()) {
+    return;
+  }
+  templates_[word].push_back(std::move(features));
+}
+
+void WordRecognizer::SetVocabulary(const std::vector<std::string>& words) {
+  vocabulary_.clear();
+  vocabulary_.insert(words.begin(), words.end());
+  context_.clear();
+}
+
+void WordRecognizer::AdjustContext(const std::vector<std::string>& active_words) {
+  context_.clear();
+  context_.insert(active_words.begin(), active_words.end());
+}
+
+bool WordRecognizer::WordActive(const std::string& word) const {
+  if (!vocabulary_.empty() && vocabulary_.find(word) == vocabulary_.end()) {
+    return false;
+  }
+  if (!context_.empty() && context_.find(word) == context_.end()) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<RecognitionResult> WordRecognizer::RecognizeUtterance(
+    std::span<const Sample> utterance) const {
+  auto features = ExtractFeatures(utterance, rate_);
+  if (features.empty()) {
+    return std::nullopt;
+  }
+
+  double best = kDtwInfinity;
+  double second = kDtwInfinity;
+  const std::string* best_word = nullptr;
+  for (const auto& [word, examples] : templates_) {
+    if (!WordActive(word)) {
+      continue;
+    }
+    for (const auto& tmpl : examples) {
+      double d = DtwDistance(features, tmpl);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_word = &word;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+  }
+
+  if (best_word == nullptr || best > rejection_threshold_) {
+    return std::nullopt;
+  }
+
+  // Confidence from distance and margin over the runner-up.
+  double closeness = 1.0 - best / rejection_threshold_;
+  double margin = second == kDtwInfinity ? 1.0
+                                         : std::min(1.0, (second - best) / (best + 1e-9));
+  double confidence = 0.5 * closeness + 0.5 * margin;
+  RecognitionResult result;
+  result.word = *best_word;
+  result.score = static_cast<uint32_t>(std::lround(confidence * 10000.0));
+  return result;
+}
+
+void WordRecognizer::ProcessStream(std::span<const Sample> in, const ResultSink& sink) {
+  endpointer_.Process(in, [&](std::vector<Sample> utterance) {
+    auto result = RecognizeUtterance(utterance);
+    if (result && sink) {
+      sink(*result);
+    }
+  });
+}
+
+std::vector<uint8_t> WordRecognizer::SaveTemplates() const {
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(templates_.size()));
+  for (const auto& [word, examples] : templates_) {
+    w.WriteString(word);
+    w.WriteU32(static_cast<uint32_t>(examples.size()));
+    for (const auto& tmpl : examples) {
+      w.WriteU32(static_cast<uint32_t>(tmpl.size()));
+      for (const FeatureVector& f : tmpl) {
+        for (double v : f) {
+          // Fixed-point at 1e-6 resolution keeps the format byte-stable.
+          w.WriteI64(static_cast<int64_t>(std::llround(v * 1e6)));
+        }
+      }
+    }
+  }
+  return w.Take();
+}
+
+bool WordRecognizer::LoadTemplates(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  std::map<std::string, std::vector<std::vector<FeatureVector>>> loaded;
+  uint32_t words = r.ReadU32();
+  for (uint32_t wi = 0; wi < words && r.ok(); ++wi) {
+    std::string word = r.ReadString();
+    uint32_t examples = r.ReadU32();
+    for (uint32_t e = 0; e < examples && r.ok(); ++e) {
+      uint32_t frames = r.ReadU32();
+      std::vector<FeatureVector> tmpl;
+      tmpl.reserve(frames);
+      for (uint32_t f = 0; f < frames && r.ok(); ++f) {
+        FeatureVector fv;
+        for (double& v : fv) {
+          v = static_cast<double>(r.ReadI64()) / 1e6;
+        }
+        tmpl.push_back(fv);
+      }
+      loaded[word].push_back(std::move(tmpl));
+    }
+  }
+  if (!r.ok()) {
+    return false;
+  }
+  templates_ = std::move(loaded);
+  return true;
+}
+
+size_t WordRecognizer::template_count() const {
+  size_t n = 0;
+  for (const auto& [word, examples] : templates_) {
+    n += examples.size();
+  }
+  return n;
+}
+
+std::vector<std::string> WordRecognizer::trained_words() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [word, examples] : templates_) {
+    out.push_back(word);
+  }
+  return out;
+}
+
+}  // namespace aud

@@ -1,0 +1,76 @@
+// Small-vocabulary isolated-word recognizer: DTW template matching over
+// endpointed utterances. Backs the protocol's speech-recognizer device
+// class: Train, SetVocabulary, AdjustContext, SaveVocabulary, and
+// asynchronous recognition-result events (section 5.1).
+
+#ifndef SRC_RECOGNIZE_RECOGNIZER_H_
+#define SRC_RECOGNIZE_RECOGNIZER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/recognize/dtw.h"
+#include "src/recognize/endpoint.h"
+#include "src/recognize/features.h"
+
+namespace aud {
+
+// A recognition result: the best-matching vocabulary word and a confidence
+// score in 0..10000 (protocol scale).
+struct RecognitionResult {
+  std::string word;
+  uint32_t score = 0;
+};
+
+class WordRecognizer {
+ public:
+  explicit WordRecognizer(uint32_t sample_rate_hz);
+
+  // Adds a training template for `word` from example audio. Multiple
+  // templates per word are kept (matching takes the best).
+  void Train(const std::string& word, std::span<const Sample> example);
+
+  // Restricts matching to `words` (the active vocabulary). Words without
+  // templates are ignored at match time. Empty = all trained words.
+  void SetVocabulary(const std::vector<std::string>& words);
+
+  // Further narrows the active context within the vocabulary (the paper's
+  // AdjustContext: per-application word subsets).
+  void AdjustContext(const std::vector<std::string>& active_words);
+
+  // Matches one already-endpointed utterance; nullopt when nothing scores
+  // above the rejection threshold.
+  std::optional<RecognitionResult> RecognizeUtterance(std::span<const Sample> utterance) const;
+
+  // Streaming mode: feed continuous audio; results are delivered through
+  // the callback as utterances complete.
+  using ResultSink = std::function<void(const RecognitionResult&)>;
+  void ProcessStream(std::span<const Sample> in, const ResultSink& sink);
+
+  // Serialization of the trained templates (SaveVocabulary support).
+  std::vector<uint8_t> SaveTemplates() const;
+  bool LoadTemplates(std::span<const uint8_t> data);
+
+  size_t template_count() const;
+  std::vector<std::string> trained_words() const;
+
+ private:
+  bool WordActive(const std::string& word) const;
+
+  uint32_t rate_;
+  std::map<std::string, std::vector<std::vector<FeatureVector>>> templates_;
+  std::set<std::string> vocabulary_;  // empty = everything
+  std::set<std::string> context_;    // empty = whole vocabulary
+  Endpointer endpointer_;
+
+  // Normalized DTW distance above which an utterance is rejected.
+  double rejection_threshold_ = 1.2;
+};
+
+}  // namespace aud
+
+#endif  // SRC_RECOGNIZE_RECOGNIZER_H_

@@ -1,0 +1,36 @@
+#include "src/server/connection.h"
+
+namespace aud {
+
+bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
+                            std::span<const uint8_t> payload) {
+  if (closed_.load()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!WriteMessage(stream_.get(), type, code, sequence, payload)) {
+    closed_.store(true);
+    return false;
+  }
+  return true;
+}
+
+bool ClientConnection::SendReply(uint16_t opcode, uint32_t sequence,
+                                 std::span<const uint8_t> payload) {
+  return Send(MessageType::kReply, opcode, sequence, payload);
+}
+
+bool ClientConnection::SendError(uint32_t sequence, const ErrorMessage& error) {
+  ByteWriter w;
+  error.Encode(&w);
+  return Send(MessageType::kError, static_cast<uint16_t>(error.code), sequence, w.bytes());
+}
+
+bool ClientConnection::SendEvent(const EventMessage& event) {
+  ByteWriter w;
+  event.Encode(&w);
+  return Send(MessageType::kEvent, static_cast<uint16_t>(event.type), last_sequence_.load(),
+              w.bytes());
+}
+
+}  // namespace aud

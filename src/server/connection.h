@@ -1,0 +1,60 @@
+// One client connection: the transport endpoint plus per-client protocol
+// state. The connection manager creates one of these per accepted stream
+// and keeps "a container object for each client connection" (section 6.1);
+// the object registry tags every resource with its owning connection so
+// disconnect cleanup is exact.
+
+#ifndef SRC_SERVER_CONNECTION_H_
+#define SRC_SERVER_CONNECTION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/transport/framer.h"
+#include "src/transport/stream.h"
+
+namespace aud {
+
+class ClientConnection {
+ public:
+  ClientConnection(uint32_t index, std::unique_ptr<ByteStream> stream)
+      : index_(index), stream_(std::move(stream)) {}
+
+  uint32_t index() const { return index_; }
+  ByteStream* stream() { return stream_.get(); }
+
+  const std::string& client_name() const { return client_name_; }
+  void set_client_name(std::string name) { client_name_ = std::move(name); }
+
+  bool closed() const { return closed_.load(); }
+  void MarkClosed() { closed_.store(true); }
+
+  // Sequence of the last request processed (stamped onto events, as in X).
+  uint32_t last_sequence() const { return last_sequence_.load(); }
+  void set_last_sequence(uint32_t seq) { last_sequence_.store(seq); }
+
+  // Writes one framed message. Serialized: requests processed on the
+  // reader thread and events emitted from the engine thread interleave
+  // safely. Returns false once the stream has failed.
+  bool Send(MessageType type, uint16_t code, uint32_t sequence,
+            std::span<const uint8_t> payload);
+
+  // Convenience senders.
+  bool SendReply(uint16_t opcode, uint32_t sequence, std::span<const uint8_t> payload);
+  bool SendError(uint32_t sequence, const ErrorMessage& error);
+  bool SendEvent(const EventMessage& event);
+
+ private:
+  uint32_t index_;
+  std::unique_ptr<ByteStream> stream_;
+  std::string client_name_;
+  std::mutex write_mu_;
+  std::atomic<bool> closed_{false};
+  std::atomic<uint32_t> last_sequence_{0};
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_CONNECTION_H_

@@ -1,0 +1,37 @@
+#include "src/server/core.h"
+
+#include <algorithm>
+
+#include "src/dsp/encoding.h"
+
+namespace aud {
+
+int64_t SoundObject::sample_count() const {
+  return SamplesInBytes(format_.encoding, static_cast<int64_t>(data_.size()));
+}
+
+void SoundObject::Write(uint64_t offset, std::span<const uint8_t> bytes) {
+  uint64_t end = offset + bytes.size();
+  if (end > data_.size()) {
+    data_.resize(end, 0);
+  }
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<ptrdiff_t>(offset));
+}
+
+std::vector<uint8_t> SoundObject::Read(uint64_t offset, uint32_t length) const {
+  if (offset >= data_.size()) {
+    return {};
+  }
+  uint64_t end = std::min<uint64_t>(offset + length, data_.size());
+  return std::vector<uint8_t>(data_.begin() + static_cast<ptrdiff_t>(offset),
+                              data_.begin() + static_cast<ptrdiff_t>(end));
+}
+
+size_t WireObject::Pull(size_t n, std::vector<Sample>* out) {
+  size_t take = std::min(n, buffer_.size());
+  out->insert(out->end(), buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(take));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(take));
+  return take;
+}
+
+}  // namespace aud

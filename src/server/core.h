@@ -1,0 +1,161 @@
+// Core server object model: the protocol entities a connection manipulates
+// (section 4.1's five pieces: connections, virtual devices, events, command
+// queues, sounds) plus wires and properties. These are declarations only;
+// behaviour lives in the per-concern .cc files.
+
+#ifndef SRC_SERVER_CORE_H_
+#define SRC_SERVER_CORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/sample.h"
+#include "src/common/status.h"
+#include "src/wire/attributes.h"
+#include "src/wire/messages.h"
+#include "src/wire/protocol.h"
+
+namespace aud {
+
+class Loud;
+class VirtualDevice;
+class WireObject;
+class SoundObject;
+class ServerState;
+
+// Marker for objects owned by the server itself (the device LOUD tree).
+inline constexpr uint32_t kServerOwner = 0xFFFFFFFFu;
+
+// Kinds of protocol objects a ResourceId can name.
+enum class ObjectKind : uint8_t {
+  kLoud = 0,
+  kVirtualDevice = 1,
+  kWire = 2,
+  kSound = 3,
+};
+
+// Base of every id-named server object.
+class ServerObject {
+ public:
+  ServerObject(ResourceId id, ObjectKind kind, uint32_t owner)
+      : id_(id), kind_(kind), owner_(owner) {}
+  virtual ~ServerObject() = default;
+
+  ServerObject(const ServerObject&) = delete;
+  ServerObject& operator=(const ServerObject&) = delete;
+
+  ResourceId id() const { return id_; }
+  ObjectKind kind() const { return kind_; }
+  // Connection index that owns this object (kServerOwner for server-owned).
+  uint32_t owner() const { return owner_; }
+
+ private:
+  ResourceId id_;
+  ObjectKind kind_;
+  uint32_t owner_;
+};
+
+// An X-style property: (name, value, type) triple (section 5.8).
+struct Property {
+  std::string type;
+  std::vector<uint8_t> value;
+};
+
+// Server-side sound: typed audio data (section 5.6). Data may be supplied
+// by the client (WriteSoundData), loaded from the catalogue, or produced by
+// a recorder.
+class SoundObject : public ServerObject {
+ public:
+  SoundObject(ResourceId id, uint32_t owner, AudioFormat format)
+      : ServerObject(id, ObjectKind::kSound, owner), format_(format) {}
+
+  const AudioFormat& format() const { return format_; }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t>& mutable_data() { return data_; }
+
+  uint64_t size_bytes() const { return data_.size(); }
+
+  // Whole samples stored.
+  int64_t sample_count() const;
+
+  // Writes `bytes` at byte `offset`, growing the sound as needed (zero-fill
+  // gaps). Real-time supply appends while a player drains.
+  void Write(uint64_t offset, std::span<const uint8_t> bytes);
+
+  // Reads up to `length` bytes at `offset`.
+  std::vector<uint8_t> Read(uint64_t offset, uint32_t length) const;
+
+ private:
+  AudioFormat format_;
+  std::vector<uint8_t> data_;
+};
+
+// A wire between two virtual-device ports (section 5.2). Carries linear
+// samples at the source device's rate; the destination resamples on pull
+// when rates differ. The declared AudioFormat is the protocol-level wire
+// type used for match checking.
+class WireObject : public ServerObject {
+ public:
+  WireObject(ResourceId id, uint32_t owner, VirtualDevice* src, uint16_t src_port,
+             VirtualDevice* dst, uint16_t dst_port, AudioFormat format)
+      : ServerObject(id, ObjectKind::kWire, owner),
+        src_(src),
+        src_port_(src_port),
+        dst_(dst),
+        dst_port_(dst_port),
+        format_(format) {}
+
+  VirtualDevice* src() const { return src_; }
+  uint16_t src_port() const { return src_port_; }
+  VirtualDevice* dst() const { return dst_; }
+  uint16_t dst_port() const { return dst_port_; }
+  const AudioFormat& format() const { return format_; }
+
+  // In-flight audio (linear, source rate).
+  std::vector<Sample>& buffer() { return buffer_; }
+
+  // Appends samples (called by the source device's produce step).
+  void Push(std::span<const Sample> samples) {
+    buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  }
+
+  // Appends samples with intra-tick alignment: if this wire has received
+  // fewer than `offset` samples during tick `tick_id`, the gap is filled
+  // with silence first. Used by queue-driven producers so a command that
+  // starts mid-tick (e.g. after a Delay expires) lands at the right sample
+  // position instead of the tick boundary.
+  void PushAt(int64_t tick_id, size_t offset, std::span<const Sample> samples) {
+    if (tick_id != last_tick_) {
+      last_tick_ = tick_id;
+      pushed_in_tick_ = 0;
+    }
+    if (pushed_in_tick_ < offset) {
+      buffer_.insert(buffer_.end(), offset - pushed_in_tick_, 0);
+      pushed_in_tick_ = offset;
+    }
+    Push(samples);
+    pushed_in_tick_ += samples.size();
+  }
+
+  // Moves up to `n` samples out (called by the destination's consume step).
+  size_t Pull(size_t n, std::vector<Sample>* out);
+
+ private:
+  VirtualDevice* src_;
+  uint16_t src_port_;
+  VirtualDevice* dst_;
+  uint16_t dst_port_;
+  AudioFormat format_;
+  std::vector<Sample> buffer_;
+  int64_t last_tick_ = -1;
+  size_t pushed_in_tick_ = 0;
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_CORE_H_

@@ -1,0 +1,295 @@
+// Speech synthesizer, speech recognizer and music synthesizer device
+// classes (section 5.1).
+
+#include <algorithm>
+
+#include "src/dsp/gain.h"
+#include "src/server/devices.h"
+#include "src/server/loud.h"
+#include "src/server/server_state.h"
+
+namespace aud {
+
+// ---------------------------------------------------------------------------
+// SynthesizerDevice
+// ---------------------------------------------------------------------------
+
+SynthesizerDevice::SynthesizerDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kSpeechSynthesizer, loud, std::move(attrs)) {
+  tts_ = std::make_unique<TextToSpeech>(loud->server()->engine_rate());
+  if (auto language = this->attrs().GetString(AttrTag::kLanguage)) {
+    tts_->SetLanguage(*language);
+  }
+}
+
+Status SynthesizerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  switch (spec.command) {
+    case DeviceCommand::kSpeakText: {
+      StringArg args = StringArg::Decode(spec.args);
+      pending_ = tts_->Synthesize(args.value);
+      pending_offset_ = 0;
+      set_command_running(true);
+      return Status::Ok();
+    }
+    case DeviceCommand::kSetTextLanguage:
+    case DeviceCommand::kSetValues:
+    case DeviceCommand::kSetExceptionList:
+      return ApplyControl(spec);
+    default:
+      return VirtualDevice::StartCommand(spec, tick);
+  }
+}
+
+Status SynthesizerDevice::ImmediateCommand(const CommandSpec& spec) {
+  switch (spec.command) {
+    case DeviceCommand::kSetTextLanguage:
+    case DeviceCommand::kSetValues:
+    case DeviceCommand::kSetExceptionList:
+      return ApplyControl(spec);
+    default:
+      return VirtualDevice::ImmediateCommand(spec);
+  }
+}
+
+Status SynthesizerDevice::ApplyControl(const CommandSpec& spec) {
+  switch (spec.command) {
+    case DeviceCommand::kSetTextLanguage: {
+      StringArg args = StringArg::Decode(spec.args);
+      if (!tts_->SetLanguage(args.value)) {
+        return Status(ErrorCode::kBadValue, "unsupported language: " + args.value);
+      }
+      return Status::Ok();
+    }
+    case DeviceCommand::kSetValues: {
+      ValuesArgs args = ValuesArgs::Decode(spec.args);
+      VoiceParameters& params = tts_->parameters();
+      if (auto pitch = args.values.GetU32(AttrTag::kPitch)) {
+        params.pitch_hz = static_cast<double>(*pitch);
+      }
+      if (auto rate = args.values.GetU32(AttrTag::kSpeakingRate)) {
+        params.speaking_rate = *rate / 100.0;
+      }
+      if (auto volume = args.values.GetU32(AttrTag::kVolume)) {
+        params.volume = *volume / 100.0;
+      }
+      if (auto shift = args.values.GetU32(AttrTag::kFormantShift)) {
+        params.formant_shift = *shift / 100.0;
+      }
+      return Status::Ok();
+    }
+    case DeviceCommand::kSetExceptionList: {
+      ExceptionListArgs args = ExceptionListArgs::Decode(spec.args);
+      for (const auto& [word, phonemes] : args.entries) {
+        tts_->AddException(word, phonemes);
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status(ErrorCode::kBadValue, "not a synthesizer control");
+  }
+}
+
+void SynthesizerDevice::AbortCommand() {
+  pending_.clear();
+  pending_offset_ = 0;
+  VirtualDevice::AbortCommand();
+}
+
+size_t SynthesizerDevice::Produce(EngineTick* tick, size_t frames) {
+  if (!CommandRunning() || paused()) {
+    return 0;
+  }
+  size_t available = pending_.size() - pending_offset_;
+  size_t n = std::min(frames, available);
+  if (n > 0) {
+    std::span<const Sample> block(pending_.data() + pending_offset_, n);
+    if (gain() != kUnityGain) {
+      std::vector<Sample> scaled(block.begin(), block.end());
+      ApplyGain(scaled, gain());
+      for (WireObject* wire : source_wires()) {
+        wire->PushAt(tick->start_frame, tick->branch_offset, scaled);
+      }
+    } else {
+      for (WireObject* wire : source_wires()) {
+        wire->PushAt(tick->start_frame, tick->branch_offset, block);
+      }
+    }
+    pending_offset_ += n;
+  }
+  if (pending_offset_ >= pending_.size()) {
+    pending_.clear();
+    pending_offset_ = 0;
+    set_command_running(false);
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// RecognizerDevice
+// ---------------------------------------------------------------------------
+
+RecognizerDevice::RecognizerDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kSpeechRecognizer, loud, std::move(attrs)) {
+  recognizer_ = std::make_unique<WordRecognizer>(loud->server()->engine_rate());
+  if (auto name = this->attrs().GetString(AttrTag::kVocabularyName)) {
+    auto& store = loud->server()->vocabularies();
+    auto it = store.find(*name);
+    if (it != store.end()) {
+      recognizer_->LoadTemplates(it->second);
+    }
+  }
+}
+
+Status RecognizerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  switch (spec.command) {
+    case DeviceCommand::kTrain:
+    case DeviceCommand::kSetVocabulary:
+    case DeviceCommand::kAdjustContext:
+    case DeviceCommand::kSaveVocabulary:
+      return ApplyControl(spec, tick);
+    default:
+      return VirtualDevice::StartCommand(spec, tick);
+  }
+}
+
+Status RecognizerDevice::ImmediateCommand(const CommandSpec& spec) {
+  switch (spec.command) {
+    case DeviceCommand::kTrain:
+    case DeviceCommand::kSetVocabulary:
+    case DeviceCommand::kAdjustContext:
+    case DeviceCommand::kSaveVocabulary:
+      return ApplyControl(spec, nullptr);
+    default:
+      return VirtualDevice::ImmediateCommand(spec);
+  }
+}
+
+Status RecognizerDevice::ApplyControl(const CommandSpec& spec, EngineTick* tick) {
+  ServerState* server = loud()->server();
+  switch (spec.command) {
+    case DeviceCommand::kTrain: {
+      TrainArgs args = TrainArgs::Decode(spec.args);
+      SoundObject* sound =
+          tick != nullptr ? tick->server->FindSound(args.sound) : server->FindSound(args.sound);
+      if (sound == nullptr) {
+        return Status(ErrorCode::kBadResource, "Train: no such sound");
+      }
+      // Decode the template audio to engine-rate linear.
+      StreamDecoder decoder(sound->format().encoding);
+      std::vector<Sample> linear;
+      decoder.Decode(sound->data(), &linear);
+      if (sound->format().sample_rate_hz != server->engine_rate()) {
+        Resampler resampler(sound->format().sample_rate_hz, server->engine_rate());
+        std::vector<Sample> resampled;
+        resampler.Process(linear, &resampled);
+        linear = std::move(resampled);
+      }
+      recognizer_->Train(args.word, linear);
+      return Status::Ok();
+    }
+    case DeviceCommand::kSetVocabulary: {
+      WordListArgs args = WordListArgs::Decode(spec.args);
+      recognizer_->SetVocabulary(args.words);
+      return Status::Ok();
+    }
+    case DeviceCommand::kAdjustContext: {
+      WordListArgs args = WordListArgs::Decode(spec.args);
+      recognizer_->AdjustContext(args.words);
+      return Status::Ok();
+    }
+    case DeviceCommand::kSaveVocabulary: {
+      StringArg args = StringArg::Decode(spec.args);
+      if (args.value.empty()) {
+        return Status(ErrorCode::kBadName, "SaveVocabulary: empty name");
+      }
+      server->vocabularies()[args.value] = recognizer_->SaveTemplates();
+      return Status::Ok();
+    }
+    default:
+      return Status(ErrorCode::kBadValue, "not a recognizer control");
+  }
+}
+
+void RecognizerDevice::Consume(EngineTick* tick) {
+  for (WireObject* wire : sink_wires()) {
+    pulled_.clear();
+    wire->Pull(tick->frames, &pulled_);
+    if (pulled_.empty()) {
+      continue;
+    }
+    recognizer_->ProcessStream(pulled_, [&](const RecognitionResult& result) {
+      RecognitionArgs args;
+      args.word = result.word;
+      args.score = result.score;
+      tick->server->EmitEvent(loud()->Root(), EventType::kRecognition, id(), args.Encode());
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MusicDevice
+// ---------------------------------------------------------------------------
+
+MusicDevice::MusicDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kMusicSynthesizer, loud, std::move(attrs)) {
+  synth_ = std::make_unique<NoteSynthesizer>(loud->server()->engine_rate());
+}
+
+Status MusicDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  switch (spec.command) {
+    case DeviceCommand::kNote: {
+      NoteArgs args = NoteArgs::Decode(spec.args);
+      synth_->NoteOn(args.midi_note, args.velocity, args.duration_ms);
+      set_command_running(true);
+      return Status::Ok();
+    }
+    case DeviceCommand::kSetVoice: {
+      VoiceArgs args = VoiceArgs::Decode(spec.args);
+      VoiceSettings settings;
+      settings.waveform = static_cast<Waveform>(args.waveform);
+      settings.envelope.attack_ms = args.attack_ms;
+      settings.envelope.decay_ms = args.decay_ms;
+      settings.envelope.sustain_centi = args.sustain_centi;
+      settings.envelope.release_ms = args.release_ms;
+      synth_->SetVoice(settings);
+      return Status::Ok();
+    }
+    default:
+      return VirtualDevice::StartCommand(spec, tick);
+  }
+}
+
+Status MusicDevice::ImmediateCommand(const CommandSpec& spec) {
+  if (spec.command == DeviceCommand::kSetVoice) {
+    return StartCommand(spec, nullptr);
+  }
+  return VirtualDevice::ImmediateCommand(spec);
+}
+
+void MusicDevice::AbortCommand() {
+  // Drop all live notes but keep the configured voice.
+  VoiceSettings voice = synth_->voice();
+  synth_ = std::make_unique<NoteSynthesizer>(loud()->server()->engine_rate());
+  synth_->SetVoice(voice);
+  VirtualDevice::AbortCommand();
+}
+
+size_t MusicDevice::Produce(EngineTick* tick, size_t frames) {
+  if (!CommandRunning() || paused()) {
+    return 0;
+  }
+  block_.clear();
+  synth_->Generate(frames, &block_);
+  if (gain() != kUnityGain) {
+    ApplyGain(block_, gain());
+  }
+  for (WireObject* wire : source_wires()) {
+    wire->PushAt(tick->start_frame, tick->branch_offset, block_);
+  }
+  if (synth_->idle()) {
+    set_command_running(false);
+  }
+  return frames;
+}
+
+}  // namespace aud

@@ -1,0 +1,189 @@
+// Telephone device class: call control plus duplex audio to/from the bound
+// phone line (sections 5.1 and 5.9).
+
+#include "src/dsp/gain.h"
+#include "src/server/devices.h"
+#include "src/server/loud.h"
+#include "src/server/server_state.h"
+
+namespace aud {
+
+TelephoneDevice::TelephoneDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kTelephone, loud, std::move(attrs)) {}
+
+void TelephoneDevice::Bind(PhysicalDevice* device, ResourceId device_loud_id) {
+  VirtualDevice::Bind(device, device_loud_id);
+  phone_ = dynamic_cast<PhoneLineUnit*>(device);
+  if (phone_ != nullptr) {
+    loud()->server()->BindTelephone(phone_, this);
+    switch (phone_->line_state()) {
+      case LineState::kConnected:
+        call_state_ = CallState::kConnected;
+        break;
+      case LineState::kRingingIn:
+      case LineState::kRingingOut:
+        call_state_ = CallState::kRinging;
+        break;
+      default:
+        call_state_ = CallState::kIdle;
+        break;
+    }
+  }
+}
+
+void TelephoneDevice::Unbind() {
+  if (phone_ != nullptr) {
+    loud()->server()->UnbindTelephone(phone_, this);
+  }
+  phone_ = nullptr;
+  VirtualDevice::Unbind();
+}
+
+Status TelephoneDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  if (phone_ == nullptr &&
+      (spec.command == DeviceCommand::kDial || spec.command == DeviceCommand::kAnswer ||
+       spec.command == DeviceCommand::kHangUp || spec.command == DeviceCommand::kSendDtmf)) {
+    return Status(ErrorCode::kBadState, "telephone not bound to a line");
+  }
+  switch (spec.command) {
+    case DeviceCommand::kDial: {
+      StringArg args = StringArg::Decode(spec.args);
+      // Arm completion state first: busy/failed progress can be emitted
+      // synchronously from inside Dial.
+      pending_ = DeviceCommand::kDial;
+      call_state_ = CallState::kDialing;
+      set_command_running(true);
+      Status status = phone_->Dial(args.value);
+      if (!status.ok()) {
+        pending_ = DeviceCommand::kStop;
+        set_command_running(false);
+        return status;
+      }
+      return Status::Ok();
+    }
+    case DeviceCommand::kAnswer: {
+      Status status = phone_->Answer();
+      if (!status.ok()) {
+        return status;
+      }
+      // The kAnswered line event (synchronous inside Answer's exchange
+      // call? no: emitted by exchange immediately) updates call_state_.
+      call_state_ = CallState::kConnected;
+      return Status::Ok();
+    }
+    case DeviceCommand::kHangUp:
+      phone_->HangUp();
+      call_state_ = CallState::kIdle;
+      return Status::Ok();
+    case DeviceCommand::kSendDtmf: {
+      StringArg args = StringArg::Decode(spec.args);
+      phone_->SendDtmf(args.value);
+      return Status::Ok();
+    }
+    default:
+      return VirtualDevice::StartCommand(spec, tick);
+  }
+}
+
+Status TelephoneDevice::ImmediateCommand(const CommandSpec& spec) {
+  switch (spec.command) {
+    case DeviceCommand::kHangUp:
+      if (phone_ != nullptr) {
+        phone_->HangUp();
+        call_state_ = CallState::kIdle;
+      }
+      return Status::Ok();
+    default:
+      return VirtualDevice::ImmediateCommand(spec);
+  }
+}
+
+void TelephoneDevice::AbortCommand() {
+  pending_ = DeviceCommand::kStop;
+  VirtualDevice::AbortCommand();
+}
+
+size_t TelephoneDevice::Produce(EngineTick* tick, size_t frames) {
+  if (phone_ == nullptr || source_wires().empty()) {
+    return 0;
+  }
+  scratch_.assign(frames, 0);
+  phone_->rx_codec().ReadCapture(scratch_);
+  if (gain() != kUnityGain) {
+    ApplyGain(scratch_, gain());
+  }
+  for (WireObject* wire : source_wires()) {
+    wire->Push(scratch_);
+  }
+  (void)tick;
+  return frames;
+}
+
+void TelephoneDevice::Consume(EngineTick* tick) {
+  if (phone_ == nullptr) {
+    return;
+  }
+  for (WireObject* wire : sink_wires()) {
+    scratch_.clear();
+    wire->Pull(tick->frames, &scratch_);
+    if (!scratch_.empty()) {
+      tick->server->AccumulateOutput(phone_, scratch_, gain());
+    }
+  }
+}
+
+void TelephoneDevice::OnLineEvent(const ExchangeLine::Event& event, EngineTick* tick) {
+  (void)tick;
+  ServerState* server = loud()->server();
+  Loud* root = loud()->Root();
+
+  switch (event.type) {
+    case ExchangeLine::Event::Type::kRing: {
+      call_state_ = CallState::kRinging;
+      TelephoneRingArgs args;
+      args.caller_id = event.caller_id;
+      args.line = 0;
+      server->EmitEvent(root, EventType::kTelephoneRing, id(), args.Encode());
+      break;
+    }
+    case ExchangeLine::Event::Type::kAnswered: {
+      call_state_ = CallState::kConnected;
+      if (pending_ == DeviceCommand::kDial && CommandRunning()) {
+        pending_ = DeviceCommand::kStop;
+        set_command_running(false);
+        CallProgressArgs done;
+        done.state = CallState::kConnected;
+        server->EmitEvent(root, EventType::kTelephoneDialDone, id(), done.Encode());
+      } else {
+        server->EmitEvent(root, EventType::kTelephoneAnswered, id(), {});
+      }
+      CallProgressArgs progress;
+      progress.state = CallState::kConnected;
+      server->EmitEvent(root, EventType::kCallProgress, id(), progress.Encode());
+      break;
+    }
+    case ExchangeLine::Event::Type::kProgress: {
+      call_state_ = event.state;
+      CallProgressArgs progress;
+      progress.state = event.state;
+      server->EmitEvent(root, EventType::kCallProgress, id(), progress.Encode());
+      if (pending_ == DeviceCommand::kDial && CommandRunning() &&
+          (event.state == CallState::kBusy || event.state == CallState::kFailed)) {
+        pending_ = DeviceCommand::kStop;
+        set_command_running(false);
+        CallProgressArgs done;
+        done.state = event.state;
+        server->EmitEvent(root, EventType::kTelephoneDialDone, id(), done.Encode());
+      }
+      break;
+    }
+    case ExchangeLine::Event::Type::kDtmf: {
+      DtmfReceivedArgs args;
+      args.digit = event.digit;
+      server->EmitEvent(root, EventType::kDtmfReceived, id(), args.Encode());
+      break;
+    }
+  }
+}
+
+}  // namespace aud

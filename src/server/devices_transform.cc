@@ -1,0 +1,221 @@
+// Transform device classes: mixer, crossbar, DSP. These run between the
+// produce and consume phases of the engine tick, pulling from their sink
+// wires and pushing onto their source wires.
+
+#include <algorithm>
+
+#include "src/dsp/gain.h"
+#include "src/server/devices.h"
+#include "src/server/loud.h"
+#include "src/server/server_state.h"
+
+namespace aud {
+
+// ---------------------------------------------------------------------------
+// MixerDevice
+// ---------------------------------------------------------------------------
+
+MixerDevice::MixerDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kMixer, loud, std::move(attrs)) {
+  inputs_ = static_cast<int>(this->attrs().GetU32(AttrTag::kInputPorts).value_or(2));
+  outputs_ = static_cast<int>(this->attrs().GetU32(AttrTag::kOutputPorts).value_or(1));
+  if (inputs_ < 1) {
+    inputs_ = 1;
+  }
+  if (outputs_ < 1) {
+    outputs_ = 1;
+  }
+  gains_.assign(static_cast<size_t>(inputs_), kUnityGain);
+}
+
+Status MixerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  if (spec.command == DeviceCommand::kSetInputGain) {
+    return SetInputGain(spec);
+  }
+  return VirtualDevice::StartCommand(spec, tick);
+}
+
+Status MixerDevice::ImmediateCommand(const CommandSpec& spec) {
+  if (spec.command == DeviceCommand::kSetInputGain) {
+    return SetInputGain(spec);
+  }
+  return VirtualDevice::ImmediateCommand(spec);
+}
+
+Status MixerDevice::SetInputGain(const CommandSpec& spec) {
+  InputGainArgs args = InputGainArgs::Decode(spec.args);
+  if (args.input >= gains_.size()) {
+    return Status(ErrorCode::kBadValue, "SetGain: no such mixer input");
+  }
+  gains_[args.input] = args.gain;
+  return Status::Ok();
+}
+
+int32_t MixerDevice::input_gain(uint16_t input) const {
+  return input < gains_.size() ? gains_[input] : kUnityGain;
+}
+
+size_t MixerDevice::Produce(EngineTick* tick, size_t frames) {
+  (void)tick;
+  if (source_wires().empty()) {
+    // Still drain inputs to keep wires bounded.
+    for (WireObject* wire : sink_wires()) {
+      pulled_.clear();
+      wire->Pull(frames, &pulled_);
+    }
+    return 0;
+  }
+  acc_.assign(frames, 0);
+  bool any = false;
+  for (WireObject* wire : sink_wires()) {
+    pulled_.clear();
+    wire->Pull(frames, &pulled_);
+    if (pulled_.empty()) {
+      continue;
+    }
+    any = true;
+    int32_t g = input_gain(wire->dst_port());
+    size_t n = std::min(pulled_.size(), acc_.size());
+    for (size_t i = 0; i < n; ++i) {
+      acc_[i] += static_cast<int32_t>(static_cast<int64_t>(pulled_[i]) * g / kUnityGain);
+    }
+  }
+  if (!any) {
+    return 0;
+  }
+  mixed_.resize(frames);
+  for (size_t i = 0; i < frames; ++i) {
+    mixed_[i] = SaturateSample(acc_[i]);
+  }
+  if (gain() != kUnityGain) {
+    ApplyGain(mixed_, gain());
+  }
+  for (WireObject* wire : source_wires()) {
+    wire->Push(mixed_);
+  }
+  return frames;
+}
+
+// ---------------------------------------------------------------------------
+// CrossbarDevice
+// ---------------------------------------------------------------------------
+
+CrossbarDevice::CrossbarDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kCrossbar, loud, std::move(attrs)) {
+  inputs_ = static_cast<int>(this->attrs().GetU32(AttrTag::kInputPorts).value_or(2));
+  outputs_ = static_cast<int>(this->attrs().GetU32(AttrTag::kOutputPorts).value_or(2));
+  if (inputs_ < 1) {
+    inputs_ = 1;
+  }
+  if (outputs_ < 1) {
+    outputs_ = 1;
+  }
+  matrix_.assign(static_cast<size_t>(inputs_ * outputs_), 0);
+}
+
+Status CrossbarDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
+  if (spec.command == DeviceCommand::kSetState) {
+    return SetState(spec);
+  }
+  return VirtualDevice::StartCommand(spec, tick);
+}
+
+Status CrossbarDevice::ImmediateCommand(const CommandSpec& spec) {
+  if (spec.command == DeviceCommand::kSetState) {
+    return SetState(spec);
+  }
+  return VirtualDevice::ImmediateCommand(spec);
+}
+
+Status CrossbarDevice::SetState(const CommandSpec& spec) {
+  CrossbarStateArgs args = CrossbarStateArgs::Decode(spec.args);
+  for (const auto& route : args.routes) {
+    if (route.input >= static_cast<uint16_t>(inputs_) ||
+        route.output >= static_cast<uint16_t>(outputs_)) {
+      return Status(ErrorCode::kBadValue, "SetState: route out of range");
+    }
+    matrix_[static_cast<size_t>(route.input) * static_cast<size_t>(outputs_) + route.output] =
+        route.enabled;
+  }
+  return Status::Ok();
+}
+
+bool CrossbarDevice::route_enabled(uint16_t input, uint16_t output) const {
+  if (input >= static_cast<uint16_t>(inputs_) || output >= static_cast<uint16_t>(outputs_)) {
+    return false;
+  }
+  return matrix_[static_cast<size_t>(input) * static_cast<size_t>(outputs_) + output] != 0;
+}
+
+size_t CrossbarDevice::Produce(EngineTick* tick, size_t frames) {
+  (void)tick;
+  // Pull every input once.
+  pulled_.assign(static_cast<size_t>(inputs_), {});
+  for (WireObject* wire : sink_wires()) {
+    uint16_t port = wire->dst_port();
+    if (port < pulled_.size()) {
+      wire->Pull(frames, &pulled_[port]);
+    } else {
+      std::vector<Sample> discard;
+      wire->Pull(frames, &discard);
+    }
+  }
+  // Route to each output.
+  for (WireObject* wire : source_wires()) {
+    uint16_t out_port = wire->src_port();
+    acc_.assign(frames, 0);
+    bool any = false;
+    for (int in = 0; in < inputs_; ++in) {
+      if (!route_enabled(static_cast<uint16_t>(in), out_port)) {
+        continue;
+      }
+      const std::vector<Sample>& src = pulled_[static_cast<size_t>(in)];
+      if (src.empty()) {
+        continue;
+      }
+      any = true;
+      size_t n = std::min(src.size(), acc_.size());
+      for (size_t i = 0; i < n; ++i) {
+        acc_[i] += src[i];
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    out_.resize(frames);
+    for (size_t i = 0; i < frames; ++i) {
+      out_[i] = SaturateSample(acc_[i]);
+    }
+    wire->Push(out_);
+  }
+  return frames;
+}
+
+// ---------------------------------------------------------------------------
+// DspDevice
+// ---------------------------------------------------------------------------
+
+DspDevice::DspDevice(ResourceId id, uint32_t owner, Loud* loud, AttrList attrs)
+    : VirtualDevice(id, owner, DeviceClass::kDsp, loud, std::move(attrs)) {}
+
+size_t DspDevice::Produce(EngineTick* tick, size_t frames) {
+  (void)tick;
+  size_t produced = 0;
+  for (WireObject* wire : sink_wires()) {
+    pulled_.clear();
+    wire->Pull(frames, &pulled_);
+    if (pulled_.empty()) {
+      continue;
+    }
+    if (gain() != kUnityGain) {
+      ApplyGain(pulled_, gain());
+    }
+    for (WireObject* out : source_wires()) {
+      out->Push(pulled_);
+    }
+    produced = std::max(produced, pulled_.size());
+  }
+  return produced;
+}
+
+}  // namespace aud

@@ -1,0 +1,715 @@
+// Request dispatcher: decodes each framed request, validates it against
+// the object registry, performs it, and sends replies or asynchronous
+// errors (section 4.1's request/reply/error model). Runs with the server
+// mutex held.
+
+#include "src/server/server.h"
+
+namespace aud {
+
+namespace {
+
+// Largest accepted sound (64 MiB): a resource-exhaustion guard.
+constexpr uint64_t kMaxSoundBytes = 64ull << 20;
+
+ErrorMessage MakeError(ErrorCode code, ResourceId resource, Opcode opcode,
+                       std::string detail = {}) {
+  ErrorMessage error;
+  error.code = code;
+  error.resource = resource;
+  error.opcode = static_cast<uint16_t>(opcode);
+  error.detail = std::move(detail);
+  return error;
+}
+
+}  // namespace
+
+void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& message) {
+  const uint32_t seq = message.header.sequence;
+  const Opcode opcode = static_cast<Opcode>(message.header.code);
+  ByteReader r(message.payload);
+
+  // Validates that a client-chosen id lies in the connection's block.
+  auto id_ok = [&](ResourceId id) {
+    ResourceId base = ClientIdBaseFor(conn->index());
+    return id >= base && id < base + kClientIdBlockSize;
+  };
+  auto send_error = [&](ErrorCode code, ResourceId resource, std::string detail = {}) {
+    conn->SendError(seq, MakeError(code, resource, opcode, std::move(detail)));
+  };
+  auto send_status = [&](const Status& status, ResourceId resource) {
+    if (!status.ok()) {
+      send_error(status.code(), resource, status.message());
+    }
+    return status.ok();
+  };
+  auto send_reply = [&](const auto& reply) {
+    ByteWriter w;
+    reply.Encode(&w);
+    conn->SendReply(static_cast<uint16_t>(opcode), seq, w.bytes());
+  };
+
+  switch (opcode) {
+    case Opcode::kNoOp:
+      break;
+
+    // -- LOUD tree ---------------------------------------------------------------
+
+    case Opcode::kCreateLoud: {
+      CreateLoudReq req = CreateLoudReq::Decode(&r);
+      if (!r.ok() || !id_ok(req.id)) {
+        send_error(ErrorCode::kBadIdChoice, req.id);
+        break;
+      }
+      Loud* parent = nullptr;
+      if (req.parent != kNoResource) {
+        parent = state_.FindLoud(req.parent);
+        if (parent == nullptr || parent->owner() != conn->index()) {
+          send_error(ErrorCode::kBadResource, req.parent, "bad parent LOUD");
+          break;
+        }
+      }
+      auto loud = std::make_unique<Loud>(req.id, conn->index(), &state_, parent,
+                                         std::move(req.attrs));
+      Loud* raw = loud.get();
+      if (send_status(state_.Register(std::move(loud)), req.id) && parent != nullptr) {
+        parent->AddChild(raw);
+      }
+      break;
+    }
+
+    case Opcode::kDestroyLoud: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr || loud->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      state_.Destroy(req.id);
+      state_.RecomputeActivation();
+      break;
+    }
+
+    case Opcode::kCreateVirtualDevice: {
+      CreateVirtualDeviceReq req = CreateVirtualDeviceReq::Decode(&r);
+      if (!r.ok() || !id_ok(req.id)) {
+        send_error(ErrorCode::kBadIdChoice, req.id);
+        break;
+      }
+      Loud* loud = state_.FindLoud(req.loud);
+      if (loud == nullptr || loud->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.loud, "bad LOUD for device");
+        break;
+      }
+      auto device = CreateVirtualDevice(req.id, conn->index(), req.device_class, loud,
+                                        std::move(req.attrs));
+      if (device == nullptr) {
+        send_error(ErrorCode::kBadValue, req.id, "unknown device class");
+        break;
+      }
+      VirtualDevice* raw = device.get();
+      if (send_status(state_.Register(std::move(device)), req.id)) {
+        loud->AddDevice(raw);
+        if (loud->Root()->mapped()) {
+          state_.RecomputeActivation();
+        }
+      }
+      break;
+    }
+
+    case Opcode::kDestroyVirtualDevice: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      VirtualDevice* device = state_.FindDevice(req.id);
+      if (device == nullptr || device->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      state_.Destroy(req.id);
+      break;
+    }
+
+    case Opcode::kAugmentVirtualDevice: {
+      AugmentVirtualDeviceReq req = AugmentVirtualDeviceReq::Decode(&r);
+      VirtualDevice* device = state_.FindDevice(req.id);
+      if (device == nullptr || device->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      device->mutable_attrs().Merge(req.attrs);
+      if (device->loud()->Root()->mapped()) {
+        state_.RecomputeActivation();
+      }
+      break;
+    }
+
+    case Opcode::kQueryVirtualDevice: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      VirtualDevice* device = state_.FindDevice(req.id);
+      if (device == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      VirtualDeviceReply reply;
+      reply.id = device->id();
+      reply.device_class = device->device_class();
+      reply.mapped = device->loud()->Root()->mapped() ? 1 : 0;
+      reply.active = device->active() ? 1 : 0;
+      reply.bound_device = device->bound_device_id();
+      reply.attrs = device->attrs();
+      if (device->bound_device() != nullptr) {
+        // Include the matched hardware's capabilities (section 5.3).
+        reply.attrs.Merge(device->bound_device()->Attributes());
+        reply.attrs.SetU32(AttrTag::kDeviceId, device->bound_device_id());
+      }
+      send_reply(reply);
+      break;
+    }
+
+    // -- Wires ---------------------------------------------------------------------
+
+    case Opcode::kCreateWire: {
+      CreateWireReq req = CreateWireReq::Decode(&r);
+      if (!r.ok() || !id_ok(req.id)) {
+        send_error(ErrorCode::kBadIdChoice, req.id);
+        break;
+      }
+      VirtualDevice* src = state_.FindDevice(req.src_device);
+      VirtualDevice* dst = state_.FindDevice(req.dst_device);
+      if (src == nullptr || dst == nullptr) {
+        send_error(ErrorCode::kBadResource,
+                   src == nullptr ? req.src_device : req.dst_device);
+        break;
+      }
+      if (src->loud()->Root() != dst->loud()->Root()) {
+        send_error(ErrorCode::kBadWiring, req.id, "wire crosses LOUD trees");
+        break;
+      }
+      if (req.src_port >= src->source_port_count() ||
+          req.dst_port >= dst->sink_port_count()) {
+        send_error(ErrorCode::kBadValue, req.id, "no such port");
+        break;
+      }
+      // Hard-wired constraint (section 5.2): if either endpoint is pinned
+      // (kDeviceId) to a device in a hard-wired group, the other endpoint,
+      // when also pinned, must name one of its permanent partners.
+      PhysicalDevice* src_phys = nullptr;
+      PhysicalDevice* dst_phys = nullptr;
+      if (auto pinned = src->attrs().GetU32(AttrTag::kDeviceId)) {
+        src_phys = state_.PhysicalForId(*pinned);
+      }
+      if (auto pinned = dst->attrs().GetU32(AttrTag::kDeviceId)) {
+        dst_phys = state_.PhysicalForId(*pinned);
+      }
+      if (src_phys != nullptr && dst_phys != nullptr &&
+          !state_.HardWireCompatible(src_phys, dst_phys)) {
+        send_error(ErrorCode::kBadWiring, req.id,
+                   "endpoints are hard-wired to different devices");
+        break;
+      }
+
+      AudioFormat src_format = src->PortFormat(true, req.src_port);
+      AudioFormat dst_format = dst->PortFormat(false, req.dst_port);
+      // Wire type checking (section 5.2): endpoint encodings must agree,
+      // and an explicitly typed wire must match both ends.
+      if (src_format.encoding != dst_format.encoding) {
+        send_error(ErrorCode::kBadMatch, req.id, "port encodings differ");
+        break;
+      }
+      if (req.has_format != 0 && req.format.encoding != src_format.encoding) {
+        send_error(ErrorCode::kBadMatch, req.id, "wire type does not match ports");
+        break;
+      }
+      AudioFormat wire_format = req.has_format != 0 ? req.format : src_format;
+      auto wire = std::make_unique<WireObject>(req.id, conn->index(), src, req.src_port, dst,
+                                               req.dst_port, wire_format);
+      WireObject* raw = wire.get();
+      if (send_status(state_.Register(std::move(wire)), req.id)) {
+        src->AttachWire(raw, true);
+        dst->AttachWire(raw, false);
+      }
+      break;
+    }
+
+    case Opcode::kDestroyWire: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      WireObject* wire = state_.FindWire(req.id);
+      if (wire == nullptr || wire->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      state_.Destroy(req.id);
+      break;
+    }
+
+    case Opcode::kQueryWires: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      VirtualDevice* device = state_.FindDevice(req.id);
+      if (device == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      WiresReply reply;
+      for (WireObject* wire : device->source_wires()) {
+        reply.wires.push_back(CompleteWireInfo(*wire));
+      }
+      for (WireObject* wire : device->sink_wires()) {
+        reply.wires.push_back(CompleteWireInfo(*wire));
+      }
+      send_reply(reply);
+      break;
+    }
+
+    // -- Mapping and the active stack ----------------------------------------------
+
+    case Opcode::kMapLoud: {
+      MapLoudReq req = MapLoudReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.loud);
+      // The redirect-holding audio manager may map other clients' LOUDs on
+      // their behalf (section 5.8).
+      bool is_manager = state_.redirect_conn() == conn->index();
+      if (loud == nullptr || (loud->owner() != conn->index() && !is_manager)) {
+        send_error(ErrorCode::kBadResource, req.loud);
+        break;
+      }
+      // Audio-manager redirection (section 5.8): the map request is sent
+      // to the manager instead of being performed.
+      if (state_.redirect_conn().has_value() && *state_.redirect_conn() != conn->index() &&
+          req.override_redirect == 0) {
+        MapRequestArgs args;
+        args.loud = req.loud;
+        EventMessage event;
+        event.type = EventType::kMapRequest;
+        event.resource = req.loud;
+        event.server_time = state_.server_time();
+        event.args = args.Encode();
+        for (auto& c : connections_) {
+          if (c->index() == *state_.redirect_conn()) {
+            c->SendEvent(event);
+          }
+        }
+        break;
+      }
+      send_status(state_.MapLoud(loud), req.loud);
+      break;
+    }
+
+    case Opcode::kUnmapLoud: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr || loud->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      send_status(state_.UnmapLoud(loud), req.id);
+      break;
+    }
+
+    case Opcode::kRaiseLoud:
+    case Opcode::kLowerLoud: {
+      MapLoudReq req = MapLoudReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.loud);
+      bool is_manager = state_.redirect_conn() == conn->index();
+      if (loud == nullptr || (loud->owner() != conn->index() && !is_manager)) {
+        send_error(ErrorCode::kBadResource, req.loud);
+        break;
+      }
+      if (state_.redirect_conn().has_value() && *state_.redirect_conn() != conn->index() &&
+          req.override_redirect == 0) {
+        MapRequestArgs args;
+        args.loud = req.loud;
+        args.raise = opcode == Opcode::kRaiseLoud ? 1 : 0;
+        EventMessage event;
+        event.type = EventType::kRestackRequest;
+        event.resource = req.loud;
+        event.server_time = state_.server_time();
+        event.args = args.Encode();
+        for (auto& c : connections_) {
+          if (c->index() == *state_.redirect_conn()) {
+            c->SendEvent(event);
+          }
+        }
+        break;
+      }
+      Status status = opcode == Opcode::kRaiseLoud ? state_.RaiseLoud(loud)
+                                                   : state_.LowerLoud(loud);
+      send_status(status, req.loud);
+      break;
+    }
+
+    // -- Sounds --------------------------------------------------------------------
+
+    case Opcode::kCreateSound: {
+      CreateSoundReq req = CreateSoundReq::Decode(&r);
+      if (!r.ok() || !id_ok(req.id)) {
+        send_error(ErrorCode::kBadIdChoice, req.id);
+        break;
+      }
+      if (req.format.sample_rate_hz == 0) {
+        send_error(ErrorCode::kBadValue, req.id, "zero sample rate");
+        break;
+      }
+      send_status(
+          state_.Register(std::make_unique<SoundObject>(req.id, conn->index(), req.format)),
+          req.id);
+      break;
+    }
+
+    case Opcode::kDestroySound: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      SoundObject* sound = state_.FindSound(req.id);
+      if (sound == nullptr || sound->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      state_.Destroy(req.id);
+      break;
+    }
+
+    case Opcode::kWriteSoundData: {
+      WriteSoundDataReq req = WriteSoundDataReq::Decode(&r);
+      SoundObject* sound = state_.FindSound(req.id);
+      if (sound == nullptr || !r.ok()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      if (req.offset + req.data.size() > kMaxSoundBytes) {
+        send_error(ErrorCode::kAlloc, req.id, "sound too large");
+        break;
+      }
+      sound->Write(req.offset, req.data);
+      break;
+    }
+
+    case Opcode::kReadSoundData: {
+      ReadSoundDataReq req = ReadSoundDataReq::Decode(&r);
+      SoundObject* sound = state_.FindSound(req.id);
+      if (sound == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      SoundDataReply reply;
+      reply.id = req.id;
+      reply.offset = req.offset;
+      reply.data = sound->Read(req.offset, req.length);
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kQuerySound: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      SoundObject* sound = state_.FindSound(req.id);
+      if (sound == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      SoundInfoReply reply;
+      reply.id = req.id;
+      reply.format = sound->format();
+      reply.size_bytes = sound->size_bytes();
+      reply.samples = static_cast<uint64_t>(sound->sample_count());
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kLoadCatalogueSound: {
+      NamedSoundReq req = NamedSoundReq::Decode(&r);
+      if (!r.ok() || !id_ok(req.id)) {
+        send_error(ErrorCode::kBadIdChoice, req.id);
+        break;
+      }
+      const CatalogueSound* entry = state_.FindCatalogueSound(req.name);
+      if (entry == nullptr) {
+        send_error(ErrorCode::kBadName, req.id, "no catalogue sound: " + req.name);
+        break;
+      }
+      auto sound = std::make_unique<SoundObject>(req.id, conn->index(), entry->format);
+      sound->Write(0, entry->data);
+      send_status(state_.Register(std::move(sound)), req.id);
+      break;
+    }
+
+    case Opcode::kSaveCatalogueSound: {
+      NamedSoundReq req = NamedSoundReq::Decode(&r);
+      SoundObject* sound = state_.FindSound(req.id);
+      if (sound == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      if (req.name.empty()) {
+        send_error(ErrorCode::kBadName, req.id, "empty catalogue name");
+        break;
+      }
+      CatalogueSound entry;
+      entry.format = sound->format();
+      entry.data = sound->data();
+      state_.catalogue()[req.name] = std::move(entry);
+      break;
+    }
+
+    case Opcode::kListCatalogue: {
+      CatalogueReply reply;
+      for (const auto& [name, entry] : state_.catalogue()) {
+        CatalogueEntry item;
+        item.name = name;
+        item.format = entry.format;
+        item.size_bytes = entry.data.size();
+        reply.entries.push_back(std::move(item));
+      }
+      send_reply(reply);
+      break;
+    }
+
+    // -- Command queues -------------------------------------------------------------
+
+    case Opcode::kEnqueueCommands: {
+      EnqueueCommandsReq req = EnqueueCommandsReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.loud);
+      if (loud == nullptr || loud->owner() != conn->index() || !r.ok()) {
+        send_error(ErrorCode::kBadResource, req.loud);
+        break;
+      }
+      send_status(loud->queue()->Enqueue(req.commands), req.loud);
+      break;
+    }
+
+    case Opcode::kImmediateCommand: {
+      ImmediateCommandReq req = ImmediateCommandReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.loud);
+      if (loud == nullptr || loud->owner() != conn->index() || !r.ok()) {
+        send_error(ErrorCode::kBadResource, req.loud);
+        break;
+      }
+      if (IsQueuedOnlyCommand(req.command.command)) {
+        send_error(ErrorCode::kBadValue, req.loud,
+                   "command is queued-mode only (section 5.1)");
+        break;
+      }
+      VirtualDevice* device = state_.FindDevice(req.command.device);
+      if (device == nullptr || device->loud()->Root() != loud->Root()) {
+        send_error(ErrorCode::kBadResource, req.command.device);
+        break;
+      }
+      send_status(device->ImmediateCommand(req.command), req.command.device);
+      break;
+    }
+
+    case Opcode::kStartQueue:
+    case Opcode::kStopQueue:
+    case Opcode::kPauseQueue:
+    case Opcode::kResumeQueue:
+    case Opcode::kFlushQueue: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr || loud->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      CommandQueue* queue = loud->queue();
+      Status status;
+      switch (opcode) {
+        case Opcode::kStartQueue:
+          status = queue->Start(nullptr);
+          break;
+        case Opcode::kStopQueue:
+          status = queue->Stop(nullptr);
+          break;
+        case Opcode::kPauseQueue:
+          status = queue->ClientPause(nullptr);
+          break;
+        case Opcode::kResumeQueue:
+          status = queue->Resume(nullptr);
+          break;
+        default:
+          queue->Flush();
+          break;
+      }
+      send_status(status, req.id);
+      break;
+    }
+
+    case Opcode::kQueryQueue: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      QueueStateReply reply;
+      reply.loud = loud->Root()->id();
+      reply.state = loud->queue()->state();
+      reply.depth = loud->queue()->Depth();
+      reply.current_tag = loud->queue()->CurrentTag();
+      send_reply(reply);
+      break;
+    }
+
+    // -- Events ----------------------------------------------------------------------
+
+    case Opcode::kSelectEvents: {
+      SelectEventsReq req = SelectEventsReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.resource);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.resource);
+        break;
+      }
+      if (req.mask == 0) {
+        loud->event_masks().erase(conn->index());
+      } else {
+        loud->event_masks()[conn->index()] = req.mask;
+      }
+      break;
+    }
+
+    case Opcode::kSetSyncMarks: {
+      SetSyncMarksReq req = SetSyncMarksReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.loud);
+      if (loud == nullptr || loud->owner() != conn->index()) {
+        send_error(ErrorCode::kBadResource, req.loud);
+        break;
+      }
+      loud->set_sync_interval_ms(req.interval_ms);
+      break;
+    }
+
+    // -- Properties and redirection ---------------------------------------------------
+
+    case Opcode::kChangeProperty: {
+      ChangePropertyReq req = ChangePropertyReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.resource);
+      if (loud == nullptr || !r.ok()) {
+        send_error(ErrorCode::kBadResource, req.resource);
+        break;
+      }
+      loud->properties()[req.name] = Property{req.type, req.value};
+      PropertyNotifyArgs args;
+      args.name = req.name;
+      args.deleted = 0;
+      state_.EmitEvent(loud, EventType::kPropertyNotify, req.resource, args.Encode());
+      break;
+    }
+
+    case Opcode::kDeleteProperty: {
+      NamedPropertyReq req = NamedPropertyReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.resource);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.resource);
+        break;
+      }
+      if (loud->properties().erase(req.name) > 0) {
+        PropertyNotifyArgs args;
+        args.name = req.name;
+        args.deleted = 1;
+        state_.EmitEvent(loud, EventType::kPropertyNotify, req.resource, args.Encode());
+      }
+      break;
+    }
+
+    case Opcode::kGetProperty: {
+      NamedPropertyReq req = NamedPropertyReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.resource);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.resource);
+        break;
+      }
+      PropertyReply reply;
+      reply.resource = req.resource;
+      reply.name = req.name;
+      auto it = loud->properties().find(req.name);
+      if (it != loud->properties().end()) {
+        reply.found = 1;
+        reply.type = it->second.type;
+        reply.value = it->second.value;
+      }
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kListProperties: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      PropertyListReply reply;
+      for (const auto& [name, value] : loud->properties()) {
+        reply.names.push_back(name);
+      }
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kSetRedirect: {
+      SetRedirectReq req = SetRedirectReq::Decode(&r);
+      if (req.enable != 0) {
+        if (state_.redirect_conn().has_value() &&
+            *state_.redirect_conn() != conn->index()) {
+          send_error(ErrorCode::kDeviceBusy, kNoResource,
+                     "another audio manager holds redirection");
+          break;
+        }
+        state_.set_redirect_conn(conn->index());
+      } else if (state_.redirect_conn() == conn->index()) {
+        state_.set_redirect_conn(std::nullopt);
+      }
+      break;
+    }
+
+    // -- Introspection -----------------------------------------------------------------
+
+    case Opcode::kQueryDeviceLoud:
+      send_reply(state_.DescribeDeviceLoud());
+      break;
+
+    case Opcode::kQueryActiveStack: {
+      ActiveStackReply reply;
+      for (Loud* loud : state_.active_stack()) {
+        ActiveStackEntry entry;
+        entry.loud = loud->id();
+        entry.active = loud->active() ? 1 : 0;
+        reply.entries.push_back(entry);
+      }
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kGetServerTime: {
+      ServerTimeReply reply;
+      reply.server_time = state_.server_time();
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kSync: {
+      // Round-trip no-op: the reply is the synchronization point.
+      ServerTimeReply reply;
+      reply.server_time = state_.server_time();
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kQueryLoud: {
+      ResourceReq req = ResourceReq::Decode(&r);
+      Loud* loud = state_.FindLoud(req.id);
+      if (loud == nullptr) {
+        send_error(ErrorCode::kBadResource, req.id);
+        break;
+      }
+      LoudStateReply reply;
+      reply.loud = loud->id();
+      reply.parent = loud->parent() != nullptr ? loud->parent()->id() : kNoResource;
+      reply.mapped = loud->Root()->mapped() ? 1 : 0;
+      reply.active = loud->active() ? 1 : 0;
+      reply.children = static_cast<uint32_t>(loud->children().size());
+      reply.devices = static_cast<uint32_t>(loud->devices().size());
+      send_reply(reply);
+      break;
+    }
+
+    default:
+      send_error(ErrorCode::kBadRequest, kNoResource, "unknown opcode");
+      break;
+  }
+}
+
+}  // namespace aud

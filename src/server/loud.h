@@ -1,0 +1,90 @@
+// LOUD: Logical aUdio Device (section 5.1). A container organizing virtual
+// devices into a tree; the root of each tree owns a command queue and is
+// the unit of mapping, activation and event selection.
+
+#ifndef SRC_SERVER_LOUD_H_
+#define SRC_SERVER_LOUD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/server/core.h"
+#include "src/server/virtual_device.h"
+
+namespace aud {
+
+class CommandQueue;
+class ServerState;
+
+class Loud : public ServerObject {
+ public:
+  Loud(ResourceId id, uint32_t owner, ServerState* server, Loud* parent, AttrList attrs);
+  ~Loud() override;
+
+  ServerState* server() const { return server_; }
+  Loud* parent() const { return parent_; }
+  const std::vector<Loud*>& children() const { return children_; }
+  const std::vector<VirtualDevice*>& devices() const { return devices_; }
+
+  const AttrList& attrs() const { return attrs_; }
+  AttrList& mutable_attrs() { return attrs_; }
+
+  bool IsRoot() const { return parent_ == nullptr; }
+  Loud* Root();
+
+  // Only root LOUDs have a queue (section 5.5: "a command queue is provided
+  // for each root LOUD"); non-roots return the root's queue.
+  CommandQueue* queue();
+
+  bool mapped() const { return mapped_; }
+  void set_mapped(bool mapped) { mapped_ = mapped; }
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  // Tree maintenance (called by the dispatcher).
+  void AddChild(Loud* child) { children_.push_back(child); }
+  void RemoveChild(Loud* child);
+  void AddDevice(VirtualDevice* dev) { devices_.push_back(dev); }
+  void RemoveDevice(VirtualDevice* dev);
+
+  // All devices in this subtree, depth-first.
+  void CollectDevices(std::vector<VirtualDevice*>* out) const;
+  void CollectLouds(std::vector<Loud*>* out);
+
+  // Properties (section 5.8).
+  std::map<std::string, Property>& properties() { return properties_; }
+
+  // Event selection: per-connection masks.
+  std::map<uint32_t, uint32_t>& event_masks() { return event_masks_; }
+  uint32_t MaskFor(uint32_t conn) const;
+
+  // Sync marks (section 5.7). Interval 0 disables.
+  uint32_t sync_interval_ms() const { return sync_interval_ms_; }
+  void set_sync_interval_ms(uint32_t ms) {
+    sync_interval_ms_ = ms;
+    last_sync_position_ = -1;
+  }
+  // Called by a playing player after producing; emits kSyncMark events on
+  // interval boundaries.
+  void NoteSyncProgress(int64_t position_samples, int64_t total_samples, int64_t device_time);
+
+ private:
+  ServerState* server_;
+  Loud* parent_;
+  AttrList attrs_;
+  std::vector<Loud*> children_;
+  std::vector<VirtualDevice*> devices_;
+  std::unique_ptr<CommandQueue> queue_;
+  bool mapped_ = false;
+  bool active_ = false;
+  std::map<std::string, Property> properties_;
+  std::map<uint32_t, uint32_t> event_masks_;
+  uint32_t sync_interval_ms_ = 0;
+  int64_t last_sync_position_ = -1;
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_LOUD_H_

@@ -1,0 +1,181 @@
+#include "src/server/server.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace aud {
+
+AudioServer::AudioServer(Board* board) : AudioServer(board, ServerOptions{}) {}
+
+AudioServer::AudioServer(Board* board, ServerOptions options)
+    : board_(board), options_(options), state_(board, options.name) {
+  state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
+    // Called with mu_ held (from dispatch or engine tick).
+    for (auto& conn : connections_) {
+      if (conn->index() == conn_index && !conn->closed()) {
+        conn->SendEvent(event);
+        return;
+      }
+    }
+  });
+}
+
+AudioServer::~AudioServer() { Shutdown(); }
+
+void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto conn = std::make_unique<ClientConnection>(next_connection_index_++, std::move(stream));
+  ClientConnection* raw = conn.get();
+  connections_.push_back(std::move(conn));
+  reader_threads_.emplace_back([this, raw] { ReaderLoop(raw); });
+}
+
+bool AudioServer::ListenTcp(uint16_t port) {
+  if (!listener_.Listen(port)) {
+    return false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+size_t AudioServer::connection_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->closed()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void AudioServer::AcceptLoop() {
+  while (!shutting_down_.load()) {
+    std::unique_ptr<ByteStream> stream = listener_.Accept();
+    if (stream == nullptr) {
+      return;  // Listener closed.
+    }
+    AddConnection(std::move(stream));
+  }
+}
+
+void AudioServer::ReaderLoop(ClientConnection* conn) {
+  // First message must be the connection setup.
+  std::optional<FramedMessage> setup = ReadMessage(conn->stream());
+  if (!setup || !HandleSetup(conn, *setup)) {
+    conn->MarkClosed();
+    conn->stream()->Close();
+    return;
+  }
+
+  while (!conn->closed() && !shutting_down_.load()) {
+    std::optional<FramedMessage> message = ReadMessage(conn->stream());
+    if (!message) {
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    conn->set_last_sequence(message->header.sequence);
+    HandleRequest(conn, *message);
+  }
+
+  conn->MarkClosed();
+  conn->stream()->Close();
+  // Free every resource the client owned (the paper's per-connection
+  // container teardown).
+  std::lock_guard<std::mutex> lock(mu_);
+  state_.DestroyConnectionObjects(conn->index());
+  state_.RecomputeActivation();
+}
+
+bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& message) {
+  ByteReader r(message.payload);
+  SetupRequest request = SetupRequest::Decode(&r);
+
+  SetupReply reply;
+  if (message.header.code != kSetupOpcode || request.magic != kSetupMagic || !r.ok()) {
+    reply.success = 0;
+    reply.reason = "bad setup message";
+  } else if (request.major != kProtocolMajor) {
+    reply.success = 0;
+    reply.reason = "protocol version mismatch";
+  } else {
+    reply.success = 1;
+    std::lock_guard<std::mutex> lock(mu_);
+    reply.id_base = ClientIdBaseFor(conn->index());
+    reply.id_count = kClientIdBlockSize;
+    reply.device_loud = state_.device_loud_root();
+    reply.server_name = state_.server_name();
+    conn->set_client_name(request.client_name);
+  }
+
+  ByteWriter w;
+  reply.Encode(&w);
+  conn->SendReply(kSetupOpcode, message.header.sequence, w.bytes());
+  return reply.success != 0;
+}
+
+void AudioServer::StepFrames(int64_t frames) {
+  while (frames > 0) {
+    size_t step = std::min<int64_t>(frames, static_cast<int64_t>(options_.period_frames));
+    std::lock_guard<std::mutex> lock(mu_);
+    state_.Tick(step);
+    frames -= static_cast<int64_t>(step);
+  }
+}
+
+void AudioServer::StartRealtime() {
+  if (engine_running_.exchange(true)) {
+    return;
+  }
+  engine_thread_ = std::thread([this] { EngineLoop(); });
+}
+
+void AudioServer::StopRealtime() {
+  if (!engine_running_.exchange(false)) {
+    return;
+  }
+  if (engine_thread_.joinable()) {
+    engine_thread_.join();
+  }
+}
+
+void AudioServer::EngineLoop() {
+  RealClock clock;
+  Ticks period =
+      SamplesToTicks(static_cast<int64_t>(options_.period_frames), board_->sample_rate_hz());
+  Ticks next = clock.Now() + period;
+  while (engine_running_.load() && !shutting_down_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state_.Tick(options_.period_frames);
+    }
+    clock.SleepUntil(next);
+    next += period;
+  }
+}
+
+void AudioServer::Shutdown() {
+  if (shutting_down_.exchange(true)) {
+    return;
+  }
+  StopRealtime();
+  listener_.Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) {
+      conn->MarkClosed();
+      conn->stream()->Close();
+    }
+  }
+  for (std::thread& t : reader_threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+}  // namespace aud

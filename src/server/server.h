@@ -1,0 +1,113 @@
+// AudioServer: the composed server process — connection manager, request
+// dispatcher and engine pump around a ServerState. One server controls one
+// workstation's audio hardware (section 4.1).
+//
+// Threading (section 6.1's thread inventory, adapted):
+//   * the connection-manager thread accepts TCP connections;
+//   * one reader thread per client connection parses and dispatches
+//     requests;
+//   * the engine thread (realtime mode) pumps the board every period.
+// All protocol and engine state is serialized by one mutex; reader and
+// engine threads take it per message / per tick.
+//
+// Time can instead be driven manually with StepFrames() for deterministic
+// tests and virtual-time benches.
+
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/server/connection.h"
+#include "src/server/server_state.h"
+#include "src/transport/socket_stream.h"
+#include "src/transport/stream.h"
+
+namespace aud {
+
+struct ServerOptions {
+  std::string name = "netaudio";
+  // Engine period in frames at the board rate (160 = 20 ms at 8 kHz).
+  size_t period_frames = 160;
+};
+
+class AudioServer {
+ public:
+  // `board` must outlive the server.
+  explicit AudioServer(Board* board);
+  AudioServer(Board* board, ServerOptions options);
+  ~AudioServer();
+
+  AudioServer(const AudioServer&) = delete;
+  AudioServer& operator=(const AudioServer&) = delete;
+
+  // -- Connections -------------------------------------------------------------
+
+  // Adopts an in-process transport endpoint (the other end goes to an
+  // Alib client). Spawns the reader thread.
+  void AddConnection(std::unique_ptr<ByteStream> stream);
+
+  // Starts the connection-manager thread on 127.0.0.1:`port` (0 for an
+  // ephemeral port). Returns false if the bind failed.
+  bool ListenTcp(uint16_t port);
+  uint16_t tcp_port() const { return listener_.port(); }
+
+  size_t connection_count();
+
+  // -- Time ---------------------------------------------------------------------
+
+  // Manual time: advances the engine by `frames` (in whole periods; a
+  // trailing partial period is run as its own smaller tick). Must not be
+  // mixed with StartRealtime.
+  void StepFrames(int64_t frames);
+
+  // Realtime mode: an engine thread pumps one period every period-length
+  // of wall time.
+  void StartRealtime();
+  void StopRealtime();
+  bool realtime() const { return engine_running_; }
+
+  // -- Introspection ----------------------------------------------------------------
+
+  // The state lock; tests take it around direct state() access.
+  std::mutex& mutex() { return mu_; }
+  ServerState& state() { return state_; }
+  const ServerOptions& options() const { return options_; }
+
+  // Stops all threads and closes all connections.
+  void Shutdown();
+
+ private:
+  void ReaderLoop(ClientConnection* conn);
+  void AcceptLoop();
+  void EngineLoop();
+
+  // Dispatcher (dispatcher.cc). Called with mu_ held.
+  void HandleRequest(ClientConnection* conn, const FramedMessage& message);
+  bool HandleSetup(ClientConnection* conn, const FramedMessage& message);
+
+  Board* board_;
+  ServerOptions options_;
+  std::mutex mu_;
+  ServerState state_;
+
+  std::vector<std::unique_ptr<ClientConnection>> connections_;
+  std::vector<std::thread> reader_threads_;
+  uint32_t next_connection_index_ = 0;
+
+  SocketListener listener_;
+  std::thread accept_thread_;
+
+  std::thread engine_thread_;
+  std::atomic<bool> engine_running_{false};
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_SERVER_H_

@@ -1,0 +1,700 @@
+#include "src/server/server_state.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/dsp/encoding.h"
+#include "src/dsp/tone.h"
+
+namespace aud {
+
+namespace {
+
+// Maps an event type to its selection-mask category (section 5.7's three
+// categories, subdivided for finer control).
+uint32_t CategoryFor(EventType type) {
+  switch (type) {
+    case EventType::kQueueStarted:
+    case EventType::kQueueStopped:
+    case EventType::kQueuePaused:
+    case EventType::kQueueResumed:
+    case EventType::kCommandDone:
+      return kQueueEvents;
+    case EventType::kMapNotify:
+    case EventType::kUnmapNotify:
+    case EventType::kActivateNotify:
+    case EventType::kDeactivateNotify:
+      return kLifecycleEvents;
+    case EventType::kMapRequest:
+    case EventType::kRestackRequest:
+      return kRedirectEvents;
+    case EventType::kTelephoneRing:
+    case EventType::kTelephoneAnswered:
+    case EventType::kTelephoneDialDone:
+    case EventType::kCallProgress:
+    case EventType::kDtmfReceived:
+      return kTelephoneEvents;
+    case EventType::kRecorderStarted:
+    case EventType::kRecorderStopped:
+      return kRecorderEvents;
+    case EventType::kRecognition:
+      return kRecognitionEvents;
+    case EventType::kSyncMark:
+      return kSyncEvents;
+    case EventType::kPropertyNotify:
+      return kPropertyEvents;
+    case EventType::kEventTypeCount:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ServerState::ServerState(Board* board, std::string server_name)
+    : board_(board), server_name_(std::move(server_name)) {
+  BuildDeviceLoud();
+  SeedCatalogue();
+  // Route every phone line's events into the server.
+  for (PhoneLineUnit* unit : board_->phone_lines()) {
+    unit->SetEventSink(
+        [this, unit](const ExchangeLine::Event& event) { OnPhoneEvent(unit, event); });
+  }
+  // Every output-capable physical device gets a (lazily sized) accumulator.
+}
+
+ServerState::~ServerState() = default;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Status ServerState::Register(std::unique_ptr<ServerObject> object) {
+  ResourceId id = object->id();
+  if (id == kNoResource || objects_.count(id) != 0) {
+    return Status(ErrorCode::kBadIdChoice, "resource id in use");
+  }
+  objects_[id] = std::move(object);
+  return Status::Ok();
+}
+
+ServerObject* ServerState::Find(ResourceId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+Loud* ServerState::FindLoud(ResourceId id) {
+  ServerObject* obj = Find(id);
+  return obj != nullptr && obj->kind() == ObjectKind::kLoud ? static_cast<Loud*>(obj) : nullptr;
+}
+
+VirtualDevice* ServerState::FindDevice(ResourceId id) {
+  ServerObject* obj = Find(id);
+  return obj != nullptr && obj->kind() == ObjectKind::kVirtualDevice
+             ? static_cast<VirtualDevice*>(obj)
+             : nullptr;
+}
+
+WireObject* ServerState::FindWire(ResourceId id) {
+  ServerObject* obj = Find(id);
+  return obj != nullptr && obj->kind() == ObjectKind::kWire ? static_cast<WireObject*>(obj)
+                                                            : nullptr;
+}
+
+SoundObject* ServerState::FindSound(ResourceId id) {
+  ServerObject* obj = Find(id);
+  return obj != nullptr && obj->kind() == ObjectKind::kSound ? static_cast<SoundObject*>(obj)
+                                                             : nullptr;
+}
+
+Status ServerState::Destroy(ResourceId id) {
+  ServerObject* obj = Find(id);
+  if (obj == nullptr) {
+    return Status(ErrorCode::kBadResource, "destroy: no such resource");
+  }
+  switch (obj->kind()) {
+    case ObjectKind::kLoud: {
+      Loud* loud = static_cast<Loud*>(obj);
+      if (loud->IsRoot() && loud->mapped()) {
+        UnmapLoud(loud);
+      }
+      // Children and devices first (copy lists: destruction mutates them).
+      std::vector<Loud*> children = loud->children();
+      for (Loud* child : children) {
+        Destroy(child->id());
+      }
+      std::vector<VirtualDevice*> devices = loud->devices();
+      for (VirtualDevice* dev : devices) {
+        Destroy(dev->id());
+      }
+      if (loud->parent() != nullptr) {
+        loud->parent()->RemoveChild(loud);
+      }
+      break;
+    }
+    case ObjectKind::kVirtualDevice: {
+      VirtualDevice* dev = static_cast<VirtualDevice*>(obj);
+      // Destroy attached wires. Collect ids first and deduplicate: a
+      // self-wire appears in both the source and sink lists.
+      std::set<ResourceId> wire_ids;
+      for (WireObject* wire : dev->source_wires()) {
+        wire_ids.insert(wire->id());
+      }
+      for (WireObject* wire : dev->sink_wires()) {
+        wire_ids.insert(wire->id());
+      }
+      for (ResourceId wire_id : wire_ids) {
+        Destroy(wire_id);
+      }
+      if (dev->active()) {
+        dev->AbortCommand();
+        dev->Unbind();
+      }
+      dev->loud()->RemoveDevice(dev);
+      break;
+    }
+    case ObjectKind::kWire: {
+      WireObject* wire = static_cast<WireObject*>(obj);
+      wire->src()->DetachWire(wire);
+      wire->dst()->DetachWire(wire);
+      break;
+    }
+    case ObjectKind::kSound:
+      break;
+  }
+  objects_.erase(id);
+  return Status::Ok();
+}
+
+void ServerState::DestroyConnectionObjects(uint32_t conn) {
+  // Louds first (they cascade), then stray devices/wires/sounds.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<ResourceId> ids;
+    for (const auto& [id, obj] : objects_) {
+      if (obj->owner() != conn) {
+        continue;
+      }
+      bool is_loud = obj->kind() == ObjectKind::kLoud;
+      if ((pass == 0) == is_loud) {
+        ids.push_back(id);
+      }
+    }
+    for (ResourceId id : ids) {
+      if (Find(id) != nullptr) {
+        Destroy(id);
+      }
+    }
+  }
+  // Drop event selections the connection held on surviving objects (the
+  // device LOUD tree).
+  for (auto& [id, obj] : objects_) {
+    if (obj->kind() == ObjectKind::kLoud) {
+      static_cast<Loud*>(obj.get())->event_masks().erase(conn);
+    }
+  }
+  if (redirect_conn_ == conn) {
+    redirect_conn_.reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Device LOUD
+// ---------------------------------------------------------------------------
+
+void ServerState::BuildDeviceLoud() {
+  auto root = std::make_unique<Loud>(next_server_id_++, kServerOwner, this, nullptr, AttrList{});
+  device_loud_root_ = root->id();
+  Loud* root_ptr = root.get();
+  Register(std::move(root));
+
+  for (PhysicalDevice* device : board_->devices()) {
+    auto entry = std::make_unique<Loud>(next_server_id_++, kServerOwner, this, root_ptr,
+                                        device->Attributes());
+    root_ptr->AddChild(entry.get());
+    device_loud_entries_[entry->id()] = device;
+    physical_ids_[device] = entry->id();
+    Register(std::move(entry));
+  }
+}
+
+PhysicalDevice* ServerState::PhysicalForId(ResourceId id) {
+  auto it = device_loud_entries_.find(id);
+  return it == device_loud_entries_.end() ? nullptr : it->second;
+}
+
+ResourceId ServerState::IdForPhysical(PhysicalDevice* device) {
+  auto it = physical_ids_.find(device);
+  return it == physical_ids_.end() ? kNoResource : it->second;
+}
+
+DeviceLoudReply ServerState::DescribeDeviceLoud() {
+  DeviceLoudReply reply;
+  reply.root = device_loud_root_;
+  for (const auto& [id, device] : device_loud_entries_) {
+    DeviceInfo info;
+    info.id = id;
+    info.parent = device_loud_root_;
+    info.device_class = device->device_class();
+    info.attrs = device->Attributes();
+    reply.devices.push_back(std::move(info));
+  }
+  // Permanent physical connections appear as wires of the device LOUD
+  // (section 5.2: "the existence of a wire between two virtual devices [in
+  // the device LOUD] indicates a permanent connection").
+  for (const auto& [src, dst] : board_->hard_wires()) {
+    WireInfo wire;
+    wire.id = kNoResource;  // hard wires are not client-destroyable objects
+    wire.src_device = IdForPhysical(src);
+    wire.dst_device = IdForPhysical(dst);
+    wire.format = {Encoding::kMulaw8, src->sample_rate_hz()};
+    reply.hard_wires.push_back(wire);
+  }
+  return reply;
+}
+
+bool ServerState::HardWireCompatible(PhysicalDevice* a, PhysicalDevice* b) {
+  auto check = [this](PhysicalDevice* from, PhysicalDevice* to) {
+    auto partners = board_->HardWirePartners(from);
+    if (partners.empty()) {
+      return true;  // not part of a hard-wired group: wire anywhere
+    }
+    return std::find(partners.begin(), partners.end(), to) != partners.end();
+  };
+  return check(a, b) && check(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Active stack & activation
+// ---------------------------------------------------------------------------
+
+Status ServerState::MapLoud(Loud* loud) {
+  if (!loud->IsRoot()) {
+    return Status(ErrorCode::kBadValue, "only root LOUDs are mapped");
+  }
+  if (loud->mapped()) {
+    return Status::Ok();
+  }
+  loud->set_mapped(true);
+  active_stack_.insert(active_stack_.begin(), loud);  // mapped on top
+  EmitEvent(loud, EventType::kMapNotify, loud->id(), {});
+  RecomputeActivation();
+  return Status::Ok();
+}
+
+Status ServerState::UnmapLoud(Loud* loud) {
+  if (!loud->mapped()) {
+    return Status::Ok();
+  }
+  loud->set_mapped(false);
+  std::erase(active_stack_, loud);
+  if (loud->active()) {
+    Deactivate(loud);
+  }
+  EmitEvent(loud, EventType::kUnmapNotify, loud->id(), {});
+  RecomputeActivation();
+  return Status::Ok();
+}
+
+Status ServerState::RaiseLoud(Loud* loud) {
+  auto it = std::find(active_stack_.begin(), active_stack_.end(), loud);
+  if (it == active_stack_.end()) {
+    return Status(ErrorCode::kBadState, "raise: LOUD not mapped");
+  }
+  active_stack_.erase(it);
+  active_stack_.insert(active_stack_.begin(), loud);
+  RecomputeActivation();
+  return Status::Ok();
+}
+
+Status ServerState::LowerLoud(Loud* loud) {
+  auto it = std::find(active_stack_.begin(), active_stack_.end(), loud);
+  if (it == active_stack_.end()) {
+    return Status(ErrorCode::kBadState, "lower: LOUD not mapped");
+  }
+  active_stack_.erase(it);
+  active_stack_.push_back(loud);
+  RecomputeActivation();
+  return Status::Ok();
+}
+
+PhysicalDevice* ServerState::MatchPhysical(const VirtualDevice& vdev,
+                                           const std::set<PhysicalDevice*>& claimed_phones) {
+  const AttrList& want = vdev.attrs();
+  for (PhysicalDevice* device : board_->devices()) {
+    // Class compatibility.
+    if (device->device_class() != vdev.device_class()) {
+      continue;
+    }
+    if (vdev.device_class() == DeviceClass::kTelephone && claimed_phones.count(device) != 0) {
+      continue;
+    }
+    if (auto id = want.GetU32(AttrTag::kDeviceId)) {
+      if (IdForPhysical(device) != *id) {
+        continue;
+      }
+    }
+    if (auto name = want.GetString(AttrTag::kName)) {
+      if (device->name() != *name) {
+        continue;
+      }
+    }
+    if (auto domain = want.GetU32(AttrTag::kAmbientDomain)) {
+      if (device->ambient_domain() != *domain) {
+        continue;
+      }
+    }
+    if (auto rate = want.GetU32(AttrTag::kSampleRate)) {
+      if (device->sample_rate_hz() != *rate) {
+        continue;
+      }
+    }
+    if (auto position = want.GetString(AttrTag::kPosition)) {
+      auto attrs = device->Attributes();
+      if (attrs.GetString(AttrTag::kPosition).value_or("") != *position) {
+        continue;
+      }
+    }
+    if (auto number = want.GetString(AttrTag::kPhoneNumber)) {
+      auto attrs = device->Attributes();
+      if (attrs.GetString(AttrTag::kPhoneNumber).value_or("") != *number) {
+        continue;
+      }
+    }
+    return device;
+  }
+  return nullptr;
+}
+
+bool ServerState::TryActivate(Loud* loud, const std::set<uint32_t>& exclusive_in,
+                              const std::set<uint32_t>& exclusive_out,
+                              const std::set<PhysicalDevice*>& claimed_phones,
+                              std::vector<std::pair<VirtualDevice*, PhysicalDevice*>>* bindings) {
+  std::vector<VirtualDevice*> devices;
+  loud->CollectDevices(&devices);
+  for (VirtualDevice* vdev : devices) {
+    if (!vdev->NeedsPhysicalDevice()) {
+      bindings->push_back({vdev, nullptr});
+      continue;
+    }
+    PhysicalDevice* match = MatchPhysical(*vdev, claimed_phones);
+    if (match == nullptr) {
+      return false;
+    }
+    // Exclusive-domain preemption (section 5.8): a higher LOUD holding
+    // exclusive input/output in this ambient domain blocks us.
+    if (vdev->device_class() == DeviceClass::kInput &&
+        exclusive_in.count(match->ambient_domain()) != 0) {
+      return false;
+    }
+    if (vdev->device_class() == DeviceClass::kOutput &&
+        exclusive_out.count(match->ambient_domain()) != 0) {
+      return false;
+    }
+    bindings->push_back({vdev, match});
+  }
+  return true;
+}
+
+void ServerState::Activate(Loud* loud,
+                           const std::vector<std::pair<VirtualDevice*, PhysicalDevice*>>& bindings) {
+  for (const auto& [vdev, device] : bindings) {
+    if (device != nullptr) {
+      vdev->Bind(device, IdForPhysical(device));
+    }
+    vdev->set_active(true);
+  }
+  std::vector<Loud*> louds;
+  loud->CollectLouds(&louds);
+  for (Loud* entry : louds) {
+    entry->set_active(true);
+  }
+  EmitEvent(loud, EventType::kActivateNotify, loud->id(), {});
+  loud->queue()->ServerResume(nullptr);
+}
+
+void ServerState::Deactivate(Loud* loud) {
+  loud->queue()->ServerPause(nullptr);
+  std::vector<VirtualDevice*> devices;
+  loud->CollectDevices(&devices);
+  for (VirtualDevice* vdev : devices) {
+    if (vdev->bound_device() != nullptr) {
+      vdev->Unbind();
+    }
+    vdev->set_active(false);
+  }
+  std::vector<Loud*> louds;
+  loud->CollectLouds(&louds);
+  for (Loud* entry : louds) {
+    entry->set_active(false);
+  }
+  EmitEvent(loud, EventType::kDeactivateNotify, loud->id(), {});
+}
+
+void ServerState::RecomputeActivation() {
+  std::set<uint32_t> exclusive_in;
+  std::set<uint32_t> exclusive_out;
+  std::set<PhysicalDevice*> claimed_phones;
+
+  for (Loud* loud : active_stack_) {
+    std::vector<std::pair<VirtualDevice*, PhysicalDevice*>> bindings;
+    bool can = TryActivate(loud, exclusive_in, exclusive_out, claimed_phones, &bindings);
+    if (can) {
+      if (!loud->active()) {
+        Activate(loud, bindings);
+      }
+      // Record this LOUD's claims for everything below it.
+      for (const auto& [vdev, device] : bindings) {
+        if (device == nullptr) {
+          continue;
+        }
+        if (device->device_class() == DeviceClass::kTelephone) {
+          claimed_phones.insert(device);
+        }
+        if (vdev->attrs().GetBool(AttrTag::kExclusiveInput)) {
+          exclusive_in.insert(device->ambient_domain());
+        }
+        if (vdev->attrs().GetBool(AttrTag::kExclusiveOutput)) {
+          exclusive_out.insert(device->ambient_domain());
+        }
+      }
+    } else if (loud->active()) {
+      Deactivate(loud);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine tick
+// ---------------------------------------------------------------------------
+
+void ServerState::AccumulateOutput(PhysicalDevice* device, std::span<const Sample> samples,
+                                   int32_t gain) {
+  auto it = output_acc_.find(device);
+  if (it == output_acc_.end()) {
+    it = output_acc_.emplace(device, std::make_unique<MixAccumulator>(current_tick_frames_))
+             .first;
+  }
+  it->second->Accumulate(samples, gain);
+}
+
+void ServerState::Tick(size_t frames) {
+  in_tick_ = true;
+  current_tick_frames_ = frames;
+  EngineTick tick{this, frames, engine_frame_};
+
+  // Prepare output accumulators (one per output-capable physical device).
+  for (SpeakerUnit* speaker : board_->speakers()) {
+    auto& acc = output_acc_[speaker];
+    if (acc == nullptr || acc->size() != frames) {
+      acc = std::make_unique<MixAccumulator>(frames);
+    }
+    acc->Clear();
+  }
+  for (PhoneLineUnit* phone : board_->phone_lines()) {
+    auto& acc = output_acc_[phone];
+    if (acc == nullptr || acc->size() != frames) {
+      acc = std::make_unique<MixAccumulator>(frames);
+    }
+    acc->Clear();
+  }
+
+  // Gather the active device graph in stack order.
+  std::vector<VirtualDevice*> active_devices;
+  for (Loud* loud : active_stack_) {
+    if (loud->active()) {
+      loud->CollectDevices(&active_devices);
+    }
+  }
+
+  // 1. Command queues: players/synths produce, commands advance (gapless
+  //    transitions happen inside this call).
+  for (Loud* loud : active_stack_) {
+    if (loud->active()) {
+      loud->queue()->Tick(&tick, frames);
+    }
+  }
+
+  // 2. Free-running sources: inputs and telephones stream regardless of
+  //    queue state.
+  for (VirtualDevice* dev : active_devices) {
+    if (dev->device_class() == DeviceClass::kInput ||
+        dev->device_class() == DeviceClass::kTelephone) {
+      dev->Produce(&tick, frames);
+    }
+  }
+
+  // 3. Transforms, in creation order (covers transform chains built in
+  //    order).
+  for (VirtualDevice* dev : active_devices) {
+    switch (dev->device_class()) {
+      case DeviceClass::kMixer:
+      case DeviceClass::kCrossbar:
+      case DeviceClass::kDsp:
+        dev->Produce(&tick, frames);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 4. Sinks.
+  for (VirtualDevice* dev : active_devices) {
+    switch (dev->device_class()) {
+      case DeviceClass::kOutput:
+      case DeviceClass::kRecorder:
+      case DeviceClass::kTelephone:
+      case DeviceClass::kSpeechRecognizer:
+        dev->Consume(&tick);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 5. Resolve the transparent mixers into the codecs. The server keeps
+  //    every output codec fed (silence when idle) so the device clock runs
+  //    continuously.
+  std::vector<Sample> resolved(frames);
+  for (auto& [device, acc] : output_acc_) {
+    acc->Resolve(resolved);
+    if (auto* speaker = dynamic_cast<SpeakerUnit*>(device)) {
+      speaker->codec().WritePlayback(resolved);
+    } else if (auto* phone = dynamic_cast<PhoneLineUnit*>(device)) {
+      phone->tx_codec().WritePlayback(resolved);
+    }
+  }
+
+  // 6. Hardware time advances; phone/exchange events fire here.
+  board_->Advance(frames);
+
+  engine_frame_ += static_cast<int64_t>(frames);
+  ++ticks_run_;
+  in_tick_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+void ServerState::EmitEvent(Loud* loud, EventType type, ResourceId resource,
+                            std::vector<uint8_t> args) {
+  if (!event_sender_) {
+    return;
+  }
+  uint32_t category = CategoryFor(type);
+  EventMessage event;
+  event.type = type;
+  event.resource = resource;
+  event.server_time = server_time();
+  event.args = std::move(args);
+  for (const auto& [conn, mask] : loud->event_masks()) {
+    if ((mask & category) != 0) {
+      event_sender_(conn, event);
+    }
+  }
+}
+
+void ServerState::EmitDeviceLoudEvent(ResourceId device_loud_id, EventType type,
+                                      std::vector<uint8_t> args) {
+  Loud* entry = FindLoud(device_loud_id);
+  if (entry == nullptr) {
+    return;
+  }
+  EventMessage event;
+  event.type = type;
+  event.resource = device_loud_id;
+  event.server_time = server_time();
+  event.args = std::move(args);
+  uint32_t category = CategoryFor(type);
+  for (const auto& [conn, mask] : entry->event_masks()) {
+    if ((mask & category) != 0 && event_sender_) {
+      event_sender_(conn, event);
+    }
+  }
+}
+
+void ServerState::OnPhoneEvent(PhoneLineUnit* unit, const ExchangeLine::Event& event) {
+  // Forward to the bound telephone virtual device, if any.
+  auto it = telephone_bindings_.find(unit);
+  if (it != telephone_bindings_.end() && it->second != nullptr) {
+    it->second->OnLineEvent(event, nullptr);
+  }
+
+  // Deliver to device-LOUD monitors (the unmapped answering machine
+  // watching for rings, section 5.9).
+  ResourceId device_id = IdForPhysical(unit);
+  if (device_id == kNoResource) {
+    return;
+  }
+  switch (event.type) {
+    case ExchangeLine::Event::Type::kRing: {
+      TelephoneRingArgs args;
+      args.caller_id = event.caller_id;
+      args.line = 0;
+      EmitDeviceLoudEvent(device_id, EventType::kTelephoneRing, args.Encode());
+      break;
+    }
+    case ExchangeLine::Event::Type::kAnswered:
+      EmitDeviceLoudEvent(device_id, EventType::kTelephoneAnswered, {});
+      break;
+    case ExchangeLine::Event::Type::kProgress: {
+      CallProgressArgs args;
+      args.state = event.state;
+      EmitDeviceLoudEvent(device_id, EventType::kCallProgress, args.Encode());
+      break;
+    }
+    case ExchangeLine::Event::Type::kDtmf: {
+      DtmfReceivedArgs args;
+      args.digit = event.digit;
+      EmitDeviceLoudEvent(device_id, EventType::kDtmfReceived, args.Encode());
+      break;
+    }
+  }
+}
+
+void ServerState::BindTelephone(PhoneLineUnit* unit, TelephoneDevice* device) {
+  telephone_bindings_[unit] = device;
+}
+
+void ServerState::UnbindTelephone(PhoneLineUnit* unit, TelephoneDevice* device) {
+  auto it = telephone_bindings_.find(unit);
+  if (it != telephone_bindings_.end() && it->second == device) {
+    telephone_bindings_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue
+// ---------------------------------------------------------------------------
+
+void ServerState::SeedCatalogue() {
+  uint32_t rate = engine_rate();
+  // The answering machine's "beep".
+  {
+    std::vector<Sample> beep = MakeBeep(rate, 250, 1000.0, 0.5);
+    StreamEncoder encoder(Encoding::kMulaw8);
+    CatalogueSound sound;
+    sound.format = {Encoding::kMulaw8, rate};
+    encoder.Encode(beep, &sound.data);
+    catalogue_["beep"] = std::move(sound);
+  }
+  // A gentle alert tone (two short 440 Hz bursts).
+  {
+    std::vector<Sample> tone = MakeBeep(rate, 120, 440.0, 0.4);
+    std::vector<Sample> alert = tone;
+    alert.insert(alert.end(), rate / 20, 0);
+    alert.insert(alert.end(), tone.begin(), tone.end());
+    StreamEncoder encoder(Encoding::kMulaw8);
+    CatalogueSound sound;
+    sound.format = {Encoding::kMulaw8, rate};
+    encoder.Encode(alert, &sound.data);
+    catalogue_["alert"] = std::move(sound);
+  }
+}
+
+const CatalogueSound* ServerState::FindCatalogueSound(const std::string& name) const {
+  auto it = catalogue_.find(name);
+  return it == catalogue_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aud

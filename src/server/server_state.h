@@ -1,0 +1,187 @@
+// ServerState: the protocol-object world of one audio server — registry,
+// device LOUD, active stack, catalogue, event routing, and the engine tick
+// that moves audio. Everything here is called with the server's big lock
+// held (by the dispatcher for requests, by the engine for ticks), so the
+// state itself is single-threaded by construction, mirroring the paper's
+// per-server serialization point for resource arbitration.
+
+#ifndef SRC_SERVER_SERVER_STATE_H_
+#define SRC_SERVER_SERVER_STATE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dsp/mixer_kernel.h"
+#include "src/hw/board.h"
+#include "src/server/command_queue.h"
+#include "src/server/core.h"
+#include "src/server/devices.h"
+#include "src/server/loud.h"
+
+namespace aud {
+
+// A named catalogue entry (section 5.6: "sounds are grouped into libraries
+// or catalogues").
+struct CatalogueSound {
+  AudioFormat format;
+  std::vector<uint8_t> data;
+};
+
+class ServerState {
+ public:
+  // Delivers an event to a connection (index) — wired to the transport by
+  // AudioServer, or to a test harness.
+  using EventSender =
+      std::function<void(uint32_t conn, const EventMessage& event)>;
+
+  // `board` must outlive the state.
+  ServerState(Board* board, std::string server_name);
+  ~ServerState();
+
+  Board* board() { return board_; }
+  const std::string& server_name() const { return server_name_; }
+  uint32_t engine_rate() const { return board_->sample_rate_hz(); }
+  int64_t engine_frame() const { return engine_frame_; }
+  Ticks server_time() const { return SamplesToTicks(engine_frame_, engine_rate()); }
+
+  void set_event_sender(EventSender sender) { event_sender_ = std::move(sender); }
+
+  // -- Registry ---------------------------------------------------------------
+
+  // Registers a new object; fails with kBadIdChoice on collision.
+  Status Register(std::unique_ptr<ServerObject> object);
+
+  ServerObject* Find(ResourceId id);
+  Loud* FindLoud(ResourceId id);
+  VirtualDevice* FindDevice(ResourceId id);
+  WireObject* FindWire(ResourceId id);
+  SoundObject* FindSound(ResourceId id);
+
+  // Destroys one object (recursively for LOUDs: children, devices, wires).
+  Status Destroy(ResourceId id);
+
+  // Destroys everything a disconnected client owned.
+  void DestroyConnectionObjects(uint32_t conn);
+
+  size_t object_count() const { return objects_.size(); }
+
+  // -- Device LOUD (section 5.1) -----------------------------------------------
+
+  ResourceId device_loud_root() const { return device_loud_root_; }
+  PhysicalDevice* PhysicalForId(ResourceId id);
+  ResourceId IdForPhysical(PhysicalDevice* device);
+  DeviceLoudReply DescribeDeviceLoud();
+
+  // Hard-wiring rule (section 5.2): when either device belongs to a
+  // hard-wired group (speaker-phone), the other must be one of its
+  // permanent partners.
+  bool HardWireCompatible(PhysicalDevice* a, PhysicalDevice* b);
+
+  // -- Active stack (section 5.4) ------------------------------------------------
+
+  const std::vector<Loud*>& active_stack() const { return active_stack_; }
+
+  Status MapLoud(Loud* loud);
+  Status UnmapLoud(Loud* loud);
+  Status RaiseLoud(Loud* loud);
+  Status LowerLoud(Loud* loud);
+
+  // Walks the stack top-down, activating every LOUD whose resources don't
+  // conflict with a higher active LOUD (exclusive domains, telephones).
+  void RecomputeActivation();
+
+  // -- Engine -------------------------------------------------------------------
+
+  // One engine tick: run queues/produce/transform/consume for `frames`,
+  // then advance the hardware board.
+  void Tick(size_t frames);
+
+  // Output mixing: devices add their streams here during Consume; the tick
+  // resolves each physical output's accumulator into its codec. This is the
+  // transparent mixing of section 6.1.
+  void AccumulateOutput(PhysicalDevice* device, std::span<const Sample> samples, int32_t gain);
+
+  // -- Events (section 5.7) --------------------------------------------------------
+
+  // Emits to every connection whose event mask on `loud` includes the
+  // event's category.
+  void EmitEvent(Loud* loud, EventType type, ResourceId resource, std::vector<uint8_t> args);
+
+  // Emits to subscribers of a device-LOUD entry (e.g. monitoring the
+  // telephone while the answering machine is unmapped, section 5.9).
+  void EmitDeviceLoudEvent(ResourceId device_loud_id, EventType type,
+                           std::vector<uint8_t> args);
+
+  // Phone-line events enter here (wired to each PhoneLineUnit at startup).
+  void OnPhoneEvent(PhoneLineUnit* unit, const ExchangeLine::Event& event);
+
+  // Telephone vdev binding registry (who gets line events).
+  void BindTelephone(PhoneLineUnit* unit, TelephoneDevice* device);
+  void UnbindTelephone(PhoneLineUnit* unit, TelephoneDevice* device);
+
+  // -- Audio manager support (section 5.8) ---------------------------------------
+
+  std::optional<uint32_t> redirect_conn() const { return redirect_conn_; }
+  void set_redirect_conn(std::optional<uint32_t> conn) { redirect_conn_ = conn; }
+
+  // -- Catalogue (section 5.6) ------------------------------------------------------
+
+  std::map<std::string, CatalogueSound>& catalogue() { return catalogue_; }
+  const CatalogueSound* FindCatalogueSound(const std::string& name) const;
+
+  // Saved recognizer vocabularies (SaveVocabulary / kVocabularyName attr).
+  std::map<std::string, std::vector<uint8_t>>& vocabularies() { return vocabularies_; }
+
+  // -- Stats ---------------------------------------------------------------------
+
+  int64_t ticks_run() const { return ticks_run_; }
+
+ private:
+  void BuildDeviceLoud();
+  void SeedCatalogue();
+  bool TryActivate(Loud* loud, const std::set<uint32_t>& exclusive_in,
+                   const std::set<uint32_t>& exclusive_out,
+                   const std::set<PhysicalDevice*>& claimed_phones,
+                   std::vector<std::pair<VirtualDevice*, PhysicalDevice*>>* bindings);
+  PhysicalDevice* MatchPhysical(const VirtualDevice& vdev,
+                                const std::set<PhysicalDevice*>& claimed_phones);
+  void Activate(Loud* loud,
+                const std::vector<std::pair<VirtualDevice*, PhysicalDevice*>>& bindings);
+  void Deactivate(Loud* loud);
+
+  Board* board_;
+  std::string server_name_;
+  EventSender event_sender_;
+
+  std::unordered_map<ResourceId, std::unique_ptr<ServerObject>> objects_;
+
+  ResourceId device_loud_root_ = kNoResource;
+  std::map<ResourceId, PhysicalDevice*> device_loud_entries_;
+  std::map<PhysicalDevice*, ResourceId> physical_ids_;
+  ResourceId next_server_id_ = kServerIdBase;
+
+  std::vector<Loud*> active_stack_;  // index 0 = top
+
+  std::map<PhoneLineUnit*, TelephoneDevice*> telephone_bindings_;
+
+  std::map<PhysicalDevice*, std::unique_ptr<MixAccumulator>> output_acc_;
+  size_t current_tick_frames_ = 0;
+  int64_t engine_frame_ = 0;
+  int64_t ticks_run_ = 0;
+  bool in_tick_ = false;
+
+  std::optional<uint32_t> redirect_conn_;
+
+  std::map<std::string, CatalogueSound> catalogue_;
+  std::map<std::string, std::vector<uint8_t>> vocabularies_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_SERVER_STATE_H_

@@ -1,0 +1,156 @@
+#include "src/synth/formant.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aud {
+
+namespace {
+// Fixed formant bandwidths (Hz), wider for higher formants.
+constexpr double kBw1 = 90.0;
+constexpr double kBw2 = 110.0;
+constexpr double kBw3 = 170.0;
+
+// Transition (coarticulation) fraction of each phoneme spent gliding from
+// the previous phoneme's targets.
+constexpr double kTransitionFraction = 0.35;
+}  // namespace
+
+void Resonator::Tune(double frequency_hz, double bandwidth_hz, uint32_t sample_rate_hz) {
+  if (frequency_hz <= 0.0) {
+    a_ = 0.0;
+    b_ = 0.0;
+    gain_ = 0.0;
+    return;
+  }
+  double t = 1.0 / sample_rate_hz;
+  double r = std::exp(-std::numbers::pi * bandwidth_hz * t);
+  double theta = 2.0 * std::numbers::pi * frequency_hz * t;
+  a_ = 2.0 * r * std::cos(theta);
+  b_ = -r * r;
+  gain_ = 1.0 - a_ - b_;  // Unity gain at DC-ish; adequate normalization.
+}
+
+double Resonator::Process(double x) {
+  double y = gain_ * x + a_ * y1_ + b_ * y2_;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void Resonator::Reset() {
+  y1_ = 0.0;
+  y2_ = 0.0;
+}
+
+FormantSynthesizer::FormantSynthesizer(uint32_t sample_rate_hz) : rate_(sample_rate_hz) {}
+
+void FormantSynthesizer::Render(const std::vector<const Phoneme*>& phonemes,
+                                const VoiceParameters& params, std::vector<Sample>* out) {
+  const Phoneme* silence = FindPhoneme("SIL");
+  const Phoneme* prev = silence;
+  for (const Phoneme* p : phonemes) {
+    double duration_scale = 1.0 / (params.speaking_rate <= 0.1 ? 0.1 : params.speaking_rate);
+    size_t frames =
+        static_cast<size_t>(rate_ * p->duration_ms * duration_scale / 1000.0);
+    RenderTransition(*prev, *p, frames, params, out);
+    prev = p;
+  }
+}
+
+void FormantSynthesizer::RenderTransition(const Phoneme& from, const Phoneme& to,
+                                          size_t frames, const VoiceParameters& params,
+                                          std::vector<Sample>* out) {
+  if (to.phonation == PhonationType::kSilence) {
+    out->insert(out->end(), frames, 0);
+    r1_.Reset();
+    r2_.Reset();
+    r3_.Reset();
+    return;
+  }
+
+  size_t transition = static_cast<size_t>(frames * kTransitionFraction);
+  // A stop begins with a closure gap, then a burst.
+  size_t closure = 0;
+  if (to.phonation == PhonationType::kStop) {
+    closure = frames / 3;
+    out->insert(out->end(), closure, 0);
+  }
+
+  double from_f1 = from.f1 > 0 ? from.f1 : to.f1;
+  double from_f2 = from.f2 > 0 ? from.f2 : to.f2;
+  double from_f3 = from.f3 > 0 ? from.f3 : to.f3;
+
+  size_t voiced_frames = frames - closure;
+  for (size_t i = 0; i < voiced_frames; ++i) {
+    // Glide formants from the previous phoneme's targets.
+    double t = transition > 0 && i < transition
+                   ? static_cast<double>(i) / static_cast<double>(transition)
+                   : 1.0;
+    double f1 = (from_f1 + (to.f1 - from_f1) * t) * params.formant_shift;
+    double f2 = (from_f2 + (to.f2 - from_f2) * t) * params.formant_shift;
+    double f3 = (from_f3 + (to.f3 - from_f3) * t) * params.formant_shift;
+    // Retune every 2 ms for glide smoothness without per-sample cost.
+    if (i % (rate_ / 500 + 1) == 0) {
+      r1_.Tune(to.f1 > 0 ? f1 : 0.0, kBw1, rate_);
+      r2_.Tune(to.f2 > 0 ? f2 : 0.0, kBw2, rate_);
+      r3_.Tune(to.f3 > 0 ? f3 : 0.0, kBw3, rate_);
+    }
+
+    // Source excitation.
+    double voiced_src = 0.0;
+    double noise_src = 0.0;
+    // Glottal sawtooth-ish pulse train.
+    glottal_phase_ += params.pitch_hz / rate_;
+    if (glottal_phase_ >= 1.0) {
+      glottal_phase_ -= 1.0;
+    }
+    voiced_src = (1.0 - 2.0 * glottal_phase_) * 0.6;
+    // Xorshift white noise.
+    noise_state_ ^= noise_state_ << 13;
+    noise_state_ ^= noise_state_ >> 17;
+    noise_state_ ^= noise_state_ << 5;
+    noise_src = (static_cast<int32_t>(noise_state_) / 2147483648.0) * 0.5;
+
+    double src = 0.0;
+    switch (to.phonation) {
+      case PhonationType::kVoiced:
+        src = voiced_src;
+        break;
+      case PhonationType::kUnvoiced:
+        src = noise_src;
+        break;
+      case PhonationType::kMixed:
+        src = 0.6 * voiced_src + 0.4 * noise_src;
+        break;
+      case PhonationType::kStop: {
+        // Burst: strong noise that decays across the release.
+        double decay = 1.0 - static_cast<double>(i) / static_cast<double>(voiced_frames);
+        src = noise_src * decay + (to.f1 > 0 ? voiced_src * 0.3 : 0.0);
+        break;
+      }
+      case PhonationType::kSilence:
+        break;
+    }
+
+    double y = r1_.Process(src) + 0.7 * r2_.Process(src) + 0.4 * r3_.Process(src);
+    // Amplitude envelope: quick attack/decay at the phoneme edges.
+    double env = 1.0;
+    size_t edge = rate_ / 100;  // 10 ms
+    if (i < edge) {
+      env = static_cast<double>(i) / static_cast<double>(edge);
+    } else if (voiced_frames - i < edge) {
+      env = static_cast<double>(voiced_frames - i) / static_cast<double>(edge);
+    }
+    double v = y * to.amplitude * params.volume * env * 12000.0;
+    if (v > 32767.0) {
+      v = 32767.0;
+    }
+    if (v < -32768.0) {
+      v = -32768.0;
+    }
+    out->push_back(static_cast<Sample>(v));
+  }
+}
+
+}  // namespace aud

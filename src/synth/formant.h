@@ -1,0 +1,70 @@
+// The vocal tract model: renders a phoneme sequence as a waveform using a
+// source-filter formant synthesizer — an impulse-train or noise source fed
+// through parallel second-order resonators whose center frequencies glide
+// between phoneme targets. This is the second synthesis stage the paper
+// assigns to "a digital signal processor"; here it is plain C++.
+
+#ifndef SRC_SYNTH_FORMANT_H_
+#define SRC_SYNTH_FORMANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/synth/phonemes.h"
+
+namespace aud {
+
+// Vocal-tract and prosody parameters (the protocol's SetValues command
+// exposes these, section 5.1).
+struct VoiceParameters {
+  double pitch_hz = 110.0;       // Glottal pulse rate.
+  double speaking_rate = 1.0;    // >1 faster, <1 slower.
+  double volume = 0.8;           // 0..1 output scale.
+  double formant_shift = 1.0;    // Scales all formants (vocal-tract length).
+};
+
+// One second-order resonator (digital formant filter).
+class Resonator {
+ public:
+  // Sets center frequency and bandwidth for the given sample rate.
+  void Tune(double frequency_hz, double bandwidth_hz, uint32_t sample_rate_hz);
+
+  double Process(double x);
+
+  void Reset();
+
+ private:
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double gain_ = 1.0;
+  double y1_ = 0.0;
+  double y2_ = 0.0;
+};
+
+// Renders phoneme sequences into PCM.
+class FormantSynthesizer {
+ public:
+  explicit FormantSynthesizer(uint32_t sample_rate_hz);
+
+  // Renders `phonemes` with `params`, appending samples to `out`.
+  void Render(const std::vector<const Phoneme*>& phonemes, const VoiceParameters& params,
+              std::vector<Sample>* out);
+
+  uint32_t sample_rate_hz() const { return rate_; }
+
+ private:
+  void RenderTransition(const Phoneme& from, const Phoneme& to, size_t frames,
+                        const VoiceParameters& params, std::vector<Sample>* out);
+
+  uint32_t rate_;
+  Resonator r1_;
+  Resonator r2_;
+  Resonator r3_;
+  double glottal_phase_ = 0.0;
+  uint32_t noise_state_ = 0x2545F491;
+};
+
+}  // namespace aud
+
+#endif  // SRC_SYNTH_FORMANT_H_

@@ -1,0 +1,490 @@
+#include "src/synth/lts_rules.h"
+
+#include <array>
+#include <cctype>
+
+namespace aud {
+
+namespace {
+
+bool IsVowelChar(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' || c == 'y';
+}
+
+bool IsConsonantChar(char c) { return std::isalpha(static_cast<unsigned char>(c)) && !IsVowelChar(c); }
+
+bool IsFrontVowel(char c) { return c == 'e' || c == 'i' || c == 'y'; }
+
+// One NRL-style rule: when `target` occurs with `left` context before it
+// and `right` context after it, emit `phonemes`. Context pattern atoms:
+//   ' '  word boundary
+//   '#'  one or more vowels
+//   ':'  zero or more consonants
+//   '^'  exactly one consonant
+//   '+'  one front vowel (e, i, y)
+//   other characters match literally.
+struct LtsRule {
+  std::string_view left;
+  std::string_view target;
+  std::string_view right;
+  std::string_view phonemes;
+};
+
+// Matches `pattern` against the text to the left of position `pos`
+// (pattern is applied right-to-left).
+bool MatchLeft(std::string_view word, size_t pos, std::string_view pattern) {
+  int64_t wi = static_cast<int64_t>(pos) - 1;
+  for (int64_t pi = static_cast<int64_t>(pattern.size()) - 1; pi >= 0; --pi) {
+    char pc = pattern[static_cast<size_t>(pi)];
+    switch (pc) {
+      case ' ':
+        if (wi >= 0) {
+          return false;
+        }
+        break;
+      case '#': {
+        if (wi < 0 || !IsVowelChar(word[static_cast<size_t>(wi)])) {
+          return false;
+        }
+        while (wi >= 0 && IsVowelChar(word[static_cast<size_t>(wi)])) {
+          --wi;
+        }
+        break;
+      }
+      case ':':
+        while (wi >= 0 && IsConsonantChar(word[static_cast<size_t>(wi)])) {
+          --wi;
+        }
+        break;
+      case '^':
+        if (wi < 0 || !IsConsonantChar(word[static_cast<size_t>(wi)])) {
+          return false;
+        }
+        --wi;
+        break;
+      case '+':
+        if (wi < 0 || !IsFrontVowel(word[static_cast<size_t>(wi)])) {
+          return false;
+        }
+        --wi;
+        break;
+      default:
+        if (wi < 0 || word[static_cast<size_t>(wi)] != pc) {
+          return false;
+        }
+        --wi;
+        break;
+    }
+  }
+  return true;
+}
+
+// Matches `pattern` against the text starting at `pos` (left-to-right).
+bool MatchRight(std::string_view word, size_t pos, std::string_view pattern) {
+  size_t wi = pos;
+  for (char pc : pattern) {
+    switch (pc) {
+      case ' ':
+        if (wi < word.size()) {
+          return false;
+        }
+        break;
+      case '#': {
+        if (wi >= word.size() || !IsVowelChar(word[wi])) {
+          return false;
+        }
+        while (wi < word.size() && IsVowelChar(word[wi])) {
+          ++wi;
+        }
+        break;
+      }
+      case ':':
+        while (wi < word.size() && IsConsonantChar(word[wi])) {
+          ++wi;
+        }
+        break;
+      case '^':
+        if (wi >= word.size() || !IsConsonantChar(word[wi])) {
+          return false;
+        }
+        ++wi;
+        break;
+      case '+':
+        if (wi >= word.size() || !IsFrontVowel(word[wi])) {
+          return false;
+        }
+        ++wi;
+        break;
+      case '%': {
+        // Common suffixes: -e, -es, -ed, -er, -ely, -ing.
+        std::string_view rest = word.substr(wi);
+        if (rest.empty()) {
+          return false;
+        }
+        static constexpr std::array<std::string_view, 6> kSuffixes = {"ing", "ely", "ed",
+                                                                      "es", "er", "e"};
+        bool matched = false;
+        for (std::string_view s : kSuffixes) {
+          if (rest.substr(0, s.size()) == s) {
+            wi += s.size();
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return false;
+        }
+        break;
+      }
+      default:
+        if (wi >= word.size() || word[wi] != pc) {
+          return false;
+        }
+        ++wi;
+        break;
+    }
+  }
+  return true;
+}
+
+// The rule table, ordered most-specific first within each target letter.
+// Derived in spirit from the NRL text-to-phoneme rules.
+const std::vector<LtsRule>& Rules() {
+  static const std::vector<LtsRule> kRules = {
+      // a
+      {" ", "are", " ", "AA R"},
+      {" ", "ar", "o", "AH R"},
+      {"", "ar", "#", "EH R"},
+      {"^", "as", "#", "EY S"},
+      {"", "a", "wa", "AH"},
+      {"", "aw", "", "AO"},
+      {" :", "any", "", "EH N IY"},
+      {"", "a", "^+#", "EY"},
+      {"", "ally", "", "AH L IY"},
+      {" ", "al", "#", "AH L"},
+      {"", "again", "", "AH G EH N"},
+      {"^", "ag", "e", "EY JH"},
+      {"", "a", "^%", "EY"},
+      {"", "a", "^e ", "EY"},
+      {"", "a", "^^", "AE"},
+      {"", "ai", "", "EY"},
+      {"", "ay", "", "EY"},
+      {"", "au", "", "AO"},
+      {" :", "al", "^", "AO L"},
+      {"", "a", "", "AE"},
+      // b
+      {"", "bb", "", "B"},
+      {"", "b", "", "B"},
+      // c
+      {"", "ch", "^", "K"},
+      {"^e", "ch", "", "K"},
+      {"", "ch", "", "CH"},
+      {" s", "ci", "#", "S AY"},
+      {"", "ci", "a", "SH"},
+      {"", "ci", "o", "SH"},
+      {"", "c", "+", "S"},
+      {"", "ck", "", "K"},
+      {"", "cc", "+", "K S"},
+      {"", "c", "", "K"},
+      // d
+      {"", "dd", "", "D"},
+      {"#:", "ded", " ", "D IH D"},
+      {".e", "d", " ", "D"},
+      {"", "d", "", "D"},
+      // e
+      {"#:", "e", " ", ""},   // silent final e
+      {"+:", "e", " ", ""},
+      {" :", "e", " ", "IY"},
+      {"#", "ed", " ", "D"},
+      {"", "ev", "er", "EH V"},
+      {"", "e", "^%", "IY"},
+      {"", "eri", "#", "IY R IY"},
+      {"#:", "er", "#", "ER"},
+      {"", "er", "#", "EH R"},
+      {"", "er", "", "ER"},
+      {" ", "even", "", "IY V EH N"},
+      {"", "ew", "", "UW"},
+      {"", "e", "w", "UW"},
+      {"", "ee", "", "IY"},
+      {"", "earn", "", "ER N"},
+      {" ", "ear", "^", "ER"},
+      {"", "ea", "", "IY"},
+      {"", "eigh", "", "EY"},
+      {"", "ei", "", "IY"},
+      {" ", "eye", "", "AY"},
+      {"", "ey", "", "IY"},
+      {"", "eu", "", "Y UW"},
+      {"", "e", "", "EH"},
+      // f
+      {"", "ff", "", "F"},
+      {"", "f", "", "F"},
+      // g
+      {"", "gg", "", "G"},
+      {" ", "g", "i^", "G"},
+      {"", "ge", "t", "G EH"},
+      {"su", "gges", "", "G JH EH S"},
+      {"", "g", "+", "JH"},
+      {"", "gh", "", ""},
+      {"", "g", "", "G"},
+      // h
+      {" ", "hav", "", "HH AE V"},
+      {" ", "here", "", "HH IY R"},
+      {" ", "hour", "", "AW ER"},
+      {"", "how", "", "HH AW"},
+      {"", "h", "#", "HH"},
+      {"", "h", "", ""},
+      // i
+      {" ", "in", "", "IH N"},
+      {" ", "i", " ", "AY"},
+      {"", "in", "d", "AY N"},
+      {"", "ier", "", "IY ER"},
+      {"", "igh", "", "AY"},
+      {"", "ild", "", "AY L D"},
+      {"", "ign", " ", "AY N"},
+      {"", "ign", "^", "AY N"},
+      {"", "ique", "", "IY K"},
+      {"", "i", "^+:#", "IH"},
+      {"", "i", "%", "AY"},
+      {"", "i", "^e ", "AY"},
+      {"", "io", "n", "Y AH"},
+      {"", "i", "o", "IY"},
+      {"", "i", "", "IH"},
+      // j
+      {"", "j", "", "JH"},
+      // k
+      {" ", "k", "n", ""},
+      {"", "k", "", "K"},
+      // l
+      {"", "lo", "c#", "L OW"},
+      {"l", "l", "", ""},
+      {"", "l", "", "L"},
+      // m
+      {"", "mm", "", "M"},
+      {"", "m", "", "M"},
+      // n
+      {"e", "ng", "+", "N JH"},
+      {"", "ng", "", "NG"},
+      {"", "nn", "", "N"},
+      {"", "n", "", "N"},
+      // o
+      {"", "of", " ", "AH V"},
+      {"", "orough", "", "ER OW"},
+      {"", "or", " ", "ER"},
+      {"", "or", "", "AO R"},
+      {" ", "one", "", "W AH N"},
+      {"", "ow", " ", "OW"},
+      {"", "ow", "", "AW"},
+      {" ", "over", "", "OW V ER"},
+      {"", "ov", "", "AH V"},
+      {"", "o", "^%", "OW"},
+      {"", "o", "^e ", "OW"},
+      {"", "oo", "k", "UH"},
+      {"", "oo", "d", "UH"},
+      {"", "oo", "", "UW"},
+      {"", "o", "e ", "OW"},
+      {"", "o", " ", "OW"},
+      {"", "ou", "s", "AH"},
+      {"", "ought", "", "AO T"},
+      {"", "ough", "", "AH F"},
+      {"", "ou", "", "AW"},
+      {"", "oy", "", "OY"},
+      {"", "oi", "", "OY"},
+      {"", "o", "", "AA"},
+      // p
+      {"", "ph", "", "F"},
+      {"", "pp", "", "P"},
+      {"", "p", "", "P"},
+      // q
+      {"", "qu", "", "K W"},
+      {"", "q", "", "K"},
+      // r
+      {"", "rr", "", "R"},
+      {"", "r", "", "R"},
+      // s
+      {"", "sh", "", "SH"},
+      {"#", "sion", "", "ZH AH N"},
+      {"", "ss", "", "S"},
+      {"#", "s", "#", "Z"},
+      {".", "s", " ", "Z"},
+      {"#:", "s", " ", "Z"},
+      {"", "sc", "+", "S"},
+      {"", "s", "", "S"},
+      // t
+      {" ", "the", " ", "DH AH"},
+      {"", "to", " ", "T UW"},
+      {"", "that", " ", "DH AE T"},
+      {" ", "this", " ", "DH IH S"},
+      {" ", "they", "", "DH EY"},
+      {" ", "there", "", "DH EH R"},
+      {"", "ther", "", "DH ER"},
+      {"#", "tion", "", "SH AH N"},
+      {"", "tch", "", "CH"},
+      {"", "tt", "", "T"},
+      {"", "t", "", "T"},
+      // u
+      {" ", "un", "i", "Y UW N"},
+      {" ", "un", "", "AH N"},
+      {"", "u", "^%", "UW"},
+      {"", "u", "^e ", "UW"},
+      {"", "u", "^^", "AH"},
+      {"", "u", "", "AH"},
+      // v
+      {"", "v", "", "V"},
+      // w
+      {" ", "wh", "o", "HH"},
+      {"", "wh", "", "W"},
+      {"", "wr", "", "R"},
+      {"", "w", "", "W"},
+      // x
+      {" ", "x", "", "Z"},
+      {"", "x", "", "K S"},
+      // y
+      {"", "young", "", "Y AH NG"},
+      {" ", "you", "", "Y UW"},
+      {" ", "yes", "", "Y EH S"},
+      {" ", "y", "", "Y"},
+      {"#:", "y", " ", "IY"},
+      {"#:", "y", "i", "IY"},
+      {" :", "y", " ", "AY"},
+      {" :", "y", "#", "AY"},
+      {" :", "y", "^+:#", "IH"},
+      {" :", "y", "^#", "AY"},
+      {"", "y", "", "IH"},
+      // z
+      {"", "zz", "", "Z"},
+      {"", "z", "", "Z"},
+  };
+  return kRules;
+}
+
+std::string ToLowerWord(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view DigitPhonemes(char digit) {
+  switch (digit) {
+    case '0':
+      return "Z IY R OW";
+    case '1':
+      return "W AH N";
+    case '2':
+      return "T UW";
+    case '3':
+      return "TH R IY";
+    case '4':
+      return "F AO R";
+    case '5':
+      return "F AY V";
+    case '6':
+      return "S IH K S";
+    case '7':
+      return "S EH V AH N";
+    case '8':
+      return "EY T";
+    case '9':
+      return "N AY N";
+  }
+  return "";
+}
+
+void LetterToSound::AddException(const std::string& word, const std::string& phonemes) {
+  exceptions_[ToLowerWord(word)] = phonemes;
+}
+
+void LetterToSound::ClearExceptions() { exceptions_.clear(); }
+
+std::string LetterToSound::ConvertWord(std::string_view word) const {
+  std::string lower = ToLowerWord(word);
+  if (lower.empty()) {
+    return "";
+  }
+  auto it = exceptions_.find(lower);
+  if (it != exceptions_.end()) {
+    return it->second;
+  }
+
+  std::string out;
+  size_t pos = 0;
+  while (pos < lower.size()) {
+    bool matched = false;
+    for (const LtsRule& rule : Rules()) {
+      if (rule.target.empty() || lower.compare(pos, rule.target.size(), rule.target) != 0) {
+        continue;
+      }
+      if (!MatchLeft(lower, pos, rule.left)) {
+        continue;
+      }
+      if (!MatchRight(lower, pos + rule.target.size(), rule.right)) {
+        continue;
+      }
+      if (!rule.phonemes.empty()) {
+        if (!out.empty()) {
+          out += ' ';
+        }
+        out += rule.phonemes;
+      }
+      pos += rule.target.size();
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      // No rule (digits/punctuation inside a word): skip the character.
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string LetterToSound::ConvertText(std::string_view text) const {
+  std::string out;
+  auto append = [&out](std::string_view phonemes) {
+    if (phonemes.empty()) {
+      return;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += phonemes;
+  };
+
+  std::string word;
+  auto flush_word = [&] {
+    if (!word.empty()) {
+      append(ConvertWord(word));
+      word.clear();
+    }
+  };
+
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '\'') {
+      word.push_back(c);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      flush_word();
+      append(DigitPhonemes(c));
+      append("SIL");
+    } else if (c == ',' || c == ';' || c == ':') {
+      flush_word();
+      append("SIL");
+    } else if (c == '.' || c == '!' || c == '?') {
+      flush_word();
+      append("PAU");
+    } else {
+      // Whitespace and everything else: word separator with a short gap.
+      flush_word();
+      append("SIL");
+    }
+  }
+  flush_word();
+  return out;
+}
+
+}  // namespace aud

@@ -1,0 +1,47 @@
+// Letter-to-sound conversion: the "linguistically difficult" first stage
+// of synthesis (paper section 1.1), run on the general-purpose processor.
+// A compact context-sensitive rule set (in the tradition of the NRL rules
+// behind 1980s synthesizers) plus a word-exception dictionary that the
+// protocol's SetExceptionList command feeds ("override the normal
+// pronunciation of words, such as names or technical terms").
+
+#ifndef SRC_SYNTH_LTS_RULES_H_
+#define SRC_SYNTH_LTS_RULES_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aud {
+
+// Text-to-phoneme converter with exception dictionary.
+class LetterToSound {
+ public:
+  LetterToSound() = default;
+
+  // Adds/replaces an exception: `word` (case-insensitive) pronounces as the
+  // space-separated phoneme string.
+  void AddException(const std::string& word, const std::string& phonemes);
+
+  void ClearExceptions();
+  size_t exception_count() const { return exceptions_.size(); }
+
+  // Converts one word to a space-separated phoneme string.
+  std::string ConvertWord(std::string_view word) const;
+
+  // Converts running text: words become phonemes, spaces become nothing,
+  // commas/periods insert pauses ("SIL"/"PAU"). Digits are spoken one at a
+  // time ("42" -> "four two").
+  std::string ConvertText(std::string_view text) const;
+
+ private:
+  std::map<std::string, std::string> exceptions_;
+};
+
+// Spoken form of a single digit character ('0'..'9'), as phonemes.
+std::string_view DigitPhonemes(char digit);
+
+}  // namespace aud
+
+#endif  // SRC_SYNTH_LTS_RULES_H_

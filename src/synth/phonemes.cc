@@ -1,0 +1,93 @@
+#include "src/synth/phonemes.h"
+
+#include <sstream>
+
+namespace aud {
+
+namespace {
+// Formant targets are textbook male-voice averages (Peterson & Barney and
+// successors), rounded; consonant values are loci adequate for an
+// intelligible 1991-grade robot voice.
+const std::vector<Phoneme> kInventory = {
+    // Vowels.
+    {"AA", PhonationType::kVoiced, 730, 1090, 2440, 140, 1.0},   // f-a-ther
+    {"AE", PhonationType::kVoiced, 660, 1720, 2410, 130, 1.0},   // c-a-t
+    {"AH", PhonationType::kVoiced, 640, 1190, 2390, 100, 0.9},   // b-u-t
+    {"AO", PhonationType::kVoiced, 570, 840, 2410, 140, 1.0},    // b-ough-t
+    {"AW", PhonationType::kVoiced, 660, 1200, 2350, 160, 1.0},   // h-ow
+    {"AY", PhonationType::kVoiced, 660, 1400, 2400, 160, 1.0},   // h-i-de
+    {"EH", PhonationType::kVoiced, 530, 1840, 2480, 110, 0.95},  // b-e-d
+    {"ER", PhonationType::kVoiced, 490, 1350, 1690, 120, 0.9},   // b-ir-d
+    {"EY", PhonationType::kVoiced, 480, 2000, 2600, 150, 1.0},   // d-ay
+    {"IH", PhonationType::kVoiced, 390, 1990, 2550, 90, 0.9},    // b-i-t
+    {"IY", PhonationType::kVoiced, 270, 2290, 3010, 120, 0.95},  // b-ea-t
+    {"OW", PhonationType::kVoiced, 490, 910, 2450, 150, 1.0},    // b-oa-t
+    {"OY", PhonationType::kVoiced, 520, 1000, 2500, 170, 1.0},   // b-oy
+    {"UH", PhonationType::kVoiced, 440, 1020, 2240, 90, 0.85},   // b-oo-k
+    {"UW", PhonationType::kVoiced, 300, 870, 2240, 130, 0.9},    // b-oo-t
+
+    // Semivowels / liquids / nasals.
+    {"W", PhonationType::kVoiced, 300, 610, 2200, 70, 0.7},
+    {"Y", PhonationType::kVoiced, 270, 2100, 2900, 70, 0.7},
+    {"R", PhonationType::kVoiced, 420, 1300, 1600, 80, 0.7},
+    {"L", PhonationType::kVoiced, 380, 880, 2575, 80, 0.7},
+    {"M", PhonationType::kVoiced, 280, 900, 2200, 80, 0.6},
+    {"N", PhonationType::kVoiced, 280, 1700, 2600, 80, 0.6},
+    {"NG", PhonationType::kVoiced, 280, 2300, 2750, 90, 0.6},
+
+    // Fricatives.
+    {"S", PhonationType::kUnvoiced, 0, 4500, 0, 100, 0.5},
+    {"SH", PhonationType::kUnvoiced, 0, 2500, 0, 110, 0.55},
+    {"F", PhonationType::kUnvoiced, 0, 1400, 0, 90, 0.35},
+    {"TH", PhonationType::kUnvoiced, 0, 1600, 0, 90, 0.3},
+    {"HH", PhonationType::kUnvoiced, 500, 1500, 2500, 60, 0.3},
+    {"Z", PhonationType::kMixed, 250, 4300, 0, 90, 0.5},
+    {"ZH", PhonationType::kMixed, 250, 2400, 0, 100, 0.5},
+    {"V", PhonationType::kMixed, 250, 1300, 0, 70, 0.4},
+    {"DH", PhonationType::kMixed, 250, 1500, 0, 60, 0.35},
+
+    // Stops.
+    {"P", PhonationType::kStop, 0, 1100, 0, 90, 0.6},
+    {"B", PhonationType::kStop, 200, 900, 2100, 70, 0.6},
+    {"T", PhonationType::kStop, 0, 3800, 0, 90, 0.6},
+    {"D", PhonationType::kStop, 200, 1700, 2600, 70, 0.6},
+    {"K", PhonationType::kStop, 0, 2200, 0, 90, 0.6},
+    {"G", PhonationType::kStop, 200, 2000, 2500, 70, 0.6},
+
+    // Affricates approximated as stop+fricative colour.
+    {"CH", PhonationType::kStop, 0, 2800, 0, 110, 0.55},
+    {"JH", PhonationType::kStop, 220, 2500, 0, 100, 0.55},
+
+    // Pauses.
+    {"SIL", PhonationType::kSilence, 0, 0, 0, 120, 0.0},
+    {"PAU", PhonationType::kSilence, 0, 0, 0, 250, 0.0},
+};
+}  // namespace
+
+const std::vector<Phoneme>& PhonemeInventory() { return kInventory; }
+
+const Phoneme* FindPhoneme(std::string_view symbol) {
+  for (const Phoneme& p : kInventory) {
+    if (p.symbol == symbol) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Phoneme*> ParsePhonemeString(std::string_view phonemes) {
+  std::vector<const Phoneme*> out;
+  std::istringstream stream{std::string(phonemes)};
+  std::string token;
+  while (stream >> token) {
+    for (char& c : token) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (const Phoneme* p = FindPhoneme(token)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace aud

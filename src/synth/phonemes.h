@@ -1,0 +1,55 @@
+// Phoneme inventory and acoustic parameters for the formant synthesizer.
+// The paper (section 1.1) describes synthesis as two steps: text to
+// phonetic units (general-purpose processor) and a vocal tract model that
+// turns units into a waveform (traditionally a DSP). This table is the
+// interface between our two steps: each phoneme carries formant targets
+// and source characteristics for the vocal tract model.
+
+#ifndef SRC_SYNTH_PHONEMES_H_
+#define SRC_SYNTH_PHONEMES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aud {
+
+// Source excitation type for a phoneme.
+enum class PhonationType : uint8_t {
+  kVoiced = 0,     // Periodic glottal pulses (vowels, nasals, liquids).
+  kUnvoiced = 1,   // Noise (s, f, sh...).
+  kMixed = 2,      // Voiced + noise (z, v...).
+  kStop = 3,       // Silence gap then burst (p, t, k, b, d, g).
+  kSilence = 4,    // Word/phrase pauses.
+};
+
+// One phoneme's synthesis recipe (ARPAbet-style symbol).
+struct Phoneme {
+  std::string_view symbol;
+  PhonationType phonation;
+  // Formant targets in Hz (0 = unused resonator).
+  double f1;
+  double f2;
+  double f3;
+  // Nominal duration in milliseconds at speaking rate 1.0.
+  int duration_ms;
+  // Relative amplitude 0..1.
+  double amplitude;
+};
+
+// Looks up a phoneme by ARPAbet symbol (upper case, e.g. "AA", "T").
+// Returns nullptr for unknown symbols.
+const Phoneme* FindPhoneme(std::string_view symbol);
+
+// The full inventory (for tests and enumeration).
+const std::vector<Phoneme>& PhonemeInventory();
+
+// Parses a space-separated phoneme string ("HH AH L OW") into the table
+// entries, skipping unknown symbols.
+std::vector<const Phoneme*> ParsePhonemeString(std::string_view phonemes);
+
+}  // namespace aud
+
+#endif  // SRC_SYNTH_PHONEMES_H_

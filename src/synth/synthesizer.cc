@@ -1,0 +1,32 @@
+#include "src/synth/synthesizer.h"
+
+namespace aud {
+
+TextToSpeech::TextToSpeech(uint32_t sample_rate_hz) : synth_(sample_rate_hz) {}
+
+std::vector<Sample> TextToSpeech::Synthesize(const std::string& text) {
+  return SynthesizePhonemes(lts_.ConvertText(text));
+}
+
+std::vector<Sample> TextToSpeech::SynthesizePhonemes(const std::string& phonemes) {
+  std::vector<Sample> out;
+  auto sequence = ParsePhonemeString(phonemes);
+  synth_.Render(sequence, params_, &out);
+  return out;
+}
+
+void TextToSpeech::AddException(const std::string& word, const std::string& phonemes) {
+  lts_.AddException(word, phonemes);
+}
+
+void TextToSpeech::ClearExceptions() { lts_.ClearExceptions(); }
+
+bool TextToSpeech::SetLanguage(const std::string& language_tag) {
+  if (language_tag.rfind("en", 0) == 0) {
+    language_ = language_tag;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace aud

@@ -1,0 +1,54 @@
+// Text-to-speech front door: combines the letter-to-sound stage and the
+// formant vocal-tract model. This is the engine behind the protocol's
+// speech-synthesizer device class (SpeakText, SetTextLanguage, SetValues,
+// SetExceptionList).
+
+#ifndef SRC_SYNTH_SYNTHESIZER_H_
+#define SRC_SYNTH_SYNTHESIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sample.h"
+#include "src/synth/formant.h"
+#include "src/synth/lts_rules.h"
+
+namespace aud {
+
+class TextToSpeech {
+ public:
+  explicit TextToSpeech(uint32_t sample_rate_hz);
+
+  // Renders `text` to PCM at the configured rate.
+  std::vector<Sample> Synthesize(const std::string& text);
+
+  // Renders a raw phoneme string ("HH AH L OW").
+  std::vector<Sample> SynthesizePhonemes(const std::string& phonemes);
+
+  // SetExceptionList support.
+  void AddException(const std::string& word, const std::string& phonemes);
+  void ClearExceptions();
+
+  // SetValues support.
+  VoiceParameters& parameters() { return params_; }
+  const VoiceParameters& parameters() const { return params_; }
+
+  // SetTextLanguage support. Only "en" variants are implemented; setting
+  // any other tag fails.
+  bool SetLanguage(const std::string& language_tag);
+  const std::string& language() const { return language_; }
+
+  uint32_t sample_rate_hz() const { return synth_.sample_rate_hz(); }
+
+  const LetterToSound& letter_to_sound() const { return lts_; }
+
+ private:
+  LetterToSound lts_;
+  FormantSynthesizer synth_;
+  VoiceParameters params_;
+  std::string language_ = "en";
+};
+
+}  // namespace aud
+
+#endif  // SRC_SYNTH_SYNTHESIZER_H_

@@ -1,0 +1,62 @@
+// The audio manager client (section 4.3): the window-manager analogue
+// that enforces contention policy. It claims map/restack redirection
+// (section 5.8) and decides, per policy, whether to perform redirected
+// requests on the application's behalf.
+
+#ifndef SRC_TOOLKIT_AUDIO_MANAGER_H_
+#define SRC_TOOLKIT_AUDIO_MANAGER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/alib/alib.h"
+
+namespace aud {
+
+class AudioManager {
+ public:
+  enum class Policy : uint8_t {
+    // Every map request is honored (the protocol's sensible default made
+    // explicit).
+    kAllowAll = 0,
+    // Only the most recent mapper plays: mapping a new LOUD lowers all
+    // previously managed LOUDs.
+    kFocusFollowsMap = 1,
+    // Map requests are refused (do-not-disturb).
+    kDenyAll = 2,
+  };
+
+  // `connection` must outlive the manager; the manager claims redirection
+  // on it immediately.
+  AudioManager(AudioConnection* connection, Policy policy);
+  ~AudioManager();
+
+  void set_policy(Policy policy) { policy_ = policy; }
+  Policy policy() const { return policy_; }
+
+  // Processes queued redirect events; returns how many were handled. Call
+  // from the application's event loop.
+  int Pump();
+
+  // LOUDs this manager has allowed on (its view of) the stack, most
+  // recent first.
+  const std::vector<ResourceId>& managed() const { return managed_; }
+
+  // Hook invoked for each redirected map request; return value overrides
+  // the policy verdict when set.
+  using MapFilter = std::function<bool(ResourceId loud)>;
+  void set_map_filter(MapFilter filter) { filter_ = std::move(filter); }
+
+ private:
+  void HandleMapRequest(ResourceId loud);
+  void HandleRestackRequest(ResourceId loud, bool raise);
+
+  AudioConnection* conn_;
+  Policy policy_;
+  std::vector<ResourceId> managed_;
+  MapFilter filter_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_TOOLKIT_AUDIO_MANAGER_H_

@@ -1,0 +1,92 @@
+#include "src/toolkit/dialogue.h"
+
+namespace aud {
+
+std::optional<AudioDialogue::TakeMessageResult> AudioDialogue::PromptAndRecord(
+    ResourceId loud, ResourceId player, ResourceId recorder, ResourceId prompt,
+    uint32_t max_ms, int timeout_ms) {
+  AudioConnection* conn = toolkit_->connection();
+  ResourceId message = conn->CreateSound(kTelephoneFormat);
+
+  uint32_t record_tag = next_tag_++;
+  std::vector<CommandSpec> commands;
+  if (prompt != kNoResource) {
+    commands.push_back(PlayCommand(player, prompt, next_tag_++));
+  }
+  commands.push_back(RecordCommand(recorder, message,
+                                   kTerminateOnPause | kTerminateOnHangup, max_ms,
+                                   record_tag));
+  conn->Enqueue(loud, commands);
+  conn->StartQueue(loud);
+
+  TakeMessageResult result;
+  result.sound = message;
+  bool stopped = false;
+  auto done = toolkit_->WaitFor(
+      [&](const EventMessage& event) {
+        if (event.type == EventType::kRecorderStopped) {
+          RecorderStoppedArgs args = RecorderStoppedArgs::Decode(event.args);
+          result.samples = args.samples;
+          result.reason = static_cast<RecordStopReason>(args.reason);
+          stopped = true;
+        }
+        if (event.type != EventType::kCommandDone) {
+          return false;
+        }
+        return CommandDoneArgs::Decode(event.args).tag == record_tag;
+      },
+      timeout_ms);
+  if (!done) {
+    conn->DestroySound(message);
+    return std::nullopt;
+  }
+  if (!stopped) {
+    // Completion without a RecorderStopped (aborted start); query size.
+    auto info = conn->QuerySound(message);
+    if (info.ok()) {
+      result.samples = info.value().samples;
+    }
+  }
+  return result;
+}
+
+std::optional<std::string> AudioDialogue::PromptAndRecognize(ResourceId loud,
+                                                             ResourceId player,
+                                                             ResourceId prompt,
+                                                             int timeout_ms) {
+  AudioConnection* conn = toolkit_->connection();
+  // A result may arrive while the prompt is still playing (barge-in);
+  // capture it from the side channel instead of dropping it.
+  std::optional<std::string> early;
+  if (prompt != kNoResource) {
+    uint32_t tag = next_tag_++;
+    conn->Enqueue(loud, {PlayCommand(player, prompt, tag)});
+    conn->StartQueue(loud);
+    conn->Sync();
+    auto done = toolkit_->WaitFor(
+        [&](const EventMessage& e) {
+          return e.type == EventType::kCommandDone &&
+                 CommandDoneArgs::Decode(e.args).tag == tag;
+        },
+        timeout_ms,
+        [&](const EventMessage& e) {
+          if (e.type == EventType::kRecognition && !early) {
+            early = RecognitionArgs::Decode(e.args).word;
+          }
+        });
+    if (!done) {
+      return std::nullopt;
+    }
+  }
+  if (early) {
+    return early;
+  }
+  auto event = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kRecognition; }, timeout_ms);
+  if (!event) {
+    return std::nullopt;
+  }
+  return RecognitionArgs::Decode(event->args).word;
+}
+
+}  // namespace aud

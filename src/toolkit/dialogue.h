@@ -1,0 +1,46 @@
+// Audio dialogue: the prompt-then-respond pattern — play a prompt, then
+// record (take a message) or recognize (voice command). The queue does the
+// prompt→record transition server-side with no round trip (section 5.5's
+// motivating example).
+
+#ifndef SRC_TOOLKIT_DIALOGUE_H_
+#define SRC_TOOLKIT_DIALOGUE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/toolkit/toolkit.h"
+
+namespace aud {
+
+class AudioDialogue {
+ public:
+  explicit AudioDialogue(AudioToolkit* toolkit) : toolkit_(toolkit) {}
+
+  struct TakeMessageResult {
+    ResourceId sound = kNoResource;     // Recorded audio.
+    uint64_t samples = 0;
+    RecordStopReason reason = RecordStopReason::kStopped;
+  };
+
+  // Plays `prompt` on `player`, then records from `recorder` into a fresh
+  // sound until trailing silence or `max_ms`. Both devices must live in
+  // `loud` with wiring already in place.
+  std::optional<TakeMessageResult> PromptAndRecord(ResourceId loud, ResourceId player,
+                                                   ResourceId recorder, ResourceId prompt,
+                                                   uint32_t max_ms = 30000,
+                                                   int timeout_ms = 120000);
+
+  // Plays `prompt`, then waits for one recognition result from an already
+  // listening recognizer in the same LOUD.
+  std::optional<std::string> PromptAndRecognize(ResourceId loud, ResourceId player,
+                                                ResourceId prompt, int timeout_ms = 20000);
+
+ private:
+  AudioToolkit* toolkit_;
+  uint32_t next_tag_ = 5000;
+};
+
+}  // namespace aud
+
+#endif  // SRC_TOOLKIT_DIALOGUE_H_

@@ -1,0 +1,73 @@
+#include "src/toolkit/soundviewer.h"
+
+namespace aud {
+
+Soundviewer::Soundviewer(uint32_t sample_rate_hz, Options options)
+    : rate_(sample_rate_hz), options_(options) {}
+
+Soundviewer::Soundviewer(uint32_t sample_rate_hz)
+    : Soundviewer(sample_rate_hz, Options{}) {}
+
+bool Soundviewer::OnSyncMark(const SyncMarkArgs& mark) {
+  position_ = mark.position_samples;
+  total_ = mark.total_samples;
+  int cells = total_ == 0 ? 0
+                          : static_cast<int>(position_ * static_cast<uint64_t>(
+                                                             options_.width_chars) /
+                                             total_);
+  bool changed = cells != last_cells_;
+  last_cells_ = cells;
+  return changed;
+}
+
+void Soundviewer::SetSelection(uint64_t begin, uint64_t end) {
+  selection_begin_ = begin;
+  selection_end_ = end;
+}
+
+void Soundviewer::ClearSelection() {
+  selection_begin_ = 0;
+  selection_end_ = 0;
+}
+
+double Soundviewer::fraction() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(position_) / static_cast<double>(total_);
+}
+
+std::string Soundviewer::Render() const {
+  std::string bar(static_cast<size_t>(options_.width_chars), '-');
+  if (total_ > 0) {
+    auto cell_of = [&](uint64_t sample) {
+      uint64_t cell = sample * static_cast<uint64_t>(options_.width_chars) / total_;
+      return static_cast<size_t>(
+          cell >= static_cast<uint64_t>(options_.width_chars)
+              ? static_cast<uint64_t>(options_.width_chars) - 1
+              : cell);
+    };
+    size_t played = cell_of(position_);
+    for (size_t i = 0; i < played; ++i) {
+      bar[i] = '#';
+    }
+    if (selection_end_ > selection_begin_) {
+      size_t from = cell_of(selection_begin_);
+      size_t to = cell_of(selection_end_);
+      for (size_t i = from; i <= to && i < bar.size(); ++i) {
+        bar[i] = bar[i] == '#' ? '%' : '=';
+      }
+    }
+    // Tick marks.
+    uint64_t tick_samples =
+        static_cast<uint64_t>(options_.tick_seconds * static_cast<double>(rate_));
+    if (tick_samples > 0) {
+      for (uint64_t s = tick_samples; s < total_; s += tick_samples) {
+        bar[cell_of(s)] = '|';
+      }
+    }
+  }
+  return "[" + bar + "]";
+}
+
+}  // namespace aud

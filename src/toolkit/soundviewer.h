@@ -1,0 +1,55 @@
+// Soundviewer model (section 6 / Figure 6-1): a playback-progress widget
+// driven by the server's synchronization events. The original was an X
+// toolkit widget; we model the widget state (position bar, tick marks,
+// selection) and render to a terminal line, driven by the same kSyncMark
+// events.
+
+#ifndef SRC_TOOLKIT_SOUNDVIEWER_H_
+#define SRC_TOOLKIT_SOUNDVIEWER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/alib/alib.h"
+
+namespace aud {
+
+class Soundviewer {
+ public:
+  struct Options {
+    int width_chars = 50;
+    // A tick mark every this many seconds of audio.
+    double tick_seconds = 1.0;
+  };
+
+  Soundviewer(uint32_t sample_rate_hz, Options options);
+  explicit Soundviewer(uint32_t sample_rate_hz);
+
+  // Feeds one sync-mark event; returns true if the display changed.
+  bool OnSyncMark(const SyncMarkArgs& mark);
+
+  // Selection (the "dashes in the middle" of Figure 6-1), in samples.
+  void SetSelection(uint64_t begin, uint64_t end);
+  void ClearSelection();
+
+  uint64_t position() const { return position_; }
+  uint64_t total() const { return total_; }
+  double fraction() const;
+
+  // Renders the bar: '#' played, '-' unplayed, '=' selected-unplayed,
+  // '%' selected-played, '|' tick marks overlaid on boundaries.
+  std::string Render() const;
+
+ private:
+  uint32_t rate_;
+  Options options_;
+  uint64_t position_ = 0;
+  uint64_t total_ = 0;
+  uint64_t selection_begin_ = 0;
+  uint64_t selection_end_ = 0;
+  int last_cells_ = -1;
+};
+
+}  // namespace aud
+
+#endif  // SRC_TOOLKIT_SOUNDVIEWER_H_

@@ -1,0 +1,69 @@
+#include "src/toolkit/tone_menu.h"
+
+namespace aud {
+
+ToneMenu::ToneMenu(AudioToolkit* toolkit, ResourceId loud, ResourceId telephone,
+                   ResourceId player)
+    : toolkit_(toolkit), loud_(loud), telephone_(telephone), player_(player) {}
+
+std::optional<std::string> ToneMenu::Run(ResourceId prompt_sound, const Options& options) {
+  AudioConnection* conn = toolkit_->connection();
+
+  bool prompting = false;
+  uint32_t prompt_tag = 0;
+  if (prompt_sound != kNoResource) {
+    prompt_tag = next_tag_++;
+    conn->Enqueue(loud_, {PlayCommand(player_, prompt_sound, prompt_tag)});
+    conn->StartQueue(loud_);
+    prompting = true;
+  }
+
+  std::string digits;
+  auto take = [&](char digit) {
+    if (prompting) {
+      // Barge-in: stop the prompt the moment a digit arrives.
+      conn->Immediate(loud_, StopCommand(player_));
+      prompting = false;
+    }
+    if (options.hash_terminates && digit == '#') {
+      return true;
+    }
+    digits.push_back(digit);
+    return static_cast<int>(digits.size()) >= options.max_digits;
+  };
+
+  // Consume type-ahead first.
+  while (!buffered_.empty()) {
+    char digit = buffered_.front();
+    buffered_.erase(buffered_.begin());
+    if (take(digit)) {
+      return digits;
+    }
+  }
+
+  bool hung_up = false;
+  while (!hung_up) {
+    auto event = toolkit_->WaitFor(
+        [&](const EventMessage& e) {
+          return e.type == EventType::kDtmfReceived || e.type == EventType::kCallProgress;
+        },
+        options.digit_timeout_ms);
+    if (!event) {
+      return digits.empty() ? std::nullopt : std::make_optional(digits);
+    }
+    if (event->type == EventType::kCallProgress) {
+      CallProgressArgs progress = CallProgressArgs::Decode(event->args);
+      if (progress.state == CallState::kHungUp || progress.state == CallState::kIdle) {
+        hung_up = true;
+      }
+      continue;
+    }
+    char digit = DtmfReceivedArgs::Decode(event->args).digit;
+    if (take(digit)) {
+      return digits;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace aud

@@ -1,0 +1,51 @@
+// Touch-tone menu: the building block of the paper's telephone-based
+// interfaces ("dial by name", voice mail over the phone). Plays a prompt,
+// then collects DTMF digits with inter-digit timeout, with immediate
+// barge-in (a digit during the prompt stops playback, per section 1.4's
+// demand for immediate feedback).
+
+#ifndef SRC_TOOLKIT_TONE_MENU_H_
+#define SRC_TOOLKIT_TONE_MENU_H_
+
+#include <optional>
+#include <string>
+
+#include "src/toolkit/toolkit.h"
+
+namespace aud {
+
+class ToneMenu {
+ public:
+  struct Options {
+    // Stop collecting after this many digits.
+    int max_digits = 1;
+    // A '#' terminates multi-digit entry early.
+    bool hash_terminates = true;
+    // Give up if no digit arrives within this window.
+    int digit_timeout_ms = 10000;
+  };
+
+  // `toolkit` must outlive the menu. `loud` is the root LOUD holding the
+  // telephone; `telephone` and `player` are its devices.
+  ToneMenu(AudioToolkit* toolkit, ResourceId loud, ResourceId telephone, ResourceId player);
+
+  // Plays `prompt_sound` (kNoResource to skip) and collects digits per
+  // `options`. Returns the digit string, or nullopt on timeout/hangup.
+  std::optional<std::string> Run(ResourceId prompt_sound, const Options& options);
+
+  // Digits that arrived outside Run (type-ahead) are buffered and consumed
+  // by the next Run.
+  void NoteDigit(char digit) { buffered_.push_back(digit); }
+
+ private:
+  AudioToolkit* toolkit_;
+  ResourceId loud_;
+  ResourceId telephone_;
+  ResourceId player_;
+  std::string buffered_;
+  uint32_t next_tag_ = 9000;
+};
+
+}  // namespace aud
+
+#endif  // SRC_TOOLKIT_TONE_MENU_H_

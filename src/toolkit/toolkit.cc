@@ -1,0 +1,163 @@
+#include "src/toolkit/toolkit.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/dsp/encoding.h"
+
+namespace aud {
+
+AudioToolkit::AudioToolkit(AudioConnection* connection) : conn_(connection) {}
+
+void AudioToolkit::Pump() {
+  if (pump_) {
+    pump_();
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+ResourceId AudioToolkit::UploadSound(std::span<const Sample> samples, AudioFormat format) {
+  ResourceId sound = conn_->CreateSound(format);
+  StreamEncoder encoder(format.encoding);
+  std::vector<uint8_t> encoded;
+  encoder.Encode(samples, &encoded);
+  conn_->WriteSound(sound, 0, encoded);
+  return sound;
+}
+
+Result<std::vector<Sample>> AudioToolkit::DownloadSound(ResourceId sound) {
+  auto info = conn_->QuerySound(sound);
+  if (!info.ok()) {
+    return info.status();
+  }
+  auto data = conn_->ReadSound(sound, 0, static_cast<uint32_t>(info.value().size_bytes));
+  if (!data.ok()) {
+    return data.status();
+  }
+  StreamDecoder decoder(info.value().format.encoding);
+  std::vector<Sample> samples;
+  decoder.Decode(data.value(), &samples);
+  return samples;
+}
+
+std::optional<EventMessage> AudioToolkit::WaitFor(
+    const std::function<bool(const EventMessage&)>& pred, int timeout_ms,
+    const std::function<void(const EventMessage&)>& side_channel) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    EventMessage event;
+    while (conn_->PollEvent(&event)) {
+      if (pred(event)) {
+        return event;
+      }
+      if (side_channel) {
+        side_channel(event);
+      }
+    }
+    if (!conn_->connected()) {
+      return std::nullopt;
+    }
+    Pump();
+  }
+  return std::nullopt;
+}
+
+bool AudioToolkit::WaitCommandDone(uint32_t tag, int timeout_ms) {
+  return WaitFor(
+             [tag](const EventMessage& event) {
+               if (event.type != EventType::kCommandDone) {
+                 return false;
+               }
+               return CommandDoneArgs::Decode(event.args).tag == tag;
+             },
+             timeout_ms)
+      .has_value();
+}
+
+AudioToolkit::PlaybackChain AudioToolkit::BuildPlaybackChain(const AttrList& output_attrs) {
+  PlaybackChain chain;
+  chain.loud = conn_->CreateLoud(kNoResource, {});
+  chain.player = conn_->CreateDevice(chain.loud, DeviceClass::kPlayer, {});
+  chain.output = conn_->CreateDevice(chain.loud, DeviceClass::kOutput, output_attrs);
+  conn_->CreateWire(chain.player, 0, chain.output, 0);
+  conn_->SelectEvents(chain.loud, kQueueEvents | kLifecycleEvents | kSyncEvents);
+  conn_->MapLoud(chain.loud);
+  return chain;
+}
+
+AudioToolkit::RecordChain AudioToolkit::BuildRecordChain(const AttrList& input_attrs) {
+  RecordChain chain;
+  chain.loud = conn_->CreateLoud(kNoResource, {});
+  chain.input = conn_->CreateDevice(chain.loud, DeviceClass::kInput, input_attrs);
+  chain.recorder = conn_->CreateDevice(chain.loud, DeviceClass::kRecorder, {});
+  conn_->CreateWire(chain.input, 0, chain.recorder, 0);
+  conn_->SelectEvents(chain.loud, kQueueEvents | kLifecycleEvents | kRecorderEvents);
+  conn_->MapLoud(chain.loud);
+  return chain;
+}
+
+AudioToolkit::AnsweringChain AudioToolkit::BuildAnsweringChain(
+    const AttrList& telephone_attrs) {
+  AnsweringChain chain;
+  chain.loud = conn_->CreateLoud(kNoResource, {});
+  chain.telephone = conn_->CreateDevice(chain.loud, DeviceClass::kTelephone, telephone_attrs);
+  chain.player = conn_->CreateDevice(chain.loud, DeviceClass::kPlayer, {});
+  chain.recorder = conn_->CreateDevice(chain.loud, DeviceClass::kRecorder, {});
+  // Player output -> telephone input (greeting to the caller); telephone
+  // output -> recorder input (the caller's message). Figure 5-3.
+  conn_->CreateWire(chain.player, 0, chain.telephone, 0);
+  conn_->CreateWire(chain.telephone, 0, chain.recorder, 0);
+  conn_->SelectEvents(chain.loud, kAllEvents);
+  return chain;  // Left unmapped: the application maps when the phone rings.
+}
+
+namespace {
+// Server-side catalogue name backing the cross-application clipboard.
+constexpr char kClipboardName[] = "CLIPBOARD";
+}  // namespace
+
+void AudioToolkit::CopyToClipboard(ResourceId sound) {
+  conn_->SaveCatalogueSound(sound, kClipboardName);
+}
+
+ResourceId AudioToolkit::PasteFromClipboard() {
+  ResourceId sound = conn_->LoadCatalogueSound(kClipboardName);
+  if (!conn_->Sync().ok()) {
+    return kNoResource;
+  }
+  AsyncError error;
+  while (conn_->NextError(&error)) {
+    if (error.error.code == ErrorCode::kBadName) {
+      return kNoResource;  // empty clipboard
+    }
+  }
+  return sound;
+}
+
+bool AudioToolkit::PlayAndWait(const PlaybackChain& chain, ResourceId sound, int timeout_ms) {
+  uint32_t tag = next_tag_++;
+  conn_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, tag)});
+  conn_->StartQueue(chain.loud);
+  // Flush so virtual-time pumping can't race ahead of the requests.
+  conn_->Sync();
+  return WaitCommandDone(tag, timeout_ms);
+}
+
+bool AudioToolkit::SayAndWait(const std::string& text, int timeout_ms) {
+  ResourceId loud = conn_->CreateLoud(kNoResource, {});
+  ResourceId synth = conn_->CreateDevice(loud, DeviceClass::kSpeechSynthesizer, {});
+  ResourceId output = conn_->CreateDevice(loud, DeviceClass::kOutput, {});
+  conn_->CreateWire(synth, 0, output, 0);
+  conn_->SelectEvents(loud, kQueueEvents);
+  conn_->MapLoud(loud);
+  uint32_t tag = next_tag_++;
+  conn_->Enqueue(loud, {SpeakTextCommand(synth, text, tag)});
+  conn_->StartQueue(loud);
+  conn_->Sync();
+  bool done = WaitCommandDone(tag, timeout_ms);
+  conn_->DestroyLoud(loud);
+  return done;
+}
+
+}  // namespace aud

@@ -1,0 +1,111 @@
+// The audio toolkit (section 4.2): a policy-free layer over Alib that
+// hides device wiring, sound location/format, and queue management, and
+// provides mechanisms for synchronizing audio with other media. Clients
+// use it to build audio user interfaces (dialogues, touch-tone menus).
+
+#ifndef SRC_TOOLKIT_TOOLKIT_H_
+#define SRC_TOOLKIT_TOOLKIT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/alib/alib.h"
+#include "src/common/sample.h"
+
+namespace aud {
+
+// Called while the toolkit waits for server events. In-process setups pass
+// a lambda that steps the server's virtual clock; networked clients leave
+// the default (a short real sleep inside WaitEvent).
+using TimePump = std::function<void()>;
+
+class AudioToolkit {
+ public:
+  // `connection` must outlive the toolkit.
+  explicit AudioToolkit(AudioConnection* connection);
+
+  AudioConnection* connection() { return conn_; }
+
+  void set_time_pump(TimePump pump) { pump_ = std::move(pump); }
+
+  // -- Sounds -----------------------------------------------------------------
+
+  // Uploads linear PCM as a server-side sound in `format` (encoding done
+  // client-side). Returns the sound id.
+  ResourceId UploadSound(std::span<const Sample> samples, AudioFormat format);
+
+  // Downloads and decodes a server-side sound to linear PCM.
+  Result<std::vector<Sample>> DownloadSound(ResourceId sound);
+
+  // -- Event helpers ------------------------------------------------------------
+
+  // Pumps until an event satisfying `pred` arrives; other events go
+  // through `side_channel` if provided, else are dropped. Returns nullopt
+  // on timeout.
+  std::optional<EventMessage> WaitFor(const std::function<bool(const EventMessage&)>& pred,
+                                      int timeout_ms = 10000,
+                                      const std::function<void(const EventMessage&)>&
+                                          side_channel = nullptr);
+
+  // Waits for CommandDone with `tag` on any resource.
+  bool WaitCommandDone(uint32_t tag, int timeout_ms = 10000);
+
+  // -- Structure builders ("hide or automate wiring of devices") -----------------
+
+  // A player wired to a speaker, mapped and ready: the quickstart path.
+  struct PlaybackChain {
+    ResourceId loud = kNoResource;
+    ResourceId player = kNoResource;
+    ResourceId output = kNoResource;
+  };
+  PlaybackChain BuildPlaybackChain(const AttrList& output_attrs = {});
+
+  // A microphone wired to a recorder.
+  struct RecordChain {
+    ResourceId loud = kNoResource;
+    ResourceId input = kNoResource;
+    ResourceId recorder = kNoResource;
+  };
+  RecordChain BuildRecordChain(const AttrList& input_attrs = {});
+
+  // The answering-machine LOUD of section 5.9: telephone + player wired to
+  // it + recorder wired from it.
+  struct AnsweringChain {
+    ResourceId loud = kNoResource;
+    ResourceId telephone = kNoResource;
+    ResourceId player = kNoResource;
+    ResourceId recorder = kNoResource;
+  };
+  AnsweringChain BuildAnsweringChain(const AttrList& telephone_attrs = {});
+
+  // -- The audio clipboard (figure 1-1: moving sound between applications,
+  // e.g. a voice message pasted into the calendar) -------------------------
+
+  // Copies a sound into the server-side clipboard, visible to every
+  // client of this server.
+  void CopyToClipboard(ResourceId sound);
+
+  // Pastes the clipboard into a fresh sound id (kNoResource if empty).
+  ResourceId PasteFromClipboard();
+
+  // Plays a sound through a chain and waits for completion. Returns false
+  // on timeout/abort.
+  bool PlayAndWait(const PlaybackChain& chain, ResourceId sound, int timeout_ms = 30000);
+
+  // Speaks text via a synthesizer wired to a speaker; waits for completion.
+  bool SayAndWait(const std::string& text, int timeout_ms = 60000);
+
+ private:
+  void Pump();
+
+  AudioConnection* conn_;
+  TimePump pump_;
+  uint32_t next_tag_ = 1;
+};
+
+}  // namespace aud
+
+#endif  // SRC_TOOLKIT_TOOLKIT_H_

@@ -1,0 +1,31 @@
+#include "src/transport/framer.h"
+
+#include <array>
+
+namespace aud {
+
+std::optional<FramedMessage> ReadMessage(ByteStream* stream) {
+  std::array<uint8_t, kHeaderSize> header_bytes;
+  if (!ReadFully(stream, header_bytes)) {
+    return std::nullopt;
+  }
+  ByteReader r(header_bytes);
+  FramedMessage msg;
+  msg.header = MessageHeader::Decode(&r);
+  if (msg.header.length > kMaxPayload) {
+    return std::nullopt;
+  }
+  msg.payload.resize(msg.header.length);
+  if (msg.header.length > 0 && !ReadFully(stream, msg.payload)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+bool WriteMessage(ByteStream* stream, MessageType type, uint16_t code, uint32_t sequence,
+                  std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame = FrameMessage(type, code, sequence, payload);
+  return stream->Write(frame);
+}
+
+}  // namespace aud

@@ -1,0 +1,32 @@
+// Message framing over a ByteStream: assembles the protocol's
+// header+payload messages out of arbitrary read chunks, and writes framed
+// messages atomically.
+
+#ifndef SRC_TRANSPORT_FRAMER_H_
+#define SRC_TRANSPORT_FRAMER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/transport/stream.h"
+#include "src/wire/messages.h"
+
+namespace aud {
+
+// A complete wire message.
+struct FramedMessage {
+  MessageHeader header;
+  std::vector<uint8_t> payload;
+};
+
+// Blocking read of exactly one message. Returns nullopt on EOF or a
+// malformed header (oversized length).
+std::optional<FramedMessage> ReadMessage(ByteStream* stream);
+
+// Writes one framed message; returns false on stream failure.
+bool WriteMessage(ByteStream* stream, MessageType type, uint16_t code, uint32_t sequence,
+                  std::span<const uint8_t> payload);
+
+}  // namespace aud
+
+#endif  // SRC_TRANSPORT_FRAMER_H_

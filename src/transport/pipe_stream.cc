@@ -1,0 +1,55 @@
+#include "src/transport/pipe_stream.h"
+
+namespace aud {
+
+bool PipeChannel::Write(std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return false;
+  }
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+  cv_.notify_all();
+  return true;
+}
+
+size_t PipeChannel::Read(std::span<uint8_t> out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
+  if (bytes_.empty()) {
+    return 0;  // closed and drained
+  }
+  size_t n = out.size() < bytes_.size() ? out.size() : bytes_.size();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = bytes_.front();
+    bytes_.pop_front();
+  }
+  return n;
+}
+
+void PipeChannel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>> CreatePipePair() {
+  auto a_to_b = std::make_shared<PipeChannel>();
+  auto b_to_a = std::make_shared<PipeChannel>();
+  auto a = std::make_unique<PipeStream>(b_to_a, a_to_b);
+  auto b = std::make_unique<PipeStream>(a_to_b, b_to_a);
+  return {std::move(a), std::move(b)};
+}
+
+bool ReadFully(ByteStream* stream, std::span<uint8_t> out) {
+  size_t done = 0;
+  while (done < out.size()) {
+    size_t n = stream->Read(out.subspan(done));
+    if (n == 0) {
+      return false;
+    }
+    done += n;
+  }
+  return true;
+}
+
+}  // namespace aud

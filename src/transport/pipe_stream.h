@@ -1,0 +1,56 @@
+// In-memory duplex pipe: a pair of ByteStream endpoints connected back to
+// back. Used for same-process client/server wiring in tests, benches and
+// the library-embedded server mode.
+
+#ifndef SRC_TRANSPORT_PIPE_STREAM_H_
+#define SRC_TRANSPORT_PIPE_STREAM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/transport/stream.h"
+
+namespace aud {
+
+// One direction of a pipe: an unbounded byte queue with blocking reads.
+class PipeChannel {
+ public:
+  bool Write(std::span<const uint8_t> data);
+  size_t Read(std::span<uint8_t> out);
+  void Close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+// A ByteStream endpoint over two shared channels.
+class PipeStream : public ByteStream {
+ public:
+  PipeStream(std::shared_ptr<PipeChannel> read_channel,
+             std::shared_ptr<PipeChannel> write_channel)
+      : read_(std::move(read_channel)), write_(std::move(write_channel)) {}
+
+  bool Write(std::span<const uint8_t> data) override { return write_->Write(data); }
+  size_t Read(std::span<uint8_t> out) override { return read_->Read(out); }
+  void Close() override {
+    read_->Close();
+    write_->Close();
+  }
+
+ private:
+  std::shared_ptr<PipeChannel> read_;
+  std::shared_ptr<PipeChannel> write_;
+};
+
+// Creates a connected pair of endpoints.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>> CreatePipePair();
+
+}  // namespace aud
+
+#endif  // SRC_TRANSPORT_PIPE_STREAM_H_

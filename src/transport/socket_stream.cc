@@ -1,0 +1,128 @@
+#include "src/transport/socket_stream.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace aud {
+
+SocketStream::~SocketStream() { Close(); }
+
+bool SocketStream::Write(std::span<const uint8_t> data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+size_t SocketStream::Read(std::span<uint8_t> out) {
+  while (true) {
+    ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return 0;
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void SocketStream::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketListener::~SocketListener() { Close(); }
+
+bool SocketListener::Listen(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+std::unique_ptr<ByteStream> SocketListener::Accept() {
+  if (fd_ < 0) {
+    return nullptr;
+  }
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketStream>(client);
+}
+
+void SocketListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<ByteStream> ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    LogLine(LogLevel::kWarning) << "connect to " << host << ":" << port
+                                << " failed: " << std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketStream>(fd);
+}
+
+}  // namespace aud

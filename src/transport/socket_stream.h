@@ -1,0 +1,64 @@
+// TCP socket transport: the "networked access to resources" requirement of
+// section 2 — a client connects to the audio server of any workstation on
+// the network the same way X clients reach remote displays.
+
+#ifndef SRC_TRANSPORT_SOCKET_STREAM_H_
+#define SRC_TRANSPORT_SOCKET_STREAM_H_
+
+#include <memory>
+#include <string>
+
+#include "src/transport/stream.h"
+
+namespace aud {
+
+// A connected TCP socket endpoint.
+class SocketStream : public ByteStream {
+ public:
+  // Takes ownership of a connected fd.
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override;
+
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  bool Write(std::span<const uint8_t> data) override;
+  size_t Read(std::span<uint8_t> out) override;
+  void Close() override;
+
+ private:
+  int fd_;
+};
+
+// Listening socket. Bind to port 0 for an ephemeral port.
+class SocketListener {
+ public:
+  SocketListener() = default;
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  // Binds and listens on 127.0.0.1:`port`. Returns false on failure.
+  bool Listen(uint16_t port);
+
+  // The bound port (useful after Listen(0)).
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; nullptr when the listener is closed.
+  std::unique_ptr<ByteStream> Accept();
+
+  // Unblocks Accept.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:`port`; nullptr on failure.
+std::unique_ptr<ByteStream> ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace aud
+
+#endif  // SRC_TRANSPORT_SOCKET_STREAM_H_

@@ -1,0 +1,40 @@
+// The transport abstraction under the protocol: "clients and a server
+// communicate over a reliable full duplex, 8-bit byte stream" (section
+// 4.1). The protocol is transport-independent; we provide an in-memory
+// pipe (for in-process servers, tests and benches) and TCP sockets (for
+// networked access), both behind this interface.
+
+#ifndef SRC_TRANSPORT_STREAM_H_
+#define SRC_TRANSPORT_STREAM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace aud {
+
+// A reliable, ordered, full-duplex byte stream endpoint. All methods are
+// blocking. Thread-compatible: one reader thread and one writer thread may
+// use an endpoint concurrently.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Writes all of `data`. Returns false if the peer has closed or the
+  // stream failed; partial writes never succeed silently.
+  virtual bool Write(std::span<const uint8_t> data) = 0;
+
+  // Reads between 1 and out.size() bytes, blocking until at least one byte
+  // is available. Returns the count, or 0 on end-of-stream.
+  virtual size_t Read(std::span<uint8_t> out) = 0;
+
+  // Shuts the stream down; concurrent and future Reads return 0 and Writes
+  // return false on both ends.
+  virtual void Close() = 0;
+};
+
+// Reads exactly out.size() bytes. Returns false on EOF/failure.
+bool ReadFully(ByteStream* stream, std::span<uint8_t> out);
+
+}  // namespace aud
+
+#endif  // SRC_TRANSPORT_STREAM_H_

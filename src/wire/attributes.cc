@@ -1,0 +1,132 @@
+#include "src/wire/attributes.h"
+
+#include <algorithm>
+
+namespace aud {
+
+namespace {
+// Wire kinds for AttrValue alternatives.
+constexpr uint8_t kKindU32 = 0;
+constexpr uint8_t kKindI32 = 1;
+constexpr uint8_t kKindString = 2;
+}  // namespace
+
+void AttrList::Set(AttrTag tag, AttrValue value) {
+  for (Attr& a : attrs_) {
+    if (a.tag == tag) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back({tag, std::move(value)});
+}
+
+bool AttrList::Remove(AttrTag tag) {
+  auto it = std::find_if(attrs_.begin(), attrs_.end(),
+                         [tag](const Attr& a) { return a.tag == tag; });
+  if (it == attrs_.end()) {
+    return false;
+  }
+  attrs_.erase(it);
+  return true;
+}
+
+std::optional<uint32_t> AttrList::GetU32(AttrTag tag) const {
+  for (const Attr& a : attrs_) {
+    if (a.tag == tag) {
+      if (const auto* v = std::get_if<uint32_t>(&a.value)) {
+        return *v;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int32_t> AttrList::GetI32(AttrTag tag) const {
+  for (const Attr& a : attrs_) {
+    if (a.tag == tag) {
+      if (const auto* v = std::get_if<int32_t>(&a.value)) {
+        return *v;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> AttrList::GetString(AttrTag tag) const {
+  for (const Attr& a : attrs_) {
+    if (a.tag == tag) {
+      if (const auto* v = std::get_if<std::string>(&a.value)) {
+        return *v;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool AttrList::GetBool(AttrTag tag, bool default_value) const {
+  auto v = GetU32(tag);
+  if (!v) {
+    return default_value;
+  }
+  return *v != 0;
+}
+
+bool AttrList::Has(AttrTag tag) const {
+  return std::any_of(attrs_.begin(), attrs_.end(),
+                     [tag](const Attr& a) { return a.tag == tag; });
+}
+
+void AttrList::Merge(const AttrList& other) {
+  for (const Attr& a : other.attrs_) {
+    Set(a.tag, a.value);
+  }
+}
+
+void AttrList::Encode(ByteWriter* w) const {
+  w->WriteU16(static_cast<uint16_t>(attrs_.size()));
+  for (const Attr& a : attrs_) {
+    w->WriteU16(static_cast<uint16_t>(a.tag));
+    if (const auto* u = std::get_if<uint32_t>(&a.value)) {
+      w->WriteU8(kKindU32);
+      w->WriteU32(*u);
+    } else if (const auto* i = std::get_if<int32_t>(&a.value)) {
+      w->WriteU8(kKindI32);
+      w->WriteI32(*i);
+    } else {
+      w->WriteU8(kKindString);
+      w->WriteString(std::get<std::string>(a.value));
+    }
+  }
+}
+
+AttrList AttrList::Decode(ByteReader* r) {
+  AttrList list;
+  uint16_t count = r->ReadU16();
+  for (uint16_t i = 0; i < count && r->ok(); ++i) {
+    auto tag = static_cast<AttrTag>(r->ReadU16());
+    uint8_t kind = r->ReadU8();
+    switch (kind) {
+      case kKindU32:
+        list.attrs_.push_back({tag, r->ReadU32()});
+        break;
+      case kKindI32:
+        list.attrs_.push_back({tag, r->ReadI32()});
+        break;
+      case kKindString:
+        list.attrs_.push_back({tag, r->ReadString()});
+        break;
+      default:
+        // Unknown kind: poison the reader by over-reading is wrong; instead
+        // stop parsing. The caller will see a short list and, for requests,
+        // the dispatcher validates reader.ok().
+        return list;
+    }
+  }
+  return list;
+}
+
+}  // namespace aud

@@ -1,0 +1,615 @@
+// Typed protocol messages: the payloads carried behind the 12-byte header.
+// Each struct has Encode(ByteWriter*) and a static Decode(ByteReader*);
+// decoding never reads out of bounds (ByteReader saturates) and callers
+// validate reader.ok() after the fact.
+
+#ifndef SRC_WIRE_MESSAGES_H_
+#define SRC_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/byte_io.h"
+#include "src/common/ids.h"
+#include "src/common/sample.h"
+#include "src/common/status.h"
+#include "src/wire/attributes.h"
+#include "src/wire/protocol.h"
+
+namespace aud {
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+struct MessageHeader {
+  MessageType type = MessageType::kRequest;
+  uint16_t code = 0;     // opcode / event type / error code
+  uint32_t length = 0;   // payload length
+  uint32_t sequence = 0;
+
+  void Encode(ByteWriter* w) const;
+  static MessageHeader Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Connection setup (exchanged before framed messages)
+// ---------------------------------------------------------------------------
+
+struct SetupRequest {
+  uint32_t magic = kSetupMagic;
+  uint16_t major = kProtocolMajor;
+  uint16_t minor = kProtocolMinor;
+  std::string client_name;
+
+  void Encode(ByteWriter* w) const;
+  static SetupRequest Decode(ByteReader* r);
+};
+
+struct SetupReply {
+  uint8_t success = 0;
+  uint16_t major = kProtocolMajor;
+  uint16_t minor = kProtocolMinor;
+  ResourceId id_base = 0;      // First resource id this client may allocate.
+  uint32_t id_count = 0;       // Number of ids in the client's block.
+  ResourceId device_loud = 0;  // Root of the device LOUD tree (section 5.1).
+  std::string server_name;
+  std::string reason;          // On failure.
+
+  void Encode(ByteWriter* w) const;
+  static SetupReply Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Command specs (EnqueueCommands / ImmediateCommand)
+// ---------------------------------------------------------------------------
+
+// One device or queue command. `tag` is a client-chosen cookie echoed in
+// the CommandDone event so applications can correlate completions.
+struct CommandSpec {
+  ResourceId device = kNoResource;  // kNoResource for queue pseudo-commands.
+  DeviceCommand command = DeviceCommand::kStop;
+  uint32_t tag = 0;
+  std::vector<uint8_t> args;
+
+  void Encode(ByteWriter* w) const;
+  static CommandSpec Decode(ByteReader* r);
+};
+
+// Typed command-argument payloads. Helpers build/parse CommandSpec::args.
+
+struct PlayArgs {
+  ResourceId sound = kNoResource;
+  int64_t start_sample = 0;
+  int64_t end_sample = -1;  // -1 = to end of sound
+
+  std::vector<uint8_t> Encode() const;
+  static PlayArgs Decode(std::span<const uint8_t> args);
+};
+
+struct RecordArgs {
+  ResourceId sound = kNoResource;
+  uint8_t termination = kTerminateOnStop;  // RecordTermination flags
+  uint32_t max_ms = 0;                     // 0 = unlimited
+
+  std::vector<uint8_t> Encode() const;
+  static RecordArgs Decode(std::span<const uint8_t> args);
+};
+
+struct StringArg {  // Dial, SendDTMF, SpeakText, SetTextLanguage, SaveVocabulary
+  std::string value;
+
+  std::vector<uint8_t> Encode() const;
+  static StringArg Decode(std::span<const uint8_t> args);
+};
+
+struct GainArgs {  // ChangeGain
+  int32_t gain = 10000;
+
+  std::vector<uint8_t> Encode() const;
+  static GainArgs Decode(std::span<const uint8_t> args);
+};
+
+struct InputGainArgs {  // Mixer SetGain (per-input percentage, section 5.1)
+  uint16_t input = 0;
+  int32_t gain = 10000;
+
+  std::vector<uint8_t> Encode() const;
+  static InputGainArgs Decode(std::span<const uint8_t> args);
+};
+
+struct DelayArgs {  // Queue Delay pseudo-command
+  uint32_t milliseconds = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static DelayArgs Decode(std::span<const uint8_t> args);
+};
+
+struct TrainArgs {  // Recognizer Train: associate a word with template audio
+  std::string word;
+  ResourceId sound = kNoResource;
+
+  std::vector<uint8_t> Encode() const;
+  static TrainArgs Decode(std::span<const uint8_t> args);
+};
+
+struct WordListArgs {  // SetVocabulary / AdjustContext
+  std::vector<std::string> words;
+
+  std::vector<uint8_t> Encode() const;
+  static WordListArgs Decode(std::span<const uint8_t> args);
+};
+
+struct ExceptionListArgs {  // Synthesizer SetExceptionList
+  std::vector<std::pair<std::string, std::string>> entries;  // word -> phonemes
+
+  std::vector<uint8_t> Encode() const;
+  static ExceptionListArgs Decode(std::span<const uint8_t> args);
+};
+
+struct NoteArgs {  // Music synthesizer Note
+  uint8_t midi_note = 60;
+  uint8_t velocity = 100;
+  uint32_t duration_ms = 250;
+
+  std::vector<uint8_t> Encode() const;
+  static NoteArgs Decode(std::span<const uint8_t> args);
+};
+
+struct VoiceArgs {  // Music synthesizer SetVoice
+  uint8_t waveform = 0;  // 0 sine, 1 square, 2 saw, 3 triangle
+  uint16_t attack_ms = 10;
+  uint16_t decay_ms = 50;
+  uint16_t sustain_centi = 7000;  // sustain level, centi-percent
+  uint16_t release_ms = 100;
+
+  std::vector<uint8_t> Encode() const;
+  static VoiceArgs Decode(std::span<const uint8_t> args);
+};
+
+struct CrossbarStateArgs {  // Crossbar SetState: routing matrix entries
+  struct Route {
+    uint16_t input = 0;
+    uint16_t output = 0;
+    uint8_t enabled = 1;
+  };
+  std::vector<Route> routes;
+
+  std::vector<uint8_t> Encode() const;
+  static CrossbarStateArgs Decode(std::span<const uint8_t> args);
+};
+
+struct ValuesArgs {  // Synthesizer SetValues: vocal-tract parameters
+  AttrList values;
+
+  std::vector<uint8_t> Encode() const;
+  static ValuesArgs Decode(std::span<const uint8_t> args);
+};
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+struct CreateLoudReq {
+  ResourceId id = kNoResource;
+  ResourceId parent = kNoResource;  // kNoResource = root LOUD
+  AttrList attrs;
+
+  void Encode(ByteWriter* w) const;
+  static CreateLoudReq Decode(ByteReader* r);
+};
+
+struct ResourceReq {  // Destroy*/Unmap/queue-control/etc: a single id.
+  ResourceId id = kNoResource;
+
+  void Encode(ByteWriter* w) const;
+  static ResourceReq Decode(ByteReader* r);
+};
+
+struct CreateVirtualDeviceReq {
+  ResourceId id = kNoResource;
+  ResourceId loud = kNoResource;
+  DeviceClass device_class = DeviceClass::kOutput;
+  AttrList attrs;
+
+  void Encode(ByteWriter* w) const;
+  static CreateVirtualDeviceReq Decode(ByteReader* r);
+};
+
+struct AugmentVirtualDeviceReq {
+  ResourceId id = kNoResource;
+  AttrList attrs;
+
+  void Encode(ByteWriter* w) const;
+  static AugmentVirtualDeviceReq Decode(ByteReader* r);
+};
+
+struct CreateWireReq {
+  ResourceId id = kNoResource;
+  ResourceId src_device = kNoResource;
+  uint16_t src_port = 0;
+  ResourceId dst_device = kNoResource;
+  uint16_t dst_port = 0;
+  uint8_t has_format = 0;  // Constrain the wire type (section 5.2).
+  AudioFormat format;
+
+  void Encode(ByteWriter* w) const;
+  static CreateWireReq Decode(ByteReader* r);
+};
+
+struct MapLoudReq {
+  ResourceId loud = kNoResource;
+  uint8_t override_redirect = 0;  // Audio manager bypasses redirection.
+
+  void Encode(ByteWriter* w) const;
+  static MapLoudReq Decode(ByteReader* r);
+};
+
+struct CreateSoundReq {
+  ResourceId id = kNoResource;
+  AudioFormat format;
+
+  void Encode(ByteWriter* w) const;
+  static CreateSoundReq Decode(ByteReader* r);
+};
+
+struct WriteSoundDataReq {
+  ResourceId id = kNoResource;
+  uint64_t offset = 0;  // byte offset
+  std::vector<uint8_t> data;
+
+  void Encode(ByteWriter* w) const;
+  static WriteSoundDataReq Decode(ByteReader* r);
+};
+
+struct ReadSoundDataReq {
+  ResourceId id = kNoResource;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+
+  void Encode(ByteWriter* w) const;
+  static ReadSoundDataReq Decode(ByteReader* r);
+};
+
+struct NamedSoundReq {  // LoadCatalogueSound / SaveCatalogueSound
+  ResourceId id = kNoResource;
+  std::string name;
+
+  void Encode(ByteWriter* w) const;
+  static NamedSoundReq Decode(ByteReader* r);
+};
+
+struct EnqueueCommandsReq {
+  ResourceId loud = kNoResource;
+  std::vector<CommandSpec> commands;
+
+  void Encode(ByteWriter* w) const;
+  static EnqueueCommandsReq Decode(ByteReader* r);
+};
+
+struct ImmediateCommandReq {
+  ResourceId loud = kNoResource;
+  CommandSpec command;
+
+  void Encode(ByteWriter* w) const;
+  static ImmediateCommandReq Decode(ByteReader* r);
+};
+
+struct SelectEventsReq {
+  ResourceId resource = kNoResource;  // LOUD or device-LOUD entry to watch.
+  uint32_t mask = 0;
+
+  void Encode(ByteWriter* w) const;
+  static SelectEventsReq Decode(ByteReader* r);
+};
+
+struct SetSyncMarksReq {
+  ResourceId loud = kNoResource;
+  uint32_t interval_ms = 0;  // 0 disables sync marks.
+
+  void Encode(ByteWriter* w) const;
+  static SetSyncMarksReq Decode(ByteReader* r);
+};
+
+struct ChangePropertyReq {
+  ResourceId resource = kNoResource;
+  std::string name;
+  std::string type;  // (name, value, type) triple, section 5.8.
+  std::vector<uint8_t> value;
+
+  void Encode(ByteWriter* w) const;
+  static ChangePropertyReq Decode(ByteReader* r);
+};
+
+struct NamedPropertyReq {  // GetProperty / DeleteProperty
+  ResourceId resource = kNoResource;
+  std::string name;
+
+  void Encode(ByteWriter* w) const;
+  static NamedPropertyReq Decode(ByteReader* r);
+};
+
+struct SetRedirectReq {
+  uint8_t enable = 1;
+
+  void Encode(ByteWriter* w) const;
+  static SetRedirectReq Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+struct VirtualDeviceReply {
+  ResourceId id = kNoResource;
+  DeviceClass device_class = DeviceClass::kOutput;
+  uint8_t mapped = 0;
+  uint8_t active = 0;
+  ResourceId bound_device = kNoResource;  // Device-LOUD id once mapped (5.3).
+  AttrList attrs;
+
+  void Encode(ByteWriter* w) const;
+  static VirtualDeviceReply Decode(ByteReader* r);
+};
+
+struct WireInfo {
+  ResourceId id = kNoResource;
+  ResourceId src_device = kNoResource;
+  uint16_t src_port = 0;
+  ResourceId dst_device = kNoResource;
+  uint16_t dst_port = 0;
+  AudioFormat format;
+
+  void Encode(ByteWriter* w) const;
+  static WireInfo Decode(ByteReader* r);
+};
+
+struct WiresReply {
+  std::vector<WireInfo> wires;
+
+  void Encode(ByteWriter* w) const;
+  static WiresReply Decode(ByteReader* r);
+};
+
+struct SoundDataReply {
+  ResourceId id = kNoResource;
+  uint64_t offset = 0;
+  std::vector<uint8_t> data;
+
+  void Encode(ByteWriter* w) const;
+  static SoundDataReply Decode(ByteReader* r);
+};
+
+struct SoundInfoReply {
+  ResourceId id = kNoResource;
+  AudioFormat format;
+  uint64_t size_bytes = 0;
+  uint64_t samples = 0;
+
+  void Encode(ByteWriter* w) const;
+  static SoundInfoReply Decode(ByteReader* r);
+};
+
+struct CatalogueEntry {
+  std::string name;
+  AudioFormat format;
+  uint64_t size_bytes = 0;
+
+  void Encode(ByteWriter* w) const;
+  static CatalogueEntry Decode(ByteReader* r);
+};
+
+struct CatalogueReply {
+  std::vector<CatalogueEntry> entries;
+
+  void Encode(ByteWriter* w) const;
+  static CatalogueReply Decode(ByteReader* r);
+};
+
+struct QueueStateReply {
+  ResourceId loud = kNoResource;
+  QueueState state = QueueState::kStopped;
+  uint32_t depth = 0;        // Commands waiting (including current).
+  uint32_t current_tag = 0;  // Tag of the in-flight command, 0 if none.
+
+  void Encode(ByteWriter* w) const;
+  static QueueStateReply Decode(ByteReader* r);
+};
+
+struct PropertyReply {
+  ResourceId resource = kNoResource;
+  uint8_t found = 0;
+  std::string name;
+  std::string type;
+  std::vector<uint8_t> value;
+
+  void Encode(ByteWriter* w) const;
+  static PropertyReply Decode(ByteReader* r);
+};
+
+struct PropertyListReply {
+  std::vector<std::string> names;
+
+  void Encode(ByteWriter* w) const;
+  static PropertyListReply Decode(ByteReader* r);
+};
+
+struct DeviceInfo {  // One entry in the device LOUD tree.
+  ResourceId id = kNoResource;
+  ResourceId parent = kNoResource;
+  DeviceClass device_class = DeviceClass::kOutput;
+  AttrList attrs;
+
+  void Encode(ByteWriter* w) const;
+  static DeviceInfo Decode(ByteReader* r);
+};
+
+struct DeviceLoudReply {
+  ResourceId root = kNoResource;
+  std::vector<DeviceInfo> devices;
+  std::vector<WireInfo> hard_wires;  // Permanent physical connections (5.2).
+
+  void Encode(ByteWriter* w) const;
+  static DeviceLoudReply Decode(ByteReader* r);
+};
+
+struct ActiveStackEntry {
+  ResourceId loud = kNoResource;
+  uint8_t active = 0;
+
+  void Encode(ByteWriter* w) const;
+  static ActiveStackEntry Decode(ByteReader* r);
+};
+
+struct ActiveStackReply {
+  std::vector<ActiveStackEntry> entries;  // Top of stack first.
+
+  void Encode(ByteWriter* w) const;
+  static ActiveStackReply Decode(ByteReader* r);
+};
+
+struct ServerTimeReply {
+  int64_t server_time = 0;  // Ticks on the server clock.
+
+  void Encode(ByteWriter* w) const;
+  static ServerTimeReply Decode(ByteReader* r);
+};
+
+struct LoudStateReply {
+  ResourceId loud = kNoResource;
+  ResourceId parent = kNoResource;
+  uint8_t mapped = 0;
+  uint8_t active = 0;
+  uint32_t children = 0;
+  uint32_t devices = 0;
+
+  void Encode(ByteWriter* w) const;
+  static LoudStateReply Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+// Generic wire event: type + the resource it concerns + typed args.
+struct EventMessage {
+  EventType type = EventType::kQueueStarted;
+  ResourceId resource = kNoResource;  // Usually the root LOUD or device id.
+  int64_t server_time = 0;
+  std::vector<uint8_t> args;
+
+  void Encode(ByteWriter* w) const;
+  static EventMessage Decode(ByteReader* r);
+};
+
+// Typed event-argument payloads.
+
+struct CommandDoneArgs {
+  uint32_t tag = 0;
+  uint16_t command = 0;  // DeviceCommand
+  uint8_t aborted = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static CommandDoneArgs Decode(std::span<const uint8_t> args);
+};
+
+struct QueuePausedArgs {
+  uint8_t server_paused = 0;  // 1 = server-paused (deactivation), 0 = client.
+
+  std::vector<uint8_t> Encode() const;
+  static QueuePausedArgs Decode(std::span<const uint8_t> args);
+};
+
+struct TelephoneRingArgs {
+  std::string caller_id;  // Empty when unavailable (attribute-dependent).
+  uint32_t line = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static TelephoneRingArgs Decode(std::span<const uint8_t> args);
+};
+
+struct CallProgressArgs {
+  CallState state = CallState::kIdle;
+
+  std::vector<uint8_t> Encode() const;
+  static CallProgressArgs Decode(std::span<const uint8_t> args);
+};
+
+struct DtmfReceivedArgs {
+  char digit = '0';
+
+  std::vector<uint8_t> Encode() const;
+  static DtmfReceivedArgs Decode(std::span<const uint8_t> args);
+};
+
+struct RecorderStoppedArgs {
+  uint8_t reason = 0;  // RecordStopReason
+  uint64_t samples = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static RecorderStoppedArgs Decode(std::span<const uint8_t> args);
+};
+
+struct RecognitionArgs {
+  std::string word;
+  uint32_t score = 0;  // 0..10000, larger is more confident.
+
+  std::vector<uint8_t> Encode() const;
+  static RecognitionArgs Decode(std::span<const uint8_t> args);
+};
+
+struct SyncMarkArgs {
+  uint64_t position_samples = 0;
+  int64_t device_time = 0;  // Time on the *device* clock (footnote 8).
+  uint64_t total_samples = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static SyncMarkArgs Decode(std::span<const uint8_t> args);
+};
+
+struct PropertyNotifyArgs {
+  std::string name;
+  uint8_t deleted = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static PropertyNotifyArgs Decode(std::span<const uint8_t> args);
+};
+
+struct MapRequestArgs {  // Redirected map/restack (section 5.8).
+  ResourceId loud = kNoResource;
+  uint8_t raise = 0;  // For RestackRequest: 1 = raise, 0 = lower.
+
+  std::vector<uint8_t> Encode() const;
+  static MapRequestArgs Decode(std::span<const uint8_t> args);
+};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+struct ErrorMessage {
+  ErrorCode code = ErrorCode::kOk;
+  ResourceId resource = kNoResource;
+  uint16_t opcode = 0;  // The failing request's opcode.
+  std::string detail;
+
+  void Encode(ByteWriter* w) const;
+  static ErrorMessage Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// Encodes AudioFormat as (u8 encoding, u32 rate).
+void EncodeFormat(ByteWriter* w, const AudioFormat& f);
+AudioFormat DecodeFormat(ByteReader* r);
+
+// Builds a complete framed message: header + payload.
+std::vector<uint8_t> FrameMessage(MessageType type, uint16_t code, uint32_t sequence,
+                                  std::span<const uint8_t> payload);
+
+}  // namespace aud
+
+#endif  // SRC_WIRE_MESSAGES_H_

@@ -1,0 +1,529 @@
+// Unit tests for the DSP substrate: codecs, resampling, gain, mixing,
+// tone generation, DTMF, AGC, pause detection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/adpcm.h"
+#include "src/dsp/agc.h"
+#include "src/dsp/alaw.h"
+#include "src/dsp/dtmf.h"
+#include "src/dsp/encoding.h"
+#include "src/dsp/gain.h"
+#include "src/dsp/goertzel.h"
+#include "src/dsp/mixer_kernel.h"
+#include "src/dsp/mulaw.h"
+#include "src/dsp/pause_detector.h"
+#include "src/dsp/resampler.h"
+#include "src/dsp/tone.h"
+
+namespace aud {
+namespace {
+
+std::vector<Sample> Sine(double freq, uint32_t rate, int ms, double amp = 0.5) {
+  std::vector<Sample> out;
+  SineOscillator osc(freq, rate, amp);
+  osc.Generate(static_cast<size_t>(rate) * ms / 1000, &out);
+  return out;
+}
+
+double Rms(std::span<const Sample> s) {
+  if (s.empty()) {
+    return 0;
+  }
+  double acc = 0;
+  for (Sample v : s) {
+    acc += (v / 32768.0) * (v / 32768.0);
+  }
+  return std::sqrt(acc / s.size());
+}
+
+// ---------------------------------------------------------------------------
+// G.711
+// ---------------------------------------------------------------------------
+
+TEST(MulawTest, ZeroRoundTripsToZero) { EXPECT_EQ(MulawDecode(MulawEncode(0)), 0); }
+
+TEST(MulawTest, RoundTripErrorIsCompandingBounded) {
+  // Mu-law quantization error grows with amplitude; relative error stays
+  // under ~6% plus a small absolute floor.
+  for (int v = -32000; v <= 32000; v += 97) {
+    Sample decoded = MulawDecode(MulawEncode(static_cast<Sample>(v)));
+    double tolerance = std::abs(v) * 0.06 + 64;
+    EXPECT_NEAR(decoded, v, tolerance) << "at input " << v;
+  }
+}
+
+TEST(MulawTest, MonotonicInMagnitude) {
+  // Larger inputs never decode smaller (within one quantization step).
+  Sample prev = MulawDecode(MulawEncode(0));
+  for (int v = 0; v <= 32000; v += 61) {
+    Sample cur = MulawDecode(MulawEncode(static_cast<Sample>(v)));
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MulawTest, SignSymmetry) {
+  for (int v = 1; v <= 32000; v += 301) {
+    Sample pos = MulawDecode(MulawEncode(static_cast<Sample>(v)));
+    Sample neg = MulawDecode(MulawEncode(static_cast<Sample>(-v)));
+    EXPECT_NEAR(pos, -neg, 1);
+  }
+}
+
+TEST(MulawTest, BlockConversionMatchesScalar) {
+  auto tone = Sine(440, 8000, 20);
+  std::vector<uint8_t> encoded(tone.size());
+  MulawEncodeBlock(tone, encoded);
+  std::vector<Sample> decoded(tone.size());
+  MulawDecodeBlock(encoded, decoded);
+  for (size_t i = 0; i < tone.size(); ++i) {
+    ASSERT_EQ(decoded[i], MulawDecode(MulawEncode(tone[i])));
+  }
+}
+
+TEST(AlawTest, RoundTripErrorIsCompandingBounded) {
+  for (int v = -32000; v <= 32000; v += 97) {
+    Sample decoded = AlawDecode(AlawEncode(static_cast<Sample>(v)));
+    double tolerance = std::abs(v) * 0.06 + 96;
+    EXPECT_NEAR(decoded, v, tolerance) << "at input " << v;
+  }
+}
+
+TEST(AlawTest, PreservesToneEnergy) {
+  auto tone = Sine(1000, 8000, 50);
+  std::vector<uint8_t> encoded(tone.size());
+  AlawEncodeBlock(tone, encoded);
+  std::vector<Sample> decoded(tone.size());
+  AlawDecodeBlock(encoded, decoded);
+  EXPECT_NEAR(Rms(decoded), Rms(tone), 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// ADPCM
+// ---------------------------------------------------------------------------
+
+TEST(AdpcmTest, HalvesDataRate) {
+  auto tone = Sine(440, 8000, 100);
+  AdpcmEncoder encoder;
+  std::vector<uint8_t> encoded;
+  encoder.Encode(tone, &encoded);
+  EXPECT_EQ(encoded.size(), tone.size() / 2);
+}
+
+TEST(AdpcmTest, SpeechBandToneSurvivesRoundTrip) {
+  auto tone = Sine(440, 8000, 100, 0.4);
+  AdpcmEncoder encoder;
+  std::vector<uint8_t> encoded;
+  encoder.Encode(tone, &encoded);
+  AdpcmDecoder decoder;
+  std::vector<Sample> decoded;
+  decoder.Decode(encoded, &decoded);
+  ASSERT_EQ(decoded.size(), tone.size());
+  // Skip the adaptation ramp-in, then compare energy in the body.
+  auto body = std::span<const Sample>(tone).subspan(160);
+  auto decoded_body = std::span<const Sample>(decoded).subspan(160);
+  EXPECT_NEAR(Rms(decoded_body), Rms(body), 0.05);
+}
+
+TEST(AdpcmTest, StreamingMatchesOneShot) {
+  auto tone = Sine(700, 8000, 60);
+  AdpcmEncoder one_shot;
+  std::vector<uint8_t> full;
+  one_shot.Encode(tone, &full);
+
+  AdpcmEncoder chunked;
+  std::vector<uint8_t> pieces;
+  for (size_t pos = 0; pos < tone.size(); pos += 100) {
+    size_t n = std::min<size_t>(100, tone.size() - pos);
+    chunked.Encode(std::span<const Sample>(tone).subspan(pos, n), &pieces);
+  }
+  EXPECT_EQ(pieces, full);
+}
+
+TEST(AdpcmTest, ResetRestartsPredictor) {
+  auto tone = Sine(440, 8000, 20);
+  AdpcmEncoder encoder;
+  std::vector<uint8_t> a;
+  encoder.Encode(tone, &a);
+  encoder.Reset();
+  std::vector<uint8_t> b;
+  encoder.Encode(tone, &b);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Encoding dispatch
+// ---------------------------------------------------------------------------
+
+class EncodingRoundTrip : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(EncodingRoundTrip, ToneEnergySurvives) {
+  auto tone = Sine(440, 8000, 100, 0.4);
+  StreamEncoder encoder(GetParam());
+  std::vector<uint8_t> bytes;
+  encoder.Encode(tone, &bytes);
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()),
+            BytesForSamples(GetParam(), static_cast<int64_t>(tone.size())));
+
+  StreamDecoder decoder(GetParam());
+  std::vector<Sample> decoded;
+  decoder.Decode(bytes, &decoded);
+  ASSERT_EQ(static_cast<int64_t>(decoded.size()),
+            SamplesInBytes(GetParam(), static_cast<int64_t>(bytes.size())));
+  // Skip the first 20 ms (codec adaptation ramp-in for ADPCM).
+  auto body = std::span<const Sample>(decoded).subspan(160);
+  EXPECT_NEAR(Rms(body), 0.4 / std::sqrt(2.0), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EncodingRoundTrip,
+                         ::testing::Values(Encoding::kMulaw8, Encoding::kAlaw8,
+                                           Encoding::kPcm8, Encoding::kPcm16,
+                                           Encoding::kAdpcm4),
+                         [](const auto& param_info) {
+                           return std::string(EncodingName(param_info.param));
+                         });
+
+TEST(EncodingTest, Pcm16IsLossless) {
+  auto tone = Sine(333, 8000, 30);
+  StreamEncoder encoder(Encoding::kPcm16);
+  std::vector<uint8_t> bytes;
+  encoder.Encode(tone, &bytes);
+  StreamDecoder decoder(Encoding::kPcm16);
+  std::vector<Sample> decoded;
+  decoder.Decode(bytes, &decoded);
+  EXPECT_EQ(decoded, tone);
+}
+
+TEST(EncodingTest, BytesPerSecondMatchesPaperRates) {
+  // Section 1.1: telephone quality = 8000 bytes/sec.
+  EXPECT_DOUBLE_EQ(kTelephoneFormat.BytesPerSecond(), 8000.0);
+  // CD-quality mono at 44.1kHz/16-bit = 88200; the paper's 175 kB/s figure
+  // is the stereo pair.
+  AudioFormat cd{Encoding::kPcm16, kCdRateHz};
+  EXPECT_DOUBLE_EQ(2 * cd.BytesPerSecond(), 176400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Resampler
+// ---------------------------------------------------------------------------
+
+TEST(ResamplerTest, IdentityPassesThrough) {
+  auto tone = Sine(440, 8000, 10);
+  Resampler resampler(8000, 8000);
+  std::vector<Sample> out;
+  resampler.Process(tone, &out);
+  EXPECT_EQ(out, tone);
+}
+
+TEST(ResamplerTest, DownsampleProducesExpectedCount) {
+  auto tone = Sine(440, 16000, 1000);
+  Resampler resampler(16000, 8000);
+  std::vector<Sample> out;
+  resampler.Process(tone, &out);
+  EXPECT_NEAR(static_cast<double>(out.size()), 8000.0, 4.0);
+}
+
+TEST(ResamplerTest, UpsampleProducesExpectedCount) {
+  auto tone = Sine(440, 8000, 1000);
+  Resampler resampler(8000, 44100);
+  std::vector<Sample> out;
+  resampler.Process(tone, &out);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0, 8.0);
+}
+
+TEST(ResamplerTest, ChunkedMatchesOneShot) {
+  auto tone = Sine(440, 8000, 200);
+  Resampler one(8000, 11025);
+  std::vector<Sample> full;
+  one.Process(tone, &full);
+
+  Resampler chunked(8000, 11025);
+  std::vector<Sample> pieces;
+  for (size_t pos = 0; pos < tone.size(); pos += 37) {
+    size_t n = std::min<size_t>(37, tone.size() - pos);
+    chunked.Process(std::span<const Sample>(tone).subspan(pos, n), &pieces);
+  }
+  EXPECT_EQ(pieces, full);
+}
+
+TEST(ResamplerTest, PreservesToneFrequency) {
+  // A 440 Hz tone resampled 8k->16k must still be 440 Hz (Goertzel check).
+  auto tone = Sine(440, 8000, 500);
+  Resampler resampler(8000, 16000);
+  std::vector<Sample> out;
+  resampler.Process(tone, &out);
+  double at_target = GoertzelPower(out, 440, 16000);
+  double off_target = GoertzelPower(out, 880, 16000);
+  EXPECT_GT(at_target, 0.1);
+  EXPECT_LT(off_target, at_target / 20);
+}
+
+// ---------------------------------------------------------------------------
+// Gain & mixing
+// ---------------------------------------------------------------------------
+
+TEST(GainTest, UnityIsNoOp) {
+  auto tone = Sine(440, 8000, 10);
+  auto copy = tone;
+  ApplyGain(copy, kUnityGain);
+  EXPECT_EQ(copy, tone);
+}
+
+TEST(GainTest, HalfGainHalvesSamples) {
+  std::vector<Sample> samples = {1000, -2000, 30000};
+  ApplyGain(samples, kUnityGain / 2);
+  EXPECT_EQ(samples[0], 500);
+  EXPECT_EQ(samples[1], -1000);
+  EXPECT_EQ(samples[2], 15000);
+}
+
+TEST(GainTest, BoostSaturatesNotWraps) {
+  std::vector<Sample> samples = {30000, -30000};
+  ApplyGain(samples, 2 * kUnityGain);
+  EXPECT_EQ(samples[0], 32767);
+  EXPECT_EQ(samples[1], -32768);
+}
+
+TEST(GainTest, DecibelConversion) {
+  EXPECT_EQ(DecibelsToGain(0.0), kUnityGain);
+  EXPECT_NEAR(DecibelsToGain(-6.0), kUnityGain / 2, 100);
+  EXPECT_NEAR(DecibelsToGain(-20.0), kUnityGain / 10, 10);
+}
+
+TEST(GainTest, RampEndsAtTargets) {
+  std::vector<Sample> samples(100, 10000);
+  ApplyGainRamp(samples, 0, kUnityGain);
+  EXPECT_EQ(samples.front(), 0);
+  EXPECT_EQ(samples.back(), 10000);
+  // Monotone non-decreasing.
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i], samples[i - 1]);
+  }
+}
+
+TEST(MixerKernelTest, TwoStreamsSum) {
+  MixAccumulator acc(4);
+  std::vector<Sample> a = {100, 200, 300, 400};
+  std::vector<Sample> b = {10, 20, 30, 40};
+  acc.Accumulate(a, kUnityGain);
+  acc.Accumulate(b, kUnityGain);
+  std::vector<Sample> out(4);
+  acc.Resolve(out);
+  EXPECT_EQ(out, (std::vector<Sample>{110, 220, 330, 440}));
+  EXPECT_EQ(acc.input_count(), 2);
+}
+
+TEST(MixerKernelTest, GainWeightsInputs) {
+  MixAccumulator acc(2);
+  std::vector<Sample> a = {1000, 1000};
+  acc.Accumulate(a, kUnityGain / 4);
+  std::vector<Sample> out(2);
+  acc.Resolve(out);
+  EXPECT_EQ(out[0], 250);
+}
+
+TEST(MixerKernelTest, MixSaturates) {
+  MixAccumulator acc(1);
+  std::vector<Sample> loud = {30000};
+  acc.Accumulate(loud, kUnityGain);
+  acc.Accumulate(loud, kUnityGain);
+  std::vector<Sample> out(1);
+  acc.Resolve(out);
+  EXPECT_EQ(out[0], 32767);
+}
+
+TEST(MixerKernelTest, ShortInputContributesSilenceTail) {
+  MixAccumulator acc(4);
+  std::vector<Sample> a = {5, 5};
+  acc.Accumulate(a, kUnityGain);
+  std::vector<Sample> out(4);
+  acc.Resolve(out);
+  EXPECT_EQ(out, (std::vector<Sample>{5, 5, 0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Tones, Goertzel & DTMF
+// ---------------------------------------------------------------------------
+
+TEST(GoertzelTest, DetectsTargetFrequency) {
+  auto tone = Sine(1000, 8000, 50, 1.0);
+  EXPECT_NEAR(GoertzelPower(tone, 1000, 8000), 1.0, 0.1);
+  EXPECT_LT(GoertzelPower(tone, 2000, 8000), 0.01);
+}
+
+TEST(ToneTest, OscillatorPhaseContinuousAcrossBlocks) {
+  SineOscillator whole(500, 8000, 0.5);
+  std::vector<Sample> full;
+  whole.Generate(800, &full);
+
+  SineOscillator split(500, 8000, 0.5);
+  std::vector<Sample> pieces;
+  split.Generate(300, &pieces);
+  split.Generate(500, &pieces);
+  EXPECT_EQ(pieces, full);
+}
+
+TEST(ToneTest, DialToneIsContinuous) {
+  ProgressToneGenerator gen(ProgressTone::kDialTone, 8000);
+  std::vector<Sample> out;
+  gen.Generate(8000, &out);
+  EXPECT_GT(Rms(out), 0.2);
+  EXPECT_GT(GoertzelPower(out, 350, 8000), 0.05);
+  EXPECT_GT(GoertzelPower(out, 440, 8000), 0.05);
+}
+
+TEST(ToneTest, BusyToneHasCadence) {
+  ProgressToneGenerator gen(ProgressTone::kBusy, 8000);
+  std::vector<Sample> out;
+  gen.Generate(8000, &out);  // 1 s: 0.5 on / 0.5 off
+  double first_half = Rms(std::span<const Sample>(out).first(4000));
+  double second_half = Rms(std::span<const Sample>(out).subspan(4000));
+  EXPECT_GT(first_half, 0.2);
+  EXPECT_LT(second_half, 0.01);
+}
+
+TEST(ToneTest, RingbackCadenceTwoOnFourOff) {
+  ProgressToneGenerator gen(ProgressTone::kRingback, 8000);
+  std::vector<Sample> out;
+  gen.Generate(6 * 8000, &out);
+  EXPECT_GT(Rms(std::span<const Sample>(out).first(16000)), 0.2);
+  EXPECT_LT(Rms(std::span<const Sample>(out).subspan(16000)), 0.01);
+}
+
+TEST(ToneTest, BeepHasRampsAndBody) {
+  auto beep = MakeBeep(8000, 250);
+  ASSERT_EQ(beep.size(), 2000u);
+  EXPECT_EQ(beep.front(), 0);  // attack ramp starts silent
+  EXPECT_GT(Rms(beep), 0.2);
+}
+
+TEST(DtmfTest, AllSixteenDigitsHaveFrequencies) {
+  const std::string digits = "0123456789ABCD*#";
+  for (char d : digits) {
+    double row;
+    double col;
+    EXPECT_TRUE(IsDtmfDigit(d));
+    EXPECT_TRUE(DtmfFrequencies(d, &row, &col)) << d;
+    EXPECT_GT(row, 600);
+    EXPECT_GT(col, 1200);
+  }
+  EXPECT_FALSE(IsDtmfDigit('x'));
+}
+
+TEST(DtmfTest, GeneratorDetectorRoundTrip) {
+  const std::string digits = "18005551234#";
+  auto audio = MakeDtmfString(digits, 8000);
+  DtmfDetector detector(8000);
+  detector.Process(audio);
+  EXPECT_EQ(detector.TakeDigits(), digits);
+}
+
+TEST(DtmfTest, DetectorIgnoresSpeechLikeTone) {
+  auto tone = Sine(440, 8000, 500, 0.5);
+  DtmfDetector detector(8000);
+  detector.Process(tone);
+  EXPECT_EQ(detector.TakeDigits(), "");
+}
+
+TEST(DtmfTest, RepeatedDigitWithGapDetectedTwice) {
+  auto once = MakeDtmfDigit('5', 8000);
+  std::vector<Sample> twice = once;
+  twice.insert(twice.end(), once.begin(), once.end());
+  DtmfDetector detector(8000);
+  detector.Process(twice);
+  EXPECT_EQ(detector.TakeDigits(), "55");
+}
+
+TEST(DtmfTest, DetectorSurvivesModerateNoise) {
+  auto audio = MakeDtmfString("911", 8000);
+  uint32_t seed = 12345;
+  for (Sample& s : audio) {
+    seed = seed * 1103515245 + 12345;
+    int noise = static_cast<int>((seed >> 16) % 2048) - 1024;
+    int v = s + noise;
+    s = static_cast<Sample>(std::clamp(v, -32768, 32767));
+  }
+  DtmfDetector detector(8000);
+  detector.Process(audio);
+  EXPECT_EQ(detector.TakeDigits(), "911");
+}
+
+// ---------------------------------------------------------------------------
+// AGC & pause detection
+// ---------------------------------------------------------------------------
+
+TEST(AgcTest, BoostsQuietSignalTowardTarget) {
+  auto quiet = Sine(440, 8000, 3000, 0.05);
+  AutomaticGainControl agc;
+  agc.Process(quiet);
+  auto tail = std::span<const Sample>(quiet).subspan(quiet.size() - 4000);
+  EXPECT_GT(Rms(tail), 0.15);
+  EXPECT_GT(agc.current_gain(), 2.0);
+}
+
+TEST(AgcTest, DoesNotAmplifySilence) {
+  std::vector<Sample> silence(8000, 0);
+  AutomaticGainControl agc;
+  agc.Process(silence);
+  EXPECT_NEAR(agc.current_gain(), 1.0, 0.01);
+}
+
+TEST(AgcTest, TamesLoudSignal) {
+  auto loud = Sine(440, 8000, 3000, 0.95);
+  AutomaticGainControl agc;
+  agc.Process(loud);
+  EXPECT_LT(agc.current_gain(), 1.0);
+}
+
+TEST(PauseDetectorTest, FiresAfterConfiguredSilence) {
+  PauseDetector detector(8000);  // default: 1.5 s pause
+  auto speech = Sine(300, 8000, 500, 0.3);
+  EXPECT_FALSE(detector.Process(speech));
+  std::vector<Sample> silence(8000, 0);  // 1 s: not enough
+  EXPECT_FALSE(detector.Process(silence));
+  EXPECT_TRUE(detector.Process(silence));  // 2 s total: pause
+  EXPECT_TRUE(detector.pause_detected());
+}
+
+TEST(PauseDetectorTest, SpeechResetsSilenceRun) {
+  PauseDetector detector(8000, {.frame_ms = 20, .silence_threshold = 0.01, .pause_ms = 1000});
+  std::vector<Sample> silence(7200, 0);  // 0.9 s
+  auto blip = Sine(300, 8000, 100, 0.3);
+  detector.Process(silence);
+  detector.Process(blip);
+  EXPECT_FALSE(detector.Process(silence));  // run restarted
+  EXPECT_EQ(detector.trailing_silence_ms(), 900);
+}
+
+TEST(PauseDetectorTest, ResetClearsLatch) {
+  PauseDetector detector(8000, {.frame_ms = 20, .silence_threshold = 0.01, .pause_ms = 100});
+  std::vector<Sample> silence(1600, 0);
+  EXPECT_TRUE(detector.Process(silence));
+  detector.Reset();
+  EXPECT_FALSE(detector.pause_detected());
+}
+
+TEST(PauseCompressionTest, RemovesLongSilences) {
+  // speech(0.5s) + silence(2s) + speech(0.5s)
+  auto speech = Sine(300, 8000, 500, 0.3);
+  std::vector<Sample> in = speech;
+  in.insert(in.end(), 16000, 0);
+  in.insert(in.end(), speech.begin(), speech.end());
+
+  auto out = CompressPauses(in, 8000);
+  // 2 s of silence collapses to ~150 ms; speech retained.
+  EXPECT_LT(out.size(), in.size() - 12000);
+  EXPECT_GT(out.size(), 2 * speech.size());
+}
+
+TEST(PauseCompressionTest, PureSpeechUntouched) {
+  auto speech = Sine(300, 8000, 1000, 0.3);
+  auto out = CompressPauses(speech, 8000);
+  EXPECT_EQ(out.size(), speech.size());
+}
+
+}  // namespace
+}  // namespace aud

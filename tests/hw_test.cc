@@ -1,0 +1,388 @@
+// Hardware-simulation tests: codec underrun/overrun accounting, the phone
+// exchange call FSM, DTMF transport, far-end scripting and the board pump.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/dtmf.h"
+#include "src/dsp/goertzel.h"
+#include "src/dsp/tone.h"
+#include "src/hw/board.h"
+
+namespace aud {
+namespace {
+
+double Rms(std::span<const Sample> s) {
+  if (s.empty()) {
+    return 0;
+  }
+  double acc = 0;
+  for (Sample v : s) {
+    acc += (v / 32768.0) * (v / 32768.0);
+  }
+  return std::sqrt(acc / s.size());
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, PlaybackFlowsThrough) {
+  Codec codec(8000, 1024);
+  std::vector<Sample> in = {1, 2, 3, 4};
+  EXPECT_EQ(codec.WritePlayback(in), 4u);
+  EXPECT_EQ(codec.PlaybackQueued(), 4u);
+  std::vector<Sample> played;
+  codec.PumpPlayback(4, &played);
+  EXPECT_EQ(played, in);
+  EXPECT_EQ(codec.underrun_frames(), 0);
+  EXPECT_EQ(codec.device_frames(), 4);
+}
+
+TEST(CodecTest, IdleCodecDoesNotCountUnderruns) {
+  Codec codec(8000, 1024);
+  codec.PumpPlayback(160, nullptr);
+  EXPECT_EQ(codec.underrun_frames(), 0);
+  EXPECT_FALSE(codec.playback_started());
+}
+
+TEST(CodecTest, StarvedCodecCountsUnderruns) {
+  Codec codec(8000, 1024);
+  std::vector<Sample> in(100, 5);
+  codec.WritePlayback(in);
+  std::vector<Sample> played;
+  codec.PumpPlayback(160, &played);  // only 100 available
+  EXPECT_EQ(codec.underrun_frames(), 60);
+  EXPECT_EQ(codec.underrun_events(), 1);
+  // Starved region renders silence.
+  EXPECT_EQ(played[120], 0);
+}
+
+TEST(CodecTest, UnderrunEventsCountEpisodesNotFrames) {
+  Codec codec(8000, 1024);
+  std::vector<Sample> block(160, 7);
+  codec.WritePlayback(block);
+  codec.PumpPlayback(160, nullptr);  // fed
+  codec.PumpPlayback(160, nullptr);  // starved (episode 1)
+  codec.PumpPlayback(160, nullptr);  // still starved (same episode)
+  codec.WritePlayback(block);
+  codec.PumpPlayback(160, nullptr);  // fed again
+  codec.PumpPlayback(160, nullptr);  // starved (episode 2)
+  EXPECT_EQ(codec.underrun_events(), 2);
+}
+
+TEST(CodecTest, CaptureOverflowCounted) {
+  Codec codec(8000, 64);
+  std::vector<Sample> in(100, 3);
+  codec.PumpCapture(in);
+  EXPECT_GT(codec.overrun_frames(), 0);
+  EXPECT_EQ(codec.CaptureAvailable(), 64u);
+}
+
+TEST(CodecTest, PlaybackEndFramePredictsCompletion) {
+  Codec codec(8000, 1024);
+  std::vector<Sample> in(500, 1);
+  codec.WritePlayback(in);
+  EXPECT_EQ(codec.PlaybackEndFrame(), 500);
+  codec.PumpPlayback(200, nullptr);
+  EXPECT_EQ(codec.PlaybackEndFrame(), 500);  // 200 played + 300 queued
+}
+
+TEST(CodecTest, DeviceTimeTracksFrames) {
+  Codec codec(8000, 1024);
+  codec.PumpPlayback(8000, nullptr);
+  EXPECT_EQ(codec.DeviceTime(), kTicksPerSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+// ---------------------------------------------------------------------------
+
+class ExchangeTest : public ::testing::Test {
+ protected:
+  Exchange exchange_{8000};
+
+  void Advance(int ms) {
+    size_t frames = static_cast<size_t>(8000) * ms / 1000;
+    while (frames > 0) {
+      size_t step = std::min<size_t>(frames, 160);
+      exchange_.Advance(step);
+      frames -= step;
+    }
+  }
+};
+
+TEST_F(ExchangeTest, BasicCallSetupAndAudio) {
+  ExchangeLine* a = exchange_.AddLine("100", "Alice");
+  ExchangeLine* b = exchange_.AddLine("200", "Bob");
+
+  int b_rings = 0;
+  std::string caller_seen;
+  b->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kRing) {
+      ++b_rings;
+      caller_seen = e.caller_id;
+    }
+  });
+
+  ASSERT_TRUE(a->Dial("200").ok());
+  EXPECT_EQ(a->state(), LineState::kRingingOut);
+  EXPECT_EQ(b->state(), LineState::kRingingIn);
+  EXPECT_EQ(b_rings, 1);
+  EXPECT_EQ(caller_seen, "Alice");
+
+  // Caller hears ringback while waiting.
+  Advance(500);
+  std::vector<Sample> heard(4000);
+  a->ReadRx(heard);
+  EXPECT_GT(GoertzelPower(heard, 440, 8000), 0.01);
+
+  ASSERT_TRUE(b->Answer().ok());
+  EXPECT_EQ(a->state(), LineState::kConnected);
+  EXPECT_EQ(b->state(), LineState::kConnected);
+
+  // Voice path: A speaks, B hears.
+  std::vector<Sample> voice(800, 1234);
+  a->WriteTx(voice);
+  Advance(100);
+  std::vector<Sample> rx(800);
+  b->ReadRx(rx);
+  int matching = 0;
+  for (Sample s : rx) {
+    if (s == 1234) {
+      ++matching;
+    }
+  }
+  EXPECT_EQ(matching, 800);
+}
+
+TEST_F(ExchangeTest, DialUnknownNumberGetsReorder) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  CallState state = CallState::kIdle;
+  a->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kProgress) {
+      state = e.state;
+    }
+  });
+  ASSERT_TRUE(a->Dial("999").ok());
+  EXPECT_EQ(state, CallState::kFailed);
+  EXPECT_EQ(a->state(), LineState::kReorderTone);
+  Advance(100);
+  std::vector<Sample> heard(800);
+  a->ReadRx(heard);
+  EXPECT_GT(Rms(heard), 0.05);  // reorder tone audible
+}
+
+TEST_F(ExchangeTest, BusyLineGetsBusyTone) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  ExchangeLine* c = exchange_.AddLine("300");
+  a->Dial("200");
+  b->Answer();
+
+  CallState state = CallState::kIdle;
+  c->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kProgress) {
+      state = e.state;
+    }
+  });
+  ASSERT_TRUE(c->Dial("200").ok());
+  EXPECT_EQ(state, CallState::kBusy);
+  EXPECT_EQ(c->state(), LineState::kBusyTone);
+}
+
+TEST_F(ExchangeTest, DialWhileOffHookFails) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  a->Dial("200");
+  b->Answer();
+  EXPECT_FALSE(a->Dial("300").ok());
+}
+
+TEST_F(ExchangeTest, AnswerWithoutRingFails) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  EXPECT_FALSE(a->Answer().ok());
+}
+
+TEST_F(ExchangeTest, HangupNotifiesPeer) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  a->Dial("200");
+  b->Answer();
+
+  CallState b_state = CallState::kIdle;
+  b->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kProgress) {
+      b_state = e.state;
+    }
+  });
+  a->HangUp();
+  EXPECT_EQ(b_state, CallState::kHungUp);
+  EXPECT_EQ(a->state(), LineState::kOnHook);
+  EXPECT_EQ(b->state(), LineState::kOnHook);
+}
+
+TEST_F(ExchangeTest, AbandonedCallStopsRinging) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  a->Dial("200");
+  a->HangUp();
+  EXPECT_EQ(b->state(), LineState::kOnHook);
+}
+
+TEST_F(ExchangeTest, RingCadenceRepeats) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  int rings = 0;
+  b->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kRing) {
+      ++rings;
+    }
+  });
+  a->Dial("200");
+  Advance(13000);  // 13 s: initial ring + two cadence repeats (6 s period)
+  EXPECT_EQ(rings, 3);
+}
+
+TEST_F(ExchangeTest, DtmfTravelsInBandAndOutOfBand) {
+  ExchangeLine* a = exchange_.AddLine("100");
+  ExchangeLine* b = exchange_.AddLine("200");
+  a->Dial("200");
+  b->Answer();
+
+  std::string digits;
+  b->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kDtmf) {
+      digits.push_back(e.digit);
+    }
+  });
+
+  a->SendDtmf("73");
+  std::vector<Sample> heard;
+  for (int i = 0; i < 50; ++i) {
+    exchange_.Advance(160);
+    std::vector<Sample> chunk(160);
+    b->ReadRx(chunk);
+    heard.insert(heard.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(digits, "73");
+  DtmfDetector detector(8000);
+  detector.Process(heard);
+  EXPECT_EQ(detector.TakeDigits(), "73");
+}
+
+// ---------------------------------------------------------------------------
+// Far end & board
+// ---------------------------------------------------------------------------
+
+TEST(FarEndTest, ScriptedCallerAnswersAndRecords) {
+  Board board({.phone_lines = 1});
+  FarEndParty* party = board.AddFarEnd("555-5000");
+  party->AnswerAfterRings(1).RecordMs(500).HangUp();
+
+  PhoneLineUnit* phone = board.phone_lines()[0];
+  ASSERT_TRUE(phone->Dial("555-5000").ok());
+
+  // Pump: the party answers, records 500 ms of what we send, hangs up.
+  std::vector<Sample> voice(160, 2222);
+  for (int i = 0; i < 100 && !party->done(); ++i) {
+    phone->tx_codec().WritePlayback(voice);
+    board.Advance(160);
+  }
+  EXPECT_TRUE(party->done());
+  int matching = 0;
+  for (Sample s : party->recorded()) {
+    if (s == 2222) {
+      ++matching;
+    }
+  }
+  EXPECT_GT(matching, 3000);  // most of the 4000 recorded samples
+}
+
+TEST(FarEndTest, DialAndWaitReachesConnected) {
+  Board board({.phone_lines = 1});
+  FarEndParty* party = board.AddFarEnd("555-5000");
+  party->DialAndWait("555-0100").WaitMs(100).HangUp();
+
+  // The workstation answers by hand.
+  PhoneLineUnit* phone = board.phone_lines()[0];
+  bool rang = false;
+  phone->SetEventSink([&](const ExchangeLine::Event& e) {
+    if (e.type == ExchangeLine::Event::Type::kRing) {
+      rang = true;
+    }
+  });
+  for (int i = 0; i < 20 && !rang; ++i) {
+    board.Advance(160);
+  }
+  ASSERT_TRUE(rang);
+  ASSERT_TRUE(phone->Answer().ok());
+  for (int i = 0; i < 100 && !party->done(); ++i) {
+    board.Advance(160);
+  }
+  EXPECT_TRUE(party->done());
+  EXPECT_EQ(party->last_progress(), CallState::kConnected);
+}
+
+TEST(BoardTest, DefaultBoardShape) {
+  Board board({});
+  EXPECT_EQ(board.speakers().size(), 1u);
+  EXPECT_EQ(board.microphones().size(), 1u);
+  EXPECT_EQ(board.phone_lines().size(), 1u);
+  EXPECT_EQ(board.devices().size(), 3u);
+  EXPECT_EQ(board.phone_lines()[0]->line()->number(), "555-0100");
+  // Domains: desktop for speaker+mic, separate for the line.
+  EXPECT_EQ(board.speakers()[0]->ambient_domain(), kDesktopDomain);
+  EXPECT_EQ(board.microphones()[0]->ambient_domain(), kDesktopDomain);
+  EXPECT_EQ(board.phone_lines()[0]->ambient_domain(), kPhoneDomainBase);
+}
+
+TEST(BoardTest, MicrophonePendingAudioIsHeard) {
+  Board board({});
+  MicrophoneUnit* mic = board.microphones()[0];
+  std::vector<Sample> speech(800, 4321);
+  mic->AddPendingAudio(speech);
+  board.Advance(800);
+  std::vector<Sample> captured(800);
+  size_t got = mic->codec().ReadCapture(captured);
+  ASSERT_EQ(got, 800u);
+  EXPECT_EQ(captured[0], 4321);
+}
+
+TEST(BoardTest, MicrophoneSourceFillsAfterPending) {
+  Board board({});
+  MicrophoneUnit* mic = board.microphones()[0];
+  mic->set_source([](std::span<Sample> block) {
+    for (Sample& s : block) {
+      s = 99;
+    }
+  });
+  mic->AddPendingAudio(std::vector<Sample>(80, 11));
+  board.Advance(160);
+  std::vector<Sample> captured(160);
+  mic->codec().ReadCapture(captured);
+  EXPECT_EQ(captured[0], 11);
+  EXPECT_EQ(captured[100], 99);
+}
+
+TEST(BoardTest, SpeakerSinkCallbackStreams) {
+  Board board({});
+  SpeakerUnit* speaker = board.speakers()[0];
+  size_t streamed = 0;
+  speaker->set_sink([&](std::span<const Sample> block) { streamed += block.size(); });
+  speaker->codec().WritePlayback(std::vector<Sample>(320, 1));
+  board.Advance(160);
+  board.Advance(160);
+  EXPECT_EQ(streamed, 320u);
+}
+
+TEST(BoardTest, FramesElapsedAccumulates) {
+  Board board({});
+  board.Advance(160);
+  board.Advance(160);
+  EXPECT_EQ(board.frames_elapsed(), 320);
+}
+
+}  // namespace
+}  // namespace aud

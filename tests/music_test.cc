@@ -1,0 +1,136 @@
+// Music-synthesizer tests: MIDI tuning, envelopes, polyphony.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/goertzel.h"
+#include "src/music/note_synth.h"
+
+namespace aud {
+namespace {
+
+constexpr uint32_t kRate = 8000;
+
+TEST(MidiTest, StandardTuning) {
+  EXPECT_DOUBLE_EQ(MidiNoteFrequency(69), 440.0);
+  EXPECT_NEAR(MidiNoteFrequency(60), 261.63, 0.01);  // middle C
+  EXPECT_DOUBLE_EQ(MidiNoteFrequency(81), 880.0);    // octave up
+}
+
+TEST(EnvelopeTest, AdsrStagesProgress) {
+  AdsrEnvelope env({.attack_ms = 10, .decay_ms = 10, .sustain_centi = 5000,
+                    .release_ms = 10},
+                   kRate);
+  EXPECT_FALSE(env.active());
+  env.NoteOn();
+  EXPECT_TRUE(env.active());
+
+  // Attack: rises to 1.0 in ~80 samples.
+  double peak = 0;
+  for (int i = 0; i < 90; ++i) {
+    peak = std::max(peak, env.Next());
+  }
+  EXPECT_NEAR(peak, 1.0, 0.02);
+
+  // Decay to sustain.
+  double level = 0;
+  for (int i = 0; i < 200; ++i) {
+    level = env.Next();
+  }
+  EXPECT_NEAR(level, 0.5, 0.02);
+
+  // Release to idle.
+  env.NoteOff();
+  for (int i = 0; i < 200; ++i) {
+    env.Next();
+  }
+  EXPECT_FALSE(env.active());
+}
+
+TEST(NoteSynthTest, RenderedNoteHasCorrectPitch) {
+  NoteSynthesizer synth(kRate);
+  auto note = synth.RenderNote(69, 127, 500);  // A4
+  ASSERT_GT(note.size(), 4000u);
+  double at_440 = GoertzelPower(std::span<const Sample>(note).subspan(400, 2048), 440, kRate);
+  double at_550 = GoertzelPower(std::span<const Sample>(note).subspan(400, 2048), 550, kRate);
+  EXPECT_GT(at_440, 0.01);
+  EXPECT_LT(at_550, at_440 / 10);
+}
+
+TEST(NoteSynthTest, VelocityScalesLoudness) {
+  NoteSynthesizer synth(kRate);
+  auto loud = synth.RenderNote(69, 127, 200);
+  auto soft = synth.RenderNote(69, 30, 200);
+  auto energy = [](const std::vector<Sample>& s) {
+    double acc = 0;
+    for (Sample v : s) {
+      acc += static_cast<double>(v) * v;
+    }
+    return acc;
+  };
+  EXPECT_GT(energy(loud), 4.0 * energy(soft));
+}
+
+TEST(NoteSynthTest, PolyphonyMixesNotes) {
+  NoteSynthesizer synth(kRate);
+  synth.NoteOn(60, 100, 400);
+  synth.NoteOn(64, 100, 400);
+  synth.NoteOn(67, 100, 400);  // C major triad
+  EXPECT_EQ(synth.active_notes(), 3u);
+  std::vector<Sample> out;
+  synth.Generate(2048, &out);
+  auto body = std::span<const Sample>(out).subspan(400, 1024);
+  EXPECT_GT(GoertzelPower(body, MidiNoteFrequency(60), kRate), 0.001);
+  EXPECT_GT(GoertzelPower(body, MidiNoteFrequency(64), kRate), 0.001);
+  EXPECT_GT(GoertzelPower(body, MidiNoteFrequency(67), kRate), 0.001);
+}
+
+TEST(NoteSynthTest, NotesExpireAfterRelease) {
+  NoteSynthesizer synth(kRate);
+  synth.NoteOn(60, 100, 100);
+  std::vector<Sample> out;
+  // 100 ms sustain + 100 ms release (default envelope) < 1 s of generation.
+  synth.Generate(8000, &out);
+  EXPECT_TRUE(synth.idle());
+}
+
+class WaveformTest : public ::testing::TestWithParam<Waveform> {};
+
+TEST_P(WaveformTest, AllWaveformsProduceAudio) {
+  NoteSynthesizer synth(kRate);
+  VoiceSettings voice;
+  voice.waveform = GetParam();
+  synth.SetVoice(voice);
+  auto note = synth.RenderNote(69, 100, 200);
+  double acc = 0;
+  for (Sample s : note) {
+    acc += std::abs(s);
+  }
+  EXPECT_GT(acc / note.size(), 500.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WaveformTest,
+                         ::testing::Values(Waveform::kSine, Waveform::kSquare,
+                                           Waveform::kSawtooth, Waveform::kTriangle));
+
+TEST(NoteSynthTest, SquareIsLouderThanSineAtSameSettings) {
+  // A square wave carries more energy than a sine at equal amplitude.
+  NoteSynthesizer synth(kRate);
+  auto sine = synth.RenderNote(60, 100, 300);
+  VoiceSettings voice;
+  voice.waveform = Waveform::kSquare;
+  synth.SetVoice(voice);
+  auto square = synth.RenderNote(60, 100, 300);
+  auto energy = [](const std::vector<Sample>& s) {
+    double acc = 0;
+    for (Sample v : s) {
+      acc += static_cast<double>(v) * v;
+    }
+    return acc / s.size();
+  };
+  EXPECT_GT(energy(square), energy(sine));
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,220 @@
+// Recognition-substrate tests: features, DTW, endpointing and the word
+// recognizer. Synthetic "words" are built from the TTS engine so the
+// whole path is self-contained.
+
+#include <gtest/gtest.h>
+
+#include "src/recognize/dtw.h"
+#include "src/recognize/endpoint.h"
+#include "src/recognize/features.h"
+#include "src/recognize/recognizer.h"
+#include "src/dsp/tone.h"
+#include "src/synth/synthesizer.h"
+
+namespace aud {
+namespace {
+
+constexpr uint32_t kRate = 8000;
+
+std::vector<Sample> Speak(const std::string& text, double pitch = 110.0) {
+  TextToSpeech tts(kRate);
+  tts.parameters().pitch_hz = pitch;
+  return tts.Synthesize(text);
+}
+
+TEST(FeaturesTest, FrameCountMatchesDuration) {
+  std::vector<Sample> second(kRate, 1000);
+  auto features = ExtractFeatures(second, kRate);
+  EXPECT_EQ(features.size(), 50u);  // 20 ms frames
+}
+
+TEST(FeaturesTest, SilenceHasLowEnergy) {
+  std::vector<Sample> silence(1600, 0);
+  auto features = ExtractFeatures(silence, kRate);
+  for (const auto& f : features) {
+    EXPECT_LT(f[0], -6.0);  // log energy of silence
+  }
+}
+
+TEST(FeaturesTest, BandEnergiesSeparateLowAndHighTones) {
+  auto features_of = [](double freq) {
+    std::vector<Sample> tone;
+    SineOscillator osc(freq, kRate, 0.5);
+    osc.Generate(160, &tone);
+    return ExtractFrameFeatures(tone, kRate);
+  };
+  auto low = features_of(250);
+  auto high = features_of(3400);
+  EXPECT_GT(low[2], low[7]);   // energy in the lowest band
+  EXPECT_GT(high[7], high[2]); // energy in the highest band
+}
+
+TEST(FeaturesTest, DistanceIsZeroForIdentical) {
+  FeatureVector f{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(FeatureDistance(f, f), 0.0);
+}
+
+TEST(DtwTest, IdenticalSequencesHaveZeroDistance) {
+  auto audio = Speak("hello");
+  auto features = ExtractFeatures(audio, kRate);
+  EXPECT_NEAR(DtwDistance(features, features), 0.0, 1e-9);
+}
+
+TEST(DtwTest, EmptySequenceIsInfinite) {
+  auto features = ExtractFeatures(Speak("hello"), kRate);
+  EXPECT_EQ(DtwDistance({}, features), kDtwInfinity);
+  EXPECT_EQ(DtwDistance(features, {}), kDtwInfinity);
+}
+
+TEST(DtwTest, ExtremeLengthRatioRejected) {
+  auto a = ExtractFeatures(Speak("a"), kRate);
+  std::vector<FeatureVector> lots(a.size() * 5, a[0]);
+  EXPECT_EQ(DtwDistance(a, lots), kDtwInfinity);
+}
+
+TEST(DtwTest, TimeWarpedVersionIsCloserThanDifferentWord) {
+  TextToSpeech normal(kRate);
+  auto word = normal.Synthesize("telephone");
+  TextToSpeech slow(kRate);
+  slow.parameters().speaking_rate = 0.8;
+  auto stretched = slow.Synthesize("telephone");
+  auto other = normal.Synthesize("goodbye");
+
+  auto f_word = ExtractFeatures(word, kRate);
+  auto f_stretched = ExtractFeatures(stretched, kRate);
+  auto f_other = ExtractFeatures(other, kRate);
+  EXPECT_LT(DtwDistance(f_word, f_stretched), DtwDistance(f_word, f_other));
+}
+
+TEST(EndpointTest, SegmentsTwoUtterances) {
+  auto word = Speak("yes");
+  std::vector<Sample> stream(4000, 0);  // 0.5 s leading silence
+  stream.insert(stream.end(), word.begin(), word.end());
+  stream.insert(stream.end(), 4000, 0);
+  stream.insert(stream.end(), word.begin(), word.end());
+  stream.insert(stream.end(), 4000, 0);
+
+  Endpointer endpointer(kRate);
+  std::vector<std::vector<Sample>> utterances;
+  endpointer.Process(stream,
+                     [&](std::vector<Sample> u) { utterances.push_back(std::move(u)); });
+  EXPECT_EQ(utterances.size(), 2u);
+  for (const auto& u : utterances) {
+    EXPECT_GT(u.size(), 800u);
+  }
+}
+
+TEST(EndpointTest, IgnoresShortClicks) {
+  std::vector<Sample> stream(4000, 0);
+  // A 30 ms click.
+  for (int i = 0; i < 240; ++i) {
+    stream[1000 + i] = 20000;
+  }
+  stream.insert(stream.end(), 8000, 0);
+  Endpointer endpointer(kRate);
+  int count = 0;
+  endpointer.Process(stream, [&](std::vector<Sample>) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(EndpointTest, CapsUtteranceLength) {
+  Endpointer endpointer(kRate, {.speech_threshold = 0.02,
+                                .end_silence_ms = 250,
+                                .min_utterance_ms = 100,
+                                .max_utterance_ms = 1000});
+  std::vector<Sample> endless(kRate * 5, 10000);
+  int count = 0;
+  endpointer.Process(endless, [&](std::vector<Sample> u) {
+    ++count;
+    EXPECT_LE(u.size(), kRate + 320u);
+  });
+  EXPECT_GE(count, 4);
+}
+
+class RecognizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Train three words with two slightly different voicings each.
+    for (const char* word : {"play", "rewind", "goodbye"}) {
+      recognizer_.Train(word, Speak(word, 110.0));
+      recognizer_.Train(word, Speak(word, 120.0));
+    }
+  }
+
+  WordRecognizer recognizer_{kRate};
+};
+
+TEST_F(RecognizerTest, RecognizesTrainedWords) {
+  for (const char* word : {"play", "rewind", "goodbye"}) {
+    auto result = recognizer_.RecognizeUtterance(Speak(word, 115.0));
+    ASSERT_TRUE(result.has_value()) << word;
+    EXPECT_EQ(result->word, word);
+    EXPECT_GT(result->score, 1000u);
+  }
+}
+
+TEST_F(RecognizerTest, VocabularyRestrictsMatches) {
+  recognizer_.SetVocabulary({"play"});
+  auto result = recognizer_.RecognizeUtterance(Speak("rewind", 115.0));
+  // "rewind" is out of vocabulary: either rejected or not labeled rewind.
+  if (result.has_value()) {
+    EXPECT_EQ(result->word, "play");
+  }
+}
+
+TEST_F(RecognizerTest, ContextNarrowsWithinVocabulary) {
+  recognizer_.SetVocabulary({"play", "rewind", "goodbye"});
+  recognizer_.AdjustContext({"goodbye"});
+  auto result = recognizer_.RecognizeUtterance(Speak("goodbye", 115.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->word, "goodbye");
+}
+
+TEST_F(RecognizerTest, StreamingModeEndpointsAndRecognizes) {
+  auto word = Speak("rewind", 115.0);
+  std::vector<Sample> stream(4000, 0);
+  stream.insert(stream.end(), word.begin(), word.end());
+  stream.insert(stream.end(), 8000, 0);
+
+  std::vector<RecognitionResult> results;
+  recognizer_.ProcessStream(stream,
+                            [&](const RecognitionResult& r) { results.push_back(r); });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].word, "rewind");
+}
+
+TEST_F(RecognizerTest, TemplatesSaveAndLoad) {
+  auto blob = recognizer_.SaveTemplates();
+  EXPECT_FALSE(blob.empty());
+
+  WordRecognizer fresh(kRate);
+  ASSERT_TRUE(fresh.LoadTemplates(blob));
+  EXPECT_EQ(fresh.template_count(), recognizer_.template_count());
+  EXPECT_EQ(fresh.trained_words(), recognizer_.trained_words());
+
+  auto result = fresh.RecognizeUtterance(Speak("play", 115.0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->word, "play");
+}
+
+TEST_F(RecognizerTest, CorruptTemplateBlobRejected) {
+  auto blob = recognizer_.SaveTemplates();
+  blob.resize(blob.size() / 2);
+  WordRecognizer fresh(kRate);
+  EXPECT_FALSE(fresh.LoadTemplates(blob));
+  EXPECT_EQ(fresh.template_count(), 0u);
+}
+
+TEST(RecognizerEdgeTest, EmptyUtteranceRejected) {
+  WordRecognizer recognizer(kRate);
+  recognizer.Train("x", Speak("x"));
+  EXPECT_FALSE(recognizer.RecognizeUtterance({}).has_value());
+}
+
+TEST(RecognizerEdgeTest, UntrainedRecognizerRejectsEverything) {
+  WordRecognizer recognizer(kRate);
+  EXPECT_FALSE(recognizer.RecognizeUtterance(Speak("anything")).has_value());
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,242 @@
+// Failure-injection and malformed-input robustness: resources destroyed
+// mid-use, abusive clients, truncated request payloads, id-range
+// violations. The server must degrade with protocol errors, never crash
+// or corrupt other clients.
+
+#include <gtest/gtest.h>
+
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class RobustnessTest : public ServerFixture {};
+
+TEST_F(RobustnessTest, SoundDestroyedMidPlayAbortsCleanly) {
+  auto tone = TestTone(2000);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(100);
+
+  client_->DestroySound(sound);
+  Flush();
+  // The play command terminates (the sound vanished under it).
+  auto done = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kCommandDone; }, 10000);
+  ASSERT_TRUE(done.has_value());
+  // The server remains healthy.
+  ExpectNoErrors();
+}
+
+TEST_F(RobustnessTest, WireDestroyedMidPlayJustSilences) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto tone = TestTone(1000);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  auto wires = client_->QueryWires(chain.player);
+  ASSERT_TRUE(wires.ok());
+  ResourceId wire = wires.value().wires[0].id;
+
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(200);
+  client_->DestroyWire(wire);
+  Flush();
+  // Playback still completes (producing into no wires).
+  EXPECT_TRUE(toolkit_->WaitCommandDone(1, 20000));
+  ExpectNoErrors();
+}
+
+TEST_F(RobustnessTest, DestroyLoudMidRecordingStopsEverything) {
+  auto chain = toolkit_->BuildRecordChain();
+  ResourceId sound = client_->CreateSound(kTelephoneFormat);
+  board_->microphones()[0]->set_source([](std::span<Sample> block) {
+    for (Sample& s : block) {
+      s = 5000;
+    }
+  });
+  client_->Enqueue(chain.loud,
+                   {RecordCommand(chain.recorder, sound, kTerminateOnStop, 60000, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(200);
+  client_->DestroyLoud(chain.loud);
+  Flush();
+  StepMs(200);
+  // Gone from the registry; the sound still exists (client-owned).
+  EXPECT_FALSE(client_->QueryLoud(chain.loud).ok());
+  EXPECT_TRUE(client_->QuerySound(sound).ok());
+  AsyncError e;
+  while (client_->NextError(&e)) {
+  }
+}
+
+TEST_F(RobustnessTest, DoubleMapAndDoubleUnmapAreIdempotent) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->MapLoud(loud);
+  client_->MapLoud(loud);
+  client_->UnmapLoud(loud);
+  client_->UnmapLoud(loud);
+  ExpectNoErrors();
+  auto stack = client_->QueryActiveStack();
+  ASSERT_TRUE(stack.ok());
+  EXPECT_TRUE(stack.value().entries.empty());
+}
+
+TEST_F(RobustnessTest, IdOutsideClientBlockRejected) {
+  CreateLoudReq req;
+  req.id = 5;  // far below the client's block
+  ByteWriter w;
+  req.Encode(&w);
+  client_->SendRequest(Opcode::kCreateLoud, w.bytes());
+  ExpectError(ErrorCode::kBadIdChoice);
+
+  req.id = kServerIdBase + 10;  // inside the server-reserved range
+  ByteWriter w2;
+  req.Encode(&w2);
+  client_->SendRequest(Opcode::kCreateLoud, w2.bytes());
+  ExpectError(ErrorCode::kBadIdChoice);
+}
+
+TEST_F(RobustnessTest, DuplicateIdRejected) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  Flush();
+  CreateSoundReq req;
+  req.id = loud;  // collides with the LOUD
+  req.format = kTelephoneFormat;
+  ByteWriter w;
+  req.Encode(&w);
+  client_->SendRequest(Opcode::kCreateSound, w.bytes());
+  ExpectError(ErrorCode::kBadIdChoice);
+}
+
+TEST_F(RobustnessTest, TruncatedPayloadsYieldErrorsNotCrashes) {
+  // Send every prefix of a valid CreateVirtualDevice request as the
+  // payload; the server must answer each with an error (or accept a
+  // trivially-valid prefix) and stay alive.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  Flush();
+  CreateVirtualDeviceReq req;
+  req.id = client_->AllocId();
+  req.loud = loud;
+  req.device_class = DeviceClass::kMixer;
+  req.attrs.SetString(AttrTag::kName, "m");
+  ByteWriter w;
+  req.Encode(&w);
+
+  for (size_t len = 0; len < w.bytes().size(); ++len) {
+    client_->SendRequest(Opcode::kCreateVirtualDevice,
+                         std::span<const uint8_t>(w.bytes()).first(len));
+  }
+  ASSERT_TRUE(client_->Sync().ok());
+  AsyncError error;
+  while (client_->NextError(&error)) {
+  }
+  // Server is still fully functional.
+  ResourceId after = client_->CreateLoud(kNoResource, {});
+  Flush();
+  EXPECT_TRUE(client_->QueryLoud(after).ok());
+}
+
+TEST_F(RobustnessTest, HostileOpcodeFloodSurvives) {
+  for (uint16_t code = 0; code < 120; ++code) {
+    client_->SendRequest(static_cast<Opcode>(code), {});
+  }
+  ASSERT_TRUE(client_->Sync().ok());
+  AsyncError error;
+  int errors = 0;
+  while (client_->NextError(&error)) {
+    ++errors;
+  }
+  EXPECT_GT(errors, 0);
+  ExpectNoErrors();  // drained; still alive
+}
+
+TEST_F(RobustnessTest, OversizedSoundWriteRejected) {
+  ResourceId sound = client_->CreateSound(kTelephoneFormat);
+  WriteSoundDataReq req;
+  req.id = sound;
+  req.offset = 63ull << 20;
+  req.data.assign(2 << 20, 0);  // pushes past the 64 MiB cap
+  ByteWriter w;
+  req.Encode(&w);
+  client_->SendRequest(Opcode::kWriteSoundData, w.bytes());
+  ExpectError(ErrorCode::kAlloc);
+}
+
+TEST_F(RobustnessTest, ForeignResourceOperationsRejected) {
+  auto client2 = Connect("intruder");
+  ASSERT_NE(client2, nullptr);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  Flush();
+
+  // Another client cannot destroy, map or enqueue on our LOUD.
+  client2->DestroyLoud(loud);
+  client2->MapLoud(loud);
+  client2->StartQueue(loud);
+  ASSERT_TRUE(client2->Sync().ok());
+  AsyncError error;
+  int errors = 0;
+  while (client2->NextError(&error)) {
+    EXPECT_EQ(error.error.code, ErrorCode::kBadResource);
+    ++errors;
+  }
+  EXPECT_EQ(errors, 3);
+  // Ours is untouched.
+  EXPECT_TRUE(client_->QueryLoud(loud).ok());
+}
+
+TEST_F(RobustnessTest, EventMaskDeselectionStopsDelivery) {
+  auto tone = TestTone(100);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  // Deselect everything.
+  client_->SelectEvents(chain.loud, 0);
+  Flush();
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(500);
+  EventMessage event;
+  while (client_->PollEvent(&event)) {
+    EXPECT_NE(event.type, EventType::kCommandDone) << "event delivered despite mask 0";
+    EXPECT_NE(event.type, EventType::kQueueStarted);
+  }
+}
+
+TEST_F(RobustnessTest, SelfWireIsHandled) {
+  // Wiring a DSP's own output to its own input (a loop) is accepted
+  // structurally but must not hang or explode the engine.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId dsp = client_->CreateDevice(loud, DeviceClass::kDsp, {});
+  client_->CreateWire(dsp, 0, dsp, 0);
+  client_->MapLoud(loud);
+  Flush();
+  StepMs(500);  // engine survives the loop
+  ExpectNoErrors();
+}
+
+TEST_F(RobustnessTest, ZeroLengthSoundPlaysInstantly) {
+  ResourceId sound = client_->CreateSound(kTelephoneFormat);  // empty
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  EXPECT_TRUE(toolkit_->WaitCommandDone(1, 5000));
+}
+
+TEST_F(RobustnessTest, PauseOfIdleQueueIsBadState) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  client_->PauseQueue(loud);
+  ExpectError(ErrorCode::kBadState);
+  client_->ResumeQueue(loud);
+  ExpectError(ErrorCode::kBadState);
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,314 @@
+// Active-stack and activation tests (sections 5.3, 5.4, 5.8): mapping,
+// attribute matching, augmentation, telephone exclusivity, exclusive
+// ambient domains, preemption with server-paused queues, and redirection.
+
+#include <gtest/gtest.h>
+
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class ActivationTest : public ServerFixture {};
+
+TEST_F(ActivationTest, MapActivatesAndBindsByClass) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->SelectEvents(loud, kLifecycleEvents);
+  client_->MapLoud(loud);
+  Flush();
+
+  auto reply = client_->QueryDevice(output);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().active, 1);
+  EXPECT_NE(reply.value().bound_device, kNoResource);
+  // Matched hardware attributes are visible (section 5.3).
+  EXPECT_EQ(reply.value().attrs.GetString(AttrTag::kName), "speaker0");
+
+  bool activated = false;
+  EventMessage event;
+  while (client_->PollEvent(&event)) {
+    if (event.type == EventType::kActivateNotify) {
+      activated = true;
+    }
+  }
+  EXPECT_TRUE(activated);
+}
+
+TEST_F(ActivationTest, TightAttributeSelectsSpecificSpeaker) {
+  Init(BoardConfig{.speakers = 2});
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  AttrList attrs;
+  attrs.SetString(AttrTag::kPosition, "right");  // "give me the left speaker"-style
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, attrs);
+  client_->MapLoud(loud);
+  Flush();
+
+  auto reply = client_->QueryDevice(output);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().active, 1);
+  EXPECT_EQ(reply.value().attrs.GetString(AttrTag::kName), "speaker1");
+}
+
+TEST_F(ActivationTest, ImpossibleAttributesLeaveLoudInactive) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  AttrList attrs;
+  attrs.SetString(AttrTag::kName, "no-such-device");
+  client_->CreateDevice(loud, DeviceClass::kOutput, attrs);
+  client_->MapLoud(loud);
+  Flush();
+  auto state = client_->QueryLoud(loud);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().mapped, 1);
+  EXPECT_EQ(state.value().active, 0);
+}
+
+TEST_F(ActivationTest, AugmentPinsDeviceAcrossRemap) {
+  // Section 5.3: query the selected device id, augment the vdev with it.
+  Init(BoardConfig{.speakers = 2});
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->MapLoud(loud);
+  Flush();
+  auto reply = client_->QueryDevice(output);
+  ASSERT_TRUE(reply.ok());
+  ResourceId chosen = reply.value().bound_device;
+  ASSERT_NE(chosen, kNoResource);
+
+  AttrList pin;
+  pin.SetU32(AttrTag::kDeviceId, chosen);
+  client_->AugmentDevice(output, pin);
+  client_->UnmapLoud(loud);
+  client_->MapLoud(loud);
+  Flush();
+  auto reply2 = client_->QueryDevice(output);
+  ASSERT_TRUE(reply2.ok());
+  EXPECT_EQ(reply2.value().bound_device, chosen);
+}
+
+TEST_F(ActivationTest, TelephoneIsExclusive) {
+  // Two LOUDs both wanting the single phone line: only the top activates.
+  ResourceId loud1 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud1, DeviceClass::kTelephone, {});
+  ResourceId loud2 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud2, DeviceClass::kTelephone, {});
+  client_->SelectEvents(loud1, kLifecycleEvents);
+  client_->SelectEvents(loud2, kLifecycleEvents);
+
+  client_->MapLoud(loud1);
+  client_->MapLoud(loud2);  // mapped later: goes on top
+  Flush();
+
+  auto s1 = client_->QueryLoud(loud1);
+  auto s2 = client_->QueryLoud(loud2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value().active, 1) << "top of stack gets the line";
+  EXPECT_EQ(s1.value().active, 0) << "lower LOUD is denied the line";
+
+  // Raising loud1 preempts loud2.
+  client_->RaiseLoud(loud1);
+  Flush();
+  s1 = client_->QueryLoud(loud1);
+  s2 = client_->QueryLoud(loud2);
+  EXPECT_EQ(s1.value().active, 1);
+  EXPECT_EQ(s2.value().active, 0);
+}
+
+TEST_F(ActivationTest, SpeakersShareByDefault) {
+  ResourceId loud1 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud1, DeviceClass::kOutput, {});
+  ResourceId loud2 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud2, DeviceClass::kOutput, {});
+  client_->MapLoud(loud1);
+  client_->MapLoud(loud2);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(loud1).value().active, 1);
+  EXPECT_EQ(client_->QueryLoud(loud2).value().active, 1);
+}
+
+TEST_F(ActivationTest, ExclusiveInputPreemptsSameDomainInputs) {
+  // Section 5.8: activating a microphone with exclusive input excludes
+  // other inputs in the desktop domain, but not outputs.
+  ResourceId listener = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(listener, DeviceClass::kInput, {});
+  ResourceId speaker_loud = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(speaker_loud, DeviceClass::kOutput, {});
+  client_->MapLoud(listener);
+  client_->MapLoud(speaker_loud);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(listener).value().active, 1);
+
+  ResourceId exclusive = client_->CreateLoud(kNoResource, {});
+  AttrList attrs;
+  attrs.SetBool(AttrTag::kExclusiveInput, true);
+  client_->CreateDevice(exclusive, DeviceClass::kInput, attrs);
+  client_->MapLoud(exclusive);  // top of stack
+  Flush();
+
+  EXPECT_EQ(client_->QueryLoud(exclusive).value().active, 1);
+  EXPECT_EQ(client_->QueryLoud(listener).value().active, 0)
+      << "plain input in the same ambient domain must be preempted";
+  EXPECT_EQ(client_->QueryLoud(speaker_loud).value().active, 1)
+      << "outputs are unaffected by exclusive *input*";
+
+  // Unmapping the exclusive LOUD reactivates the listener.
+  client_->UnmapLoud(exclusive);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(listener).value().active, 1);
+}
+
+TEST_F(ActivationTest, ExclusiveOutputPreemptsSameDomainOutputs) {
+  ResourceId background = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(background, DeviceClass::kOutput, {});
+  client_->MapLoud(background);
+  Flush();
+
+  ResourceId urgent = client_->CreateLoud(kNoResource, {});
+  AttrList attrs;
+  attrs.SetBool(AttrTag::kExclusiveOutput, true);
+  client_->CreateDevice(urgent, DeviceClass::kOutput, attrs);
+  client_->MapLoud(urgent);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(urgent).value().active, 1);
+  EXPECT_EQ(client_->QueryLoud(background).value().active, 0);
+}
+
+TEST_F(ActivationTest, PhoneDomainDoesNotInterfereWithDesktop) {
+  // A phone-line LOUD and an exclusive-output desktop LOUD coexist: they
+  // are different ambient domains (section 5.8).
+  ResourceId phone_loud = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(phone_loud, DeviceClass::kTelephone, {});
+  client_->MapLoud(phone_loud);
+
+  ResourceId desktop = client_->CreateLoud(kNoResource, {});
+  AttrList attrs;
+  attrs.SetBool(AttrTag::kExclusiveOutput, true);
+  client_->CreateDevice(desktop, DeviceClass::kOutput, attrs);
+  client_->MapLoud(desktop);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(phone_loud).value().active, 1);
+  EXPECT_EQ(client_->QueryLoud(desktop).value().active, 1);
+}
+
+TEST_F(ActivationTest, DeactivationServerPausesQueueAndResumesOnReactivation) {
+  board_->speakers()[0]->set_capture_output(true);
+
+  // Lower LOUD playing a long sound through the phone line (exclusive), a
+  // higher LOUD steals the line, then releases it.
+  ResourceId victim = client_->CreateLoud(kNoResource, {});
+  ResourceId phone1 = client_->CreateDevice(victim, DeviceClass::kTelephone, {});
+  ResourceId player1 = client_->CreateDevice(victim, DeviceClass::kPlayer, {});
+  client_->CreateWire(player1, 0, phone1, 0);
+  client_->SelectEvents(victim, kQueueEvents | kLifecycleEvents);
+  client_->MapLoud(victim);
+
+  std::vector<Sample> pcm(8000, 1000);  // 1 s
+  ResourceId sound = toolkit_->UploadSound(pcm, {Encoding::kPcm16, 8000});
+  client_->Enqueue(victim, {PlayCommand(player1, sound, 1)});
+  client_->StartQueue(victim);
+  Flush();
+  StepMs(200);
+
+  // Preempt.
+  ResourceId thief = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(thief, DeviceClass::kTelephone, {});
+  client_->MapLoud(thief);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(victim).value().active, 0);
+  auto queue_state = client_->QueryQueue(victim);
+  ASSERT_TRUE(queue_state.ok());
+  EXPECT_EQ(queue_state.value().state, QueueState::kServerPaused);
+
+  // Paused event carried the server-initiated flag.
+  auto paused = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kQueuePaused; }, 5000);
+  ASSERT_TRUE(paused.has_value());
+  EXPECT_EQ(QueuePausedArgs::Decode(paused->args).server_paused, 1);
+
+  // Release: unmap the thief. The victim auto-resumes (section 5.5).
+  client_->UnmapLoud(thief);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(victim).value().active, 1);
+  EXPECT_EQ(client_->QueryQueue(victim).value().state, QueueState::kStarted);
+  EXPECT_TRUE(toolkit_->WaitCommandDone(1, 30000));
+}
+
+TEST_F(ActivationTest, ActiveStackQueryShowsOrder) {
+  ResourceId a = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(a, DeviceClass::kOutput, {});
+  ResourceId b = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(b, DeviceClass::kOutput, {});
+  client_->MapLoud(a);
+  client_->MapLoud(b);
+  Flush();
+  auto stack = client_->QueryActiveStack();
+  ASSERT_TRUE(stack.ok());
+  ASSERT_EQ(stack.value().entries.size(), 2u);
+  EXPECT_EQ(stack.value().entries[0].loud, b);  // most recent on top
+  EXPECT_EQ(stack.value().entries[1].loud, a);
+
+  client_->LowerLoud(b);
+  Flush();
+  stack = client_->QueryActiveStack();
+  EXPECT_EQ(stack.value().entries[0].loud, a);
+}
+
+TEST_F(ActivationTest, RedirectionSendsMapRequestToManager) {
+  auto manager_conn = Connect("audio-manager");
+  ASSERT_NE(manager_conn, nullptr);
+  manager_conn->SetRedirect(true);
+  ASSERT_TRUE(manager_conn->Sync().ok());
+
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->MapLoud(loud);  // redirected, not performed
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(loud).value().mapped, 0);
+
+  EventMessage event;
+  ASSERT_TRUE(manager_conn->WaitEvent(&event, 2000));
+  EXPECT_EQ(event.type, EventType::kMapRequest);
+  EXPECT_EQ(MapRequestArgs::Decode(event.args).loud, loud);
+
+  // The manager performs the map on the app's behalf.
+  manager_conn->MapLoud(loud, /*override_redirect=*/true);
+  ASSERT_TRUE(manager_conn->Sync().ok());
+  EXPECT_EQ(client_->QueryLoud(loud).value().mapped, 1);
+}
+
+TEST_F(ActivationTest, SecondRedirectClaimRejected) {
+  auto manager1 = Connect("manager1");
+  auto manager2 = Connect("manager2");
+  manager1->SetRedirect(true);
+  ASSERT_TRUE(manager1->Sync().ok());
+  manager2->SetRedirect(true);
+  ASSERT_TRUE(manager2->Sync().ok());
+  AsyncError error;
+  ASSERT_TRUE(manager2->NextError(&error));
+  EXPECT_EQ(error.error.code, ErrorCode::kDeviceBusy);
+}
+
+TEST_F(ActivationTest, ManagerDisconnectReleasesRedirect) {
+  auto manager = Connect("manager");
+  manager->SetRedirect(true);
+  ASSERT_TRUE(manager->Sync().ok());
+  manager->Close();
+  // Wait for teardown.
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::lock_guard<std::mutex> lock(server_->mutex());
+    if (!server_->state().redirect_conn().has_value()) {
+      break;
+    }
+  }
+  // Mapping works again without redirection.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->MapLoud(loud);
+  Flush();
+  EXPECT_EQ(client_->QueryLoud(loud).value().mapped, 1);
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,266 @@
+// Playback-path tests: sounds through players to speakers, transparent
+// mixing of multiple clients, gapless back-to-back plays (the paper's
+// "without a single dropped or inserted sample"), and sync marks.
+
+#include <gtest/gtest.h>
+
+#include "src/dsp/encoding.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class PlaybackTest : public ServerFixture {};
+
+TEST_F(PlaybackTest, PlaySoundReachesSpeaker) {
+  board_->speakers()[0]->set_capture_output(true);
+
+  auto tone = TestTone(200);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  ExpectNoErrors();
+
+  ASSERT_TRUE(toolkit_->PlayAndWait(chain, sound));
+  StepMs(100);  // drain the codec ring
+
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  ASSERT_GT(played.size(), tone.size() / 2);
+  // The tone (not silence) must have reached the speaker: count audible
+  // samples rather than RMS, since virtual time may run past the sound.
+  size_t audible = 0;
+  for (Sample s : played) {
+    if (std::abs(s) > 1000) {
+      ++audible;
+    }
+  }
+  EXPECT_GT(audible, tone.size() / 2);
+  ExpectNoErrors();
+}
+
+TEST_F(PlaybackTest, PlaybackIsMulawRoundTripOfOriginal) {
+  board_->speakers()[0]->set_capture_output(true);
+
+  auto tone = TestTone(100);
+  tone[0] = 12000;  // distinctive alignment marker
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  ASSERT_TRUE(toolkit_->PlayAndWait(chain, sound));
+  StepMs(100);
+
+  // Compare against the mu-law round trip of the original.
+  StreamEncoder enc(Encoding::kMulaw8);
+  std::vector<uint8_t> bytes;
+  enc.Encode(tone, &bytes);
+  StreamDecoder dec(Encoding::kMulaw8);
+  std::vector<Sample> expected;
+  dec.Decode(bytes, &expected);
+
+  // Find the marker in the speaker output (skipping codec priming silence).
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  size_t start = 0;
+  while (start < played.size() && played[start] != expected[0]) {
+    ++start;
+  }
+  ASSERT_LT(start, played.size()) << "marker sample never played";
+  size_t n = std::min<size_t>(1000, expected.size());
+  ASSERT_LE(start + n, played.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(played[start + i], expected[i]) << "at sample " << i;
+  }
+}
+
+TEST_F(PlaybackTest, BackToBackPlaysAreGapless) {
+  board_->speakers()[0]->set_capture_output(true);
+
+  // Two sounds whose sizes are NOT period-aligned, so the transition falls
+  // mid-tick; a DC marker value makes gap samples (zeros) detectable.
+  std::vector<Sample> a(1234, 1000);
+  std::vector<Sample> b(2345, -2000);
+  ResourceId sa = toolkit_->UploadSound(a, {Encoding::kPcm16, 8000});
+  ResourceId sb = toolkit_->UploadSound(b, {Encoding::kPcm16, 8000});
+  auto chain = toolkit_->BuildPlaybackChain();
+  ExpectNoErrors();
+
+  uint32_t tag = 77;
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sa, 1),
+                                PlayCommand(chain.player, sb, tag)});
+  client_->StartQueue(chain.loud);
+  ASSERT_TRUE(toolkit_->WaitCommandDone(tag));
+  StepMs(1200);
+
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  // Locate the start of sound A.
+  size_t start = 0;
+  while (start < played.size() && played[start] != 1000) {
+    ++start;
+  }
+  ASSERT_LT(start + a.size() + b.size(), played.size() + 1);
+  // Every sample of A then immediately every sample of B: zero gap.
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(played[start + i], 1000) << "dropped/inserted sample inside A at " << i;
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    ASSERT_EQ(played[start + a.size() + i], -2000)
+        << "gap between A and B at offset " << i;
+  }
+}
+
+TEST_F(PlaybackTest, TwoClientsMixOnOneSpeaker) {
+  board_->speakers()[0]->set_capture_output(true);
+
+  // Client 1 plays a constant +1000; client 2 plays a constant +500. The
+  // speaker should carry +1500 where they overlap (transparent mixing,
+  // section 6.1).
+  auto client2 = Connect("client2");
+  ASSERT_NE(client2, nullptr);
+  AudioToolkit toolkit2(client2.get());
+  toolkit2.set_time_pump([this] { server_->StepFrames(160); });
+
+  std::vector<Sample> dc1(8000, 1000);
+  std::vector<Sample> dc2(8000, 500);
+  ResourceId s1 = toolkit_->UploadSound(dc1, {Encoding::kPcm16, 8000});
+  ResourceId s2 = toolkit2.UploadSound(dc2, {Encoding::kPcm16, 8000});
+
+  auto chain1 = toolkit_->BuildPlaybackChain();
+  auto chain2 = toolkit2.BuildPlaybackChain();
+  ExpectNoErrors();
+
+  client_->Enqueue(chain1.loud, {PlayCommand(chain1.player, s1, 11)});
+  client2->Enqueue(chain2.loud, {PlayCommand(chain2.player, s2, 22)});
+  client_->StartQueue(chain1.loud);
+  client2->StartQueue(chain2.loud);
+  client_->Sync().ok();
+  client2->Sync().ok();
+
+  ASSERT_TRUE(toolkit_->WaitCommandDone(11, 20000));
+  StepMs(200);
+
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  int mixed = 0;
+  for (Sample s : played) {
+    if (s == 1500) {
+      ++mixed;
+    }
+  }
+  // Both streams start within a tick or two of each other; the overlap
+  // must dominate.
+  EXPECT_GT(mixed, 6000) << "streams were not mixed sample-wise";
+}
+
+TEST_F(PlaybackTest, SyncMarksTrackPlaybackPosition) {
+  auto tone = TestTone(1000);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->SetSyncMarks(chain.loud, 125);
+  ExpectNoErrors();
+
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 9)});
+  client_->StartQueue(chain.loud);
+
+  std::vector<SyncMarkArgs> marks;
+  bool done = toolkit_
+                  ->WaitFor(
+                      [&](const EventMessage& event) {
+                        if (event.type == EventType::kSyncMark) {
+                          marks.push_back(SyncMarkArgs::Decode(event.args));
+                          return false;
+                        }
+                        return event.type == EventType::kCommandDone;
+                      },
+                      20000)
+                  .has_value();
+  ASSERT_TRUE(done);
+  // 1 s of audio with 125 ms marks: expect around 8 marks.
+  EXPECT_GE(marks.size(), 6u);
+  EXPECT_LE(marks.size(), 10u);
+  // Positions are monotonically increasing and end near the total.
+  for (size_t i = 1; i < marks.size(); ++i) {
+    EXPECT_GT(marks[i].position_samples, marks[i - 1].position_samples);
+    EXPECT_EQ(marks[i].total_samples, tone.size());
+  }
+}
+
+TEST_F(PlaybackTest, ImmediateStopAbortsPlayback) {
+  auto tone = TestTone(2000);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 5)});
+  client_->StartQueue(chain.loud);
+  Flush();        // requests processed...
+  StepMs(100);    // ...and the Play is actually running.
+
+  client_->Immediate(chain.loud, StopCommand(chain.player));
+  Flush();
+  auto event = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kCommandDone; }, 5000);
+  ASSERT_TRUE(event.has_value());
+  CommandDoneArgs args = CommandDoneArgs::Decode(event->args);
+  EXPECT_EQ(args.tag, 5u);
+  EXPECT_EQ(args.aborted, 1u);
+}
+
+TEST_F(PlaybackTest, PlaybackAtDifferentSoundRateIsResampled) {
+  board_->speakers()[0]->set_capture_output(true);
+  // A 16 kHz sound on an 8 kHz board: plays at half the sample count.
+  std::vector<Sample> tone;
+  SineOscillator osc(440.0, 16000, 0.5);
+  osc.Generate(16000, &tone);  // 1 s at 16 kHz
+  ResourceId sound = toolkit_->UploadSound(tone, {Encoding::kPcm16, 16000});
+  auto chain = toolkit_->BuildPlaybackChain();
+  ASSERT_TRUE(toolkit_->PlayAndWait(chain, sound));
+  StepMs(200);
+
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  size_t loud_samples = 0;
+  for (Sample s : played) {
+    if (std::abs(s) > 1000) {
+      ++loud_samples;
+    }
+  }
+  // ~1 s of audible audio at 8 kHz (sine spends most time above 1000 of
+  // 16384 amplitude).
+  EXPECT_GT(loud_samples, 5000u);
+  EXPECT_LT(loud_samples, 9000u);
+}
+
+TEST_F(PlaybackTest, RealTimeDataSupplyKeepsPlaybackGoing) {
+  board_->speakers()[0]->set_capture_output(true);
+  // Client streams data into the sound while it plays (section 5.6's
+  // real-time supply): write 100 ms, start playing, keep appending.
+  ResourceId sound = client_->CreateSound({Encoding::kPcm16, 8000});
+  std::vector<Sample> block(800, 3000);  // 100 ms
+  StreamEncoder enc(Encoding::kPcm16);
+  std::vector<uint8_t> bytes;
+  enc.Encode(block, &bytes);
+
+  client_->WriteSound(sound, 0, bytes);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 3)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  uint64_t offset = bytes.size();
+  for (int i = 0; i < 5; ++i) {
+    // Stay ahead of the player: append (and flush) the next block before
+    // advancing time past the current one.
+    client_->WriteSound(sound, offset, bytes);
+    Flush();
+    offset += bytes.size();
+    StepMs(60);
+  }
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3, 20000));
+  StepMs(200);
+
+  const std::vector<Sample>& played = board_->speakers()[0]->played();
+  size_t supplied = 0;
+  for (Sample s : played) {
+    if (s == 3000) {
+      ++supplied;
+    }
+  }
+  // All six blocks (4800 samples) should have played.
+  EXPECT_EQ(supplied, 4800u);
+}
+
+}  // namespace
+}  // namespace aud

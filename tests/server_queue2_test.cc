@@ -1,0 +1,238 @@
+// Second round of command-queue coverage: top-level Delay, nested
+// Co-inside-Delay-inside-Co, queued mixer gain, queued device Pause/Resume,
+// sync-mark disabling, and clipboard-style sound movement between clients
+// (figure 1-1).
+
+#include <gtest/gtest.h>
+
+#include "src/dsp/gain.h"
+#include "src/toolkit/audio_manager.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class Queue2Test : public ServerFixture {
+ protected:
+  ResourceId MakeDcSound(Sample value, int ms) {
+    std::vector<Sample> pcm(static_cast<size_t>(8) * ms, value);
+    return toolkit_->UploadSound(pcm, {Encoding::kPcm16, 8000});
+  }
+};
+
+TEST_F(Queue2Test, TopLevelDelaySpacesSounds) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = toolkit_->BuildPlaybackChain();
+  ResourceId a = MakeDcSound(1000, 100);
+  ResourceId b = MakeDcSound(2000, 100);
+  // play A ; delay 250 ms (empty body) ; play B
+  client_->Enqueue(chain.loud,
+                   {PlayCommand(chain.player, a, 1), DelayCommand(250), DelayEndCommand(),
+                    PlayCommand(chain.player, b, 2)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(2));
+  StepMs(800);
+
+  // Between the end of A and the start of B there are exactly 2000
+  // silence samples (250 ms at 8 kHz).
+  const auto& played = board_->speakers()[0]->played();
+  size_t a_end = 0;
+  size_t b_start = 0;
+  for (size_t i = 0; i < played.size(); ++i) {
+    if (played[i] == 1000) {
+      a_end = i + 1;
+    }
+    if (played[i] == 2000 && b_start == 0) {
+      b_start = i;
+    }
+  }
+  ASSERT_GT(b_start, a_end);
+  EXPECT_EQ(b_start - a_end, 2000u);
+}
+
+TEST_F(Queue2Test, NestedCoInsideDelayInsideCo) {
+  // cobegin { play A ; delay 100ms { cobegin play B, play C coend } } coend
+  board_->speakers()[0]->set_capture_output(true);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId p1 = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId p2 = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId p3 = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  AttrList mixer_attrs;
+  mixer_attrs.SetU32(AttrTag::kInputPorts, 3);
+  ResourceId mixer = client_->CreateDevice(loud, DeviceClass::kMixer, mixer_attrs);
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(p1, 0, mixer, 0);
+  client_->CreateWire(p2, 0, mixer, 1);
+  client_->CreateWire(p3, 0, mixer, 2);
+  client_->CreateWire(mixer, 0, output, 0);
+  client_->SelectEvents(loud, kQueueEvents);
+  client_->MapLoud(loud);
+
+  ResourceId a = MakeDcSound(1000, 300);
+  ResourceId b = MakeDcSound(2000, 100);
+  ResourceId c = MakeDcSound(4000, 100);
+  client_->Enqueue(loud, {CoBeginCommand(), PlayCommand(p1, a, 1), DelayCommand(100),
+                          CoBeginCommand(), PlayCommand(p2, b, 2), PlayCommand(p3, c, 3),
+                          CoEndCommand(), DelayEndCommand(), CoEndCommand()});
+  client_->StartQueue(loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3, 30000));
+  StepMs(600);
+
+  // During [100ms,200ms): A+B+C all sound: 7000.
+  const auto& played = board_->speakers()[0]->played();
+  int triple = 0;
+  int a_alone = 0;
+  for (Sample s : played) {
+    if (s == 7000) {
+      ++triple;
+    }
+    if (s == 1000) {
+      ++a_alone;
+    }
+  }
+  EXPECT_EQ(triple, 800);          // 100 ms of full overlap
+  EXPECT_EQ(a_alone, 800 + 800);   // 100 ms before B/C + 100 ms after
+}
+
+TEST_F(Queue2Test, QueuedMixerGainTakesEffectBetweenPlays) {
+  board_->speakers()[0]->set_capture_output(true);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId player = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId mixer = client_->CreateDevice(loud, DeviceClass::kMixer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(player, 0, mixer, 0);
+  client_->CreateWire(mixer, 0, output, 0);
+  client_->SelectEvents(loud, kQueueEvents);
+  client_->MapLoud(loud);
+
+  ResourceId a = MakeDcSound(10000, 50);
+  client_->Enqueue(loud, {PlayCommand(player, a, 1),
+                          SetInputGainCommand(mixer, 0, kUnityGain / 4, 2),
+                          PlayCommand(player, a, 3)});
+  client_->StartQueue(loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3));
+  StepMs(300);
+
+  int full = 0;
+  int quarter = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 10000) {
+      ++full;
+    }
+    if (s == 2500) {
+      ++quarter;
+    }
+  }
+  // No samples lost, and the gain change lands within one engine period
+  // (control changes are period-quantized; see docs/PROTOCOL.md).
+  EXPECT_EQ(full + quarter, 800);
+  EXPECT_NEAR(full, 400, 160);
+}
+
+TEST_F(Queue2Test, QueuedPauseResumeAroundPlays) {
+  // Queued device Pause on the player between two plays: play A, pause
+  // (instant no-op while idle), resume, play B -- all complete in order.
+  auto chain = toolkit_->BuildPlaybackChain();
+  ResourceId a = MakeDcSound(1000, 50);
+  client_->Enqueue(chain.loud,
+                   {PlayCommand(chain.player, a, 1), PauseCommand(chain.player, 2),
+                    ResumeCommand(chain.player, 3), PlayCommand(chain.player, a, 4)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  EXPECT_TRUE(toolkit_->WaitCommandDone(4));
+}
+
+TEST_F(Queue2Test, SyncMarksDisableMidPlay) {
+  auto tone = TestTone(1500);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->SetSyncMarks(chain.loud, 100);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(400);
+  client_->SetSyncMarks(chain.loud, 0);  // disable
+  Flush();
+  // Drain whatever was emitted up to the disable point.
+  EventMessage event;
+  while (client_->PollEvent(&event)) {
+  }
+  StepMs(600);
+  int late_marks = 0;
+  while (client_->PollEvent(&event)) {
+    if (event.type == EventType::kSyncMark) {
+      ++late_marks;
+    }
+  }
+  EXPECT_EQ(late_marks, 0);
+}
+
+TEST_F(Queue2Test, ClipboardMovesSoundBetweenApplications) {
+  // Figure 1-1: a voice message is copied out of the "voice mail"
+  // application and pasted into the "calendar" application.
+  auto voicemail_conn = Connect("voicemail");
+  auto calendar_conn = Connect("calendar");
+  ASSERT_NE(voicemail_conn, nullptr);
+  ASSERT_NE(calendar_conn, nullptr);
+  AudioToolkit voicemail(voicemail_conn.get());
+  AudioToolkit calendar(calendar_conn.get());
+  voicemail.set_time_pump([this] { server_->StepFrames(160); });
+  calendar.set_time_pump([this] { server_->StepFrames(160); });
+
+  std::vector<Sample> message(1000, 4321);
+  ResourceId original = voicemail.UploadSound(message, {Encoding::kPcm16, 8000});
+  voicemail.CopyToClipboard(original);
+  ASSERT_TRUE(voicemail_conn->Sync().ok());
+
+  ResourceId pasted = calendar.PasteFromClipboard();
+  ASSERT_NE(pasted, kNoResource);
+  auto data = calendar.DownloadSound(pasted);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), message);
+}
+
+TEST_F(Queue2Test, EmptyClipboardPastesNothing) {
+  EXPECT_EQ(toolkit_->PasteFromClipboard(), kNoResource);
+}
+
+TEST_F(Queue2Test, AudioManagerReadsDomainProperty) {
+  // The paper's DOMAIN-property convention (section 5.8): the manager's
+  // filter consults the property the application attached to its LOUD.
+  auto manager_conn = Connect("manager");
+  ASSERT_NE(manager_conn, nullptr);
+  AudioManager manager(manager_conn.get(), AudioManager::Policy::kAllowAll);
+  manager.set_map_filter([&](ResourceId loud) {
+    auto domain = manager_conn->GetProperty(loud, "DOMAIN");
+    if (!domain.ok() || domain.value().found == 0) {
+      return false;  // no declared domain: refuse
+    }
+    std::string value(domain.value().value.begin(), domain.value().value.end());
+    return value == "desktop";
+  });
+  ASSERT_TRUE(manager_conn->Sync().ok());
+
+  ResourceId polite = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(polite, DeviceClass::kOutput, {});
+  std::string desk = "desktop";
+  client_->ChangeProperty(polite, "DOMAIN", "STRING",
+                          std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(desk.data()), desk.size()));
+  ResourceId rude = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(rude, DeviceClass::kOutput, {});
+
+  client_->MapLoud(polite);
+  client_->MapLoud(rude);
+  Flush();
+  for (int i = 0; i < 100 && manager.Pump() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(manager_conn->Sync().ok());
+  EXPECT_EQ(client_->QueryLoud(polite).value().mapped, 1);
+  EXPECT_EQ(client_->QueryLoud(rude).value().mapped, 0);
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,343 @@
+// Command-queue semantics (section 5.5): sequential processing, CoBegin/
+// CoEnd simultaneity, Delay/DelayEnd, queue states, pause propagation,
+// and the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "src/dsp/gain.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class QueueTest : public ServerFixture {
+ protected:
+  struct TwoPlayerChain {
+    ResourceId loud;
+    ResourceId player1;
+    ResourceId player2;
+    ResourceId output;
+  };
+
+  // Two players mixed onto one speaker inside a single LOUD (the paper's
+  // CoBegin example plays two sounds through a mixer).
+  TwoPlayerChain BuildTwoPlayers() {
+    TwoPlayerChain chain;
+    chain.loud = client_->CreateLoud(kNoResource, {});
+    chain.player1 = client_->CreateDevice(chain.loud, DeviceClass::kPlayer, {});
+    chain.player2 = client_->CreateDevice(chain.loud, DeviceClass::kPlayer, {});
+    AttrList mixer_attrs;
+    mixer_attrs.SetU32(AttrTag::kInputPorts, 2);
+    ResourceId mixer = client_->CreateDevice(chain.loud, DeviceClass::kMixer, mixer_attrs);
+    chain.output = client_->CreateDevice(chain.loud, DeviceClass::kOutput, {});
+    client_->CreateWire(chain.player1, 0, mixer, 0);
+    client_->CreateWire(chain.player2, 0, mixer, 1);
+    client_->CreateWire(mixer, 0, chain.output, 0);
+    client_->SelectEvents(chain.loud, kQueueEvents);
+    client_->MapLoud(chain.loud);
+    return chain;
+  }
+
+  ResourceId MakeDcSound(Sample value, int ms) {
+    std::vector<Sample> pcm(static_cast<size_t>(8) * ms, value);
+    return toolkit_->UploadSound(pcm, {Encoding::kPcm16, 8000});
+  }
+};
+
+TEST_F(QueueTest, CommandsRunSequentially) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 100);
+  ResourceId b = MakeDcSound(2000, 100);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1),
+                                PlayCommand(chain.player2, b, 2)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(2));
+  StepMs(200);
+
+  // Sequential: no sample carries both streams mixed (3000).
+  const auto& played = board_->speakers()[0]->played();
+  int overlap = 0;
+  int first = 0;
+  int second = 0;
+  for (Sample s : played) {
+    if (s == 3000) {
+      ++overlap;
+    }
+    if (s == 1000) {
+      ++first;
+    }
+    if (s == 2000) {
+      ++second;
+    }
+  }
+  EXPECT_EQ(overlap, 0);
+  EXPECT_EQ(first, 800);
+  EXPECT_EQ(second, 800);
+}
+
+TEST_F(QueueTest, CoBeginStartsSimultaneously) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 100);
+  ResourceId b = MakeDcSound(2000, 100);
+  // The paper's example: cobegin play A, play B coend.
+  client_->Enqueue(chain.loud,
+                   {CoBeginCommand(), PlayCommand(chain.player1, a, 1),
+                    PlayCommand(chain.player2, b, 2), CoEndCommand()});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(2));
+  StepMs(200);
+
+  const auto& played = board_->speakers()[0]->played();
+  int overlap = 0;
+  for (Sample s : played) {
+    if (s == 3000) {
+      ++overlap;
+    }
+  }
+  // Both 100 ms streams fully overlap: 800 mixed samples.
+  EXPECT_EQ(overlap, 800);
+}
+
+TEST_F(QueueTest, CommandAfterCoEndWaitsForAllBranches) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  // Marker values chosen so that no mix of two equals another marker.
+  ResourceId a = MakeDcSound(1000, 50);     // short
+  ResourceId b = MakeDcSound(4000, 200);    // long
+  ResourceId c = MakeDcSound(16000, 50);    // "play C" after coend
+  client_->Enqueue(chain.loud,
+                   {CoBeginCommand(), PlayCommand(chain.player1, a, 1),
+                    PlayCommand(chain.player2, b, 2), CoEndCommand(),
+                    PlayCommand(chain.player1, c, 3)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3));
+  StepMs(300);
+
+  // C (16000) must never overlap with B (4000): no 20000 mix values.
+  const auto& played = board_->speakers()[0]->played();
+  for (Sample s : played) {
+    ASSERT_NE(s, 20000) << "command after CoEnd started before all branches finished";
+  }
+  // And C did play exactly once, alone.
+  int c_count = 0;
+  for (Sample s : played) {
+    if (s == 16000) {
+      ++c_count;
+    }
+  }
+  EXPECT_EQ(c_count, 400);
+}
+
+TEST_F(QueueTest, DelayedSegmentRunsConcurrentlyWithinCoBegin) {
+  // The paper's second example: cobegin { play A ; delay 5s { play B; stop
+  // 1 } delayend } coend -- B starts 5 s in while A still plays; A is then
+  // stopped.
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 2000);  // 2 s
+  ResourceId b = MakeDcSound(2000, 200);
+  client_->Enqueue(chain.loud,
+                   {CoBeginCommand(), PlayCommand(chain.player1, a, 1),
+                    DelayCommand(500),  // scaled-down 0.5 s delay
+                    PlayCommand(chain.player2, b, 2), StopCommand(chain.player1, 3),
+                    DelayEndCommand(), CoEndCommand()});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3, 30000));
+  StepMs(300);
+
+  const auto& played = board_->speakers()[0]->played();
+  // Phase 1: A alone (~0.5 s of 1000).
+  int a_alone = 0;
+  int mixed = 0;
+  for (Sample s : played) {
+    if (s == 1000) {
+      ++a_alone;
+    }
+    if (s == 3000) {
+      ++mixed;
+    }
+  }
+  EXPECT_NEAR(a_alone, 4000, 200);  // ~0.5 s before B starts
+  // B (200 ms) overlaps A until A is stopped right after B completes.
+  EXPECT_NEAR(mixed, 1600, 200);
+}
+
+TEST_F(QueueTest, QueueStateTransitionsEmitEvents) {
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 2000);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1)});
+
+  std::vector<EventType> seen;
+  auto record_events = [&] {
+    EventMessage event;
+    while (client_->PollEvent(&event)) {
+      seen.push_back(event.type);
+    }
+  };
+
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(100);
+  client_->PauseQueue(chain.loud);
+  Flush();
+  auto paused = client_->QueryQueue(chain.loud);
+  ASSERT_TRUE(paused.ok());
+  EXPECT_EQ(paused.value().state, QueueState::kClientPaused);
+
+  client_->ResumeQueue(chain.loud);
+  Flush();
+  client_->StopQueue(chain.loud);
+  Flush();
+  record_events();
+
+  EXPECT_NE(std::find(seen.begin(), seen.end(), EventType::kQueueStarted), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), EventType::kQueuePaused), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), EventType::kQueueResumed), seen.end());
+  EXPECT_NE(std::find(seen.begin(), seen.end(), EventType::kQueueStopped), seen.end());
+}
+
+TEST_F(QueueTest, PauseHaltsAudioAndResumeContinues) {
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 400);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(100);
+  client_->PauseQueue(chain.loud);
+  Flush();
+  size_t at_pause = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 1000) {
+      ++at_pause;
+    }
+  }
+  StepMs(500);  // paused: nothing more plays
+  size_t during_pause = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 1000) {
+      ++during_pause;
+    }
+  }
+  EXPECT_LE(during_pause - at_pause, 320u);  // at most in-flight codec data
+
+  client_->ResumeQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(1));
+  StepMs(200);
+  size_t total = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 1000) {
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 3200u);  // all 400 ms eventually played, none lost
+}
+
+TEST_F(QueueTest, StopAbortsCurrentAndKeepsRemaining) {
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 5000);
+  ResourceId b = MakeDcSound(2000, 50);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1),
+                                PlayCommand(chain.player1, b, 2)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(100);
+  client_->StopQueue(chain.loud);
+  Flush();
+
+  // First command reported done (aborted).
+  auto done1 = toolkit_->WaitFor(
+      [](const EventMessage& e) {
+        return e.type == EventType::kCommandDone &&
+               CommandDoneArgs::Decode(e.args).tag == 1;
+      },
+      5000);
+  ASSERT_TRUE(done1.has_value());
+  EXPECT_EQ(CommandDoneArgs::Decode(done1->args).aborted, 1);
+
+  // Remaining command still queued; restarting runs it.
+  auto state = client_->QueryQueue(chain.loud);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().depth, 1u);
+  client_->StartQueue(chain.loud);
+  Flush();
+  EXPECT_TRUE(toolkit_->WaitCommandDone(2));
+}
+
+TEST_F(QueueTest, FlushDropsPendingCommands) {
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(1000, 50);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1),
+                                PlayCommand(chain.player1, a, 2),
+                                PlayCommand(chain.player1, a, 3)});
+  client_->FlushQueue(chain.loud);
+  Flush();
+  auto state = client_->QueryQueue(chain.loud);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().depth, 0u);
+}
+
+TEST_F(QueueTest, MalformedNestingRejected) {
+  auto chain = BuildTwoPlayers();
+  client_->Enqueue(chain.loud, {CoEndCommand()});
+  ExpectError(ErrorCode::kBadQueue);
+  client_->Enqueue(chain.loud, {DelayEndCommand()});
+  ExpectError(ErrorCode::kBadQueue);
+}
+
+TEST_F(QueueTest, QueuedChangeGainBetweenPlays) {
+  // The paper's footnote 4: Play, ChangeGain, Play all queued.
+  board_->speakers()[0]->set_capture_output(true);
+  auto chain = BuildTwoPlayers();
+  ResourceId a = MakeDcSound(10000, 50);
+  client_->Enqueue(chain.loud,
+                   {PlayCommand(chain.player1, a, 1),
+                    ChangeGainCommand(chain.player1, kUnityGain / 2, 2),
+                    PlayCommand(chain.player1, a, 3)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3));
+  StepMs(200);
+
+  const auto& played = board_->speakers()[0]->played();
+  int full = 0;
+  int half = 0;
+  for (Sample s : played) {
+    if (s == 10000) {
+      ++full;
+    }
+    if (s == 5000) {
+      ++half;
+    }
+  }
+  EXPECT_EQ(full, 400);
+  EXPECT_EQ(half, 400);
+}
+
+TEST_F(QueueTest, QueueOnUnmappedLoudDoesNotRun) {
+  auto chain = BuildTwoPlayers();
+  client_->UnmapLoud(chain.loud);
+  ResourceId a = MakeDcSound(1000, 50);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player1, a, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  StepMs(500);
+  auto state = client_->QueryQueue(chain.loud);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value().depth, 1u);  // nothing executed while inactive
+
+  // Mapping lets it run.
+  client_->MapLoud(chain.loud);
+  Flush();
+  EXPECT_TRUE(toolkit_->WaitCommandDone(1));
+}
+
+}  // namespace
+}  // namespace aud

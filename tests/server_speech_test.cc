@@ -1,0 +1,378 @@
+// Speech synthesizer, recognizer, music synthesizer, crossbar and DSP
+// device classes exercised through the full protocol stack.
+
+#include <gtest/gtest.h>
+
+#include "src/dsp/gain.h"
+#include "src/dsp/goertzel.h"
+#include "src/synth/synthesizer.h"
+#include "src/toolkit/dialogue.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class SpeechTest : public ServerFixture {};
+
+TEST_F(SpeechTest, SpeakTextReachesSpeaker) {
+  board_->speakers()[0]->set_capture_output(true);
+  ASSERT_TRUE(toolkit_->SayAndWait("hello world"));
+  StepMs(200);
+  size_t audible = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (std::abs(s) > 500) {
+      ++audible;
+    }
+  }
+  EXPECT_GT(audible, 1000u);
+  ExpectNoErrors();
+}
+
+TEST_F(SpeechTest, SetValuesChangesSpeechDuration) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId synth = client_->CreateDevice(loud, DeviceClass::kSpeechSynthesizer, {});
+  ResourceId recorder = client_->CreateDevice(loud, DeviceClass::kRecorder, {});
+  client_->CreateWire(synth, 0, recorder, 0);
+  client_->SelectEvents(loud, kQueueEvents | kRecorderEvents);
+  client_->MapLoud(loud);
+
+  auto speak_and_measure = [&](uint32_t rate_percent) -> uint64_t {
+    ResourceId sound = client_->CreateSound({Encoding::kPcm16, 8000});
+    AttrList values;
+    values.SetU32(AttrTag::kSpeakingRate, rate_percent);
+    client_->Enqueue(loud, {SetValuesCommand(synth, values, 1),
+                            CoBeginCommand(),
+                            SpeakTextCommand(synth, "testing one two three", 2),
+                            RecordCommand(recorder, sound, kTerminateOnStop, 15000, 3),
+                            CoEndCommand()});
+    client_->StartQueue(loud);
+    client_->Sync();
+    // Wait for speech to finish, then stop the recorder.
+    EXPECT_TRUE(toolkit_->WaitCommandDone(2, 30000));
+    client_->Immediate(loud, StopCommand(recorder));
+    EXPECT_TRUE(toolkit_->WaitCommandDone(3, 30000));
+    auto info = client_->QuerySound(sound);
+    EXPECT_TRUE(info.ok());
+    // Count non-silent samples (speech length).
+    auto data = toolkit_->DownloadSound(sound);
+    EXPECT_TRUE(data.ok());
+    uint64_t audible = 0;
+    for (Sample s : data.value()) {
+      if (std::abs(s) > 300) {
+        ++audible;
+      }
+    }
+    return audible;
+  };
+
+  uint64_t normal = speak_and_measure(100);
+  uint64_t fast = speak_and_measure(200);
+  EXPECT_GT(normal, fast * 3 / 2) << "faster speaking rate should shorten speech";
+}
+
+TEST_F(SpeechTest, ExceptionListAppliedThroughProtocol) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId synth = client_->CreateDevice(loud, DeviceClass::kSpeechSynthesizer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(synth, 0, output, 0);
+  client_->MapLoud(loud);
+  client_->Immediate(loud,
+                     SetExceptionListCommand(synth, {{"ok", "OW K EY"}}));
+  ExpectNoErrors();
+}
+
+TEST_F(SpeechTest, BadLanguageIsReported) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId synth = client_->CreateDevice(loud, DeviceClass::kSpeechSynthesizer, {});
+  client_->Immediate(loud, SetTextLanguageCommand(synth, "xx-YY"));
+  ExpectError(ErrorCode::kBadValue);
+}
+
+TEST_F(SpeechTest, RecognizerHearsMicrophoneAndReportsWords) {
+  // Train templates from TTS audio uploaded as sounds, then speak into the
+  // simulated microphone and expect recognition events.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId input = client_->CreateDevice(loud, DeviceClass::kInput, {});
+  ResourceId recognizer = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, {});
+  client_->CreateWire(input, 0, recognizer, 0);
+  client_->SelectEvents(loud, kRecognitionEvents | kQueueEvents);
+  client_->MapLoud(loud);
+
+  TextToSpeech tts(8000);
+  auto make_word_sound = [&](const std::string& word, double pitch) {
+    tts.parameters().pitch_hz = pitch;
+    return toolkit_->UploadSound(tts.Synthesize(word), {Encoding::kPcm16, 8000});
+  };
+  for (const char* word : {"play", "stop"}) {
+    client_->Immediate(loud, TrainCommand(recognizer, word, make_word_sound(word, 110)));
+    client_->Immediate(loud, TrainCommand(recognizer, word, make_word_sound(word, 120)));
+  }
+  client_->Immediate(loud, SetVocabularyCommand(recognizer, {"play", "stop"}));
+  ExpectNoErrors();
+
+  // Speak "stop" into the mic (with surrounding silence for endpointing).
+  tts.parameters().pitch_hz = 115;
+  auto utterance = tts.Synthesize("stop");
+  std::vector<Sample> mic_audio(2000, 0);
+  mic_audio.insert(mic_audio.end(), utterance.begin(), utterance.end());
+  mic_audio.insert(mic_audio.end(), 6000, 0);
+  board_->microphones()[0]->AddPendingAudio(mic_audio);
+
+  auto event = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kRecognition; }, 20000);
+  ASSERT_TRUE(event.has_value());
+  RecognitionArgs result = RecognitionArgs::Decode(event->args);
+  EXPECT_EQ(result.word, "stop");
+  EXPECT_GT(result.score, 0u);
+}
+
+TEST_F(SpeechTest, VocabularySaveAndPreload) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId recognizer = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, {});
+  TextToSpeech tts(8000);
+  ResourceId sound =
+      toolkit_->UploadSound(tts.Synthesize("rewind"), {Encoding::kPcm16, 8000});
+  client_->Immediate(loud, TrainCommand(recognizer, "rewind", sound));
+  client_->Immediate(loud, SaveVocabularyCommand(recognizer, "commands"));
+  ExpectNoErrors();
+
+  // A new recognizer preloads the saved vocabulary via attributes.
+  AttrList attrs;
+  attrs.SetString(AttrTag::kVocabularyName, "commands");
+  ResourceId recognizer2 = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, attrs);
+  Flush();
+  std::lock_guard<std::mutex> lock(server_->mutex());
+  auto* dev = dynamic_cast<RecognizerDevice*>(server_->state().FindDevice(recognizer2));
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->recognizer()->template_count(), 1u);
+}
+
+TEST_F(SpeechTest, MusicNotePlaysAtPitch) {
+  board_->speakers()[0]->set_capture_output(true);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId music = client_->CreateDevice(loud, DeviceClass::kMusicSynthesizer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(music, 0, output, 0);
+  client_->SelectEvents(loud, kQueueEvents);
+  client_->MapLoud(loud);
+
+  client_->Enqueue(loud, {NoteCommand(music, 69, 120, 400, 1)});  // A4
+  client_->StartQueue(loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(1));
+  StepMs(300);
+
+  const auto& played = board_->speakers()[0]->played();
+  // Find an energetic window and verify 440 Hz dominance.
+  size_t start = 0;
+  while (start + 2048 < played.size() && std::abs(played[start]) < 500) {
+    ++start;
+  }
+  ASSERT_LT(start + 2048, played.size());
+  auto window = std::span<const Sample>(played).subspan(start, 2048);
+  EXPECT_GT(GoertzelPower(window, 440, 8000), 0.001);
+  EXPECT_LT(GoertzelPower(window, 523, 8000), GoertzelPower(window, 440, 8000));
+}
+
+TEST_F(SpeechTest, SetVoiceChangesTimbre) {
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId music = client_->CreateDevice(loud, DeviceClass::kMusicSynthesizer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(music, 0, output, 0);
+  client_->MapLoud(loud);
+  VoiceArgs voice;
+  voice.waveform = 1;  // square
+  client_->Immediate(loud, SetVoiceCommand(music, voice));
+  Flush();
+  std::lock_guard<std::mutex> lock(server_->mutex());
+  auto* dev = dynamic_cast<MusicDevice*>(server_->state().FindDevice(music));
+  ASSERT_NE(dev, nullptr);
+  EXPECT_EQ(dev->synth()->voice().waveform, Waveform::kSquare);
+}
+
+TEST_F(SpeechTest, CrossbarRoutesSelectedly) {
+  board_->speakers()[0]->set_capture_output(true);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId player1 = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId player2 = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  AttrList xbar_attrs;
+  xbar_attrs.SetU32(AttrTag::kInputPorts, 2);
+  xbar_attrs.SetU32(AttrTag::kOutputPorts, 2);
+  ResourceId xbar = client_->CreateDevice(loud, DeviceClass::kCrossbar, xbar_attrs);
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  ResourceId recorder = client_->CreateDevice(loud, DeviceClass::kRecorder, {});
+  client_->CreateWire(player1, 0, xbar, 0);
+  client_->CreateWire(player2, 0, xbar, 1);
+  client_->CreateWire(xbar, 0, output, 0);    // xbar out0 -> speaker
+  client_->CreateWire(xbar, 1, recorder, 0);  // xbar out1 -> recorder
+  client_->SelectEvents(loud, kQueueEvents);
+  client_->MapLoud(loud);
+
+  // Route input0 -> output0 and input1 -> output1.
+  CrossbarStateArgs routes;
+  routes.routes = {{0, 0, 1}, {1, 1, 1}};
+  client_->Immediate(loud, SetCrossbarStateCommand(xbar, routes));
+
+  ResourceId rec_sound = client_->CreateSound({Encoding::kPcm16, 8000});
+  std::vector<Sample> dc1(800, 1111);
+  std::vector<Sample> dc2(800, 2222);
+  ResourceId s1 = toolkit_->UploadSound(dc1, {Encoding::kPcm16, 8000});
+  ResourceId s2 = toolkit_->UploadSound(dc2, {Encoding::kPcm16, 8000});
+  client_->Enqueue(loud,
+                   {CoBeginCommand(), PlayCommand(player1, s1, 1), PlayCommand(player2, s2, 2),
+                    RecordCommand(recorder, rec_sound, kTerminateOnStop, 150, 3),
+                    CoEndCommand()});
+  client_->StartQueue(loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(3, 20000));
+  StepMs(200);
+
+  // Speaker got only stream 1; recorder got only stream 2.
+  int spk1 = 0;
+  int spk2 = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 1111) {
+      ++spk1;
+    }
+    if (s == 2222) {
+      ++spk2;
+    }
+  }
+  EXPECT_EQ(spk1, 800);
+  EXPECT_EQ(spk2, 0);
+
+  auto recorded = toolkit_->DownloadSound(rec_sound);
+  ASSERT_TRUE(recorded.ok());
+  int rec1 = 0;
+  int rec2 = 0;
+  for (Sample s : recorded.value()) {
+    if (s == 1111) {
+      ++rec1;
+    }
+    if (s == 2222) {
+      ++rec2;
+    }
+  }
+  EXPECT_EQ(rec1, 0);
+  EXPECT_GT(rec2, 700);
+}
+
+TEST_F(SpeechTest, DspPassesThroughWithGain) {
+  board_->speakers()[0]->set_capture_output(true);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId player = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId dsp = client_->CreateDevice(loud, DeviceClass::kDsp, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  client_->CreateWire(player, 0, dsp, 0);
+  client_->CreateWire(dsp, 0, output, 0);
+  client_->SelectEvents(loud, kQueueEvents);
+  client_->MapLoud(loud);
+  client_->Immediate(loud, ChangeGainCommand(dsp, kUnityGain / 2));
+
+  std::vector<Sample> dc(800, 10000);
+  ResourceId sound = toolkit_->UploadSound(dc, {Encoding::kPcm16, 8000});
+  client_->Enqueue(loud, {PlayCommand(player, sound, 1)});
+  client_->StartQueue(loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(1));
+  StepMs(200);
+
+  int halved = 0;
+  for (Sample s : board_->speakers()[0]->played()) {
+    if (s == 5000) {
+      ++halved;
+    }
+  }
+  EXPECT_EQ(halved, 800);
+}
+
+
+TEST_F(SpeechTest, VoiceCommandOverTelephone) {
+  // Section 1.2: "speech synthesis and recognition allow for remote,
+  // telephone-based access to information". A far-end caller speaks a
+  // trained word over the line; the recognizer wired to the telephone
+  // reports it.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId telephone = client_->CreateDevice(loud, DeviceClass::kTelephone, {});
+  ResourceId recognizer = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, {});
+  client_->CreateWire(telephone, 0, recognizer, 0);
+  client_->SelectEvents(loud, kAllEvents);
+  client_->MapLoud(loud);
+
+  TextToSpeech tts(8000);
+  auto train = [&](const std::string& word, double pitch) {
+    tts.parameters().pitch_hz = pitch;
+    ResourceId sound =
+        toolkit_->UploadSound(tts.Synthesize(word), {Encoding::kPcm16, 8000});
+    client_->Immediate(loud, TrainCommand(recognizer, word, sound));
+  };
+  for (const char* word : {"calendar", "messages"}) {
+    train(word, 110);
+    train(word, 120);
+  }
+  ExpectNoErrors();
+
+  // The caller: connect, pause, speak "messages", silence, hang up.
+  tts.parameters().pitch_hz = 115;
+  auto utterance = tts.Synthesize("messages");
+  std::vector<Sample> speech(4000, 0);
+  speech.insert(speech.end(), utterance.begin(), utterance.end());
+  FarEndParty* caller = board_->AddFarEnd("555-3333", "Remote User");
+  caller->DialAndWait("555-0100").WaitMs(100).Speak(speech).WaitMs(4000).HangUp();
+
+  auto ring = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 10000);
+  ASSERT_TRUE(ring.has_value());
+  client_->Enqueue(loud, {AnswerCommand(telephone, 1)});
+  client_->StartQueue(loud);
+  Flush();
+
+  auto recognized = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kRecognition; }, 30000);
+  ASSERT_TRUE(recognized.has_value()) << "no recognition over the phone";
+  EXPECT_EQ(RecognitionArgs::Decode(recognized->args).word, "messages");
+}
+
+TEST_F(SpeechTest, PromptAndRecognizeDialogue) {
+  // AudioDialogue over the desktop devices: prompt through the speaker,
+  // recognize from the microphone.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId player = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  ResourceId input = client_->CreateDevice(loud, DeviceClass::kInput, {});
+  ResourceId recognizer = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, {});
+  client_->CreateWire(player, 0, output, 0);
+  client_->CreateWire(input, 0, recognizer, 0);
+  client_->SelectEvents(loud, kAllEvents);
+  client_->MapLoud(loud);
+
+  TextToSpeech tts(8000);
+  auto train = [&](const std::string& word, double pitch) {
+    tts.parameters().pitch_hz = pitch;
+    ResourceId sound =
+        toolkit_->UploadSound(tts.Synthesize(word), {Encoding::kPcm16, 8000});
+    client_->Immediate(loud, TrainCommand(recognizer, word, sound));
+  };
+  train("yes", 110);
+  train("yes", 120);
+  train("no", 110);
+  train("no", 120);
+  ExpectNoErrors();
+
+  ResourceId prompt = toolkit_->UploadSound(TestTone(200), kTelephoneFormat);
+  // The user answers "no" shortly after the prompt.
+  tts.parameters().pitch_hz = 115;
+  auto answer = tts.Synthesize("no");
+  std::vector<Sample> mic(4000, 0);
+  mic.insert(mic.end(), answer.begin(), answer.end());
+  mic.insert(mic.end(), 6000, 0);
+  board_->microphones()[0]->AddPendingAudio(mic);
+
+  AudioDialogue dialogue(toolkit_.get());
+  auto word = dialogue.PromptAndRecognize(loud, player, prompt, 30000);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, "no");
+}
+
+}  // namespace
+}  // namespace aud

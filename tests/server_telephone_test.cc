@@ -1,0 +1,302 @@
+// Telephone device tests, culminating in the paper's answering machine
+// (section 5.9, figures 5-1..5-4): monitor the device LOUD for rings, map
+// on ring, answer-play-beep-record in one queue, handle hangup.
+
+#include <gtest/gtest.h>
+
+#include "src/dsp/dtmf.h"
+#include "src/dsp/encoding.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class TelephoneTest : public ServerFixture {
+ protected:
+  // Builds a minimal phone LOUD: telephone only.
+  struct PhoneChain {
+    ResourceId loud;
+    ResourceId telephone;
+  };
+  PhoneChain BuildPhone() {
+    PhoneChain chain;
+    chain.loud = client_->CreateLoud(kNoResource, {});
+    chain.telephone = client_->CreateDevice(chain.loud, DeviceClass::kTelephone, {});
+    client_->SelectEvents(chain.loud, kAllEvents);
+    client_->MapLoud(chain.loud);
+    return chain;
+  }
+
+  // The device-LOUD id of phone line 0.
+  ResourceId PhoneDeviceId() {
+    std::lock_guard<std::mutex> lock(server_->mutex());
+    return server_->state().IdForPhysical(board_->phone_lines()[0]);
+  }
+};
+
+TEST_F(TelephoneTest, OutboundCallConnects) {
+  FarEndParty* callee = board_->AddFarEnd("555-9999", "Alice");
+  callee->AnswerAfterRings(1);
+
+  auto chain = BuildPhone();
+  client_->Enqueue(chain.loud, {DialCommand(chain.telephone, "555-9999", 42)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  // Dial completes when the far end answers.
+  bool connected = false;
+  auto event = toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kTelephoneDialDone) {
+          connected = CallProgressArgs::Decode(e.args).state == CallState::kConnected;
+          return true;
+        }
+        return false;
+      },
+      10000);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_TRUE(connected);
+  ExpectNoErrors();
+}
+
+TEST_F(TelephoneTest, DialBusyNumberReportsBusy) {
+  // Two far ends already talking to each other.
+  FarEndParty* a = board_->AddFarEnd("555-0001");
+  FarEndParty* b = board_->AddFarEnd("555-0002");
+  b->AnswerAfterRings(1);
+  a->DialAndWait("555-0002").WaitMs(60000);
+  StepMs(8000);  // let their call set up
+
+  auto chain = BuildPhone();
+  client_->Enqueue(chain.loud, {DialCommand(chain.telephone, "555-0002", 7)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  CallState final_state = CallState::kIdle;
+  auto event = toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kTelephoneDialDone) {
+          final_state = CallProgressArgs::Decode(e.args).state;
+          return true;
+        }
+        return false;
+      },
+      10000);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(final_state, CallState::kBusy);
+}
+
+TEST_F(TelephoneTest, DialUnknownNumberFails) {
+  auto chain = BuildPhone();
+  client_->Enqueue(chain.loud, {DialCommand(chain.telephone, "000-0000", 7)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  CallState final_state = CallState::kIdle;
+  auto event = toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kTelephoneDialDone) {
+          final_state = CallProgressArgs::Decode(e.args).state;
+          return true;
+        }
+        return false;
+      },
+      10000);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(final_state, CallState::kFailed);
+}
+
+TEST_F(TelephoneTest, IncomingRingCarriesCallerId) {
+  PhoneChain chain = BuildPhone();  // the mapped LOUD receives ring events
+  (void)chain;
+  Flush();
+
+  FarEndParty* caller = board_->AddFarEnd("555-7777", "Bob Smith");
+  caller->DialAndWait("555-0100").WaitMs(60000);
+
+  std::string caller_id;
+  auto event = toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kTelephoneRing) {
+          caller_id = TelephoneRingArgs::Decode(e.args).caller_id;
+          return true;
+        }
+        return false;
+      },
+      10000);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(caller_id, "Bob Smith");
+}
+
+TEST_F(TelephoneTest, DeviceLoudMonitoringSeesRingsWhileUnmapped) {
+  // The answering-machine trick (section 5.9 footnote 6): the LOUD is
+  // unmapped, so the application watches the *device LOUD* telephone.
+  client_->SelectEvents(PhoneDeviceId(), kTelephoneEvents);
+  Flush();
+
+  FarEndParty* caller = board_->AddFarEnd("555-7777", "Carol");
+  caller->DialAndWait("555-0100").WaitMs(60000);
+
+  auto event = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 10000);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(TelephoneRingArgs::Decode(event->args).caller_id, "Carol");
+}
+
+TEST_F(TelephoneTest, DtmfFromFarEndIsDelivered) {
+  FarEndParty* callee = board_->AddFarEnd("555-8888");
+  callee->AnswerAfterRings(1).WaitMs(500).SendDtmf("42#").WaitMs(60000);
+
+  auto chain = BuildPhone();
+  client_->Enqueue(chain.loud, {DialCommand(chain.telephone, "555-8888", 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  std::string digits;
+  toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kDtmfReceived) {
+          digits.push_back(DtmfReceivedArgs::Decode(e.args).digit);
+          return digits.size() >= 3;
+        }
+        return false;
+      },
+      15000);
+  EXPECT_EQ(digits, "42#");
+}
+
+TEST_F(TelephoneTest, AnsweringMachineEndToEnd) {
+  // Build the answering machine of figure 5-3 via the toolkit.
+  auto chain = toolkit_->BuildAnsweringChain();
+
+  // Greeting: 600 ms of 350 Hz tone stands in for "please leave a message".
+  auto greeting_pcm = TestTone(600, 350.0);
+  ResourceId greeting = toolkit_->UploadSound(greeting_pcm, kTelephoneFormat);
+  ResourceId beep = client_->LoadCatalogueSound("beep");
+  ResourceId message = client_->CreateSound(kTelephoneFormat);
+
+  // Preload the queue (figure 5-4): answer, play greeting, play beep,
+  // record until pause or hangup.
+  client_->Enqueue(chain.loud,
+                   {AnswerCommand(chain.telephone, 1),
+                    PlayCommand(chain.player, greeting, 2),
+                    PlayCommand(chain.player, beep, 3),
+                    RecordCommand(chain.recorder, message,
+                                  kTerminateOnPause | kTerminateOnHangup, 20000, 4)});
+
+  // Monitor the device LOUD for rings while unmapped.
+  client_->SelectEvents(PhoneDeviceId(), kTelephoneEvents);
+  ExpectNoErrors();
+
+  // A caller: waits through the greeting, hears the beep, speaks ~1.2 s,
+  // then hangs up.
+  auto speech = TestTone(1200, 250.0);
+  FarEndParty* caller = board_->AddFarEnd("555-7777", "Dave");
+  caller->DialAndWait("555-0100")
+      .WaitForTone(20000)  // greeting+beep heard (tone then silence)
+      .Speak(speech)
+      .WaitMs(2500)  // silence so pause detection fires
+      .HangUp();
+
+  // Ring arrives -> map the LOUD and start the queue.
+  auto ring = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 10000);
+  ASSERT_TRUE(ring.has_value());
+  client_->MapLoud(chain.loud);
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  // Wait for the recording to stop.
+  RecorderStoppedArgs stopped;
+  auto event = toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kRecorderStopped) {
+          stopped = RecorderStoppedArgs::Decode(e.args);
+          return true;
+        }
+        return false;
+      },
+      60000);
+  ASSERT_TRUE(event.has_value()) << "recording never terminated";
+
+  // The message sound must contain the caller's speech (≈1.2 s of tone).
+  auto recorded = toolkit_->DownloadSound(message);
+  ASSERT_TRUE(recorded.ok());
+  size_t audible = 0;
+  for (Sample s : recorded.value()) {
+    if (std::abs(s) > 1000) {
+      ++audible;
+    }
+  }
+  EXPECT_GT(audible, 6000u) << "caller speech missing from recording";
+
+  // The caller heard the greeting and the beep.
+  size_t heard_audible = 0;
+  for (Sample s : caller->heard()) {
+    if (std::abs(s) > 1000) {
+      ++heard_audible;
+    }
+  }
+  EXPECT_GT(heard_audible, 3000u) << "greeting/beep never reached the caller";
+  ExpectNoErrors();
+}
+
+TEST_F(TelephoneTest, CallerHangupDuringGreetingStopsQueue) {
+  auto chain = toolkit_->BuildAnsweringChain();
+  auto greeting_pcm = TestTone(3000, 350.0);
+  ResourceId greeting = toolkit_->UploadSound(greeting_pcm, kTelephoneFormat);
+  ResourceId message = client_->CreateSound(kTelephoneFormat);
+  client_->Enqueue(chain.loud,
+                   {AnswerCommand(chain.telephone, 1), PlayCommand(chain.player, greeting, 2),
+                    RecordCommand(chain.recorder, message, kTerminateOnHangup, 10000, 3)});
+  client_->SelectEvents(PhoneDeviceId(), kTelephoneEvents);
+  Flush();
+
+  FarEndParty* caller = board_->AddFarEnd("555-7777");
+  caller->DialAndWait("555-0100").WaitMs(500).HangUp();
+
+  auto ring = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 10000);
+  ASSERT_TRUE(ring.has_value());
+  client_->MapLoud(chain.loud);
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  // Hangup surfaces as CallProgress; the application stops the queue.
+  auto hangup = toolkit_->WaitFor(
+      [](const EventMessage& e) {
+        return e.type == EventType::kCallProgress &&
+               CallProgressArgs::Decode(e.args).state == CallState::kHungUp;
+      },
+      20000);
+  ASSERT_TRUE(hangup.has_value());
+  client_->StopQueue(chain.loud);
+  client_->UnmapLoud(chain.loud);
+  Flush();
+
+  auto queue_state = client_->QueryQueue(chain.loud);
+  ASSERT_TRUE(queue_state.ok());
+  EXPECT_EQ(queue_state.value().state, QueueState::kStopped);
+  ExpectNoErrors();
+}
+
+TEST_F(TelephoneTest, SendDtmfIsAudibleInBand) {
+  FarEndParty* callee = board_->AddFarEnd("555-8888");
+  callee->AnswerAfterRings(1).RecordMs(3000).WaitMs(60000);
+
+  auto chain = BuildPhone();
+  client_->Enqueue(chain.loud, {DialCommand(chain.telephone, "555-8888", 1),
+                                SendDtmfCommand(chain.telephone, "5", 2)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(2, 15000));
+  StepMs(3500);
+
+  // Decode the far end's recording: the '5' must be detectable.
+  DtmfDetector detector(board_->sample_rate_hz());
+  detector.Process(callee->recorded());
+  EXPECT_NE(detector.TakeDigits().find('5'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aud

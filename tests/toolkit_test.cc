@@ -1,0 +1,236 @@
+// Toolkit tests: chain builders, dialogues, tone menus, the Soundviewer
+// model and the audio-manager client.
+
+#include <gtest/gtest.h>
+
+#include "src/toolkit/audio_manager.h"
+#include "src/toolkit/dialogue.h"
+#include "src/toolkit/soundviewer.h"
+#include "src/toolkit/tone_menu.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+class ToolkitTest : public ServerFixture {};
+
+TEST_F(ToolkitTest, UploadDownloadRoundTrip) {
+  auto tone = TestTone(100);
+  ResourceId sound = toolkit_->UploadSound(tone, {Encoding::kPcm16, 8000});
+  auto back = toolkit_->DownloadSound(sound);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), tone);
+}
+
+TEST_F(ToolkitTest, PlaybackChainIsWiredAndMapped) {
+  auto chain = toolkit_->BuildPlaybackChain();
+  ExpectNoErrors();
+  auto wires = client_->QueryWires(chain.player);
+  ASSERT_TRUE(wires.ok());
+  ASSERT_EQ(wires.value().wires.size(), 1u);
+  EXPECT_EQ(wires.value().wires[0].dst_device, chain.output);
+  EXPECT_EQ(client_->QueryLoud(chain.loud).value().active, 1);
+}
+
+TEST_F(ToolkitTest, RecordChainCapturesMicrophone) {
+  auto chain = toolkit_->BuildRecordChain();
+  ResourceId sound = client_->CreateSound(kTelephoneFormat);
+  board_->microphones()[0]->AddPendingAudio(TestTone(300));
+
+  client_->Enqueue(chain.loud,
+                   {RecordCommand(chain.recorder, sound, kTerminateOnStop, 300, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  ASSERT_TRUE(toolkit_->WaitCommandDone(1));
+
+  auto recorded = toolkit_->DownloadSound(sound);
+  ASSERT_TRUE(recorded.ok());
+  size_t audible = 0;
+  for (Sample s : recorded.value()) {
+    if (std::abs(s) > 1000) {
+      ++audible;
+    }
+  }
+  EXPECT_GT(audible, 1500u);
+}
+
+TEST_F(ToolkitTest, PromptAndRecordDialogue) {
+  // An answering-machine-style dialogue against the microphone/speaker.
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId player = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ResourceId output = client_->CreateDevice(loud, DeviceClass::kOutput, {});
+  ResourceId input = client_->CreateDevice(loud, DeviceClass::kInput, {});
+  ResourceId recorder = client_->CreateDevice(loud, DeviceClass::kRecorder, {});
+  client_->CreateWire(player, 0, output, 0);
+  client_->CreateWire(input, 0, recorder, 0);
+  client_->SelectEvents(loud, kAllEvents);
+  client_->MapLoud(loud);
+
+  ResourceId prompt = toolkit_->UploadSound(TestTone(200), kTelephoneFormat);
+  // The "user" answers 500 ms in, speaks 800 ms, then goes silent.
+  std::vector<Sample> user(4000, 0);
+  auto speech = TestTone(800, 300.0);
+  user.insert(user.end(), speech.begin(), speech.end());
+  board_->microphones()[0]->AddPendingAudio(user);
+
+  AudioDialogue dialogue(toolkit_.get());
+  auto result = dialogue.PromptAndRecord(loud, player, recorder, prompt, 10000, 60000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->reason, RecordStopReason::kPauseDetected);
+  EXPECT_GT(result->samples, 8000u);  // prompt-wait + speech before the pause
+}
+
+TEST_F(ToolkitTest, SoundviewerTracksSyncMarks) {
+  Soundviewer viewer(8000, {.width_chars = 20, .tick_seconds = 1.0});
+  SyncMarkArgs mark;
+  mark.total_samples = 16000;
+  mark.position_samples = 0;
+  viewer.OnSyncMark(mark);
+  EXPECT_EQ(viewer.Render(), "[----------|---------]");
+
+  mark.position_samples = 8000;
+  EXPECT_TRUE(viewer.OnSyncMark(mark));
+  std::string half = viewer.Render();
+  EXPECT_EQ(half.substr(0, 11), "[##########");
+  EXPECT_DOUBLE_EQ(viewer.fraction(), 0.5);
+
+  // Same cell: no visual change.
+  mark.position_samples = 8100;
+  EXPECT_FALSE(viewer.OnSyncMark(mark));
+}
+
+TEST_F(ToolkitTest, SoundviewerSelectionRendering) {
+  Soundviewer viewer(8000, {.width_chars = 10, .tick_seconds = 100.0});
+  SyncMarkArgs mark;
+  mark.total_samples = 10000;
+  mark.position_samples = 5000;
+  viewer.OnSyncMark(mark);
+  viewer.SetSelection(6000, 8000);
+  std::string bar = viewer.Render();
+  EXPECT_NE(bar.find('='), std::string::npos);  // selection in unplayed region
+  viewer.ClearSelection();
+  EXPECT_EQ(viewer.Render().find('='), std::string::npos);
+}
+
+TEST_F(ToolkitTest, SoundviewerDrivenByRealPlayback) {
+  // End-to-end: play a sound with sync marks and drive the viewer from the
+  // event stream (the Figure 6-1 loop).
+  auto tone = TestTone(1000);
+  ResourceId sound = toolkit_->UploadSound(tone, kTelephoneFormat);
+  auto chain = toolkit_->BuildPlaybackChain();
+  client_->SetSyncMarks(chain.loud, 100);
+
+  Soundviewer viewer(8000);
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+
+  int repaints = 0;
+  toolkit_->WaitFor(
+      [&](const EventMessage& e) {
+        if (e.type == EventType::kSyncMark) {
+          if (viewer.OnSyncMark(SyncMarkArgs::Decode(e.args))) {
+            ++repaints;
+          }
+          return false;
+        }
+        return e.type == EventType::kCommandDone;
+      },
+      20000);
+  EXPECT_GE(repaints, 5);
+  EXPECT_GT(viewer.fraction(), 0.8);
+}
+
+TEST_F(ToolkitTest, ToneMenuCollectsDigitsWithBargeIn) {
+  // A caller dials in; the menu plays a prompt; the caller barges in with
+  // digits before the prompt ends.
+  auto chain = toolkit_->BuildAnsweringChain();
+  client_->MapLoud(chain.loud);
+  Flush();
+
+  FarEndParty* caller = board_->AddFarEnd("555-6666");
+  caller->DialAndWait("555-0100").WaitMs(300).SendDtmf("2").WaitMs(60000);
+
+  // Answer only once the line is actually ringing.
+  auto ring = toolkit_->WaitFor(
+      [](const EventMessage& e) { return e.type == EventType::kTelephoneRing; }, 10000);
+  ASSERT_TRUE(ring.has_value());
+  client_->Enqueue(chain.loud, {AnswerCommand(chain.telephone, 1)});
+  client_->StartQueue(chain.loud);
+  Flush();
+  auto connected = toolkit_->WaitFor(
+      [](const EventMessage& e) {
+        return e.type == EventType::kTelephoneAnswered ||
+               (e.type == EventType::kCallProgress &&
+                CallProgressArgs::Decode(e.args).state == CallState::kConnected);
+      },
+      10000);
+  ASSERT_TRUE(connected.has_value());
+
+  ResourceId prompt =
+      toolkit_->UploadSound(TestTone(3000, 350.0), kTelephoneFormat);  // long prompt
+  ToneMenu menu(toolkit_.get(), chain.loud, chain.telephone, chain.player);
+  auto selection = menu.Run(prompt, {.max_digits = 1, .digit_timeout_ms = 20000});
+  ASSERT_TRUE(selection.has_value());
+  EXPECT_EQ(*selection, "2");
+}
+
+TEST_F(ToolkitTest, ToneMenuTimesOutWithoutDigits) {
+  auto chain = toolkit_->BuildAnsweringChain();
+  client_->MapLoud(chain.loud);
+  Flush();
+  ToneMenu menu(toolkit_.get(), chain.loud, chain.telephone, chain.player);
+  auto selection = menu.Run(kNoResource, {.max_digits = 1, .digit_timeout_ms = 300});
+  EXPECT_FALSE(selection.has_value());
+}
+
+TEST_F(ToolkitTest, AudioManagerFocusPolicyLowersOthers) {
+  auto manager_conn = Connect("manager");
+  ASSERT_NE(manager_conn, nullptr);
+  AudioManager manager(manager_conn.get(), AudioManager::Policy::kFocusFollowsMap);
+  ASSERT_TRUE(manager_conn->Sync().ok());
+
+  // Two apps map LOUDs wanting the exclusive phone line.
+  ResourceId app1 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(app1, DeviceClass::kTelephone, {});
+  ResourceId app2 = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(app2, DeviceClass::kTelephone, {});
+
+  client_->MapLoud(app1);
+  Flush();
+  for (int i = 0; i < 100 && manager.Pump() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(manager_conn->Sync().ok());
+  EXPECT_EQ(client_->QueryLoud(app1).value().active, 1);
+
+  client_->MapLoud(app2);
+  Flush();
+  for (int i = 0; i < 100 && manager.Pump() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(manager_conn->Sync().ok());
+  // Focus follows map: app2 now holds the line.
+  EXPECT_EQ(client_->QueryLoud(app2).value().active, 1);
+  EXPECT_EQ(client_->QueryLoud(app1).value().active, 0);
+  EXPECT_EQ(manager.managed().size(), 2u);
+}
+
+TEST_F(ToolkitTest, AudioManagerDenyPolicyBlocksMapping) {
+  auto manager_conn = Connect("manager");
+  AudioManager manager(manager_conn.get(), AudioManager::Policy::kDenyAll);
+  ASSERT_TRUE(manager_conn->Sync().ok());
+
+  ResourceId app = client_->CreateLoud(kNoResource, {});
+  client_->CreateDevice(app, DeviceClass::kOutput, {});
+  client_->MapLoud(app);
+  Flush();
+  for (int i = 0; i < 50; ++i) {
+    manager.Pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(client_->QueryLoud(app).value().mapped, 0);
+}
+
+}  // namespace
+}  // namespace aud

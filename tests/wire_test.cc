@@ -1,0 +1,393 @@
+// Wire-protocol tests: attribute lists, message encode/decode round trips,
+// header framing, and malformed-input robustness.
+
+#include <gtest/gtest.h>
+
+#include "src/wire/attributes.h"
+#include "src/wire/messages.h"
+#include "src/wire/protocol.h"
+
+namespace aud {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& in) {
+  ByteWriter w;
+  in.Encode(&w);
+  ByteReader r(w.bytes());
+  T out = T::Decode(&r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  return out;
+}
+
+TEST(AttrListTest, TypedAccessors) {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kSampleRate, 8000);
+  attrs.SetI32(AttrTag::kDeviceId, -5);
+  attrs.SetString(AttrTag::kName, "speaker0");
+  attrs.SetBool(AttrTag::kAgc, true);
+
+  EXPECT_EQ(attrs.GetU32(AttrTag::kSampleRate), 8000u);
+  EXPECT_EQ(attrs.GetI32(AttrTag::kDeviceId), -5);
+  EXPECT_EQ(attrs.GetString(AttrTag::kName), "speaker0");
+  EXPECT_TRUE(attrs.GetBool(AttrTag::kAgc));
+  EXPECT_FALSE(attrs.GetBool(AttrTag::kCallerId));
+  EXPECT_EQ(attrs.GetU32(AttrTag::kPosition), std::nullopt);
+}
+
+TEST(AttrListTest, WrongTypeLookupIsNullopt) {
+  AttrList attrs;
+  attrs.SetString(AttrTag::kName, "x");
+  EXPECT_EQ(attrs.GetU32(AttrTag::kName), std::nullopt);
+}
+
+TEST(AttrListTest, SetReplacesExisting) {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kSampleRate, 8000);
+  attrs.SetU32(AttrTag::kSampleRate, 16000);
+  EXPECT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs.GetU32(AttrTag::kSampleRate), 16000u);
+}
+
+TEST(AttrListTest, MergeOverwrites) {
+  AttrList base;
+  base.SetU32(AttrTag::kSampleRate, 8000);
+  base.SetString(AttrTag::kName, "a");
+  AttrList overlay;
+  overlay.SetString(AttrTag::kName, "b");
+  overlay.SetBool(AttrTag::kAgc, true);
+  base.Merge(overlay);
+  EXPECT_EQ(base.GetString(AttrTag::kName), "b");
+  EXPECT_EQ(base.GetU32(AttrTag::kSampleRate), 8000u);
+  EXPECT_TRUE(base.GetBool(AttrTag::kAgc));
+}
+
+TEST(AttrListTest, EncodeDecodeRoundTrip) {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kClass, 3);
+  attrs.SetI32(AttrTag::kDeviceId, 42);
+  attrs.SetString(AttrTag::kPhoneNumber, "555-0100");
+  ByteWriter w;
+  attrs.Encode(&w);
+  ByteReader r(w.bytes());
+  AttrList out = AttrList::Decode(&r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(out, attrs);
+}
+
+TEST(AttrListTest, RemoveErasesTag) {
+  AttrList attrs;
+  attrs.SetU32(AttrTag::kClass, 1);
+  EXPECT_TRUE(attrs.Remove(AttrTag::kClass));
+  EXPECT_FALSE(attrs.Remove(AttrTag::kClass));
+  EXPECT_TRUE(attrs.empty());
+}
+
+TEST(HeaderTest, RoundTripAndSize) {
+  MessageHeader h;
+  h.type = MessageType::kEvent;
+  h.code = 17;
+  h.length = 4096;
+  h.sequence = 0xAABBCCDD;
+  ByteWriter w;
+  h.Encode(&w);
+  EXPECT_EQ(w.size(), kHeaderSize);
+  ByteReader r(w.bytes());
+  MessageHeader out = MessageHeader::Decode(&r);
+  EXPECT_EQ(out.type, h.type);
+  EXPECT_EQ(out.code, h.code);
+  EXPECT_EQ(out.length, h.length);
+  EXPECT_EQ(out.sequence, h.sequence);
+}
+
+TEST(SetupTest, RequestReplyRoundTrip) {
+  SetupRequest req;
+  req.client_name = "voicemail";
+  SetupRequest req2 = RoundTrip(req);
+  EXPECT_EQ(req2.magic, kSetupMagic);
+  EXPECT_EQ(req2.client_name, "voicemail");
+
+  SetupReply reply;
+  reply.success = 1;
+  reply.id_base = 0x100000;
+  reply.id_count = 1 << 20;
+  reply.device_loud = 0xF0000000;
+  reply.server_name = "netaudio";
+  SetupReply reply2 = RoundTrip(reply);
+  EXPECT_EQ(reply2.id_base, reply.id_base);
+  EXPECT_EQ(reply2.device_loud, reply.device_loud);
+  EXPECT_EQ(reply2.server_name, "netaudio");
+}
+
+TEST(CommandSpecTest, RoundTripWithArgs) {
+  CommandSpec spec;
+  spec.device = 77;
+  spec.command = DeviceCommand::kPlay;
+  spec.tag = 123;
+  spec.args = PlayArgs{55, 100, 2000}.Encode();
+  CommandSpec out = RoundTrip(spec);
+  EXPECT_EQ(out.device, 77u);
+  EXPECT_EQ(out.command, DeviceCommand::kPlay);
+  EXPECT_EQ(out.tag, 123u);
+  PlayArgs args = PlayArgs::Decode(out.args);
+  EXPECT_EQ(args.sound, 55u);
+  EXPECT_EQ(args.start_sample, 100);
+  EXPECT_EQ(args.end_sample, 2000);
+}
+
+TEST(CommandArgsTest, AllArgTypesRoundTrip) {
+  {
+    RecordArgs in{9, kTerminateOnPause | kTerminateOnHangup, 30000};
+    RecordArgs out = RecordArgs::Decode(in.Encode());
+    EXPECT_EQ(out.sound, 9u);
+    EXPECT_EQ(out.termination, in.termination);
+    EXPECT_EQ(out.max_ms, 30000u);
+  }
+  {
+    StringArg out = StringArg::Decode(StringArg{"555-1212"}.Encode());
+    EXPECT_EQ(out.value, "555-1212");
+  }
+  {
+    GainArgs out = GainArgs::Decode(GainArgs{-500}.Encode());
+    EXPECT_EQ(out.gain, -500);
+  }
+  {
+    InputGainArgs out = InputGainArgs::Decode(InputGainArgs{3, 2500}.Encode());
+    EXPECT_EQ(out.input, 3u);
+    EXPECT_EQ(out.gain, 2500);
+  }
+  {
+    DelayArgs out = DelayArgs::Decode(DelayArgs{5000}.Encode());
+    EXPECT_EQ(out.milliseconds, 5000u);
+  }
+  {
+    TrainArgs out = TrainArgs::Decode(TrainArgs{"yes", 12}.Encode());
+    EXPECT_EQ(out.word, "yes");
+    EXPECT_EQ(out.sound, 12u);
+  }
+  {
+    WordListArgs in;
+    in.words = {"play", "stop", "next"};
+    WordListArgs out = WordListArgs::Decode(in.Encode());
+    EXPECT_EQ(out.words, in.words);
+  }
+  {
+    ExceptionListArgs in;
+    in.entries = {{"Schmandt", "SH M AE N T"}, {"DECstation", "D EH K S T EY SH AH N"}};
+    ExceptionListArgs out = ExceptionListArgs::Decode(in.Encode());
+    EXPECT_EQ(out.entries, in.entries);
+  }
+  {
+    NoteArgs out = NoteArgs::Decode(NoteArgs{69, 120, 500}.Encode());
+    EXPECT_EQ(out.midi_note, 69);
+    EXPECT_EQ(out.velocity, 120);
+    EXPECT_EQ(out.duration_ms, 500u);
+  }
+  {
+    VoiceArgs in{2, 5, 60, 8000, 300};
+    VoiceArgs out = VoiceArgs::Decode(in.Encode());
+    EXPECT_EQ(out.waveform, 2);
+    EXPECT_EQ(out.sustain_centi, 8000);
+    EXPECT_EQ(out.release_ms, 300);
+  }
+  {
+    CrossbarStateArgs in;
+    in.routes = {{0, 1, 1}, {1, 0, 0}};
+    CrossbarStateArgs out = CrossbarStateArgs::Decode(in.Encode());
+    ASSERT_EQ(out.routes.size(), 2u);
+    EXPECT_EQ(out.routes[0].input, 0);
+    EXPECT_EQ(out.routes[0].output, 1);
+    EXPECT_EQ(out.routes[1].enabled, 0);
+  }
+  {
+    ValuesArgs in;
+    in.values.SetU32(AttrTag::kPitch, 140);
+    ValuesArgs out = ValuesArgs::Decode(in.Encode());
+    EXPECT_EQ(out.values.GetU32(AttrTag::kPitch), 140u);
+  }
+}
+
+TEST(RequestsTest, CreateWireRoundTrip) {
+  CreateWireReq req;
+  req.id = 1;
+  req.src_device = 2;
+  req.src_port = 1;
+  req.dst_device = 3;
+  req.dst_port = 0;
+  req.has_format = 1;
+  req.format = {Encoding::kAdpcm4, 16000};
+  CreateWireReq out = RoundTrip(req);
+  EXPECT_EQ(out.src_device, 2u);
+  EXPECT_EQ(out.format.encoding, Encoding::kAdpcm4);
+  EXPECT_EQ(out.format.sample_rate_hz, 16000u);
+}
+
+TEST(RequestsTest, EnqueueCommandsRoundTrip) {
+  EnqueueCommandsReq req;
+  req.loud = 99;
+  CommandSpec co;
+  co.command = DeviceCommand::kCoBegin;
+  req.commands.push_back(co);
+  CommandSpec play;
+  play.device = 5;
+  play.command = DeviceCommand::kPlay;
+  play.args = PlayArgs{7}.Encode();
+  req.commands.push_back(play);
+  CommandSpec end;
+  end.command = DeviceCommand::kCoEnd;
+  req.commands.push_back(end);
+
+  EnqueueCommandsReq out = RoundTrip(req);
+  ASSERT_EQ(out.commands.size(), 3u);
+  EXPECT_EQ(out.commands[0].command, DeviceCommand::kCoBegin);
+  EXPECT_EQ(out.commands[1].device, 5u);
+}
+
+TEST(RepliesTest, DeviceLoudReplyRoundTrip) {
+  DeviceLoudReply reply;
+  reply.root = kServerIdBase;
+  DeviceInfo dev;
+  dev.id = kServerIdBase + 1;
+  dev.parent = kServerIdBase;
+  dev.device_class = DeviceClass::kTelephone;
+  dev.attrs.SetString(AttrTag::kPhoneNumber, "555-0100");
+  reply.devices.push_back(dev);
+  WireInfo wire;
+  wire.id = kServerIdBase + 9;
+  reply.hard_wires.push_back(wire);
+
+  DeviceLoudReply out = RoundTrip(reply);
+  ASSERT_EQ(out.devices.size(), 1u);
+  EXPECT_EQ(out.devices[0].device_class, DeviceClass::kTelephone);
+  EXPECT_EQ(out.devices[0].attrs.GetString(AttrTag::kPhoneNumber), "555-0100");
+  ASSERT_EQ(out.hard_wires.size(), 1u);
+}
+
+TEST(EventsTest, EventMessageRoundTrip) {
+  EventMessage event;
+  event.type = EventType::kSyncMark;
+  event.resource = 12;
+  event.server_time = 123456789;
+  event.args = SyncMarkArgs{8000, 1000000, 16000}.Encode();
+  EventMessage out = RoundTrip(event);
+  EXPECT_EQ(out.type, EventType::kSyncMark);
+  SyncMarkArgs mark = SyncMarkArgs::Decode(out.args);
+  EXPECT_EQ(mark.position_samples, 8000u);
+  EXPECT_EQ(mark.total_samples, 16000u);
+}
+
+TEST(EventsTest, AllEventArgTypesRoundTrip) {
+  {
+    CommandDoneArgs out = CommandDoneArgs::Decode(CommandDoneArgs{4, 5, 1}.Encode());
+    EXPECT_EQ(out.tag, 4u);
+    EXPECT_EQ(out.aborted, 1);
+  }
+  {
+    TelephoneRingArgs in;
+    in.caller_id = "Bob";
+    in.line = 2;
+    TelephoneRingArgs out = TelephoneRingArgs::Decode(in.Encode());
+    EXPECT_EQ(out.caller_id, "Bob");
+    EXPECT_EQ(out.line, 2u);
+  }
+  {
+    CallProgressArgs out =
+        CallProgressArgs::Decode(CallProgressArgs{CallState::kBusy}.Encode());
+    EXPECT_EQ(out.state, CallState::kBusy);
+  }
+  {
+    DtmfReceivedArgs out = DtmfReceivedArgs::Decode(DtmfReceivedArgs{'#'}.Encode());
+    EXPECT_EQ(out.digit, '#');
+  }
+  {
+    RecorderStoppedArgs out =
+        RecorderStoppedArgs::Decode(RecorderStoppedArgs{1, 8000}.Encode());
+    EXPECT_EQ(out.reason, 1);
+    EXPECT_EQ(out.samples, 8000u);
+  }
+  {
+    RecognitionArgs in;
+    in.word = "rewind";
+    in.score = 9001;
+    RecognitionArgs out = RecognitionArgs::Decode(in.Encode());
+    EXPECT_EQ(out.word, "rewind");
+    EXPECT_EQ(out.score, 9001u);
+  }
+  {
+    PropertyNotifyArgs in;
+    in.name = "DOMAIN";
+    in.deleted = 1;
+    PropertyNotifyArgs out = PropertyNotifyArgs::Decode(in.Encode());
+    EXPECT_EQ(out.name, "DOMAIN");
+    EXPECT_EQ(out.deleted, 1);
+  }
+  {
+    MapRequestArgs out = MapRequestArgs::Decode(MapRequestArgs{31, 1}.Encode());
+    EXPECT_EQ(out.loud, 31u);
+    EXPECT_EQ(out.raise, 1);
+  }
+}
+
+TEST(ErrorsTest, ErrorMessageRoundTrip) {
+  ErrorMessage error;
+  error.code = ErrorCode::kBadWiring;
+  error.resource = 42;
+  error.opcode = static_cast<uint16_t>(Opcode::kCreateWire);
+  error.detail = "hard-wired constraint";
+  ErrorMessage out = RoundTrip(error);
+  EXPECT_EQ(out.code, ErrorCode::kBadWiring);
+  EXPECT_EQ(out.resource, 42u);
+  EXPECT_EQ(out.detail, "hard-wired constraint");
+}
+
+TEST(ProtocolTest, QueuedOnlyClassification) {
+  EXPECT_TRUE(IsQueuedOnlyCommand(DeviceCommand::kPlay));
+  EXPECT_TRUE(IsQueuedOnlyCommand(DeviceCommand::kRecord));
+  EXPECT_TRUE(IsQueuedOnlyCommand(DeviceCommand::kDial));
+  EXPECT_TRUE(IsQueuedOnlyCommand(DeviceCommand::kCoBegin));
+  EXPECT_FALSE(IsQueuedOnlyCommand(DeviceCommand::kStop));
+  EXPECT_FALSE(IsQueuedOnlyCommand(DeviceCommand::kChangeGain));
+  EXPECT_FALSE(IsQueuedOnlyCommand(DeviceCommand::kHangUp));
+}
+
+TEST(ProtocolTest, NamesAreDefined) {
+  EXPECT_EQ(DeviceClassName(DeviceClass::kSpeechSynthesizer), "speech-synthesizer");
+  EXPECT_EQ(DeviceCommandName(DeviceCommand::kSendDtmf), "SendDTMF");
+  EXPECT_EQ(EventTypeName(EventType::kSyncMark), "SyncMark");
+  EXPECT_EQ(CallStateName(CallState::kHungUp), "hung-up");
+  EXPECT_EQ(QueueStateName(QueueState::kServerPaused), "server-paused");
+}
+
+TEST(FrameTest, FrameMessageLayout) {
+  std::vector<uint8_t> payload = {1, 2, 3};
+  auto frame = FrameMessage(MessageType::kRequest, 7, 9, payload);
+  ASSERT_EQ(frame.size(), kHeaderSize + 3);
+  ByteReader r(frame);
+  MessageHeader h = MessageHeader::Decode(&r);
+  EXPECT_EQ(h.type, MessageType::kRequest);
+  EXPECT_EQ(h.code, 7);
+  EXPECT_EQ(h.length, 3u);
+  EXPECT_EQ(h.sequence, 9u);
+}
+
+TEST(RobustnessTest, TruncatedMessagesDecodeWithoutCrash) {
+  // Every truncation of a valid CreateVirtualDeviceReq must decode without
+  // UB and flag !ok (except trivially-valid prefixes).
+  CreateVirtualDeviceReq req;
+  req.id = 1;
+  req.loud = 2;
+  req.device_class = DeviceClass::kMixer;
+  req.attrs.SetString(AttrTag::kName, "mix");
+  ByteWriter w;
+  req.Encode(&w);
+  for (size_t len = 0; len < w.bytes().size(); ++len) {
+    ByteReader r(std::span<const uint8_t>(w.bytes()).first(len));
+    CreateVirtualDeviceReq::Decode(&r);
+    // Must not crash; most truncations flag an error.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aud

@@ -1,0 +1,143 @@
+// audiond: the audio server daemon. Owns the (simulated) workstation audio
+// board and serves the audio protocol over TCP, the way each workstation
+// runs one controlling server (section 4.1).
+//
+// Usage:
+//   audiond [--port N] [--speakers N] [--microphones N] [--lines N]
+//           [--speakerphone] [--wav-out FILE] [--verbose]
+//
+// --wav-out streams everything played on speaker0 into a WAV file so the
+// simulated output is audible with ordinary tooling.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/dsp/encoding.h"
+
+#include "src/common/logging.h"
+#include "src/common/wav.h"
+#include "src/hw/board.h"
+#include "src/server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aud;
+
+  uint16_t port = 7800;
+  BoardConfig config;
+  std::string wav_out;
+  std::string catalogue_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_int = [&](int fallback) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : fallback;
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(next_int(port));
+    } else if (arg == "--speakers") {
+      config.speakers = next_int(config.speakers);
+    } else if (arg == "--microphones") {
+      config.microphones = next_int(config.microphones);
+    } else if (arg == "--lines") {
+      config.phone_lines = next_int(config.phone_lines);
+    } else if (arg == "--speakerphone") {
+      config.speakerphone = true;
+    } else if (arg == "--wav-out") {
+      if (i + 1 < argc) {
+        wav_out = argv[++i];
+      }
+    } else if (arg == "--catalogue") {
+      if (i + 1 < argc) {
+        catalogue_dir = argv[++i];
+      }
+    } else if (arg == "--verbose") {
+      SetLogLevel(LogLevel::kDebug);
+    } else {
+      std::fprintf(stderr,
+                   "usage: audiond [--port N] [--speakers N] [--microphones N] "
+                   "[--lines N] [--speakerphone] [--wav-out FILE] "
+                   "[--catalogue DIR] [--verbose]\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  Board board(config);
+  AudioServer server(&board);
+
+  // Seed the server catalogue with WAV files from --catalogue DIR; each
+  // file becomes a named sound ("greeting.wav" -> "greeting").
+  if (!catalogue_dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(catalogue_dir, ec)) {
+      if (entry.path().extension() != ".wav") {
+        continue;
+      }
+      auto wav = ReadWavFile(entry.path().string());
+      if (!wav.ok()) {
+        std::fprintf(stderr, "audiond: skipping %s: %s\n", entry.path().c_str(),
+                     wav.status().ToString().c_str());
+        continue;
+      }
+      CatalogueSound sound;
+      sound.format = {Encoding::kPcm16, wav.value().sample_rate_hz};
+      StreamEncoder encoder(Encoding::kPcm16);
+      encoder.Encode(wav.value().samples, &sound.data);
+      std::string name = entry.path().stem().string();
+      std::lock_guard<std::mutex> lock(server.mutex());
+      server.state().catalogue()[name] = std::move(sound);
+      std::printf("audiond: catalogue += \"%s\" (%zu samples @ %u Hz)\n", name.c_str(),
+                  wav.value().samples.size(), wav.value().sample_rate_hz);
+    }
+    if (ec) {
+      std::fprintf(stderr, "audiond: cannot read catalogue dir %s\n",
+                   catalogue_dir.c_str());
+    }
+  }
+
+  std::vector<Sample> wav_capture;
+  if (!wav_out.empty()) {
+    board.speakers()[0]->set_sink([&wav_capture](std::span<const Sample> block) {
+      wav_capture.insert(wav_capture.end(), block.begin(), block.end());
+    });
+  }
+
+  if (!server.ListenTcp(port)) {
+    std::fprintf(stderr, "audiond: cannot listen on port %u\n", port);
+    return 1;
+  }
+  server.StartRealtime();
+  std::printf("audiond: serving \"netaudio\" on 127.0.0.1:%u\n", server.tcp_port());
+  std::printf("audiond: board: %d speaker(s), %d microphone(s), %d line(s)%s\n",
+              config.speakers, config.microphones, config.phone_lines,
+              config.speakerphone ? " + speakerphone" : "");
+  for (PhoneLineUnit* line : board.phone_lines()) {
+    std::printf("audiond: line %s is %s\n", line->name().c_str(),
+                line->line()->number().c_str());
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("\naudiond: shutting down\n");
+  server.Shutdown();
+  if (!wav_out.empty() && !wav_capture.empty()) {
+    if (WriteWavFile(wav_out, wav_capture, board.sample_rate_hz())) {
+      std::printf("audiond: wrote %zu samples to %s\n", wav_capture.size(),
+                  wav_out.c_str());
+    }
+  }
+  return 0;
+}
