@@ -14,10 +14,11 @@
 namespace aud {
 namespace {
 
-// One tick with N independent playing chains.
-void BM_TickWithActiveChains(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  BenchWorld world;
+// N independent playing chains, ticked with the given engine options.
+// Each chain uploads its own sound, so the island partitioner sees N
+// independent islands (shared sounds would merge them).
+void RunActiveChainTicks(benchmark::State& state, int n, const ServerOptions& options) {
+  BenchWorld world(BoardConfig{}, options);
   AudioToolkit& toolkit = world.toolkit();
   AudioConnection& client = world.client();
 
@@ -37,13 +38,31 @@ void BM_TickWithActiveChains(benchmark::State& state) {
   for (auto _ : state) {
     world.server().StepFrames(160);
   }
-  state.SetLabel(std::to_string(n) + " chains");
+  state.SetLabel(std::to_string(n) + " chains, " +
+                 std::to_string(options.engine_threads) + " engine thread(s)");
   // A tick is 20 ms of audio; report the real-time multiple.
   state.counters["audio_ms_per_tick"] = 20;
+}
+
+// One tick with N independent playing chains (serial engine).
+void BM_TickWithActiveChains(benchmark::State& state) {
+  RunActiveChainTicks(state, static_cast<int>(state.range(0)), ServerOptions{});
 }
 // Iterations are capped so the 60 s sounds outlast the measurement (each
 // iteration consumes 20 ms of audio).
 BENCHMARK(BM_TickWithActiveChains)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
+    ->Iterations(2500)->Unit(benchmark::kMicrosecond);
+
+// The same workload under the island-parallel engine: args are
+// {chains, engine_threads}. Compare against BM_TickWithActiveChains for
+// the speedup (acceptance: >= 2x at 128 chains / 4 threads).
+void BM_TickWithActiveChainsParallel(benchmark::State& state) {
+  ServerOptions options;
+  options.engine_threads = static_cast<int>(state.range(1));
+  RunActiveChainTicks(state, static_cast<int>(state.range(0)), options);
+}
+BENCHMARK(BM_TickWithActiveChainsParallel)
+    ->Args({16, 4})->Args({64, 4})->Args({128, 2})->Args({128, 4})
     ->Iterations(2500)->Unit(benchmark::kMicrosecond);
 
 // One tick with a deep transform pipeline: player -> dsp x K -> output.

@@ -11,18 +11,36 @@ void MixAccumulator::Clear() {
   input_count_ = 0;
 }
 
+void MixAccumulator::Reset(size_t block_size) {
+  acc_.assign(block_size, 0);
+  input_count_ = 0;
+}
+
 void MixAccumulator::Accumulate(std::span<const Sample> in, int32_t gain) {
   size_t n = std::min(in.size(), acc_.size());
+  int32_t* __restrict acc = acc_.data();
+  const Sample* __restrict src = in.data();
   if (gain == kUnityGain) {
     for (size_t i = 0; i < n; ++i) {
-      acc_[i] += in[i];
+      acc[i] += src[i];
     }
   } else {
+    const int64_t g = gain;
     for (size_t i = 0; i < n; ++i) {
-      acc_[i] += static_cast<int32_t>(static_cast<int64_t>(in[i]) * gain / kUnityGain);
+      acc[i] += static_cast<int32_t>(src[i] * g / kUnityGain);
     }
   }
   ++input_count_;
+}
+
+void MixAccumulator::AddFrom(const MixAccumulator& other) {
+  size_t n = std::min(acc_.size(), other.acc_.size());
+  int32_t* __restrict acc = acc_.data();
+  const int32_t* __restrict src = other.acc_.data();
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += src[i];
+  }
+  input_count_ += other.input_count_;
 }
 
 void MixAccumulator::Resolve(std::span<Sample> out) const {
@@ -33,7 +51,8 @@ void MixAccumulator::Resolve(std::span<Sample> out) const {
 }
 
 void MixEqual(std::span<const std::span<const Sample>> inputs, std::span<Sample> out) {
-  MixAccumulator acc(out.size());
+  thread_local MixAccumulator acc;
+  acc.Reset(out.size());
   for (const auto& in : inputs) {
     acc.Accumulate(in, kUnityGain);
   }

@@ -15,24 +15,35 @@
 namespace aud {
 
 // A mix accumulator sized for one engine block. Accumulate inputs, then
-// Resolve to saturated 16-bit output.
+// Resolve to saturated 16-bit output. Reset() re-sizes for a new block
+// while reusing the underlying capacity, so a long-lived accumulator
+// allocates at most once per period-size change.
 class MixAccumulator {
  public:
+  MixAccumulator() = default;
   explicit MixAccumulator(size_t block_size) : acc_(block_size, 0) {}
 
   size_t size() const { return acc_.size(); }
 
-  // Zeroes the accumulator for a new block.
+  // Zeroes the accumulator for a new block of the same size.
   void Clear();
+
+  // Re-sizes to `block_size` and zeroes, reusing capacity.
+  void Reset(size_t block_size);
 
   // Adds `in` scaled by `gain` (centi-percent; kUnityGain = 1.0). Inputs
   // shorter than the block contribute silence for the remainder.
   void Accumulate(std::span<const Sample> in, int32_t gain);
 
+  // Adds another accumulator's running sum (merging per-worker partial
+  // mixes). Only min(size, other.size) frames are added.
+  void AddFrom(const MixAccumulator& other);
+
   // Writes the saturated mix into `out` (must be at least size()).
   void Resolve(std::span<Sample> out) const;
 
-  // Number of Accumulate calls since the last Clear.
+  // Number of Accumulate calls since the last Clear/Reset (AddFrom adds
+  // the other accumulator's count).
   int input_count() const { return input_count_; }
 
  private:
@@ -40,7 +51,8 @@ class MixAccumulator {
   int input_count_ = 0;
 };
 
-// One-shot convenience: mixes equally weighted inputs into out.
+// One-shot convenience: mixes equally weighted inputs into out. Uses a
+// thread-local scratch accumulator, so repeated calls do not allocate.
 void MixEqual(std::span<const std::span<const Sample>> inputs, std::span<Sample> out);
 
 }  // namespace aud

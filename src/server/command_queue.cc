@@ -443,6 +443,54 @@ uint32_t CommandQueue::FirstTag(const Node& node) {
   return 0;
 }
 
+void CommandQueue::CollectSoundIds(std::vector<ResourceId>* out) const {
+  for (const auto& node : program_) {
+    CollectNodeSounds(*node, out);
+  }
+}
+
+void CommandQueue::CollectNodeSounds(const Node& node, std::vector<ResourceId>* out) {
+  if (node.kind == Node::Kind::kCommand && !node.done) {
+    switch (node.spec.command) {
+      case DeviceCommand::kPlay:
+        out->push_back(PlayArgs::Decode(node.spec.args).sound);
+        break;
+      case DeviceCommand::kRecord:
+        out->push_back(RecordArgs::Decode(node.spec.args).sound);
+        break;
+      case DeviceCommand::kTrain:
+        out->push_back(TrainArgs::Decode(node.spec.args).sound);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& child : node.children) {
+    CollectNodeSounds(*child, out);
+  }
+}
+
+void CommandQueue::ForgetDevice(const VirtualDevice* device) {
+  for (auto& node : program_) {
+    ForgetNodeDevice(node.get(), device);
+  }
+}
+
+void CommandQueue::ForgetNodeDevice(Node* node, const VirtualDevice* device) {
+  if (node->kind == Node::Kind::kCommand && node->device == device) {
+    node->device = nullptr;
+    if (node->started && !node->done) {
+      // The device died under a running command; there is nothing left to
+      // finish, so the queue skips past it on the next tick.
+      node->aborted = true;
+      node->done = true;
+    }
+  }
+  for (auto& child : node->children) {
+    ForgetNodeDevice(child.get(), device);
+  }
+}
+
 uint32_t CommandQueue::Depth() const {
   uint32_t n = 0;
   for (const auto& node : program_) {

@@ -74,6 +74,12 @@ class PlayerDevice : public VirtualDevice {
   int64_t total_samples() const { return total_; }
   bool playing() const { return CommandRunning(); }
 
+  void CollectTickSounds(std::vector<ResourceId>* out) const override {
+    if (sound_id_ != kNoResource) {
+      out->push_back(sound_id_);
+    }
+  }
+
  private:
   ResourceId sound_id_ = kNoResource;
   int64_t position_ = 0;   // next sample index to decode
@@ -101,6 +107,12 @@ class RecorderDevice : public VirtualDevice {
   void Consume(EngineTick* tick) override;
 
   uint64_t samples_recorded() const { return samples_recorded_; }
+
+  void CollectTickSounds(std::vector<ResourceId>* out) const override {
+    if (sound_id_ != kNoResource) {
+      out->push_back(sound_id_);
+    }
+  }
 
  private:
   void FinishRecording(EngineTick* tick, RecordStopReason reason);

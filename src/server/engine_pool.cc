@@ -1,0 +1,70 @@
+#include "src/server/engine_pool.h"
+
+namespace aud {
+
+EnginePool::EnginePool(int workers) {
+  int extra = workers - 1;
+  threads_.reserve(extra > 0 ? static_cast<size_t>(extra) : 0);
+  for (int i = 0; i < extra; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+EnginePool::~EnginePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void EnginePool::Run(size_t count, const Job& fn) {
+  if (count == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_fn_ = &fn;
+  job_count_ = count;
+  next_job_ = 0;
+  done_jobs_ = 0;
+  work_cv_.notify_all();
+
+  // The calling thread participates as worker 0.
+  while (next_job_ < job_count_) {
+    size_t i = next_job_++;
+    lock.unlock();
+    fn(i, 0);
+    lock.lock();
+    ++done_jobs_;
+  }
+  done_cv_.wait(lock, [this] { return done_jobs_ == job_count_; });
+  // Clear the batch before returning: `fn` lives on the caller's stack,
+  // and done_jobs_ == job_count_ guarantees no worker still holds it.
+  job_fn_ = nullptr;
+}
+
+void EnginePool::WorkerLoop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || (job_fn_ != nullptr && next_job_ < job_count_); });
+    if (stop_) {
+      return;
+    }
+    size_t i = next_job_++;
+    const Job* fn = job_fn_;
+    lock.unlock();
+    (*fn)(i, worker);
+    lock.lock();
+    if (++done_jobs_ == job_count_) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace aud

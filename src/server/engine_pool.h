@@ -1,0 +1,64 @@
+// EnginePool: a persistent worker pool for the parallel engine tick. The
+// tick thread partitions the active device graph into independent islands
+// (ServerState::PartitionIslands) and hands them here; the pool runs one
+// job per island across its threads *and* the calling thread, returning
+// only when every job has finished.
+//
+// The pool exists for the lifetime of the server (threads are created
+// once, not per tick) so a 20 ms engine period never pays thread-creation
+// latency. Jobs receive a dense worker index in [0, worker_slots()); the
+// caller always runs as worker 0, pool threads as 1..N. ServerState keys
+// its per-worker mix accumulators off that index.
+
+#ifndef SRC_SERVER_ENGINE_POOL_H_
+#define SRC_SERVER_ENGINE_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aud {
+
+class EnginePool {
+ public:
+  // A job receives its job index and the worker slot executing it.
+  using Job = std::function<void(size_t job, int worker)>;
+
+  // `workers` is the total parallelism including the calling thread, so
+  // the pool spawns workers-1 threads. workers < 2 spawns none (Run then
+  // degenerates to a serial loop on the caller).
+  explicit EnginePool(int workers);
+  ~EnginePool();
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Total worker slots: pool threads + the calling thread.
+  int worker_slots() const { return static_cast<int>(threads_.size()) + 1; }
+
+  // Runs fn(0..count-1, worker) across the pool and the calling thread;
+  // returns when all `count` jobs have completed. Job order across
+  // workers is unspecified — callers needing deterministic merge order
+  // must key results by job index, not completion order.
+  void Run(size_t count, const Job& fn);
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable done_cv_;   // Run waits for completion
+  const Job* job_fn_ = nullptr;       // non-null while a batch is live
+  size_t job_count_ = 0;
+  size_t next_job_ = 0;
+  size_t done_jobs_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_ENGINE_POOL_H_

@@ -10,6 +10,7 @@ AudioServer::AudioServer(Board* board) : AudioServer(board, ServerOptions{}) {}
 
 AudioServer::AudioServer(Board* board, ServerOptions options)
     : board_(board), options_(options), state_(board, options.name) {
+  state_.ConfigureEngine(options.engine_threads);
   state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
     // Called with mu_ held (from dispatch or engine tick).
     for (auto& conn : connections_) {

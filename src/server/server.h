@@ -6,9 +6,16 @@
 //   * the connection-manager thread accepts TCP connections;
 //   * one reader thread per client connection parses and dispatches
 //     requests;
-//   * the engine thread (realtime mode) pumps the board every period.
-// All protocol and engine state is serialized by one mutex; reader and
-// engine threads take it per message / per tick.
+//   * the engine thread (realtime mode) pumps the board every period;
+//   * with ServerOptions::engine_threads > 1, a persistent EnginePool of
+//     engine workers runs the tick's produce/transform/consume phases
+//     island-parallel (see server_state.h for the island partition and
+//     the bit-identical merge-order guarantee).
+// All protocol state is serialized by one mutex; reader and engine threads
+// take it per message / per tick. The big lock is *held across* the
+// parallel fan-out — engine workers never touch protocol state, only
+// island-local device state plus per-worker mix accumulators and per-
+// island event buffers that the tick thread merges after the join.
 //
 // Time can instead be driven manually with StepFrames() for deterministic
 // tests and virtual-time benches.
@@ -34,6 +41,11 @@ struct ServerOptions {
   std::string name = "netaudio";
   // Engine period in frames at the board rate (160 = 20 ms at 8 kHz).
   size_t period_frames = 160;
+  // Engine tick parallelism (total workers including the tick thread).
+  // 1 = the serial engine (default; deterministic-by-construction for
+  // tests). N > 1 ticks independent islands of the active graph
+  // concurrently; output is bit-identical to serial either way.
+  int engine_threads = 1;
 };
 
 class AudioServer {

@@ -10,6 +10,17 @@ namespace aud {
 
 namespace {
 
+// Worker-thread routing for the parallel tick: while an island runs on a
+// pool worker, its output mixing and event emission are redirected here
+// instead of touching shared state. Null outside a parallel island run
+// (the serial path and all dispatcher calls go straight through).
+thread_local TickOutputs* tls_tick_outputs = nullptr;
+thread_local std::vector<std::pair<uint32_t, EventMessage>>* tls_island_events = nullptr;
+
+}  // namespace
+
+namespace {
+
 // Maps an event type to its selection-mask category (section 5.7's three
 // categories, subdivided for finer control).
 uint32_t CategoryFor(EventType type) {
@@ -150,6 +161,10 @@ Status ServerState::Destroy(ResourceId id) {
         dev->AbortCommand();
         dev->Unbind();
       }
+      // The root queue's program may still reference this device (a child
+      // LOUD can be destroyed before its root on connection teardown);
+      // drop those references before the pointer dangles.
+      dev->loud()->queue()->ForgetDevice(dev);
       dev->loud()->RemoveDevice(dev);
       break;
     }
@@ -467,70 +482,196 @@ void ServerState::RecomputeActivation() {
 // Engine tick
 // ---------------------------------------------------------------------------
 
-void ServerState::AccumulateOutput(PhysicalDevice* device, std::span<const Sample> samples,
-                                   int32_t gain) {
-  auto it = output_acc_.find(device);
-  if (it == output_acc_.end()) {
-    it = output_acc_.emplace(device, std::make_unique<MixAccumulator>(current_tick_frames_))
-             .first;
+void ServerState::ConfigureEngine(int threads) {
+  engine_threads_ = threads < 1 ? 1 : threads;
+  if (engine_threads_ > 1) {
+    engine_pool_ = std::make_unique<EnginePool>(engine_threads_);
+    worker_outputs_.resize(static_cast<size_t>(engine_pool_->worker_slots()));
+  } else {
+    engine_pool_.reset();
+    worker_outputs_.clear();
   }
-  it->second->Accumulate(samples, gain);
 }
 
-void ServerState::Tick(size_t frames) {
-  in_tick_ = true;
-  current_tick_frames_ = frames;
-  EngineTick tick{this, frames, engine_frame_};
-
-  // Prepare output accumulators (one per output-capable physical device).
-  for (SpeakerUnit* speaker : board_->speakers()) {
-    auto& acc = output_acc_[speaker];
-    if (acc == nullptr || acc->size() != frames) {
-      acc = std::make_unique<MixAccumulator>(frames);
-    }
-    acc->Clear();
+void ServerState::AccumulateOutput(PhysicalDevice* device, std::span<const Sample> samples,
+                                   int32_t gain) {
+  if (tls_tick_outputs != nullptr) {
+    tls_tick_outputs->Accumulate(device, samples, gain);
+    return;
   }
-  for (PhoneLineUnit* phone : board_->phone_lines()) {
-    auto& acc = output_acc_[phone];
-    if (acc == nullptr || acc->size() != frames) {
-      acc = std::make_unique<MixAccumulator>(frames);
-    }
-    acc->Clear();
+  auto it = output_acc_.find(device);
+  if (it == output_acc_.end()) {
+    it = output_acc_.emplace(device, MixAccumulator(current_tick_frames_)).first;
   }
+  it->second.Accumulate(samples, gain);
+}
 
-  // Gather the active device graph in stack order.
-  std::vector<VirtualDevice*> active_devices;
+void ServerState::PrepareOutputAccumulator(PhysicalDevice* device, size_t frames) {
+  MixAccumulator& acc = output_acc_[device];
+  if (acc.size() != frames) {
+    acc.Reset(frames);  // re-sizes in place (period change / first tick)
+  } else {
+    acc.Clear();
+  }
+}
+
+const std::vector<EngineIsland>& ServerState::PartitionIslands() {
+  partition_louds_.clear();
+  partition_index_.clear();
   for (Loud* loud : active_stack_) {
     if (loud->active()) {
-      loud->CollectDevices(&active_devices);
+      partition_index_[loud] = static_cast<int>(partition_louds_.size());
+      partition_louds_.push_back(loud);
+    }
+  }
+  int n = static_cast<int>(partition_louds_.size());
+  partition_parent_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    partition_parent_[static_cast<size_t>(i)] = i;
+  }
+  auto find = [this](int x) {
+    while (partition_parent_[static_cast<size_t>(x)] != x) {
+      partition_parent_[static_cast<size_t>(x)] =
+          partition_parent_[static_cast<size_t>(partition_parent_[static_cast<size_t>(x)])];
+      x = partition_parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  // Union keeps the lower (higher-in-stack) index as representative, so
+  // island numbering follows the active stack.
+  auto unite = [this, &find](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) {
+      partition_parent_[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+    }
+  };
+
+  partition_phys_.clear();
+  partition_sound_rep_.clear();
+  int exchange_rep = -1;    // all telephone users share the exchange
+  int vocabulary_rep = -1;  // all recognizers share the vocabulary store
+
+  for (int i = 0; i < n; ++i) {
+    Loud* loud = partition_louds_[static_cast<size_t>(i)];
+    partition_sounds_.clear();
+    loud->queue()->CollectSoundIds(&partition_sounds_);
+
+    partition_devices_.clear();
+    loud->CollectDevices(&partition_devices_);
+    for (VirtualDevice* dev : partition_devices_) {
+      // Wires merge the two endpoint LOUD trees.
+      for (WireObject* wire : dev->source_wires()) {
+        auto it = partition_index_.find(wire->dst()->loud()->Root());
+        if (it != partition_index_.end()) {
+          unite(i, it->second);
+        }
+      }
+      for (WireObject* wire : dev->sink_wires()) {
+        auto it = partition_index_.find(wire->src()->loud()->Root());
+        if (it != partition_index_.end()) {
+          unite(i, it->second);
+        }
+      }
+      // Non-speaker hardware is read destructively (microphone/phone-line
+      // capture rings), so sharing one merges. Speakers are written only
+      // through the commutative output accumulators and stay parallel.
+      PhysicalDevice* bound = dev->bound_device();
+      if (bound != nullptr && dynamic_cast<SpeakerUnit*>(bound) == nullptr) {
+        auto [it, inserted] = partition_phys_.try_emplace(bound, i);
+        if (!inserted) {
+          unite(i, it->second);
+        }
+      }
+      // Telephone commands (Dial/Answer/SendDTMF) mutate the shared
+      // exchange; recognizer commands can touch the shared vocabulary
+      // store (SaveVocabulary) and Train reads sounds (collected below).
+      if (dev->device_class() == DeviceClass::kTelephone) {
+        if (exchange_rep < 0) {
+          exchange_rep = i;
+        } else {
+          unite(i, exchange_rep);
+        }
+      }
+      if (dev->device_class() == DeviceClass::kSpeechRecognizer) {
+        if (vocabulary_rep < 0) {
+          vocabulary_rep = i;
+        } else {
+          unite(i, vocabulary_rep);
+        }
+      }
+      dev->CollectTickSounds(&partition_sounds_);
+    }
+
+    for (ResourceId sound : partition_sounds_) {
+      if (sound == kNoResource) {
+        continue;
+      }
+      auto [it, inserted] = partition_sound_rep_.try_emplace(sound, i);
+      if (!inserted) {
+        unite(i, it->second);
+      }
     }
   }
 
+  // Materialize islands in stack order of their representatives.
+  for (EngineIsland& island : islands_) {
+    island.louds.clear();
+    island.devices.clear();
+  }
+  size_t used = 0;
+  // parent_ reused as rep -> island index map (reps are self-parented).
+  std::vector<int>& island_of = partition_parent_;
+  std::vector<int>& reps = partition_reps_;
+  reps.clear();
+  for (int i = 0; i < n; ++i) {
+    reps.push_back(find(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    int rep = reps[static_cast<size_t>(i)];
+    if (rep == i) {
+      if (islands_.size() <= used) {
+        islands_.emplace_back();
+      }
+      island_of[static_cast<size_t>(i)] = static_cast<int>(used);
+      ++used;
+    }
+  }
+  islands_.resize(used);
+  for (int i = 0; i < n; ++i) {
+    EngineIsland& island = islands_[static_cast<size_t>(
+        island_of[static_cast<size_t>(reps[static_cast<size_t>(i)])])];
+    Loud* loud = partition_louds_[static_cast<size_t>(i)];
+    island.louds.push_back(loud);
+    loud->CollectDevices(&island.devices);
+  }
+  return islands_;
+}
+
+void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, size_t frames) {
   // 1. Command queues: players/synths produce, commands advance (gapless
   //    transitions happen inside this call).
-  for (Loud* loud : active_stack_) {
-    if (loud->active()) {
-      loud->queue()->Tick(&tick, frames);
-    }
+  for (Loud* loud : island.louds) {
+    loud->queue()->Tick(tick, frames);
   }
 
   // 2. Free-running sources: inputs and telephones stream regardless of
   //    queue state.
-  for (VirtualDevice* dev : active_devices) {
+  for (VirtualDevice* dev : island.devices) {
     if (dev->device_class() == DeviceClass::kInput ||
         dev->device_class() == DeviceClass::kTelephone) {
-      dev->Produce(&tick, frames);
+      dev->Produce(tick, frames);
     }
   }
 
   // 3. Transforms, in creation order (covers transform chains built in
   //    order).
-  for (VirtualDevice* dev : active_devices) {
+  for (VirtualDevice* dev : island.devices) {
     switch (dev->device_class()) {
       case DeviceClass::kMixer:
       case DeviceClass::kCrossbar:
       case DeviceClass::kDsp:
-        dev->Produce(&tick, frames);
+        dev->Produce(tick, frames);
         break;
       default:
         break;
@@ -538,29 +679,114 @@ void ServerState::Tick(size_t frames) {
   }
 
   // 4. Sinks.
-  for (VirtualDevice* dev : active_devices) {
+  for (VirtualDevice* dev : island.devices) {
     switch (dev->device_class()) {
       case DeviceClass::kOutput:
       case DeviceClass::kRecorder:
       case DeviceClass::kTelephone:
       case DeviceClass::kSpeechRecognizer:
-        dev->Consume(&tick);
+        dev->Consume(tick);
         break;
       default:
         break;
     }
   }
+}
+
+void ServerState::TickSerial(EngineTick* tick, size_t frames) {
+  // The whole active graph as one pseudo-island, in stack order — the
+  // phase structure is byte-for-byte the pre-parallel engine.
+  serial_island_.louds.clear();
+  serial_island_.devices.clear();
+  for (Loud* loud : active_stack_) {
+    if (loud->active()) {
+      serial_island_.louds.push_back(loud);
+      loud->CollectDevices(&serial_island_.devices);
+    }
+  }
+  RunIslandPhases(serial_island_, tick, frames);
+}
+
+void ServerState::TickParallel(EngineTick* tick, size_t frames) {
+  PartitionIslands();
+  if (islands_.size() <= 1) {
+    TickSerial(tick, frames);
+    return;
+  }
+  if (island_events_.size() < islands_.size()) {
+    island_events_.resize(islands_.size());
+  }
+  for (size_t i = 0; i < islands_.size(); ++i) {
+    island_events_[i].clear();
+  }
+  for (TickOutputs& outputs : worker_outputs_) {
+    outputs.BeginTick(frames);
+  }
+
+  engine_pool_->Run(islands_.size(), [&](size_t job, int worker) {
+    EngineTick island_tick{this, frames, tick->start_frame};
+    tls_tick_outputs = &worker_outputs_[static_cast<size_t>(worker)];
+    tls_island_events = &island_events_[job];
+    RunIslandPhases(islands_[job], &island_tick, frames);
+    tls_tick_outputs = nullptr;
+    tls_island_events = nullptr;
+  });
+
+  // Merge per-worker partial mixes into the global accumulators. The
+  // integer sums commute, so worker order cannot change the result; the
+  // serial path would have produced the identical totals.
+  for (TickOutputs& outputs : worker_outputs_) {
+    for (PhysicalDevice* device : outputs.touched()) {
+      auto it = output_acc_.find(device);
+      if (it == output_acc_.end()) {
+        it = output_acc_.emplace(device, MixAccumulator(frames)).first;
+      }
+      it->second.AddFrom(outputs.accumulator(device));
+    }
+  }
+
+  // Flush deferred events in island (stack) order on the tick thread.
+  if (event_sender_) {
+    for (size_t i = 0; i < islands_.size(); ++i) {
+      for (const auto& [conn, event] : island_events_[i]) {
+        event_sender_(conn, event);
+      }
+    }
+  }
+}
+
+void ServerState::Tick(size_t frames) {
+  in_tick_ = true;
+  current_tick_frames_ = frames;
+  EngineTick tick{this, frames, engine_frame_};
+
+  // Prepare output accumulators (one per output-capable physical device,
+  // reused across ticks).
+  for (SpeakerUnit* speaker : board_->speakers()) {
+    PrepareOutputAccumulator(speaker, frames);
+  }
+  for (PhoneLineUnit* phone : board_->phone_lines()) {
+    PrepareOutputAccumulator(phone, frames);
+  }
+
+  // Phases 1-4: queues, sources, transforms, sinks — island-parallel when
+  // an engine pool is configured.
+  if (engine_pool_ != nullptr) {
+    TickParallel(&tick, frames);
+  } else {
+    TickSerial(&tick, frames);
+  }
 
   // 5. Resolve the transparent mixers into the codecs. The server keeps
   //    every output codec fed (silence when idle) so the device clock runs
   //    continuously.
-  std::vector<Sample> resolved(frames);
+  resolved_.resize(frames);
   for (auto& [device, acc] : output_acc_) {
-    acc->Resolve(resolved);
+    acc.Resolve(resolved_);
     if (auto* speaker = dynamic_cast<SpeakerUnit*>(device)) {
-      speaker->codec().WritePlayback(resolved);
+      speaker->codec().WritePlayback(resolved_);
     } else if (auto* phone = dynamic_cast<PhoneLineUnit*>(device)) {
-      phone->tx_codec().WritePlayback(resolved);
+      phone->tx_codec().WritePlayback(resolved_);
     }
   }
 
@@ -576,6 +802,17 @@ void ServerState::Tick(size_t frames) {
 // Events
 // ---------------------------------------------------------------------------
 
+void ServerState::DeliverEvent(uint32_t conn, const EventMessage& event) {
+  // Workers running a parallel-tick island buffer deliveries; the tick
+  // thread flushes them in island order after the join (the transport is
+  // not safe to write from two workers at once).
+  if (tls_island_events != nullptr) {
+    tls_island_events->emplace_back(conn, event);
+    return;
+  }
+  event_sender_(conn, event);
+}
+
 void ServerState::EmitEvent(Loud* loud, EventType type, ResourceId resource,
                             std::vector<uint8_t> args) {
   if (!event_sender_) {
@@ -589,7 +826,7 @@ void ServerState::EmitEvent(Loud* loud, EventType type, ResourceId resource,
   event.args = std::move(args);
   for (const auto& [conn, mask] : loud->event_masks()) {
     if ((mask & category) != 0) {
-      event_sender_(conn, event);
+      DeliverEvent(conn, event);
     }
   }
 }
@@ -608,7 +845,7 @@ void ServerState::EmitDeviceLoudEvent(ResourceId device_loud_id, EventType type,
   uint32_t category = CategoryFor(type);
   for (const auto& [conn, mask] : entry->event_masks()) {
     if ((mask & category) != 0 && event_sender_) {
-      event_sender_(conn, event);
+      DeliverEvent(conn, event);
     }
   }
 }

@@ -1,9 +1,27 @@
 // ServerState: the protocol-object world of one audio server — registry,
 // device LOUD, active stack, catalogue, event routing, and the engine tick
-// that moves audio. Everything here is called with the server's big lock
-// held (by the dispatcher for requests, by the engine for ticks), so the
-// state itself is single-threaded by construction, mirroring the paper's
-// per-server serialization point for resource arbitration.
+// that moves audio.
+//
+// Locking and the parallel tick: all *protocol* mutation is called with the
+// server's big lock held (by the dispatcher for requests, by the engine for
+// ticks), so registry/stack/catalogue state stays single-threaded by
+// construction, mirroring the paper's per-server serialization point for
+// resource arbitration. The engine tick itself may fan out: Tick()
+// partitions the active device graph into independent *islands* — sets of
+// root LOUDs that share no wire endpoints, no non-speaker physical devices
+// (microphones and phone lines are destructive reads), no referenced
+// sounds, and neither the phone exchange nor the recognizer vocabulary
+// store — and runs each island on a persistent worker pool (EnginePool).
+// Workers only touch island-local state plus two thread-routed sinks:
+//   * output mixing goes to a per-worker TickOutputs accumulator set that
+//     the tick thread merges into the global per-device accumulators after
+//     the join (island merge order is deterministic and the integer sums
+//     commute, so parallel output is bit-identical to serial);
+//   * events are buffered per island and flushed by the tick thread in
+//     island-id (stack) order after the join.
+// The big lock still protects everything else: request dispatch, activation,
+// object lifetime, event masks, and the codec resolve + board advance that
+// bracket the parallel phase.
 
 #ifndef SRC_SERVER_SERVER_STATE_H_
 #define SRC_SERVER_SERVER_STATE_H_
@@ -22,6 +40,7 @@
 #include "src/server/command_queue.h"
 #include "src/server/core.h"
 #include "src/server/devices.h"
+#include "src/server/engine_pool.h"
 #include "src/server/loud.h"
 
 namespace aud {
@@ -31,6 +50,53 @@ namespace aud {
 struct CatalogueSound {
   AudioFormat format;
   std::vector<uint8_t> data;
+};
+
+// One independent slice of the active device graph: root LOUDs (in active-
+// stack order) plus their devices. Islands share no mutable engine state,
+// so they can tick concurrently.
+struct EngineIsland {
+  std::vector<Loud*> louds;
+  std::vector<VirtualDevice*> devices;
+};
+
+// Per-worker output mixing sink for the parallel tick. Each worker
+// accumulates every AccumulateOutput call it executes into its own set of
+// per-device accumulators; the tick thread merges the sets after the join.
+// Accumulators are reused across ticks (reset lazily on first touch).
+class TickOutputs {
+ public:
+  void BeginTick(size_t frames) {
+    frames_ = frames;
+    touched_.clear();
+    ++stamp_;
+  }
+
+  void Accumulate(PhysicalDevice* device, std::span<const Sample> samples, int32_t gain) {
+    Slot& slot = slots_[device];
+    if (slot.stamp != stamp_) {
+      slot.acc.Reset(frames_);
+      slot.stamp = stamp_;
+      touched_.push_back(device);
+    }
+    slot.acc.Accumulate(samples, gain);
+  }
+
+  // Devices this worker touched since BeginTick.
+  const std::vector<PhysicalDevice*>& touched() const { return touched_; }
+  const MixAccumulator& accumulator(PhysicalDevice* device) const {
+    return slots_.at(device).acc;
+  }
+
+ private:
+  struct Slot {
+    MixAccumulator acc;
+    uint64_t stamp = 0;
+  };
+  std::unordered_map<PhysicalDevice*, Slot> slots_;
+  std::vector<PhysicalDevice*> touched_;
+  size_t frames_ = 0;
+  uint64_t stamp_ = 0;
 };
 
 class ServerState {
@@ -98,19 +164,36 @@ class ServerState {
 
   // -- Engine -------------------------------------------------------------------
 
+  // Sets the tick parallelism. threads <= 1 keeps the serial tick (the
+  // default); threads > 1 creates a persistent EnginePool of that total
+  // width. Must not be called mid-tick.
+  void ConfigureEngine(int threads);
+  int engine_threads() const { return engine_threads_; }
+
   // One engine tick: run queues/produce/transform/consume for `frames`,
-  // then advance the hardware board.
+  // then advance the hardware board. With an engine pool configured the
+  // produce/transform/consume phases run island-parallel.
   void Tick(size_t frames);
+
+  // Recomputes the island partition of the currently-active graph and
+  // returns it (also used by tests; the parallel tick calls this every
+  // tick with reused scratch storage). LOUDs sharing a wire, a non-speaker
+  // physical device, a referenced sound, the phone exchange, or the
+  // vocabulary store land in the same island; island order follows the
+  // active stack.
+  const std::vector<EngineIsland>& PartitionIslands();
 
   // Output mixing: devices add their streams here during Consume; the tick
   // resolves each physical output's accumulator into its codec. This is the
-  // transparent mixing of section 6.1.
+  // transparent mixing of section 6.1. During a parallel tick the call is
+  // routed to the executing worker's TickOutputs.
   void AccumulateOutput(PhysicalDevice* device, std::span<const Sample> samples, int32_t gain);
 
   // -- Events (section 5.7) --------------------------------------------------------
 
   // Emits to every connection whose event mask on `loud` includes the
-  // event's category.
+  // event's category. Inside a parallel tick the delivery is buffered
+  // island-locally and flushed by the tick thread after the join.
   void EmitEvent(Loud* loud, EventType type, ResourceId resource, std::vector<uint8_t> args);
 
   // Emits to subscribers of a device-LOUD entry (e.g. monitoring the
@@ -155,6 +238,15 @@ class ServerState {
                 const std::vector<std::pair<VirtualDevice*, PhysicalDevice*>>& bindings);
   void Deactivate(Loud* loud);
 
+  // Engine internals.
+  void PrepareOutputAccumulator(PhysicalDevice* device, size_t frames);
+  // Runs queue/produce/transform/consume for one island (or, in serial
+  // mode, a pseudo-island holding the whole active graph).
+  void RunIslandPhases(const EngineIsland& island, EngineTick* tick, size_t frames);
+  void TickSerial(EngineTick* tick, size_t frames);
+  void TickParallel(EngineTick* tick, size_t frames);
+  void DeliverEvent(uint32_t conn, const EventMessage& event);
+
   Board* board_;
   std::string server_name_;
   EventSender event_sender_;
@@ -170,11 +262,30 @@ class ServerState {
 
   std::map<PhoneLineUnit*, TelephoneDevice*> telephone_bindings_;
 
-  std::map<PhysicalDevice*, std::unique_ptr<MixAccumulator>> output_acc_;
+  std::map<PhysicalDevice*, MixAccumulator> output_acc_;
   size_t current_tick_frames_ = 0;
   int64_t engine_frame_ = 0;
   int64_t ticks_run_ = 0;
   bool in_tick_ = false;
+
+  // Parallel engine machinery (ConfigureEngine). Scratch containers are
+  // members so steady-state ticks stay allocation-free.
+  int engine_threads_ = 1;
+  std::unique_ptr<EnginePool> engine_pool_;
+  std::vector<EngineIsland> islands_;
+  EngineIsland serial_island_;
+  std::vector<TickOutputs> worker_outputs_;
+  std::vector<std::vector<std::pair<uint32_t, EventMessage>>> island_events_;
+  std::vector<Sample> resolved_;
+  // PartitionIslands scratch.
+  std::vector<Loud*> partition_louds_;
+  std::vector<VirtualDevice*> partition_devices_;
+  std::vector<int> partition_parent_;
+  std::vector<int> partition_reps_;
+  std::unordered_map<const Loud*, int> partition_index_;
+  std::vector<ResourceId> partition_sounds_;
+  std::unordered_map<PhysicalDevice*, int> partition_phys_;
+  std::unordered_map<ResourceId, int> partition_sound_rep_;
 
   std::optional<uint32_t> redirect_conn_;
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //   audiond [--port N] [--speakers N] [--microphones N] [--lines N]
-//           [--speakerphone] [--wav-out FILE] [--verbose]
+//           [--engine-threads N] [--speakerphone] [--wav-out FILE] [--verbose]
 //
 // --wav-out streams everything played on speaker0 into a WAV file so the
 // simulated output is audible with ordinary tooling.
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
 
   uint16_t port = 7800;
   BoardConfig config;
+  ServerOptions options;
   std::string wav_out;
   std::string catalogue_dir;
   for (int i = 1; i < argc; ++i) {
@@ -50,6 +51,11 @@ int main(int argc, char** argv) {
       config.microphones = next_int(config.microphones);
     } else if (arg == "--lines") {
       config.phone_lines = next_int(config.phone_lines);
+    } else if (arg == "--engine-threads") {
+      options.engine_threads = next_int(options.engine_threads);
+      if (options.engine_threads < 1) {
+        options.engine_threads = 1;
+      }
     } else if (arg == "--speakerphone") {
       config.speakerphone = true;
     } else if (arg == "--wav-out") {
@@ -65,14 +71,14 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: audiond [--port N] [--speakers N] [--microphones N] "
-                   "[--lines N] [--speakerphone] [--wav-out FILE] "
-                   "[--catalogue DIR] [--verbose]\n");
+                   "[--lines N] [--engine-threads N] [--speakerphone] "
+                   "[--wav-out FILE] [--catalogue DIR] [--verbose]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
   Board board(config);
-  AudioServer server(&board);
+  AudioServer server(&board, options);
 
   // Seed the server catalogue with WAV files from --catalogue DIR; each
   // file becomes a named sound ("greeting.wav" -> "greeting").
@@ -120,6 +126,8 @@ int main(int argc, char** argv) {
   std::printf("audiond: board: %d speaker(s), %d microphone(s), %d line(s)%s\n",
               config.speakers, config.microphones, config.phone_lines,
               config.speakerphone ? " + speakerphone" : "");
+  std::printf("audiond: engine: %d thread(s)%s\n", options.engine_threads,
+              options.engine_threads > 1 ? " (island-parallel tick)" : "");
   for (PhoneLineUnit* line : board.phone_lines()) {
     std::printf("audiond: line %s is %s\n", line->name().c_str(),
                 line->line()->number().c_str());
