@@ -42,6 +42,15 @@ void RunActiveChainTicks(benchmark::State& state, int n, const ServerOptions& op
                  std::to_string(options.engine_threads) + " engine thread(s)");
   // A tick is 20 ms of audio; report the real-time multiple.
   state.counters["audio_ms_per_tick"] = 20;
+
+  // Fold the server's own tick timing (GetServerStats) into the JSON so the
+  // bench records what the always-on instrumentation saw, not just what
+  // google-benchmark measured from outside the big lock.
+  auto stats = client.GetServerStats(false);
+  if (stats.ok() && !stats.value().tick_us.empty()) {
+    state.counters["tick_p50_us"] = stats.value().tick_us.Percentile(50);
+    state.counters["tick_p99_us"] = stats.value().tick_us.Percentile(99);
+  }
 }
 
 // One tick with N independent playing chains (serial engine).

@@ -139,6 +139,10 @@ class AudioConnection {
   Result<ActiveStackReply> QueryActiveStack();
   Result<int64_t> GetServerTime();
 
+  // Server introspection (protocol minor 1).
+  Result<ServerStatsReply> GetServerStats(bool include_opcodes = true);
+  Result<ServerTraceReply> GetServerTrace(uint32_t max_events = 0);
+
   void Close();
 
  private:
@@ -165,6 +169,20 @@ class AudioConnection {
   std::thread reader_;
   std::atomic<bool> closed_{false};
 };
+
+// -- Introspection conveniences -----------------------------------------------------
+
+// Free-function spellings of the stats/trace queries, matching the Aud*
+// naming of the original library veneer.
+inline Result<ServerStatsReply> AudGetServerStats(AudioConnection& conn,
+                                                  bool include_opcodes = true) {
+  return conn.GetServerStats(include_opcodes);
+}
+
+inline Result<ServerTraceReply> AudGetServerTrace(AudioConnection& conn,
+                                                  uint32_t max_events = 0) {
+  return conn.GetServerTrace(max_events);
+}
 
 // -- Command builders (the queue vocabulary of section 5.5) -----------------------
 

@@ -313,6 +313,18 @@ Result<int64_t> AudioConnection::GetServerTime() {
   return reply.value().server_time;
 }
 
+Result<ServerStatsReply> AudioConnection::GetServerStats(bool include_opcodes) {
+  GetServerStatsReq req;
+  req.include_opcodes = include_opcodes ? 1 : 0;
+  return DecodeReply<ServerStatsReply>(RoundTrip(Opcode::kGetServerStats, EncodeReq(req)));
+}
+
+Result<ServerTraceReply> AudioConnection::GetServerTrace(uint32_t max_events) {
+  GetServerTraceReq req;
+  req.max_events = max_events;
+  return DecodeReply<ServerTraceReply>(RoundTrip(Opcode::kGetServerTrace, EncodeReq(req)));
+}
+
 // -- Command builders ---------------------------------------------------------------------
 
 namespace {

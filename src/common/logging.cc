@@ -1,6 +1,8 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
 
@@ -9,6 +11,23 @@ namespace aud {
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 std::mutex g_log_mu;
+
+// Monotonic time base shared by every log line (ms since first log call),
+// so tick-thread / worker / dispatcher interleavings are attributable on a
+// single axis.
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Dense per-thread id (0 = first thread that logged). Stable for the
+// thread's lifetime; cheaper and shorter than OS thread ids.
+uint32_t ThreadLogId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -33,8 +52,13 @@ void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - LogEpoch())
+                     .count();
   std::lock_guard<std::mutex> lock(g_log_mu);
-  std::fprintf(stderr, "[aud %s] %s\n", LevelTag(level), message.c_str());
+  // Format contract (tests grep this): "[aud LEVEL +<ms>ms t<tid>] message".
+  std::fprintf(stderr, "[aud %s +%lldms t%u] %s\n", LevelTag(level),
+               static_cast<long long>(elapsed), ThreadLogId(), message.c_str());
 }
 
 }  // namespace aud

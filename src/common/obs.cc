@@ -1,0 +1,172 @@
+#include "src/common/obs.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace aud {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+size_t LatencyHistogram::BucketFor(uint64_t v) {
+  size_t b = static_cast<size_t>(std::bit_width(v));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+void LatencyHistogram::Record(uint64_t v) {
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen && !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based.
+  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      double low = static_cast<double>(LatencyHistogram::BucketLow(b));
+      double high = static_cast<double>(LatencyHistogram::BucketHigh(b));
+      double frac =
+          static_cast<double>(target - cumulative) / static_cast<double>(in_bucket);
+      double v = low + frac * (high - low);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+std::string_view TraceReasonName(TraceReason reason) {
+  switch (reason) {
+    case TraceReason::kNone:
+      return "none";
+    case TraceReason::kTickStart:
+      return "tick-start";
+    case TraceReason::kTickEnd:
+      return "tick-end";
+    case TraceReason::kTickOverrun:
+      return "tick-overrun";
+    case TraceReason::kDispatch:
+      return "dispatch";
+    case TraceReason::kDispatchError:
+      return "dispatch-error";
+    case TraceReason::kIslandRun:
+      return "island-run";
+    case TraceReason::kEventFlush:
+      return "event-flush";
+    case TraceReason::kConnectionOpen:
+      return "conn-open";
+    case TraceReason::kConnectionClose:
+      return "conn-close";
+    case TraceReason::kTraceReasonCount:
+      break;
+  }
+  return "?";
+}
+
+void TraceRing::Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us,
+                       uint64_t seq) {
+  uint64_t n = next_.load(std::memory_order_relaxed);
+  TraceEvent& slot = events_[n % kCapacity];
+  slot.t_us = t_us;
+  slot.seq = seq;
+  slot.tid = tid_;
+  slot.reason = reason;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  next_.store(n + 1, std::memory_order_release);
+}
+
+void TraceRing::Collect(std::vector<TraceEvent>* out) const {
+  uint64_t n = next_.load(std::memory_order_acquire);
+  uint64_t retained = std::min<uint64_t>(n, kCapacity);
+  for (uint64_t i = n - retained; i < n; ++i) {
+    out->push_back(events_[i % kCapacity]);
+  }
+}
+
+TraceRegistry& TraceRegistry::Instance() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+TraceRegistry::TraceRegistry() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRegistry::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRing* TraceRegistry::ThreadRing() {
+  thread_local TraceRing* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto owned = std::make_unique<TraceRing>(static_cast<uint32_t>(rings_.size()));
+    ring = owned.get();
+    rings_.push_back(std::move(owned));
+  }
+  return ring;
+}
+
+void TraceRegistry::Trace(TraceReason reason, uint32_t arg0, uint32_t arg1) {
+  uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRing()->Record(reason, arg0, arg1, NowUs(), seq);
+}
+
+std::vector<TraceEvent> TraceRegistry::Snapshot(size_t max_events) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      ring->Collect(&events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  if (max_events != 0 && events.size() > max_events) {
+    events.erase(events.begin(), events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+}  // namespace obs
+}  // namespace aud

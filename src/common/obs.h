@@ -1,0 +1,189 @@
+// aud::obs — the server-wide observability core. Lock-cheap primitives the
+// engine and dispatcher can touch on every request and every tick without
+// measurably perturbing what they measure:
+//
+//   * Counter / Gauge: relaxed-atomic integers. Any thread may write; a
+//     snapshot read is a single relaxed load. Relaxed ordering is enough
+//     because each counter is an independent statistic — nothing is ever
+//     inferred from the relative order of two counters.
+//   * LatencyHistogram: fixed power-of-two buckets over uint64 values
+//     (microseconds in practice). Bucket counts are relaxed atomics, so a
+//     Snapshot taken while another thread records never tears a bucket;
+//     percentiles come from the snapshot, never the live histogram.
+//   * TraceRing: a bounded per-thread ring of fixed-size trace events with
+//     reason codes. Writers are always single-threaded per ring (each
+//     thread records only into its own ring); snapshots are taken under
+//     the server's big lock, which all recording paths also synchronize
+//     through, so reads never race writes.
+//
+// The primitives are deliberately independent of the server so tests,
+// benches and tools can use them stand-alone.
+
+#ifndef SRC_COMMON_OBS_H_
+#define SRC_COMMON_OBS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace aud {
+namespace obs {
+
+// Monotonic event count. All operations are relaxed-atomic.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (connections open, queue depth, ...). Signed so
+// transient Add/Sub imbalance during teardown can never wrap.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time copy of a histogram, with derived statistics. This is also
+// the wire-level shape of a histogram in GetServerStats replies.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // bucket b >= 1 covers [2^(b-1), 2^b - 1]
+
+  bool empty() const { return count == 0; }
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+
+  // Approximate p-th percentile (0 < p <= 100) by linear interpolation
+  // inside the owning bucket, clamped to the observed [min, max].
+  double Percentile(double p) const;
+};
+
+// Fixed-bucket log-scale histogram. Value v lands in bucket bit_width(v)
+// (0 stays in bucket 0), so bucket 1 holds {1}, bucket 2 holds {2,3},
+// bucket 3 holds {4..7}, ... Recording is a handful of relaxed atomic
+// operations; there is no lock on any path.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;  // covers > 12 days in microseconds
+
+  static size_t BucketFor(uint64_t v);
+  // Lower/upper value bound of bucket `b` (inclusive).
+  static uint64_t BucketLow(size_t b) { return b == 0 ? 0 : uint64_t{1} << (b - 1); }
+  static uint64_t BucketHigh(size_t b) { return b == 0 ? 0 : (uint64_t{1} << b) - 1; }
+
+  void Record(uint64_t v);
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Why a trace event was recorded. Values are wire-visible (GetServerTrace);
+// append only.
+enum class TraceReason : uint16_t {
+  kNone = 0,
+  kTickStart = 1,      // arg0 = frames
+  kTickEnd = 2,        // arg0 = duration us, arg1 = islands ticked
+  kTickOverrun = 3,    // arg0 = duration us, arg1 = period us
+  kDispatch = 4,       // arg0 = opcode, arg1 = duration us
+  kDispatchError = 5,  // arg0 = opcode, arg1 = error code
+  kIslandRun = 6,      // arg0 = island index, arg1 = device count
+  kEventFlush = 7,     // arg0 = deferred events flushed after a parallel tick
+  kConnectionOpen = 8, // arg0 = connection index
+  kConnectionClose = 9,// arg0 = connection index
+  kTraceReasonCount = 10,
+};
+
+std::string_view TraceReasonName(TraceReason reason);
+
+// One fixed-size trace record. `seq` is a process-global ordering stamp;
+// `t_us` is microseconds on the shared trace clock (process start epoch).
+struct TraceEvent {
+  int64_t t_us = 0;
+  uint64_t seq = 0;
+  uint32_t tid = 0;  // dense per-thread id assigned at first trace
+  TraceReason reason = TraceReason::kNone;
+  uint32_t arg0 = 0;
+  uint32_t arg1 = 0;
+};
+
+// Bounded single-writer ring of trace events. The owning thread records;
+// snapshotting threads must synchronize with the writer externally (in the
+// server, both sides run under the big lock or inside a joined tick).
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  explicit TraceRing(uint32_t tid) : tid_(tid) {}
+
+  uint32_t tid() const { return tid_; }
+
+  void Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us, uint64_t seq);
+
+  // Appends the retained events (oldest first) to `out`.
+  void Collect(std::vector<TraceEvent>* out) const;
+
+ private:
+  const uint32_t tid_;
+  TraceEvent events_[kCapacity];
+  std::atomic<uint64_t> next_{0};  // total records ever; slot = next_ % kCapacity
+};
+
+// Process-wide registry of per-thread trace rings. Threads get their ring
+// lazily on first Trace() call; rings outlive their threads so the last
+// events of a dead worker remain inspectable.
+class TraceRegistry {
+ public:
+  static TraceRegistry& Instance();
+
+  // Records into the calling thread's ring (created on first use).
+  void Trace(TraceReason reason, uint32_t arg0 = 0, uint32_t arg1 = 0);
+
+  // Merged snapshot across every ring, ordered by seq, truncated to the
+  // newest `max_events` (0 = no limit).
+  std::vector<TraceEvent> Snapshot(size_t max_events) const;
+
+  // Microseconds since the trace epoch (process start of tracing).
+  int64_t NowUs() const;
+
+ private:
+  TraceRegistry();
+
+  TraceRing* ThreadRing();
+
+  mutable std::mutex mu_;  // guards rings_ registration and iteration
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Convenience: record one trace event on the calling thread's ring.
+inline void Trace(TraceReason reason, uint32_t arg0 = 0, uint32_t arg1 = 0) {
+  TraceRegistry::Instance().Trace(reason, arg0, arg1);
+}
+
+}  // namespace obs
+}  // namespace aud
+
+#endif  // SRC_COMMON_OBS_H_

@@ -61,6 +61,7 @@ Status CommandQueue::Enqueue(const std::vector<CommandSpec>& commands) {
         } else {
           parse_stack_.back()->children.push_back(std::move(node));
         }
+        loud_->server()->metrics().commands_enqueued.Increment();
         break;
       }
     }
@@ -310,6 +311,7 @@ void CommandQueue::StartCommandNode(Node* node, EngineTick* tick) {
   if (device == nullptr || device->loud()->Root() != loud_) {
     node->done = true;
     node->aborted = true;
+    server->metrics().commands_aborted.Increment();
     // Report asynchronously as a CommandDone(aborted).
     CommandDoneArgs args;
     args.tag = node->spec.tag;
@@ -323,6 +325,7 @@ void CommandQueue::StartCommandNode(Node* node, EngineTick* tick) {
   if (!status.ok()) {
     node->done = true;
     node->aborted = true;
+    server->metrics().commands_aborted.Increment();
     CommandDoneArgs args;
     args.tag = node->spec.tag;
     args.command = static_cast<uint16_t>(node->spec.command);
@@ -339,6 +342,8 @@ void CommandQueue::FinishCommandNode(Node* node, EngineTick* tick) {
   if (node->device != nullptr && node->device->ConsumeAbortLatch()) {
     node->aborted = true;
   }
+  ServerMetrics& metrics = loud_->server()->metrics();
+  (node->aborted ? metrics.commands_aborted : metrics.commands_done).Increment();
   CommandDoneArgs args;
   args.tag = node->spec.tag;
   args.command = static_cast<uint16_t>(node->spec.command);

@@ -12,6 +12,9 @@ bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
     closed_.store(true);
     return false;
   }
+  if (metrics_ != nullptr) {
+    metrics_->bytes_out.Increment(kHeaderSize + payload.size());
+  }
   return true;
 }
 
@@ -29,8 +32,12 @@ bool ClientConnection::SendError(uint32_t sequence, const ErrorMessage& error) {
 bool ClientConnection::SendEvent(const EventMessage& event) {
   ByteWriter w;
   event.Encode(&w);
-  return Send(MessageType::kEvent, static_cast<uint16_t>(event.type), last_sequence_.load(),
-              w.bytes());
+  bool sent = Send(MessageType::kEvent, static_cast<uint16_t>(event.type),
+                   last_sequence_.load(), w.bytes());
+  if (sent && metrics_ != nullptr) {
+    metrics_->events_sent.Increment();
+  }
+  return sent;
 }
 
 }  // namespace aud

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "src/server/metrics.h"
 #include "src/transport/framer.h"
 #include "src/transport/stream.h"
 
@@ -24,6 +25,11 @@ class ClientConnection {
 
   uint32_t index() const { return index_; }
   ByteStream* stream() { return stream_.get(); }
+
+  // Optional byte/event accounting sink (the server's metrics aggregate;
+  // counters are atomic, so writes need no lock).
+  void set_metrics(ServerMetrics* metrics) { metrics_ = metrics; }
+  ServerMetrics* metrics() { return metrics_; }
 
   const std::string& client_name() const { return client_name_; }
   void set_client_name(std::string name) { client_name_ = std::move(name); }
@@ -49,6 +55,7 @@ class ClientConnection {
  private:
   uint32_t index_;
   std::unique_ptr<ByteStream> stream_;
+  ServerMetrics* metrics_ = nullptr;
   std::string client_name_;
   std::mutex write_mu_;
   std::atomic<bool> closed_{false};

@@ -3,6 +3,8 @@
 // errors (section 4.1's request/reply/error model). Runs with the server
 // mutex held.
 
+#include <chrono>
+
 #include "src/server/server.h"
 
 namespace aud {
@@ -29,12 +31,27 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   const Opcode opcode = static_cast<Opcode>(message.header.code);
   ByteReader r(message.payload);
 
+  // Per-opcode accounting (unknown opcodes only hit the totals).
+  ServerMetrics& metrics = state_.metrics();
+  const bool known_opcode = message.header.code < ServerMetrics::kOpcodes;
+  const auto dispatch_t0 = std::chrono::steady_clock::now();
+  metrics.requests_total.Increment();
+  if (known_opcode) {
+    metrics.requests[message.header.code].Increment();
+  }
+
   // Validates that a client-chosen id lies in the connection's block.
   auto id_ok = [&](ResourceId id) {
     ResourceId base = ClientIdBaseFor(conn->index());
     return id >= base && id < base + kClientIdBlockSize;
   };
   auto send_error = [&](ErrorCode code, ResourceId resource, std::string detail = {}) {
+    metrics.request_errors_total.Increment();
+    if (known_opcode) {
+      metrics.request_errors[message.header.code].Increment();
+    }
+    obs::Trace(obs::TraceReason::kDispatchError, message.header.code,
+               static_cast<uint32_t>(code));
     conn->SendError(seq, MakeError(code, resource, opcode, std::move(detail)));
   };
   auto send_status = [&](const Status& status, ResourceId resource) {
@@ -688,6 +705,35 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
       break;
     }
 
+    case Opcode::kGetServerStats: {
+      GetServerStatsReq req = GetServerStatsReq::Decode(&r);
+      send_reply(state_.BuildServerStats(req.include_opcodes != 0));
+      break;
+    }
+
+    case Opcode::kGetServerTrace: {
+      GetServerTraceReq req = GetServerTraceReq::Decode(&r);
+      // Snapshotting under the big lock is what makes the per-thread rings
+      // safe to read: every recording path either holds this lock or is a
+      // tick worker whose writes the pool join ordered before the tick
+      // released it (see obs.h).
+      size_t max_events = req.max_events == 0 ? obs::TraceRing::kCapacity : req.max_events;
+      ServerTraceReply reply;
+      for (const obs::TraceEvent& e :
+           obs::TraceRegistry::Instance().Snapshot(max_events)) {
+        TraceEventWire wire;
+        wire.t_us = e.t_us;
+        wire.seq = e.seq;
+        wire.tid = e.tid;
+        wire.reason = static_cast<uint16_t>(e.reason);
+        wire.arg0 = e.arg0;
+        wire.arg1 = e.arg1;
+        reply.events.push_back(wire);
+      }
+      send_reply(reply);
+      break;
+    }
+
     case Opcode::kQueryLoud: {
       ResourceReq req = ResourceReq::Decode(&r);
       Loud* loud = state_.FindLoud(req.id);
@@ -710,6 +756,17 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
       send_error(ErrorCode::kBadRequest, kNoResource, "unknown opcode");
       break;
   }
+
+  const uint64_t dispatch_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - dispatch_t0)
+          .count());
+  metrics.dispatch_us.Record(dispatch_us);
+  if (known_opcode) {
+    metrics.opcode_us[message.header.code].Increment(dispatch_us);
+  }
+  obs::Trace(obs::TraceReason::kDispatch, message.header.code,
+             static_cast<uint32_t>(dispatch_us));
 }
 
 }  // namespace aud

@@ -32,11 +32,13 @@ void EnginePool::Run(size_t count, const Job& fn) {
   job_count_ = count;
   next_job_ = 0;
   done_jobs_ = 0;
+  run_jobs_.assign(static_cast<size_t>(worker_slots()), 0);
   work_cv_.notify_all();
 
   // The calling thread participates as worker 0.
   while (next_job_ < job_count_) {
     size_t i = next_job_++;
+    ++run_jobs_[0];
     lock.unlock();
     fn(i, 0);
     lock.lock();
@@ -57,6 +59,7 @@ void EnginePool::WorkerLoop(int worker) {
       return;
     }
     size_t i = next_job_++;
+    ++run_jobs_[static_cast<size_t>(worker)];
     const Job* fn = job_fn_;
     lock.unlock();
     (*fn)(i, worker);

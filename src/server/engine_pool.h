@@ -45,6 +45,10 @@ class EnginePool {
   // must key results by job index, not completion order.
   void Run(size_t count, const Job& fn);
 
+  // Jobs each worker slot claimed during the most recent Run. Valid only
+  // between Run calls on the calling thread (the same thread that runs).
+  const std::vector<uint32_t>& last_run_jobs() const { return run_jobs_; }
+
  private:
   void WorkerLoop(int worker);
 
@@ -56,6 +60,9 @@ class EnginePool {
   size_t next_job_ = 0;
   size_t done_jobs_ = 0;
   bool stop_ = false;
+  // Per-slot job counts for the live batch; both increment sites run with
+  // mu_ held (job assignment is the pool's serialization point anyway).
+  std::vector<uint32_t> run_jobs_;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,66 @@
+// ServerMetrics: the one aggregate of every aud::obs counter, gauge and
+// histogram the server maintains. Owned by ServerState and snapshotted into
+// a ServerStatsReply under the big lock (GetServerStats).
+//
+// Thread-safety contract: counters and gauges are relaxed atomics, so any
+// thread (reader threads counting transport bytes, engine workers, the
+// dispatcher) may bump them without holding the big lock. Histograms are
+// recorded only by the tick thread or the dispatcher — both run under the
+// big lock — and their buckets are atomic anyway, so a snapshot can never
+// tear. See DESIGN.md ("Observability and thread safety").
+
+#ifndef SRC_SERVER_METRICS_H_
+#define SRC_SERVER_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/common/obs.h"
+#include "src/wire/protocol.h"
+
+namespace aud {
+
+struct ServerMetrics {
+  static constexpr size_t kOpcodes = static_cast<size_t>(Opcode::kOpcodeCount);
+
+  // -- Request dispatch (per opcode, indexed by Opcode value) ----------------
+  obs::Counter requests[kOpcodes];
+  obs::Counter request_errors[kOpcodes];
+  obs::Counter opcode_us[kOpcodes];  // cumulative dispatch time per opcode
+  obs::Counter requests_total;       // includes unknown opcodes
+  obs::Counter request_errors_total;
+  obs::LatencyHistogram dispatch_us;
+
+  // -- Engine tick -----------------------------------------------------------
+  obs::LatencyHistogram tick_us;         // tick body duration
+  obs::LatencyHistogram tick_jitter_us;  // realtime wakeup lateness
+  obs::LatencyHistogram islands_per_tick;
+  obs::LatencyHistogram worker_imbalance;  // max-min islands per worker slot
+  obs::Counter tick_overruns;              // tick body exceeded the period
+
+  // -- Connections and transport --------------------------------------------
+  obs::Gauge connections_open;
+  obs::Counter connections_total;
+  obs::Counter bytes_in;
+  obs::Counter bytes_out;
+  obs::Counter events_sent;
+
+  // -- Command queues --------------------------------------------------------
+  obs::Counter commands_enqueued;
+  obs::Counter commands_done;
+  obs::Counter commands_aborted;
+  obs::Counter queue_events;  // queue-category events emitted
+
+  std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
+
+  uint64_t uptime_ms() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     std::chrono::steady_clock::now() - start_time)
+                                     .count());
+  }
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_METRICS_H_

@@ -28,6 +28,10 @@ void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
   std::lock_guard<std::mutex> lock(mu_);
   auto conn = std::make_unique<ClientConnection>(next_connection_index_++, std::move(stream));
   ClientConnection* raw = conn.get();
+  raw->set_metrics(&state_.metrics());
+  state_.metrics().connections_total.Increment();
+  state_.metrics().connections_open.Add(1);
+  obs::Trace(obs::TraceReason::kConnectionOpen, raw->index());
   connections_.push_back(std::move(conn));
   reader_threads_.emplace_back([this, raw] { ReaderLoop(raw); });
 }
@@ -62,11 +66,16 @@ void AudioServer::AcceptLoop() {
 }
 
 void AudioServer::ReaderLoop(ClientConnection* conn) {
+  ServerMetrics& metrics = state_.metrics();
   // First message must be the connection setup.
   std::optional<FramedMessage> setup = ReadMessage(conn->stream());
+  if (setup) {
+    metrics.bytes_in.Increment(kHeaderSize + setup->payload.size());
+  }
   if (!setup || !HandleSetup(conn, *setup)) {
     conn->MarkClosed();
     conn->stream()->Close();
+    metrics.connections_open.Sub(1);
     return;
   }
 
@@ -75,6 +84,7 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     if (!message) {
       break;
     }
+    metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
     std::lock_guard<std::mutex> lock(mu_);
     conn->set_last_sequence(message->header.sequence);
     HandleRequest(conn, *message);
@@ -87,6 +97,8 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
   std::lock_guard<std::mutex> lock(mu_);
   state_.DestroyConnectionObjects(conn->index());
   state_.RecomputeActivation();
+  metrics.connections_open.Sub(1);
+  obs::Trace(obs::TraceReason::kConnectionClose, conn->index());
 }
 
 bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& message) {
@@ -152,6 +164,10 @@ void AudioServer::EngineLoop() {
       state_.Tick(options_.period_frames);
     }
     clock.SleepUntil(next);
+    // Wakeup lateness: how far past the deadline the engine resumed
+    // (Ticks are microseconds). 0 when the tick finished inside the period.
+    Ticks late = clock.Now() - next;
+    state_.metrics().tick_jitter_us.Record(late > 0 ? static_cast<uint64_t>(late) : 0);
     next += period;
   }
 }

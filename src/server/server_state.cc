@@ -1,6 +1,7 @@
 #include "src/server/server_state.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/dsp/encoding.h"
@@ -709,6 +710,7 @@ void ServerState::TickSerial(EngineTick* tick, size_t frames) {
 
 void ServerState::TickParallel(EngineTick* tick, size_t frames) {
   PartitionIslands();
+  metrics_.islands_per_tick.Record(islands_.size());
   if (islands_.size() <= 1) {
     TickSerial(tick, frames);
     return;
@@ -724,6 +726,8 @@ void ServerState::TickParallel(EngineTick* tick, size_t frames) {
   }
 
   engine_pool_->Run(islands_.size(), [&](size_t job, int worker) {
+    obs::Trace(obs::TraceReason::kIslandRun, static_cast<uint32_t>(job),
+               static_cast<uint32_t>(islands_[job].devices.size()));
     EngineTick island_tick{this, frames, tick->start_frame};
     tls_tick_outputs = &worker_outputs_[static_cast<size_t>(worker)];
     tls_island_events = &island_events_[job];
@@ -731,6 +735,14 @@ void ServerState::TickParallel(EngineTick* tick, size_t frames) {
     tls_tick_outputs = nullptr;
     tls_island_events = nullptr;
   });
+
+  // Worker imbalance: spread between the busiest and idlest worker slot in
+  // islands run this tick (0 = perfectly even).
+  const std::vector<uint32_t>& jobs = engine_pool_->last_run_jobs();
+  if (!jobs.empty()) {
+    auto [lo, hi] = std::minmax_element(jobs.begin(), jobs.end());
+    metrics_.worker_imbalance.Record(*hi - *lo);
+  }
 
   // Merge per-worker partial mixes into the global accumulators. The
   // integer sums commute, so worker order cannot change the result; the
@@ -747,10 +759,15 @@ void ServerState::TickParallel(EngineTick* tick, size_t frames) {
 
   // Flush deferred events in island (stack) order on the tick thread.
   if (event_sender_) {
+    uint32_t flushed = 0;
     for (size_t i = 0; i < islands_.size(); ++i) {
       for (const auto& [conn, event] : island_events_[i]) {
         event_sender_(conn, event);
+        ++flushed;
       }
+    }
+    if (flushed > 0) {
+      obs::Trace(obs::TraceReason::kEventFlush, flushed);
     }
   }
 }
@@ -758,6 +775,8 @@ void ServerState::TickParallel(EngineTick* tick, size_t frames) {
 void ServerState::Tick(size_t frames) {
   in_tick_ = true;
   current_tick_frames_ = frames;
+  const auto tick_t0 = std::chrono::steady_clock::now();
+  obs::Trace(obs::TraceReason::kTickStart, static_cast<uint32_t>(frames));
   EngineTick tick{this, frames, engine_frame_};
 
   // Prepare output accumulators (one per output-capable physical device,
@@ -795,6 +814,23 @@ void ServerState::Tick(size_t frames) {
 
   engine_frame_ += static_cast<int64_t>(frames);
   ++ticks_run_;
+
+  const uint64_t tick_dur_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - tick_t0)
+          .count());
+  metrics_.tick_us.Record(tick_dur_us);
+  const uint64_t period_us =
+      static_cast<uint64_t>(frames) * 1'000'000 / engine_rate();
+  if (tick_dur_us > period_us) {
+    // The tick body took longer than the audio it produced: in realtime
+    // mode the codec would have underrun.
+    metrics_.tick_overruns.Increment();
+    obs::Trace(obs::TraceReason::kTickOverrun, static_cast<uint32_t>(tick_dur_us),
+               static_cast<uint32_t>(period_us));
+  }
+  obs::Trace(obs::TraceReason::kTickEnd, static_cast<uint32_t>(tick_dur_us),
+             static_cast<uint32_t>(engine_pool_ != nullptr ? islands_.size() : 1));
   in_tick_ = false;
 }
 
@@ -819,6 +855,9 @@ void ServerState::EmitEvent(Loud* loud, EventType type, ResourceId resource,
     return;
   }
   uint32_t category = CategoryFor(type);
+  if (category == kQueueEvents) {
+    metrics_.queue_events.Increment();
+  }
   EventMessage event;
   event.type = type;
   event.resource = resource;
@@ -932,6 +971,63 @@ void ServerState::SeedCatalogue() {
 const CatalogueSound* ServerState::FindCatalogueSound(const std::string& name) const {
   auto it = catalogue_.find(name);
   return it == catalogue_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
+  ServerStatsReply reply;
+  reply.stats_version = kServerStatsVersion;
+  reply.proto_major = kProtocolMajor;
+  reply.proto_minor = kProtocolMinor;
+  reply.uptime_ms = metrics_.uptime_ms();
+  reply.server_time = server_time();
+  reply.engine_threads = static_cast<uint32_t>(engine_threads_);
+  reply.engine_rate_hz = engine_rate();
+  reply.ticks_run = static_cast<uint64_t>(ticks_run_);
+  reply.tick_overruns = metrics_.tick_overruns.value();
+  reply.tick_us = metrics_.tick_us.Snapshot();
+  reply.tick_jitter_us = metrics_.tick_jitter_us.Snapshot();
+  reply.islands_per_tick = metrics_.islands_per_tick.Snapshot();
+  reply.worker_imbalance = metrics_.worker_imbalance.Snapshot();
+  reply.requests_total = metrics_.requests_total.value();
+  reply.request_errors_total = metrics_.request_errors_total.value();
+  reply.dispatch_us = metrics_.dispatch_us.Snapshot();
+  if (include_opcodes) {
+    for (size_t op = 0; op < ServerMetrics::kOpcodes; ++op) {
+      uint64_t count = metrics_.requests[op].value();
+      uint64_t errors = metrics_.request_errors[op].value();
+      if (count == 0 && errors == 0) {
+        continue;  // only opcodes actually seen go on the wire
+      }
+      OpcodeStats stats;
+      stats.opcode = static_cast<uint16_t>(op);
+      stats.count = count;
+      stats.errors = errors;
+      stats.total_us = metrics_.opcode_us[op].value();
+      reply.opcodes.push_back(stats);
+    }
+  }
+  reply.connections_open = metrics_.connections_open.value();
+  reply.connections_total = metrics_.connections_total.value();
+  reply.bytes_in = metrics_.bytes_in.value();
+  reply.bytes_out = metrics_.bytes_out.value();
+  reply.events_sent = metrics_.events_sent.value();
+  reply.objects = static_cast<uint32_t>(objects_.size());
+  uint32_t active = 0;
+  for (Loud* loud : active_stack_) {
+    if (loud->active()) {
+      ++active;
+    }
+  }
+  reply.active_louds = active;
+  reply.commands_enqueued = metrics_.commands_enqueued.value();
+  reply.commands_done = metrics_.commands_done.value();
+  reply.commands_aborted = metrics_.commands_aborted.value();
+  reply.queue_events = metrics_.queue_events.value();
+  return reply;
 }
 
 }  // namespace aud

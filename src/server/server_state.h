@@ -42,6 +42,7 @@
 #include "src/server/devices.h"
 #include "src/server/engine_pool.h"
 #include "src/server/loud.h"
+#include "src/server/metrics.h"
 
 namespace aud {
 
@@ -225,6 +226,13 @@ class ServerState {
 
   int64_t ticks_run() const { return ticks_run_; }
 
+  // The server-wide metrics aggregate. Counters/gauges may be bumped from
+  // any thread; histograms only under the big lock (see metrics.h).
+  ServerMetrics& metrics() { return metrics_; }
+
+  // Snapshot for GetServerStats. Called with the big lock held.
+  ServerStatsReply BuildServerStats(bool include_opcodes);
+
  private:
   void BuildDeviceLoud();
   void SeedCatalogue();
@@ -291,6 +299,8 @@ class ServerState {
 
   std::map<std::string, CatalogueSound> catalogue_;
   std::map<std::string, std::vector<uint8_t>> vocabularies_;
+
+  ServerMetrics metrics_;
 };
 
 }  // namespace aud

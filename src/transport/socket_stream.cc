@@ -13,12 +13,20 @@
 
 namespace aud {
 
-SocketStream::~SocketStream() { Close(); }
+SocketStream::~SocketStream() {
+  // The owner joins its reader thread before destroying the stream, so the
+  // fd can be released here without racing a blocked recv().
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
 
 bool SocketStream::Write(std::span<const uint8_t> data) {
+  const int fd = fd_.load(std::memory_order_relaxed);
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t n = ::send(fd_, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -31,8 +39,9 @@ bool SocketStream::Write(std::span<const uint8_t> data) {
 }
 
 size_t SocketStream::Read(std::span<uint8_t> out) {
+  const int fd = fd_.load(std::memory_order_relaxed);
   while (true) {
-    ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    ssize_t n = ::recv(fd, out.data(), out.size(), 0);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -44,14 +53,22 @@ size_t SocketStream::Read(std::span<uint8_t> out) {
 }
 
 void SocketStream::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Shutdown only: this is the wake-up for a reader blocked in recv(), so
+  // closing the fd here would race that recv() with fd reuse. The fd is
+  // released by the destructor, after the owner joins its reader.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
   }
 }
 
-SocketListener::~SocketListener() { Close(); }
+SocketListener::~SocketListener() {
+  Close();
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
 
 bool SocketListener::Listen(uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -95,10 +112,11 @@ std::unique_ptr<ByteStream> SocketListener::Accept() {
 }
 
 void SocketListener::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Same split as SocketStream: shutdown() unblocks a thread in Accept();
+  // the destructor (after the accept thread is joined) closes the fd.
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
   }
 }
 

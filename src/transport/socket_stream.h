@@ -5,6 +5,7 @@
 #ifndef SRC_TRANSPORT_SOCKET_STREAM_H_
 #define SRC_TRANSPORT_SOCKET_STREAM_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -27,7 +28,8 @@ class SocketStream : public ByteStream {
   void Close() override;
 
  private:
-  int fd_;
+  // Atomic: Close() may run from one thread while another blocks in Read().
+  std::atomic<int> fd_;
 };
 
 // Listening socket. Bind to port 0 for an ephemeral port.
@@ -52,7 +54,7 @@ class SocketListener {
   void Close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 

@@ -803,6 +803,176 @@ LoudStateReply LoudStateReply::Decode(ByteReader* r) {
 }
 
 // ---------------------------------------------------------------------------
+// Server statistics and trace
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EncodeHistogram(ByteWriter* w, const obs::HistogramSnapshot& h) {
+  w->WriteU64(h.count);
+  w->WriteU64(h.sum);
+  w->WriteU64(h.min);
+  w->WriteU64(h.max);
+  w->WriteU32(static_cast<uint32_t>(h.buckets.size()));
+  for (uint64_t b : h.buckets) {
+    w->WriteU64(b);
+  }
+}
+
+obs::HistogramSnapshot DecodeHistogram(ByteReader* r) {
+  obs::HistogramSnapshot h;
+  h.count = r->ReadU64();
+  h.sum = r->ReadU64();
+  h.min = r->ReadU64();
+  h.max = r->ReadU64();
+  uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    h.buckets.push_back(r->ReadU64());
+  }
+  return h;
+}
+
+}  // namespace
+
+void OpcodeStats::Encode(ByteWriter* w) const {
+  w->WriteU16(opcode);
+  w->WriteU64(count);
+  w->WriteU64(errors);
+  w->WriteU64(total_us);
+}
+
+OpcodeStats OpcodeStats::Decode(ByteReader* r) {
+  OpcodeStats p;
+  p.opcode = r->ReadU16();
+  p.count = r->ReadU64();
+  p.errors = r->ReadU64();
+  p.total_us = r->ReadU64();
+  return p;
+}
+
+void GetServerStatsReq::Encode(ByteWriter* w) const { w->WriteU8(include_opcodes); }
+
+GetServerStatsReq GetServerStatsReq::Decode(ByteReader* r) {
+  GetServerStatsReq p;
+  p.include_opcodes = r->ReadU8();
+  return p;
+}
+
+void ServerStatsReply::Encode(ByteWriter* w) const {
+  w->WriteU32(stats_version);
+  w->WriteU16(proto_major);
+  w->WriteU16(proto_minor);
+  w->WriteU64(uptime_ms);
+  w->WriteI64(server_time);
+  w->WriteU32(engine_threads);
+  w->WriteU32(engine_rate_hz);
+  w->WriteU64(ticks_run);
+  w->WriteU64(tick_overruns);
+  EncodeHistogram(w, tick_us);
+  EncodeHistogram(w, tick_jitter_us);
+  EncodeHistogram(w, islands_per_tick);
+  EncodeHistogram(w, worker_imbalance);
+  w->WriteU64(requests_total);
+  w->WriteU64(request_errors_total);
+  EncodeHistogram(w, dispatch_us);
+  w->WriteU32(static_cast<uint32_t>(opcodes.size()));
+  for (const OpcodeStats& op : opcodes) {
+    op.Encode(w);
+  }
+  w->WriteI64(connections_open);
+  w->WriteU64(connections_total);
+  w->WriteU64(bytes_in);
+  w->WriteU64(bytes_out);
+  w->WriteU64(events_sent);
+  w->WriteU32(objects);
+  w->WriteU32(active_louds);
+  w->WriteU64(commands_enqueued);
+  w->WriteU64(commands_done);
+  w->WriteU64(commands_aborted);
+  w->WriteU64(queue_events);
+}
+
+ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
+  ServerStatsReply p;
+  p.stats_version = r->ReadU32();
+  p.proto_major = r->ReadU16();
+  p.proto_minor = r->ReadU16();
+  p.uptime_ms = r->ReadU64();
+  p.server_time = r->ReadI64();
+  p.engine_threads = r->ReadU32();
+  p.engine_rate_hz = r->ReadU32();
+  p.ticks_run = r->ReadU64();
+  p.tick_overruns = r->ReadU64();
+  p.tick_us = DecodeHistogram(r);
+  p.tick_jitter_us = DecodeHistogram(r);
+  p.islands_per_tick = DecodeHistogram(r);
+  p.worker_imbalance = DecodeHistogram(r);
+  p.requests_total = r->ReadU64();
+  p.request_errors_total = r->ReadU64();
+  p.dispatch_us = DecodeHistogram(r);
+  uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    p.opcodes.push_back(OpcodeStats::Decode(r));
+  }
+  p.connections_open = r->ReadI64();
+  p.connections_total = r->ReadU64();
+  p.bytes_in = r->ReadU64();
+  p.bytes_out = r->ReadU64();
+  p.events_sent = r->ReadU64();
+  p.objects = r->ReadU32();
+  p.active_louds = r->ReadU32();
+  p.commands_enqueued = r->ReadU64();
+  p.commands_done = r->ReadU64();
+  p.commands_aborted = r->ReadU64();
+  p.queue_events = r->ReadU64();
+  return p;
+}
+
+void GetServerTraceReq::Encode(ByteWriter* w) const { w->WriteU32(max_events); }
+
+GetServerTraceReq GetServerTraceReq::Decode(ByteReader* r) {
+  GetServerTraceReq p;
+  p.max_events = r->ReadU32();
+  return p;
+}
+
+void TraceEventWire::Encode(ByteWriter* w) const {
+  w->WriteI64(t_us);
+  w->WriteU64(seq);
+  w->WriteU32(tid);
+  w->WriteU16(reason);
+  w->WriteU32(arg0);
+  w->WriteU32(arg1);
+}
+
+TraceEventWire TraceEventWire::Decode(ByteReader* r) {
+  TraceEventWire p;
+  p.t_us = r->ReadI64();
+  p.seq = r->ReadU64();
+  p.tid = r->ReadU32();
+  p.reason = r->ReadU16();
+  p.arg0 = r->ReadU32();
+  p.arg1 = r->ReadU32();
+  return p;
+}
+
+void ServerTraceReply::Encode(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(events.size()));
+  for (const TraceEventWire& e : events) {
+    e.Encode(w);
+  }
+}
+
+ServerTraceReply ServerTraceReply::Decode(ByteReader* r) {
+  ServerTraceReply p;
+  uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    p.events.push_back(TraceEventWire::Decode(r));
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
 // Events
 // ---------------------------------------------------------------------------
 

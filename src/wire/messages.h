@@ -12,6 +12,7 @@
 
 #include "src/common/byte_io.h"
 #include "src/common/ids.h"
+#include "src/common/obs.h"
 #include "src/common/sample.h"
 #include "src/common/status.h"
 #include "src/wire/attributes.h"
@@ -486,6 +487,105 @@ struct LoudStateReply {
 
   void Encode(ByteWriter* w) const;
   static LoudStateReply Decode(ByteReader* r);
+};
+
+// -- Server statistics (GetServerStats) --------------------------------------------
+//
+// Versioning rule (docs/PROTOCOL.md): the reply opens with `stats_version`;
+// new fields are only ever appended and bump the version, so an old client
+// decodes the prefix it knows and skips the rest, and a new client talking
+// to an old server zero-fills fields past the server's version.
+
+inline constexpr uint32_t kServerStatsVersion = 1;
+
+// Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
+struct OpcodeStats {
+  uint16_t opcode = 0;
+  uint64_t count = 0;     // requests dispatched
+  uint64_t errors = 0;    // asynchronous errors sent
+  uint64_t total_us = 0;  // cumulative dispatch time
+
+  void Encode(ByteWriter* w) const;
+  static OpcodeStats Decode(ByteReader* r);
+};
+
+struct GetServerStatsReq {
+  uint8_t include_opcodes = 1;  // 0 suppresses the per-opcode table.
+
+  void Encode(ByteWriter* w) const;
+  static GetServerStatsReq Decode(ByteReader* r);
+};
+
+struct ServerStatsReply {
+  uint32_t stats_version = kServerStatsVersion;
+
+  // Identity.
+  uint16_t proto_major = kProtocolMajor;
+  uint16_t proto_minor = kProtocolMinor;
+  uint64_t uptime_ms = 0;      // wall time since the server state was built
+  int64_t server_time = 0;     // Ticks on the engine clock
+  uint32_t engine_threads = 0;
+  uint32_t engine_rate_hz = 0;
+
+  // Engine.
+  uint64_t ticks_run = 0;
+  uint64_t tick_overruns = 0;  // ticks whose cost exceeded their period
+  obs::HistogramSnapshot tick_us;          // tick duration
+  obs::HistogramSnapshot tick_jitter_us;   // realtime wakeup lateness
+  obs::HistogramSnapshot islands_per_tick; // parallel ticks only
+  obs::HistogramSnapshot worker_imbalance; // max-min islands per worker slot
+
+  // Dispatcher.
+  uint64_t requests_total = 0;
+  uint64_t request_errors_total = 0;
+  obs::HistogramSnapshot dispatch_us;      // all opcodes
+  std::vector<OpcodeStats> opcodes;        // nonzero opcodes only
+
+  // Connections and transport.
+  int64_t connections_open = 0;
+  uint64_t connections_total = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t events_sent = 0;
+
+  // Objects and queues.
+  uint32_t objects = 0;        // live registry entries
+  uint32_t active_louds = 0;   // active entries of the active stack
+  uint64_t commands_enqueued = 0;
+  uint64_t commands_done = 0;
+  uint64_t commands_aborted = 0;
+  uint64_t queue_events = 0;   // queue lifecycle + CommandDone events emitted
+
+  void Encode(ByteWriter* w) const;
+  static ServerStatsReply Decode(ByteReader* r);
+};
+
+// -- Server trace (GetServerTrace) --------------------------------------------------
+
+struct GetServerTraceReq {
+  uint32_t max_events = 0;  // 0 = server default (one TraceRing's capacity)
+
+  void Encode(ByteWriter* w) const;
+  static GetServerTraceReq Decode(ByteReader* r);
+};
+
+struct TraceEventWire {
+  int64_t t_us = 0;    // microseconds on the server trace clock
+  uint64_t seq = 0;    // global ordering stamp
+  uint32_t tid = 0;    // dense thread id
+  uint16_t reason = 0; // obs::TraceReason
+  uint32_t arg0 = 0;
+  uint32_t arg1 = 0;
+
+  void Encode(ByteWriter* w) const;
+  static TraceEventWire Decode(ByteReader* r);
+};
+
+struct ServerTraceReply {
+  std::vector<TraceEventWire> events;  // oldest first
+
+  void Encode(ByteWriter* w) const;
+  static ServerTraceReply Decode(ByteReader* r);
 };
 
 // ---------------------------------------------------------------------------

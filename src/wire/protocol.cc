@@ -30,6 +30,102 @@ std::string_view DeviceClassName(DeviceClass cls) {
   return "unknown";
 }
 
+std::string_view OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kNoOp:
+      return "NoOp";
+    case Opcode::kCreateLoud:
+      return "CreateLoud";
+    case Opcode::kDestroyLoud:
+      return "DestroyLoud";
+    case Opcode::kCreateVirtualDevice:
+      return "CreateVirtualDevice";
+    case Opcode::kDestroyVirtualDevice:
+      return "DestroyVirtualDevice";
+    case Opcode::kAugmentVirtualDevice:
+      return "AugmentVirtualDevice";
+    case Opcode::kQueryVirtualDevice:
+      return "QueryVirtualDevice";
+    case Opcode::kCreateWire:
+      return "CreateWire";
+    case Opcode::kDestroyWire:
+      return "DestroyWire";
+    case Opcode::kQueryWires:
+      return "QueryWires";
+    case Opcode::kMapLoud:
+      return "MapLoud";
+    case Opcode::kUnmapLoud:
+      return "UnmapLoud";
+    case Opcode::kRaiseLoud:
+      return "RaiseLoud";
+    case Opcode::kLowerLoud:
+      return "LowerLoud";
+    case Opcode::kCreateSound:
+      return "CreateSound";
+    case Opcode::kDestroySound:
+      return "DestroySound";
+    case Opcode::kWriteSoundData:
+      return "WriteSoundData";
+    case Opcode::kReadSoundData:
+      return "ReadSoundData";
+    case Opcode::kQuerySound:
+      return "QuerySound";
+    case Opcode::kLoadCatalogueSound:
+      return "LoadCatalogueSound";
+    case Opcode::kListCatalogue:
+      return "ListCatalogue";
+    case Opcode::kSaveCatalogueSound:
+      return "SaveCatalogueSound";
+    case Opcode::kEnqueueCommands:
+      return "EnqueueCommands";
+    case Opcode::kImmediateCommand:
+      return "ImmediateCommand";
+    case Opcode::kStartQueue:
+      return "StartQueue";
+    case Opcode::kStopQueue:
+      return "StopQueue";
+    case Opcode::kPauseQueue:
+      return "PauseQueue";
+    case Opcode::kResumeQueue:
+      return "ResumeQueue";
+    case Opcode::kFlushQueue:
+      return "FlushQueue";
+    case Opcode::kQueryQueue:
+      return "QueryQueue";
+    case Opcode::kSelectEvents:
+      return "SelectEvents";
+    case Opcode::kSetSyncMarks:
+      return "SetSyncMarks";
+    case Opcode::kChangeProperty:
+      return "ChangeProperty";
+    case Opcode::kDeleteProperty:
+      return "DeleteProperty";
+    case Opcode::kGetProperty:
+      return "GetProperty";
+    case Opcode::kListProperties:
+      return "ListProperties";
+    case Opcode::kSetRedirect:
+      return "SetRedirect";
+    case Opcode::kQueryDeviceLoud:
+      return "QueryDeviceLoud";
+    case Opcode::kQueryActiveStack:
+      return "QueryActiveStack";
+    case Opcode::kGetServerTime:
+      return "GetServerTime";
+    case Opcode::kSync:
+      return "Sync";
+    case Opcode::kQueryLoud:
+      return "QueryLoud";
+    case Opcode::kGetServerStats:
+      return "GetServerStats";
+    case Opcode::kGetServerTrace:
+      return "GetServerTrace";
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return "unknown";
+}
+
 std::string_view DeviceCommandName(DeviceCommand cmd) {
   switch (cmd) {
     case DeviceCommand::kStop:

@@ -28,9 +28,10 @@
 
 namespace aud {
 
-// Protocol revision implemented by this tree.
+// Protocol revision implemented by this tree. Minor 1 added server
+// introspection (GetServerStats / GetServerTrace).
 inline constexpr uint16_t kProtocolMajor = 1;
-inline constexpr uint16_t kProtocolMinor = 0;
+inline constexpr uint16_t kProtocolMinor = 1;
 
 // Connection-setup magic ("AUDP").
 inline constexpr uint32_t kSetupMagic = 0x41554450u;
@@ -115,8 +116,17 @@ enum class Opcode : uint16_t {
   kSync = 40,                  // Round-trip no-op -> SyncReply.
   kQueryLoud = 41,             // -> LoudStateReply
 
-  kOpcodeCount = 42,
+  // Observability (the server is "just another client" of its own
+  // statistics, the way X exposes server internals in-protocol).
+  kGetServerStats = 42,        // -> ServerStatsReply
+  kGetServerTrace = 43,        // -> ServerTraceReply
+
+  kOpcodeCount = 44,
 };
+
+// Human-readable opcode name ("CreateLoud", "GetServerStats", ...), for
+// stats output and logs.
+std::string_view OpcodeName(Opcode opcode);
 
 // Virtual-device classes (section 5.1).
 enum class DeviceClass : uint8_t {

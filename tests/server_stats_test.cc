@@ -1,0 +1,229 @@
+// GetServerStats / GetServerTrace over a real connection (ISSUE: in-
+// protocol introspection). Verifies that playing a sound moves the
+// per-opcode request counters, populates the tick histogram, and counts
+// transport bytes; that the trace ring carries tick events; and that a
+// client can poll stats concurrently with a multi-threaded engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "src/alib/alib.h"
+#include "src/hw/board.h"
+#include "src/server/server.h"
+#include "src/toolkit/toolkit.h"
+#include "src/transport/pipe_stream.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+uint64_t OpcodeCount(const ServerStatsReply& stats, Opcode opcode) {
+  for (const OpcodeStats& op : stats.opcodes) {
+    if (op.opcode == static_cast<uint16_t>(opcode)) {
+      return op.count;
+    }
+  }
+  return 0;
+}
+
+class ServerStatsTest : public ServerFixture {};
+
+TEST_F(ServerStatsTest, StatsReflectPlayback) {
+  // Drive real work first so every counter the test checks has moved.
+  auto chain = toolkit_->BuildPlaybackChain();
+  ResourceId sound = toolkit_->UploadSound(TestTone(200), {Encoding::kPcm16, 8000});
+  ASSERT_TRUE(toolkit_->PlayAndWait(chain, sound, 30000));
+
+  auto stats = client_->GetServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const ServerStatsReply& s = stats.value();
+
+  EXPECT_EQ(s.stats_version, kServerStatsVersion);
+  EXPECT_EQ(s.proto_major, kProtocolMajor);
+  EXPECT_EQ(s.proto_minor, kProtocolMinor);
+  EXPECT_EQ(s.engine_rate_hz, 8000u);
+  EXPECT_EQ(s.engine_threads, 1u);
+
+  // The playback chain issued these opcodes at least once each.
+  EXPECT_GE(OpcodeCount(s, Opcode::kCreateLoud), 1u);
+  EXPECT_GE(OpcodeCount(s, Opcode::kCreateVirtualDevice), 1u);
+  EXPECT_GE(OpcodeCount(s, Opcode::kWriteSoundData), 1u);
+  EXPECT_GE(OpcodeCount(s, Opcode::kEnqueueCommands), 1u);
+  EXPECT_GE(OpcodeCount(s, Opcode::kGetServerStats), 1u);
+  EXPECT_GE(s.requests_total, 8u);
+  EXPECT_FALSE(s.dispatch_us.empty());
+
+  // PlayAndWait pumped virtual time, so ticks ran and were timed.
+  EXPECT_GT(s.ticks_run, 0u);
+  EXPECT_FALSE(s.tick_us.empty());
+  EXPECT_EQ(s.tick_us.count, s.ticks_run);
+  EXPECT_GE(s.tick_us.Percentile(99), s.tick_us.Percentile(50));
+
+  // Transport accounting: both directions carried real bytes.
+  EXPECT_EQ(s.connections_open, 1);
+  EXPECT_GE(s.connections_total, 1u);
+  EXPECT_GT(s.bytes_in, 0u);
+  EXPECT_GT(s.bytes_out, 0u);
+  EXPECT_GT(s.events_sent, 0u);  // queue started/stopped, CommandDone
+
+  EXPECT_GT(s.objects, 0u);
+  EXPECT_GE(s.commands_enqueued, 1u);
+  EXPECT_GE(s.commands_done, 1u);
+  EXPECT_GE(s.queue_events, 1u);
+}
+
+TEST_F(ServerStatsTest, PerOpcodeErrorsAndTotalsAdvance) {
+  auto before = client_->GetServerStats();
+  ASSERT_TRUE(before.ok());
+
+  // A query for a nonexistent LOUD produces an asynchronous error.
+  auto bad = client_->QueryLoud(0xDEAD);
+  EXPECT_FALSE(bad.ok());
+
+  auto after = client_->GetServerStats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().request_errors_total,
+            before.value().request_errors_total + 1);
+  EXPECT_GT(after.value().requests_total, before.value().requests_total);
+  EXPECT_GE(OpcodeCount(after.value(), Opcode::kQueryLoud), 1u);
+}
+
+TEST_F(ServerStatsTest, StatsWithoutOpcodeTableIsSmaller) {
+  auto with = client_->GetServerStats(true);
+  auto without = client_->GetServerStats(false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(with.value().opcodes.empty());
+  EXPECT_TRUE(without.value().opcodes.empty());
+  EXPECT_GT(without.value().requests_total, 0u);
+}
+
+TEST_F(ServerStatsTest, TraceCarriesTickAndDispatchEvents) {
+  StepMs(100);
+  client_->GetServerStats();  // guarantee at least one dispatch trace
+  auto trace = client_->GetServerTrace();
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_FALSE(trace.value().events.empty());
+
+  bool saw_tick = false;
+  bool saw_dispatch = false;
+  uint64_t prev_seq = 0;
+  bool first = true;
+  for (const TraceEventWire& e : trace.value().events) {
+    EXPECT_LT(e.reason, static_cast<uint16_t>(obs::TraceReason::kTraceReasonCount));
+    if (!first) {
+      EXPECT_GT(e.seq, prev_seq);  // merged snapshot is seq-ordered
+    }
+    prev_seq = e.seq;
+    first = false;
+    auto reason = static_cast<obs::TraceReason>(e.reason);
+    saw_tick |= reason == obs::TraceReason::kTickStart ||
+                reason == obs::TraceReason::kTickEnd;
+    saw_dispatch |= reason == obs::TraceReason::kDispatch;
+  }
+  EXPECT_TRUE(saw_tick);
+  EXPECT_TRUE(saw_dispatch);
+
+  // max_events truncation keeps only the newest.
+  auto few = client_->GetServerTrace(3);
+  ASSERT_TRUE(few.ok());
+  EXPECT_LE(few.value().events.size(), 3u);
+}
+
+TEST_F(ServerStatsTest, UptimeAndServerTimeAdvance) {
+  auto a = client_->GetServerStats(false);
+  ASSERT_TRUE(a.ok());
+  StepMs(40);
+  auto b = client_->GetServerStats(false);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b.value().server_time, a.value().server_time);
+  EXPECT_GE(b.value().uptime_ms, a.value().uptime_ms);
+  EXPECT_EQ(b.value().ticks_run, a.value().ticks_run + 2);  // 40 ms = 2 periods
+}
+
+TEST(ServerStatsTcp, StatsOverTcpConnection) {
+  Board board{BoardConfig{}};
+  AudioServer server(&board);
+  ASSERT_TRUE(server.ListenTcp(0));
+  auto client = AudioConnection::OpenTcp("127.0.0.1", server.tcp_port(), "stats-tcp");
+  ASSERT_NE(client, nullptr);
+  server.StepFrames(320);
+  auto stats = client->GetServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().connections_total, 1u);
+  EXPECT_GT(stats.value().bytes_in, 0u);
+  EXPECT_EQ(stats.value().ticks_run, 2u);
+  client->Close();
+  server.Shutdown();
+}
+
+// The TSan target: a client hammers GetServerStats/GetServerTrace while a
+// 4-thread engine ticks islands in parallel and another client plays audio.
+// All snapshots happen under the big lock; this test exists to let the
+// sanitizer prove that claim.
+TEST(ServerStatsParallel, PollStatsWhileParallelEngineTicks) {
+  BoardConfig config;
+  config.speakers = 2;
+  ServerOptions options;
+  options.engine_threads = 4;
+  Board board{config};
+  AudioServer server(&board, options);
+
+  auto [client_end, server_end] = CreatePipePair();
+  server.AddConnection(std::move(server_end));
+  auto player = AudioConnection::Open(std::move(client_end), "player");
+  ASSERT_NE(player, nullptr);
+  auto [poll_client_end, poll_server_end] = CreatePipePair();
+  server.AddConnection(std::move(poll_server_end));
+  auto poller = AudioConnection::Open(std::move(poll_client_end), "poller");
+  ASSERT_NE(poller, nullptr);
+
+  // Two independent playback chains => two islands per tick.
+  AudioToolkit toolkit(player.get());
+  std::atomic<bool> stop{false};
+  toolkit.set_time_pump([&server] { server.StepFrames(160); });
+  auto chain_a = toolkit.BuildPlaybackChain();
+  auto chain_b = toolkit.BuildPlaybackChain();
+  std::vector<Sample> tone(8000, 2000);
+  ResourceId sound_a = toolkit.UploadSound(tone, {Encoding::kPcm16, 8000});
+  ResourceId sound_b = toolkit.UploadSound(tone, {Encoding::kPcm16, 8000});
+  player->Enqueue(chain_a.loud, {PlayCommand(chain_a.player, sound_a, 1)});
+  player->Enqueue(chain_b.loud, {PlayCommand(chain_b.player, sound_b, 2)});
+  player->StartQueue(chain_a.loud);
+  player->StartQueue(chain_b.loud);
+  ASSERT_TRUE(player->Sync().ok());
+
+  std::thread poll_thread([&poller, &stop] {
+    while (!stop.load()) {
+      auto stats = poller->GetServerStats();
+      ASSERT_TRUE(stats.ok());
+      auto trace = poller->GetServerTrace(64);
+      ASSERT_TRUE(trace.ok());
+    }
+  });
+
+  // ~1.2 s of audio in 20 ms steps, parallel islands the whole way.
+  for (int i = 0; i < 60; ++i) {
+    server.StepFrames(160);
+  }
+  stop.store(true);
+  poll_thread.join();
+
+  auto stats = poller->GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.value().engine_threads, 4u);
+  EXPECT_FALSE(stats.value().islands_per_tick.empty());
+  EXPECT_GE(stats.value().islands_per_tick.max, 2u);
+  EXPECT_FALSE(stats.value().worker_imbalance.empty());
+  EXPECT_FALSE(stats.value().tick_us.empty());
+
+  player->Close();
+  poller->Close();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace aud

@@ -2,7 +2,7 @@
 //
 //   audioctl [--host H] [--port N] <command> [args]
 //
-//   info                     server name, device LOUD, active stack
+//   info                     server name, uptime, device LOUD, active stack
 //   catalogue                list server-side sounds
 //   play <name>              play a catalogue sound to the speaker
 //   play-wav <file.wav>      upload a WAV file and play it
@@ -10,6 +10,8 @@
 //   record <seconds> <file>  record the microphone to a WAV file
 //   beep                     play the catalogue beep
 //   dial <number>            place a call and report progress
+//   stats [--json]           server counters and latency histograms
+//   trace [N]                newest N engine/dispatcher trace events
 //
 // Every subcommand is an ordinary Alib client; reading this file is the
 // fastest tour of the client API.
@@ -29,6 +31,15 @@ using namespace aud;
 
 int CmdInfo(AudioConnection& audio) {
   std::printf("server: %s\n", audio.server_name().c_str());
+  if (auto stats = audio.GetServerStats(false); stats.ok()) {
+    const ServerStatsReply& s = stats.value();
+    std::printf("protocol: %u.%u (stats v%u)\n", s.proto_major, s.proto_minor,
+                s.stats_version);
+    std::printf("uptime: %llu.%03llu s  engine: %u Hz x%u threads  ticks: %llu\n",
+                static_cast<unsigned long long>(s.uptime_ms / 1000),
+                static_cast<unsigned long long>(s.uptime_ms % 1000), s.engine_rate_hz,
+                s.engine_threads, static_cast<unsigned long long>(s.ticks_run));
+  }
   auto devices = audio.QueryDeviceLoud();
   if (!devices.ok()) {
     return 1;
@@ -169,6 +180,146 @@ int CmdDial(AudioConnection& audio, const std::string& number) {
   return state == CallState::kConnected ? 0 : 1;
 }
 
+void PrintHistogramLine(const char* name, const obs::HistogramSnapshot& h) {
+  if (h.empty()) {
+    std::printf("  %-18s (no samples)\n", name);
+    return;
+  }
+  std::printf("  %-18s n=%-8llu mean=%-8.1f p50=%-7.0f p95=%-7.0f p99=%-7.0f "
+              "min=%llu max=%llu\n",
+              name, static_cast<unsigned long long>(h.count), h.Mean(), h.Percentile(50),
+              h.Percentile(95), h.Percentile(99), static_cast<unsigned long long>(h.min),
+              static_cast<unsigned long long>(h.max));
+}
+
+void PrintHistogramJson(const char* name, const obs::HistogramSnapshot& h, bool last) {
+  std::printf("    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+              "\"max\": %llu, \"mean\": %.2f, \"p50\": %.1f, \"p95\": %.1f, "
+              "\"p99\": %.1f}%s\n",
+              name, static_cast<unsigned long long>(h.count),
+              static_cast<unsigned long long>(h.sum),
+              static_cast<unsigned long long>(h.min),
+              static_cast<unsigned long long>(h.max), h.Mean(),
+              h.empty() ? 0.0 : h.Percentile(50), h.empty() ? 0.0 : h.Percentile(95),
+              h.empty() ? 0.0 : h.Percentile(99), last ? "" : ",");
+}
+
+int CmdStats(AudioConnection& audio, bool json) {
+  auto stats = audio.GetServerStats(true);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "GetServerStats failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const ServerStatsReply& s = stats.value();
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"stats_version\": %u,\n", s.stats_version);
+    std::printf("  \"protocol\": \"%u.%u\",\n", s.proto_major, s.proto_minor);
+    std::printf("  \"uptime_ms\": %llu,\n", static_cast<unsigned long long>(s.uptime_ms));
+    std::printf("  \"engine\": {\"rate_hz\": %u, \"threads\": %u, \"ticks_run\": %llu, "
+                "\"tick_overruns\": %llu},\n",
+                s.engine_rate_hz, s.engine_threads,
+                static_cast<unsigned long long>(s.ticks_run),
+                static_cast<unsigned long long>(s.tick_overruns));
+    std::printf("  \"histograms\": {\n");
+    PrintHistogramJson("tick_us", s.tick_us, false);
+    PrintHistogramJson("tick_jitter_us", s.tick_jitter_us, false);
+    PrintHistogramJson("islands_per_tick", s.islands_per_tick, false);
+    PrintHistogramJson("worker_imbalance", s.worker_imbalance, false);
+    PrintHistogramJson("dispatch_us", s.dispatch_us, true);
+    std::printf("  },\n");
+    std::printf("  \"requests\": {\"total\": %llu, \"errors\": %llu},\n",
+                static_cast<unsigned long long>(s.requests_total),
+                static_cast<unsigned long long>(s.request_errors_total));
+    std::printf("  \"opcodes\": [\n");
+    for (size_t i = 0; i < s.opcodes.size(); ++i) {
+      const OpcodeStats& op = s.opcodes[i];
+      std::printf("    {\"opcode\": \"%s\", \"count\": %llu, \"errors\": %llu, "
+                  "\"total_us\": %llu}%s\n",
+                  std::string(OpcodeName(static_cast<Opcode>(op.opcode))).c_str(),
+                  static_cast<unsigned long long>(op.count),
+                  static_cast<unsigned long long>(op.errors),
+                  static_cast<unsigned long long>(op.total_us),
+                  i + 1 < s.opcodes.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"connections\": {\"open\": %lld, \"total\": %llu, \"bytes_in\": %llu, "
+                "\"bytes_out\": %llu, \"events_sent\": %llu},\n",
+                static_cast<long long>(s.connections_open),
+                static_cast<unsigned long long>(s.connections_total),
+                static_cast<unsigned long long>(s.bytes_in),
+                static_cast<unsigned long long>(s.bytes_out),
+                static_cast<unsigned long long>(s.events_sent));
+    std::printf("  \"objects\": %u,\n", s.objects);
+    std::printf("  \"active_louds\": %u,\n", s.active_louds);
+    std::printf("  \"queues\": {\"enqueued\": %llu, \"done\": %llu, \"aborted\": %llu, "
+                "\"events\": %llu}\n",
+                static_cast<unsigned long long>(s.commands_enqueued),
+                static_cast<unsigned long long>(s.commands_done),
+                static_cast<unsigned long long>(s.commands_aborted),
+                static_cast<unsigned long long>(s.queue_events));
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("protocol %u.%u, stats v%u, uptime %llu.%03llu s\n", s.proto_major,
+              s.proto_minor, s.stats_version,
+              static_cast<unsigned long long>(s.uptime_ms / 1000),
+              static_cast<unsigned long long>(s.uptime_ms % 1000));
+  std::printf("engine: %u Hz, %u thread%s, %llu ticks, %llu overruns\n", s.engine_rate_hz,
+              s.engine_threads, s.engine_threads == 1 ? "" : "s",
+              static_cast<unsigned long long>(s.ticks_run),
+              static_cast<unsigned long long>(s.tick_overruns));
+  PrintHistogramLine("tick us", s.tick_us);
+  PrintHistogramLine("tick jitter us", s.tick_jitter_us);
+  PrintHistogramLine("islands/tick", s.islands_per_tick);
+  PrintHistogramLine("worker imbalance", s.worker_imbalance);
+  std::printf("requests: %llu total, %llu errors\n",
+              static_cast<unsigned long long>(s.requests_total),
+              static_cast<unsigned long long>(s.request_errors_total));
+  PrintHistogramLine("dispatch us", s.dispatch_us);
+  for (const OpcodeStats& op : s.opcodes) {
+    std::printf("  %-22s %8llu req %6llu err %10llu us\n",
+                std::string(OpcodeName(static_cast<Opcode>(op.opcode))).c_str(),
+                static_cast<unsigned long long>(op.count),
+                static_cast<unsigned long long>(op.errors),
+                static_cast<unsigned long long>(op.total_us));
+  }
+  std::printf("connections: %lld open, %llu total; bytes in %llu out %llu; "
+              "events sent %llu\n",
+              static_cast<long long>(s.connections_open),
+              static_cast<unsigned long long>(s.connections_total),
+              static_cast<unsigned long long>(s.bytes_in),
+              static_cast<unsigned long long>(s.bytes_out),
+              static_cast<unsigned long long>(s.events_sent));
+  std::printf("objects: %u (%u active LOUDs)\n", s.objects, s.active_louds);
+  std::printf("queues: %llu enqueued, %llu done, %llu aborted, %llu events\n",
+              static_cast<unsigned long long>(s.commands_enqueued),
+              static_cast<unsigned long long>(s.commands_done),
+              static_cast<unsigned long long>(s.commands_aborted),
+              static_cast<unsigned long long>(s.queue_events));
+  return 0;
+}
+
+int CmdTrace(AudioConnection& audio, uint32_t max_events) {
+  auto trace = audio.GetServerTrace(max_events);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "GetServerTrace failed: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  for (const TraceEventWire& e : trace.value().events) {
+    std::printf("%12lld us  t%-3u seq %-8llu %-16s arg0=%u arg1=%u\n",
+                static_cast<long long>(e.t_us), e.tid,
+                static_cast<unsigned long long>(e.seq),
+                std::string(obs::TraceReasonName(static_cast<obs::TraceReason>(e.reason)))
+                    .c_str(),
+                e.arg0, e.arg1);
+  }
+  std::printf("%zu events\n", trace.value().events.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,7 +341,7 @@ int main(int argc, char** argv) {
   if (arg >= argc) {
     std::fprintf(stderr,
                  "usage: audioctl [--host H] [--port N] "
-                 "info|catalogue|play|play-wav|say|record|beep|dial ...\n");
+                 "info|catalogue|play|play-wav|say|record|beep|dial|stats|trace ...\n");
     return 1;
   }
 
@@ -237,6 +388,14 @@ int main(int argc, char** argv) {
   }
   if (command == "dial" && arg < argc) {
     return CmdDial(*audio, argv[arg]);
+  }
+  if (command == "stats") {
+    bool json = arg < argc && std::string(argv[arg]) == "--json";
+    return CmdStats(*audio, json);
+  }
+  if (command == "trace") {
+    uint32_t max_events = arg < argc ? static_cast<uint32_t>(std::atoi(argv[arg])) : 0;
+    return CmdTrace(*audio, max_events);
   }
   std::fprintf(stderr, "audioctl: bad command or missing argument\n");
   return 1;

@@ -4,10 +4,13 @@
 //
 // Usage:
 //   audiond [--port N] [--speakers N] [--microphones N] [--lines N]
-//           [--engine-threads N] [--speakerphone] [--wav-out FILE] [--verbose]
+//           [--engine-threads N] [--speakerphone] [--wav-out FILE]
+//           [--stats-interval-ms N] [--verbose]
 //
 // --wav-out streams everything played on speaker0 into a WAV file so the
 // simulated output is audible with ordinary tooling.
+// --stats-interval-ms logs a one-line stats summary (ticks, tick p99,
+// requests, connections) every N milliseconds.
 
 #include <csignal>
 #include <cstdio>
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   ServerOptions options;
   std::string wav_out;
   std::string catalogue_dir;
+  int stats_interval_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next_int = [&](int fallback) {
@@ -66,15 +70,21 @@ int main(int argc, char** argv) {
       if (i + 1 < argc) {
         catalogue_dir = argv[++i];
       }
+    } else if (arg == "--stats-interval-ms") {
+      stats_interval_ms = next_int(stats_interval_ms);
     } else if (arg == "--verbose") {
       SetLogLevel(LogLevel::kDebug);
     } else {
       std::fprintf(stderr,
                    "usage: audiond [--port N] [--speakers N] [--microphones N] "
                    "[--lines N] [--engine-threads N] [--speakerphone] "
-                   "[--wav-out FILE] [--catalogue DIR] [--verbose]\n");
+                   "[--wav-out FILE] [--catalogue DIR] [--stats-interval-ms N] "
+                   "[--verbose]\n");
       return arg == "--help" ? 0 : 1;
     }
+  }
+  if (stats_interval_ms > 0 && GetLogLevel() > LogLevel::kInfo) {
+    SetLogLevel(LogLevel::kInfo);  // the periodic stats line logs at Info
   }
 
   Board board(config);
@@ -135,8 +145,32 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  auto next_stats = std::chrono::steady_clock::now();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_interval_ms > 0 && std::chrono::steady_clock::now() >= next_stats) {
+      next_stats = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(stats_interval_ms);
+      ServerStatsReply stats;
+      {
+        std::lock_guard<std::mutex> lock(server.mutex());
+        stats = server.state().BuildServerStats(false);
+      }
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "stats: ticks=%llu overruns=%llu tick_p99=%.0fus jitter_p99=%.0fus "
+                    "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu",
+                    static_cast<unsigned long long>(stats.ticks_run),
+                    static_cast<unsigned long long>(stats.tick_overruns),
+                    stats.tick_us.empty() ? 0.0 : stats.tick_us.Percentile(99),
+                    stats.tick_jitter_us.empty() ? 0.0 : stats.tick_jitter_us.Percentile(99),
+                    static_cast<unsigned long long>(stats.requests_total),
+                    static_cast<unsigned long long>(stats.request_errors_total),
+                    static_cast<long long>(stats.connections_open),
+                    static_cast<unsigned long long>(stats.bytes_in),
+                    static_cast<unsigned long long>(stats.bytes_out));
+      LogMessage(LogLevel::kInfo, line);
+    }
   }
 
   std::printf("\naudiond: shutting down\n");
