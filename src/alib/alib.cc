@@ -49,7 +49,7 @@ std::unique_ptr<AudioConnection> AudioConnection::OpenTcp(const std::string& hos
 }
 
 ResourceId AudioConnection::AllocId() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   if (id_next_ >= id_end_) {
     return kNoResource;
   }
@@ -62,7 +62,7 @@ void AudioConnection::ReaderLoop() {
     if (!message) {
       break;
     }
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     switch (message->header.type) {
       case MessageType::kReply:
         replies_[message->header.sequence] = std::move(*message);
@@ -85,15 +85,15 @@ void AudioConnection::ReaderLoop() {
       case MessageType::kRequest:
         break;  // Servers do not send requests.
     }
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
   closed_.store(true);
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  queue_cv_.notify_all();
+  MutexLock lock(&queue_mu_);
+  queue_cv_.NotifyAll();
 }
 
 uint32_t AudioConnection::SendRequest(Opcode opcode, std::span<const uint8_t> payload) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   uint32_t seq = next_sequence_++;
   if (!WriteMessage(stream_.get(), MessageType::kRequest, static_cast<uint16_t>(opcode), seq,
                     payload)) {
@@ -103,11 +103,11 @@ uint32_t AudioConnection::SendRequest(Opcode opcode, std::span<const uint8_t> pa
 }
 
 Result<std::vector<uint8_t>> AudioConnection::WaitReply(uint32_t sequence) {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.wait(lock, [&] {
-    return replies_.count(sequence) != 0 || reply_errors_.count(sequence) != 0 ||
-           closed_.load();
-  });
+  MutexLock lock(&queue_mu_);
+  while (replies_.count(sequence) == 0 && reply_errors_.count(sequence) == 0 &&
+         !closed_.load()) {
+    queue_cv_.Wait(queue_mu_);
+  }
   auto reply_it = replies_.find(sequence);
   if (reply_it != replies_.end()) {
     std::vector<uint8_t> payload = std::move(reply_it->second.payload);
@@ -129,7 +129,7 @@ Result<std::vector<uint8_t>> AudioConnection::RoundTrip(Opcode opcode,
 }
 
 bool AudioConnection::PollEvent(EventMessage* event) {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   if (events_.empty()) {
     return false;
   }
@@ -139,12 +139,19 @@ bool AudioConnection::PollEvent(EventMessage* event) {
 }
 
 bool AudioConnection::WaitEvent(EventMessage* event, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  auto ready = [&] { return !events_.empty() || closed_.load(); };
+  MutexLock lock(&queue_mu_);
   if (timeout_ms < 0) {
-    queue_cv_.wait(lock, ready);
-  } else if (!queue_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
-    return false;
+    while (events_.empty() && !closed_.load()) {
+      queue_cv_.Wait(queue_mu_);
+    }
+  } else {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (events_.empty() && !closed_.load()) {
+      if (queue_cv_.WaitUntil(queue_mu_, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
   }
   if (events_.empty()) {
     return false;
@@ -155,7 +162,7 @@ bool AudioConnection::WaitEvent(EventMessage* event, int timeout_ms) {
 }
 
 bool AudioConnection::NextError(AsyncError* error) {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   if (errors_.empty()) {
     return false;
   }
@@ -165,7 +172,7 @@ bool AudioConnection::NextError(AsyncError* error) {
 }
 
 size_t AudioConnection::pending_errors() {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   return errors_.size();
 }
 
@@ -183,8 +190,8 @@ void AudioConnection::Close() {
   }
   stream_->Close();
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_cv_.notify_all();
+    MutexLock lock(&queue_mu_);
+    queue_cv_.NotifyAll();
   }
   if (reader_.joinable()) {
     reader_.join();

@@ -11,17 +11,17 @@
 #ifndef SRC_ALIB_ALIB_H_
 #define SRC_ALIB_ALIB_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/transport/framer.h"
 #include "src/transport/stream.h"
 #include "src/wire/messages.h"
@@ -84,6 +84,9 @@ class AudioConnection {
   // Flushes the pipeline: a Sync round trip guarantees every prior request
   // has been processed and its errors (if any) queued locally.
   Status Sync();
+
+  // Sends a NoOp request (a pipeline filler; the server does nothing).
+  void NoOp();
 
   // -- Typed request wrappers (requests.cc) ------------------------------------------
 
@@ -150,21 +153,27 @@ class AudioConnection {
 
   void ReaderLoop();
 
+  // The stream object is not guarded: the reader thread calls
+  // stream_->Read() concurrently with writers (ByteStream impls are
+  // duplex-safe); write_mu_ serializes the writers.
   std::unique_ptr<ByteStream> stream_;
   std::string server_name_;
   ResourceId device_loud_ = kNoResource;
-  ResourceId id_next_ = kNoResource;
-  ResourceId id_end_ = kNoResource;
 
-  std::mutex write_mu_;
-  uint32_t next_sequence_ = 1;
+  // Serializes outbound frames, sequence allocation and id allocation.
+  // Leaf lock; never held together with queue_mu_ (DESIGN.md decision 9).
+  Mutex write_mu_;
+  ResourceId id_next_ AUD_GUARDED_BY(write_mu_) = kNoResource;
+  ResourceId id_end_ AUD_GUARDED_BY(write_mu_) = kNoResource;
+  uint32_t next_sequence_ AUD_GUARDED_BY(write_mu_) = 1;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<EventMessage> events_;
-  std::deque<AsyncError> errors_;
-  std::map<uint32_t, FramedMessage> replies_;
-  std::map<uint32_t, AsyncError> reply_errors_;
+  // Guards everything the reader thread hands to waiting callers.
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<EventMessage> events_ AUD_GUARDED_BY(queue_mu_);
+  std::deque<AsyncError> errors_ AUD_GUARDED_BY(queue_mu_);
+  std::map<uint32_t, FramedMessage> replies_ AUD_GUARDED_BY(queue_mu_);
+  std::map<uint32_t, AsyncError> reply_errors_ AUD_GUARDED_BY(queue_mu_);
 
   std::thread reader_;
   std::atomic<bool> closed_{false};

@@ -30,6 +30,8 @@ Result<Reply> DecodeReply(Result<std::vector<uint8_t>> raw) {
 
 }  // namespace
 
+void AudioConnection::NoOp() { SendRequest(Opcode::kNoOp, {}); }
+
 // -- LOUD tree ---------------------------------------------------------------
 
 ResourceId AudioConnection::CreateLoud(ResourceId parent, const AttrList& attrs) {

@@ -16,27 +16,29 @@ void RealClock::SleepUntil(Ticks deadline) {
 }
 
 Ticks VirtualClock::Now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return now_;
 }
 
 void VirtualClock::SleepUntil(Ticks deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return now_ >= deadline; });
+  MutexLock lock(&mu_);
+  while (now_ < deadline) {
+    cv_.Wait(mu_);
+  }
 }
 
 void VirtualClock::Advance(Ticks nominal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Ticks skewed = nominal + nominal * skew_ppm_ / 1'000'000;
   now_ += skewed;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void VirtualClock::AdvanceTo(Ticks t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (t > now_) {
     now_ = t;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

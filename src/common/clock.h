@@ -12,9 +12,9 @@
 #define SRC_COMMON_CLOCK_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace aud {
 
@@ -80,9 +80,9 @@ class VirtualClock : public Clock {
   void AdvanceTo(Ticks t);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Ticks now_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  Ticks now_ AUD_GUARDED_BY(mu_) = 0;
   int64_t skew_ppm_;
 };
 

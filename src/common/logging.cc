@@ -4,13 +4,16 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
+
+#include "src/common/thread_annotations.h"
 
 namespace aud {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mu;
+// Serializes the fprintf so concurrent log lines never interleave; stderr
+// itself is the guarded resource, so no AUD_GUARDED_BY field exists.
+Mutex g_log_mu;
 
 // Monotonic time base shared by every log line (ms since first log call),
 // so tick-thread / worker / dispatcher interleavings are attributable on a
@@ -55,7 +58,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                      std::chrono::steady_clock::now() - LogEpoch())
                      .count();
-  std::lock_guard<std::mutex> lock(g_log_mu);
+  MutexLock lock(&g_log_mu);
   // Format contract (tests grep this): "[aud LEVEL +<ms>ms t<tid>] message".
   std::fprintf(stderr, "[aud %s +%lldms t%u] %s\n", LevelTag(level),
                static_cast<long long>(elapsed), ThreadLogId(), message.c_str());

@@ -139,7 +139,7 @@ int64_t TraceRegistry::NowUs() const {
 TraceRing* TraceRegistry::ThreadRing() {
   thread_local TraceRing* ring = nullptr;
   if (ring == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto owned = std::make_unique<TraceRing>(static_cast<uint32_t>(rings_.size()));
     ring = owned.get();
     rings_.push_back(std::move(owned));
@@ -155,7 +155,7 @@ void TraceRegistry::Trace(TraceReason reason, uint32_t arg0, uint32_t arg1) {
 std::vector<TraceEvent> TraceRegistry::Snapshot(size_t max_events) const {
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const auto& ring : rings_) {
       ring->Collect(&events);
     }

@@ -26,9 +26,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace aud {
 namespace obs {
@@ -172,8 +173,8 @@ class TraceRegistry {
 
   TraceRing* ThreadRing();
 
-  mutable std::mutex mu_;  // guards rings_ registration and iteration
-  std::vector<std::unique_ptr<TraceRing>> rings_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ AUD_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_seq_{0};
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -7,7 +7,7 @@ bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
   if (closed_.load()) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   if (!WriteMessage(stream_.get(), type, code, sequence, payload)) {
     closed_.store(true);
     return false;

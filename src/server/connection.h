@@ -9,9 +9,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "src/common/thread_annotations.h"
 #include "src/server/metrics.h"
 #include "src/transport/framer.h"
 #include "src/transport/stream.h"
@@ -54,10 +54,15 @@ class ClientConnection {
 
  private:
   uint32_t index_;
+  // The stream object itself is not guarded by write_mu_: the reader thread
+  // calls stream_->Read() concurrently with writers. ByteStream impls are
+  // duplex-safe (one reader + serialized writers); write_mu_ serializes the
+  // writers.
   std::unique_ptr<ByteStream> stream_;
   ServerMetrics* metrics_ = nullptr;
   std::string client_name_;
-  std::mutex write_mu_;
+  // Leaf lock: nothing else is acquired while held (DESIGN.md decision 9).
+  Mutex write_mu_;
   std::atomic<bool> closed_{false};
   std::atomic<uint32_t> last_sequence_{0};
 };

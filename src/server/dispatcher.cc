@@ -31,6 +31,12 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   const Opcode opcode = static_cast<Opcode>(message.header.code);
   ByteReader r(message.payload);
 
+  // The dispatch switch below is exhaustive over Opcode with no default, so
+  // -Werror=switch makes an unwired opcode a compile error; that guarantee
+  // only holds if the per-opcode metrics arrays cover the same range.
+  static_assert(ServerMetrics::kOpcodes == static_cast<size_t>(Opcode::kOpcodeCount),
+                "per-opcode metrics arrays must cover every dispatched opcode");
+
   // Per-opcode accounting (unknown opcodes only hit the totals).
   ServerMetrics& metrics = state_.metrics();
   const bool known_opcode = message.header.code < ServerMetrics::kOpcodes;
@@ -65,6 +71,15 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     reply.Encode(&w);
     conn->SendReply(static_cast<uint16_t>(opcode), seq, w.bytes());
   };
+
+  // Unknown opcodes are rejected by range before the switch, which lets the
+  // switch itself stay default-free (exhaustive under -Werror=switch).
+  if (Status request_ok = ValidateRequestHeader(message.header); !request_ok.ok()) {
+    send_error(request_ok.code(), kNoResource, request_ok.message());
+    metrics.dispatch_us.Record(0);
+    obs::Trace(obs::TraceReason::kDispatch, message.header.code, 0);
+    return;
+  }
 
   switch (opcode) {
     case Opcode::kNoOp:
@@ -752,9 +767,8 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
       break;
     }
 
-    default:
-      send_error(ErrorCode::kBadRequest, kNoResource, "unknown opcode");
-      break;
+    case Opcode::kOpcodeCount:
+      break;  // unreachable: rejected by the range check above
   }
 
   const uint64_t dispatch_us = static_cast<uint64_t>(

@@ -12,10 +12,10 @@ EnginePool::EnginePool(int workers) {
 
 EnginePool::~EnginePool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) {
       t.join();
@@ -27,45 +27,48 @@ void EnginePool::Run(size_t count, const Job& fn) {
   if (count == 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   job_fn_ = &fn;
   job_count_ = count;
   next_job_ = 0;
   done_jobs_ = 0;
   run_jobs_.assign(static_cast<size_t>(worker_slots()), 0);
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The calling thread participates as worker 0.
   while (next_job_ < job_count_) {
     size_t i = next_job_++;
     ++run_jobs_[0];
-    lock.unlock();
+    lock.Unlock();
     fn(i, 0);
-    lock.lock();
+    lock.Lock();
     ++done_jobs_;
   }
-  done_cv_.wait(lock, [this] { return done_jobs_ == job_count_; });
+  while (done_jobs_ != job_count_) {
+    done_cv_.Wait(mu_);
+  }
   // Clear the batch before returning: `fn` lives on the caller's stack,
   // and done_jobs_ == job_count_ guarantees no worker still holds it.
   job_fn_ = nullptr;
 }
 
 void EnginePool::WorkerLoop(int worker) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
-    work_cv_.wait(lock,
-                  [this] { return stop_ || (job_fn_ != nullptr && next_job_ < job_count_); });
+    while (!stop_ && (job_fn_ == nullptr || next_job_ >= job_count_)) {
+      work_cv_.Wait(mu_);
+    }
     if (stop_) {
       return;
     }
     size_t i = next_job_++;
     ++run_jobs_[static_cast<size_t>(worker)];
     const Job* fn = job_fn_;
-    lock.unlock();
+    lock.Unlock();
     (*fn)(i, worker);
-    lock.lock();
+    lock.Lock();
     if (++done_jobs_ == job_count_) {
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }

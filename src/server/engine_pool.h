@@ -13,12 +13,12 @@
 #ifndef SRC_SERVER_ENGINE_POOL_H_
 #define SRC_SERVER_ENGINE_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace aud {
 
@@ -47,22 +47,28 @@ class EnginePool {
 
   // Jobs each worker slot claimed during the most recent Run. Valid only
   // between Run calls on the calling thread (the same thread that runs).
-  const std::vector<uint32_t>& last_run_jobs() const { return run_jobs_; }
+  // Safe without mu_: Run() has returned, so no worker mutates run_jobs_
+  // until the caller itself starts the next batch.
+  const std::vector<uint32_t>& last_run_jobs() const
+      AUD_NO_THREAD_SAFETY_ANALYSIS {
+    return run_jobs_;
+  }
 
  private:
   void WorkerLoop(int worker);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for jobs
-  std::condition_variable done_cv_;   // Run waits for completion
-  const Job* job_fn_ = nullptr;       // non-null while a batch is live
-  size_t job_count_ = 0;
-  size_t next_job_ = 0;
-  size_t done_jobs_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for jobs
+  CondVar done_cv_;  // Run waits for completion
+  // Non-null while a batch is live.
+  const Job* job_fn_ AUD_GUARDED_BY(mu_) = nullptr;
+  size_t job_count_ AUD_GUARDED_BY(mu_) = 0;
+  size_t next_job_ AUD_GUARDED_BY(mu_) = 0;
+  size_t done_jobs_ AUD_GUARDED_BY(mu_) = 0;
+  bool stop_ AUD_GUARDED_BY(mu_) = false;
   // Per-slot job counts for the live batch; both increment sites run with
   // mu_ held (job assignment is the pool's serialization point anyway).
-  std::vector<uint32_t> run_jobs_;
+  std::vector<uint32_t> run_jobs_ AUD_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
 };
 

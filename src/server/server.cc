@@ -11,26 +11,32 @@ AudioServer::AudioServer(Board* board) : AudioServer(board, ServerOptions{}) {}
 AudioServer::AudioServer(Board* board, ServerOptions options)
     : board_(board), options_(options), state_(board, options.name) {
   state_.ConfigureEngine(options.engine_threads);
+  metrics_ = &state_.metrics();
   state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
-    // Called with mu_ held (from dispatch or engine tick).
-    for (auto& conn : connections_) {
-      if (conn->index() == conn_index && !conn->closed()) {
-        conn->SendEvent(event);
-        return;
-      }
-    }
+    DeliverEvent(conn_index, event);
   });
+}
+
+// Called with mu_ held (from dispatch or engine tick) — see the declaration
+// for why the analysis is opted out here.
+void AudioServer::DeliverEvent(uint32_t conn_index, const EventMessage& event) {
+  for (auto& conn : connections_) {
+    if (conn->index() == conn_index && !conn->closed()) {
+      conn->SendEvent(event);
+      return;
+    }
+  }
 }
 
 AudioServer::~AudioServer() { Shutdown(); }
 
 void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto conn = std::make_unique<ClientConnection>(next_connection_index_++, std::move(stream));
   ClientConnection* raw = conn.get();
-  raw->set_metrics(&state_.metrics());
-  state_.metrics().connections_total.Increment();
-  state_.metrics().connections_open.Add(1);
+  raw->set_metrics(metrics_);
+  metrics_->connections_total.Increment();
+  metrics_->connections_open.Add(1);
   obs::Trace(obs::TraceReason::kConnectionOpen, raw->index());
   connections_.push_back(std::move(conn));
   reader_threads_.emplace_back([this, raw] { ReaderLoop(raw); });
@@ -45,7 +51,7 @@ bool AudioServer::ListenTcp(uint16_t port) {
 }
 
 size_t AudioServer::connection_count() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& conn : connections_) {
     if (!conn->closed()) {
@@ -66,7 +72,7 @@ void AudioServer::AcceptLoop() {
 }
 
 void AudioServer::ReaderLoop(ClientConnection* conn) {
-  ServerMetrics& metrics = state_.metrics();
+  ServerMetrics& metrics = *metrics_;
   // First message must be the connection setup.
   std::optional<FramedMessage> setup = ReadMessage(conn->stream());
   if (setup) {
@@ -85,7 +91,7 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
       break;
     }
     metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     conn->set_last_sequence(message->header.sequence);
     HandleRequest(conn, *message);
   }
@@ -94,7 +100,7 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
   conn->stream()->Close();
   // Free every resource the client owned (the paper's per-connection
   // container teardown).
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   state_.DestroyConnectionObjects(conn->index());
   state_.RecomputeActivation();
   metrics.connections_open.Sub(1);
@@ -114,7 +120,7 @@ bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& messa
     reply.reason = "protocol version mismatch";
   } else {
     reply.success = 1;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     reply.id_base = ClientIdBaseFor(conn->index());
     reply.id_count = kClientIdBlockSize;
     reply.device_loud = state_.device_loud_root();
@@ -131,7 +137,7 @@ bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& messa
 void AudioServer::StepFrames(int64_t frames) {
   while (frames > 0) {
     size_t step = std::min<int64_t>(frames, static_cast<int64_t>(options_.period_frames));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     state_.Tick(step);
     frames -= static_cast<int64_t>(step);
   }
@@ -160,14 +166,14 @@ void AudioServer::EngineLoop() {
   Ticks next = clock.Now() + period;
   while (engine_running_.load() && !shutting_down_.load()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       state_.Tick(options_.period_frames);
     }
     clock.SleepUntil(next);
     // Wakeup lateness: how far past the deadline the engine resumed
     // (Ticks are microseconds). 0 when the tick finished inside the period.
     Ticks late = clock.Now() - next;
-    state_.metrics().tick_jitter_us.Record(late > 0 ? static_cast<uint64_t>(late) : 0);
+    metrics_->tick_jitter_us.Record(late > 0 ? static_cast<uint64_t>(late) : 0);
     next += period;
   }
 }
@@ -181,14 +187,19 @@ void AudioServer::Shutdown() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  // Swap the reader threads out under the lock, then join outside it (the
+  // readers themselves take mu_ during teardown). No new readers can appear:
+  // the accept thread has already been joined above.
+  std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& conn : connections_) {
       conn->MarkClosed();
       conn->stream()->Close();
     }
+    readers.swap(reader_threads_);
   }
-  for (std::thread& t : reader_threads_) {
+  for (std::thread& t : readers) {
     if (t.joinable()) {
       t.join();
     }

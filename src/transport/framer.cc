@@ -9,12 +9,12 @@ std::optional<FramedMessage> ReadMessage(ByteStream* stream) {
   if (!ReadFully(stream, header_bytes)) {
     return std::nullopt;
   }
-  ByteReader r(header_bytes);
-  FramedMessage msg;
-  msg.header = MessageHeader::Decode(&r);
-  if (msg.header.length > kMaxPayload) {
+  Result<MessageHeader> header = DecodeHeaderStrict(header_bytes);
+  if (!header.ok()) {
     return std::nullopt;
   }
+  FramedMessage msg;
+  msg.header = header.take();
   msg.payload.resize(msg.header.length);
   if (msg.header.length > 0 && !ReadFully(stream, msg.payload)) {
     return std::nullopt;

@@ -3,18 +3,20 @@
 namespace aud {
 
 bool PipeChannel::Write(std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return false;
   }
   bytes_.insert(bytes_.end(), data.begin(), data.end());
-  cv_.notify_all();
+  cv_.NotifyAll();
   return true;
 }
 
 size_t PipeChannel::Read(std::span<uint8_t> out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
+  MutexLock lock(&mu_);
+  while (bytes_.empty() && !closed_) {
+    cv_.Wait(mu_);
+  }
   if (bytes_.empty()) {
     return 0;  // closed and drained
   }
@@ -27,9 +29,9 @@ size_t PipeChannel::Read(std::span<uint8_t> out) {
 }
 
 void PipeChannel::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   closed_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>> CreatePipePair() {

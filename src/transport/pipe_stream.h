@@ -5,12 +5,11 @@
 #ifndef SRC_TRANSPORT_PIPE_STREAM_H_
 #define SRC_TRANSPORT_PIPE_STREAM_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "src/common/thread_annotations.h"
 #include "src/transport/stream.h"
 
 namespace aud {
@@ -23,10 +22,10 @@ class PipeChannel {
   void Close();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<uint8_t> bytes_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<uint8_t> bytes_ AUD_GUARDED_BY(mu_);
+  bool closed_ AUD_GUARDED_BY(mu_) = false;
 };
 
 // A ByteStream endpoint over two shared channels.

@@ -24,6 +24,44 @@ MessageHeader MessageHeader::Decode(ByteReader* r) {
   return h;
 }
 
+Result<MessageHeader> DecodeHeaderStrict(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status(ErrorCode::kConnection,
+                  "truncated header: " + std::to_string(bytes.size()) + " of " +
+                      std::to_string(kHeaderSize) + " bytes");
+  }
+  if (bytes[1] != 0) {
+    return Status(ErrorCode::kConnection, "non-zero reserved header byte");
+  }
+  ByteReader r(bytes.first(kHeaderSize));
+  MessageHeader h = MessageHeader::Decode(&r);
+  uint8_t type = static_cast<uint8_t>(h.type);
+  if (type < static_cast<uint8_t>(MessageType::kRequest) ||
+      type > static_cast<uint8_t>(MessageType::kError)) {
+    return Status(ErrorCode::kConnection,
+                  "unknown message type " + std::to_string(type));
+  }
+  if (h.length > kMaxPayload) {
+    return Status(ErrorCode::kConnection,
+                  "payload length " + std::to_string(h.length) +
+                      " exceeds limit " + std::to_string(kMaxPayload));
+  }
+  return h;
+}
+
+Status ValidateRequestHeader(const MessageHeader& header) {
+  if (header.type != MessageType::kRequest) {
+    return Status::Ok();
+  }
+  // kSetupOpcode is only legal as the first frame of the connection; the
+  // setup path never consults this check, so it is unknown here too.
+  if (header.code >= static_cast<uint16_t>(Opcode::kOpcodeCount)) {
+    return Status(ErrorCode::kBadRequest,
+                  "unknown opcode " + std::to_string(header.code));
+  }
+  return Status::Ok();
+}
+
 void SetupRequest::Encode(ByteWriter* w) const {
   w->WriteU32(magic);
   w->WriteU16(major);

@@ -34,6 +34,18 @@ struct MessageHeader {
   static MessageHeader Decode(ByteReader* r);
 };
 
+// Framing-level header validation: decodes exactly one 12-byte header and
+// rejects frames no conforming peer produces — truncation, a non-zero
+// reserved byte, an unknown message type, or a length past kMaxPayload.
+// All failures are ErrorCode::kConnection: past this point the byte stream
+// cannot be re-synchronised, so the transport drops the connection.
+Result<MessageHeader> DecodeHeaderStrict(std::span<const uint8_t> bytes);
+
+// Request-level opcode check, shared by the dispatcher's pre-switch guard:
+// a well-framed request whose opcode this server does not implement is
+// ErrorCode::kBadRequest, answered in-protocol rather than by disconnect.
+Status ValidateRequestHeader(const MessageHeader& header);
+
 // ---------------------------------------------------------------------------
 // Connection setup (exchanged before framed messages)
 // ---------------------------------------------------------------------------

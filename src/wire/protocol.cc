@@ -1,5 +1,7 @@
 #include "src/wire/protocol.h"
 
+#include <iterator>
+
 namespace aud {
 
 std::string_view DeviceClassName(DeviceClass cls) {
@@ -30,100 +32,70 @@ std::string_view DeviceClassName(DeviceClass cls) {
   return "unknown";
 }
 
+namespace {
+
+// Indexed by opcode value. Adding an Opcode without extending this table is
+// a compile error (the static_assert below), not a silent "unknown".
+constexpr std::string_view kOpcodeNames[] = {
+    "NoOp",                   // 0
+    "CreateLoud",             // 1
+    "DestroyLoud",            // 2
+    "CreateVirtualDevice",    // 3
+    "DestroyVirtualDevice",   // 4
+    "AugmentVirtualDevice",   // 5
+    "QueryVirtualDevice",     // 6
+    "CreateWire",             // 7
+    "DestroyWire",            // 8
+    "QueryWires",             // 9
+    "MapLoud",                // 10
+    "UnmapLoud",              // 11
+    "RaiseLoud",              // 12
+    "LowerLoud",              // 13
+    "CreateSound",            // 14
+    "DestroySound",           // 15
+    "WriteSoundData",         // 16
+    "ReadSoundData",          // 17
+    "QuerySound",             // 18
+    "LoadCatalogueSound",     // 19
+    "ListCatalogue",          // 20
+    "SaveCatalogueSound",     // 21
+    "EnqueueCommands",        // 22
+    "ImmediateCommand",       // 23
+    "StartQueue",             // 24
+    "StopQueue",              // 25
+    "PauseQueue",             // 26
+    "ResumeQueue",            // 27
+    "FlushQueue",             // 28
+    "QueryQueue",             // 29
+    "SelectEvents",           // 30
+    "SetSyncMarks",           // 31
+    "ChangeProperty",         // 32
+    "DeleteProperty",         // 33
+    "GetProperty",            // 34
+    "ListProperties",         // 35
+    "SetRedirect",            // 36
+    "QueryDeviceLoud",        // 37
+    "QueryActiveStack",       // 38
+    "GetServerTime",          // 39
+    "Sync",                   // 40
+    "QueryLoud",              // 41
+    "GetServerStats",         // 42
+    "GetServerTrace",         // 43
+};
+
+static_assert(std::size(kOpcodeNames) ==
+                  static_cast<size_t>(Opcode::kOpcodeCount),
+              "kOpcodeNames must have exactly one entry per Opcode; "
+              "update the table when adding an opcode");
+
+}  // namespace
+
 std::string_view OpcodeName(Opcode opcode) {
-  switch (opcode) {
-    case Opcode::kNoOp:
-      return "NoOp";
-    case Opcode::kCreateLoud:
-      return "CreateLoud";
-    case Opcode::kDestroyLoud:
-      return "DestroyLoud";
-    case Opcode::kCreateVirtualDevice:
-      return "CreateVirtualDevice";
-    case Opcode::kDestroyVirtualDevice:
-      return "DestroyVirtualDevice";
-    case Opcode::kAugmentVirtualDevice:
-      return "AugmentVirtualDevice";
-    case Opcode::kQueryVirtualDevice:
-      return "QueryVirtualDevice";
-    case Opcode::kCreateWire:
-      return "CreateWire";
-    case Opcode::kDestroyWire:
-      return "DestroyWire";
-    case Opcode::kQueryWires:
-      return "QueryWires";
-    case Opcode::kMapLoud:
-      return "MapLoud";
-    case Opcode::kUnmapLoud:
-      return "UnmapLoud";
-    case Opcode::kRaiseLoud:
-      return "RaiseLoud";
-    case Opcode::kLowerLoud:
-      return "LowerLoud";
-    case Opcode::kCreateSound:
-      return "CreateSound";
-    case Opcode::kDestroySound:
-      return "DestroySound";
-    case Opcode::kWriteSoundData:
-      return "WriteSoundData";
-    case Opcode::kReadSoundData:
-      return "ReadSoundData";
-    case Opcode::kQuerySound:
-      return "QuerySound";
-    case Opcode::kLoadCatalogueSound:
-      return "LoadCatalogueSound";
-    case Opcode::kListCatalogue:
-      return "ListCatalogue";
-    case Opcode::kSaveCatalogueSound:
-      return "SaveCatalogueSound";
-    case Opcode::kEnqueueCommands:
-      return "EnqueueCommands";
-    case Opcode::kImmediateCommand:
-      return "ImmediateCommand";
-    case Opcode::kStartQueue:
-      return "StartQueue";
-    case Opcode::kStopQueue:
-      return "StopQueue";
-    case Opcode::kPauseQueue:
-      return "PauseQueue";
-    case Opcode::kResumeQueue:
-      return "ResumeQueue";
-    case Opcode::kFlushQueue:
-      return "FlushQueue";
-    case Opcode::kQueryQueue:
-      return "QueryQueue";
-    case Opcode::kSelectEvents:
-      return "SelectEvents";
-    case Opcode::kSetSyncMarks:
-      return "SetSyncMarks";
-    case Opcode::kChangeProperty:
-      return "ChangeProperty";
-    case Opcode::kDeleteProperty:
-      return "DeleteProperty";
-    case Opcode::kGetProperty:
-      return "GetProperty";
-    case Opcode::kListProperties:
-      return "ListProperties";
-    case Opcode::kSetRedirect:
-      return "SetRedirect";
-    case Opcode::kQueryDeviceLoud:
-      return "QueryDeviceLoud";
-    case Opcode::kQueryActiveStack:
-      return "QueryActiveStack";
-    case Opcode::kGetServerTime:
-      return "GetServerTime";
-    case Opcode::kSync:
-      return "Sync";
-    case Opcode::kQueryLoud:
-      return "QueryLoud";
-    case Opcode::kGetServerStats:
-      return "GetServerStats";
-    case Opcode::kGetServerTrace:
-      return "GetServerTrace";
-    case Opcode::kOpcodeCount:
-      break;
+  auto index = static_cast<size_t>(opcode);
+  if (index >= std::size(kOpcodeNames)) {
+    return "unknown";
   }
-  return "unknown";
+  return kOpcodeNames[index];
 }
 
 std::string_view DeviceCommandName(DeviceCommand cmd) {

@@ -113,7 +113,7 @@ enum class Opcode : uint16_t {
   kQueryDeviceLoud = 37,       // -> DeviceLoudReply (the device LOUD tree).
   kQueryActiveStack = 38,      // -> ActiveStackReply
   kGetServerTime = 39,         // -> ServerTimeReply
-  kSync = 40,                  // Round-trip no-op -> SyncReply.
+  kSync = 40,                  // Round-trip no-op -> ServerTimeReply.
   kQueryLoud = 41,             // -> LoudStateReply
 
   // Observability (the server is "just another client" of its own

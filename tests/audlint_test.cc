@@ -1,0 +1,351 @@
+// Unit tests for the audlint protocol drift checker (tools/audlint_core.cc).
+//
+// Each test builds a small in-memory fixture tree — a fake protocol with two
+// opcodes wired end to end — and then mutates one layer to prove the linter
+// catches exactly that class of drift. The real tree is linted by the
+// `audlint` ctest (tools/audlint.cc); these tests prove the checker would
+// actually fail if someone added opcode 44 without its counterparts.
+
+#include "tools/audlint_core.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aud {
+namespace audlint {
+namespace {
+
+using FileMap = std::map<std::string, std::string>;
+
+// gmock is not available in every build environment, so these stand in for
+// Contains(HasSubstr(...)) / IsEmpty() with messages that dump the list.
+testing::AssertionResult HasProblem(const std::vector<std::string>& problems,
+                                    const std::string& needle) {
+  for (const std::string& p : problems) {
+    if (p.find(needle) != std::string::npos) {
+      return testing::AssertionSuccess();
+    }
+  }
+  auto result = testing::AssertionFailure()
+                << "no problem contains \"" << needle << "\"; got "
+                << problems.size() << " problem(s):";
+  for (const std::string& p : problems) {
+    result << "\n  " << p;
+  }
+  return result;
+}
+
+testing::AssertionResult NoProblems(const std::vector<std::string>& problems) {
+  if (problems.empty()) {
+    return testing::AssertionSuccess();
+  }
+  auto result = testing::AssertionFailure()
+                << "expected a clean tree; got " << problems.size()
+                << " problem(s):";
+  for (const std::string& p : problems) {
+    result << "\n  " << p;
+  }
+  return result;
+}
+
+// A minimal consistent tree: two opcodes (NoOp, Ping), one versioned reply.
+FileMap CleanTree() {
+  FileMap files;
+  files["protocol.h"] = R"(
+enum class Opcode : uint16_t {
+  kNoOp = 0,
+  kPing = 1,
+  kOpcodeCount = 2,
+};
+)";
+  files["protocol.cc"] = R"(
+constexpr std::string_view kOpcodeNames[] = {
+    "NoOp",  // 0
+    "Ping",  // 1
+};
+)";
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 1;
+
+struct PingReply {
+  uint32_t value = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  files["messages.cc"] = "";
+  files["alib.h"] = R"(
+void NoOp();
+uint32_t Ping();
+)";
+  files["alib.cc"] = "";
+  files["requests.cc"] = R"(
+void AudioConnection::NoOp() { SendRequest(Opcode::kNoOp, {}); }
+uint32_t AudioConnection::Ping() { return SendRequest(Opcode::kPing, {}); }
+)";
+  files["dispatcher.cc"] = R"(
+switch (static_cast<Opcode>(message.header.code)) {
+  case Opcode::kNoOp:
+    break;
+  case Opcode::kPing:
+    break;
+  case Opcode::kOpcodeCount:
+    break;
+}
+)";
+  files["PROTOCOL.md"] = R"(
+### Opcode index
+
+| opcode | name | reply |
+| ------ | ---- | ----- |
+| 0      | NoOp | none  |
+| 1      | Ping | PingReply |
+)";
+  files["schema.lock"] = "PingReply 1 value\n";
+  return files;
+}
+
+TEST(AudlintTest, CleanTreePasses) {
+  EXPECT_TRUE(NoProblems(LintTree(CleanTree())));
+}
+
+TEST(AudlintTest, MissingInputFileReported) {
+  FileMap files = CleanTree();
+  files.erase("dispatcher.cc");
+  EXPECT_TRUE(HasProblem(LintTree(files), "missing input file: dispatcher.cc"));
+}
+
+TEST(AudlintTest, ParseOpcodeEnumReadsNamesAndCount) {
+  std::vector<std::string> problems;
+  OpcodeEnum parsed = ParseOpcodeEnum(CleanTree()["protocol.h"], &problems);
+  EXPECT_TRUE(NoProblems(problems));
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].name, "NoOp");
+  EXPECT_EQ(parsed.entries[1].name, "Ping");
+  EXPECT_EQ(parsed.entries[1].value, 1);
+  EXPECT_EQ(parsed.count, 2);
+}
+
+TEST(AudlintTest, NonDenseOpcodeValuesFlagged) {
+  FileMap files = CleanTree();
+  files["protocol.h"] = R"(
+enum class Opcode : uint16_t {
+  kNoOp = 0,
+  kPing = 5,
+  kOpcodeCount = 2,
+};
+)";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "kPing has value 5, expected dense value 1"));
+}
+
+TEST(AudlintTest, StaleOpcodeCountFlagged) {
+  FileMap files = CleanTree();
+  // Opcode added but kOpcodeCount not bumped.
+  files["protocol.h"] = R"(
+enum class Opcode : uint16_t {
+  kNoOp = 0,
+  kPing = 1,
+  kShout = 2,
+  kOpcodeCount = 2,
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "kOpcodeCount is 2 but the enum lists 3 opcodes"));
+}
+
+// The headline scenario: a new opcode lands in the enum but nowhere else.
+// Every unwired layer must produce its own complaint.
+TEST(AudlintTest, NewOpcodeWithoutCounterpartsFailsEveryLayer) {
+  FileMap files = CleanTree();
+  files["protocol.h"] = R"(
+enum class Opcode : uint16_t {
+  kNoOp = 0,
+  kPing = 1,
+  kShout = 2,
+  kOpcodeCount = 3,
+};
+)";
+  std::vector<std::string> problems = LintTree(files);
+  EXPECT_TRUE(HasProblem(problems, "kOpcodeNames has 2 entries"));
+  EXPECT_TRUE(HasProblem(problems, "no `case Opcode::kShout` handler"));
+  EXPECT_TRUE(HasProblem(problems, "no wrapper references Opcode::kShout"));
+  EXPECT_TRUE(HasProblem(problems, "opcode index has no row for Shout"));
+}
+
+TEST(AudlintTest, NameTableOrderMismatchFlagged) {
+  FileMap files = CleanTree();
+  files["protocol.cc"] = R"(
+constexpr std::string_view kOpcodeNames[] = {
+    "Ping",
+    "NoOp",
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "kOpcodeNames[0] is \"Ping\", enum says \"NoOp\""));
+}
+
+TEST(AudlintTest, SubstringOpcodeReferenceDoesNotCount) {
+  FileMap files = CleanTree();
+  // `Opcode::kPingExtended` must not satisfy the kPing wiring check.
+  files["dispatcher.cc"] = R"(
+case Opcode::kNoOp: break;
+case Opcode::kPingExtended: break;
+case Opcode::kOpcodeCount: break;
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files), "no `case Opcode::kPing` handler"));
+}
+
+TEST(AudlintTest, EncodeWithoutDecodeFlagged) {
+  FileMap files = CleanTree();
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 1;
+
+struct PingReply {
+  uint32_t value = 0;
+  std::vector<uint8_t> Encode() const;
+};
+)";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "struct PingReply has Encode but no Decode"));
+}
+
+TEST(AudlintTest, DocOpcodeNumberMismatchFlagged) {
+  FileMap files = CleanTree();
+  files["PROTOCOL.md"] = R"(
+### Opcode index
+
+| opcode | name | reply |
+| ------ | ---- | ----- |
+| 0      | NoOp | none  |
+| 2      | Ping | PingReply |
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "opcode index says Ping = 2, protocol.h says 1"));
+}
+
+TEST(AudlintTest, DocUnknownOpcodeFlagged) {
+  FileMap files = CleanTree();
+  files["PROTOCOL.md"] += "| 7 | Whisper | none |\n";
+  EXPECT_TRUE(HasProblem(LintTree(files), "lists unknown opcode Whisper = 7"));
+}
+
+TEST(AudlintTest, NumericTablesOutsideOpcodeIndexIgnored) {
+  FileMap files = CleanTree();
+  // Event-code style tables in later sections are not opcode rows.
+  files["PROTOCOL.md"] += R"(
+### Event codes
+
+| code | event |
+| ---- | ----- |
+| 11   | TelephoneRing |
+)";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+TEST(AudlintTest, ParseStructFieldsSkipsMethodsAndStatics) {
+  std::string header = R"(
+struct PingReply {
+  static constexpr int kMagic = 7;
+  uint32_t value = 0;
+  std::string label;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  EXPECT_EQ(ParseStructFields(header, "PingReply"),
+            (std::vector<std::string>{"value", "label"}));
+}
+
+TEST(AudlintTest, SchemaDriftWithoutLockUpdateFlagged) {
+  FileMap files = CleanTree();
+  // A field appended to the struct without a new lock line.
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 1;
+
+struct PingReply {
+  uint32_t value = 0;
+  uint32_t extra = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "PingReply v1 field list does not match messages.h"));
+}
+
+TEST(AudlintTest, ProperAppendOnlyEvolutionPasses) {
+  FileMap files = CleanTree();
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 2;
+
+struct PingReply {
+  uint32_t value = 0;
+  uint32_t extra = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  files["schema.lock"] = "PingReply 1 value\nPingReply 2 value extra\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+TEST(AudlintTest, ReorderedFieldsBreakOldVersionPrefix) {
+  FileMap files = CleanTree();
+  // Fields reordered: v2 matches, but v1 is no longer a prefix.
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 2;
+
+struct PingReply {
+  uint32_t extra = 0;
+  uint32_t value = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  files["schema.lock"] = "PingReply 1 value\nPingReply 2 extra value\n";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "v1 is not a strict prefix of the current fields"));
+}
+
+TEST(AudlintTest, VersionConstantDisagreementFlagged) {
+  FileMap files = CleanTree();
+  files["messages.h"] = R"(
+inline constexpr uint32_t kPingVersion = 2;
+
+struct PingReply {
+  uint32_t value = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<PingReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  EXPECT_TRUE(HasProblem(
+      LintTree(files),
+      "locked at version 1 but messages.h declares kPingVersion = 2"));
+}
+
+TEST(AudlintTest, LockedStructMissingFromHeaderFlagged) {
+  FileMap files = CleanTree();
+  files["schema.lock"] += "GhostReply 1 spooky\n";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "struct GhostReply not found in messages.h"));
+}
+
+TEST(AudlintTest, EmptySchemaLockFlagged) {
+  FileMap files = CleanTree();
+  files["schema.lock"] = "# nothing locked yet\n";
+  EXPECT_TRUE(HasProblem(LintTree(files), "no schemas locked"));
+}
+
+TEST(AudlintTest, MalformedLockLineFlagged) {
+  FileMap files = CleanTree();
+  files["schema.lock"] = "PingReply 1 value\nPingReply\n";
+  EXPECT_TRUE(HasProblem(LintTree(files), "malformed line: PingReply"));
+}
+
+}  // namespace
+}  // namespace audlint
+}  // namespace aud

@@ -297,7 +297,7 @@ TEST_F(ActivationTest, ManagerDisconnectReleasesRedirect) {
   // Wait for teardown.
   for (int i = 0; i < 100; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    std::lock_guard<std::mutex> lock(server_->mutex());
+    MutexLock lock(&server_->mutex());
     if (!server_->state().redirect_conn().has_value()) {
       break;
     }

@@ -277,19 +277,19 @@ TEST_F(ObjectsTest, DisconnectDestroysClientObjects) {
 
   size_t before;
   {
-    std::lock_guard<std::mutex> lock(server_->mutex());
+    MutexLock lock(&server_->mutex());
     before = server_->state().object_count();
   }
   client2->Close();
   // Wait until the server reaped the connection's objects.
   for (int i = 0; i < 100; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    std::lock_guard<std::mutex> lock(server_->mutex());
+    MutexLock lock(&server_->mutex());
     if (server_->state().object_count() < before) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(server_->mutex());
+  MutexLock lock(&server_->mutex());
   EXPECT_LT(server_->state().object_count(), before);
   // The mapped LOUD left the active stack.
   for (Loud* loud : server_->state().active_stack()) {

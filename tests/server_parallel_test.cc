@@ -56,13 +56,13 @@ class World {
 };
 
 size_t IslandCount(AudioServer& server) {
-  std::lock_guard<std::mutex> lock(server.mutex());
+  MutexLock lock(&server.mutex());
   return server.state().PartitionIslands().size();
 }
 
 // Index of the island containing root LOUD `loud_id`, or -1 if inactive.
 int IslandOf(AudioServer& server, ResourceId loud_id) {
-  std::lock_guard<std::mutex> lock(server.mutex());
+  MutexLock lock(&server.mutex());
   const std::vector<EngineIsland>& islands = server.state().PartitionIslands();
   for (size_t k = 0; k < islands.size(); ++k) {
     for (const Loud* loud : islands[k].louds) {
@@ -131,7 +131,7 @@ TEST(IslandPartitionTest, SharedMixerTreeIsOneIsland) {
   int island = IslandOf(world.server(), root);
   ASSERT_GE(island, 0);
   {
-    std::lock_guard<std::mutex> lock(world.server().mutex());
+    MutexLock lock(&world.server().mutex());
     const EngineIsland& got =
         world.server().state().PartitionIslands()[static_cast<size_t>(island)];
     EXPECT_EQ(got.louds.size(), 1u);    // islands list root LOUDs only

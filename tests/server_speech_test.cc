@@ -141,7 +141,7 @@ TEST_F(SpeechTest, VocabularySaveAndPreload) {
   attrs.SetString(AttrTag::kVocabularyName, "commands");
   ResourceId recognizer2 = client_->CreateDevice(loud, DeviceClass::kSpeechRecognizer, attrs);
   Flush();
-  std::lock_guard<std::mutex> lock(server_->mutex());
+  MutexLock lock(&server_->mutex());
   auto* dev = dynamic_cast<RecognizerDevice*>(server_->state().FindDevice(recognizer2));
   ASSERT_NE(dev, nullptr);
   EXPECT_EQ(dev->recognizer()->template_count(), 1u);
@@ -184,7 +184,7 @@ TEST_F(SpeechTest, SetVoiceChangesTimbre) {
   voice.waveform = 1;  // square
   client_->Immediate(loud, SetVoiceCommand(music, voice));
   Flush();
-  std::lock_guard<std::mutex> lock(server_->mutex());
+  MutexLock lock(&server_->mutex());
   auto* dev = dynamic_cast<MusicDevice*>(server_->state().FindDevice(music));
   ASSERT_NE(dev, nullptr);
   EXPECT_EQ(dev->synth()->voice().waveform, Waveform::kSquare);

@@ -29,7 +29,7 @@ class TelephoneTest : public ServerFixture {
 
   // The device-LOUD id of phone line 0.
   ResourceId PhoneDeviceId() {
-    std::lock_guard<std::mutex> lock(server_->mutex());
+    MutexLock lock(&server_->mutex());
     return server_->state().IdForPhysical(board_->phone_lines()[0]);
   }
 };

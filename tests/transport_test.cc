@@ -144,6 +144,28 @@ TEST(FramerTest, OversizedLengthRejected) {
   EXPECT_FALSE(ReadMessage(b.get()).has_value());
 }
 
+TEST(FramerTest, NonZeroReservedByteRejected) {
+  auto [a, b] = CreatePipePair();
+  ByteWriter w;
+  MessageHeader{}.Encode(&w);
+  std::vector<uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  bytes[1] = 0x5A;
+  a->Write(bytes);
+  a->Close();
+  EXPECT_FALSE(ReadMessage(b.get()).has_value());
+}
+
+TEST(FramerTest, UnknownMessageTypeRejected) {
+  auto [a, b] = CreatePipePair();
+  ByteWriter w;
+  MessageHeader{}.Encode(&w);
+  std::vector<uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  bytes[0] = 0x7F;
+  a->Write(bytes);
+  a->Close();
+  EXPECT_FALSE(ReadMessage(b.get()).has_value());
+}
+
 TEST(FramerTest, EofMidMessageReturnsNothing) {
   auto [a, b] = CreatePipePair();
   MessageHeader h;

@@ -389,5 +389,114 @@ TEST(RobustnessTest, TruncatedMessagesDecodeWithoutCrash) {
   SUCCEED();
 }
 
+// ---------------------------------------------------------------------------
+// Malformed-frame decode suite: DecodeHeaderStrict must turn every class of
+// corrupt header into a clean Status instead of garbage or UB. These run
+// under ASan/UBSan/TSan in CI, so any out-of-bounds read here is fatal.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeHeader(const MessageHeader& h) {
+  ByteWriter w;
+  h.Encode(&w);
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+TEST(StrictHeaderTest, WellFormedHeaderRoundTrips) {
+  MessageHeader h;
+  h.type = MessageType::kEvent;
+  h.code = 7;
+  h.length = 512;
+  h.sequence = 41;
+  Result<MessageHeader> decoded = DecodeHeaderStrict(EncodeHeader(h));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MessageType::kEvent);
+  EXPECT_EQ(decoded.value().code, 7);
+  EXPECT_EQ(decoded.value().length, 512u);
+  EXPECT_EQ(decoded.value().sequence, 41u);
+}
+
+TEST(StrictHeaderTest, TruncatedHeaderRejected) {
+  std::vector<uint8_t> bytes = EncodeHeader(MessageHeader{});
+  for (size_t cut = 0; cut < kHeaderSize; ++cut) {
+    std::vector<uint8_t> partial(bytes.begin(), bytes.begin() + cut);
+    Result<MessageHeader> decoded = DecodeHeaderStrict(partial);
+    ASSERT_FALSE(decoded.ok()) << "accepted " << cut << "-byte header";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kConnection);
+    EXPECT_NE(decoded.status().message().find("truncated"), std::string::npos);
+  }
+}
+
+TEST(StrictHeaderTest, OversizedLengthRejected) {
+  MessageHeader h;
+  h.length = kMaxPayload + 1;
+  Result<MessageHeader> decoded = DecodeHeaderStrict(EncodeHeader(h));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kConnection);
+  EXPECT_NE(decoded.status().message().find("exceeds limit"), std::string::npos);
+}
+
+TEST(StrictHeaderTest, MaxPayloadLengthStillAccepted) {
+  MessageHeader h;
+  h.length = kMaxPayload;
+  EXPECT_TRUE(DecodeHeaderStrict(EncodeHeader(h)).ok());
+}
+
+TEST(StrictHeaderTest, NonZeroReservedByteRejected) {
+  std::vector<uint8_t> bytes = EncodeHeader(MessageHeader{});
+  bytes[1] = 0xAB;
+  Result<MessageHeader> decoded = DecodeHeaderStrict(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kConnection);
+  EXPECT_NE(decoded.status().message().find("reserved"), std::string::npos);
+}
+
+TEST(StrictHeaderTest, UnknownMessageTypeRejected) {
+  for (uint8_t type : {uint8_t{0}, uint8_t{5}, uint8_t{0xFF}}) {
+    std::vector<uint8_t> bytes = EncodeHeader(MessageHeader{});
+    bytes[0] = type;
+    Result<MessageHeader> decoded = DecodeHeaderStrict(bytes);
+    ASSERT_FALSE(decoded.ok()) << "accepted message type " << int{type};
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kConnection);
+  }
+}
+
+TEST(StrictHeaderTest, TrailingBytesAfterHeaderIgnored) {
+  // The framer hands in exactly kHeaderSize bytes, but a larger buffer must
+  // decode the leading header and ignore the rest.
+  std::vector<uint8_t> bytes = EncodeHeader(MessageHeader{});
+  bytes.resize(bytes.size() + 5, 0xEE);
+  EXPECT_TRUE(DecodeHeaderStrict(bytes).ok());
+}
+
+TEST(StrictHeaderTest, UnknownRequestOpcodeIsBadRequest) {
+  MessageHeader h;
+  h.type = MessageType::kRequest;
+  h.code = static_cast<uint16_t>(Opcode::kOpcodeCount);
+  Status status = ValidateRequestHeader(h);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kBadRequest);
+
+  h.code = kSetupOpcode;  // setup is only legal as the first frame
+  EXPECT_EQ(ValidateRequestHeader(h).code(), ErrorCode::kBadRequest);
+}
+
+TEST(StrictHeaderTest, EveryRealOpcodeValidates) {
+  for (uint16_t code = 0; code < static_cast<uint16_t>(Opcode::kOpcodeCount); ++code) {
+    MessageHeader h;
+    h.type = MessageType::kRequest;
+    h.code = code;
+    EXPECT_TRUE(ValidateRequestHeader(h).ok()) << "opcode " << code;
+  }
+}
+
+TEST(StrictHeaderTest, NonRequestTypesSkipOpcodeCheck) {
+  // Event/error codes live in their own namespaces; only requests carry
+  // opcodes.
+  MessageHeader h;
+  h.type = MessageType::kEvent;
+  h.code = 0xFFFE;
+  EXPECT_TRUE(ValidateRequestHeader(h).ok());
+}
+
 }  // namespace
 }  // namespace aud

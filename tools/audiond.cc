@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
       StreamEncoder encoder(Encoding::kPcm16);
       encoder.Encode(wav.value().samples, &sound.data);
       std::string name = entry.path().stem().string();
-      std::lock_guard<std::mutex> lock(server.mutex());
+      MutexLock lock(&server.mutex());
       server.state().catalogue()[name] = std::move(sound);
       std::printf("audiond: catalogue += \"%s\" (%zu samples @ %u Hz)\n", name.c_str(),
                   wav.value().samples.size(), wav.value().sample_rate_hz);
@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
                    std::chrono::milliseconds(stats_interval_ms);
       ServerStatsReply stats;
       {
-        std::lock_guard<std::mutex> lock(server.mutex());
+        MutexLock lock(&server.mutex());
         stats = server.state().BuildServerStats(false);
       }
       char line[256];

@@ -1,0 +1,458 @@
+#include "tools/audlint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace aud {
+namespace audlint {
+
+namespace {
+
+// Strips a trailing // comment and surrounding whitespace.
+std::string StripLine(std::string line) {
+  size_t comment = line.find("//");
+  if (comment != std::string::npos) {
+    line.erase(comment);
+  }
+  size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = line.find_last_not_of(" \t");
+  return line.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True if `text` contains `token` not embedded in a longer identifier.
+bool ContainsToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t after = pos + token.size();
+    bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+const std::string* Find(const std::map<std::string, std::string>& files,
+                        const std::string& key) {
+  auto it = files.find(key);
+  return it == files.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+OpcodeEnum ParseOpcodeEnum(const std::string& protocol_h,
+                           std::vector<std::string>* problems) {
+  OpcodeEnum result;
+  size_t start = protocol_h.find("enum class Opcode");
+  if (start == std::string::npos) {
+    problems->push_back("protocol.h: `enum class Opcode` not found");
+    return result;
+  }
+  size_t open = protocol_h.find('{', start);
+  size_t close = protocol_h.find("};", open);
+  if (open == std::string::npos || close == std::string::npos) {
+    problems->push_back("protocol.h: Opcode enum body not found");
+    return result;
+  }
+  for (const std::string& raw :
+       SplitLines(protocol_h.substr(open + 1, close - open - 1))) {
+    std::string line = StripLine(raw);
+    if (line.empty() || line[0] != 'k') {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    std::string name = StripLine(line.substr(0, eq));
+    int value = -1;
+    try {
+      value = std::stoi(StripLine(line.substr(eq + 1)));
+    } catch (...) {
+      problems->push_back("protocol.h: unparseable opcode value in: " + line);
+      continue;
+    }
+    if (name == "kOpcodeCount") {
+      result.count = value;
+    } else {
+      result.entries.push_back({name.substr(1), value});
+    }
+  }
+  if (result.count < 0) {
+    problems->push_back("protocol.h: kOpcodeCount not found in Opcode enum");
+  } else if (static_cast<int>(result.entries.size()) != result.count) {
+    problems->push_back("protocol.h: kOpcodeCount is " +
+                        std::to_string(result.count) + " but the enum lists " +
+                        std::to_string(result.entries.size()) + " opcodes");
+  }
+  // Values must be dense 0..N-1 in declaration order: the name table and
+  // the per-opcode metrics arrays index by value.
+  for (size_t i = 0; i < result.entries.size(); ++i) {
+    if (result.entries[i].value != static_cast<int>(i)) {
+      problems->push_back("protocol.h: opcode k" + result.entries[i].name +
+                          " has value " + std::to_string(result.entries[i].value) +
+                          ", expected dense value " + std::to_string(i));
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> ParseStructFields(const std::string& header,
+                                           const std::string& name) {
+  std::vector<std::string> fields;
+  size_t start = header.find("struct " + name + " {");
+  if (start == std::string::npos) {
+    return fields;
+  }
+  size_t open = header.find('{', start);
+  int depth = 0;
+  size_t end = open;
+  for (size_t i = open; i < header.size(); ++i) {
+    if (header[i] == '{') {
+      ++depth;
+    } else if (header[i] == '}') {
+      if (--depth == 0) {
+        end = i;
+        break;
+      }
+    }
+  }
+  int line_depth = 1;
+  for (const std::string& raw : SplitLines(header.substr(open + 1, end - open - 1))) {
+    std::string line = StripLine(raw);
+    int depth_before = line_depth;
+    for (char c : line) {
+      if (c == '{') {
+        ++line_depth;
+      } else if (c == '}') {
+        --line_depth;
+      }
+    }
+    // Field declarations live at depth 1 (skip nested struct bodies),
+    // end with ';' and carry no parentheses (skip method declarations).
+    if (depth_before != 1 || line_depth != 1 || line.empty() || line.back() != ';' ||
+        line.find('(') != std::string::npos || line.rfind("using ", 0) == 0 ||
+        line.rfind("struct ", 0) == 0 || line.rfind("static ", 0) == 0) {
+      continue;
+    }
+    std::string decl = line.substr(0, line.size() - 1);
+    size_t eq = decl.find('=');
+    if (eq != std::string::npos) {
+      decl = decl.substr(0, eq);
+    }
+    decl = StripLine(decl);
+    // Field name = trailing identifier of the declarator.
+    size_t tail = decl.size();
+    while (tail > 0 && IsIdentChar(decl[tail - 1])) {
+      --tail;
+    }
+    if (tail < decl.size()) {
+      fields.push_back(decl.substr(tail));
+    }
+  }
+  return fields;
+}
+
+namespace {
+
+// Check 2: the kOpcodeNames table in protocol.cc matches the enum exactly,
+// in order.
+void CheckNameTable(const std::string& protocol_cc, const OpcodeEnum& opcodes,
+                    std::vector<std::string>* problems) {
+  size_t start = protocol_cc.find("kOpcodeNames[]");
+  if (start == std::string::npos) {
+    problems->push_back("protocol.cc: kOpcodeNames table not found");
+    return;
+  }
+  size_t open = protocol_cc.find('{', start);
+  size_t close = protocol_cc.find("};", open);
+  std::vector<std::string> names;
+  size_t pos = open;
+  while (pos < close) {
+    size_t q1 = protocol_cc.find('"', pos);
+    if (q1 == std::string::npos || q1 >= close) {
+      break;
+    }
+    size_t q2 = protocol_cc.find('"', q1 + 1);
+    names.push_back(protocol_cc.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  if (names.size() != opcodes.entries.size()) {
+    problems->push_back("protocol.cc: kOpcodeNames has " +
+                        std::to_string(names.size()) + " entries, enum has " +
+                        std::to_string(opcodes.entries.size()));
+  }
+  for (size_t i = 0; i < std::min(names.size(), opcodes.entries.size()); ++i) {
+    if (names[i] != opcodes.entries[i].name) {
+      problems->push_back("protocol.cc: kOpcodeNames[" + std::to_string(i) +
+                          "] is \"" + names[i] + "\", enum says \"" +
+                          opcodes.entries[i].name + "\"");
+    }
+  }
+}
+
+// Check 3: every struct in messages.h declaring Encode also declares
+// Decode, and vice versa.
+void CheckEncodeDecodePairs(const std::string& messages_h,
+                            std::vector<std::string>* problems) {
+  std::vector<std::string> lines = SplitLines(messages_h);
+  std::string current;
+  bool has_encode = false;
+  bool has_decode = false;
+  int depth = 0;
+  auto flush = [&] {
+    if (current.empty()) {
+      return;
+    }
+    if (has_encode && !has_decode) {
+      problems->push_back("messages.h: struct " + current +
+                          " has Encode but no Decode");
+    }
+    if (has_decode && !has_encode) {
+      problems->push_back("messages.h: struct " + current +
+                          " has Decode but no Encode");
+    }
+    current.clear();
+  };
+  for (const std::string& raw : lines) {
+    std::string line = StripLine(raw);
+    if (depth == 0 && line.rfind("struct ", 0) == 0 &&
+        line.find('{') != std::string::npos) {
+      flush();
+      current = line.substr(7, line.find(' ', 7) - 7);
+      has_encode = has_decode = false;
+    }
+    if (!current.empty() && depth >= 1) {
+      if (line.find("Encode(") != std::string::npos) {
+        has_encode = true;
+      }
+      if (line.find("Decode(") != std::string::npos) {
+        has_decode = true;
+      }
+    }
+    for (char c : line) {
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    if (depth == 0 && !current.empty() && line.find("};") != std::string::npos) {
+      flush();
+    }
+  }
+  flush();
+}
+
+// Checks 4 & 5: every opcode has a dispatcher case and an Alib reference.
+void CheckWiring(const OpcodeEnum& opcodes, const std::string& dispatcher_cc,
+                 const std::string& alib_all, std::vector<std::string>* problems) {
+  for (const OpcodeEntry& op : opcodes.entries) {
+    if (!ContainsToken(dispatcher_cc, "Opcode::k" + op.name)) {
+      problems->push_back("dispatcher.cc: no `case Opcode::k" + op.name +
+                          "` handler for opcode " + std::to_string(op.value));
+    }
+    if (!ContainsToken(alib_all, "Opcode::k" + op.name)) {
+      problems->push_back("alib: no wrapper references Opcode::k" + op.name +
+                          " (opcode " + std::to_string(op.value) + ")");
+    }
+  }
+}
+
+// Check 6: the PROTOCOL.md opcode index table lists every opcode with its
+// number, and lists nothing that is not in the enum. Only the table under
+// the "Opcode index" heading counts — the doc has other numeric tables
+// (event codes, error codes) that are not opcode rows.
+void CheckProtocolDoc(const OpcodeEnum& opcodes, const std::string& doc,
+                      std::vector<std::string>* problems) {
+  std::map<std::string, int> rows;  // name -> opcode number
+  bool in_section = false;
+  for (const std::string& raw : SplitLines(doc)) {
+    std::string line = StripLine(raw);
+    if (!line.empty() && line[0] == '#') {
+      if (in_section) {
+        break;  // next heading ends the opcode index section
+      }
+      in_section = line.find("Opcode index") != std::string::npos;
+      continue;
+    }
+    if (!in_section || line.empty() || line[0] != '|') {
+      continue;
+    }
+    // Split "| 1 | CreateLoud | ... |" into cells.
+    std::vector<std::string> cells;
+    size_t pos = 1;
+    while (pos < line.size()) {
+      size_t next = line.find('|', pos);
+      if (next == std::string::npos) {
+        break;
+      }
+      cells.push_back(StripLine(line.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+    if (cells.size() < 2 || cells[0].empty() ||
+        cells[0].find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    rows[cells[1]] = std::stoi(cells[0]);
+  }
+  for (const OpcodeEntry& op : opcodes.entries) {
+    auto it = rows.find(op.name);
+    if (it == rows.end()) {
+      problems->push_back("PROTOCOL.md: opcode index has no row for " + op.name +
+                          " (opcode " + std::to_string(op.value) + ")");
+    } else if (it->second != op.value) {
+      problems->push_back("PROTOCOL.md: opcode index says " + op.name + " = " +
+                          std::to_string(it->second) + ", protocol.h says " +
+                          std::to_string(op.value));
+    }
+  }
+  for (const auto& [name, value] : rows) {
+    bool known = std::any_of(opcodes.entries.begin(), opcodes.entries.end(),
+                             [&](const OpcodeEntry& op) { return op.name == name; });
+    if (!known) {
+      problems->push_back("PROTOCOL.md: opcode index lists unknown opcode " + name +
+                          " = " + std::to_string(value));
+    }
+  }
+}
+
+// Check 7: append-only reply schemas. schema.lock holds one line per
+// (struct, version) with the field order as shipped at that version:
+//
+//   ServerStatsReply 1 stats_version proto_major ...
+//
+// Rules: the highest locked version of each struct must equal the struct's
+// k<Name>Version constant and match the current field list exactly; every
+// older locked version must be a strict prefix of the current fields.
+// Changing a reply therefore forces appending fields, bumping the version
+// constant, and adding (never editing) a lock line.
+void CheckSchemaLock(const std::string& lock, const std::string& messages_h,
+                     std::vector<std::string>* problems) {
+  struct Locked {
+    int version;
+    std::vector<std::string> fields;
+  };
+  std::map<std::string, std::vector<Locked>> locked;
+  for (const std::string& raw : SplitLines(lock)) {
+    std::string line = StripLine(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    std::string name;
+    int version = -1;
+    in >> name >> version;
+    Locked entry{version, {}};
+    std::string field;
+    while (in >> field) {
+      entry.fields.push_back(field);
+    }
+    if (name.empty() || version < 1 || entry.fields.empty()) {
+      problems->push_back("schema.lock: malformed line: " + line);
+      continue;
+    }
+    locked[name].push_back(std::move(entry));
+  }
+  if (locked.empty()) {
+    problems->push_back("schema.lock: no schemas locked");
+    return;
+  }
+  for (auto& [name, versions] : locked) {
+    std::vector<std::string> current = ParseStructFields(messages_h, name);
+    if (current.empty()) {
+      problems->push_back("schema.lock: struct " + name + " not found in messages.h");
+      continue;
+    }
+    std::sort(versions.begin(), versions.end(),
+              [](const Locked& a, const Locked& b) { return a.version < b.version; });
+    // The struct's version constant, e.g. ServerStatsReply -> kServerStatsVersion.
+    std::string base = name;
+    if (base.size() > 5 && base.compare(base.size() - 5, 5, "Reply") == 0) {
+      base.erase(base.size() - 5);
+    }
+    std::string constant = "k" + base + "Version";
+    int declared = -1;
+    size_t pos = messages_h.find(constant);
+    if (pos != std::string::npos) {
+      size_t eq = messages_h.find('=', pos);
+      if (eq != std::string::npos) {
+        try {
+          declared = std::stoi(messages_h.substr(eq + 1));
+        } catch (...) {
+        }
+      }
+    }
+    const Locked& head = versions.back();
+    if (declared != -1 && declared != head.version) {
+      problems->push_back("schema.lock: " + name + " locked at version " +
+                          std::to_string(head.version) + " but messages.h declares " +
+                          constant + " = " + std::to_string(declared));
+    }
+    if (head.fields != current) {
+      problems->push_back(
+          "schema.lock: " + name + " v" + std::to_string(head.version) +
+          " field list does not match messages.h — append new fields, bump " +
+          constant + " and add a new lock line (never edit old ones)");
+    }
+    for (size_t i = 0; i + 1 < versions.size(); ++i) {
+      const Locked& old = versions[i];
+      bool prefix = old.fields.size() < current.size() &&
+                    std::equal(old.fields.begin(), old.fields.end(), current.begin());
+      if (!prefix) {
+        problems->push_back("schema.lock: " + name + " v" +
+                            std::to_string(old.version) +
+                            " is not a strict prefix of the current fields — " +
+                            "reply layouts are append-only");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> LintTree(const std::map<std::string, std::string>& files) {
+  std::vector<std::string> problems;
+  for (const char* required : kRequiredFiles) {
+    if (files.find(required) == files.end()) {
+      problems.push_back(std::string("missing input file: ") + required);
+    }
+  }
+  if (!problems.empty()) {
+    return problems;
+  }
+
+  OpcodeEnum opcodes = ParseOpcodeEnum(*Find(files, "protocol.h"), &problems);
+  CheckNameTable(*Find(files, "protocol.cc"), opcodes, &problems);
+  CheckEncodeDecodePairs(*Find(files, "messages.h"), &problems);
+  CheckWiring(opcodes, *Find(files, "dispatcher.cc"),
+              *Find(files, "alib.h") + *Find(files, "alib.cc") +
+                  *Find(files, "requests.cc"),
+              &problems);
+  CheckProtocolDoc(opcodes, *Find(files, "PROTOCOL.md"), &problems);
+  CheckSchemaLock(*Find(files, "schema.lock"), *Find(files, "messages.h"), &problems);
+  return problems;
+}
+
+}  // namespace audlint
+}  // namespace aud

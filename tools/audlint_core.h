@@ -1,0 +1,59 @@
+// audlint: the protocol drift checker. Cross-references the five places an
+// opcode must be wired — the Opcode enum, the kOpcodeNames table, the
+// dispatcher switch, the Alib veneer, and the PROTOCOL.md opcode index —
+// and enforces the append-only reply rule against docs/schema.lock. Runs as
+// a ctest (tools/audlint.cc) so drift fails CI the same commit it happens.
+//
+// The checker is a pure function over file contents so the unit test can
+// lint in-memory fixture trees (tests/audlint_test.cc) without touching
+// disk.
+
+#ifndef TOOLS_AUDLINT_CORE_H_
+#define TOOLS_AUDLINT_CORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aud {
+namespace audlint {
+
+// Canonical file keys the linter expects in the input map (basenames):
+//   protocol.h protocol.cc messages.h messages.cc alib.h alib.cc
+//   requests.cc dispatcher.cc PROTOCOL.md schema.lock
+// A missing key is itself reported as a problem.
+inline constexpr const char* kRequiredFiles[] = {
+    "protocol.h",  "protocol.cc",   "messages.h",  "messages.cc",
+    "alib.h",      "alib.cc",       "requests.cc", "dispatcher.cc",
+    "PROTOCOL.md", "schema.lock",
+};
+
+// One opcode as parsed from the enum in protocol.h.
+struct OpcodeEntry {
+  std::string name;  // without the leading 'k', e.g. "CreateLoud"
+  int value = -1;
+};
+
+// Parsed `enum class Opcode` contents; count is kOpcodeCount's value.
+struct OpcodeEnum {
+  std::vector<OpcodeEntry> entries;
+  int count = -1;
+};
+
+// Parses the Opcode enum out of protocol.h text. Parse errors are appended
+// to `problems`.
+OpcodeEnum ParseOpcodeEnum(const std::string& protocol_h,
+                           std::vector<std::string>* problems);
+
+// Ordered member field names of `struct <name> { ... };` in a header.
+std::vector<std::string> ParseStructFields(const std::string& header,
+                                           const std::string& name);
+
+// Runs every check over the given file map and returns the list of
+// problems (empty = clean tree).
+std::vector<std::string> LintTree(const std::map<std::string, std::string>& files);
+
+}  // namespace audlint
+}  // namespace aud
+
+#endif  // TOOLS_AUDLINT_CORE_H_
