@@ -93,7 +93,7 @@ void BM_EndToEndPlayback(benchmark::State& state) {
   // 2 s of audio per iteration: items/s > 1 means faster than real time.
   state.SetItemsProcessed(state.iterations() * 2);
   state.SetLabel(std::string(EncodingName(encoding)) + "@" + std::to_string(rate) + "Hz (" +
-                 std::to_string(static_cast<int>(format.BytesPerSecond())) + " B/s)");
+                 std::to_string(format.BytesPerSecond()) + " B/s)");
 }
 BENCHMARK(BM_EndToEndPlayback)
     ->Args({static_cast<int>(Encoding::kMulaw8), 8000})    // 8,000 B/s (paper's low end)

@@ -1,0 +1,100 @@
+// Machine-readable bench output for the perf-regression harness. The
+// experiment binaries are hand-rolled (they assert paper claims, not just
+// time loops), so this emits the subset of the google-benchmark JSON shape
+// that tools/benchdiff consumes: a context block plus one entry per
+// measurement with name / iterations / real_time in ns. Extra scalars
+// (tick p50/p99, speedups) ride along as additional numeric fields, which
+// benchdiff compares when present in both files.
+
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <sys/utsname.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aud {
+
+class BenchJsonWriter {
+ public:
+  struct Entry {
+    std::string name;
+    int64_t iterations = 1;
+    double real_time_ns = 0;  // ns per iteration
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  // `bench` names the suite ("mixing" -> BENCH_mixing.json).
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  Entry& Add(std::string name, int64_t iterations, double real_time_ns) {
+    entries_.push_back(Entry{std::move(name), iterations, real_time_ns, {}});
+    return entries_.back();
+  }
+
+  // Writes google-benchmark-shaped JSON. Returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    utsname un{};
+    uname(&un);
+    std::fprintf(f, "{\n  \"context\": {\n");
+    std::fprintf(f, "    \"executable\": \"bench_%s\",\n", bench_.c_str());
+    std::fprintf(f, "    \"host_name\": \"%s\",\n", un.nodename);
+    std::fprintf(f, "    \"machine\": \"%s %s\",\n", un.sysname, un.machine);
+    std::fprintf(f, "    \"library_build_type\": \"release\"\n");
+    std::fprintf(f, "  },\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                   "\"iterations\": %lld, \"real_time\": %.3f, "
+                   "\"cpu_time\": %.3f, \"time_unit\": \"ns\"",
+                   e.name.c_str(), static_cast<long long>(e.iterations),
+                   e.real_time_ns, e.real_time_ns);
+      for (const auto& [key, value] : e.extra) {
+        std::fprintf(f, ", \"%s\": %.3f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+// Common flag parsing for the experiment binaries: --json-out=PATH writes
+// the BENCH_<name>.json artifact, --quick shrinks workloads for CI smoke
+// lanes.
+struct BenchFlags {
+  std::string json_out;
+  bool quick = false;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--json-out=", 0) == 0) {
+        flags.json_out = arg.substr(11);
+      } else if (arg == "--quick") {
+        flags.quick = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s (supported: --json-out=PATH, --quick)\n",
+                     arg.c_str());
+      }
+    }
+    return flags;
+  }
+};
+
+}  // namespace aud
+
+#endif  // BENCH_BENCH_JSON_H_

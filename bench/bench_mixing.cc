@@ -9,7 +9,10 @@
 
 #include <chrono>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "src/dsp/gain.h"
+#include "src/dsp/kernels.h"
 
 namespace aud {
 namespace {
@@ -20,16 +23,130 @@ struct MixClient {
   AudioToolkit::PlaybackChain chain;
 };
 
-int Run() {
+// Times one kernel-table op over a 160-frame engine block; returns ns/op.
+template <typename Fn>
+double TimeKernel(int iters, Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    fn();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+// DSP kernel microbenchmarks: the dispatched variant vs the scalar
+// reference on the same binary (both are bit-identical; this measures the
+// vectorization win in isolation).
+void RunKernelMicro(BenchJsonWriter* json, bool quick) {
+  const int iters = quick ? 2000 : 50000;
+  constexpr size_t kFrames = 160;
+  std::vector<Sample> pcm(kFrames);
+  std::vector<int32_t> acc(kFrames, 0), acc2(kFrames, 1);
+  std::vector<uint8_t> bytes(kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    pcm[i] = static_cast<Sample>((i * 997) % 65536 - 32768);
+    bytes[i] = static_cast<uint8_t>(i * 31);
+  }
+
+  std::printf("\nDSP kernels (160-frame block, ns/op, dispatched=%s):\n",
+              Kernels().name);
+  struct Row {
+    const char* name;
+    void (*run)(const KernelOps&, std::vector<Sample>&, std::vector<int32_t>&,
+                std::vector<int32_t>&, std::vector<uint8_t>&);
+  };
+  const Row rows[] = {
+      {"mix_accumulate", [](const KernelOps& k, std::vector<Sample>& p, std::vector<int32_t>& a,
+                            std::vector<int32_t>&, std::vector<uint8_t>&) {
+         k.mix_accumulate(a.data(), p.data(), p.size(), kUnityGain);
+       }},
+      {"mix_add", [](const KernelOps& k, std::vector<Sample>&, std::vector<int32_t>& a,
+                     std::vector<int32_t>& b, std::vector<uint8_t>&) {
+         k.mix_add(a.data(), b.data(), a.size());
+       }},
+      {"mix_resolve", [](const KernelOps& k, std::vector<Sample>& p, std::vector<int32_t>& a,
+                         std::vector<int32_t>&, std::vector<uint8_t>&) {
+         k.mix_resolve(p.data(), a.data(), p.size());
+       }},
+      {"mulaw_encode", [](const KernelOps& k, std::vector<Sample>& p, std::vector<int32_t>&,
+                          std::vector<int32_t>&, std::vector<uint8_t>& by) {
+         k.mulaw_encode(by.data(), p.data(), by.size());
+       }},
+      {"mulaw_decode", [](const KernelOps& k, std::vector<Sample>& p, std::vector<int32_t>&,
+                          std::vector<int32_t>&, std::vector<uint8_t>& by) {
+         k.mulaw_decode(p.data(), by.data(), by.size());
+       }},
+  };
+  for (const Row& row : rows) {
+    double scalar_ns = TimeKernel(iters, [&] {
+      row.run(ScalarKernels(), pcm, acc, acc2, bytes);
+    });
+    double dispatched_ns = TimeKernel(iters, [&] {
+      row.run(Kernels(), pcm, acc, acc2, bytes);
+    });
+    std::printf("  %-16s scalar %8.1f ns   dispatched %8.1f ns  (%.2fx)\n",
+                row.name, scalar_ns, dispatched_ns,
+                dispatched_ns > 0 ? scalar_ns / dispatched_ns : 0.0);
+    if (json != nullptr) {
+      json->Add(std::string("kernel_") + row.name + "/scalar", iters, scalar_ns);
+      json->Add(std::string("kernel_") + row.name + "/dispatched", iters, dispatched_ns);
+    }
+  }
+}
+
+// Repeated catalogue play with the decoded-PCM cache on vs off. Returns
+// false when the cache-on run fails to clear the required speedup.
+bool RunCatalogPlay(BenchJsonWriter* json, bool quick) {
+  const int clients = quick ? 4 : 8;
+  const int plays_each = quick ? 2 : 5;
+  std::printf("\nRepeated catalogue play (%d players x %d plays of the ADPCM/16k "
+              "\"prompt\"):\n", clients, plays_each);
+
+  CatalogPlayResult off = RunCatalogPlayWorkload(0, clients, plays_each);
+  CatalogPlayResult on =
+      RunCatalogPlayWorkload(8 * 1024 * 1024, clients, plays_each);
+  double speedup = on.wall_ns_per_play > 0 ? off.wall_ns_per_play / on.wall_ns_per_play : 0.0;
+  std::printf("  cache off: %10.0f ns/play   tick p50 %6.1f us  p99 %6.1f us\n",
+              off.wall_ns_per_play, off.tick_p50_us, off.tick_p99_us);
+  std::printf("  cache on : %10.0f ns/play   tick p50 %6.1f us  p99 %6.1f us  "
+              "(%llu hits / %llu misses)\n",
+              on.wall_ns_per_play, on.tick_p50_us, on.tick_p99_us,
+              static_cast<unsigned long long>(on.cache_hits),
+              static_cast<unsigned long long>(on.cache_misses));
+  std::printf("  speedup  : %.2fx (target >= 1.5x)\n", speedup);
+  if (json != nullptr) {
+    // The workload size is part of the name so benchdiff never compares a
+    // --quick run against a full-run baseline (per-play cost depends on
+    // the hit/miss mix, which depends on plays_each).
+    const std::string prefix = "catalog_play/" + std::to_string(clients) + "x" +
+                               std::to_string(plays_each) + "/";
+    auto& e_off = json->Add(prefix + "cache_off", off.plays, off.wall_ns_per_play);
+    e_off.extra.emplace_back("tick_p50_us", off.tick_p50_us);
+    e_off.extra.emplace_back("tick_p99_us", off.tick_p99_us);
+    auto& e_on = json->Add(prefix + "cache_on", on.plays, on.wall_ns_per_play);
+    e_on.extra.emplace_back("tick_p50_us", on.tick_p50_us);
+    e_on.extra.emplace_back("tick_p99_us", on.tick_p99_us);
+    e_on.extra.emplace_back("speedup_vs_cache_off", speedup);
+  }
+  // Quick (CI smoke) runs are too small/noisy to gate on the ratio; the
+  // full run enforces the 1.5x acceptance bar.
+  return off.ok && on.ok && (quick || speedup >= 1.5);
+}
+
+int Run(const BenchFlags& flags) {
   PrintHeader("E4: multi-client mixing to one speaker",
               "multiple applications play simultaneously to a single speaker "
               "(server inserts mixers transparently)");
+
+  BenchJsonWriter json("mixing");
 
   std::printf("%-10s %-14s %-16s %-18s %-10s\n", "clients", "tick cost", "realtime",
               "mix correctness", "verdict");
 
   bool all_ok = true;
-  for (int n : {1, 2, 4, 8, 16, 32}) {
+  std::vector<int> counts = flags.quick ? std::vector<int>{1, 4, 8}
+                                        : std::vector<int>{1, 2, 4, 8, 16, 32};
+  for (int n : counts) {
     BenchWorld world;
     world.board().speakers()[0]->set_capture_output(true);
 
@@ -73,6 +190,17 @@ int Run() {
     std::printf("%-10d %10.1f us %13.0fx %11lld/16000 %-10s\n", n, tick_us,
                 realtime_factor, static_cast<long long>(plateau),
                 correct ? "ok" : "WRONG");
+    json.Add("mix_tick/" + std::to_string(n) + "_clients", kTicks,
+             tick_us * 1000.0);
+  }
+
+  RunKernelMicro(&json, flags.quick);
+  bool cache_ok = RunCatalogPlay(&json, flags.quick);
+  all_ok = all_ok && cache_ok;
+
+  if (!flags.json_out.empty() && !json.WriteTo(flags.json_out)) {
+    std::fprintf(stderr, "failed to write %s\n", flags.json_out.c_str());
+    all_ok = false;
   }
 
   std::printf("paper expectation (simultaneous mixed output, real-time capable): %s\n",
@@ -83,4 +211,6 @@ int Run() {
 }  // namespace
 }  // namespace aud
 
-int main() { return aud::Run(); }
+int main(int argc, char** argv) {
+  return aud::Run(aud::BenchFlags::Parse(argc, argv));
+}

@@ -36,20 +36,41 @@ enum class Encoding : uint8_t {
 // Human-readable encoding name.
 std::string_view EncodingName(Encoding encoding);
 
-// Bytes consumed per sample by an encoding. ADPCM packs two samples per
-// byte; callers must keep sample counts even at ADPCM boundaries.
-inline constexpr double BytesPerSample(Encoding encoding) {
+// Exact bytes-per-sample ratio for an encoding: a sample occupies
+// num/den bytes. ADPCM packs two samples per byte (num=1, den=2), so size
+// math must stay rational — a floating 0.5 rounds the wrong way at odd
+// sample counts and drifts in cumulative hot-path arithmetic.
+struct ByteRatio {
+  int64_t num = 1;
+  int64_t den = 1;
+};
+
+inline constexpr ByteRatio BytesPerSampleRatio(Encoding encoding) {
   switch (encoding) {
     case Encoding::kMulaw8:
     case Encoding::kAlaw8:
     case Encoding::kPcm8:
-      return 1.0;
+      return {1, 1};
     case Encoding::kPcm16:
-      return 2.0;
+      return {2, 1};
     case Encoding::kAdpcm4:
-      return 0.5;
+      return {1, 2};
   }
-  return 1.0;
+  return {1, 1};
+}
+
+// Bytes needed to hold `samples` whole samples (rounded up at ADPCM
+// half-byte boundaries: an odd trailing sample still occupies a byte).
+inline constexpr int64_t EncodedBytesForSamples(Encoding encoding, int64_t samples) {
+  ByteRatio r = BytesPerSampleRatio(encoding);
+  return (samples * r.num + r.den - 1) / r.den;
+}
+
+// Whole samples fully contained in `bytes` bytes (rounded down: a trailing
+// odd PCM16 byte holds no complete sample; an ADPCM byte holds two).
+inline constexpr int64_t WholeSamplesInBytes(Encoding encoding, int64_t bytes) {
+  ByteRatio r = BytesPerSampleRatio(encoding);
+  return bytes * r.den / r.num;
 }
 
 // A sound/wire data type: the paper's (encoding, samplesize, samplerate)
@@ -60,8 +81,24 @@ struct AudioFormat {
 
   bool operator==(const AudioFormat&) const = default;
 
-  // Data rate in bytes per second for this format.
-  double BytesPerSecond() const { return BytesPerSample(encoding) * sample_rate_hz; }
+  // Exact data rate as a rational: bytes/sec = num/den. For every supported
+  // encoding the rate divides evenly except 4-bit ADPCM at odd rates.
+  ByteRatio BytesPerSecondRatio() const {
+    ByteRatio r = BytesPerSampleRatio(encoding);
+    return {r.num * sample_rate_hz, r.den};
+  }
+
+  // Data rate in whole bytes per second, rounded up (a partial trailing
+  // byte still has to move).
+  int64_t BytesPerSecond() const {
+    ByteRatio r = BytesPerSecondRatio();
+    return (r.num + r.den - 1) / r.den;
+  }
+
+  // Exact byte count for `samples` samples in this format.
+  int64_t BytesForSamples(int64_t samples) const {
+    return EncodedBytesForSamples(encoding, samples);
+  }
 };
 
 // Telephone-quality default: 8 kHz mu-law, 8000 bytes/second (section 1.1).

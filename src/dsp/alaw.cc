@@ -1,5 +1,7 @@
 #include "src/dsp/alaw.h"
 
+#include "src/dsp/kernels.h"
+
 namespace aud {
 
 uint8_t AlawEncode(Sample linear) {
@@ -43,15 +45,11 @@ Sample AlawDecode(uint8_t alaw) {
 }
 
 void AlawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out) {
-  for (size_t i = 0; i < in.size(); ++i) {
-    out[i] = AlawEncode(in[i]);
-  }
+  Kernels().alaw_encode(out.data(), in.data(), in.size());
 }
 
 void AlawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out) {
-  for (size_t i = 0; i < in.size(); ++i) {
-    out[i] = AlawDecode(in[i]);
-  }
+  Kernels().alaw_decode(out.data(), in.data(), in.size());
 }
 
 }  // namespace aud

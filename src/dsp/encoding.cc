@@ -7,27 +7,51 @@ namespace aud {
 
 void StreamDecoder::Decode(std::span<const uint8_t> in, std::vector<Sample>* out) {
   switch (encoding_) {
-    case Encoding::kMulaw8:
-      for (uint8_t b : in) {
-        out->push_back(MulawDecode(b));
+    case Encoding::kMulaw8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      MulawDecodeBlock(in, std::span<Sample>(*out).subspan(off));
+      break;
+    }
+    case Encoding::kAlaw8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      AlawDecodeBlock(in, std::span<Sample>(*out).subspan(off));
+      break;
+    }
+    case Encoding::kPcm8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      Sample* __restrict dst = out->data() + off;
+      const uint8_t* __restrict src = in.data();
+      for (size_t i = 0; i < in.size(); ++i) {
+        dst[i] = static_cast<Sample>(static_cast<int8_t>(src[i]) << 8);
       }
       break;
-    case Encoding::kAlaw8:
-      for (uint8_t b : in) {
-        out->push_back(AlawDecode(b));
-      }
-      break;
-    case Encoding::kPcm8:
-      for (uint8_t b : in) {
-        out->push_back(static_cast<Sample>(static_cast<int8_t>(b) << 8));
-      }
-      break;
+    }
     case Encoding::kPcm16: {
-      size_t pairs = in.size() / 2;
-      for (size_t i = 0; i < pairs; ++i) {
-        uint16_t v = static_cast<uint16_t>(in[2 * i]) |
-                     static_cast<uint16_t>(in[2 * i + 1]) << 8;
+      size_t i = 0;
+      if (has_pending_byte_ && !in.empty()) {
+        // Complete the sample split across the previous chunk boundary.
+        uint16_t v = static_cast<uint16_t>(pending_byte_) |
+                     static_cast<uint16_t>(in[0]) << 8;
         out->push_back(static_cast<Sample>(v));
+        has_pending_byte_ = false;
+        i = 1;
+      }
+      size_t pairs = (in.size() - i) / 2;
+      size_t off = out->size();
+      out->resize(off + pairs);
+      Sample* __restrict dst = out->data() + off;
+      const uint8_t* __restrict src = in.data() + i;
+      for (size_t p = 0; p < pairs; ++p) {
+        dst[p] = static_cast<Sample>(static_cast<uint16_t>(src[2 * p]) |
+                                     static_cast<uint16_t>(src[2 * p + 1]) << 8);
+      }
+      i += pairs * 2;
+      if (i < in.size()) {
+        pending_byte_ = in[i];
+        has_pending_byte_ = true;
       }
       break;
     }
@@ -37,32 +61,48 @@ void StreamDecoder::Decode(std::span<const uint8_t> in, std::vector<Sample>* out
   }
 }
 
-void StreamDecoder::Reset() { adpcm_.Reset(); }
+void StreamDecoder::Reset() {
+  adpcm_.Reset();
+  has_pending_byte_ = false;
+  pending_byte_ = 0;
+}
 
 void StreamEncoder::Encode(std::span<const Sample> in, std::vector<uint8_t>* out) {
   switch (encoding_) {
-    case Encoding::kMulaw8:
-      for (Sample s : in) {
-        out->push_back(MulawEncode(s));
+    case Encoding::kMulaw8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      MulawEncodeBlock(in, std::span<uint8_t>(*out).subspan(off));
+      break;
+    }
+    case Encoding::kAlaw8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      AlawEncodeBlock(in, std::span<uint8_t>(*out).subspan(off));
+      break;
+    }
+    case Encoding::kPcm8: {
+      size_t off = out->size();
+      out->resize(off + in.size());
+      uint8_t* __restrict dst = out->data() + off;
+      const Sample* __restrict src = in.data();
+      for (size_t i = 0; i < in.size(); ++i) {
+        dst[i] = static_cast<uint8_t>(static_cast<int8_t>(src[i] >> 8));
       }
       break;
-    case Encoding::kAlaw8:
-      for (Sample s : in) {
-        out->push_back(AlawEncode(s));
+    }
+    case Encoding::kPcm16: {
+      size_t off = out->size();
+      out->resize(off + in.size() * 2);
+      uint8_t* __restrict dst = out->data() + off;
+      const Sample* __restrict src = in.data();
+      for (size_t i = 0; i < in.size(); ++i) {
+        uint16_t v = static_cast<uint16_t>(src[i]);
+        dst[2 * i] = static_cast<uint8_t>(v);
+        dst[2 * i + 1] = static_cast<uint8_t>(v >> 8);
       }
       break;
-    case Encoding::kPcm8:
-      for (Sample s : in) {
-        out->push_back(static_cast<uint8_t>(static_cast<int8_t>(s >> 8)));
-      }
-      break;
-    case Encoding::kPcm16:
-      for (Sample s : in) {
-        uint16_t v = static_cast<uint16_t>(s);
-        out->push_back(static_cast<uint8_t>(v));
-        out->push_back(static_cast<uint8_t>(v >> 8));
-      }
-      break;
+    }
     case Encoding::kAdpcm4:
       adpcm_.Encode(in, out);
       break;
@@ -72,31 +112,11 @@ void StreamEncoder::Encode(std::span<const Sample> in, std::vector<uint8_t>* out
 void StreamEncoder::Reset() { adpcm_.Reset(); }
 
 int64_t SamplesInBytes(Encoding encoding, int64_t bytes) {
-  switch (encoding) {
-    case Encoding::kMulaw8:
-    case Encoding::kAlaw8:
-    case Encoding::kPcm8:
-      return bytes;
-    case Encoding::kPcm16:
-      return bytes / 2;
-    case Encoding::kAdpcm4:
-      return bytes * 2;
-  }
-  return bytes;
+  return WholeSamplesInBytes(encoding, bytes);
 }
 
 int64_t BytesForSamples(Encoding encoding, int64_t samples) {
-  switch (encoding) {
-    case Encoding::kMulaw8:
-    case Encoding::kAlaw8:
-    case Encoding::kPcm8:
-      return samples;
-    case Encoding::kPcm16:
-      return samples * 2;
-    case Encoding::kAdpcm4:
-      return (samples + 1) / 2;
-  }
-  return samples;
+  return EncodedBytesForSamples(encoding, samples);
 }
 
 }  // namespace aud

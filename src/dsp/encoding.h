@@ -27,12 +27,17 @@ class StreamDecoder {
   // Appends decoded samples to `out`.
   void Decode(std::span<const uint8_t> in, std::vector<Sample>* out);
 
-  // Restarts the stream (clears ADPCM predictor state).
+  // Restarts the stream (clears ADPCM predictor state and any half-consumed
+  // 16-bit PCM sample).
   void Reset();
 
  private:
   Encoding encoding_;
   AdpcmDecoder adpcm_;
+  // 16-bit PCM chunks may split mid-sample: the dangling low byte is held
+  // here until the next call completes the sample.
+  uint8_t pending_byte_ = 0;
+  bool has_pending_byte_ = false;
 };
 
 // Encodes linear samples into encoded bytes.

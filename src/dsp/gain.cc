@@ -2,16 +2,15 @@
 
 #include <cmath>
 
+#include "src/dsp/kernels.h"
+
 namespace aud {
 
 void ApplyGain(std::span<Sample> samples, int32_t gain) {
   if (gain == kUnityGain) {
     return;
   }
-  for (Sample& s : samples) {
-    int64_t v = static_cast<int64_t>(s) * gain / kUnityGain;
-    s = SaturateSample(static_cast<int32_t>(v));
-  }
+  Kernels().apply_gain(samples.data(), samples.size(), gain);
 }
 
 void ApplyGainRamp(std::span<Sample> samples, int32_t from_gain, int32_t to_gain) {

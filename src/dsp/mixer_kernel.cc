@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/dsp/gain.h"
+#include "src/dsp/kernels.h"
 
 namespace aud {
 
@@ -18,36 +19,19 @@ void MixAccumulator::Reset(size_t block_size) {
 
 void MixAccumulator::Accumulate(std::span<const Sample> in, int32_t gain) {
   size_t n = std::min(in.size(), acc_.size());
-  int32_t* __restrict acc = acc_.data();
-  const Sample* __restrict src = in.data();
-  if (gain == kUnityGain) {
-    for (size_t i = 0; i < n; ++i) {
-      acc[i] += src[i];
-    }
-  } else {
-    const int64_t g = gain;
-    for (size_t i = 0; i < n; ++i) {
-      acc[i] += static_cast<int32_t>(src[i] * g / kUnityGain);
-    }
-  }
+  Kernels().mix_accumulate(acc_.data(), in.data(), n, gain);
   ++input_count_;
 }
 
 void MixAccumulator::AddFrom(const MixAccumulator& other) {
   size_t n = std::min(acc_.size(), other.acc_.size());
-  int32_t* __restrict acc = acc_.data();
-  const int32_t* __restrict src = other.acc_.data();
-  for (size_t i = 0; i < n; ++i) {
-    acc[i] += src[i];
-  }
+  Kernels().mix_add(acc_.data(), other.acc_.data(), n);
   input_count_ += other.input_count_;
 }
 
 void MixAccumulator::Resolve(std::span<Sample> out) const {
   size_t n = std::min(out.size(), acc_.size());
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = SaturateSample(acc_[i]);
-  }
+  Kernels().mix_resolve(out.data(), acc_.data(), n);
 }
 
 void MixEqual(std::span<const std::span<const Sample>> inputs, std::span<Sample> out) {

@@ -1,5 +1,7 @@
 #include "src/dsp/mulaw.h"
 
+#include "src/dsp/kernels.h"
+
 namespace aud {
 
 namespace {
@@ -38,15 +40,11 @@ Sample MulawDecode(uint8_t mulaw) {
 }
 
 void MulawEncodeBlock(std::span<const Sample> in, std::span<uint8_t> out) {
-  for (size_t i = 0; i < in.size(); ++i) {
-    out[i] = MulawEncode(in[i]);
-  }
+  Kernels().mulaw_encode(out.data(), in.data(), in.size());
 }
 
 void MulawDecodeBlock(std::span<const uint8_t> in, std::span<Sample> out) {
-  for (size_t i = 0; i < in.size(); ++i) {
-    out[i] = MulawDecode(in[i]);
-  }
+  Kernels().mulaw_decode(out.data(), in.data(), in.size());
 }
 
 }  // namespace aud

@@ -11,6 +11,7 @@ int64_t SoundObject::sample_count() const {
 }
 
 void SoundObject::Write(uint64_t offset, std::span<const uint8_t> bytes) {
+  ++generation_;
   uint64_t end = offset + bytes.size();
   if (end > data_.size()) {
     data_.resize(end, 0);

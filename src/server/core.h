@@ -76,7 +76,14 @@ class SoundObject : public ServerObject {
   const AudioFormat& format() const { return format_; }
 
   const std::vector<uint8_t>& data() const { return data_; }
-  std::vector<uint8_t>& mutable_data() { return data_; }
+  std::vector<uint8_t>& mutable_data() {
+    ++generation_;
+    return data_;
+  }
+
+  // Bumped on every mutation; keys the decoded-PCM cache so a stale decode
+  // of overwritten data can never be served.
+  uint64_t generation() const { return generation_; }
 
   uint64_t size_bytes() const { return data_.size(); }
 
@@ -93,6 +100,7 @@ class SoundObject : public ServerObject {
  private:
   AudioFormat format_;
   std::vector<uint8_t> data_;
+  uint64_t generation_ = 0;
 };
 
 // A wire between two virtual-device ports (section 5.2). Carries linear

@@ -1,0 +1,76 @@
+#include "src/server/decoded_cache.h"
+
+#include <utility>
+
+namespace aud {
+
+void DecodedSoundCache::SetMaxBytes(size_t max_bytes) {
+  MutexLock lock(&mu_);
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  EvictToFit(max_bytes);
+}
+
+DecodedSoundCache::Entry DecodedSoundCache::Lookup(const Key& key) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->entry;
+}
+
+size_t DecodedSoundCache::Insert(const Key& key, Entry entry) {
+  if (entry == nullptr) {
+    return 0;
+  }
+  const size_t entry_bytes = entry->size() * sizeof(Sample);
+  MutexLock lock(&mu_);
+  const size_t budget = max_bytes_.load(std::memory_order_relaxed);
+  if (entry_bytes > budget) {
+    return 0;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same (sound, generation, rate) decodes to the same PCM; keep the
+    // resident entry and just refresh its recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.push_front(Slot{key, std::move(entry), entry_bytes});
+  index_[key] = lru_.begin();
+  bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+  return EvictToFit(budget);
+}
+
+void DecodedSoundCache::EraseSound(ResourceId sound) {
+  MutexLock lock(&mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.sound == sound) {
+      bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t DecodedSoundCache::entry_count() const {
+  MutexLock lock(&mu_);
+  return index_.size();
+}
+
+size_t DecodedSoundCache::EvictToFit(size_t budget) {
+  size_t evicted = 0;
+  while (bytes_.load(std::memory_order_relaxed) > budget && !lru_.empty()) {
+    const Slot& victim = lru_.back();
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace aud

@@ -20,6 +20,7 @@
 #include "src/hw/speaker.h"
 #include "src/music/note_synth.h"
 #include "src/recognize/recognizer.h"
+#include "src/server/decoded_cache.h"
 #include "src/server/virtual_device.h"
 #include "src/synth/synthesizer.h"
 
@@ -81,6 +82,11 @@ class PlayerDevice : public VirtualDevice {
   }
 
  private:
+  // Rebuilds the incremental decode machinery, discarding the first
+  // `consumed` engine-rate samples (used when a cached play must fall back
+  // to streaming decode after the sound mutated mid-play).
+  void SwitchToIncremental(SoundObject* sound, EngineTick* tick, size_t consumed);
+
   ResourceId sound_id_ = kNoResource;
   int64_t position_ = 0;   // next sample index to decode
   int64_t end_sample_ = -1;
@@ -90,6 +96,15 @@ class PlayerDevice : public VirtualDevice {
   std::unique_ptr<Resampler> resampler_;
   int64_t decode_byte_pos_ = 0;
   std::vector<Sample> decoded_;
+  // Cache fast path (whole-sound plays only): engine-rate PCM shared with
+  // the server's decoded-sound cache, plus the generation it was decoded
+  // from. A generation mismatch mid-play falls back to the incremental
+  // decoder; bit-exactness is preserved because the cached stream is a
+  // prefix of the re-decoded one.
+  DecodedSoundCache::Entry cached_;
+  size_t cache_pos_ = 0;
+  uint64_t cache_generation_ = 0;
+  std::vector<Sample> gain_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -127,6 +142,14 @@ class RecorderDevice : public VirtualDevice {
   std::unique_ptr<AutomaticGainControl> agc_;
   bool agc_enabled_ = false;
   std::vector<Sample> scratch_;
+  // Pause compression keeps the pristine linear take (at the sound's rate)
+  // so FinishRecording compresses directly instead of re-decoding the whole
+  // encoded sound.
+  bool keep_linear_history_ = false;
+  std::vector<Sample> linear_history_;
+  // Per-tick scratch, members so steady-state recording is allocation-free.
+  std::vector<Sample> resample_scratch_;
+  std::vector<uint8_t> encode_scratch_;
 };
 
 // ---------------------------------------------------------------------------

@@ -87,9 +87,6 @@ Status PlayerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
     return Status(ErrorCode::kBadResource, "Play: no such sound");
   }
   sound_id_ = args.sound;
-  decoder_ = std::make_unique<StreamDecoder>(sound->format().encoding);
-  resampler_ = std::make_unique<Resampler>(sound->format().sample_rate_hz,
-                                           tick->server->engine_rate());
   position_ = 0;
   end_sample_ = args.end_sample;
   decode_byte_pos_ = 0;
@@ -98,6 +95,24 @@ Status PlayerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
   // A nonzero start plays from mid-sound; stateful codecs (ADPCM) must
   // decode from the beginning, so we decode-and-discard up to the start.
   skip_samples_ = args.start_sample > 0 ? args.start_sample : 0;
+  cached_.reset();
+  cache_pos_ = 0;
+  // Fast path: a whole-sound play (no start offset, no end bound) serves
+  // straight from the decoded-PCM cache. Bounded plays keep the incremental
+  // decoder so the end-sample trim stays in sound-sample space.
+  const bool whole_sound = skip_samples_ == 0 && (end_sample_ < 0 || end_sample_ >= total_);
+  if (whole_sound && tick->server->decoded_cache().enabled()) {
+    cache_generation_ = sound->generation();
+    cached_ = tick->server->GetDecodedSound(sound);
+  }
+  if (cached_ == nullptr) {
+    decoder_ = std::make_unique<StreamDecoder>(sound->format().encoding);
+    resampler_ = std::make_unique<Resampler>(sound->format().sample_rate_hz,
+                                             tick->server->engine_rate());
+  } else {
+    decoder_.reset();
+    resampler_.reset();
+  }
   set_command_running(true);
   return Status::Ok();
 }
@@ -105,6 +120,24 @@ Status PlayerDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
 void PlayerDevice::AbortCommand() {
   VirtualDevice::AbortCommand();
   decoded_.clear();
+  cached_.reset();
+  cache_pos_ = 0;
+}
+
+void PlayerDevice::SwitchToIncremental(SoundObject* sound, EngineTick* tick,
+                                       size_t consumed) {
+  decoder_ = std::make_unique<StreamDecoder>(sound->format().encoding);
+  resampler_ = std::make_unique<Resampler>(sound->format().sample_rate_hz,
+                                           tick->server->engine_rate());
+  decode_byte_pos_ = 0;
+  position_ = 0;
+  decoded_.clear();
+  // The cached stream is a prefix of the re-decode (appends only extend
+  // the sound; a rewrite re-keys and we restart the decode anyway), so
+  // discarding the engine-rate samples already served resumes seamlessly.
+  skip_samples_ = static_cast<int64_t>(consumed);
+  cached_.reset();
+  cache_pos_ = 0;
 }
 
 size_t PlayerDevice::Produce(EngineTick* tick, size_t frames) {
@@ -115,7 +148,39 @@ size_t PlayerDevice::Produce(EngineTick* tick, size_t frames) {
   if (sound == nullptr) {
     // Sound destroyed mid-play: abort.
     set_command_running(false);
+    cached_.reset();
     return 0;
+  }
+
+  if (cached_ != nullptr) {
+    if (sound->generation() != cache_generation_) {
+      // Sound mutated mid-play (real-time data supply, overwrite): the
+      // cached decode is stale. Fall back to the streaming decoder for the
+      // rest of this play, resuming after the samples already served.
+      SwitchToIncremental(sound, tick, cache_pos_);
+    } else {
+      const std::vector<Sample>& pcm = *cached_;
+      size_t avail = pcm.size() > cache_pos_ ? pcm.size() - cache_pos_ : 0;
+      size_t n = std::min(frames, avail);
+      if (n > 0) {
+        PushToWires(source_wires(), std::span<const Sample>(pcm).subspan(cache_pos_, n),
+                    gain(), &gain_scratch_, tick->start_frame, tick->branch_offset);
+        cache_pos_ += n;
+      }
+      // Track position in sound-sample space for sync marks: cache_pos_ is
+      // engine-rate samples served, mapped back through the rate ratio.
+      const uint32_t out_rate = tick->server->engine_rate();
+      const uint32_t in_rate = sound->format().sample_rate_hz;
+      if (cache_pos_ >= pcm.size()) {
+        position_ = total_;
+        set_command_running(false);
+      } else {
+        position_ = std::min<int64_t>(
+            total_, static_cast<int64_t>(cache_pos_) * in_rate / out_rate);
+      }
+      loud()->Root()->NoteSyncProgress(position_, total_, tick->server->server_time());
+      return n;
+    }
   }
 
   // Fill decoded_ (engine-rate linear samples) until we can cover `frames`
@@ -156,9 +221,8 @@ size_t PlayerDevice::Produce(EngineTick* tick, size_t frames) {
 
   size_t n = std::min(frames, decoded_.size());
   if (n > 0) {
-    std::vector<Sample> gain_scratch;
     PushToWires(source_wires(), std::span<const Sample>(decoded_).first(n), gain(),
-                &gain_scratch, tick->start_frame, tick->branch_offset);
+                &gain_scratch_, tick->start_frame, tick->branch_offset);
     decoded_.erase(decoded_.begin(), decoded_.begin() + static_cast<ptrdiff_t>(n));
   }
 
@@ -205,31 +269,37 @@ Status RecorderDevice::StartCommand(const CommandSpec& spec, EngineTick* tick) {
     pause_detector_.reset();
   }
   agc_ = agc_enabled_ ? std::make_unique<AutomaticGainControl>() : nullptr;
+  keep_linear_history_ = attrs().GetBool(AttrTag::kPauseCompression);
+  linear_history_.clear();
   set_command_running(true);
   tick->server->EmitEvent(loud()->Root(), EventType::kRecorderStarted, id(), {});
   return Status::Ok();
 }
 
-void RecorderDevice::AbortCommand() { VirtualDevice::AbortCommand(); }
+void RecorderDevice::AbortCommand() {
+  VirtualDevice::AbortCommand();
+  linear_history_.clear();
+}
 
 void RecorderDevice::FinishRecording(EngineTick* tick, RecordStopReason reason) {
   set_command_running(false);
 
   // Recorder attribute: compress the recording "by removing pauses"
-  // (section 5.1). Applied once at completion.
-  if (attrs().GetBool(AttrTag::kPauseCompression)) {
+  // (section 5.1). Applied once at completion, from the pristine linear
+  // take kept during Consume — the encoded sound is never round-tripped
+  // back through the codec, so finishing costs one pass over the take
+  // instead of a whole-sound decode + re-encode.
+  if (keep_linear_history_) {
     SoundObject* sound = tick->server->FindSound(sound_id_);
     if (sound != nullptr) {
-      StreamDecoder decoder(sound->format().encoding);
-      std::vector<Sample> linear;
-      decoder.Decode(sound->data(), &linear);
-      auto compressed = CompressPauses(linear, sound->format().sample_rate_hz);
+      auto compressed = CompressPauses(linear_history_, sound->format().sample_rate_hz);
       StreamEncoder re_encoder(sound->format().encoding);
       std::vector<uint8_t> bytes;
       re_encoder.Encode(compressed, &bytes);
       sound->mutable_data() = std::move(bytes);
       samples_recorded_ = static_cast<uint64_t>(compressed.size());
     }
+    linear_history_.clear();
   }
 
   RecorderStoppedArgs args;
@@ -268,14 +338,17 @@ void RecorderDevice::Consume(EngineTick* tick) {
     }
     // Resample engine rate -> sound rate if they differ.
     std::span<const Sample> to_encode = scratch_;
-    std::vector<Sample> resampled;
     if (out_resampler_ != nullptr) {
-      out_resampler_->Process(scratch_, &resampled);
-      to_encode = resampled;
+      resample_scratch_.clear();
+      out_resampler_->Process(scratch_, &resample_scratch_);
+      to_encode = resample_scratch_;
     }
-    std::vector<uint8_t> encoded;
-    encoder_->Encode(to_encode, &encoded);
-    sound->Write(sound->size_bytes(), encoded);
+    if (keep_linear_history_) {
+      linear_history_.insert(linear_history_.end(), to_encode.begin(), to_encode.end());
+    }
+    encode_scratch_.clear();
+    encoder_->Encode(to_encode, &encode_scratch_);
+    sound->Write(sound->size_bytes(), encode_scratch_);
     samples_recorded_ += scratch_.size();
 
     if (pause_detector_ != nullptr && pause_detector_->Process(scratch_)) {

@@ -45,6 +45,12 @@ struct ServerMetrics {
   obs::Counter bytes_out;
   obs::Counter events_sent;
 
+  // -- Decoded-PCM cache -----------------------------------------------------
+  obs::Counter decoded_cache_hits;
+  obs::Counter decoded_cache_misses;
+  obs::Counter decoded_cache_evictions;
+  obs::Gauge decoded_cache_bytes;
+
   // -- Command queues --------------------------------------------------------
   obs::Counter commands_enqueued;
   obs::Counter commands_done;

@@ -11,6 +11,7 @@ AudioServer::AudioServer(Board* board) : AudioServer(board, ServerOptions{}) {}
 AudioServer::AudioServer(Board* board, ServerOptions options)
     : board_(board), options_(options), state_(board, options.name) {
   state_.ConfigureEngine(options.engine_threads);
+  state_.ConfigureDecodedCache(options.decoded_cache_bytes);
   metrics_ = &state_.metrics();
   state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
     DeliverEvent(conn_index, event);

@@ -46,6 +46,11 @@ struct ServerOptions {
   // tests). N > 1 ticks independent islands of the active graph
   // concurrently; output is bit-identical to serial either way.
   int engine_threads = 1;
+  // Byte budget for the decoded-PCM cache (linear samples already resampled
+  // to the engine rate, keyed by sound generation). 0 disables caching and
+  // every Play decodes incrementally. 8 MiB holds ~8.7 minutes of 8 kHz
+  // audio — plenty for a prompt catalogue.
+  size_t decoded_cache_bytes = 8 * 1024 * 1024;
 };
 
 class AudioServer {

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/dsp/encoding.h"
+#include "src/dsp/resampler.h"
 #include "src/dsp/tone.h"
 
 namespace aud {
@@ -176,6 +177,8 @@ Status ServerState::Destroy(ResourceId id) {
       break;
     }
     case ObjectKind::kSound:
+      decoded_cache_.EraseSound(id);
+      metrics_.decoded_cache_bytes.Set(static_cast<int64_t>(decoded_cache_.bytes()));
       break;
   }
   objects_.erase(id);
@@ -966,6 +969,26 @@ void ServerState::SeedCatalogue() {
     encoder.Encode(alert, &sound.data);
     catalogue_["alert"] = std::move(sound);
   }
+  // A long spoken-prompt stand-in: ~2 s of varied tones stored as 4-bit
+  // ADPCM at 16 kHz. Playing it costs an ADPCM decode plus a 16 kHz →
+  // engine-rate resample, which is exactly the repeated-catalogue-play work
+  // the decoded-PCM cache amortizes (answering-machine greeting, section 7).
+  {
+    constexpr uint32_t kPromptRate = 16000;
+    std::vector<Sample> prompt;
+    constexpr double kNotes[] = {392.0, 523.25, 659.25, 523.25,
+                                 440.0, 587.33, 493.88, 392.0};
+    for (double freq : kNotes) {
+      std::vector<Sample> note = MakeBeep(kPromptRate, 230, freq, 0.45);
+      prompt.insert(prompt.end(), note.begin(), note.end());
+      prompt.insert(prompt.end(), kPromptRate / 50, 0);
+    }
+    StreamEncoder encoder(Encoding::kAdpcm4);
+    CatalogueSound sound;
+    sound.format = {Encoding::kAdpcm4, kPromptRate};
+    encoder.Encode(prompt, &sound.data);
+    catalogue_["prompt"] = std::move(sound);
+  }
 }
 
 const CatalogueSound* ServerState::FindCatalogueSound(const std::string& name) const {
@@ -1027,7 +1050,52 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.commands_done = metrics_.commands_done.value();
   reply.commands_aborted = metrics_.commands_aborted.value();
   reply.queue_events = metrics_.queue_events.value();
+  reply.decoded_cache_hits = metrics_.decoded_cache_hits.value();
+  reply.decoded_cache_misses = metrics_.decoded_cache_misses.value();
+  reply.decoded_cache_bytes = static_cast<uint64_t>(metrics_.decoded_cache_bytes.value());
+  reply.decoded_cache_evictions = metrics_.decoded_cache_evictions.value();
   return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-PCM cache
+// ---------------------------------------------------------------------------
+
+void ServerState::ConfigureDecodedCache(size_t max_bytes) {
+  decoded_cache_.SetMaxBytes(max_bytes);
+  metrics_.decoded_cache_bytes.Set(static_cast<int64_t>(decoded_cache_.bytes()));
+}
+
+DecodedSoundCache::Entry ServerState::GetDecodedSound(SoundObject* sound) {
+  const uint32_t rate = engine_rate();
+  const DecodedSoundCache::Key key{sound->id(), sound->generation(), rate};
+  if (DecodedSoundCache::Entry hit = decoded_cache_.Lookup(key)) {
+    metrics_.decoded_cache_hits.Increment();
+    return hit;
+  }
+  metrics_.decoded_cache_misses.Increment();
+  // Full decode to linear at the sound's native rate, then resample to the
+  // engine rate. Decoders are chunk-invariant and the resampler's output is
+  // a prefix-exact stream, so this whole-sound conversion is bit-identical
+  // to the incremental per-tick path it replaces.
+  auto pcm = std::make_shared<std::vector<Sample>>();
+  StreamDecoder decoder(sound->format().encoding);
+  decoder.Decode(sound->data(), pcm.get());
+  if (sound->format().sample_rate_hz != rate) {
+    Resampler resampler(sound->format().sample_rate_hz, rate);
+    std::vector<Sample> resampled;
+    resampled.reserve(static_cast<size_t>(
+        resampler.OutputSizeFor(static_cast<int64_t>(pcm->size())) + 2));
+    resampler.Process(*pcm, &resampled);
+    *pcm = std::move(resampled);
+  }
+  DecodedSoundCache::Entry entry = std::move(pcm);
+  const size_t evicted = decoded_cache_.Insert(key, entry);
+  if (evicted > 0) {
+    metrics_.decoded_cache_evictions.Increment(evicted);
+  }
+  metrics_.decoded_cache_bytes.Set(static_cast<int64_t>(decoded_cache_.bytes()));
+  return entry;
 }
 
 }  // namespace aud

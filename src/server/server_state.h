@@ -39,6 +39,7 @@
 #include "src/hw/board.h"
 #include "src/server/command_queue.h"
 #include "src/server/core.h"
+#include "src/server/decoded_cache.h"
 #include "src/server/devices.h"
 #include "src/server/engine_pool.h"
 #include "src/server/loud.h"
@@ -222,6 +223,20 @@ class ServerState {
   // Saved recognizer vocabularies (SaveVocabulary / kVocabularyName attr).
   std::map<std::string, std::vector<uint8_t>>& vocabularies() { return vocabularies_; }
 
+  // -- Decoded-PCM cache ---------------------------------------------------------
+
+  // Sets the cache byte budget (0 disables). Called once at server startup
+  // from ServerOptions::decoded_cache_bytes; tests may reconfigure.
+  void ConfigureDecodedCache(size_t max_bytes);
+  DecodedSoundCache& decoded_cache() { return decoded_cache_; }
+
+  // Returns `sound`'s full data decoded to linear PCM at the engine rate,
+  // from cache when possible (decode-and-insert on miss). Metrics are
+  // bumped either way. Safe to call from engine workers: the registry is
+  // not touched, only the sound object (island-serialized) and the cache
+  // (internally locked).
+  DecodedSoundCache::Entry GetDecodedSound(SoundObject* sound);
+
   // -- Stats ---------------------------------------------------------------------
 
   int64_t ticks_run() const { return ticks_run_; }
@@ -299,6 +314,8 @@ class ServerState {
 
   std::map<std::string, CatalogueSound> catalogue_;
   std::map<std::string, std::vector<uint8_t>> vocabularies_;
+
+  DecodedSoundCache decoded_cache_;
 
   ServerMetrics metrics_;
 };

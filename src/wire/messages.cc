@@ -928,6 +928,10 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(commands_done);
   w->WriteU64(commands_aborted);
   w->WriteU64(queue_events);
+  w->WriteU64(decoded_cache_hits);
+  w->WriteU64(decoded_cache_misses);
+  w->WriteU64(decoded_cache_bytes);
+  w->WriteU64(decoded_cache_evictions);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -963,6 +967,10 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.commands_done = r->ReadU64();
   p.commands_aborted = r->ReadU64();
   p.queue_events = r->ReadU64();
+  p.decoded_cache_hits = r->ReadU64();
+  p.decoded_cache_misses = r->ReadU64();
+  p.decoded_cache_bytes = r->ReadU64();
+  p.decoded_cache_evictions = r->ReadU64();
   return p;
 }
 

@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 1;
+inline constexpr uint32_t kServerStatsVersion = 2;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -567,6 +567,12 @@ struct ServerStatsReply {
   uint64_t commands_done = 0;
   uint64_t commands_aborted = 0;
   uint64_t queue_events = 0;   // queue lifecycle + CommandDone events emitted
+
+  // Decoded-PCM cache (v2).
+  uint64_t decoded_cache_hits = 0;
+  uint64_t decoded_cache_misses = 0;
+  uint64_t decoded_cache_bytes = 0;      // resident payload bytes
+  uint64_t decoded_cache_evictions = 0;
 
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);

@@ -1,0 +1,145 @@
+// Unit tests for the perf-regression comparator (tools/benchdiff_core.h):
+// parsing the bench JSON shape, threshold semantics in both metric
+// directions, and the missing/new benchmark notes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tools/benchdiff_core.h"
+
+namespace aud {
+namespace benchdiff {
+namespace {
+
+std::string BenchFile(const std::string& entries) {
+  return "{\n  \"context\": {\"executable\": \"bench_x\", \"host_name\": \"h\","
+         " \"nested\": {\"deep\": [1, 2, {\"a\": true}]}},\n"
+         "  \"benchmarks\": [\n" + entries + "\n  ]\n}\n";
+}
+
+TEST(BenchdiffParse, ReadsNamesAndNumericFields) {
+  std::string error;
+  auto entries = ParseBenchJson(
+      BenchFile(R"(    {"name": "mix/8", "run_type": "iteration", "iterations": 100,
+                       "real_time": 2900.5, "cpu_time": 2900.5, "time_unit": "ns",
+                       "tick_p99_us": 12.25},
+                     {"name": "cache_on", "real_time": 1.5e3, "speedup_vs_cache_off": 2.03})"),
+      &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "mix/8");
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("real_time"), 2900.5);
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("tick_p99_us"), 12.25);
+  EXPECT_DOUBLE_EQ(entries[0].metrics.at("iterations"), 100);
+  EXPECT_EQ(entries[0].metrics.count("time_unit"), 0u);  // strings skipped
+  EXPECT_DOUBLE_EQ(entries[1].metrics.at("real_time"), 1500.0);
+  EXPECT_DOUBLE_EQ(entries[1].metrics.at("speedup_vs_cache_off"), 2.03);
+}
+
+TEST(BenchdiffParse, EmptyBenchmarksArrayIsValid) {
+  std::string error;
+  auto entries = ParseBenchJson("{\"benchmarks\": []}", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(BenchdiffParse, MalformedInputSetsError) {
+  std::string error;
+  auto entries = ParseBenchJson("{\"benchmarks\": [{\"name\": }", &error);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_FALSE(error.empty());
+
+  entries = ParseBenchJson("not json at all", &error);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BenchdiffCompare, FlagsTimeGrowthPastThreshold) {
+  std::string error;
+  auto base = ParseBenchJson(
+      BenchFile(R"({"name": "a", "real_time": 1000.0},
+                   {"name": "b", "real_time": 1000.0})"), &error);
+  auto cur = ParseBenchJson(
+      BenchFile(R"({"name": "a", "real_time": 1090.0},
+                   {"name": "b", "real_time": 1111.0})"), &error);
+  DiffResult result = Compare(base, cur, 0.10);
+  ASSERT_EQ(result.deltas.size(), 2u);
+  EXPECT_FALSE(result.deltas[0].regression);  // +9.0% stays under threshold
+  EXPECT_TRUE(result.deltas[1].regression);   // +11.1% crosses it
+  EXPECT_TRUE(result.has_regression);
+}
+
+TEST(BenchdiffCompare, TimeImprovementIsNotARegression) {
+  std::string error;
+  auto base = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 1000.0})"), &error);
+  auto cur = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 400.0})"), &error);
+  DiffResult result = Compare(base, cur, 0.10);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_FALSE(result.has_regression);
+}
+
+TEST(BenchdiffCompare, SpeedupMetricsRegressDownward) {
+  std::string error;
+  auto base = ParseBenchJson(
+      BenchFile(R"({"name": "cache_on", "real_time": 1000.0, "speedup_vs_cache_off": 2.0})"),
+      &error);
+  auto shrunk = ParseBenchJson(
+      BenchFile(R"({"name": "cache_on", "real_time": 1000.0, "speedup_vs_cache_off": 1.6})"),
+      &error);
+  auto grown = ParseBenchJson(
+      BenchFile(R"({"name": "cache_on", "real_time": 1000.0, "speedup_vs_cache_off": 3.0})"),
+      &error);
+  EXPECT_TRUE(Compare(base, shrunk, 0.10).has_regression);  // 2.0 -> 1.6 = -20%
+  EXPECT_FALSE(Compare(base, grown, 0.10).has_regression);  // bigger is better
+}
+
+TEST(BenchdiffCompare, BookkeepingFieldsAreIgnored) {
+  std::string error;
+  auto base = ParseBenchJson(
+      BenchFile(R"({"name": "a", "iterations": 100, "cpu_time": 50.0, "real_time": 50.0})"),
+      &error);
+  auto cur = ParseBenchJson(
+      BenchFile(R"({"name": "a", "iterations": 900, "cpu_time": 500.0, "real_time": 50.0})"),
+      &error);
+  DiffResult result = Compare(base, cur, 0.10);
+  ASSERT_EQ(result.deltas.size(), 1u);  // only real_time compared
+  EXPECT_EQ(result.deltas[0].metric, "real_time");
+  EXPECT_FALSE(result.has_regression);
+}
+
+TEST(BenchdiffCompare, MissingAndNewBenchmarksBecomeNotes) {
+  std::string error;
+  auto base = ParseBenchJson(
+      BenchFile(R"({"name": "gone", "real_time": 10.0},
+                   {"name": "kept", "real_time": 10.0})"), &error);
+  auto cur = ParseBenchJson(
+      BenchFile(R"({"name": "kept", "real_time": 10.0},
+                   {"name": "fresh", "real_time": 10.0})"), &error);
+  DiffResult result = Compare(base, cur, 0.10);
+  EXPECT_FALSE(result.has_regression);
+  ASSERT_EQ(result.notes.size(), 2u);
+  EXPECT_NE(result.notes[0].find("gone"), std::string::npos);
+  EXPECT_NE(result.notes[1].find("fresh"), std::string::npos);
+}
+
+TEST(BenchdiffCompare, ThresholdIsConfigurable) {
+  std::string error;
+  auto base = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 100.0})"), &error);
+  auto cur = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 104.0})"), &error);
+  EXPECT_FALSE(Compare(base, cur, 0.10).has_regression);
+  EXPECT_TRUE(Compare(base, cur, 0.02).has_regression);
+}
+
+TEST(BenchdiffReport, MarksRegressedLines) {
+  std::string error;
+  auto base = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 100.0})"), &error);
+  auto cur = ParseBenchJson(BenchFile(R"({"name": "a", "real_time": 200.0})"), &error);
+  std::string report = FormatReport(Compare(base, cur, 0.10));
+  EXPECT_NE(report.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(report.find("+100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace aud

@@ -199,11 +199,31 @@ TEST(EncodingTest, Pcm16IsLossless) {
 
 TEST(EncodingTest, BytesPerSecondMatchesPaperRates) {
   // Section 1.1: telephone quality = 8000 bytes/sec.
-  EXPECT_DOUBLE_EQ(kTelephoneFormat.BytesPerSecond(), 8000.0);
+  EXPECT_EQ(kTelephoneFormat.BytesPerSecond(), 8000);
   // CD-quality mono at 44.1kHz/16-bit = 88200; the paper's 175 kB/s figure
   // is the stereo pair.
   AudioFormat cd{Encoding::kPcm16, kCdRateHz};
-  EXPECT_DOUBLE_EQ(2 * cd.BytesPerSecond(), 176400.0);
+  EXPECT_EQ(2 * cd.BytesPerSecond(), 176400);
+}
+
+TEST(EncodingTest, RationalByteMathIsExactAtAdpcmBoundaries) {
+  AudioFormat adpcm{Encoding::kAdpcm4, 8000};
+  // 4-bit ADPCM: two samples per byte, exact as a ratio.
+  ByteRatio rate = adpcm.BytesPerSecondRatio();
+  EXPECT_EQ(rate.num, 8000);
+  EXPECT_EQ(rate.den, 2);
+  EXPECT_EQ(adpcm.BytesPerSecond(), 4000);
+  // Odd sample counts round *up* to a whole byte (the half-filled byte is
+  // still stored)…
+  EXPECT_EQ(adpcm.BytesForSamples(7), 4);
+  EXPECT_EQ(EncodedBytesForSamples(Encoding::kAdpcm4, 1), 1);
+  // …while byte counts round *down* to whole samples for 16-bit PCM.
+  EXPECT_EQ(WholeSamplesInBytes(Encoding::kPcm16, 5), 2);
+  EXPECT_EQ(WholeSamplesInBytes(Encoding::kAdpcm4, 3), 6);
+  // An odd-rate ADPCM format has no whole bytes/sec; the integer helper
+  // rounds up.
+  AudioFormat odd{Encoding::kAdpcm4, 11025};
+  EXPECT_EQ(odd.BytesPerSecond(), 5513);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,9 +23,20 @@ class ServerFixture : public ::testing::Test {
  protected:
   void SetUp() override { Init(BoardConfig{}); }
 
-  void Init(const BoardConfig& config) {
+  void Init(const BoardConfig& config) { Init(config, ServerOptions{}); }
+
+  void Init(const BoardConfig& config, const ServerOptions& options) {
+    // Re-Init (tests that need custom options/boards): tear the old world
+    // down in dependency order before the board goes away.
+    toolkit_.reset();
+    client_.reset();
+    extra_clients_.clear();
+    if (server_ != nullptr) {
+      server_->Shutdown();
+      server_.reset();
+    }
     board_ = std::make_unique<Board>(config);
-    server_ = std::make_unique<AudioServer>(board_.get());
+    server_ = std::make_unique<AudioServer>(board_.get(), options);
     client_ = Connect("test-client");
     ASSERT_NE(client_, nullptr);
     toolkit_ = std::make_unique<AudioToolkit>(client_.get());

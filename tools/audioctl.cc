@@ -254,11 +254,17 @@ int CmdStats(AudioConnection& audio, bool json) {
     std::printf("  \"objects\": %u,\n", s.objects);
     std::printf("  \"active_louds\": %u,\n", s.active_louds);
     std::printf("  \"queues\": {\"enqueued\": %llu, \"done\": %llu, \"aborted\": %llu, "
-                "\"events\": %llu}\n",
+                "\"events\": %llu},\n",
                 static_cast<unsigned long long>(s.commands_enqueued),
                 static_cast<unsigned long long>(s.commands_done),
                 static_cast<unsigned long long>(s.commands_aborted),
                 static_cast<unsigned long long>(s.queue_events));
+    std::printf("  \"decoded_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"bytes\": %llu, \"evictions\": %llu}\n",
+                static_cast<unsigned long long>(s.decoded_cache_hits),
+                static_cast<unsigned long long>(s.decoded_cache_misses),
+                static_cast<unsigned long long>(s.decoded_cache_bytes),
+                static_cast<unsigned long long>(s.decoded_cache_evictions));
     std::printf("}\n");
     return 0;
   }
@@ -299,6 +305,12 @@ int CmdStats(AudioConnection& audio, bool json) {
               static_cast<unsigned long long>(s.commands_done),
               static_cast<unsigned long long>(s.commands_aborted),
               static_cast<unsigned long long>(s.queue_events));
+  std::printf("decoded cache: %llu hits, %llu misses, %llu bytes resident, "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(s.decoded_cache_hits),
+              static_cast<unsigned long long>(s.decoded_cache_misses),
+              static_cast<unsigned long long>(s.decoded_cache_bytes),
+              static_cast<unsigned long long>(s.decoded_cache_evictions));
   return 0;
 }
 

@@ -1,0 +1,86 @@
+// Command-line front end for the perf-regression comparator.
+//
+//   benchdiff [--threshold=0.10] [--warn-only] BASELINE.json CURRENT.json
+//
+// Exits 1 when any metric regressed past the threshold (unless
+// --warn-only), 2 on usage or parse errors. See tools/benchdiff_core.h.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/benchdiff_core.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  bool warn_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: benchdiff [--threshold=0.10] [--warn-only] "
+                 "BASELINE.json CURRENT.json\n");
+    return 2;
+  }
+
+  std::string base_text, cur_text, error;
+  if (!ReadFile(paths[0], &base_text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", paths[0].c_str());
+    return 2;
+  }
+  if (!ReadFile(paths[1], &cur_text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", paths[1].c_str());
+    return 2;
+  }
+  auto baseline = aud::benchdiff::ParseBenchJson(base_text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", paths[0].c_str(), error.c_str());
+    return 2;
+  }
+  auto current = aud::benchdiff::ParseBenchJson(cur_text, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", paths[1].c_str(), error.c_str());
+    return 2;
+  }
+
+  aud::benchdiff::DiffResult result =
+      aud::benchdiff::Compare(baseline, current, threshold);
+  std::fputs(aud::benchdiff::FormatReport(result).c_str(), stdout);
+  if (result.has_regression) {
+    std::printf("benchdiff: regression past %.0f%% threshold%s\n",
+                threshold * 100.0, warn_only ? " (warn-only)" : "");
+    return warn_only ? 0 : 1;
+  }
+  std::printf("benchdiff: ok\n");
+  return 0;
+}

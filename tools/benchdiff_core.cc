@@ -1,0 +1,306 @@
+#include "tools/benchdiff_core.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aud {
+namespace benchdiff {
+namespace {
+
+// Minimal recursive-descent JSON reader covering the subset benchmark
+// files use (objects, arrays, strings, numbers, true/false/null). It only
+// materializes what benchdiff needs: for each element of the top-level
+// "benchmarks" array, the "name" string and every numeric field.
+class JsonReader {
+ public:
+  JsonReader(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::vector<BenchEntry> ReadBenchFile() {
+    std::vector<BenchEntry> entries;
+    SkipWs();
+    if (!Consume('{')) {
+      Fail("expected top-level object");
+      return {};
+    }
+    if (!ReadObjectMembers([&](const std::string& key) {
+          if (key == "benchmarks") {
+            entries = ReadBenchArray();
+            return !failed_;
+          }
+          return SkipValue();
+        })) {
+      return {};
+    }
+    return entries;
+  }
+
+ private:
+  std::vector<BenchEntry> ReadBenchArray() {
+    std::vector<BenchEntry> entries;
+    SkipWs();
+    if (!Consume('[')) {
+      Fail("\"benchmarks\" is not an array");
+      return {};
+    }
+    SkipWs();
+    if (Consume(']')) {
+      return entries;
+    }
+    do {
+      BenchEntry entry;
+      SkipWs();
+      if (!Consume('{')) {
+        Fail("benchmark entry is not an object");
+        return {};
+      }
+      if (!ReadObjectMembers([&](const std::string& key) {
+            SkipWs();
+            if (key == "name" && Peek() == '"') {
+              return ReadString(&entry.name);
+            }
+            if (Peek() == '-' || std::isdigit(static_cast<unsigned char>(Peek()))) {
+              double value = 0;
+              if (!ReadNumber(&value)) {
+                return false;
+              }
+              entry.metrics[key] = value;
+              return true;
+            }
+            return SkipValue();
+          })) {
+        return {};
+      }
+      entries.push_back(std::move(entry));
+      SkipWs();
+    } while (Consume(','));
+    if (!Consume(']')) {
+      Fail("unterminated benchmarks array");
+      return {};
+    }
+    return entries;
+  }
+
+  // Reads `"key": value` pairs until the closing '}'. The callback consumes
+  // the value and returns false to abort.
+  template <typename Fn>
+  bool ReadObjectMembers(Fn&& on_member) {
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    do {
+      SkipWs();
+      std::string key;
+      if (!ReadString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':' after key");
+      }
+      if (!on_member(key)) {
+        return false;
+      }
+      SkipWs();
+    } while (Consume(','));
+    if (!Consume('}')) {
+      return Fail("unterminated object");
+    }
+    return true;
+  }
+
+  bool SkipValue() {
+    SkipWs();
+    char c = Peek();
+    if (c == '"') {
+      std::string ignored;
+      return ReadString(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      return ReadObjectMembers([&](const std::string&) { return SkipValue(); });
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      do {
+        if (!SkipValue()) {
+          return false;
+        }
+        SkipWs();
+      } while (Consume(','));
+      return Consume(']') || Fail("unterminated array");
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      double ignored = 0;
+      return ReadNumber(&ignored);
+    }
+    for (const char* word : {"true", "false", "null"}) {
+      if (text_.compare(pos_, std::char_traits<char>::length(word), word) == 0) {
+        pos_ += std::char_traits<char>::length(word);
+        return true;
+      }
+    }
+    return Fail("unrecognized value");
+  }
+
+  bool ReadString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        out->push_back(text_[pos_ + 1]);
+        pos_ += 2;
+      } else {
+        out->push_back(text_[pos_]);
+        ++pos_;
+      }
+    }
+    return Consume('"') || Fail("unterminated string");
+  }
+
+  bool ReadNumber(double* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected number");
+    }
+    *out = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* what) {
+    if (!failed_ && error_ != nullptr) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    failed_ = true;
+    return false;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+bool IsBookkeeping(const std::string& metric) {
+  return metric == "iterations" || metric == "cpu_time";
+}
+
+}  // namespace
+
+std::vector<BenchEntry> ParseBenchJson(const std::string& text,
+                                       std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  JsonReader reader(text, error);
+  std::vector<BenchEntry> entries = reader.ReadBenchFile();
+  if (error != nullptr && !error->empty()) {
+    return {};
+  }
+  return entries;
+}
+
+bool HigherIsBetter(const std::string& metric) {
+  return metric.find("speedup") != std::string::npos;
+}
+
+DiffResult Compare(const std::vector<BenchEntry>& baseline,
+                   const std::vector<BenchEntry>& current, double threshold) {
+  DiffResult result;
+  std::map<std::string, const BenchEntry*> current_by_name;
+  for (const BenchEntry& entry : current) {
+    current_by_name[entry.name] = &entry;
+  }
+  std::map<std::string, bool> matched;
+  for (const BenchEntry& base : baseline) {
+    auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) {
+      result.notes.push_back("baseline benchmark \"" + base.name +
+                             "\" missing from current run");
+      continue;
+    }
+    matched[base.name] = true;
+    for (const auto& [metric, base_value] : base.metrics) {
+      if (IsBookkeeping(metric)) {
+        continue;
+      }
+      auto mit = it->second->metrics.find(metric);
+      if (mit == it->second->metrics.end()) {
+        continue;
+      }
+      MetricDelta delta;
+      delta.bench = base.name;
+      delta.metric = metric;
+      delta.baseline = base_value;
+      delta.current = mit->second;
+      delta.ratio = base_value != 0 ? mit->second / base_value
+                                    : (mit->second == 0 ? 1.0 : HUGE_VAL);
+      if (HigherIsBetter(metric)) {
+        delta.regression = delta.ratio < 1.0 - threshold;
+      } else {
+        delta.regression = delta.ratio > 1.0 + threshold;
+      }
+      result.has_regression = result.has_regression || delta.regression;
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  for (const BenchEntry& entry : current) {
+    if (!matched.count(entry.name)) {
+      result.notes.push_back("benchmark \"" + entry.name +
+                             "\" is new (not in baseline)");
+    }
+  }
+  return result;
+}
+
+std::string FormatReport(const DiffResult& result) {
+  std::string report;
+  char line[256];
+  for (const MetricDelta& d : result.deltas) {
+    std::snprintf(line, sizeof(line),
+                  "%-9s %-40s %-24s %14.3f -> %14.3f  (%+.1f%%)\n",
+                  d.regression ? "REGRESSED" : "ok", d.bench.c_str(),
+                  d.metric.c_str(), d.baseline, d.current,
+                  (d.ratio - 1.0) * 100.0);
+    report += line;
+  }
+  for (const std::string& note : result.notes) {
+    report += "note: " + note + "\n";
+  }
+  return report;
+}
+
+}  // namespace benchdiff
+}  // namespace aud

@@ -1,0 +1,67 @@
+// benchdiff: the perf-regression comparator. Reads two bench JSON files
+// (the google-benchmark-shaped output of bench/bench_json.h, or real
+// google-benchmark --benchmark_out files) and flags metrics that moved
+// more than a threshold in the bad direction. "Bad" is per-metric: times
+// regress when they grow, metrics named *speedup* regress when they
+// shrink. Runs from CI against the checked-in bench/baselines/ files.
+//
+// Like audlint, the core is a pure function over strings so the unit test
+// (tests/benchdiff_test.cc) can exercise it on in-memory fixtures; the
+// binary (tools/benchdiff.cc) adds file I/O and flags.
+
+#ifndef TOOLS_BENCHDIFF_CORE_H_
+#define TOOLS_BENCHDIFF_CORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aud {
+namespace benchdiff {
+
+// One benchmark entry: its name plus every numeric field found on it.
+struct BenchEntry {
+  std::string name;
+  std::map<std::string, double> metrics;
+};
+
+// Parses the "benchmarks" array out of bench JSON. On malformed input
+// returns an empty vector and sets *error; unknown fields are ignored.
+std::vector<BenchEntry> ParseBenchJson(const std::string& text,
+                                       std::string* error);
+
+// One compared metric. `ratio` is current/baseline; `regression` is set
+// when the move exceeds the threshold in the bad direction.
+struct MetricDelta {
+  std::string bench;
+  std::string metric;
+  double baseline = 0;
+  double current = 0;
+  double ratio = 1.0;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<MetricDelta> deltas;    // every metric present in both files
+  std::vector<std::string> notes;     // benchmarks only on one side
+  bool has_regression = false;
+};
+
+// True when larger values of this metric are better (e.g. speedups);
+// everything else (times, counts) regresses upward.
+bool HigherIsBetter(const std::string& metric);
+
+// Compares every metric present in both files. `threshold` is fractional:
+// 0.10 flags moves beyond +/-10% in the bad direction. Bookkeeping fields
+// ("iterations", "cpu_time" -- duplicated from real_time by our writer)
+// are skipped.
+DiffResult Compare(const std::vector<BenchEntry>& baseline,
+                   const std::vector<BenchEntry>& current, double threshold);
+
+// Human-readable report, one line per compared metric.
+std::string FormatReport(const DiffResult& result);
+
+}  // namespace benchdiff
+}  // namespace aud
+
+#endif  // TOOLS_BENCHDIFF_CORE_H_
