@@ -1,6 +1,11 @@
 #include "src/alib/alib.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "src/common/logging.h"
+#include "src/transport/fault_stream.h"
 #include "src/transport/socket_stream.h"
 
 namespace aud {
@@ -45,7 +50,37 @@ std::unique_ptr<AudioConnection> AudioConnection::OpenTcp(const std::string& hos
   if (stream == nullptr) {
     return nullptr;
   }
+  // Client-side chaos hook: zero cost when the env spec is unset.
+  static const FaultOptions fault = FaultOptionsFromEnv("AUD_ALIB_FAULT");
+  if (fault.enabled) {
+    stream = MaybeWrapFault(std::move(stream), fault);
+  }
   return Open(std::move(stream), client_name);
+}
+
+std::unique_ptr<AudioConnection> AudioConnection::OpenTcpRetry(
+    const std::string& host, uint16_t port, const std::string& client_name,
+    const ConnectRetryOptions& retry) {
+  uint64_t rng = retry.jitter_seed != 0 ? retry.jitter_seed : 1;
+  uint32_t backoff = std::max<uint32_t>(retry.backoff_ms, 1);
+  for (int attempt = 1; ; ++attempt) {
+    std::unique_ptr<AudioConnection> conn = OpenTcp(host, port, client_name);
+    if (conn != nullptr) {
+      return conn;
+    }
+    if (attempt >= retry.attempts) {
+      LogLine(LogLevel::kWarning) << "connect to " << host << ":" << port
+                                  << " gave up after " << attempt << " attempts";
+      return nullptr;
+    }
+    // xorshift64 full jitter: sleep in [backoff/2, backoff].
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    const uint32_t sleep_ms = backoff / 2 + static_cast<uint32_t>(rng % (backoff / 2 + 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff = std::min(backoff * 2, std::max<uint32_t>(retry.max_backoff_ms, 1));
+  }
 }
 
 ResourceId AudioConnection::AllocId() {
@@ -93,20 +128,41 @@ void AudioConnection::ReaderLoop() {
 }
 
 uint32_t AudioConnection::SendRequest(Opcode opcode, std::span<const uint8_t> payload) {
-  MutexLock lock(&write_mu_);
-  uint32_t seq = next_sequence_++;
-  if (!WriteMessage(stream_.get(), MessageType::kRequest, static_cast<uint16_t>(opcode), seq,
-                    payload)) {
-    closed_.store(true);
+  uint32_t seq;
+  bool failed = false;
+  {
+    MutexLock lock(&write_mu_);
+    seq = next_sequence_++;
+    if (!WriteMessage(stream_.get(), MessageType::kRequest, static_cast<uint16_t>(opcode), seq,
+                      payload)) {
+      closed_.store(true);
+      failed = true;
+    }
+  }
+  if (failed) {
+    // Server died mid-call: wake any blocked WaitReply so it surfaces
+    // kConnection instead of waiting on a reply that will never come.
+    // (write_mu_ and queue_mu_ are never held together.)
+    MutexLock q(&queue_mu_);
+    queue_cv_.NotifyAll();
   }
   return seq;
 }
 
 Result<std::vector<uint8_t>> AudioConnection::WaitReply(uint32_t sequence) {
+  const int deadline_ms = rpc_deadline_ms_.load();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
   MutexLock lock(&queue_mu_);
   while (replies_.count(sequence) == 0 && reply_errors_.count(sequence) == 0 &&
          !closed_.load()) {
-    queue_cv_.Wait(queue_mu_);
+    if (deadline_ms <= 0) {
+      queue_cv_.Wait(queue_mu_);
+    } else if (queue_cv_.WaitUntil(queue_mu_, deadline) == std::cv_status::timeout &&
+               replies_.count(sequence) == 0 && reply_errors_.count(sequence) == 0 &&
+               !closed_.load()) {
+      return Status(ErrorCode::kTimeout, "reply deadline exceeded");
+    }
   }
   auto reply_it = replies_.find(sequence);
   if (reply_it != replies_.end()) {

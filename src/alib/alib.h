@@ -34,6 +34,17 @@ struct AsyncError {
   ErrorMessage error;
 };
 
+// Retry schedule for OpenTcpRetry: exponential backoff with seeded full
+// jitter, so a herd of restarting clients spreads out instead of hammering
+// a recovering server in lockstep — and a test replays the exact schedule
+// from the seed.
+struct ConnectRetryOptions {
+  int attempts = 5;               // total connect attempts (>= 1)
+  uint32_t backoff_ms = 10;       // delay before the first retry
+  uint32_t max_backoff_ms = 500;  // exponential growth cap
+  uint64_t jitter_seed = 1;
+};
+
 class AudioConnection {
  public:
   ~AudioConnection();
@@ -46,9 +57,17 @@ class AudioConnection {
   static std::unique_ptr<AudioConnection> Open(std::unique_ptr<ByteStream> stream,
                                                const std::string& client_name);
 
-  // Connects to host:port over TCP and performs setup.
+  // Connects to host:port over TCP and performs setup. The AUD_ALIB_FAULT
+  // env spec (see fault_stream.h) wraps the client side of the transport
+  // for chaos tests.
   static std::unique_ptr<AudioConnection> OpenTcp(const std::string& host, uint16_t port,
                                                   const std::string& client_name);
+
+  // OpenTcp with retries: exponential backoff + jitter between attempts.
+  // Returns nullptr only after `retry.attempts` failures.
+  static std::unique_ptr<AudioConnection> OpenTcpRetry(
+      const std::string& host, uint16_t port, const std::string& client_name,
+      const ConnectRetryOptions& retry = {});
 
   bool connected() const { return !closed_; }
   const std::string& server_name() const { return server_name_; }
@@ -63,8 +82,15 @@ class AudioConnection {
   uint32_t SendRequest(Opcode opcode, std::span<const uint8_t> payload);
 
   // Blocks until the reply for `sequence` arrives. An error for that
-  // sequence surfaces as a non-OK status.
+  // sequence surfaces as a non-OK status; if the connection dies mid-wait
+  // the status is kConnection, and if an rpc deadline is set and passes
+  // first it is kTimeout (the request may still execute server-side).
   Result<std::vector<uint8_t>> WaitReply(uint32_t sequence);
+
+  // Deadline applied to every blocking round-trip; <= 0 (default) waits
+  // forever. Takes effect from the next WaitReply.
+  void set_rpc_deadline_ms(int ms) { rpc_deadline_ms_.store(ms); }
+  int rpc_deadline_ms() const { return rpc_deadline_ms_.load(); }
 
   // Round trip: send + wait, like the many small query wrappers below.
   Result<std::vector<uint8_t>> RoundTrip(Opcode opcode, std::span<const uint8_t> payload);
@@ -177,6 +203,7 @@ class AudioConnection {
 
   std::thread reader_;
   std::atomic<bool> closed_{false};
+  std::atomic<int> rpc_deadline_ms_{0};
 };
 
 // -- Introspection conveniences -----------------------------------------------------

@@ -36,6 +36,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "Connection";
     case ErrorCode::kLimit:
       return "Limit";
+    case ErrorCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }

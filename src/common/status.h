@@ -49,6 +49,9 @@ enum class ErrorCode : uint8_t {
   kConnection = 14,
   // Implementation limit reached (attribute list too long, etc.).
   kLimit = 15,
+  // A blocking round-trip exceeded its client-side deadline (the request
+  // may still execute on the server; only the wait was abandoned).
+  kTimeout = 16,
 };
 
 // Human-readable name for an ErrorCode, for logs and test failures.

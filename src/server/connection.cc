@@ -1,21 +1,100 @@
 #include "src/server/connection.h"
 
+#include "src/common/logging.h"
+
 namespace aud {
+
+ClientConnection::~ClientConnection() {
+  // Whoever destroys the connection must already have ensured both loops
+  // can exit (HardClose, or reader exit + BeginDrain).
+  if (writer_thread_.joinable()) {
+    writer_thread_.join();
+  }
+  if (reader_thread_.joinable()) {
+    reader_thread_.join();
+  }
+}
+
+void ClientConnection::set_metrics(ServerMetrics* metrics) {
+  metrics_ = metrics;
+  egress_.set_bytes_gauge(metrics != nullptr ? &metrics->egress_queued_bytes
+                                             : nullptr);
+}
+
+void ClientConnection::StartWriter() {
+  writer_started_.store(true);
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+}
+
+void ClientConnection::StartReader(std::function<void()> body) {
+  reader_thread_ = std::thread(std::move(body));
+}
+
+void ClientConnection::WriterLoop() {
+  EgressFrame frame;
+  while (egress_.Pop(&frame)) {
+    if (!WriteMessage(stream_.get(), frame.type, frame.code, frame.sequence,
+                      frame.payload)) {
+      // Transport dead: the reader will see EOF and run reclamation.
+      MarkClosed();
+      egress_.CloseNow();
+      break;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->bytes_out.Increment(kHeaderSize + frame.payload.size());
+    }
+  }
+  egress_.MarkWriterExited();
+}
+
+void ClientConnection::BeginDrain() {
+  MarkClosed();
+  egress_.BeginDrain();
+  // Bounded flush so a peer that stops reading mid-drain cannot pin the
+  // reader thread. Never join here — BeginDrain runs on the reader thread
+  // while the destructor (pruner/shutdown) may be joining concurrently;
+  // the destructor is the single owner of both joins.
+  if (writer_started_.load()) {
+    egress_.WaitWriterExitedFor(std::chrono::milliseconds(2000));
+  }
+  stream_->Close();
+}
+
+void ClientConnection::HardClose() {
+  MarkClosed();
+  egress_.CloseNow();
+  stream_->Close();
+}
 
 bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
                             std::span<const uint8_t> payload) {
   if (closed_.load()) {
     return false;
   }
-  MutexLock lock(&write_mu_);
-  if (!WriteMessage(stream_.get(), type, code, sequence, payload)) {
-    closed_.store(true);
-    return false;
+  EgressFrame frame{type, code, sequence,
+                    std::vector<uint8_t>(payload.begin(), payload.end())};
+  EgressPushResult result = egress_.Push(std::move(frame));
+  if (result.dropped_events > 0 && metrics_ != nullptr) {
+    metrics_->events_dropped.Increment(result.dropped_events);
   }
-  if (metrics_ != nullptr) {
-    metrics_->bytes_out.Increment(kHeaderSize + payload.size());
+  switch (result.status) {
+    case EgressPushStatus::kQueued:
+      return true;
+    case EgressPushStatus::kClosed:
+      return false;
+    case EgressPushStatus::kOverflow:
+      // Slow client: it stopped reading even its replies. Cut it off; the
+      // reader observes the closed stream and reclaims its resources.
+      LogLine(LogLevel::kWarning)
+          << "egress overflow, disconnecting slow client #" << index_
+          << (client_name_.empty() ? "" : " (" + client_name_ + ")");
+      if (metrics_ != nullptr) {
+        metrics_->egress_disconnects.Increment();
+      }
+      HardClose();
+      return false;
   }
-  return true;
+  return false;
 }
 
 bool ClientConnection::SendReply(uint16_t opcode, uint32_t sequence,

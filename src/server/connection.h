@@ -3,32 +3,53 @@
 // and keeps "a container object for each client connection" (section 6.1);
 // the object registry tags every resource with its owning connection so
 // disconnect cleanup is exact.
+//
+// Each connection owns two threads: the reader (loop body supplied by the
+// server — parses requests, dispatches under the big lock) and the writer,
+// which drains the bounded egress queue. Send* enqueue and never perform
+// transport I/O, so they are safe to call with the big lock held
+// (DESIGN.md decision 11); all blocking writes happen on the writer.
 
 #ifndef SRC_SERVER_CONNECTION_H_
 #define SRC_SERVER_CONNECTION_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 
-#include "src/common/thread_annotations.h"
+#include "src/server/egress_queue.h"
 #include "src/server/metrics.h"
 #include "src/transport/framer.h"
 #include "src/transport/stream.h"
 
 namespace aud {
 
+// Default per-connection egress budget. Generous enough that only a client
+// that has genuinely stopped reading ever hits the overflow policy.
+inline constexpr size_t kDefaultEgressBudgetBytes = 1u << 20;  // 1 MiB
+
 class ClientConnection {
  public:
-  ClientConnection(uint32_t index, std::unique_ptr<ByteStream> stream)
-      : index_(index), stream_(std::move(stream)) {}
+  ClientConnection(uint32_t index, std::unique_ptr<ByteStream> stream,
+                   size_t egress_budget_bytes = kDefaultEgressBudgetBytes,
+                   EgressOverflowPolicy overflow_policy =
+                       EgressOverflowPolicy::kDropEvents)
+      : index_(index),
+        stream_(std::move(stream)),
+        egress_(egress_budget_bytes, overflow_policy) {}
+
+  // Joins both threads. The server must have unblocked them first
+  // (HardClose, or natural reader exit + drain).
+  ~ClientConnection();
 
   uint32_t index() const { return index_; }
   ByteStream* stream() { return stream_.get(); }
 
   // Optional byte/event accounting sink (the server's metrics aggregate;
-  // counters are atomic, so writes need no lock).
-  void set_metrics(ServerMetrics* metrics) { metrics_ = metrics; }
+  // counters are atomic, so writes need no lock). Set before StartWriter.
+  void set_metrics(ServerMetrics* metrics);
   ServerMetrics* metrics() { return metrics_; }
 
   const std::string& client_name() const { return client_name_; }
@@ -41,9 +62,31 @@ class ClientConnection {
   uint32_t last_sequence() const { return last_sequence_.load(); }
   void set_last_sequence(uint32_t seq) { last_sequence_.store(seq); }
 
-  // Writes one framed message. Serialized: requests processed on the
-  // reader thread and events emitted from the engine thread interleave
-  // safely. Returns false once the stream has failed.
+  // Spawns the writer thread draining the egress queue.
+  void StartWriter();
+  // Spawns the reader thread running `body` (the server's ReaderLoop).
+  void StartReader(std::function<void()> body);
+
+  // Reader-exit teardown: stop accepting new frames, let the writer flush
+  // what is already queued (a final error/refusal still reaches the
+  // client), then close the stream. Called from the reader thread.
+  void BeginDrain();
+
+  // Immediate teardown: mark closed, discard the egress backlog, shut the
+  // stream down so a blocked reader/writer wakes. Safe from any thread and
+  // idempotent; used for slow-client disconnect and server shutdown.
+  void HardClose();
+
+  // True once the reader thread has finished its teardown and is about to
+  // exit — the connection can be joined and destroyed without touching
+  // server state. Set by the reader as its last action.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  void MarkFinished() { finished_.store(true, std::memory_order_release); }
+
+  // Enqueues one framed message; never blocks on transport I/O. Returns
+  // false once the connection is closed or the client was disconnected by
+  // the overflow policy. Event frames may be shed under pressure (counted
+  // in events_dropped) without failing the call.
   bool Send(MessageType type, uint16_t code, uint32_t sequence,
             std::span<const uint8_t> payload);
 
@@ -52,18 +95,25 @@ class ClientConnection {
   bool SendError(uint32_t sequence, const ErrorMessage& error);
   bool SendEvent(const EventMessage& event);
 
+  uint64_t events_dropped() const { return egress_.dropped_events_total(); }
+  size_t egress_queued_bytes() const { return egress_.queued_bytes(); }
+
  private:
+  void WriterLoop();
+
   uint32_t index_;
-  // The stream object itself is not guarded by write_mu_: the reader thread
-  // calls stream_->Read() concurrently with writers. ByteStream impls are
-  // duplex-safe (one reader + serialized writers); write_mu_ serializes the
-  // writers.
+  // Not guarded: the reader thread calls stream_->Read() concurrently with
+  // the writer thread's stream_->Write(). ByteStream impls are duplex-safe
+  // (one reader + one writer); the egress queue serializes all writers.
   std::unique_ptr<ByteStream> stream_;
   ServerMetrics* metrics_ = nullptr;
   std::string client_name_;
-  // Leaf lock: nothing else is acquired while held (DESIGN.md decision 9).
-  Mutex write_mu_;
+  EgressQueue egress_;
+  std::thread writer_thread_;
+  std::thread reader_thread_;
+  std::atomic<bool> writer_started_{false};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> finished_{false};
   std::atomic<uint32_t> last_sequence_{0};
 };
 

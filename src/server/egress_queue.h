@@ -1,0 +1,113 @@
+// Bounded, byte-budgeted outbound frame queue — the mechanism behind
+// DESIGN.md decision 11 ("no socket I/O under mu_"). The dispatcher and
+// engine enqueue replies/errors/events here without ever touching the
+// transport; a per-connection writer thread drains the queue and performs
+// the (possibly blocking) writes outside every server lock. A stalled
+// client therefore backs up only its own queue, never the big lock.
+//
+// On overflow the queue applies an X-server-style policy: drop the oldest
+// events (replies and errors are never dropped — the protocol is
+// request/response and clients wait on them), or report overflow so the
+// caller can disconnect the slow client. If the non-droppable backlog
+// alone exceeds the budget the client is not reading replies at all, and
+// the queue reports overflow regardless of policy.
+//
+// Lock rank: EgressQueue::mu_ is a leaf (rank 1, same tier as the old
+// ClientConnection::write_mu_ it replaces). Pop copies one frame out under
+// the lock; the actual transport write happens with no queue lock held.
+
+#ifndef SRC_SERVER_EGRESS_QUEUE_H_
+#define SRC_SERVER_EGRESS_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/obs.h"
+#include "src/common/thread_annotations.h"
+#include "src/transport/framer.h"
+
+namespace aud {
+
+enum class EgressOverflowPolicy : uint8_t {
+  kDropEvents,  // shed oldest events first; disconnect only on reply backlog
+  kDisconnect,  // any overflow disconnects the slow client
+};
+
+// One framed message, owned. `bytes` below means kHeaderSize + payload.
+struct EgressFrame {
+  MessageType type;
+  uint16_t code = 0;
+  uint32_t sequence = 0;
+  std::vector<uint8_t> payload;
+};
+
+enum class EgressPushStatus : uint8_t {
+  kQueued,    // frame accepted (possibly after shedding older events)
+  kOverflow,  // budget exhausted by undroppable frames: disconnect client
+  kClosed,    // queue already draining/closed; frame discarded
+};
+
+struct EgressPushResult {
+  EgressPushStatus status;
+  // Events shed to make room (includes the pushed frame itself when an
+  // incoming event is dropped because even shedding could not fit it).
+  uint32_t dropped_events = 0;
+};
+
+class EgressQueue {
+ public:
+  EgressQueue(size_t budget_bytes, EgressOverflowPolicy policy)
+      : budget_bytes_(budget_bytes), policy_(policy) {}
+
+  // Optional server-wide gauge mirroring this queue's backlog; adjusted on
+  // every enqueue/dequeue/shed. Set before the first Push.
+  void set_bytes_gauge(obs::Gauge* gauge) { bytes_gauge_ = gauge; }
+
+  // Never blocks. Applies the overflow policy when the frame would push
+  // the backlog past the byte budget.
+  EgressPushResult Push(EgressFrame frame);
+
+  // Blocks until a frame is available (true) or the queue is finished
+  // (false): finished means closed, or draining with nothing left.
+  bool Pop(EgressFrame* out);
+
+  // No further pushes; Pop hands out the remaining backlog then returns
+  // false. Used on clean reader exit so a final reply/error still flushes.
+  void BeginDrain();
+
+  // Discard the backlog and wake the writer immediately (slow-client
+  // disconnect, server shutdown).
+  void CloseNow();
+
+  // The writer loop announces its exit (last statement, every path), so a
+  // drain can wait for the flush with a bound instead of an unbounded
+  // join — a peer that stops reading mid-flush cannot pin the reader.
+  void MarkWriterExited();
+  bool WaitWriterExitedFor(std::chrono::milliseconds timeout);
+
+  size_t queued_bytes() const;
+  uint64_t dropped_events_total() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t budget_bytes_;
+  EgressOverflowPolicy policy_;
+  obs::Gauge* bytes_gauge_ = nullptr;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<EgressFrame> frames_ AUD_GUARDED_BY(mu_);
+  size_t queued_bytes_ AUD_GUARDED_BY(mu_) = 0;
+  bool draining_ AUD_GUARDED_BY(mu_) = false;
+  bool closed_ AUD_GUARDED_BY(mu_) = false;
+  bool writer_exited_ AUD_GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> dropped_events_{0};
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_EGRESS_QUEUE_H_

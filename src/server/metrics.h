@@ -43,7 +43,11 @@ struct ServerMetrics {
   obs::Counter connections_total;
   obs::Counter bytes_in;
   obs::Counter bytes_out;
-  obs::Counter events_sent;
+  obs::Counter events_sent;     // counted at successful enqueue, not write
+  obs::Counter events_dropped;  // egress overflow, drop-oldest-events policy
+  obs::Counter egress_disconnects;  // slow clients cut off by overflow policy
+  obs::Gauge egress_queued_bytes;   // sum of all connections' egress backlogs
+  obs::Counter accept_retries;      // transient accept(2) failures retried
 
   // -- Decoded-PCM cache -----------------------------------------------------
   obs::Counter decoded_cache_hits;

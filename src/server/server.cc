@@ -16,6 +16,10 @@ AudioServer::AudioServer(Board* board, ServerOptions options)
   state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
     DeliverEvent(conn_index, event);
   });
+  fault_options_ = options_.fault;
+  if (!fault_options_.enabled) {
+    fault_options_ = FaultOptionsFromEnv("AUD_FAULT");
+  }
 }
 
 // Called with mu_ held (from dispatch or engine tick) — see the declaration
@@ -32,15 +36,35 @@ void AudioServer::DeliverEvent(uint32_t conn_index, const EventMessage& event) {
 AudioServer::~AudioServer() { Shutdown(); }
 
 void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
+  // Declared before the lock so the joins in ~ClientConnection run after
+  // the lock is released (their readers take mu_ during teardown).
+  std::vector<std::unique_ptr<ClientConnection>> finished;
   MutexLock lock(&mu_);
-  auto conn = std::make_unique<ClientConnection>(next_connection_index_++, std::move(stream));
+  // Prune connections whose reader completed teardown: each accepted
+  // stream pays the (tiny) cleanup cost for its predecessors, so a
+  // long-lived server does not accumulate dead connection objects.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished()) {
+      finished.push_back(std::move(*it));
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const uint32_t index = next_connection_index_++;
+  if (fault_options_.enabled) {
+    stream = MaybeWrapFault(std::move(stream), fault_options_.ForInstance(index));
+  }
+  auto conn = std::make_unique<ClientConnection>(
+      index, std::move(stream), options_.egress_buffer_bytes, options_.egress_overflow);
   ClientConnection* raw = conn.get();
   raw->set_metrics(metrics_);
   metrics_->connections_total.Increment();
   metrics_->connections_open.Add(1);
   obs::Trace(obs::TraceReason::kConnectionOpen, raw->index());
+  raw->StartWriter();
+  raw->StartReader([this, raw] { ReaderLoop(raw); });
   connections_.push_back(std::move(conn));
-  reader_threads_.emplace_back([this, raw] { ReaderLoop(raw); });
 }
 
 bool AudioServer::ListenTcp(uint16_t port) {
@@ -63,10 +87,19 @@ size_t AudioServer::connection_count() {
 }
 
 void AudioServer::AcceptLoop() {
+  uint64_t retries_seen = 0;
   while (!shutting_down_.load()) {
+    // Transient accept failures (EINTR, ECONNABORTED, fd exhaustion) are
+    // retried inside Accept with bounded backoff; nullptr means the
+    // listener itself was closed.
     std::unique_ptr<ByteStream> stream = listener_.Accept();
+    const uint64_t retries = listener_.accept_retries();
+    if (retries > retries_seen) {
+      metrics_->accept_retries.Increment(retries - retries_seen);
+      retries_seen = retries;
+    }
     if (stream == nullptr) {
-      return;  // Listener closed.
+      return;
     }
     AddConnection(std::move(stream));
   }
@@ -80,9 +113,10 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     metrics.bytes_in.Increment(kHeaderSize + setup->payload.size());
   }
   if (!setup || !HandleSetup(conn, *setup)) {
-    conn->MarkClosed();
-    conn->stream()->Close();
+    // Drain first: the refusal reply queued by HandleSetup still flushes.
+    conn->BeginDrain();
     metrics.connections_open.Sub(1);
+    conn->MarkFinished();
     return;
   }
 
@@ -97,15 +131,20 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     HandleRequest(conn, *message);
   }
 
-  conn->MarkClosed();
-  conn->stream()->Close();
+  // Flush queued replies/events (bounded), then close the transport.
+  conn->BeginDrain();
   // Free every resource the client owned (the paper's per-connection
   // container teardown).
-  MutexLock lock(&mu_);
-  state_.DestroyConnectionObjects(conn->index());
-  state_.RecomputeActivation();
-  metrics.connections_open.Sub(1);
-  obs::Trace(obs::TraceReason::kConnectionClose, conn->index());
+  {
+    MutexLock lock(&mu_);
+    state_.DestroyConnectionObjects(conn->index());
+    state_.RecomputeActivation();
+    metrics.connections_open.Sub(1);
+    obs::Trace(obs::TraceReason::kConnectionClose, conn->index());
+  }
+  // Last action: the connection may now be joined and destroyed by the
+  // next AddConnection prune or by Shutdown.
+  conn->MarkFinished();
 }
 
 bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& message) {
@@ -188,23 +227,18 @@ void AudioServer::Shutdown() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  // Swap the reader threads out under the lock, then join outside it (the
-  // readers themselves take mu_ during teardown). No new readers can appear:
-  // the accept thread has already been joined above.
-  std::vector<std::thread> readers;
+  // Swap the connections out under the lock, then join/destroy outside it
+  // (the readers themselves take mu_ during teardown). No new connections
+  // can appear: the accept thread has already been joined above.
+  std::vector<std::unique_ptr<ClientConnection>> conns;
   {
     MutexLock lock(&mu_);
     for (auto& conn : connections_) {
-      conn->MarkClosed();
-      conn->stream()->Close();
+      conn->HardClose();
     }
-    readers.swap(reader_threads_);
+    conns.swap(connections_);
   }
-  for (std::thread& t : readers) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
+  conns.clear();  // ~ClientConnection joins each reader + writer
 }
 
 }  // namespace aud

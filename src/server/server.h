@@ -32,6 +32,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/server/connection.h"
 #include "src/server/server_state.h"
+#include "src/transport/fault_stream.h"
 #include "src/transport/socket_stream.h"
 #include "src/transport/stream.h"
 
@@ -51,6 +52,16 @@ struct ServerOptions {
   // every Play decodes incrementally. 8 MiB holds ~8.7 minutes of 8 kHz
   // audio — plenty for a prompt catalogue.
   size_t decoded_cache_bytes = 8 * 1024 * 1024;
+  // Per-connection outbound byte budget and what to do when a slow client
+  // fills it (DESIGN.md decision 11). Replies/errors are never dropped;
+  // kDropEvents sheds oldest events first and disconnects only when the
+  // reply backlog alone exceeds the budget.
+  size_t egress_buffer_bytes = kDefaultEgressBudgetBytes;
+  EgressOverflowPolicy egress_overflow = EgressOverflowPolicy::kDropEvents;
+  // Server-side transport fault injection for chaos tests: every accepted
+  // stream is wrapped in a per-connection seeded FaultStream. Disabled by
+  // default; the AUD_FAULT env spec applies when this is not set.
+  FaultOptions fault;
 };
 
 class AudioServer {
@@ -73,6 +84,9 @@ class AudioServer {
   // ephemeral port). Returns false if the bind failed.
   bool ListenTcp(uint16_t port);
   uint16_t tcp_port() const { return listener_.port(); }
+
+  // Direct listener access for tests (errno injection, retry counters).
+  SocketListener& listener_for_test() { return listener_; }
 
   size_t connection_count();
 
@@ -125,9 +139,12 @@ class AudioServer {
   // reader/engine hot paths count bytes and jitter without taking mu_.
   ServerMetrics* metrics_ = nullptr;
 
+  // Connections own their reader and writer threads; AddConnection prunes
+  // entries whose reader has finished teardown (joining outside mu_).
   std::vector<std::unique_ptr<ClientConnection>> connections_ AUD_GUARDED_BY(mu_);
-  std::vector<std::thread> reader_threads_ AUD_GUARDED_BY(mu_);
   uint32_t next_connection_index_ AUD_GUARDED_BY(mu_) = 0;
+  // Resolved once at construction: options_.fault, else the AUD_FAULT env.
+  FaultOptions fault_options_;
 
   SocketListener listener_;
   std::thread accept_thread_;

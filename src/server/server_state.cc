@@ -161,6 +161,14 @@ Status ServerState::Destroy(ResourceId id) {
       }
       if (dev->active()) {
         dev->AbortCommand();
+        // A dying owner must not leave the phone line off-hook (the
+        // paper's answering-machine crash case): hang up before the line
+        // unit is released back to the exchange.
+        if (auto* telephone = dynamic_cast<TelephoneDevice*>(dev);
+            telephone != nullptr && telephone->line_unit() != nullptr &&
+            telephone->line_unit()->line_state() != LineState::kOnHook) {
+          telephone->line_unit()->HangUp();
+        }
         dev->Unbind();
       }
       // The root queue's program may still reference this device (a child
@@ -186,6 +194,21 @@ Status ServerState::Destroy(ResourceId id) {
 }
 
 void ServerState::DestroyConnectionObjects(uint32_t conn) {
+  // A dying owner must not leave a phone line off-hook (the paper's
+  // answering-machine crash case). Hang up every line the connection's
+  // telephone devices still hold before the teardown below unbinds them —
+  // Destroy on a mapped root runs UnmapLoud first, which clears the
+  // device/line binding and would lose the line pointer.
+  for (const auto& [id, obj] : objects_) {
+    if (obj->owner() != conn || obj->kind() != ObjectKind::kVirtualDevice) {
+      continue;
+    }
+    if (auto* telephone = dynamic_cast<TelephoneDevice*>(obj.get());
+        telephone != nullptr && telephone->line_unit() != nullptr &&
+        telephone->line_unit()->line_state() != LineState::kOnHook) {
+      telephone->line_unit()->HangUp();
+    }
+  }
   // Louds first (they cascade), then stray devices/wires/sounds.
   for (int pass = 0; pass < 2; ++pass) {
     std::vector<ResourceId> ids;
@@ -1054,6 +1077,10 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.decoded_cache_misses = metrics_.decoded_cache_misses.value();
   reply.decoded_cache_bytes = static_cast<uint64_t>(metrics_.decoded_cache_bytes.value());
   reply.decoded_cache_evictions = metrics_.decoded_cache_evictions.value();
+  reply.events_dropped = metrics_.events_dropped.value();
+  reply.egress_disconnects = metrics_.egress_disconnects.value();
+  reply.egress_queued_bytes = metrics_.egress_queued_bytes.value();
+  reply.accept_retries = metrics_.accept_retries.value();
   return reply;
 }
 

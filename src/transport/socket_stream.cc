@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/common/logging.h"
 
@@ -98,26 +101,86 @@ bool SocketListener::Listen(uint16_t port) {
   return true;
 }
 
+namespace {
+
+// accept(2) failures that do not mean the listener itself is dead. EMFILE /
+// ENFILE / ENOMEM / ENOBUFS clear up when some other connection releases its
+// fd; ECONNABORTED and EINTR are momentary by definition. EAGAIN appears
+// here because injected test errnos route through the same classifier.
+bool IsTransientAcceptError(int err) {
+  switch (err) {
+    case EINTR:
+    case ECONNABORTED:
+    case EMFILE:
+    case ENFILE:
+    case ENOMEM:
+    case ENOBUFS:
+    case EAGAIN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<ByteStream> SocketListener::Accept() {
-  if (fd_ < 0) {
-    return nullptr;
+  uint32_t backoff_ms = 0;  // 0 → 1 → 2 → ... → 100 (capped)
+  while (true) {
+    if (closed_.load(std::memory_order_relaxed) || fd_ < 0) {
+      return nullptr;
+    }
+    int client;
+    int err;
+    if (!injected_errnos_.empty()) {
+      client = -1;
+      err = injected_errnos_.front();
+      injected_errnos_.erase(injected_errnos_.begin());
+    } else {
+      client = ::accept(fd_, nullptr, nullptr);
+      err = errno;
+    }
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<SocketStream>(client);
+    }
+    // Close() runs shutdown(2) to unblock us, which surfaces as EINVAL (or
+    // EBADF once the destructor ran): re-check the flag before classifying.
+    if (closed_.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    if (!IsTransientAcceptError(err)) {
+      LogLine(LogLevel::kWarning)
+          << "accept failed (fatal): " << std::strerror(err);
+      return nullptr;
+    }
+    // Transient burst: log the first failure only, count all of them, and
+    // back off exponentially so an fd-exhaustion storm doesn't spin a core.
+    if (backoff_ms == 0) {
+      LogLine(LogLevel::kWarning)
+          << "accept failed (transient, retrying): " << std::strerror(err);
+      backoff_ms = 1;
+    } else {
+      backoff_ms = std::min<uint32_t>(backoff_ms * 2, 100);
+    }
+    accept_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
   }
-  int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) {
-    return nullptr;
-  }
-  int one = 1;
-  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::make_unique<SocketStream>(client);
 }
 
 void SocketListener::Close() {
   // Same split as SocketStream: shutdown() unblocks a thread in Accept();
   // the destructor (after the accept thread is joined) closes the fd.
+  closed_.store(true, std::memory_order_relaxed);
   const int fd = fd_.load(std::memory_order_relaxed);
   if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
   }
+}
+
+void SocketListener::InjectAcceptErrnosForTest(std::vector<int> errnos) {
+  injected_errnos_ = std::move(errnos);
 }
 
 std::unique_ptr<ByteStream> ConnectTcp(const std::string& host, uint16_t port) {

@@ -6,8 +6,10 @@
 #define SRC_TRANSPORT_SOCKET_STREAM_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/transport/stream.h"
 
@@ -47,15 +49,36 @@ class SocketListener {
   // The bound port (useful after Listen(0)).
   uint16_t port() const { return port_; }
 
-  // Blocks for the next connection; nullptr when the listener is closed.
+  // Blocks for the next connection; nullptr only when the listener has
+  // been closed. Transient accept(2) failures — EINTR, ECONNABORTED,
+  // EMFILE/ENFILE, ENOMEM/ENOBUFS — are retried internally with bounded
+  // exponential backoff (1 ms doubling to 100 ms) so one failure burst can
+  // never permanently stop the server accepting. The first failure of a
+  // burst is logged; subsequent ones are only counted.
   std::unique_ptr<ByteStream> Accept();
 
   // Unblocks Accept.
   void Close();
 
+  // Total transient accept failures retried since Listen (a monotone
+  // counter the server mirrors into its accept_retries stat).
+  uint64_t accept_retries() const {
+    return accept_retries_.load(std::memory_order_relaxed);
+  }
+
+  // Test hook: the next Accept() calls consume these errno values (one per
+  // call) instead of calling accept(2), exercising the retry/backoff paths
+  // deterministically. Not thread-safe against a concurrent Accept.
+  void InjectAcceptErrnosForTest(std::vector<int> errnos);
+
  private:
   std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
+  // Set by Close(); distinguishes "listener shut down" from a transient
+  // accept failure (after shutdown(2), accept returns EINVAL on Linux).
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> accept_retries_{0};
+  std::vector<int> injected_errnos_;
 };
 
 // Connects to 127.0.0.1:`port`; nullptr on failure.

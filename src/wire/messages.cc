@@ -932,6 +932,10 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(decoded_cache_misses);
   w->WriteU64(decoded_cache_bytes);
   w->WriteU64(decoded_cache_evictions);
+  w->WriteU64(events_dropped);
+  w->WriteU64(egress_disconnects);
+  w->WriteI64(egress_queued_bytes);
+  w->WriteU64(accept_retries);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -971,6 +975,10 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.decoded_cache_misses = r->ReadU64();
   p.decoded_cache_bytes = r->ReadU64();
   p.decoded_cache_evictions = r->ReadU64();
+  p.events_dropped = r->ReadU64();
+  p.egress_disconnects = r->ReadU64();
+  p.egress_queued_bytes = r->ReadI64();
+  p.accept_retries = r->ReadU64();
   return p;
 }
 

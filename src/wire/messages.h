@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 2;
+inline constexpr uint32_t kServerStatsVersion = 3;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -573,6 +573,12 @@ struct ServerStatsReply {
   uint64_t decoded_cache_misses = 0;
   uint64_t decoded_cache_bytes = 0;      // resident payload bytes
   uint64_t decoded_cache_evictions = 0;
+
+  // Connection-lifecycle robustness (v3).
+  uint64_t events_dropped = 0;      // events shed by egress overflow policy
+  uint64_t egress_disconnects = 0;  // slow clients cut off by overflow
+  int64_t egress_queued_bytes = 0;  // current total egress backlog
+  uint64_t accept_retries = 0;      // transient accept() failures retried
 
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);

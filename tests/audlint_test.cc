@@ -346,6 +346,64 @@ TEST(AudlintTest, MalformedLockLineFlagged) {
   EXPECT_TRUE(HasProblem(LintTree(files), "malformed line: PingReply"));
 }
 
+// Extends the clean tree with a locked ServerStatsReply (v1 -> v2) so the
+// stats doc-coverage check (check 8) has something to examine. doc_extra is
+// appended to PROTOCOL.md.
+FileMap TreeWithStatsReply(const std::string& doc_extra) {
+  FileMap files = CleanTree();
+  files["messages.h"] += R"(
+inline constexpr uint32_t kServerStatsVersion = 2;
+
+struct ServerStatsReply {
+  uint32_t stats_version = 0;
+  uint64_t widgets = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<ServerStatsReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  files["schema.lock"] +=
+      "ServerStatsReply 1 stats_version\n"
+      "ServerStatsReply 2 stats_version widgets\n";
+  files["PROTOCOL.md"] += doc_extra;
+  return files;
+}
+
+TEST(AudlintTest, DocumentedStatsFieldsPass) {
+  FileMap files = TreeWithStatsReply(
+      "\nThe stats reply carries `stats_version` and a `widgets` counter.\n");
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+TEST(AudlintTest, UndocumentedStatsFieldFlagged) {
+  FileMap files =
+      TreeWithStatsReply("\nThe stats reply carries `stats_version`.\n");
+  EXPECT_TRUE(HasProblem(
+      LintTree(files), "ServerStatsReply v2 field widgets is not documented"));
+}
+
+TEST(AudlintTest, SubstringDoesNotCountAsStatsDocumentation) {
+  // "widgetsphere" contains "widgets" but is a different identifier; the
+  // check requires a whole-word mention.
+  FileMap files = TreeWithStatsReply(
+      "\nThe stats reply carries `stats_version` and a widgetsphere.\n");
+  EXPECT_TRUE(HasProblem(
+      LintTree(files), "ServerStatsReply v2 field widgets is not documented"));
+}
+
+TEST(AudlintTest, OnlyNewestStatsVersionNeedsDocs) {
+  // Only the newest locked version's field list is enforced, regardless of
+  // the order the lock lines appear in.
+  FileMap files = TreeWithStatsReply(
+      "\nThe stats reply carries `stats_version` and a `widgets` counter.\n");
+  std::string lock = files["schema.lock"];
+  // Move the v2 line above the v1 line.
+  files["schema.lock"] =
+      "PingReply 1 value\n"
+      "ServerStatsReply 2 stats_version widgets\n"
+      "ServerStatsReply 1 stats_version\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
 }  // namespace
 }  // namespace audlint
 }  // namespace aud

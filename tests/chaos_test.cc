@@ -1,0 +1,384 @@
+// Seeded chaos/soak: a realtime TCP server under a mix of hostile clients —
+// stallers that stop reading, flooders, clients that send truncated frames,
+// and clients that die mid-frame — all with fixed seeds so a failure replays
+// exactly. The server must keep accepting, keep ticking within latency
+// bounds, reclaim every dead client's resources, and (engine_threads > 1)
+// keep its output bit-identical to the serial engine while under fire.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/alib/alib.h"
+#include "src/hw/board.h"
+#include "src/server/server.h"
+#include "src/toolkit/toolkit.h"
+#include "src/transport/fault_stream.h"
+#include "src/transport/framer.h"
+#include "src/transport/pipe_stream.h"
+#include "src/transport/socket_stream.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+constexpr uint64_t kChaosSeed = 20260805;  // fixed: failures replay exactly
+
+// -- Raw protocol helpers (hostile clients do not get the comfort of Alib) --
+
+// Performs the setup handshake; returns the client's id base, or
+// kNoResource when the server refused or the transport died.
+ResourceId RawSetup(ByteStream* stream, const std::string& name) {
+  SetupRequest request;
+  request.client_name = name;
+  ByteWriter w;
+  request.Encode(&w);
+  if (!WriteMessage(stream, MessageType::kRequest, kSetupOpcode, 0, w.bytes())) {
+    return kNoResource;
+  }
+  std::optional<FramedMessage> reply = ReadMessage(stream);
+  if (!reply) {
+    return kNoResource;
+  }
+  ByteReader r(reply->payload);
+  SetupReply setup = SetupReply::Decode(&r);
+  return (r.ok() && setup.success != 0) ? setup.id_base : kNoResource;
+}
+
+void SendReq(ByteStream* stream, Opcode opcode, uint32_t seq,
+             std::span<const uint8_t> payload) {
+  // Failures are expected (the server may have cut us off); ignored.
+  WriteMessage(stream, MessageType::kRequest, static_cast<uint16_t>(opcode), seq, payload);
+}
+
+// A client that builds up a large reply backlog and never reads it: uploads
+// a sound, then requests it back over and over. The writer thread fills the
+// socket buffers, the egress queue hits its budget, and the overflow policy
+// must cut this client — and only this client — off.
+void StallerClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  ResourceId id_base = RawSetup(stream.get(), "staller-" + std::to_string(index));
+  if (id_base == kNoResource) {
+    return;
+  }
+  CreateSoundReq create;
+  create.id = id_base;
+  create.format = kTelephoneFormat;
+  ByteWriter cw;
+  create.Encode(&cw);
+  SendReq(stream.get(), Opcode::kCreateSound, 1, cw.bytes());
+
+  WriteSoundDataReq write;
+  write.id = id_base;
+  write.data.assign(32 * 1024, 0x55);
+  ByteWriter ww;
+  write.Encode(&ww);
+  SendReq(stream.get(), Opcode::kWriteSoundData, 2, ww.bytes());
+
+  ReadSoundDataReq read;
+  read.id = id_base;
+  read.length = 32 * 1024;
+  ByteWriter rw;
+  read.Encode(&rw);
+  // ~6 MB of replies we will never read — far past any socket buffer plus
+  // the test's 8 KiB egress budget.
+  for (uint32_t i = 0; i < 200; ++i) {
+    SendReq(stream.get(), Opcode::kReadSoundData, 3 + i, rw.bytes());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stream->Close();
+}
+
+// Blasts unknown opcodes (every one earns an error reply) without reading.
+void FlooderClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  if (RawSetup(stream.get(), "flooder-" + std::to_string(index)) == kNoResource) {
+    return;
+  }
+  std::vector<uint8_t> junk(64, static_cast<uint8_t>(index));
+  for (uint32_t i = 0; i < 400; ++i) {
+    SendReq(stream.get(), static_cast<Opcode>(200 + i % 17), i, junk);
+  }
+  stream->Close();
+}
+
+// Never even speaks the protocol: raw garbage, then gone.
+void TruncatorClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> garbage(7 + index % 11, 0xEE);
+  stream->Write(garbage);
+  stream->Close();
+}
+
+// Sets up correctly, then dies between a header and its payload — and on a
+// second connection, after a partial payload.
+void MidFrameKillerClient(uint16_t port, int index) {
+  for (size_t cut : {size_t{0}, size_t{5}}) {
+    auto stream = ConnectTcp("127.0.0.1", port);
+    if (stream == nullptr) {
+      return;
+    }
+    if (RawSetup(stream.get(), "killer-" + std::to_string(index)) == kNoResource) {
+      return;
+    }
+    // A header promising 64 payload bytes, then only `cut` of them.
+    std::vector<uint8_t> frame =
+        FrameMessage(MessageType::kRequest, 3, 1, std::vector<uint8_t>(64, 0xAA));
+    stream->Write(std::span<const uint8_t>(frame).first(kHeaderSize + cut));
+    stream->Close();
+  }
+}
+
+// A well-behaved client doing real (small) work through Alib, with its own
+// client-side seeded fault stream chopping its writes — the server sees
+// legitimately fragmented traffic, not just hostile garbage.
+void NormalClient(uint16_t port, int index) {
+  ConnectRetryOptions retry;
+  retry.attempts = 10;
+  retry.backoff_ms = 10;
+  retry.jitter_seed = kChaosSeed + static_cast<uint64_t>(index);
+  auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", port,
+                                            "normal-" + std::to_string(index), retry);
+  if (conn == nullptr) {
+    return;
+  }
+  conn->set_rpc_deadline_ms(5000);
+  for (int round = 0; round < 3; ++round) {
+    ResourceId loud = conn->CreateLoud(kNoResource, {});
+    conn->CreateDevice(loud, DeviceClass::kOutput, {});
+    if (!conn->Sync().ok()) {
+      break;  // server cut us off under chaos pressure; acceptable
+    }
+    conn->DestroyLoud(loud);
+  }
+  conn->Close();
+}
+
+TEST(ChaosTest, ServerSurvivesHostileClientMix) {
+  BoardConfig config;
+  ServerOptions options;
+  options.egress_buffer_bytes = 8 * 1024;  // small: overflow must trigger
+  options.engine_threads = 2;              // chaos on the parallel tick path
+  Board board(config);
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  auto stats = [&] {
+    MutexLock lock(&server.mutex());
+    return server.state().BuildServerStats(false);
+  };
+  auto object_count = [&] {
+    MutexLock lock(&server.mutex());
+    return server.state().object_count();
+  };
+
+  // Idle baseline: the tick latency yardstick for the soak assertion.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const ServerStatsReply idle = stats();
+  ASSERT_GT(idle.ticks_run, 0u);
+  const double idle_p99 = idle.tick_us.empty() ? 0.0 : idle.tick_us.Percentile(99);
+  const size_t objects_before = object_count();
+
+  constexpr int kClients = 25;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([port, i] {
+      switch (i % 5) {
+        case 0: NormalClient(port, i); break;
+        case 1: StallerClient(port, i); break;
+        case 2: FlooderClient(port, i); break;
+        case 3: TruncatorClient(port, i); break;
+        case 4: MidFrameKillerClient(port, i); break;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  // The engine never stopped ticking.
+  const ServerStatsReply after = stats();
+  EXPECT_GT(after.ticks_run, idle.ticks_run);
+  // At least one staller hit the overflow policy and was cut off.
+  EXPECT_GE(after.egress_disconnects, 1u);
+  // Requests flowed and the error path was exercised, not crashed through.
+  EXPECT_GT(after.requests_total, idle.requests_total);
+  EXPECT_GT(after.request_errors_total, 0u);
+
+  // The server still accepts and serves a fresh client.
+  ConnectRetryOptions retry;
+  retry.attempts = 20;
+  retry.backoff_ms = 10;
+  auto fresh = AudioConnection::OpenTcpRetry("127.0.0.1", port, "survivor", retry);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->Sync().ok());
+  auto wire_stats = fresh->GetServerStats(false);
+  ASSERT_TRUE(wire_stats.ok()) << wire_stats.status().ToString();
+  EXPECT_GE(wire_stats.value().egress_disconnects, 1u);
+  fresh->Close();
+
+  // Every dead client's connection and resources get reclaimed: the open-
+  // connection gauge returns to zero and the object registry returns to its
+  // pre-chaos size (the stallers' sounds are destroyed with their owners).
+  bool reclaimed = false;
+  for (int i = 0; i < 500 && !reclaimed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    reclaimed = stats().connections_open == 0 && object_count() == objects_before;
+  }
+  EXPECT_TRUE(reclaimed) << "open=" << stats().connections_open
+                         << " objects=" << object_count() << " (want "
+                         << objects_before << ")";
+
+  // Soak latency bound: chaos may slow ticks, but p99 stays within 2x the
+  // idle baseline (with an absolute floor of one 20 ms engine period so a
+  // sub-microsecond idle baseline does not make the bound vacuous).
+  const double p99 = after.tick_us.empty() ? 0.0 : after.tick_us.Percentile(99);
+  EXPECT_LE(p99, std::max(2.0 * idle_p99, 20000.0));
+
+  server.Shutdown();
+}
+
+TEST(ChaosTest, SurvivesServerSideFaultInjection) {
+  // The accept-path fault stream: every accepted connection misbehaves with
+  // its own seed-derived schedule. Individual clients may die mid-setup or
+  // mid-call — all acceptable — but the server must outlive all of them and
+  // still serve clean stats afterwards (read directly, not over the faulty
+  // transport).
+  ServerOptions options;
+  options.fault.enabled = true;
+  options.fault.seed = kChaosSeed;
+  options.fault.short_read = 0.05;
+  options.fault.chop_write = 0.3;
+  options.fault.reset_read = 0.02;
+  options.fault.reset_write = 0.02;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  std::atomic<int> attempts{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 12; ++i) {
+    clients.emplace_back([port, i, &attempts] {
+      for (int round = 0; round < 3; ++round) {
+        attempts.fetch_add(1);
+        auto conn = AudioConnection::OpenTcp("127.0.0.1", port,
+                                             "chaos-" + std::to_string(i));
+        if (conn == nullptr) {
+          continue;  // injected reset during setup
+        }
+        conn->set_rpc_deadline_ms(2000);  // injected resets must not hang us
+        ResourceId loud = conn->CreateLoud(kNoResource, {});
+        conn->CreateDevice(loud, DeviceClass::kOutput, {});
+        conn->Sync();  // ok or kTimeout/kConnection — never a hang
+        conn->Close();
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(attempts.load(), 36);
+
+  // The server survived; the engine still ticks and all connections die.
+  uint64_t ticks;
+  {
+    MutexLock lock(&server.mutex());
+    ticks = server.state().BuildServerStats(false).ticks_run;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    MutexLock lock(&server.mutex());
+    drained = server.state().BuildServerStats(false).connections_open == 0;
+  }
+  EXPECT_TRUE(drained);
+  {
+    MutexLock lock(&server.mutex());
+    EXPECT_GT(server.state().BuildServerStats(false).ticks_run, ticks);
+  }
+  server.Shutdown();
+}
+
+TEST(ChaosTest, HostileTrafficDoesNotPerturbEngineOutput) {
+  // Serial/parallel bit-identity must hold under fire: two servers run the
+  // same playback workload while a hostile in-process client floods each
+  // with unknown opcodes. Error handling shares the big lock with the tick,
+  // but must never change what comes out of the speaker.
+  std::vector<Sample> captures[2];
+  for (int threads : {1, 4}) {
+    BoardConfig config;
+    ServerOptions options;
+    options.engine_threads = threads;
+    Board board(config);
+    AudioServer server(&board, options);
+    board.speakers()[0]->set_capture_output(true);
+
+    auto [client_end, server_end] = CreatePipePair();
+    server.AddConnection(std::move(server_end));
+    auto client = AudioConnection::Open(std::move(client_end), "player");
+    ASSERT_NE(client, nullptr);
+    AudioToolkit toolkit(client.get());
+    toolkit.set_time_pump([&] { server.StepFrames(160); });
+
+    // A deterministic 500 ms tone, queued but not yet run.
+    std::vector<Sample> pcm(4000);
+    for (size_t i = 0; i < pcm.size(); ++i) {
+      pcm[i] = static_cast<Sample>(6000.0 * std::sin(0.2 * static_cast<double>(i)));
+    }
+    ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
+    auto chain = toolkit.BuildPlaybackChain();
+    client->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+    client->StartQueue(chain.loud);
+    ASSERT_TRUE(client->Sync().ok());
+
+    // The hostile client hammers the dispatcher while the engine runs.
+    auto [hostile_client_end, hostile_server_end] = CreatePipePair();
+    server.AddConnection(std::move(hostile_server_end));
+    ASSERT_NE(RawSetup(hostile_client_end.get(), "hostile"), kNoResource);
+    std::atomic<bool> stop{false};
+    std::thread hostile([&] {
+      std::vector<uint8_t> junk(32, 0xBD);
+      uint32_t seq = 1;
+      while (!stop.load()) {
+        SendReq(hostile_client_end.get(), static_cast<Opcode>(230 + seq % 7), seq, junk);
+        ++seq;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    server.StepFrames(160 * 40);  // 800 ms: the whole sound plus completion
+
+    stop.store(true);
+    hostile.join();
+    hostile_client_end->Close();
+    captures[threads == 1 ? 0 : 1] = board.speakers()[0]->played();
+    client->Close();
+    server.Shutdown();
+  }
+  EXPECT_GT(Rms(captures[0]), 0.0) << "workload was silent";
+  ASSERT_EQ(captures[0].size(), captures[1].size());
+  EXPECT_TRUE(captures[0] == captures[1])
+      << "parallel engine output diverged from serial under hostile load";
+}
+
+}  // namespace
+}  // namespace aud

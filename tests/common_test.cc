@@ -27,7 +27,7 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int i = 0; i <= static_cast<int>(ErrorCode::kLimit); ++i) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kTimeout); ++i) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(i)), "Unknown");
   }
 }

@@ -1,0 +1,306 @@
+// Connection-lifecycle robustness: the bounded egress queue and its
+// overflow policies, transient accept(2) retry, telephone hang-up when the
+// owning client dies, and Alib's resilience knobs (connect retry, RPC
+// deadlines, clean errors when the server goes away). One sick or dead
+// client must never take the server — or the phone line — down with it.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "src/server/connection.h"
+#include "src/server/egress_queue.h"
+#include "src/transport/pipe_stream.h"
+#include "src/transport/socket_stream.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+// kHeaderSize is 12; a 38-byte payload makes every frame exactly 50 bytes,
+// so a 100-byte budget fits two frames.
+EgressFrame Frame(MessageType type, uint16_t code, size_t payload_bytes = 38) {
+  EgressFrame frame;
+  frame.type = type;
+  frame.code = code;
+  frame.payload.assign(payload_bytes, 0xCD);
+  return frame;
+}
+
+TEST(EgressQueueTest, DeliversInOrderThenDrains) {
+  EgressQueue queue(1024, EgressOverflowPolicy::kDropEvents);
+  EXPECT_EQ(queue.Push(Frame(MessageType::kReply, 1)).status,
+            EgressPushStatus::kQueued);
+  EXPECT_EQ(queue.Push(Frame(MessageType::kEvent, 2)).status,
+            EgressPushStatus::kQueued);
+  EXPECT_EQ(queue.Push(Frame(MessageType::kError, 3)).status,
+            EgressPushStatus::kQueued);
+  queue.BeginDrain();
+  // Push after drain is rejected, but the backlog still flushes in order.
+  EXPECT_EQ(queue.Push(Frame(MessageType::kReply, 4)).status,
+            EgressPushStatus::kClosed);
+  EgressFrame out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.code, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.code, 2);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.code, 3);
+  EXPECT_FALSE(queue.Pop(&out));  // drained
+  EXPECT_EQ(queue.queued_bytes(), 0u);
+}
+
+TEST(EgressQueueTest, ShedsOldestEventsToFitNewFrames) {
+  EgressQueue queue(100, EgressOverflowPolicy::kDropEvents);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kEvent, 1)).status,
+            EgressPushStatus::kQueued);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kEvent, 2)).status,
+            EgressPushStatus::kQueued);
+  // Budget full (2 x 50 bytes). A reply pushes out the oldest event only.
+  EgressPushResult result = queue.Push(Frame(MessageType::kReply, 3));
+  EXPECT_EQ(result.status, EgressPushStatus::kQueued);
+  EXPECT_EQ(result.dropped_events, 1u);
+  EXPECT_EQ(queue.dropped_events_total(), 1u);
+  EgressFrame out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.code, 2);  // event 1 was shed
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.code, 3);
+}
+
+TEST(EgressQueueTest, ReplyBacklogOverflowsEvenWhenDroppingEvents) {
+  EgressQueue queue(100, EgressOverflowPolicy::kDropEvents);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kReply, 1)).status,
+            EgressPushStatus::kQueued);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kReply, 2)).status,
+            EgressPushStatus::kQueued);
+  // Nothing sheddable: the client has stopped reading replies.
+  EgressPushResult result = queue.Push(Frame(MessageType::kReply, 3));
+  EXPECT_EQ(result.status, EgressPushStatus::kOverflow);
+  EXPECT_EQ(result.dropped_events, 0u);
+}
+
+TEST(EgressQueueTest, DisconnectPolicyOverflowsWithoutShedding) {
+  EgressQueue queue(100, EgressOverflowPolicy::kDisconnect);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kEvent, 1)).status,
+            EgressPushStatus::kQueued);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kEvent, 2)).status,
+            EgressPushStatus::kQueued);
+  EXPECT_EQ(queue.Push(Frame(MessageType::kEvent, 3)).status,
+            EgressPushStatus::kOverflow);
+  EXPECT_EQ(queue.dropped_events_total(), 0u);
+  EXPECT_EQ(queue.queued_bytes(), 100u);  // backlog untouched
+}
+
+TEST(EgressQueueTest, OversizedEventDropsItself) {
+  EgressQueue queue(100, EgressOverflowPolicy::kDropEvents);
+  // An event bigger than the whole budget can never fit; it is shed on
+  // arrival (counted) without failing the connection.
+  EgressPushResult result = queue.Push(Frame(MessageType::kEvent, 1, 200));
+  EXPECT_EQ(result.status, EgressPushStatus::kQueued);
+  EXPECT_EQ(result.dropped_events, 1u);
+  EXPECT_EQ(queue.dropped_events_total(), 1u);
+  EXPECT_EQ(queue.queued_bytes(), 0u);
+}
+
+TEST(EgressQueueTest, CloseNowDiscardsBacklog) {
+  EgressQueue queue(1024, EgressOverflowPolicy::kDropEvents);
+  ASSERT_EQ(queue.Push(Frame(MessageType::kReply, 1)).status,
+            EgressPushStatus::kQueued);
+  queue.CloseNow();
+  EgressFrame out;
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_EQ(queue.Push(Frame(MessageType::kReply, 2)).status,
+            EgressPushStatus::kClosed);
+  EXPECT_EQ(queue.queued_bytes(), 0u);
+}
+
+TEST(EgressQueueTest, GaugeMirrorsBacklog) {
+  obs::Gauge gauge;
+  EgressQueue queue(1024, EgressOverflowPolicy::kDropEvents);
+  queue.set_bytes_gauge(&gauge);
+  queue.Push(Frame(MessageType::kReply, 1));
+  queue.Push(Frame(MessageType::kEvent, 2));
+  EXPECT_EQ(gauge.value(), 100);
+  EgressFrame out;
+  queue.Pop(&out);
+  EXPECT_EQ(gauge.value(), 50);
+  queue.CloseNow();  // discard zeroes the gauge
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+// -- ClientConnection: overflow policy wiring --------------------------------
+
+TEST(ConnectionEgressTest, SlowClientDisconnectPolicyCutsConnection) {
+  // No writer thread started: frames pile up as they would behind a client
+  // that never reads.
+  auto [client_end, server_end] = CreatePipePair();
+  ClientConnection conn(0, std::move(server_end), /*egress_budget_bytes=*/128,
+                        EgressOverflowPolicy::kDisconnect);
+  ServerMetrics metrics;
+  conn.set_metrics(&metrics);
+
+  std::vector<uint8_t> payload(52);  // 64-byte frames; two fit in 128
+  EXPECT_TRUE(conn.Send(MessageType::kReply, 1, 1, payload));
+  EXPECT_TRUE(conn.Send(MessageType::kReply, 1, 2, payload));
+  EXPECT_FALSE(conn.Send(MessageType::kReply, 1, 3, payload));
+  EXPECT_TRUE(conn.closed());
+  EXPECT_EQ(metrics.egress_disconnects.value(), 1u);
+  // Once cut, further sends fail fast without touching the queue.
+  EXPECT_FALSE(conn.Send(MessageType::kReply, 1, 4, payload));
+  EXPECT_EQ(metrics.egress_disconnects.value(), 1u);
+}
+
+TEST(ConnectionEgressTest, EventSheddingCountsButNeverFailsSend) {
+  auto [client_end, server_end] = CreatePipePair();
+  ClientConnection conn(0, std::move(server_end), /*egress_budget_bytes=*/128,
+                        EgressOverflowPolicy::kDropEvents);
+  ServerMetrics metrics;
+  conn.set_metrics(&metrics);
+
+  std::vector<uint8_t> payload(52);
+  // A reply occupies half the budget and is undroppable.
+  EXPECT_TRUE(conn.Send(MessageType::kReply, 1, 1, payload));
+  // Events beyond the remaining budget shed older events, never fail.
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(conn.Send(MessageType::kEvent, 7, i, payload));
+  }
+  EXPECT_EQ(conn.events_dropped(), 9u);  // one event still queued
+  EXPECT_EQ(metrics.events_dropped.value(), 9u);
+  EXPECT_EQ(metrics.egress_disconnects.value(), 0u);
+  EXPECT_FALSE(conn.closed());
+}
+
+// -- Server-level lifecycle ---------------------------------------------------
+
+class LifecycleTest : public ServerFixture {};
+
+TEST_F(LifecycleTest, AcceptRetriesTransientErrnosAndSurvives) {
+  // Inject a burst of transient accept failures before the accept thread
+  // starts; the listener must retry through all of them and then accept a
+  // real client.
+  server_->listener_for_test().InjectAcceptErrnosForTest(
+      {EINTR, ECONNABORTED, EMFILE, ENFILE, ENOBUFS});
+  ASSERT_TRUE(server_->ListenTcp(0));
+  auto client = AudioConnection::OpenTcp("127.0.0.1", server_->tcp_port(), "survivor");
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Sync().ok());
+  EXPECT_EQ(server_->listener_for_test().accept_retries(), 5u);
+  // The retry counter is mirrored into the stats reply.
+  auto stats = client->GetServerStats(false);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().accept_retries, 5u);
+}
+
+TEST_F(LifecycleTest, ClientDeathHangsUpOwnedTelephone) {
+  FarEndParty* callee = board_->AddFarEnd("555-9999");
+  callee->AnswerAfterRings(1);
+
+  auto owner = Connect("phone-owner");
+  ASSERT_NE(owner, nullptr);
+  ResourceId loud = owner->CreateLoud(kNoResource, {});
+  ResourceId telephone = owner->CreateDevice(loud, DeviceClass::kTelephone, {});
+  owner->MapLoud(loud);
+  owner->Enqueue(loud, {DialCommand(telephone, "555-9999", 1)});
+  owner->StartQueue(loud);
+  ASSERT_TRUE(owner->Sync().ok());
+
+  PhoneLineUnit* line = board_->phone_lines()[0];
+  // Line state is mutated under the big lock (engine tick and disconnect
+  // reclamation both hold it), so observe it the same way.
+  auto line_state = [&] {
+    MutexLock lock(&server_->mutex());
+    return line->line_state();
+  };
+  for (int i = 0; i < 600 && line_state() != LineState::kConnected; ++i) {
+    StepMs(20);
+  }
+  ASSERT_EQ(line_state(), LineState::kConnected);
+
+  // The owner dies mid-call. Disconnect reclamation must put the line
+  // back on hook — a dead client cannot hold a phone call open.
+  owner->Close();
+  for (int i = 0; i < 200 && line_state() != LineState::kOnHook; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    StepMs(20);
+  }
+  EXPECT_EQ(line_state(), LineState::kOnHook);
+}
+
+TEST_F(LifecycleTest, RpcDeadlineSurfacesTimeout) {
+  client_->set_rpc_deadline_ms(50);
+  Result<ServerStatsReply> result = [&] {
+    // Stall the dispatcher by holding the big lock across the round-trip;
+    // the client-side deadline must fire instead of blocking forever.
+    MutexLock lock(&server_->mutex());
+    return client_->GetServerStats(false);
+  }();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  // The connection itself is still healthy once the server catches up.
+  client_->set_rpc_deadline_ms(0);
+  EXPECT_TRUE(client_->Sync().ok());
+}
+
+TEST_F(LifecycleTest, ServerShutdownSurfacesConnectionError) {
+  auto doomed = Connect("doomed");
+  ASSERT_NE(doomed, nullptr);
+  ASSERT_TRUE(doomed->Sync().ok());
+  server_->Shutdown();
+  // In-flight and future round-trips fail with kConnection, not a hang.
+  Status status = doomed->Sync();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kConnection);
+}
+
+TEST(ConnectRetryTest, GivesUpAfterConfiguredAttempts) {
+  // Reserve an ephemeral port, then close the listener: connects now fail
+  // fast with ECONNREFUSED.
+  uint16_t dead_port;
+  {
+    SocketListener probe;
+    ASSERT_TRUE(probe.Listen(0));
+    dead_port = probe.port();
+  }
+  ConnectRetryOptions retry;
+  retry.attempts = 3;
+  retry.backoff_ms = 2;
+  retry.max_backoff_ms = 4;
+  auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", dead_port, "late", retry);
+  EXPECT_EQ(conn, nullptr);
+}
+
+TEST(ConnectRetryTest, ConnectsOnceServerComesUp) {
+  // Reserve a port, bring the server up on it only after a delay, and let
+  // the retry loop ride out the refused connects in between.
+  uint16_t port;
+  {
+    SocketListener probe;
+    ASSERT_TRUE(probe.Listen(0));
+    port = probe.port();
+  }
+  Board board{BoardConfig{}};
+  AudioServer server(&board);
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    server.ListenTcp(port);
+    server.StartRealtime();
+  });
+  ConnectRetryOptions retry;
+  retry.attempts = 50;
+  retry.backoff_ms = 20;
+  retry.max_backoff_ms = 40;
+  auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", port, "early-bird", retry);
+  late_start.join();
+  if (server.tcp_port() == 0) {
+    GTEST_SKIP() << "reserved port was taken by another process";
+  }
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->Sync().ok());
+  conn.reset();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace aud

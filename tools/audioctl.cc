@@ -260,11 +260,17 @@ int CmdStats(AudioConnection& audio, bool json) {
                 static_cast<unsigned long long>(s.commands_aborted),
                 static_cast<unsigned long long>(s.queue_events));
     std::printf("  \"decoded_cache\": {\"hits\": %llu, \"misses\": %llu, "
-                "\"bytes\": %llu, \"evictions\": %llu}\n",
+                "\"bytes\": %llu, \"evictions\": %llu},\n",
                 static_cast<unsigned long long>(s.decoded_cache_hits),
                 static_cast<unsigned long long>(s.decoded_cache_misses),
                 static_cast<unsigned long long>(s.decoded_cache_bytes),
                 static_cast<unsigned long long>(s.decoded_cache_evictions));
+    std::printf("  \"egress\": {\"events_dropped\": %llu, \"disconnects\": %llu, "
+                "\"queued_bytes\": %lld, \"accept_retries\": %llu}\n",
+                static_cast<unsigned long long>(s.events_dropped),
+                static_cast<unsigned long long>(s.egress_disconnects),
+                static_cast<long long>(s.egress_queued_bytes),
+                static_cast<unsigned long long>(s.accept_retries));
     std::printf("}\n");
     return 0;
   }
@@ -311,6 +317,12 @@ int CmdStats(AudioConnection& audio, bool json) {
               static_cast<unsigned long long>(s.decoded_cache_misses),
               static_cast<unsigned long long>(s.decoded_cache_bytes),
               static_cast<unsigned long long>(s.decoded_cache_evictions));
+  std::printf("egress: %llu events dropped, %llu slow-client disconnects, "
+              "%lld bytes queued; accept retries %llu\n",
+              static_cast<unsigned long long>(s.events_dropped),
+              static_cast<unsigned long long>(s.egress_disconnects),
+              static_cast<long long>(s.egress_queued_bytes),
+              static_cast<unsigned long long>(s.accept_retries));
   return 0;
 }
 

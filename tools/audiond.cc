@@ -72,6 +72,25 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats-interval-ms") {
       stats_interval_ms = next_int(stats_interval_ms);
+    } else if (arg == "--egress-buffer-bytes") {
+      int bytes = next_int(static_cast<int>(options.egress_buffer_bytes));
+      if (bytes > 0) {
+        options.egress_buffer_bytes = static_cast<size_t>(bytes);
+      }
+    } else if (arg == "--egress-overflow") {
+      std::string policy = i + 1 < argc ? argv[++i] : "";
+      if (policy == "drop-events") {
+        options.egress_overflow = EgressOverflowPolicy::kDropEvents;
+      } else if (policy == "disconnect") {
+        options.egress_overflow = EgressOverflowPolicy::kDisconnect;
+      } else {
+        std::fprintf(stderr, "audiond: --egress-overflow wants drop-events|disconnect\n");
+        return 1;
+      }
+    } else if (arg == "--fault") {
+      // Seeded transport fault injection on every accepted connection
+      // (chaos testing): "seed=7,short_read=0.3,reset_write=0.01,...".
+      options.fault = ParseFaultSpec(i + 1 < argc ? argv[++i] : "");
     } else if (arg == "--verbose") {
       SetLogLevel(LogLevel::kDebug);
     } else {
@@ -79,7 +98,8 @@ int main(int argc, char** argv) {
                    "usage: audiond [--port N] [--speakers N] [--microphones N] "
                    "[--lines N] [--engine-threads N] [--speakerphone] "
                    "[--wav-out FILE] [--catalogue DIR] [--stats-interval-ms N] "
-                   "[--verbose]\n");
+                   "[--egress-buffer-bytes N] [--egress-overflow drop-events|disconnect] "
+                   "[--fault SPEC] [--verbose]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -156,10 +176,11 @@ int main(int argc, char** argv) {
         MutexLock lock(&server.mutex());
         stats = server.state().BuildServerStats(false);
       }
-      char line[256];
+      char line[320];
       std::snprintf(line, sizeof(line),
                     "stats: ticks=%llu overruns=%llu tick_p99=%.0fus jitter_p99=%.0fus "
-                    "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu",
+                    "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu "
+                    "ev_dropped=%llu egress_cuts=%llu",
                     static_cast<unsigned long long>(stats.ticks_run),
                     static_cast<unsigned long long>(stats.tick_overruns),
                     stats.tick_us.empty() ? 0.0 : stats.tick_us.Percentile(99),
@@ -168,7 +189,9 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.request_errors_total),
                     static_cast<long long>(stats.connections_open),
                     static_cast<unsigned long long>(stats.bytes_in),
-                    static_cast<unsigned long long>(stats.bytes_out));
+                    static_cast<unsigned long long>(stats.bytes_out),
+                    static_cast<unsigned long long>(stats.events_dropped),
+                    static_cast<unsigned long long>(stats.egress_disconnects));
       LogMessage(LogLevel::kInfo, line);
     }
   }

@@ -429,6 +429,59 @@ void CheckSchemaLock(const std::string& lock, const std::string& messages_h,
   }
 }
 
+// Check 8: stats counters cannot drift from the docs. Every field of the
+// newest locked ServerStatsReply version must appear (as a whole word) in
+// PROTOCOL.md — appending a counter to the reply without documenting it
+// fails the lint the same commit.
+bool ContainsWord(const std::string& text, const std::string& word) {
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !is_ident(text[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+void CheckStatsDocCoverage(const std::string& lock, const std::string& protocol_md,
+                           std::vector<std::string>* problems) {
+  int best_version = -1;
+  std::vector<std::string> fields;
+  for (const std::string& raw : SplitLines(lock)) {
+    std::string line = StripLine(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream in(line);
+    std::string name;
+    int version = -1;
+    in >> name >> version;
+    if (name != "ServerStatsReply" || version <= best_version) {
+      continue;
+    }
+    best_version = version;
+    fields.clear();
+    std::string field;
+    while (in >> field) {
+      fields.push_back(field);
+    }
+  }
+  for (const std::string& field : fields) {
+    if (!ContainsWord(protocol_md, field)) {
+      problems->push_back("PROTOCOL.md: ServerStatsReply v" +
+                          std::to_string(best_version) + " field " + field +
+                          " is not documented");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> LintTree(const std::map<std::string, std::string>& files) {
@@ -451,6 +504,8 @@ std::vector<std::string> LintTree(const std::map<std::string, std::string>& file
               &problems);
   CheckProtocolDoc(opcodes, *Find(files, "PROTOCOL.md"), &problems);
   CheckSchemaLock(*Find(files, "schema.lock"), *Find(files, "messages.h"), &problems);
+  CheckStatsDocCoverage(*Find(files, "schema.lock"), *Find(files, "PROTOCOL.md"),
+                        &problems);
   return problems;
 }
 
