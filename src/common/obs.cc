@@ -104,21 +104,21 @@ std::string_view TraceReasonName(TraceReason reason) {
 
 void TraceRing::Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us,
                        uint64_t seq) {
-  uint64_t n = next_.load(std::memory_order_relaxed);
-  TraceEvent& slot = events_[n % kCapacity];
+  MutexLock lock(&mu_);
+  TraceEvent& slot = events_[next_ % kCapacity];
   slot.t_us = t_us;
   slot.seq = seq;
   slot.tid = tid_;
   slot.reason = reason;
   slot.arg0 = arg0;
   slot.arg1 = arg1;
-  next_.store(n + 1, std::memory_order_release);
+  ++next_;
 }
 
 void TraceRing::Collect(std::vector<TraceEvent>* out) const {
-  uint64_t n = next_.load(std::memory_order_acquire);
-  uint64_t retained = std::min<uint64_t>(n, kCapacity);
-  for (uint64_t i = n - retained; i < n; ++i) {
+  MutexLock lock(&mu_);
+  uint64_t retained = std::min<uint64_t>(next_, kCapacity);
+  for (uint64_t i = next_ - retained; i < next_; ++i) {
     out->push_back(events_[i % kCapacity]);
   }
 }

@@ -12,9 +12,10 @@
 //     percentiles come from the snapshot, never the live histogram.
 //   * TraceRing: a bounded per-thread ring of fixed-size trace events with
 //     reason codes. Writers are always single-threaded per ring (each
-//     thread records only into its own ring); snapshots are taken under
-//     the server's big lock, which all recording paths also synchronize
-//     through, so reads never race writes.
+//     thread records only into its own ring); a per-ring mutex serializes
+//     the writer against snapshot readers, so a trace snapshot can be
+//     taken from any thread at any time — in particular while engine
+//     workers are tracing mid-fan-out without the server's state lock.
 //
 // The primitives are deliberately independent of the server so tests,
 // benches and tools can use them stand-alone.
@@ -130,8 +131,11 @@ struct TraceEvent {
 };
 
 // Bounded single-writer ring of trace events. The owning thread records;
-// snapshotting threads must synchronize with the writer externally (in the
-// server, both sides run under the big lock or inside a joined tick).
+// snapshot readers may run concurrently from any thread (GetServerTrace no
+// longer shares a lock with every recording path since the engine tick
+// dropped the big lock for its fan-out), so each ring carries its own tiny
+// mutex. The lock is per-ring and per-thread, hence uncontended on the
+// record path except during the rare snapshot.
 class TraceRing {
  public:
   static constexpr size_t kCapacity = 256;
@@ -147,8 +151,9 @@ class TraceRing {
 
  private:
   const uint32_t tid_;
-  TraceEvent events_[kCapacity];
-  std::atomic<uint64_t> next_{0};  // total records ever; slot = next_ % kCapacity
+  mutable Mutex mu_;
+  TraceEvent events_[kCapacity] AUD_GUARDED_BY(mu_);
+  uint64_t next_ AUD_GUARDED_BY(mu_) = 0;  // total records ever; slot = next_ % kCapacity
 };
 
 // Process-wide registry of per-thread trace rings. Threads get their ring

@@ -1,7 +1,20 @@
 // Request dispatcher: decodes each framed request, validates it against
 // the object registry, performs it, and sends replies or asynchronous
 // errors (section 4.1's request/reply/error model). Runs with the server
-// mutex held.
+// state lock held.
+//
+// Epoch coexistence (DESIGN.md decision 12) — each opcode falls in one of
+// three classes with respect to a concurrently running engine fan-out:
+//   * drain: structural mutation (registry create/destroy, wiring, the
+//     active stack, sound data that a recorder may be writing). These call
+//     ServerState::WaitEngineIdle() FIRST — before any registry lookup,
+//     because the wait releases the state lock and a pointer resolved
+//     earlier could dangle by the time the wait returns.
+//   * shard: engine-plane requests against one root LOUD (queues, events,
+//     sync marks, properties). These take the root's engine shard lock via
+//     EngineShardGuard and never wait for the whole epoch.
+//   * state-lock only: pure reads of structure that no engine worker
+//     mutates (queries, catalogue listing, stats, trace, redirect).
 
 #include <chrono>
 
@@ -13,6 +26,52 @@ namespace {
 
 // Largest accepted sound (64 MiB): a resource-exhaustion guard.
 constexpr uint64_t kMaxSoundBytes = 64ull << 20;
+
+// Serializes one engine-plane request against the tick fan-out by holding
+// the target root LOUD's engine shard lock for the scope (taken after the
+// state lock; see the rank order in server.h). The device LOUD is special:
+// its root is never part of an island, but engine workers read its
+// per-connection event masks when emitting device-LOUD events, so requests
+// against it drain the epoch instead of taking a shard lock. The analysis
+// opt-outs cover the conditional acquisition.
+class EngineShardGuard {
+ public:
+  EngineShardGuard(ServerState* state, ServerMetrics* metrics, Loud* loud)
+      AUD_NO_THREAD_SAFETY_ANALYSIS {
+    Loud* root = loud->Root();
+    if (root->owner() == kServerOwner) {
+      state->WaitEngineIdle();
+      return;
+    }
+    Mutex* mu = root->engine_mutex();
+    if (mu->TryLock()) {
+      locked_ = mu;
+      return;
+    }
+    // The fan-out is ticking this root right now: count the contention and
+    // wait it out (bounded by one island run, not the whole epoch).
+    metrics->dispatch_shard_contention.Increment();
+    const auto wait_t0 = std::chrono::steady_clock::now();
+    mu->Lock();
+    metrics->lock_wait_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_t0)
+            .count()));
+    locked_ = mu;
+  }
+
+  ~EngineShardGuard() AUD_NO_THREAD_SAFETY_ANALYSIS {
+    if (locked_ != nullptr) {
+      locked_->Unlock();
+    }
+  }
+
+  EngineShardGuard(const EngineShardGuard&) = delete;
+  EngineShardGuard& operator=(const EngineShardGuard&) = delete;
+
+ private:
+  Mutex* locked_ = nullptr;
+};
 
 ErrorMessage MakeError(ErrorCode code, ResourceId resource, Opcode opcode,
                        std::string detail = {}) {
@@ -26,7 +85,8 @@ ErrorMessage MakeError(ErrorCode code, ResourceId resource, Opcode opcode,
 
 }  // namespace
 
-void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& message) {
+void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& message,
+                                std::chrono::steady_clock::time_point received_at) {
   const uint32_t seq = message.header.sequence;
   const Opcode opcode = static_cast<Opcode>(message.header.code);
   ByteReader r(message.payload);
@@ -40,7 +100,10 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   // Per-opcode accounting (unknown opcodes only hit the totals).
   ServerMetrics& metrics = state_.metrics();
   const bool known_opcode = message.header.code < ServerMetrics::kOpcodes;
-  const auto dispatch_t0 = std::chrono::steady_clock::now();
+  // Clock dispatch from when the reader thread started queueing for the
+  // state lock: dispatch_us = lock wait + handling, so a tick that stalls
+  // dispatch shows up here even though the stall happens before the handler.
+  const auto dispatch_t0 = received_at;
   metrics.requests_total.Increment();
   if (known_opcode) {
     metrics.requests[message.header.code].Increment();
@@ -88,6 +151,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     // -- LOUD tree ---------------------------------------------------------------
 
     case Opcode::kCreateLoud: {
+      state_.WaitEngineIdle();
       CreateLoudReq req = CreateLoudReq::Decode(&r);
       if (!r.ok() || !id_ok(req.id)) {
         send_error(ErrorCode::kBadIdChoice, req.id);
@@ -111,6 +175,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kDestroyLoud: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       Loud* loud = state_.FindLoud(req.id);
       if (loud == nullptr || loud->owner() != conn->index()) {
@@ -123,6 +188,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kCreateVirtualDevice: {
+      state_.WaitEngineIdle();
       CreateVirtualDeviceReq req = CreateVirtualDeviceReq::Decode(&r);
       if (!r.ok() || !id_ok(req.id)) {
         send_error(ErrorCode::kBadIdChoice, req.id);
@@ -150,6 +216,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kDestroyVirtualDevice: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       VirtualDevice* device = state_.FindDevice(req.id);
       if (device == nullptr || device->owner() != conn->index()) {
@@ -161,6 +228,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kAugmentVirtualDevice: {
+      state_.WaitEngineIdle();
       AugmentVirtualDeviceReq req = AugmentVirtualDeviceReq::Decode(&r);
       VirtualDevice* device = state_.FindDevice(req.id);
       if (device == nullptr || device->owner() != conn->index()) {
@@ -200,6 +268,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     // -- Wires ---------------------------------------------------------------------
 
     case Opcode::kCreateWire: {
+      state_.WaitEngineIdle();
       CreateWireReq req = CreateWireReq::Decode(&r);
       if (!r.ok() || !id_ok(req.id)) {
         send_error(ErrorCode::kBadIdChoice, req.id);
@@ -263,6 +332,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kDestroyWire: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       WireObject* wire = state_.FindWire(req.id);
       if (wire == nullptr || wire->owner() != conn->index()) {
@@ -294,6 +364,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     // -- Mapping and the active stack ----------------------------------------------
 
     case Opcode::kMapLoud: {
+      state_.WaitEngineIdle();
       MapLoudReq req = MapLoudReq::Decode(&r);
       Loud* loud = state_.FindLoud(req.loud);
       // The redirect-holding audio manager may map other clients' LOUDs on
@@ -326,6 +397,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kUnmapLoud: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       Loud* loud = state_.FindLoud(req.id);
       if (loud == nullptr || loud->owner() != conn->index()) {
@@ -338,6 +410,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
 
     case Opcode::kRaiseLoud:
     case Opcode::kLowerLoud: {
+      state_.WaitEngineIdle();
       MapLoudReq req = MapLoudReq::Decode(&r);
       Loud* loud = state_.FindLoud(req.loud);
       bool is_manager = state_.redirect_conn() == conn->index();
@@ -371,6 +444,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     // -- Sounds --------------------------------------------------------------------
 
     case Opcode::kCreateSound: {
+      state_.WaitEngineIdle();
       CreateSoundReq req = CreateSoundReq::Decode(&r);
       if (!r.ok() || !id_ok(req.id)) {
         send_error(ErrorCode::kBadIdChoice, req.id);
@@ -387,6 +461,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kDestroySound: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       SoundObject* sound = state_.FindSound(req.id);
       if (sound == nullptr || sound->owner() != conn->index()) {
@@ -398,6 +473,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kWriteSoundData: {
+      state_.WaitEngineIdle();
       WriteSoundDataReq req = WriteSoundDataReq::Decode(&r);
       SoundObject* sound = state_.FindSound(req.id);
       if (sound == nullptr || !r.ok()) {
@@ -413,6 +489,9 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kReadSoundData: {
+      // Drain, not shard: an active recorder writes into the sound from the
+      // fan-out, and its LOUD need not be the one named here.
+      state_.WaitEngineIdle();
       ReadSoundDataReq req = ReadSoundDataReq::Decode(&r);
       SoundObject* sound = state_.FindSound(req.id);
       if (sound == nullptr) {
@@ -428,6 +507,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kQuerySound: {
+      state_.WaitEngineIdle();
       ResourceReq req = ResourceReq::Decode(&r);
       SoundObject* sound = state_.FindSound(req.id);
       if (sound == nullptr) {
@@ -444,6 +524,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kLoadCatalogueSound: {
+      state_.WaitEngineIdle();
       NamedSoundReq req = NamedSoundReq::Decode(&r);
       if (!r.ok() || !id_ok(req.id)) {
         send_error(ErrorCode::kBadIdChoice, req.id);
@@ -461,6 +542,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
     }
 
     case Opcode::kSaveCatalogueSound: {
+      state_.WaitEngineIdle();
       NamedSoundReq req = NamedSoundReq::Decode(&r);
       SoundObject* sound = state_.FindSound(req.id);
       if (sound == nullptr) {
@@ -500,6 +582,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.loud);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       send_status(loud->queue()->Enqueue(req.commands), req.loud);
       break;
     }
@@ -516,6 +599,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
                    "command is queued-mode only (section 5.1)");
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       VirtualDevice* device = state_.FindDevice(req.command.device);
       if (device == nullptr || device->loud()->Root() != loud->Root()) {
         send_error(ErrorCode::kBadResource, req.command.device);
@@ -536,6 +620,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       CommandQueue* queue = loud->queue();
       Status status;
       switch (opcode) {
@@ -566,6 +651,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       QueueStateReply reply;
       reply.loud = loud->Root()->id();
       reply.state = loud->queue()->state();
@@ -584,6 +670,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.resource);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       if (req.mask == 0) {
         loud->event_masks().erase(conn->index());
       } else {
@@ -599,6 +686,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.loud);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       loud->set_sync_interval_ms(req.interval_ms);
       break;
     }
@@ -612,6 +700,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.resource);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       loud->properties()[req.name] = Property{req.type, req.value};
       PropertyNotifyArgs args;
       args.name = req.name;
@@ -627,6 +716,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.resource);
         break;
       }
+      EngineShardGuard shard(&state_, &metrics, loud);
       if (loud->properties().erase(req.name) > 0) {
         PropertyNotifyArgs args;
         args.name = req.name;
@@ -728,10 +818,9 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
 
     case Opcode::kGetServerTrace: {
       GetServerTraceReq req = GetServerTraceReq::Decode(&r);
-      // Snapshotting under the big lock is what makes the per-thread rings
-      // safe to read: every recording path either holds this lock or is a
-      // tick worker whose writes the pool join ordered before the tick
-      // released it (see obs.h).
+      // Each per-thread ring carries its own mutex (see obs.h), so this
+      // snapshot is safe against engine workers still tracing mid-fan-out —
+      // the tick no longer runs under the state lock.
       size_t max_events = req.max_events == 0 ? obs::TraceRing::kCapacity : req.max_events;
       ServerTraceReply reply;
       for (const obs::TraceEvent& e :

@@ -12,7 +12,8 @@
 // alone exceeds the budget the client is not reading replies at all, and
 // the queue reports overflow regardless of policy.
 //
-// Lock rank: EgressQueue::mu_ is a leaf (rank 1, same tier as the old
+// Lock rank: EgressQueue::mu_ is a leaf (rank 2 in DESIGN.md's inventory,
+// below the big lock and the per-root engine locks; same tier as the old
 // ClientConnection::write_mu_ it replaces). Pop copies one frame out under
 // the lock; the actual transport write happens with no queue lock held.
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/server/core.h"
 #include "src/server/virtual_device.h"
 
@@ -37,6 +38,14 @@ class Loud : public ServerObject {
   // Only root LOUDs have a queue (section 5.5: "a command queue is provided
   // for each root LOUD"); non-roots return the root's queue.
   CommandQueue* queue();
+
+  // Per-root engine shard lock (DESIGN.md decision 12). The engine fan-out
+  // holds the locks of every root in the island it is ticking; the
+  // dispatcher takes exactly one of them (after the state lock, see the
+  // documented rank order) for engine-plane requests, so requests against a
+  // root the tick is not touching never wait on the tick. Non-roots forward
+  // to the root, mirroring queue().
+  Mutex* engine_mutex() { return &Root()->engine_mu_; }
 
   bool mapped() const { return mapped_; }
   void set_mapped(bool mapped) { mapped_ = mapped; }
@@ -83,6 +92,8 @@ class Loud : public ServerObject {
   std::map<uint32_t, uint32_t> event_masks_;
   uint32_t sync_interval_ms_ = 0;
   int64_t last_sync_position_ = -1;
+  // Meaningful on roots only (engine_mutex() resolves through Root()).
+  Mutex engine_mu_;
 };
 
 }  // namespace aud

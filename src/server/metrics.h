@@ -4,10 +4,12 @@
 //
 // Thread-safety contract: counters and gauges are relaxed atomics, so any
 // thread (reader threads counting transport bytes, engine workers, the
-// dispatcher) may bump them without holding the big lock. Histograms are
-// recorded only by the tick thread or the dispatcher — both run under the
-// big lock — and their buckets are atomic anyway, so a snapshot can never
-// tear. See DESIGN.md ("Observability and thread safety").
+// dispatcher) may bump them without holding the state lock. Histograms are
+// built entirely from relaxed atomics too: recording needs no lock (reader
+// threads record lock_wait_us while they are *waiting* for the state lock,
+// and the tick thread records epoch/tick timings inside its commit
+// section), and a snapshot taken concurrently never tears a bucket. See
+// DESIGN.md ("Observability and thread safety").
 
 #ifndef SRC_SERVER_METRICS_H_
 #define SRC_SERVER_METRICS_H_
@@ -37,6 +39,13 @@ struct ServerMetrics {
   obs::LatencyHistogram islands_per_tick;
   obs::LatencyHistogram worker_imbalance;  // max-min islands per worker slot
   obs::Counter tick_overruns;              // tick body exceeded the period
+
+  // -- Epoch / lock instrumentation (DESIGN.md decision 12) -------------------
+  obs::LatencyHistogram lock_wait_us;     // reader wait for the state lock or
+                                          // a contended dispatch shard lock
+  obs::LatencyHistogram epoch_commit_us;  // tick-boundary commit critical section
+  obs::Counter epoch_commits;             // epochs published (== completed ticks)
+  obs::Counter dispatch_shard_contention;  // shard TryLock misses in dispatch
 
   // -- Connections and transport --------------------------------------------
   obs::Gauge connections_open;

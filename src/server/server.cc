@@ -10,6 +10,7 @@ AudioServer::AudioServer(Board* board) : AudioServer(board, ServerOptions{}) {}
 
 AudioServer::AudioServer(Board* board, ServerOptions options)
     : board_(board), options_(options), state_(board, options.name) {
+  state_.AttachStateLock(&mu_);
   state_.ConfigureEngine(options.engine_threads);
   state_.ConfigureDecodedCache(options.decoded_cache_bytes);
   metrics_ = &state_.metrics();
@@ -126,9 +127,14 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
       break;
     }
     metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
+    const auto wait_t0 = std::chrono::steady_clock::now();
     MutexLock lock(&mu_);
+    metrics.lock_wait_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_t0)
+            .count()));
     conn->set_last_sequence(message->header.sequence);
-    HandleRequest(conn, *message);
+    HandleRequest(conn, *message, wait_t0);
   }
 
   // Flush queued replies/events (bounded), then close the transport.
@@ -137,6 +143,9 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
   // container teardown).
   {
     MutexLock lock(&mu_);
+    // Structural teardown: wait out any in-flight epoch so no engine worker
+    // holds pointers into the objects about to be destroyed.
+    state_.WaitEngineIdle();
     state_.DestroyConnectionObjects(conn->index());
     state_.RecomputeActivation();
     metrics.connections_open.Sub(1);
@@ -177,8 +186,8 @@ bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& messa
 void AudioServer::StepFrames(int64_t frames) {
   while (frames > 0) {
     size_t step = std::min<int64_t>(frames, static_cast<int64_t>(options_.period_frames));
-    MutexLock lock(&mu_);
-    state_.Tick(step);
+    // Tick manages the state lock itself (epoch open/commit).
+    tick_state().Tick(step);
     frames -= static_cast<int64_t>(step);
   }
 }
@@ -205,10 +214,9 @@ void AudioServer::EngineLoop() {
       SamplesToTicks(static_cast<int64_t>(options_.period_frames), board_->sample_rate_hz());
   Ticks next = clock.Now() + period;
   while (engine_running_.load() && !shutting_down_.load()) {
-    {
-      MutexLock lock(&mu_);
-      state_.Tick(options_.period_frames);
-    }
+    // Tick manages the state lock itself; the fan-out runs without it, so
+    // dispatch on untouched roots overlaps the engine freely.
+    tick_state().Tick(options_.period_frames);
     clock.SleepUntil(next);
     // Wakeup lateness: how far past the deadline the engine resumed
     // (Ticks are microseconds). 0 when the tick finished inside the period.

@@ -11,11 +11,16 @@
 //     engine workers runs the tick's produce/transform/consume phases
 //     island-parallel (see server_state.h for the island partition and
 //     the bit-identical merge-order guarantee).
-// All protocol state is serialized by one mutex; reader and engine threads
-// take it per message / per tick. The big lock is *held across* the
-// parallel fan-out — engine workers never touch protocol state, only
-// island-local device state plus per-worker mix accumulators and per-
-// island event buffers that the tick thread merges after the join.
+// All protocol *mutation* is serialized by one state lock; reader threads
+// take it per message. The engine tick does NOT hold it across the fan-out
+// (DESIGN.md decision 12): Tick() takes the lock only for the short epoch
+// open (island-partition snapshot) and epoch commit (merge, event flush,
+// codec resolve, board advance) critical sections. During the fan-out each
+// island job holds its root LOUDs' engine shard locks (Loud::engine_mutex()),
+// which is what serializes it against engine-plane requests on those roots;
+// structural requests (create/destroy/rewire/activate/sound data) wait for
+// the epoch boundary via ServerState::WaitEngineIdle(). Lock rank: state
+// lock -> root engine locks (ascending id) -> leaf locks.
 //
 // Time can instead be driven manually with StepFrames() for deterministic
 // tests and virtual-time benches.
@@ -118,8 +123,18 @@ class AudioServer {
   void AcceptLoop();
   void EngineLoop();
 
-  // Dispatcher (dispatcher.cc).
-  void HandleRequest(ClientConnection* conn, const FramedMessage& message)
+  // Tick-driver access to the state. Tick() manages the state lock itself
+  // (epoch open/commit take it; the fan-out runs without it — the lock was
+  // attached at construction via AttachStateLock), so the callers must NOT
+  // hold mu_; the annotation opt-out reflects that inverted ownership.
+  ServerState& tick_state() AUD_NO_THREAD_SAFETY_ANALYSIS { return state_; }
+
+  // Dispatcher (dispatcher.cc). `received_at` is taken by the reader thread
+  // before it queues for the state lock, so dispatch_us covers state-lock
+  // wait + handling — the end-to-end server-side dispatch latency that the
+  // epoch-snapshot tick is designed to bound (DESIGN.md decision 12).
+  void HandleRequest(ClientConnection* conn, const FramedMessage& message,
+                     std::chrono::steady_clock::time_point received_at)
       AUD_REQUIRES(mu_);
   bool HandleSetup(ClientConnection* conn, const FramedMessage& message);
 

@@ -12,12 +12,42 @@ namespace aud {
 
 namespace {
 
-// Worker-thread routing for the parallel tick: while an island runs on a
-// pool worker, its output mixing and event emission are redirected here
-// instead of touching shared state. Null outside a parallel island run
-// (the serial path and all dispatcher calls go straight through).
+// Worker-thread routing for the tick fan-out: while an island runs on a
+// pool worker, its output mixing is redirected here instead of touching
+// shared state, and event emission is buffered (the fan-out holds no state
+// lock, so the transport must not be written from it — the serial path
+// buffers too). Null on dispatcher threads, which go straight through.
 thread_local TickOutputs* tls_tick_outputs = nullptr;
 thread_local std::vector<std::pair<uint32_t, EventMessage>>* tls_island_events = nullptr;
+
+// Holds the engine shard locks of every root LOUD in one island, in id
+// order. Islands partition the active roots, so two concurrent island jobs
+// never share a lock; the id order only matters against the dispatcher,
+// which takes a single root lock after the state lock (the documented rank
+// order: state lock -> root engine locks -> leaf locks). Opted out of the
+// analysis: the lock set is computed at runtime.
+class IslandRootLocks {
+ public:
+  explicit IslandRootLocks(const EngineIsland& island) AUD_NO_THREAD_SAFETY_ANALYSIS {
+    roots_.assign(island.louds.begin(), island.louds.end());
+    std::sort(roots_.begin(), roots_.end(),
+              [](const Loud* a, const Loud* b) { return a->id() < b->id(); });
+    for (Loud* root : roots_) {
+      root->engine_mutex()->Lock();
+    }
+  }
+  ~IslandRootLocks() AUD_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = roots_.rbegin(); it != roots_.rend(); ++it) {
+      (*it)->engine_mutex()->Unlock();
+    }
+  }
+
+  IslandRootLocks(const IslandRootLocks&) = delete;
+  IslandRootLocks& operator=(const IslandRootLocks&) = delete;
+
+ private:
+  std::vector<Loud*> roots_;
+};
 
 }  // namespace
 
@@ -720,90 +750,34 @@ void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, 
   }
 }
 
-void ServerState::TickSerial(EngineTick* tick, size_t frames) {
-  // The whole active graph as one pseudo-island, in stack order — the
-  // phase structure is byte-for-byte the pre-parallel engine.
-  serial_island_.louds.clear();
-  serial_island_.devices.clear();
-  for (Loud* loud : active_stack_) {
-    if (loud->active()) {
-      serial_island_.louds.push_back(loud);
-      loud->CollectDevices(&serial_island_.devices);
-    }
-  }
-  RunIslandPhases(serial_island_, tick, frames);
-}
-
-void ServerState::TickParallel(EngineTick* tick, size_t frames) {
-  PartitionIslands();
-  metrics_.islands_per_tick.Record(islands_.size());
-  if (islands_.size() <= 1) {
-    TickSerial(tick, frames);
+void ServerState::WaitEngineIdle() {
+  if (state_mu_ == nullptr || !epoch_in_flight_) {
     return;
   }
-  if (island_events_.size() < islands_.size()) {
-    island_events_.resize(islands_.size());
+  ++drain_waiters_;
+  while (epoch_in_flight_) {
+    epoch_cv_.Wait(*state_mu_);
   }
-  for (size_t i = 0; i < islands_.size(); ++i) {
-    island_events_[i].clear();
-  }
-  for (TickOutputs& outputs : worker_outputs_) {
-    outputs.BeginTick(frames);
-  }
-
-  engine_pool_->Run(islands_.size(), [&](size_t job, int worker) {
-    obs::Trace(obs::TraceReason::kIslandRun, static_cast<uint32_t>(job),
-               static_cast<uint32_t>(islands_[job].devices.size()));
-    EngineTick island_tick{this, frames, tick->start_frame};
-    tls_tick_outputs = &worker_outputs_[static_cast<size_t>(worker)];
-    tls_island_events = &island_events_[job];
-    RunIslandPhases(islands_[job], &island_tick, frames);
-    tls_tick_outputs = nullptr;
-    tls_island_events = nullptr;
-  });
-
-  // Worker imbalance: spread between the busiest and idlest worker slot in
-  // islands run this tick (0 = perfectly even).
-  const std::vector<uint32_t>& jobs = engine_pool_->last_run_jobs();
-  if (!jobs.empty()) {
-    auto [lo, hi] = std::minmax_element(jobs.begin(), jobs.end());
-    metrics_.worker_imbalance.Record(*hi - *lo);
-  }
-
-  // Merge per-worker partial mixes into the global accumulators. The
-  // integer sums commute, so worker order cannot change the result; the
-  // serial path would have produced the identical totals.
-  for (TickOutputs& outputs : worker_outputs_) {
-    for (PhysicalDevice* device : outputs.touched()) {
-      auto it = output_acc_.find(device);
-      if (it == output_acc_.end()) {
-        it = output_acc_.emplace(device, MixAccumulator(frames)).first;
-      }
-      it->second.AddFrom(outputs.accumulator(device));
-    }
-  }
-
-  // Flush deferred events in island (stack) order on the tick thread.
-  if (event_sender_) {
-    uint32_t flushed = 0;
-    for (size_t i = 0; i < islands_.size(); ++i) {
-      for (const auto& [conn, event] : island_events_[i]) {
-        event_sender_(conn, event);
-        ++flushed;
-      }
-    }
-    if (flushed > 0) {
-      obs::Trace(obs::TraceReason::kEventFlush, flushed);
-    }
+  --drain_waiters_;
+  if (drain_waiters_ == 0) {
+    epoch_cv_.NotifyAll();  // a deferred epoch open may now proceed
   }
 }
 
-void ServerState::Tick(size_t frames) {
+bool ServerState::EpochOpen(size_t frames) {
+  if (state_mu_ != nullptr) {
+    state_mu_->Lock();
+    // Two rules keep the boundary fair and exclusive: a second tick driver
+    // waits out the in-flight epoch (epochs never overlap), and structural
+    // mutators already queued behind the previous epoch go first — a
+    // back-to-back tick storm must not starve create/destroy/activation.
+    while (epoch_in_flight_ || drain_waiters_ > 0) {
+      epoch_cv_.Wait(*state_mu_);
+    }
+  }
   in_tick_ = true;
   current_tick_frames_ = frames;
-  const auto tick_t0 = std::chrono::steady_clock::now();
   obs::Trace(obs::TraceReason::kTickStart, static_cast<uint32_t>(frames));
-  EngineTick tick{this, frames, engine_frame_};
 
   // Prepare output accumulators (one per output-capable physical device,
   // reused across ticks).
@@ -814,17 +788,121 @@ void ServerState::Tick(size_t frames) {
     PrepareOutputAccumulator(phone, frames);
   }
 
-  // Phases 1-4: queues, sources, transforms, sinks — island-parallel when
-  // an engine pool is configured.
+  bool parallel = false;
   if (engine_pool_ != nullptr) {
-    TickParallel(&tick, frames);
+    PartitionIslands();
+    metrics_.islands_per_tick.Record(islands_.size());
+    parallel = islands_.size() > 1;
+  }
+  if (parallel) {
+    if (island_events_.size() < islands_.size()) {
+      island_events_.resize(islands_.size());
+    }
+    for (size_t i = 0; i < islands_.size(); ++i) {
+      island_events_[i].clear();
+    }
+    for (TickOutputs& outputs : worker_outputs_) {
+      outputs.BeginTick(frames);
+    }
   } else {
-    TickSerial(&tick, frames);
+    // The whole active graph as one pseudo-island, in stack order — the
+    // phase structure is byte-for-byte the pre-parallel engine.
+    serial_island_.louds.clear();
+    serial_island_.devices.clear();
+    for (Loud* loud : active_stack_) {
+      if (loud->active()) {
+        serial_island_.louds.push_back(loud);
+        loud->CollectDevices(&serial_island_.devices);
+      }
+    }
+  }
+  serial_events_.clear();
+  epoch_in_flight_ = true;
+  if (state_mu_ != nullptr) {
+    state_mu_->Unlock();
+  }
+  return parallel;
+}
+
+void ServerState::EpochFanOut(EngineTick* tick, size_t frames, bool parallel) {
+  if (!parallel) {
+    // One pseudo-island on the tick thread, under its roots' shard locks.
+    // Events still buffer: with the state lock dropped, the connection list
+    // must not be walked from here.
+    IslandRootLocks locks(serial_island_);
+    tls_island_events = &serial_events_;
+    RunIslandPhases(serial_island_, tick, frames);
+    tls_island_events = nullptr;
+    return;
+  }
+  engine_pool_->Run(islands_.size(), [&](size_t job, int worker) {
+    obs::Trace(obs::TraceReason::kIslandRun, static_cast<uint32_t>(job),
+               static_cast<uint32_t>(islands_[job].devices.size()));
+    EngineTick island_tick{this, frames, tick->start_frame};
+    IslandRootLocks locks(islands_[job]);
+    tls_tick_outputs = &worker_outputs_[static_cast<size_t>(worker)];
+    tls_island_events = &island_events_[job];
+    RunIslandPhases(islands_[job], &island_tick, frames);
+    tls_tick_outputs = nullptr;
+    tls_island_events = nullptr;
+  });
+}
+
+void ServerState::EpochCommit(size_t frames, bool parallel) {
+  const auto commit_t0 = std::chrono::steady_clock::now();
+  if (state_mu_ != nullptr) {
+    state_mu_->Lock();
   }
 
-  // 5. Resolve the transparent mixers into the codecs. The server keeps
-  //    every output codec fed (silence when idle) so the device clock runs
-  //    continuously.
+  if (parallel) {
+    // Worker imbalance: spread between the busiest and idlest worker slot
+    // in islands run this tick (0 = perfectly even).
+    const std::vector<uint32_t>& jobs = engine_pool_->last_run_jobs();
+    if (!jobs.empty()) {
+      auto [lo, hi] = std::minmax_element(jobs.begin(), jobs.end());
+      metrics_.worker_imbalance.Record(*hi - *lo);
+    }
+
+    // Merge per-worker partial mixes into the global accumulators. The
+    // integer sums commute, so worker order cannot change the result; the
+    // serial path would have produced the identical totals.
+    for (TickOutputs& outputs : worker_outputs_) {
+      for (PhysicalDevice* device : outputs.touched()) {
+        auto it = output_acc_.find(device);
+        if (it == output_acc_.end()) {
+          it = output_acc_.emplace(device, MixAccumulator(frames)).first;
+        }
+        it->second.AddFrom(outputs.accumulator(device));
+      }
+    }
+  }
+
+  // Flush deferred events in island (stack) order; the serial fan-out
+  // buffered into one pseudo-island. Emission order within an island is
+  // preserved, so the client-visible sequence matches the pre-epoch engine.
+  if (event_sender_) {
+    uint32_t flushed = 0;
+    if (parallel) {
+      for (size_t i = 0; i < islands_.size(); ++i) {
+        for (const auto& [conn, event] : island_events_[i]) {
+          event_sender_(conn, event);
+          ++flushed;
+        }
+      }
+    } else {
+      for (const auto& [conn, event] : serial_events_) {
+        event_sender_(conn, event);
+        ++flushed;
+      }
+    }
+    if (flushed > 0) {
+      obs::Trace(obs::TraceReason::kEventFlush, flushed);
+    }
+  }
+
+  // Resolve the transparent mixers into the codecs. The server keeps every
+  // output codec fed (silence when idle) so the device clock runs
+  // continuously.
   resolved_.resize(frames);
   for (auto& [device, acc] : output_acc_) {
     acc.Resolve(resolved_);
@@ -835,11 +913,42 @@ void ServerState::Tick(size_t frames) {
     }
   }
 
-  // 6. Hardware time advances; phone/exchange events fire here.
+  // Hardware time advances; phone/exchange events fire here (delivered
+  // directly — the state lock is held).
   board_->Advance(frames);
 
-  engine_frame_ += static_cast<int64_t>(frames);
+  engine_frame_.fetch_add(static_cast<int64_t>(frames), std::memory_order_relaxed);
   ++ticks_run_;
+
+  // Publish the epoch boundary: wake structural mutators queued on it and
+  // account the commit critical section.
+  in_tick_ = false;
+  epoch_in_flight_ = false;
+  epoch_cv_.NotifyAll();
+  metrics_.epoch_commits.Increment();
+  metrics_.epoch_commit_us.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - commit_t0)
+          .count()));
+  if (state_mu_ != nullptr) {
+    state_mu_->Unlock();
+  }
+}
+
+void ServerState::Tick(size_t frames) {
+  const auto tick_t0 = std::chrono::steady_clock::now();
+
+  // Epoch open: snapshot the island partition under the state lock.
+  const bool parallel = EpochOpen(frames);
+  const size_t islands_ticked = parallel ? islands_.size() : 1;
+  EngineTick tick{this, frames, engine_frame()};
+
+  // Phases 1-4: queues, sources, transforms, sinks — with the state lock
+  // dropped, island-parallel when an engine pool is configured.
+  EpochFanOut(&tick, frames, parallel);
+
+  // Phases 5-6 + publication, in the commit critical section.
+  EpochCommit(frames, parallel);
 
   const uint64_t tick_dur_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -856,8 +965,7 @@ void ServerState::Tick(size_t frames) {
                static_cast<uint32_t>(period_us));
   }
   obs::Trace(obs::TraceReason::kTickEnd, static_cast<uint32_t>(tick_dur_us),
-             static_cast<uint32_t>(engine_pool_ != nullptr ? islands_.size() : 1));
-  in_tick_ = false;
+             static_cast<uint32_t>(islands_ticked));
 }
 
 // ---------------------------------------------------------------------------
@@ -1081,6 +1189,10 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.egress_disconnects = metrics_.egress_disconnects.value();
   reply.egress_queued_bytes = metrics_.egress_queued_bytes.value();
   reply.accept_retries = metrics_.accept_retries.value();
+  reply.epoch_commits = metrics_.epoch_commits.value();
+  reply.dispatch_shard_contention = metrics_.dispatch_shard_contention.value();
+  reply.lock_wait_us = metrics_.lock_wait_us.Snapshot();
+  reply.epoch_commit_us = metrics_.epoch_commit_us.Snapshot();
   return reply;
 }
 

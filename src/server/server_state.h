@@ -2,30 +2,39 @@
 // device LOUD, active stack, catalogue, event routing, and the engine tick
 // that moves audio.
 //
-// Locking and the parallel tick: all *protocol* mutation is called with the
-// server's big lock held (by the dispatcher for requests, by the engine for
-// ticks), so registry/stack/catalogue state stays single-threaded by
-// construction, mirroring the paper's per-server serialization point for
-// resource arbitration. The engine tick itself may fan out: Tick()
-// partitions the active device graph into independent *islands* — sets of
-// root LOUDs that share no wire endpoints, no non-speaker physical devices
-// (microphones and phone lines are destructive reads), no referenced
-// sounds, and neither the phone exchange nor the recognizer vocabulary
-// store — and runs each island on a persistent worker pool (EnginePool).
-// Workers only touch island-local state plus two thread-routed sinks:
-//   * output mixing goes to a per-worker TickOutputs accumulator set that
-//     the tick thread merges into the global per-device accumulators after
-//     the join (island merge order is deterministic and the integer sums
-//     commute, so parallel output is bit-identical to serial);
-//   * events are buffered per island and flushed by the tick thread in
-//     island-id (stack) order after the join.
-// The big lock still protects everything else: request dispatch, activation,
-// object lifetime, event masks, and the codec resolve + board advance that
-// bracket the parallel phase.
+// Locking — the epoch-snapshot tick (DESIGN.md decision 12): all *protocol*
+// mutation still runs with the server's state lock held (the dispatcher per
+// request), mirroring the paper's per-server serialization point for
+// resource arbitration. The engine tick, however, no longer holds that lock
+// across its fan-out. Tick() runs in three phases:
+//   1. Epoch open (state lock held, short): partition the active graph into
+//      independent *islands* — sets of root LOUDs that share no wire
+//      endpoints, no non-speaker physical devices (microphones and phone
+//      lines are destructive reads), no referenced sounds, and neither the
+//      phone exchange nor the recognizer vocabulary store — and capture
+//      that partition plus the per-device output accumulators as the
+//      epoch's immutable snapshot.
+//   2. Fan-out (state lock NOT held): islands run queues/produce/transform/
+//      consume on the EnginePool and the tick thread. Each island job holds
+//      the engine shard locks of its root LOUDs (Loud::engine_mutex(), in
+//      id order), which is what serializes it against engine-plane requests
+//      on those same roots. Output mixing routes to per-worker TickOutputs
+//      accumulator sets; events buffer per island. Structure (registry,
+//      wiring, activation) cannot change mid-epoch: mutating requests wait
+//      for the epoch via WaitEngineIdle().
+//   3. Commit (state lock held, short): merge per-worker mixes (island
+//      merge order is deterministic and the integer sums commute, so
+//      parallel output stays bit-identical to serial), flush buffered
+//      events in island-id (stack) order, resolve accumulators into the
+//      codecs, advance the board, publish engine time, and wake any
+//      structural mutators waiting for the epoch boundary.
+// Requests against roots the tick is not touching therefore only overlap
+// the tick's two short critical sections, never the fan-out.
 
 #ifndef SRC_SERVER_SERVER_STATE_H_
 #define SRC_SERVER_SERVER_STATE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,6 +43,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 #include "src/dsp/mixer_kernel.h"
 #include "src/hw/board.h"
@@ -115,10 +126,26 @@ class ServerState {
   Board* board() { return board_; }
   const std::string& server_name() const { return server_name_; }
   uint32_t engine_rate() const { return board_->sample_rate_hz(); }
-  int64_t engine_frame() const { return engine_frame_; }
-  Ticks server_time() const { return SamplesToTicks(engine_frame_, engine_rate()); }
+  // Engine time is published atomically at epoch commit so island workers
+  // can stamp events mid-fan-out without the state lock.
+  int64_t engine_frame() const { return engine_frame_.load(std::memory_order_relaxed); }
+  Ticks server_time() const { return SamplesToTicks(engine_frame(), engine_rate()); }
 
   void set_event_sender(EventSender sender) { event_sender_ = std::move(sender); }
+
+  // Attaches the server's state lock. Tick() takes it for the epoch open
+  // and commit critical sections (and runs its fan-out without it);
+  // WaitEngineIdle() releases it while waiting. A detached state (unit
+  // tests driving a bare ServerState single-threaded) skips all locking.
+  void AttachStateLock(Mutex* mu) { state_mu_ = mu; }
+
+  // Blocks until no epoch fan-out is in flight. Callers must hold the
+  // attached state lock (the wait releases and reacquires it); on return
+  // the engine is quiescent and cannot start a new epoch until the caller
+  // drops the lock, so structural mutation (registry, wiring, activation,
+  // sound data) is safe. Invisible to the analysis because the lock is an
+  // attached pointer, not a member the annotations can name.
+  void WaitEngineIdle() AUD_NO_THREAD_SAFETY_ANALYSIS;
 
   // -- Registry ---------------------------------------------------------------
 
@@ -172,9 +199,12 @@ class ServerState {
   void ConfigureEngine(int threads);
   int engine_threads() const { return engine_threads_; }
 
-  // One engine tick: run queues/produce/transform/consume for `frames`,
-  // then advance the hardware board. With an engine pool configured the
-  // produce/transform/consume phases run island-parallel.
+  // One engine tick: open an epoch (snapshot the island partition under the
+  // state lock), run queues/produce/transform/consume for `frames` with the
+  // lock dropped (island-parallel when an engine pool is configured), then
+  // commit — merge, flush events, resolve codecs, advance the board — in a
+  // short critical section at the tick boundary. Callers must NOT hold the
+  // attached state lock.
   void Tick(size_t frames);
 
   // Recomputes the island partition of the currently-active graph and
@@ -241,11 +271,13 @@ class ServerState {
 
   int64_t ticks_run() const { return ticks_run_; }
 
-  // The server-wide metrics aggregate. Counters/gauges may be bumped from
-  // any thread; histograms only under the big lock (see metrics.h).
+  // The server-wide metrics aggregate. Counters/gauges/histograms are all
+  // relaxed atomics and may be bumped from any thread (see metrics.h).
   ServerMetrics& metrics() { return metrics_; }
 
-  // Snapshot for GetServerStats. Called with the big lock held.
+  // Snapshot for GetServerStats. Called with the state lock held (the
+  // structural fields it reads — registry size, active stack — only change
+  // under that lock).
   ServerStatsReply BuildServerStats(bool include_opcodes);
 
  private:
@@ -266,8 +298,11 @@ class ServerState {
   // Runs queue/produce/transform/consume for one island (or, in serial
   // mode, a pseudo-island holding the whole active graph).
   void RunIslandPhases(const EngineIsland& island, EngineTick* tick, size_t frames);
-  void TickSerial(EngineTick* tick, size_t frames);
-  void TickParallel(EngineTick* tick, size_t frames);
+  // Epoch phases (Tick). Open/Commit run under the state lock; the fan-out
+  // does not. `parallel` is decided at open and carried across the epoch.
+  bool EpochOpen(size_t frames) AUD_NO_THREAD_SAFETY_ANALYSIS;
+  void EpochFanOut(EngineTick* tick, size_t frames, bool parallel);
+  void EpochCommit(size_t frames, bool parallel) AUD_NO_THREAD_SAFETY_ANALYSIS;
   void DeliverEvent(uint32_t conn, const EventMessage& event);
 
   Board* board_;
@@ -287,9 +322,21 @@ class ServerState {
 
   std::map<PhysicalDevice*, MixAccumulator> output_acc_;
   size_t current_tick_frames_ = 0;
-  int64_t engine_frame_ = 0;
+  std::atomic<int64_t> engine_frame_{0};
   int64_t ticks_run_ = 0;
   bool in_tick_ = false;
+
+  // Epoch machinery (decision 12). `state_mu_` is the server's state lock;
+  // epoch_in_flight_ is true exactly while a fan-out runs without it.
+  // Structural mutators queue on epoch_cv_ (WaitEngineIdle) and the next
+  // epoch open defers to them so a tick storm cannot starve mutation.
+  Mutex* state_mu_ = nullptr;
+  CondVar epoch_cv_;
+  bool epoch_in_flight_ = false;
+  int drain_waiters_ = 0;
+  // Event buffer for the serial (single-island) fan-out; the parallel path
+  // uses island_events_. Flushed at commit in emission order either way.
+  std::vector<std::pair<uint32_t, EventMessage>> serial_events_;
 
   // Parallel engine machinery (ConfigureEngine). Scratch containers are
   // members so steady-state ticks stay allocation-free.

@@ -936,6 +936,10 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(egress_disconnects);
   w->WriteI64(egress_queued_bytes);
   w->WriteU64(accept_retries);
+  w->WriteU64(epoch_commits);
+  w->WriteU64(dispatch_shard_contention);
+  EncodeHistogram(w, lock_wait_us);
+  EncodeHistogram(w, epoch_commit_us);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -979,6 +983,10 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.egress_disconnects = r->ReadU64();
   p.egress_queued_bytes = r->ReadI64();
   p.accept_retries = r->ReadU64();
+  p.epoch_commits = r->ReadU64();
+  p.dispatch_shard_contention = r->ReadU64();
+  p.lock_wait_us = DecodeHistogram(r);
+  p.epoch_commit_us = DecodeHistogram(r);
   return p;
 }
 

@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 3;
+inline constexpr uint32_t kServerStatsVersion = 4;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -579,6 +579,12 @@ struct ServerStatsReply {
   uint64_t egress_disconnects = 0;  // slow clients cut off by overflow
   int64_t egress_queued_bytes = 0;  // current total egress backlog
   uint64_t accept_retries = 0;      // transient accept() failures retried
+
+  // Epoch-snapshot engine (v4, DESIGN.md decision 12).
+  uint64_t epoch_commits = 0;             // epochs published (completed ticks)
+  uint64_t dispatch_shard_contention = 0; // shard TryLock misses in dispatch
+  obs::HistogramSnapshot lock_wait_us;    // state-lock / shard-lock waits
+  obs::HistogramSnapshot epoch_commit_us; // commit critical-section duration
 
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);

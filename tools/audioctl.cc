@@ -227,7 +227,9 @@ int CmdStats(AudioConnection& audio, bool json) {
     PrintHistogramJson("tick_jitter_us", s.tick_jitter_us, false);
     PrintHistogramJson("islands_per_tick", s.islands_per_tick, false);
     PrintHistogramJson("worker_imbalance", s.worker_imbalance, false);
-    PrintHistogramJson("dispatch_us", s.dispatch_us, true);
+    PrintHistogramJson("dispatch_us", s.dispatch_us, false);
+    PrintHistogramJson("lock_wait_us", s.lock_wait_us, false);
+    PrintHistogramJson("epoch_commit_us", s.epoch_commit_us, true);
     std::printf("  },\n");
     std::printf("  \"requests\": {\"total\": %llu, \"errors\": %llu},\n",
                 static_cast<unsigned long long>(s.requests_total),
@@ -266,11 +268,14 @@ int CmdStats(AudioConnection& audio, bool json) {
                 static_cast<unsigned long long>(s.decoded_cache_bytes),
                 static_cast<unsigned long long>(s.decoded_cache_evictions));
     std::printf("  \"egress\": {\"events_dropped\": %llu, \"disconnects\": %llu, "
-                "\"queued_bytes\": %lld, \"accept_retries\": %llu}\n",
+                "\"queued_bytes\": %lld, \"accept_retries\": %llu},\n",
                 static_cast<unsigned long long>(s.events_dropped),
                 static_cast<unsigned long long>(s.egress_disconnects),
                 static_cast<long long>(s.egress_queued_bytes),
                 static_cast<unsigned long long>(s.accept_retries));
+    std::printf("  \"epoch\": {\"commits\": %llu, \"shard_contention\": %llu}\n",
+                static_cast<unsigned long long>(s.epoch_commits),
+                static_cast<unsigned long long>(s.dispatch_shard_contention));
     std::printf("}\n");
     return 0;
   }
@@ -323,6 +328,11 @@ int CmdStats(AudioConnection& audio, bool json) {
               static_cast<unsigned long long>(s.egress_disconnects),
               static_cast<long long>(s.egress_queued_bytes),
               static_cast<unsigned long long>(s.accept_retries));
+  std::printf("epoch: %llu commits, %llu shard-lock contentions\n",
+              static_cast<unsigned long long>(s.epoch_commits),
+              static_cast<unsigned long long>(s.dispatch_shard_contention));
+  PrintHistogramLine("lock wait us", s.lock_wait_us);
+  PrintHistogramLine("epoch commit us", s.epoch_commit_us);
   return 0;
 }
 

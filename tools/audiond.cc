@@ -176,11 +176,12 @@ int main(int argc, char** argv) {
         MutexLock lock(&server.mutex());
         stats = server.state().BuildServerStats(false);
       }
-      char line[320];
+      char line[400];
       std::snprintf(line, sizeof(line),
                     "stats: ticks=%llu overruns=%llu tick_p99=%.0fus jitter_p99=%.0fus "
                     "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu "
-                    "ev_dropped=%llu egress_cuts=%llu",
+                    "ev_dropped=%llu egress_cuts=%llu epochs=%llu shard_cont=%llu "
+                    "commit_p99=%.0fus lockwait_p99=%.0fus",
                     static_cast<unsigned long long>(stats.ticks_run),
                     static_cast<unsigned long long>(stats.tick_overruns),
                     stats.tick_us.empty() ? 0.0 : stats.tick_us.Percentile(99),
@@ -191,7 +192,11 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.bytes_in),
                     static_cast<unsigned long long>(stats.bytes_out),
                     static_cast<unsigned long long>(stats.events_dropped),
-                    static_cast<unsigned long long>(stats.egress_disconnects));
+                    static_cast<unsigned long long>(stats.egress_disconnects),
+                    static_cast<unsigned long long>(stats.epoch_commits),
+                    static_cast<unsigned long long>(stats.dispatch_shard_contention),
+                    stats.epoch_commit_us.empty() ? 0.0 : stats.epoch_commit_us.Percentile(99),
+                    stats.lock_wait_us.empty() ? 0.0 : stats.lock_wait_us.Percentile(99));
       LogMessage(LogLevel::kInfo, line);
     }
   }
