@@ -14,6 +14,7 @@ AudioConnection::AudioConnection(std::unique_ptr<ByteStream> stream, const Setup
     : stream_(std::move(stream)),
       server_name_(setup.server_name),
       device_loud_(setup.device_loud),
+      id_base_(setup.id_base),
       id_next_(setup.id_base),
       id_end_(setup.id_base + setup.id_count) {
   reader_ = std::thread([this] { ReaderLoop(); });

@@ -73,6 +73,17 @@ class AudioConnection {
   const std::string& server_name() const { return server_name_; }
   ResourceId device_loud() const { return device_loud_; }
 
+  // Base of this connection's resource-id block (from the setup reply).
+  ResourceId id_base() const { return id_base_; }
+
+  // The trace id the server assigns to the request with `sequence` on this
+  // connection: (id-block base << 32) | sequence. The client can therefore
+  // stamp/predict ids without a server round trip — send a request, note
+  // its sequence, and ask GetRequestTrace for exactly that request.
+  uint64_t TraceIdFor(uint32_t sequence) const {
+    return (static_cast<uint64_t>(id_base_) << 32) | sequence;
+  }
+
   // Allocates a fresh resource id from this connection's block.
   ResourceId AllocId();
 
@@ -172,6 +183,12 @@ class AudioConnection {
   Result<ServerStatsReply> GetServerStats(bool include_opcodes = true);
   Result<ServerTraceReply> GetServerTrace(uint32_t max_events = 0);
 
+  // Request tracing and per-entity statistics (protocol minor 2).
+  // trace_id 0 fetches the most recently sampled request's spans.
+  Result<RequestTraceReply> GetRequestTrace(uint64_t trace_id = 0,
+                                            uint32_t max_spans = 0);
+  Result<EntityStatsReply> GetEntityStats(bool include_devices = true);
+
   void Close();
 
  private:
@@ -185,6 +202,8 @@ class AudioConnection {
   std::unique_ptr<ByteStream> stream_;
   std::string server_name_;
   ResourceId device_loud_ = kNoResource;
+  // Immutable after setup; read without a lock by TraceIdFor.
+  ResourceId id_base_ = kNoResource;
 
   // Serializes outbound frames, sequence allocation and id allocation.
   // Leaf lock; never held together with queue_mu_ (DESIGN.md decision 9).
@@ -218,6 +237,17 @@ inline Result<ServerStatsReply> AudGetServerStats(AudioConnection& conn,
 inline Result<ServerTraceReply> AudGetServerTrace(AudioConnection& conn,
                                                   uint32_t max_events = 0) {
   return conn.GetServerTrace(max_events);
+}
+
+inline Result<RequestTraceReply> AudGetRequestTrace(AudioConnection& conn,
+                                                    uint64_t trace_id = 0,
+                                                    uint32_t max_spans = 0) {
+  return conn.GetRequestTrace(trace_id, max_spans);
+}
+
+inline Result<EntityStatsReply> AudGetEntityStats(AudioConnection& conn,
+                                                  bool include_devices = true) {
+  return conn.GetEntityStats(include_devices);
 }
 
 // -- Command builders (the queue vocabulary of section 5.5) -----------------------

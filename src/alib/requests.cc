@@ -327,6 +327,22 @@ Result<ServerTraceReply> AudioConnection::GetServerTrace(uint32_t max_events) {
   return DecodeReply<ServerTraceReply>(RoundTrip(Opcode::kGetServerTrace, EncodeReq(req)));
 }
 
+Result<RequestTraceReply> AudioConnection::GetRequestTrace(uint64_t trace_id,
+                                                           uint32_t max_spans) {
+  GetRequestTraceReq req;
+  req.trace_id = trace_id;
+  req.max_spans = max_spans;
+  return DecodeReply<RequestTraceReply>(
+      RoundTrip(Opcode::kGetRequestTrace, EncodeReq(req)));
+}
+
+Result<EntityStatsReply> AudioConnection::GetEntityStats(bool include_devices) {
+  GetEntityStatsReq req;
+  req.include_devices = include_devices ? 1 : 0;
+  return DecodeReply<EntityStatsReply>(
+      RoundTrip(Opcode::kGetEntityStats, EncodeReq(req)));
+}
+
 // -- Command builders ---------------------------------------------------------------------
 
 namespace {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 
 #include "src/common/thread_annotations.h"
 
@@ -14,6 +15,11 @@ std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 // Serializes the fprintf so concurrent log lines never interleave; stderr
 // itself is the guarded resource, so no AUD_GUARDED_BY field exists.
 Mutex g_log_mu;
+
+// Ring of the most recent formatted lines (flight-recorder log tail).
+constexpr size_t kLogRingCapacity = 64;
+std::string g_log_ring[kLogRingCapacity] AUD_GUARDED_BY(g_log_mu);
+uint64_t g_log_ring_next AUD_GUARDED_BY(g_log_mu) = 0;
 
 // Monotonic time base shared by every log line (ms since first log call),
 // so tick-thread / worker / dispatcher interleavings are attributable on a
@@ -62,6 +68,24 @@ void LogMessage(LogLevel level, const std::string& message) {
   // Format contract (tests grep this): "[aud LEVEL +<ms>ms t<tid>] message".
   std::fprintf(stderr, "[aud %s +%lldms t%u] %s\n", LevelTag(level),
                static_cast<long long>(elapsed), ThreadLogId(), message.c_str());
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[aud %s +%lldms t%u] ", LevelTag(level),
+                static_cast<long long>(elapsed), ThreadLogId());
+  g_log_ring[g_log_ring_next % kLogRingCapacity] = std::string(prefix) + message;
+  ++g_log_ring_next;
+}
+
+std::vector<std::string> RecentLogLines(size_t max_lines) {
+  MutexLock lock(&g_log_mu);
+  const uint64_t stored =
+      g_log_ring_next < kLogRingCapacity ? g_log_ring_next : kLogRingCapacity;
+  const uint64_t want = max_lines < stored ? max_lines : stored;
+  std::vector<std::string> lines;
+  lines.reserve(want);
+  for (uint64_t i = g_log_ring_next - want; i < g_log_ring_next; ++i) {
+    lines.push_back(g_log_ring[i % kLogRingCapacity]);
+  }
+  return lines;
 }
 
 }  // namespace aud

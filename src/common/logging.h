@@ -7,6 +7,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace aud {
 
@@ -23,6 +24,12 @@ LogLevel GetLogLevel();
 
 // Emits one line to stderr with a level tag. Thread-safe.
 void LogMessage(LogLevel level, const std::string& message);
+
+// The most recent emitted log lines (formatted exactly as printed), oldest
+// first. Every emitted line enters the ring regardless of level filtering
+// of future lines; capacity is fixed (see logging.cc). Feeds the flight
+// recorder's post-mortem dump.
+std::vector<std::string> RecentLogLines(size_t max_lines = 64);
 
 // Stream-style helper: LogLine(LogLevel::kInfo) << "x=" << x;
 class LogLine {

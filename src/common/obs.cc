@@ -46,10 +46,14 @@ double HistogramSnapshot::Percentile(double p) const {
     return 0.0;
   }
   p = std::clamp(p, 0.0, 100.0);
-  // Rank of the target sample, 1-based.
-  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count));
-  if (target == 0) {
-    target = 1;
+  // Continuous rank (1-based) of the target sample. Kept fractional so the
+  // interpolation below does not truncate: with integer ranks a log2 bucket
+  // at the high end quantized the answer by up to ~2x (the bucket spans
+  // [2^(b-1), 2^b)), and a rank landing exactly on the bucket's last sample
+  // returned the bucket's top instead of an interpolated position.
+  double rank = p / 100.0 * static_cast<double>(count);
+  if (rank < 1.0) {
+    rank = 1.0;
   }
   uint64_t cumulative = 0;
   for (size_t b = 0; b < buckets.size(); ++b) {
@@ -57,12 +61,15 @@ double HistogramSnapshot::Percentile(double p) const {
     if (in_bucket == 0) {
       continue;
     }
-    if (cumulative + in_bucket >= target) {
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
       double low = static_cast<double>(LatencyHistogram::BucketLow(b));
       double high = static_cast<double>(LatencyHistogram::BucketHigh(b));
-      double frac =
-          static_cast<double>(target - cumulative) / static_cast<double>(in_bucket);
-      double v = low + frac * (high - low);
+      // Midpoint rule: sample k of n in a bucket sits at fraction
+      // (k - 0.5) / n of the bucket's width, assuming a uniform spread.
+      double in_rank = rank - static_cast<double>(cumulative);
+      double frac = (in_rank - 0.5) / static_cast<double>(in_bucket);
+      double v = low + std::clamp(frac, 0.0, 1.0) * (high + 1.0 - low);
+      v = std::clamp(v, low, high);
       return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
     }
     cumulative += in_bucket;
@@ -96,6 +103,18 @@ std::string_view TraceReasonName(TraceReason reason) {
       return "conn-open";
     case TraceReason::kConnectionClose:
       return "conn-close";
+    case TraceReason::kSpanRequest:
+      return "span-request";
+    case TraceReason::kSpanDispatch:
+      return "span-dispatch";
+    case TraceReason::kSpanEpoch:
+      return "span-epoch";
+    case TraceReason::kSpanEgress:
+      return "span-egress";
+    case TraceReason::kSpanWrite:
+      return "span-write";
+    case TraceReason::kMouthToEar:
+      return "mouth-to-ear";
     case TraceReason::kTraceReasonCount:
       break;
   }
@@ -103,7 +122,7 @@ std::string_view TraceReasonName(TraceReason reason) {
 }
 
 void TraceRing::Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us,
-                       uint64_t seq) {
+                       uint64_t seq, uint64_t trace, uint64_t parent, uint32_t dur_us) {
   MutexLock lock(&mu_);
   TraceEvent& slot = events_[next_ % kCapacity];
   slot.t_us = t_us;
@@ -112,6 +131,9 @@ void TraceRing::Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t
   slot.reason = reason;
   slot.arg0 = arg0;
   slot.arg1 = arg1;
+  slot.trace = trace;
+  slot.parent = parent;
+  slot.dur_us = dur_us;
   ++next_;
 }
 
@@ -152,6 +174,20 @@ void TraceRegistry::Trace(TraceReason reason, uint32_t arg0, uint32_t arg1) {
   ThreadRing()->Record(reason, arg0, arg1, NowUs(), seq);
 }
 
+uint64_t TraceRegistry::Span(TraceReason reason, uint64_t trace, uint64_t parent,
+                             int64_t t_start_us, uint32_t dur_us, uint32_t arg0,
+                             uint32_t arg1) {
+  uint64_t seq = ReserveSeq();
+  SpanWithSeq(seq, reason, trace, parent, t_start_us, dur_us, arg0, arg1);
+  return seq;
+}
+
+void TraceRegistry::SpanWithSeq(uint64_t seq, TraceReason reason, uint64_t trace,
+                                uint64_t parent, int64_t t_start_us, uint32_t dur_us,
+                                uint32_t arg0, uint32_t arg1) {
+  ThreadRing()->Record(reason, arg0, arg1, t_start_us, seq, trace, parent, dur_us);
+}
+
 std::vector<TraceEvent> TraceRegistry::Snapshot(size_t max_events) const {
   std::vector<TraceEvent> events;
   {
@@ -160,8 +196,12 @@ std::vector<TraceEvent> TraceRegistry::Snapshot(size_t max_events) const {
       ring->Collect(&events);
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  // One timeline: order by timestamp so interleaved threads read as they
+  // happened; seq breaks timestamp ties, making the order total and stable
+  // (spans backdate t_us to their start, so seq order alone would zig-zag).
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.t_us != b.t_us ? a.t_us < b.t_us : a.seq < b.seq;
+  });
   if (max_events != 0 && events.size() > max_events) {
     events.erase(events.begin(), events.end() - static_cast<ptrdiff_t>(max_events));
   }

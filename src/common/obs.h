@@ -114,13 +114,23 @@ enum class TraceReason : uint16_t {
   kEventFlush = 7,     // arg0 = deferred events flushed after a parallel tick
   kConnectionOpen = 8, // arg0 = connection index
   kConnectionClose = 9,// arg0 = connection index
-  kTraceReasonCount = 10,
+  // Request-scoped spans (trace/parent/dur_us are meaningful from here on).
+  kSpanRequest = 10,   // root span: whole request residency; arg0 = opcode
+  kSpanDispatch = 11,  // lock wait + handler; arg0 = opcode, arg1 = duration us
+  kSpanEpoch = 12,     // first engine epoch that mixed a traced play; arg0 = tick
+  kSpanEgress = 13,    // reply/event enqueued on the egress queue; arg0 = code
+  kSpanWrite = 14,     // socket write of a traced frame; arg0 = bytes
+  kMouthToEar = 15,    // play accept -> first mixed frame; arg0 = latency us
+  kTraceReasonCount = 16,
 };
 
 std::string_view TraceReasonName(TraceReason reason);
 
 // One fixed-size trace record. `seq` is a process-global ordering stamp;
 // `t_us` is microseconds on the shared trace clock (process start epoch).
+// Span records additionally carry a request-scoped correlation id (`trace`),
+// the seq of their parent span (`parent`, 0 = root) and a duration, turning
+// the flat ring into a per-request span tree (DESIGN.md decision 13).
 struct TraceEvent {
   int64_t t_us = 0;
   uint64_t seq = 0;
@@ -128,6 +138,9 @@ struct TraceEvent {
   TraceReason reason = TraceReason::kNone;
   uint32_t arg0 = 0;
   uint32_t arg1 = 0;
+  uint64_t trace = 0;   // correlation id; 0 = not request-scoped
+  uint64_t parent = 0;  // seq of the parent span; 0 = root
+  uint32_t dur_us = 0;  // span duration (0 for point events)
 };
 
 // Bounded single-writer ring of trace events. The owning thread records;
@@ -144,7 +157,8 @@ class TraceRing {
 
   uint32_t tid() const { return tid_; }
 
-  void Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us, uint64_t seq);
+  void Record(TraceReason reason, uint32_t arg0, uint32_t arg1, int64_t t_us, uint64_t seq,
+              uint64_t trace = 0, uint64_t parent = 0, uint32_t dur_us = 0);
 
   // Appends the retained events (oldest first) to `out`.
   void Collect(std::vector<TraceEvent>* out) const;
@@ -166,8 +180,25 @@ class TraceRegistry {
   // Records into the calling thread's ring (created on first use).
   void Trace(TraceReason reason, uint32_t arg0 = 0, uint32_t arg1 = 0);
 
-  // Merged snapshot across every ring, ordered by seq, truncated to the
-  // newest `max_events` (0 = no limit).
+  // Reserves a global seq without recording, so a parent span's seq can be
+  // handed to children before the parent itself (whose duration is only
+  // known at the end) is written with SpanWithSeq.
+  uint64_t ReserveSeq() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Records a request-scoped span on the calling thread's ring and returns
+  // its seq. `t_start_us` is the span's start on the trace clock (NowUs);
+  // `parent` links to the enclosing span's seq (0 = root).
+  uint64_t Span(TraceReason reason, uint64_t trace, uint64_t parent, int64_t t_start_us,
+                uint32_t dur_us, uint32_t arg0 = 0, uint32_t arg1 = 0);
+
+  // Same, with a pre-reserved seq (ReserveSeq).
+  void SpanWithSeq(uint64_t seq, TraceReason reason, uint64_t trace, uint64_t parent,
+                   int64_t t_start_us, uint32_t dur_us, uint32_t arg0 = 0,
+                   uint32_t arg1 = 0);
+
+  // Merged snapshot across every ring as one timeline: globally ordered by
+  // timestamp (ties broken by seq, so the order is total and stable across
+  // threads), truncated to the newest `max_events` (0 = no limit).
   std::vector<TraceEvent> Snapshot(size_t max_events) const;
 
   // Microseconds since the trace epoch (process start of tracing).

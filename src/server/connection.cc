@@ -31,8 +31,10 @@ void ClientConnection::StartReader(std::function<void()> body) {
 }
 
 void ClientConnection::WriterLoop() {
+  auto& tracer = obs::TraceRegistry::Instance();
   EgressFrame frame;
   while (egress_.Pop(&frame)) {
+    const int64_t write_t0 = frame.trace != 0 ? tracer.NowUs() : 0;
     if (!WriteMessage(stream_.get(), frame.type, frame.code, frame.sequence,
                       frame.payload)) {
       // Transport dead: the reader will see EOF and run reclamation.
@@ -40,8 +42,18 @@ void ClientConnection::WriterLoop() {
       egress_.CloseNow();
       break;
     }
+    const size_t frame_bytes = kHeaderSize + frame.payload.size();
+    if (frame.trace != 0) {
+      tracer.Span(obs::TraceReason::kSpanWrite, frame.trace, frame.parent, write_t0,
+                  static_cast<uint32_t>(tracer.NowUs() - write_t0),
+                  static_cast<uint32_t>(frame_bytes));
+      if (metrics_ != nullptr) {
+        metrics_->trace_spans.Increment();
+      }
+    }
+    stats_.bytes_out.Increment(frame_bytes);
     if (metrics_ != nullptr) {
-      metrics_->bytes_out.Increment(kHeaderSize + frame.payload.size());
+      metrics_->bytes_out.Increment(frame_bytes);
     }
   }
   egress_.MarkWriterExited();
@@ -67,12 +79,23 @@ void ClientConnection::HardClose() {
 }
 
 bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
-                            std::span<const uint8_t> payload) {
+                            std::span<const uint8_t> payload, uint64_t trace,
+                            uint64_t parent) {
   if (closed_.load()) {
     return false;
   }
   EgressFrame frame{type, code, sequence,
                     std::vector<uint8_t>(payload.begin(), payload.end())};
+  if (trace != 0) {
+    // Point span marking the enqueue; the writer's kSpanWrite links to it.
+    auto& tracer = obs::TraceRegistry::Instance();
+    frame.trace = trace;
+    frame.parent = tracer.Span(obs::TraceReason::kSpanEgress, trace, parent,
+                               tracer.NowUs(), 0, code);
+    if (metrics_ != nullptr) {
+      metrics_->trace_spans.Increment();
+    }
+  }
   EgressPushResult result = egress_.Push(std::move(frame));
   if (result.dropped_events > 0 && metrics_ != nullptr) {
     metrics_->events_dropped.Increment(result.dropped_events);
@@ -98,14 +121,17 @@ bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
 }
 
 bool ClientConnection::SendReply(uint16_t opcode, uint32_t sequence,
-                                 std::span<const uint8_t> payload) {
-  return Send(MessageType::kReply, opcode, sequence, payload);
+                                 std::span<const uint8_t> payload, uint64_t trace,
+                                 uint64_t parent) {
+  return Send(MessageType::kReply, opcode, sequence, payload, trace, parent);
 }
 
-bool ClientConnection::SendError(uint32_t sequence, const ErrorMessage& error) {
+bool ClientConnection::SendError(uint32_t sequence, const ErrorMessage& error,
+                                 uint64_t trace, uint64_t parent) {
   ByteWriter w;
   error.Encode(&w);
-  return Send(MessageType::kError, static_cast<uint16_t>(error.code), sequence, w.bytes());
+  return Send(MessageType::kError, static_cast<uint16_t>(error.code), sequence,
+              w.bytes(), trace, parent);
 }
 
 bool ClientConnection::SendEvent(const EventMessage& event) {
@@ -113,8 +139,11 @@ bool ClientConnection::SendEvent(const EventMessage& event) {
   event.Encode(&w);
   bool sent = Send(MessageType::kEvent, static_cast<uint16_t>(event.type),
                    last_sequence_.load(), w.bytes());
-  if (sent && metrics_ != nullptr) {
-    metrics_->events_sent.Increment();
+  if (sent) {
+    stats_.events_sent.Increment();
+    if (metrics_ != nullptr) {
+      metrics_->events_sent.Increment();
+    }
   }
   return sent;
 }

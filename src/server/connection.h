@@ -30,6 +30,20 @@ namespace aud {
 // that has genuinely stopped reading ever hits the overflow policy.
 inline constexpr size_t kDefaultEgressBudgetBytes = 1u << 20;  // 1 MiB
 
+// Per-connection statistics (GetEntityStats). Same contract as the global
+// ServerMetrics: every member is relaxed-atomic, so the reader thread, the
+// writer thread and the engine may all bump them lock-free, and a snapshot
+// taken from any thread never tears.
+struct ConnectionStats {
+  obs::Counter requests;
+  obs::Counter errors;
+  obs::Counter bytes_in;
+  obs::Counter bytes_out;
+  obs::Counter events_sent;
+  obs::LatencyHistogram dispatch_us;
+  // events_dropped lives on the egress queue (dropped_events_total()).
+};
+
 class ClientConnection {
  public:
   ClientConnection(uint32_t index, std::unique_ptr<ByteStream> stream,
@@ -86,17 +100,30 @@ class ClientConnection {
   // Enqueues one framed message; never blocks on transport I/O. Returns
   // false once the connection is closed or the client was disconnected by
   // the overflow policy. Event frames may be shed under pressure (counted
-  // in events_dropped) without failing the call.
+  // in events_dropped) without failing the call. A nonzero `trace` marks
+  // the frame request-scoped: enqueue records a kSpanEgress span parented
+  // on `parent`, and the writer records a kSpanWrite span for the socket
+  // write itself.
   bool Send(MessageType type, uint16_t code, uint32_t sequence,
-            std::span<const uint8_t> payload);
+            std::span<const uint8_t> payload, uint64_t trace = 0, uint64_t parent = 0);
 
   // Convenience senders.
-  bool SendReply(uint16_t opcode, uint32_t sequence, std::span<const uint8_t> payload);
-  bool SendError(uint32_t sequence, const ErrorMessage& error);
+  bool SendReply(uint16_t opcode, uint32_t sequence, std::span<const uint8_t> payload,
+                 uint64_t trace = 0, uint64_t parent = 0);
+  bool SendError(uint32_t sequence, const ErrorMessage& error, uint64_t trace = 0,
+                 uint64_t parent = 0);
   bool SendEvent(const EventMessage& event);
 
   uint64_t events_dropped() const { return egress_.dropped_events_total(); }
   size_t egress_queued_bytes() const { return egress_.queued_bytes(); }
+
+  // Per-connection statistic block (lock-free; see ConnectionStats).
+  ConnectionStats& stats() { return stats_; }
+  const ConnectionStats& stats() const { return stats_; }
+
+  // Per-connection trace-sampling state, owned by the reader thread (only
+  // the reader touches it, so a plain field suffices).
+  uint64_t& trace_sample_counter() { return trace_sample_counter_; }
 
  private:
   void WriterLoop();
@@ -108,6 +135,8 @@ class ClientConnection {
   std::unique_ptr<ByteStream> stream_;
   ServerMetrics* metrics_ = nullptr;
   std::string client_name_;
+  ConnectionStats stats_;
+  uint64_t trace_sample_counter_ = 0;
   EgressQueue egress_;
   std::thread writer_thread_;
   std::thread reader_thread_;

@@ -86,7 +86,8 @@ ErrorMessage MakeError(ErrorCode code, ResourceId resource, Opcode opcode,
 }  // namespace
 
 void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& message,
-                                std::chrono::steady_clock::time_point received_at) {
+                                std::chrono::steady_clock::time_point received_at,
+                                const TraceContext& trace) {
   const uint32_t seq = message.header.sequence;
   const Opcode opcode = static_cast<Opcode>(message.header.code);
   ByteReader r(message.payload);
@@ -105,6 +106,7 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   // dispatch shows up here even though the stall happens before the handler.
   const auto dispatch_t0 = received_at;
   metrics.requests_total.Increment();
+  conn->stats().requests.Increment();
   if (known_opcode) {
     metrics.requests[message.header.code].Increment();
   }
@@ -116,12 +118,14 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   };
   auto send_error = [&](ErrorCode code, ResourceId resource, std::string detail = {}) {
     metrics.request_errors_total.Increment();
+    conn->stats().errors.Increment();
     if (known_opcode) {
       metrics.request_errors[message.header.code].Increment();
     }
     obs::Trace(obs::TraceReason::kDispatchError, message.header.code,
                static_cast<uint32_t>(code));
-    conn->SendError(seq, MakeError(code, resource, opcode, std::move(detail)));
+    conn->SendError(seq, MakeError(code, resource, opcode, std::move(detail)),
+                    trace.trace_id, trace.root_seq);
   };
   auto send_status = [&](const Status& status, ResourceId resource) {
     if (!status.ok()) {
@@ -132,7 +136,8 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
   auto send_reply = [&](const auto& reply) {
     ByteWriter w;
     reply.Encode(&w);
-    conn->SendReply(static_cast<uint16_t>(opcode), seq, w.bytes());
+    conn->SendReply(static_cast<uint16_t>(opcode), seq, w.bytes(), trace.trace_id,
+                    trace.root_seq);
   };
 
   // Unknown opcodes are rejected by range before the switch, which lets the
@@ -583,7 +588,13 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         break;
       }
       EngineShardGuard shard(&state_, &metrics, loud);
-      send_status(loud->queue()->Enqueue(req.commands), req.loud);
+      const bool already_started = loud->queue()->state() == QueueState::kStarted;
+      if (send_status(loud->queue()->Enqueue(req.commands), req.loud) &&
+          already_started && trace.trace_id != 0) {
+        // Commands landing on a running queue feed the next epoch directly:
+        // start the mouth-to-ear clock here (mirrors kStartQueue below).
+        state_.NotePlayAccepted(trace.trace_id, trace.root_seq);
+      }
       break;
     }
 
@@ -640,7 +651,13 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
           queue->Flush();
           break;
       }
-      send_status(status, req.id);
+      if (send_status(status, req.id) && opcode == Opcode::kStartQueue &&
+          trace.trace_id != 0) {
+        // Mouth-to-ear (ISSUE: play accept -> first mixed frame): the accept
+        // timestamp is now; EpochCommit records the latency when the first
+        // epoch that can mix this queue commits.
+        state_.NotePlayAccepted(trace.trace_id, trace.root_seq);
+      }
       break;
     }
 
@@ -832,7 +849,75 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         wire.reason = static_cast<uint16_t>(e.reason);
         wire.arg0 = e.arg0;
         wire.arg1 = e.arg1;
+        wire.trace = e.trace;
+        wire.parent = e.parent;
+        wire.dur_us = e.dur_us;
         reply.events.push_back(wire);
+      }
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kGetRequestTrace: {
+      GetRequestTraceReq req = GetRequestTraceReq::Decode(&r);
+      // trace_id 0 asks for the most recently sampled request — the common
+      // interactive path ("show me a trace") without guessing ids.
+      const uint64_t want = req.trace_id != 0
+                                ? req.trace_id
+                                : metrics.last_trace_id.load(std::memory_order_relaxed);
+      const size_t max_spans =
+          req.max_spans == 0 ? obs::TraceRing::kCapacity : req.max_spans;
+      RequestTraceReply reply;
+      reply.trace_id = want;
+      if (want != 0) {
+        for (const obs::TraceEvent& e : obs::TraceRegistry::Instance().Snapshot(0)) {
+          if (e.trace != want) {
+            continue;
+          }
+          if (reply.spans.size() >= max_spans) {
+            break;
+          }
+          TraceEventWire wire;
+          wire.t_us = e.t_us;
+          wire.seq = e.seq;
+          wire.tid = e.tid;
+          wire.reason = static_cast<uint16_t>(e.reason);
+          wire.arg0 = e.arg0;
+          wire.arg1 = e.arg1;
+          wire.trace = e.trace;
+          wire.parent = e.parent;
+          wire.dur_us = e.dur_us;
+          reply.spans.push_back(wire);
+        }
+      }
+      send_reply(reply);
+      break;
+    }
+
+    case Opcode::kGetEntityStats: {
+      GetEntityStatsReq req = GetEntityStatsReq::Decode(&r);
+      EntityStatsReply reply;
+      // connections_ is guarded by the state lock, which dispatch holds;
+      // the per-connection counters themselves are lock-free atomics, so
+      // the reader/writer threads of other clients keep running.
+      for (const auto& c : connections_) {
+        if (c->finished()) {
+          continue;
+        }
+        ConnectionStatsWire wire;
+        wire.index = c->index();
+        wire.name = c->client_name();
+        wire.requests = c->stats().requests.value();
+        wire.errors = c->stats().errors.value();
+        wire.bytes_in = c->stats().bytes_in.value();
+        wire.bytes_out = c->stats().bytes_out.value();
+        wire.events_sent = c->stats().events_sent.value();
+        wire.events_dropped = c->events_dropped();
+        wire.dispatch_us = c->stats().dispatch_us.Snapshot();
+        reply.connections.push_back(std::move(wire));
+      }
+      if (req.include_devices != 0) {
+        state_.AppendDeviceStats(&reply);
       }
       send_reply(reply);
       break;
@@ -865,11 +950,22 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
           std::chrono::steady_clock::now() - dispatch_t0)
           .count());
   metrics.dispatch_us.Record(dispatch_us);
+  conn->stats().dispatch_us.Record(dispatch_us);
   if (known_opcode) {
     metrics.opcode_us[message.header.code].Increment(dispatch_us);
   }
   obs::Trace(obs::TraceReason::kDispatch, message.header.code,
              static_cast<uint32_t>(dispatch_us));
+  if (trace.trace_id != 0) {
+    // Dispatch span: lock wait + handling, backdated to when the reader
+    // started queueing for the state lock (same window dispatch_us clocks).
+    auto& tracer = obs::TraceRegistry::Instance();
+    const int64_t now_us = tracer.NowUs();
+    tracer.Span(obs::TraceReason::kSpanDispatch, trace.trace_id, trace.root_seq,
+                now_us - static_cast<int64_t>(dispatch_us),
+                static_cast<uint32_t>(dispatch_us), message.header.code);
+    metrics.trace_spans.Increment();
+  }
 }
 
 }  // namespace aud

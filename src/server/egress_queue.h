@@ -43,6 +43,11 @@ struct EgressFrame {
   uint16_t code = 0;
   uint32_t sequence = 0;
   std::vector<uint8_t> payload;
+  // Request-trace propagation (DESIGN.md decision 13): when trace != 0 the
+  // writer records a kSpanWrite span for this frame, parented on `parent`
+  // (the enqueue-side kSpanEgress span's seq).
+  uint64_t trace = 0;
+  uint64_t parent = 0;
 };
 
 enum class EgressPushStatus : uint8_t {

@@ -1,0 +1,73 @@
+#include "src/server/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace aud {
+
+namespace {
+
+// Async-signal-safe: only re-raises after dumping, so the default action
+// (core dump / termination with the original signal) still happens.
+void FatalSignalHandler(int signo) {
+  FlightRecorder::Instance().WriteDump();
+  struct sigaction dfl;
+  memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  sigaction(signo, &dfl, nullptr);
+  raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::set_dump_path(const std::string& path) { dump_path_ = path; }
+
+void FlightRecorder::SetSnapshot(const std::string& text) {
+  const size_t n = std::min(text.size(), kBufferBytes);
+  memcpy(buffer_, text.data(), n);
+  length_.store(n, std::memory_order_release);
+}
+
+bool FlightRecorder::WriteDump() {
+  const size_t n = length_.load(std::memory_order_acquire);
+  if (n == 0) {
+    return false;
+  }
+  const int fd =
+      open(dump_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = write(fd, buffer_ + written, n - written);
+    if (rc <= 0) {
+      close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(rc);
+  }
+  close(fd);
+  return true;
+}
+
+void FlightRecorder::InstallFatalHandlers() {
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = FatalSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    sigaction(signo, &sa, nullptr);
+  }
+}
+
+}  // namespace aud

@@ -1,0 +1,54 @@
+// Flight recorder: a pre-rendered post-mortem snapshot that can be written
+// from a signal handler. The server re-renders the snapshot periodically
+// (and on SIGUSR2); fatal-signal handlers only open/write/close the last
+// rendered buffer — the only operations that are async-signal-safe — so a
+// crash dump never allocates, locks or formats.
+
+#ifndef SRC_SERVER_FLIGHT_RECORDER_H_
+#define SRC_SERVER_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <string>
+
+namespace aud {
+
+class FlightRecorder {
+ public:
+  // The process-wide instance (the signal handlers need a global).
+  static FlightRecorder& Instance();
+
+  // Where dumps land. Set once at startup, before InstallFatalHandlers.
+  void set_dump_path(const std::string& path);
+  const std::string& dump_path() const { return dump_path_; }
+
+  // Replaces the pre-rendered snapshot (copy into the fixed buffer;
+  // truncates if the text outgrows it). Called from normal threads; the
+  // length is published with a release store so a handler that fires
+  // mid-copy sees either the old or the new length, and at worst reads a
+  // mix of old/new text — acceptable for a crash dump, and the price of
+  // staying lock-free on the handler side.
+  void SetSnapshot(const std::string& text);
+
+  // Writes the last snapshot to dump_path() using only async-signal-safe
+  // calls (open/write/close). Returns false if no snapshot was ever set or
+  // the file could not be written. Safe from signal handlers.
+  bool WriteDump();
+
+  // Installs handlers for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT that write
+  // the last snapshot and then re-raise with default disposition, so the
+  // process still dies with the original signal.
+  void InstallFatalHandlers();
+
+ private:
+  FlightRecorder() = default;
+
+  static constexpr size_t kBufferBytes = 256 * 1024;
+
+  std::string dump_path_ = "audiond.flight";
+  char buffer_[kBufferBytes];
+  std::atomic<size_t> length_{0};
+};
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_FLIGHT_RECORDER_H_

@@ -5,6 +5,7 @@
 #ifndef SRC_SERVER_LOUD_H_
 #define SRC_SERVER_LOUD_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -79,6 +80,24 @@ class Loud : public ServerObject {
   // interval boundaries.
   void NoteSyncProgress(int64_t position_samples, int64_t total_samples, int64_t device_time);
 
+  // Per-root frame accounting (GetEntityStats). Counted by the engine tick
+  // on the root — relaxed atomics, so a stats snapshot from the dispatcher
+  // is safe against a concurrent fan-out. Like queue(), these resolve
+  // through Root() so device-phase code can charge the frames through any
+  // LOUD of the tree.
+  void CountFramesProduced(uint64_t n) {
+    Root()->frames_produced_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountFramesConsumed(uint64_t n) {
+    Root()->frames_consumed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t frames_produced() const {
+    return frames_produced_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_consumed() const {
+    return frames_consumed_.load(std::memory_order_relaxed);
+  }
+
  private:
   ServerState* server_;
   Loud* parent_;
@@ -94,6 +113,9 @@ class Loud : public ServerObject {
   int64_t last_sync_position_ = -1;
   // Meaningful on roots only (engine_mutex() resolves through Root()).
   Mutex engine_mu_;
+  // Meaningful on roots only (Count* resolve through Root()).
+  std::atomic<uint64_t> frames_produced_{0};
+  std::atomic<uint64_t> frames_consumed_{0};
 };
 
 }  // namespace aud

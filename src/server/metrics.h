@@ -14,6 +14,7 @@
 #ifndef SRC_SERVER_METRICS_H_
 #define SRC_SERVER_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -63,6 +64,12 @@ struct ServerMetrics {
   obs::Counter decoded_cache_misses;
   obs::Counter decoded_cache_evictions;
   obs::Gauge decoded_cache_bytes;
+
+  // -- Request tracing (DESIGN.md decision 13) -------------------------------
+  obs::LatencyHistogram mouth_to_ear_us;  // play accept -> first mixed frame
+  obs::Counter trace_spans;               // request-scoped spans recorded
+  obs::Counter trace_requests_sampled;    // requests that got a root span
+  std::atomic<uint64_t> last_trace_id{0}; // most recent sampled trace id
 
   // -- Command queues --------------------------------------------------------
   obs::Counter commands_enqueued;

@@ -13,6 +13,7 @@ AudioServer::AudioServer(Board* board, ServerOptions options)
   state_.AttachStateLock(&mu_);
   state_.ConfigureEngine(options.engine_threads);
   state_.ConfigureDecodedCache(options.decoded_cache_bytes);
+  state_.set_trace_sample_every(options.trace_sample_every);
   metrics_ = &state_.metrics();
   state_.set_event_sender([this](uint32_t conn_index, const EventMessage& event) {
     DeliverEvent(conn_index, event);
@@ -112,6 +113,7 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
   std::optional<FramedMessage> setup = ReadMessage(conn->stream());
   if (setup) {
     metrics.bytes_in.Increment(kHeaderSize + setup->payload.size());
+    conn->stats().bytes_in.Increment(kHeaderSize + setup->payload.size());
   }
   if (!setup || !HandleSetup(conn, *setup)) {
     // Drain first: the refusal reply queued by HandleSetup still flushes.
@@ -121,12 +123,28 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     return;
   }
 
+  auto& tracer = obs::TraceRegistry::Instance();
+  const uint32_t sample_every = options_.trace_sample_every;
   while (!conn->closed() && !shutting_down_.load()) {
     std::optional<FramedMessage> message = ReadMessage(conn->stream());
     if (!message) {
       break;
     }
     metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
+    conn->stats().bytes_in.Increment(kHeaderSize + message->payload.size());
+    // Sampling decision (reader-thread-local counter, so no atomics). The
+    // root span's seq is reserved up front: children recorded during
+    // dispatch parent on it, and the root itself is written last with its
+    // start backdated to arrival so the sort-by-time merge nests correctly.
+    TraceContext ctx;
+    int64_t arrival_us = 0;
+    if (sample_every != 0 &&
+        (conn->trace_sample_counter()++ % sample_every) == 0) {
+      ctx.trace_id = (static_cast<uint64_t>(ClientIdBaseFor(conn->index())) << 32) |
+                     message->header.sequence;
+      ctx.root_seq = tracer.ReserveSeq();
+      arrival_us = tracer.NowUs();
+    }
     const auto wait_t0 = std::chrono::steady_clock::now();
     MutexLock lock(&mu_);
     metrics.lock_wait_us.Record(static_cast<uint64_t>(
@@ -134,7 +152,16 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
             std::chrono::steady_clock::now() - wait_t0)
             .count()));
     conn->set_last_sequence(message->header.sequence);
-    HandleRequest(conn, *message, wait_t0);
+    HandleRequest(conn, *message, wait_t0, ctx);
+    if (ctx.trace_id != 0) {
+      tracer.SpanWithSeq(ctx.root_seq, obs::TraceReason::kSpanRequest, ctx.trace_id,
+                         0, arrival_us,
+                         static_cast<uint32_t>(tracer.NowUs() - arrival_us),
+                         message->header.code);
+      metrics.trace_spans.Increment();
+      metrics.trace_requests_sampled.Increment();
+      metrics.last_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+    }
   }
 
   // Flush queued replies/events (bounded), then close the transport.

@@ -67,6 +67,20 @@ struct ServerOptions {
   // stream is wrapped in a per-connection seeded FaultStream. Disabled by
   // default; the AUD_FAULT env spec applies when this is not set.
   FaultOptions fault;
+  // Request-trace sampling period: every Nth request per connection gets a
+  // root span and request-scoped child spans down the audio path (DESIGN.md
+  // decision 13). 0 disables tracing entirely (the default) — the hot path
+  // then pays only one integer increment per request.
+  uint32_t trace_sample_every = 0;
+};
+
+// Sampling decision for one request, made by the reader thread before it
+// queues for the state lock and threaded through dispatch so every span the
+// request produces shares one trace id and hangs off one root span.
+// trace_id == 0 means "not sampled" everywhere.
+struct TraceContext {
+  uint64_t trace_id = 0;  // (client id-base << 32) | request sequence
+  uint64_t root_seq = 0;  // pre-reserved seq of the root kSpanRequest span
 };
 
 class AudioServer {
@@ -134,8 +148,8 @@ class AudioServer {
   // wait + handling — the end-to-end server-side dispatch latency that the
   // epoch-snapshot tick is designed to bound (DESIGN.md decision 12).
   void HandleRequest(ClientConnection* conn, const FramedMessage& message,
-                     std::chrono::steady_clock::time_point received_at)
-      AUD_REQUIRES(mu_);
+                     std::chrono::steady_clock::time_point received_at,
+                     const TraceContext& trace) AUD_REQUIRES(mu_);
   bool HandleSetup(ClientConnection* conn, const FramedMessage& message);
 
   // Event-sender target. Only ever invoked from ServerState (dispatch or

@@ -710,6 +710,9 @@ void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, 
   //    transitions happen inside this call).
   for (Loud* loud : island.louds) {
     loud->queue()->Tick(tick, frames);
+    if (loud->queue()->state() == QueueState::kStarted) {
+      loud->CountFramesProduced(frames);
+    }
   }
 
   // 2. Free-running sources: inputs and telephones stream regardless of
@@ -718,6 +721,7 @@ void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, 
     if (dev->device_class() == DeviceClass::kInput ||
         dev->device_class() == DeviceClass::kTelephone) {
       dev->Produce(tick, frames);
+      dev->loud()->CountFramesProduced(frames);
     }
   }
 
@@ -729,6 +733,7 @@ void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, 
       case DeviceClass::kCrossbar:
       case DeviceClass::kDsp:
         dev->Produce(tick, frames);
+        dev->loud()->CountFramesProduced(frames);
         break;
       default:
         break;
@@ -743,6 +748,7 @@ void ServerState::RunIslandPhases(const EngineIsland& island, EngineTick* tick, 
       case DeviceClass::kTelephone:
       case DeviceClass::kSpeechRecognizer:
         dev->Consume(tick);
+        dev->loud()->CountFramesConsumed(frames);
         break;
       default:
         break;
@@ -919,6 +925,30 @@ void ServerState::EpochCommit(size_t frames, bool parallel) {
 
   engine_frame_.fetch_add(static_cast<int64_t>(frames), std::memory_order_relaxed);
   ++ticks_run_;
+
+  // Mouth-to-ear: traced plays whose first possible mix epoch has now
+  // committed. Record the accept->mix latency and close the loop in the
+  // trace: kSpanEpoch marks the epoch that mixed, kMouthToEar spans the
+  // whole accept->mix interval (both parented on the request's root span).
+  if (!m2e_pending_.empty()) {
+    auto& tracer = obs::TraceRegistry::Instance();
+    const int64_t now_us = tracer.NowUs();
+    for (auto it = m2e_pending_.begin(); it != m2e_pending_.end();) {
+      if (it->required_epoch > ticks_run_) {
+        ++it;
+        continue;
+      }
+      const uint64_t latency_us =
+          now_us > it->t_accept_us ? static_cast<uint64_t>(now_us - it->t_accept_us) : 0;
+      metrics_.mouth_to_ear_us.Record(latency_us);
+      tracer.Span(obs::TraceReason::kSpanEpoch, it->trace, it->root_seq, now_us, 0,
+                  static_cast<uint32_t>(ticks_run_));
+      tracer.Span(obs::TraceReason::kMouthToEar, it->trace, it->root_seq, it->t_accept_us,
+                  static_cast<uint32_t>(latency_us), static_cast<uint32_t>(latency_us));
+      metrics_.trace_spans.Increment(2);
+      it = m2e_pending_.erase(it);
+    }
+  }
 
   // Publish the epoch boundary: wake structural mutators queued on it and
   // account the commit critical section.
@@ -1193,7 +1223,50 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.dispatch_shard_contention = metrics_.dispatch_shard_contention.value();
   reply.lock_wait_us = metrics_.lock_wait_us.Snapshot();
   reply.epoch_commit_us = metrics_.epoch_commit_us.Snapshot();
+  reply.mouth_to_ear_us = metrics_.mouth_to_ear_us.Snapshot();
+  reply.trace_spans = metrics_.trace_spans.value();
+  reply.trace_requests_sampled = metrics_.trace_requests_sampled.value();
+  reply.trace_sample_every = trace_sample_every_;
   return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing (DESIGN.md decision 13)
+// ---------------------------------------------------------------------------
+
+void ServerState::NotePlayAccepted(uint64_t trace, uint64_t root_seq) {
+  PendingMouthToEar pending;
+  pending.trace = trace;
+  pending.root_seq = root_seq;
+  pending.t_accept_us = obs::TraceRegistry::Instance().NowUs();
+  // The first epoch whose fan-out can see this play: the next one — or the
+  // one after, when a fan-out is already running off its own snapshot.
+  pending.required_epoch = ticks_run_ + (epoch_in_flight_ ? 2 : 1);
+  m2e_pending_.push_back(pending);
+}
+
+void ServerState::AppendDeviceStats(EntityStatsReply* reply) {
+  for (const auto& [id, object] : objects_) {
+    if (object->kind() != ObjectKind::kLoud) {
+      continue;
+    }
+    auto* loud = static_cast<Loud*>(object.get());
+    if (!loud->IsRoot()) {
+      continue;
+    }
+    DeviceStatsWire wire;
+    wire.root = loud->id();
+    wire.owner = loud->owner();
+    wire.active = loud->active() ? 1 : 0;
+    wire.frames_produced = loud->frames_produced();
+    wire.frames_consumed = loud->frames_consumed();
+    reply->devices.push_back(wire);
+  }
+  // Stable output for tools and tests (the registry map is unordered).
+  std::sort(reply->devices.begin(), reply->devices.end(),
+            [](const DeviceStatsWire& a, const DeviceStatsWire& b) {
+              return a.root < b.root;
+            });
 }
 
 // ---------------------------------------------------------------------------

@@ -280,6 +280,24 @@ class ServerState {
   // under that lock).
   ServerStatsReply BuildServerStats(bool include_opcodes);
 
+  // Effective trace sampling period (ServerOptions::trace_sample_every),
+  // mirrored here so GetServerStats can report it. 0 = tracing off.
+  void set_trace_sample_every(uint32_t n) { trace_sample_every_ = n; }
+  uint32_t trace_sample_every() const { return trace_sample_every_; }
+
+  // -- Request tracing (DESIGN.md decision 13) -----------------------------------
+
+  // Registers a traced play acceptance for mouth-to-ear measurement: the
+  // first epoch commit whose fan-out could have mixed the play records the
+  // latency (metrics_.mouth_to_ear_us) plus kSpanEpoch / kMouthToEar spans
+  // linked under `root_seq`. Called with the state lock held (dispatcher);
+  // the pending list is drained inside the commit critical section.
+  void NotePlayAccepted(uint64_t trace, uint64_t root_seq);
+
+  // Appends one DeviceStatsWire per root LOUD (client trees and the device
+  // LOUD) to `reply`. Called with the state lock held.
+  void AppendDeviceStats(EntityStatsReply* reply);
+
  private:
   void BuildDeviceLoud();
   void SeedCatalogue();
@@ -338,6 +356,18 @@ class ServerState {
   // uses island_events_. Flushed at commit in emission order either way.
   std::vector<std::pair<uint32_t, EventMessage>> serial_events_;
 
+  // Traced plays awaiting their first possible mix (NotePlayAccepted).
+  // Guarded by the state lock like the epoch machinery above: appended by
+  // the dispatcher, drained by EpochCommit once ticks_run_ reaches
+  // required_epoch.
+  struct PendingMouthToEar {
+    uint64_t trace = 0;
+    uint64_t root_seq = 0;
+    int64_t t_accept_us = 0;
+    int64_t required_epoch = 0;
+  };
+  std::vector<PendingMouthToEar> m2e_pending_;
+
   // Parallel engine machinery (ConfigureEngine). Scratch containers are
   // members so steady-state ticks stay allocation-free.
   int engine_threads_ = 1;
@@ -363,6 +393,8 @@ class ServerState {
   std::map<std::string, std::vector<uint8_t>> vocabularies_;
 
   DecodedSoundCache decoded_cache_;
+
+  uint32_t trace_sample_every_ = 0;
 
   ServerMetrics metrics_;
 };

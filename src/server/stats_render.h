@@ -1,0 +1,30 @@
+// Text renderers over the stats/trace wire structs, shared by the
+// --metrics-port HTTP endpoint and the flight recorder: both views must
+// show the same numbers, so both are derived from the same
+// ServerStatsReply snapshot rather than reading counters twice.
+
+#ifndef SRC_SERVER_STATS_RENDER_H_
+#define SRC_SERVER_STATS_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/wire/messages.h"
+
+namespace aud {
+
+// Prometheus text exposition (version 0.0.4): counters and gauges named
+// aud_*, histograms as _count/_sum plus p50/p90/p99 quantile gauges.
+std::string RenderPrometheusText(const ServerStatsReply& stats);
+
+// Human-oriented post-mortem dump: the counter snapshot, the merged trace
+// ring (timestamp order) and the recent log tail. `reason` names what
+// triggered the dump (e.g. "SIGUSR2", "SIGSEGV").
+std::string RenderFlightDumpText(const std::string& reason,
+                                 const ServerStatsReply& stats,
+                                 const std::vector<TraceEventWire>& trace,
+                                 const std::vector<std::string>& log_tail);
+
+}  // namespace aud
+
+#endif  // SRC_SERVER_STATS_RENDER_H_

@@ -940,6 +940,10 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(dispatch_shard_contention);
   EncodeHistogram(w, lock_wait_us);
   EncodeHistogram(w, epoch_commit_us);
+  EncodeHistogram(w, mouth_to_ear_us);
+  w->WriteU64(trace_spans);
+  w->WriteU64(trace_requests_sampled);
+  w->WriteU32(trace_sample_every);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -987,6 +991,10 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.dispatch_shard_contention = r->ReadU64();
   p.lock_wait_us = DecodeHistogram(r);
   p.epoch_commit_us = DecodeHistogram(r);
+  p.mouth_to_ear_us = DecodeHistogram(r);
+  p.trace_spans = r->ReadU64();
+  p.trace_requests_sampled = r->ReadU64();
+  p.trace_sample_every = r->ReadU32();
   return p;
 }
 
@@ -1005,6 +1013,9 @@ void TraceEventWire::Encode(ByteWriter* w) const {
   w->WriteU16(reason);
   w->WriteU32(arg0);
   w->WriteU32(arg1);
+  w->WriteU64(trace);
+  w->WriteU64(parent);
+  w->WriteU32(dur_us);
 }
 
 TraceEventWire TraceEventWire::Decode(ByteReader* r) {
@@ -1015,6 +1026,9 @@ TraceEventWire TraceEventWire::Decode(ByteReader* r) {
   p.reason = r->ReadU16();
   p.arg0 = r->ReadU32();
   p.arg1 = r->ReadU32();
+  p.trace = r->ReadU64();
+  p.parent = r->ReadU64();
+  p.dur_us = r->ReadU32();
   return p;
 }
 
@@ -1030,6 +1044,116 @@ ServerTraceReply ServerTraceReply::Decode(ByteReader* r) {
   uint32_t n = r->ReadU32();
   for (uint32_t i = 0; i < n && r->ok(); ++i) {
     p.events.push_back(TraceEventWire::Decode(r));
+  }
+  return p;
+}
+
+void GetRequestTraceReq::Encode(ByteWriter* w) const {
+  w->WriteU64(trace_id);
+  w->WriteU32(max_spans);
+}
+
+GetRequestTraceReq GetRequestTraceReq::Decode(ByteReader* r) {
+  GetRequestTraceReq p;
+  p.trace_id = r->ReadU64();
+  p.max_spans = r->ReadU32();
+  return p;
+}
+
+void RequestTraceReply::Encode(ByteWriter* w) const {
+  w->WriteU32(trace_version);
+  w->WriteU64(trace_id);
+  w->WriteU32(static_cast<uint32_t>(spans.size()));
+  for (const TraceEventWire& e : spans) {
+    e.Encode(w);
+  }
+}
+
+RequestTraceReply RequestTraceReply::Decode(ByteReader* r) {
+  RequestTraceReply p;
+  p.trace_version = r->ReadU32();
+  p.trace_id = r->ReadU64();
+  uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    p.spans.push_back(TraceEventWire::Decode(r));
+  }
+  return p;
+}
+
+void GetEntityStatsReq::Encode(ByteWriter* w) const { w->WriteU8(include_devices); }
+
+GetEntityStatsReq GetEntityStatsReq::Decode(ByteReader* r) {
+  GetEntityStatsReq p;
+  p.include_devices = r->ReadU8();
+  return p;
+}
+
+void ConnectionStatsWire::Encode(ByteWriter* w) const {
+  w->WriteU32(index);
+  w->WriteString(name);
+  w->WriteU64(requests);
+  w->WriteU64(errors);
+  w->WriteU64(bytes_in);
+  w->WriteU64(bytes_out);
+  w->WriteU64(events_sent);
+  w->WriteU64(events_dropped);
+  EncodeHistogram(w, dispatch_us);
+}
+
+ConnectionStatsWire ConnectionStatsWire::Decode(ByteReader* r) {
+  ConnectionStatsWire p;
+  p.index = r->ReadU32();
+  p.name = r->ReadString();
+  p.requests = r->ReadU64();
+  p.errors = r->ReadU64();
+  p.bytes_in = r->ReadU64();
+  p.bytes_out = r->ReadU64();
+  p.events_sent = r->ReadU64();
+  p.events_dropped = r->ReadU64();
+  p.dispatch_us = DecodeHistogram(r);
+  return p;
+}
+
+void DeviceStatsWire::Encode(ByteWriter* w) const {
+  w->WriteU32(root);
+  w->WriteU32(owner);
+  w->WriteU8(active);
+  w->WriteU64(frames_produced);
+  w->WriteU64(frames_consumed);
+}
+
+DeviceStatsWire DeviceStatsWire::Decode(ByteReader* r) {
+  DeviceStatsWire p;
+  p.root = r->ReadU32();
+  p.owner = r->ReadU32();
+  p.active = r->ReadU8();
+  p.frames_produced = r->ReadU64();
+  p.frames_consumed = r->ReadU64();
+  return p;
+}
+
+void EntityStatsReply::Encode(ByteWriter* w) const {
+  w->WriteU32(entity_version);
+  w->WriteU32(static_cast<uint32_t>(connections.size()));
+  for (const ConnectionStatsWire& c : connections) {
+    c.Encode(w);
+  }
+  w->WriteU32(static_cast<uint32_t>(devices.size()));
+  for (const DeviceStatsWire& d : devices) {
+    d.Encode(w);
+  }
+}
+
+EntityStatsReply EntityStatsReply::Decode(ByteReader* r) {
+  EntityStatsReply p;
+  p.entity_version = r->ReadU32();
+  uint32_t n = r->ReadU32();
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    p.connections.push_back(ConnectionStatsWire::Decode(r));
+  }
+  uint32_t m = r->ReadU32();
+  for (uint32_t i = 0; i < m && r->ok(); ++i) {
+    p.devices.push_back(DeviceStatsWire::Decode(r));
   }
   return p;
 }

@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 4;
+inline constexpr uint32_t kServerStatsVersion = 5;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -586,6 +586,12 @@ struct ServerStatsReply {
   obs::HistogramSnapshot lock_wait_us;    // state-lock / shard-lock waits
   obs::HistogramSnapshot epoch_commit_us; // commit critical-section duration
 
+  // Request tracing (v5, DESIGN.md decision 13).
+  obs::HistogramSnapshot mouth_to_ear_us; // play accept -> first mixed frame
+  uint64_t trace_spans = 0;               // request-scoped spans recorded
+  uint64_t trace_requests_sampled = 0;    // requests that got a root span
+  uint32_t trace_sample_every = 0;        // sampling period; 0 = tracing off
+
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);
 };
@@ -606,6 +612,10 @@ struct TraceEventWire {
   uint16_t reason = 0; // obs::TraceReason
   uint32_t arg0 = 0;
   uint32_t arg1 = 0;
+  // Span fields (protocol minor 2, appended): zero for point events.
+  uint64_t trace = 0;   // request correlation id
+  uint64_t parent = 0;  // seq of the parent span, 0 = root
+  uint32_t dur_us = 0;  // span duration
 
   void Encode(ByteWriter* w) const;
   static TraceEventWire Decode(ByteReader* r);
@@ -616,6 +626,73 @@ struct ServerTraceReply {
 
   void Encode(ByteWriter* w) const;
   static ServerTraceReply Decode(ByteReader* r);
+};
+
+// -- Request trace (GetRequestTrace, protocol minor 2) ------------------------------
+
+inline constexpr uint32_t kRequestTraceVersion = 1;
+
+struct GetRequestTraceReq {
+  uint64_t trace_id = 0;   // 0 = most recently sampled request
+  uint32_t max_spans = 0;  // 0 = server default
+
+  void Encode(ByteWriter* w) const;
+  static GetRequestTraceReq Decode(ByteReader* r);
+};
+
+struct RequestTraceReply {
+  uint32_t trace_version = kRequestTraceVersion;
+  uint64_t trace_id = 0;                // resolved id (useful when asked for 0)
+  std::vector<TraceEventWire> spans;    // timestamp order, root first on ties
+
+  void Encode(ByteWriter* w) const;
+  static RequestTraceReply Decode(ByteReader* r);
+};
+
+// -- Per-entity statistics (GetEntityStats, protocol minor 2) -----------------------
+
+inline constexpr uint32_t kEntityStatsVersion = 1;
+
+struct GetEntityStatsReq {
+  uint8_t include_devices = 1;  // 0 suppresses the per-root device table
+
+  void Encode(ByteWriter* w) const;
+  static GetEntityStatsReq Decode(ByteReader* r);
+};
+
+struct ConnectionStatsWire {
+  uint32_t index = 0;        // connection slot (trace ids embed this)
+  std::string name;          // client-reported name from setup
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t events_sent = 0;
+  uint64_t events_dropped = 0;
+  obs::HistogramSnapshot dispatch_us;
+
+  void Encode(ByteWriter* w) const;
+  static ConnectionStatsWire Decode(ByteReader* r);
+};
+
+struct DeviceStatsWire {
+  ResourceId root = kNoResource;  // root LOUD owning the counters
+  uint32_t owner = 0;             // owning connection index (0xFFFFFFFF = server)
+  uint8_t active = 0;
+  uint64_t frames_produced = 0;   // device frames fed into the mix
+  uint64_t frames_consumed = 0;   // device frames drained from the mix
+
+  void Encode(ByteWriter* w) const;
+  static DeviceStatsWire Decode(ByteReader* r);
+};
+
+struct EntityStatsReply {
+  uint32_t entity_version = kEntityStatsVersion;
+  std::vector<ConnectionStatsWire> connections;
+  std::vector<DeviceStatsWire> devices;
+
+  void Encode(ByteWriter* w) const;
+  static EntityStatsReply Decode(ByteReader* r);
 };
 
 // ---------------------------------------------------------------------------

@@ -81,6 +81,8 @@ constexpr std::string_view kOpcodeNames[] = {
     "QueryLoud",              // 41
     "GetServerStats",         // 42
     "GetServerTrace",         // 43
+    "GetRequestTrace",        // 44
+    "GetEntityStats",         // 45
 };
 
 static_assert(std::size(kOpcodeNames) ==

@@ -29,9 +29,10 @@
 namespace aud {
 
 // Protocol revision implemented by this tree. Minor 1 added server
-// introspection (GetServerStats / GetServerTrace).
+// introspection (GetServerStats / GetServerTrace); minor 2 added request
+// tracing and per-entity statistics (GetRequestTrace / GetEntityStats).
 inline constexpr uint16_t kProtocolMajor = 1;
-inline constexpr uint16_t kProtocolMinor = 1;
+inline constexpr uint16_t kProtocolMinor = 2;
 
 // Connection-setup magic ("AUDP").
 inline constexpr uint32_t kSetupMagic = 0x41554450u;
@@ -121,7 +122,11 @@ enum class Opcode : uint16_t {
   kGetServerStats = 42,        // -> ServerStatsReply
   kGetServerTrace = 43,        // -> ServerTraceReply
 
-  kOpcodeCount = 44,
+  // Request tracing and per-entity statistics (protocol minor 2).
+  kGetRequestTrace = 44,       // -> RequestTraceReply (spans of one trace id)
+  kGetEntityStats = 45,        // -> EntityStatsReply (per-conn / per-root)
+
+  kOpcodeCount = 46,
 };
 
 // Human-readable opcode name ("CreateLoud", "GetServerStats", ...), for

@@ -103,6 +103,8 @@ switch (static_cast<Opcode>(message.header.code)) {
 | ------ | ---- | ----- |
 | 0      | NoOp | none  |
 | 1      | Ping | PingReply |
+
+PingReply carries a single `value` counter.
 )";
   files["schema.lock"] = "PingReply 1 value\n";
   return files;
@@ -290,6 +292,7 @@ struct PingReply {
 };
 )";
   files["schema.lock"] = "PingReply 1 value\nPingReply 2 value extra\n";
+  files["PROTOCOL.md"] += "\nVersion 2 appends an `extra` counter.\n";
   EXPECT_TRUE(NoProblems(LintTree(files)));
 }
 
@@ -401,6 +404,37 @@ TEST(AudlintTest, OnlyNewestStatsVersionNeedsDocs) {
       "PingReply 1 value\n"
       "ServerStatsReply 2 stats_version widgets\n"
       "ServerStatsReply 1 stats_version\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+// Extends the clean tree with a second locked reply struct so the tests can
+// show doc coverage applies to EVERY locked struct, not just ServerStatsReply.
+FileMap TreeWithToneReply() {
+  FileMap files = CleanTree();
+  files["messages.h"] += R"(
+inline constexpr uint32_t kToneVersion = 1;
+
+struct ToneReply {
+  uint32_t pitch = 0;
+  std::vector<uint8_t> Encode() const;
+  static StatusOr<ToneReply> Decode(const std::vector<uint8_t>& payload);
+};
+)";
+  files["schema.lock"] += "ToneReply 1 pitch\n";
+  return files;
+}
+
+TEST(AudlintTest, EveryLockedStructNeedsDocCoverage) {
+  // Doc coverage is not special-cased to the stats reply: any locked struct
+  // with an undocumented field is flagged.
+  FileMap files = TreeWithToneReply();
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "ToneReply v1 field pitch is not documented"));
+}
+
+TEST(AudlintTest, DocumentedNonStatsLockedStructPasses) {
+  FileMap files = TreeWithToneReply();
+  files["PROTOCOL.md"] += "\nToneReply carries the generator `pitch` in Hz.\n";
   EXPECT_TRUE(NoProblems(LintTree(files)));
 }
 

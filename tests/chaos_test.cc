@@ -318,6 +318,182 @@ TEST(ChaosTest, SurvivesServerSideFaultInjection) {
   server.Shutdown();
 }
 
+TEST(ChaosTest, StatsStayCoherentUnderChaos) {
+  // Observability must not lie under fire: pollers hammer the stats path —
+  // both in-process (BuildServerStats under the lock) and over the wire
+  // (GetServerStats/GetEntityStats) — while the hostile client mix runs, and
+  // every snapshot must satisfy the cross-field invariants. A torn read
+  // (e.g. ticks_run from one epoch, epoch_commits from another) or a
+  // non-monotone counter is a bug even if nothing crashes.
+  BoardConfig config;
+  ServerOptions options;
+  options.egress_buffer_bytes = 8 * 1024;  // small: overflow must trigger
+  options.engine_threads = 2;
+  options.trace_sample_every = 4;  // tracing counters move under chaos too
+  Board board(config);
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  // gtest assertion macros are not thread-safe; pollers record violations
+  // here and the main thread asserts once at the end.
+  Mutex failures_mu;
+  std::vector<std::string> failures;
+  auto fail = [&](const std::string& who, const std::string& what) {
+    MutexLock lock(&failures_mu);
+    if (failures.size() < 20) {
+      failures.push_back(who + ": " + what);
+    }
+  };
+  auto check_snapshot = [&](const std::string& who, const ServerStatsReply& s,
+                            uint64_t prev_ticks, uint64_t prev_uptime) {
+    if (s.stats_version != kServerStatsVersion) {
+      fail(who, "stats_version " + std::to_string(s.stats_version));
+    }
+    if (s.proto_major != kProtocolMajor) {
+      fail(who, "proto_major " + std::to_string(s.proto_major));
+    }
+    if (s.trace_sample_every != 4) {
+      fail(who, "trace_sample_every " + std::to_string(s.trace_sample_every));
+    }
+    // ticks_run and epoch_commits move together inside the commit critical
+    // section; any snapshot where they differ is a torn read.
+    if (s.epoch_commits != s.ticks_run) {
+      fail(who, "epoch_commits " + std::to_string(s.epoch_commits) +
+                    " != ticks_run " + std::to_string(s.ticks_run));
+    }
+    // Every dispatched request arrived in a framed message, so the ingress
+    // byte counter can never lag the request counter's header bytes.
+    if (s.bytes_in < s.requests_total * kHeaderSize) {
+      fail(who, "bytes_in " + std::to_string(s.bytes_in) + " < " +
+                    std::to_string(s.requests_total) + " requests * header");
+    }
+    // The overflow policy only drops events that were already counted as
+    // sent at enqueue time.
+    if (s.events_dropped > s.events_sent) {
+      fail(who, "events_dropped " + std::to_string(s.events_dropped) +
+                    " > events_sent " + std::to_string(s.events_sent));
+    }
+    if (s.connections_open < 0) {
+      fail(who, "connections_open " + std::to_string(s.connections_open));
+    }
+    if (s.ticks_run < prev_ticks) {
+      fail(who, "ticks_run went backwards: " + std::to_string(s.ticks_run) +
+                    " after " + std::to_string(prev_ticks));
+    }
+    if (s.uptime_ms < prev_uptime) {
+      fail(who, "uptime_ms went backwards: " + std::to_string(s.uptime_ms) +
+                    " after " + std::to_string(prev_uptime));
+    }
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> polls{0};
+  std::vector<std::thread> pollers;
+
+  // In-process pollers: straight into BuildServerStats under the lock.
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([&, p] {
+      const std::string who = "lock-poller-" + std::to_string(p);
+      uint64_t prev_ticks = 0;
+      uint64_t prev_uptime = 0;
+      while (!stop.load()) {
+        ServerStatsReply s;
+        {
+          MutexLock lock(&server.mutex());
+          s = server.state().BuildServerStats(false);
+        }
+        check_snapshot(who, s, prev_ticks, prev_uptime);
+        prev_ticks = s.ticks_run;
+        prev_uptime = s.uptime_ms;
+        polls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  // Wire poller: the same invariants must survive encode/decode and the
+  // dispatcher path, plus the per-connection breakdown from GetEntityStats.
+  pollers.emplace_back([&] {
+    const std::string who = "wire-poller";
+    ConnectRetryOptions retry;
+    retry.attempts = 10;
+    retry.backoff_ms = 10;
+    auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", port, who, retry);
+    if (conn == nullptr) {
+      fail(who, "could not connect");
+      return;
+    }
+    conn->set_rpc_deadline_ms(5000);
+    uint64_t prev_ticks = 0;
+    uint64_t prev_uptime = 0;
+    while (!stop.load()) {
+      auto s = conn->GetServerStats(false);
+      if (!s.ok()) {
+        fail(who, "GetServerStats failed: " + s.status().ToString());
+        break;
+      }
+      check_snapshot(who, s.value(), prev_ticks, prev_uptime);
+      prev_ticks = s.value().ticks_run;
+      prev_uptime = s.value().uptime_ms;
+      auto e = conn->GetEntityStats(true);
+      if (!e.ok()) {
+        fail(who, "GetEntityStats failed: " + e.status().ToString());
+        break;
+      }
+      for (const ConnectionStatsWire& c : e.value().connections) {
+        if (c.bytes_in < c.requests * kHeaderSize) {
+          fail(who, "conn #" + std::to_string(c.index) + " bytes_in " +
+                        std::to_string(c.bytes_in) + " < " +
+                        std::to_string(c.requests) + " requests * header");
+        }
+        if (c.events_dropped > c.events_sent) {
+          fail(who, "conn #" + std::to_string(c.index) + " dropped " +
+                        std::to_string(c.events_dropped) + " > sent " +
+                        std::to_string(c.events_sent));
+        }
+      }
+      polls.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    conn->Close();
+  });
+
+  // The same hostile mix as ServerSurvivesHostileClientMix, polled live.
+  constexpr int kClients = 15;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([port, i] {
+      switch (i % 5) {
+        case 0: NormalClient(port, i); break;
+        case 1: StallerClient(port, i); break;
+        case 2: FlooderClient(port, i); break;
+        case 3: TruncatorClient(port, i); break;
+        case 4: MidFrameKillerClient(port, i); break;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  // Keep polling briefly after the chaos drains so reclamation is covered.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (std::thread& t : pollers) {
+    t.join();
+  }
+
+  EXPECT_GT(polls.load(), 50u) << "pollers barely ran; the test proved nothing";
+  std::string joined;
+  for (const std::string& f : failures) {
+    joined += "  " + f + "\n";
+  }
+  EXPECT_TRUE(failures.empty()) << failures.size() << " violations:\n" << joined;
+  server.Shutdown();
+}
+
 TEST(ChaosTest, HostileTrafficDoesNotPerturbEngineOutput) {
   // Serial/parallel bit-identity must hold under fire: two servers run the
   // same playback workload while a hostile in-process client floods each

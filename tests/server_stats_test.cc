@@ -133,6 +133,204 @@ TEST_F(ServerStatsTest, TraceCarriesTickAndDispatchEvents) {
   EXPECT_LE(few.value().events.size(), 3u);
 }
 
+// The tentpole end-to-end check: with sampling on, a traced play request
+// produces a linked span tree — root kSpanRequest, kSpanDispatch and
+// kSpanEgress parented on it, kSpanWrite parented on the egress span, and
+// the mouth-to-ear pair (kSpanEpoch + kMouthToEar) closing the loop at the
+// epoch that first mixed the sound.
+TEST_F(ServerStatsTest, RequestTraceLinksSpansEndToEnd) {
+  ServerOptions options;
+  options.trace_sample_every = 1;  // every request gets a root span
+  Init(BoardConfig{}, options);
+  // Drive time manually: the toolkit's spinning time pump would tick the
+  // engine thousands of times per round-trip, flooding the bounded trace
+  // rings with tick events and evicting the very spans under test.
+  toolkit_->set_time_pump({});
+
+  auto chain = toolkit_->BuildPlaybackChain();
+  ResourceId sound = toolkit_->UploadSound(TestTone(100), {Encoding::kPcm16, 8000});
+  client_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+  client_->StartQueue(chain.loud);
+  ASSERT_TRUE(client_->Sync().ok());
+  StepMs(200);  // play the whole sound; the first epoch commits mouth-to-ear
+
+  // The raw ring now carries the StartQueue request's root span; its trace
+  // id embeds this client's id base and the request sequence. Ask for an
+  // unbounded snapshot — the default cap keeps only the newest ring-full.
+  auto raw = client_->GetServerTrace(1u << 20);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  uint64_t want = 0;
+  for (const TraceEventWire& e : raw.value().events) {
+    if (e.reason == static_cast<uint16_t>(obs::TraceReason::kSpanRequest) &&
+        e.arg0 == static_cast<uint32_t>(Opcode::kStartQueue)) {
+      want = e.trace;
+    }
+  }
+  ASSERT_NE(want, 0u) << "no sampled StartQueue root span in the ring";
+  EXPECT_EQ(want >> 32, static_cast<uint64_t>(client_->id_base()));
+  EXPECT_EQ(client_->TraceIdFor(static_cast<uint32_t>(want & 0xFFFFFFFFu)), want);
+
+  auto traced = client_->GetRequestTrace(want);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  const RequestTraceReply& t = traced.value();
+  EXPECT_EQ(t.trace_version, kRequestTraceVersion);
+  EXPECT_EQ(t.trace_id, want);
+  ASSERT_FALSE(t.spans.empty());
+
+  uint64_t root_seq = 0;
+  bool saw_dispatch = false;
+  bool saw_epoch = false;
+  bool saw_mouth_to_ear = false;
+  for (const TraceEventWire& e : t.spans) {
+    EXPECT_EQ(e.trace, want) << "span from a foreign trace leaked in";
+    switch (static_cast<obs::TraceReason>(e.reason)) {
+      case obs::TraceReason::kSpanRequest:
+        root_seq = e.seq;
+        EXPECT_EQ(e.parent, 0u) << "request span must be the root";
+        EXPECT_EQ(e.arg0, static_cast<uint32_t>(Opcode::kStartQueue));
+        break;
+      case obs::TraceReason::kSpanDispatch:
+        saw_dispatch = true;
+        EXPECT_EQ(e.parent, root_seq);
+        break;
+      case obs::TraceReason::kSpanEpoch:
+        saw_epoch = true;
+        EXPECT_EQ(e.parent, root_seq);
+        break;
+      case obs::TraceReason::kMouthToEar:
+        saw_mouth_to_ear = true;
+        EXPECT_EQ(e.parent, root_seq);
+        EXPECT_EQ(e.dur_us, e.arg0) << "mouth-to-ear span duration is the latency";
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_NE(root_seq, 0u);
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_epoch);
+  EXPECT_TRUE(saw_mouth_to_ear);
+
+  // The spans arrive in timestamp order (satellite: globally ordered merge).
+  for (size_t i = 1; i < t.spans.size(); ++i) {
+    EXPECT_LE(t.spans[i - 1].t_us, t.spans[i].t_us);
+  }
+
+  // A successful StartQueue is fire-and-forget, so its trace has no reply
+  // leg. The egress -> write linkage shows up on round-trip requests: walk
+  // the Sync request's trace for it.
+  uint64_t sync_trace = 0;
+  for (const TraceEventWire& e : raw.value().events) {
+    if (e.reason == static_cast<uint16_t>(obs::TraceReason::kSpanRequest) &&
+        e.arg0 == static_cast<uint32_t>(Opcode::kSync)) {
+      sync_trace = e.trace;
+    }
+  }
+  ASSERT_NE(sync_trace, 0u) << "no sampled Sync root span in the ring";
+  auto sync_traced = client_->GetRequestTrace(sync_trace);
+  ASSERT_TRUE(sync_traced.ok());
+  uint64_t sync_root = 0;
+  uint64_t egress_seq = 0;
+  bool saw_write = false;
+  for (const TraceEventWire& e : sync_traced.value().spans) {
+    switch (static_cast<obs::TraceReason>(e.reason)) {
+      case obs::TraceReason::kSpanRequest:
+        sync_root = e.seq;
+        break;
+      case obs::TraceReason::kSpanEgress:
+        egress_seq = e.seq;
+        EXPECT_EQ(e.parent, sync_root);
+        break;
+      case obs::TraceReason::kSpanWrite:
+        saw_write = true;
+        EXPECT_EQ(e.parent, egress_seq) << "write span must link to its enqueue";
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_NE(sync_root, 0u);
+  EXPECT_NE(egress_seq, 0u) << "Sync reply never produced an egress span";
+  EXPECT_TRUE(saw_write);
+
+  // The sampling counters moved, and the histogram saw the play.
+  auto stats = client_->GetServerStats(false);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().trace_requests_sampled, 0u);
+  EXPECT_GT(stats.value().trace_spans, 0u);
+  EXPECT_EQ(stats.value().trace_sample_every, 1u);
+  EXPECT_FALSE(stats.value().mouth_to_ear_us.empty());
+
+  // trace_id 0 resolves to the most recently sampled request.
+  auto newest = client_->GetRequestTrace(0);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_NE(newest.value().trace_id, 0u);
+
+  // max_spans truncates but keeps the trace filter.
+  auto few = client_->GetRequestTrace(want, 2);
+  ASSERT_TRUE(few.ok());
+  EXPECT_LE(few.value().spans.size(), 2u);
+  for (const TraceEventWire& e : few.value().spans) {
+    EXPECT_EQ(e.trace, want);
+  }
+}
+
+// GetEntityStats must rank the heavy client first (what audiotop shows) and
+// attribute device frame counters to the owning connection.
+TEST_F(ServerStatsTest, EntityStatsIdentifyTopClientAndDevices) {
+  // client_ does real work; a second connection stays nearly idle.
+  auto idle = Connect("idle-client");
+  ASSERT_NE(idle, nullptr);
+  ASSERT_TRUE(idle->Sync().ok());
+
+  auto chain = toolkit_->BuildPlaybackChain();
+  ResourceId sound = toolkit_->UploadSound(TestTone(200), {Encoding::kPcm16, 8000});
+  ASSERT_TRUE(toolkit_->PlayAndWait(chain, sound, 30000));
+
+  auto entities = client_->GetEntityStats(true);
+  ASSERT_TRUE(entities.ok()) << entities.status().ToString();
+  const EntityStatsReply& e = entities.value();
+  EXPECT_EQ(e.entity_version, kEntityStatsVersion);
+  ASSERT_GE(e.connections.size(), 2u);
+
+  const ConnectionStatsWire* heavy = nullptr;
+  const ConnectionStatsWire* light = nullptr;
+  for (const ConnectionStatsWire& c : e.connections) {
+    if (c.name == "test-client") {
+      heavy = &c;
+    } else if (c.name == "idle-client") {
+      light = &c;
+    }
+  }
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  // The uploader moved far more bytes than the idler — that ordering is
+  // exactly what `audioctl top` sorts by.
+  EXPECT_GT(heavy->bytes_in, light->bytes_in);
+  EXPECT_GT(heavy->requests, light->requests);
+  EXPECT_GE(heavy->bytes_in, heavy->requests * kHeaderSize);
+  EXPECT_FALSE(heavy->dispatch_us.empty());
+
+  // The playback chain's root LOUD appears in the device table, owned by
+  // this connection, with frames attributed.
+  ASSERT_FALSE(e.devices.empty());
+  bool found_root = false;
+  for (const DeviceStatsWire& d : e.devices) {
+    if (d.root == chain.loud) {
+      found_root = true;
+      EXPECT_GT(d.frames_produced + d.frames_consumed, 0u);
+    }
+  }
+  EXPECT_TRUE(found_root) << "playback chain root missing from device stats";
+
+  // include_devices = false suppresses the device table.
+  auto no_devices = client_->GetEntityStats(false);
+  ASSERT_TRUE(no_devices.ok());
+  EXPECT_TRUE(no_devices.value().devices.empty());
+  EXPECT_FALSE(no_devices.value().connections.empty());
+  idle->Close();
+}
+
 TEST_F(ServerStatsTest, UptimeAndServerTimeAdvance) {
   auto a = client_->GetServerStats(false);
   ASSERT_TRUE(a.ok());

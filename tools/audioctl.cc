@@ -12,12 +12,18 @@
 //   dial <number>            place a call and report progress
 //   stats [--json]           server counters and latency histograms
 //   trace [N]                newest N engine/dispatcher trace events
+//   trace --request [ID]     spans of one traced request (default: newest)
+//   top                      per-connection and per-device stats, sorted
+//                            by bytes (see also audiotop for a live view)
 //
 // Every subcommand is an ordinary Alib client; reading this file is the
 // fastest tour of the client API.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "src/alib/alib.h"
@@ -229,7 +235,8 @@ int CmdStats(AudioConnection& audio, bool json) {
     PrintHistogramJson("worker_imbalance", s.worker_imbalance, false);
     PrintHistogramJson("dispatch_us", s.dispatch_us, false);
     PrintHistogramJson("lock_wait_us", s.lock_wait_us, false);
-    PrintHistogramJson("epoch_commit_us", s.epoch_commit_us, true);
+    PrintHistogramJson("epoch_commit_us", s.epoch_commit_us, false);
+    PrintHistogramJson("mouth_to_ear_us", s.mouth_to_ear_us, true);
     std::printf("  },\n");
     std::printf("  \"requests\": {\"total\": %llu, \"errors\": %llu},\n",
                 static_cast<unsigned long long>(s.requests_total),
@@ -273,9 +280,14 @@ int CmdStats(AudioConnection& audio, bool json) {
                 static_cast<unsigned long long>(s.egress_disconnects),
                 static_cast<long long>(s.egress_queued_bytes),
                 static_cast<unsigned long long>(s.accept_retries));
-    std::printf("  \"epoch\": {\"commits\": %llu, \"shard_contention\": %llu}\n",
+    std::printf("  \"epoch\": {\"commits\": %llu, \"shard_contention\": %llu},\n",
                 static_cast<unsigned long long>(s.epoch_commits),
                 static_cast<unsigned long long>(s.dispatch_shard_contention));
+    std::printf("  \"tracing\": {\"spans\": %llu, \"requests_sampled\": %llu, "
+                "\"sample_every\": %u}\n",
+                static_cast<unsigned long long>(s.trace_spans),
+                static_cast<unsigned long long>(s.trace_requests_sampled),
+                s.trace_sample_every);
     std::printf("}\n");
     return 0;
   }
@@ -333,6 +345,15 @@ int CmdStats(AudioConnection& audio, bool json) {
               static_cast<unsigned long long>(s.dispatch_shard_contention));
   PrintHistogramLine("lock wait us", s.lock_wait_us);
   PrintHistogramLine("epoch commit us", s.epoch_commit_us);
+  if (s.trace_sample_every > 0) {
+    std::printf("tracing: every %uth request; %llu requests sampled, %llu spans\n",
+                s.trace_sample_every,
+                static_cast<unsigned long long>(s.trace_requests_sampled),
+                static_cast<unsigned long long>(s.trace_spans));
+  } else {
+    std::printf("tracing: off (start audiond with --trace-sample N)\n");
+  }
+  PrintHistogramLine("mouth-to-ear us", s.mouth_to_ear_us);
   return 0;
 }
 
@@ -351,6 +372,96 @@ int CmdTrace(AudioConnection& audio, uint32_t max_events) {
                 e.arg0, e.arg1);
   }
   std::printf("%zu events\n", trace.value().events.size());
+  return 0;
+}
+
+int CmdRequestTrace(AudioConnection& audio, uint64_t trace_id) {
+  auto trace = audio.GetRequestTrace(trace_id);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "GetRequestTrace failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  const RequestTraceReply& reply = trace.value();
+  if (reply.spans.empty()) {
+    std::printf("no spans for trace 0x%llx (tracing off, or the request was "
+                "not sampled / already aged out of the ring)\n",
+                static_cast<unsigned long long>(reply.trace_id));
+    return 1;
+  }
+  // trace id = (id-block base << 32) | sequence; the id base for client
+  // index i is (i + 1) << 20, so the connection index falls out directly.
+  const uint64_t id_base = reply.trace_id >> 32;
+  std::printf("trace 0x%llx: client #%llu sequence %llu, %zu spans\n",
+              static_cast<unsigned long long>(reply.trace_id),
+              static_cast<unsigned long long>((id_base >> 20) - 1),
+              static_cast<unsigned long long>(reply.trace_id & 0xFFFFFFFFull),
+              reply.spans.size());
+  // Indent children under their parent (spans arrive in timestamp order,
+  // so a parent that *starts* earlier has already been assigned a depth —
+  // except the backdated root, which always has parent 0).
+  std::map<uint64_t, int> depth;
+  const int64_t t0 = reply.spans.front().t_us;
+  for (const TraceEventWire& e : reply.spans) {
+    int d = 0;
+    if (e.parent != 0) {
+      auto it = depth.find(e.parent);
+      d = it != depth.end() ? it->second + 1 : 1;
+    }
+    depth[e.seq] = d;
+    std::printf("  +%-8lld %*s%-16s dur=%-7u us  arg0=%u arg1=%u  (seq %llu%s)\n",
+                static_cast<long long>(e.t_us - t0), d * 2, "",
+                std::string(obs::TraceReasonName(static_cast<obs::TraceReason>(e.reason)))
+                    .c_str(),
+                e.dur_us, e.arg0, e.arg1, static_cast<unsigned long long>(e.seq),
+                e.parent != 0
+                    ? (" parent " + std::to_string(e.parent)).c_str()
+                    : "");
+  }
+  return 0;
+}
+
+int CmdTop(AudioConnection& audio) {
+  auto stats = audio.GetEntityStats(true);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "GetEntityStats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  EntityStatsReply reply = stats.value();
+  std::sort(reply.connections.begin(), reply.connections.end(),
+            [](const ConnectionStatsWire& a, const ConnectionStatsWire& b) {
+              return a.bytes_in + a.bytes_out > b.bytes_in + b.bytes_out;
+            });
+  std::printf("%-4s %-16s %10s %6s %12s %12s %8s %8s %10s\n", "#", "client", "requests",
+              "errors", "bytes_in", "bytes_out", "events", "dropped", "disp_p99");
+  for (const ConnectionStatsWire& c : reply.connections) {
+    std::printf("%-4u %-16s %10llu %6llu %12llu %12llu %8llu %8llu %9.0fus\n", c.index,
+                c.name.empty() ? "?" : c.name.c_str(),
+                static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.errors),
+                static_cast<unsigned long long>(c.bytes_in),
+                static_cast<unsigned long long>(c.bytes_out),
+                static_cast<unsigned long long>(c.events_sent),
+                static_cast<unsigned long long>(c.events_dropped),
+                c.dispatch_us.empty() ? 0.0 : c.dispatch_us.Percentile(99));
+  }
+  if (!reply.devices.empty()) {
+    std::printf("\n%-10s %-10s %-8s %14s %14s\n", "root", "owner", "active",
+                "frames_prod", "frames_cons");
+    for (const DeviceStatsWire& d : reply.devices) {
+      char owner[16];
+      if (d.owner == 0xFFFFFFFFu) {
+        std::snprintf(owner, sizeof(owner), "server");
+      } else {
+        std::snprintf(owner, sizeof(owner), "#%u", d.owner);
+      }
+      std::printf("0x%-8x %-10s %-8s %14llu %14llu\n", d.root, owner,
+                  d.active != 0 ? "yes" : "no",
+                  static_cast<unsigned long long>(d.frames_produced),
+                  static_cast<unsigned long long>(d.frames_consumed));
+    }
+  }
   return 0;
 }
 
@@ -375,7 +486,7 @@ int main(int argc, char** argv) {
   if (arg >= argc) {
     std::fprintf(stderr,
                  "usage: audioctl [--host H] [--port N] "
-                 "info|catalogue|play|play-wav|say|record|beep|dial|stats|trace ...\n");
+                 "info|catalogue|play|play-wav|say|record|beep|dial|stats|trace|top ...\n");
     return 1;
   }
 
@@ -428,8 +539,18 @@ int main(int argc, char** argv) {
     return CmdStats(*audio, json);
   }
   if (command == "trace") {
+    if (arg < argc && std::string(argv[arg]) == "--request") {
+      ++arg;
+      // Accepts 0x-hex or decimal; no argument = most recently sampled.
+      uint64_t trace_id =
+          arg < argc ? std::strtoull(argv[arg], nullptr, 0) : 0;
+      return CmdRequestTrace(*audio, trace_id);
+    }
     uint32_t max_events = arg < argc ? static_cast<uint32_t>(std::atoi(argv[arg])) : 0;
     return CmdTrace(*audio, max_events);
+  }
+  if (command == "top") {
+    return CmdTop(*audio);
   }
   std::fprintf(stderr, "audioctl: bad command or missing argument\n");
   return 1;

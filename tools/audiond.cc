@@ -5,12 +5,19 @@
 // Usage:
 //   audiond [--port N] [--speakers N] [--microphones N] [--lines N]
 //           [--engine-threads N] [--speakerphone] [--wav-out FILE]
-//           [--stats-interval-ms N] [--verbose]
+//           [--stats-interval-ms N] [--trace-sample N] [--metrics-port N]
+//           [--flight-dump FILE] [--verbose]
 //
 // --wav-out streams everything played on speaker0 into a WAV file so the
 // simulated output is audible with ordinary tooling.
 // --stats-interval-ms logs a one-line stats summary (ticks, tick p99,
 // requests, connections) every N milliseconds.
+// --trace-sample N samples every Nth request per connection for
+// request-scoped tracing (GetRequestTrace / audioctl trace --request).
+// --metrics-port serves Prometheus text at GET /metrics.
+// --flight-dump names the flight-recorder output file (default
+// audiond.flight); SIGUSR2 writes a dump on demand, and fatal signals
+// (SIGSEGV & co.) write the last snapshot before the process dies.
 
 #include <csignal>
 #include <cstdio>
@@ -23,13 +30,54 @@
 #include "src/common/logging.h"
 #include "src/common/wav.h"
 #include "src/hw/board.h"
+#include "src/server/flight_recorder.h"
 #include "src/server/server.h"
+#include "src/server/stats_render.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+void HandleDumpSignal(int) { g_dump = 1; }
+
+// Minimal HTTP/1.x responder for the metrics endpoint: one request per
+// connection, GET /metrics only. Reuses the server's own socket transport.
+void ServeMetricsClient(aud::ByteStream* stream, aud::AudioServer* server) {
+  using namespace aud;
+  // Read until the header terminator (or the peer stops sending).
+  std::string request;
+  uint8_t buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos && request.size() < 16384) {
+    size_t n = stream->Read(std::span<uint8_t>(buf, sizeof(buf)));
+    if (n == 0) {
+      break;
+    }
+    request.append(reinterpret_cast<const char*>(buf), n);
+  }
+  std::string body;
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4";
+  if (request.rfind("GET /metrics", 0) == 0) {
+    ServerStatsReply stats;
+    {
+      MutexLock lock(&server->mutex());
+      stats = server->state().BuildServerStats(false);
+    }
+    body = RenderPrometheusText(stats);
+  } else {
+    status = "404 Not Found";
+    body = "only GET /metrics is served\n";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  stream->Write(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()), response.size()));
+  stream->Close();
+}
 
 }  // namespace
 
@@ -37,10 +85,12 @@ int main(int argc, char** argv) {
   using namespace aud;
 
   uint16_t port = 7800;
+  uint16_t metrics_port = 0;
   BoardConfig config;
   ServerOptions options;
   std::string wav_out;
   std::string catalogue_dir;
+  std::string flight_dump = "audiond.flight";
   int stats_interval_ms = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -72,6 +122,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats-interval-ms") {
       stats_interval_ms = next_int(stats_interval_ms);
+    } else if (arg == "--trace-sample") {
+      int every = next_int(0);
+      options.trace_sample_every = every > 0 ? static_cast<uint32_t>(every) : 0;
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<uint16_t>(next_int(0));
+    } else if (arg == "--flight-dump") {
+      if (i + 1 < argc) {
+        flight_dump = argv[++i];
+      }
     } else if (arg == "--egress-buffer-bytes") {
       int bytes = next_int(static_cast<int>(options.egress_buffer_bytes));
       if (bytes > 0) {
@@ -98,6 +157,7 @@ int main(int argc, char** argv) {
                    "usage: audiond [--port N] [--speakers N] [--microphones N] "
                    "[--lines N] [--engine-threads N] [--speakerphone] "
                    "[--wav-out FILE] [--catalogue DIR] [--stats-interval-ms N] "
+                   "[--trace-sample N] [--metrics-port N] [--flight-dump FILE] "
                    "[--egress-buffer-bytes N] [--egress-overflow drop-events|disconnect] "
                    "[--fault SPEC] [--verbose]\n");
       return arg == "--help" ? 0 : 1;
@@ -158,6 +218,38 @@ int main(int argc, char** argv) {
               config.speakerphone ? " + speakerphone" : "");
   std::printf("audiond: engine: %d thread(s)%s\n", options.engine_threads,
               options.engine_threads > 1 ? " (island-parallel tick)" : "");
+  if (options.trace_sample_every > 0) {
+    std::printf("audiond: tracing every %uth request per connection\n",
+                options.trace_sample_every);
+  }
+
+  // Flight recorder: pre-render a first snapshot, then refresh in the main
+  // loop so a fatal signal always has something recent to write.
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  recorder.set_dump_path(flight_dump);
+  recorder.InstallFatalHandlers();
+
+  // Metrics endpoint: Prometheus text over a one-request-per-connection
+  // HTTP responder, reusing the server's socket transport.
+  SocketListener metrics_listener;
+  std::thread metrics_thread;
+  if (metrics_port != 0) {
+    if (!metrics_listener.Listen(metrics_port)) {
+      std::fprintf(stderr, "audiond: cannot listen on metrics port %u\n", metrics_port);
+      return 1;
+    }
+    metrics_thread = std::thread([&metrics_listener, &server] {
+      while (true) {
+        std::unique_ptr<ByteStream> stream = metrics_listener.Accept();
+        if (stream == nullptr) {
+          return;  // listener closed: shutting down
+        }
+        ServeMetricsClient(stream.get(), &server);
+      }
+    });
+    std::printf("audiond: metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_listener.port());
+  }
   for (PhoneLineUnit* line : board.phone_lines()) {
     std::printf("audiond: line %s is %s\n", line->name().c_str(),
                 line->line()->number().c_str());
@@ -165,9 +257,45 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR2, HandleDumpSignal);
   auto next_stats = std::chrono::steady_clock::now();
+  auto next_snapshot = std::chrono::steady_clock::now();
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Refresh the flight-recorder snapshot about once a second (and right
+    // before an on-demand dump), so a crash dump is at most ~1 s stale.
+    if (g_dump != 0 || std::chrono::steady_clock::now() >= next_snapshot) {
+      next_snapshot = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+      ServerStatsReply stats;
+      {
+        MutexLock lock(&server.mutex());
+        stats = server.state().BuildServerStats(false);
+      }
+      std::vector<TraceEventWire> trace;
+      for (const obs::TraceEvent& e : obs::TraceRegistry::Instance().Snapshot(0)) {
+        TraceEventWire wire;
+        wire.t_us = e.t_us;
+        wire.seq = e.seq;
+        wire.tid = e.tid;
+        wire.reason = static_cast<uint16_t>(e.reason);
+        wire.arg0 = e.arg0;
+        wire.arg1 = e.arg1;
+        wire.trace = e.trace;
+        wire.parent = e.parent;
+        wire.dur_us = e.dur_us;
+        trace.push_back(wire);
+      }
+      recorder.SetSnapshot(RenderFlightDumpText(g_dump != 0 ? "SIGUSR2" : "periodic",
+                                                stats, trace, RecentLogLines()));
+      if (g_dump != 0) {
+        g_dump = 0;
+        if (recorder.WriteDump()) {
+          std::printf("audiond: flight dump written to %s\n",
+                      recorder.dump_path().c_str());
+          std::fflush(stdout);
+        }
+      }
+    }
     if (stats_interval_ms > 0 && std::chrono::steady_clock::now() >= next_stats) {
       next_stats = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(stats_interval_ms);
@@ -202,6 +330,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\naudiond: shutting down\n");
+  if (metrics_thread.joinable()) {
+    metrics_listener.Close();
+    metrics_thread.join();
+  }
   server.Shutdown();
   if (!wav_out.empty() && !wav_capture.empty()) {
     if (WriteWavFile(wav_out, wav_capture, board.sample_rate_hz())) {

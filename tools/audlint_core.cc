@@ -429,10 +429,10 @@ void CheckSchemaLock(const std::string& lock, const std::string& messages_h,
   }
 }
 
-// Check 8: stats counters cannot drift from the docs. Every field of the
-// newest locked ServerStatsReply version must appear (as a whole word) in
-// PROTOCOL.md — appending a counter to the reply without documenting it
-// fails the lint the same commit.
+// Check 8: versioned replies cannot drift from the docs. Every field of
+// the newest locked version of every struct in schema.lock must appear (as
+// a whole word) in PROTOCOL.md — appending a field to a locked reply
+// without documenting it fails the lint the same commit.
 bool ContainsWord(const std::string& text, const std::string& word) {
   auto is_ident = [](char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
@@ -452,8 +452,14 @@ bool ContainsWord(const std::string& text, const std::string& word) {
 
 void CheckStatsDocCoverage(const std::string& lock, const std::string& protocol_md,
                            std::vector<std::string>* problems) {
-  int best_version = -1;
-  std::vector<std::string> fields;
+  // Newest locked version of EVERY locked struct — whatever earns a
+  // schema.lock line is a versioned reply clients decode by prefix, and
+  // its current field list must be documented.
+  struct Newest {
+    int version = -1;
+    std::vector<std::string> fields;
+  };
+  std::map<std::string, Newest> newest;
   for (const std::string& raw : SplitLines(lock)) {
     std::string line = StripLine(raw);
     if (line.empty() || line[0] == '#') {
@@ -463,21 +469,24 @@ void CheckStatsDocCoverage(const std::string& lock, const std::string& protocol_
     std::string name;
     int version = -1;
     in >> name >> version;
-    if (name != "ServerStatsReply" || version <= best_version) {
+    if (name.empty() || version <= newest[name].version) {
       continue;
     }
-    best_version = version;
-    fields.clear();
+    Newest& entry = newest[name];
+    entry.version = version;
+    entry.fields.clear();
     std::string field;
     while (in >> field) {
-      fields.push_back(field);
+      entry.fields.push_back(field);
     }
   }
-  for (const std::string& field : fields) {
-    if (!ContainsWord(protocol_md, field)) {
-      problems->push_back("PROTOCOL.md: ServerStatsReply v" +
-                          std::to_string(best_version) + " field " + field +
-                          " is not documented");
+  for (const auto& [name, entry] : newest) {
+    for (const std::string& field : entry.fields) {
+      if (!ContainsWord(protocol_md, field)) {
+        problems->push_back("PROTOCOL.md: " + name + " v" +
+                            std::to_string(entry.version) + " field " + field +
+                            " is not documented");
+      }
     }
   }
 }
