@@ -31,13 +31,13 @@ int Run() {
       client.CreateDevice(loud, DeviceClass::kPlayer, {});
       louds.push_back(loud);
     }
-    client.Sync();
+    (void)client.Sync();
     // Map all (each map walks the whole stack).
     auto t0 = std::chrono::steady_clock::now();
     for (ResourceId loud : louds) {
       client.MapLoud(loud);
     }
-    client.Sync();
+    (void)client.Sync();
     auto t1 = std::chrono::steady_clock::now();
     double per_map_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count() / depth;
@@ -64,7 +64,7 @@ int Run() {
 
     ResourceId thief = client.CreateLoud(kNoResource, {});
     client.CreateDevice(thief, DeviceClass::kTelephone, {});
-    client.Sync();
+    (void)client.Sync();
 
     constexpr int kCycles = 200;
     auto t0 = std::chrono::steady_clock::now();
@@ -72,7 +72,7 @@ int Run() {
       client.MapLoud(thief);    // victim deactivates, queue server-pauses
       client.UnmapLoud(thief);  // victim reactivates, queue auto-resumes
     }
-    client.Sync();
+    (void)client.Sync();
     auto t1 = std::chrono::steady_clock::now();
     double per_cycle_us =
         std::chrono::duration<double, std::micro>(t1 - t0).count() / kCycles;

@@ -76,7 +76,7 @@ void BM_EndToEndPlayback(benchmark::State& state) {
     auto chain = toolkit.BuildPlaybackChain();
     world.client().Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
     world.client().StartQueue(chain.loud);
-    world.client().Sync();
+    (void)world.client().Sync();
     state.ResumeTiming();
 
     // 2 s of engine time in 20 ms ticks.

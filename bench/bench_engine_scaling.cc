@@ -56,7 +56,7 @@ void BuildChains(BenchWorld& world, int n, int plays_each) {
     client.Enqueue(chain.loud, program);
     client.StartQueue(chain.loud);
   }
-  client.Sync();
+  (void)client.Sync();
   world.server().StepFrames(160);  // warm up: everything starts
 }
 
@@ -172,7 +172,7 @@ DispatchResult MeasureDispatch(DispatchLoad load, int requests) {
 
   AudioConnection& client = world.client();
   ResourceId probe = client.CreateLoud(kNoResource, {});
-  client.Sync();
+  (void)client.Sync();
 
   std::atomic<bool> stop{false};
   std::thread pump;

@@ -163,7 +163,7 @@ int Run(const BenchFlags& flags) {
       c.conn->StartQueue(c.chain.loud);
     }
     for (auto& c : clients) {
-      c.conn->Sync();
+      (void)c.conn->Sync();
     }
 
     // Advance 2 s of audio in 20 ms ticks, timing the engine.

@@ -35,7 +35,7 @@ int Run() {
       client.StartQueue(chain.loud);
       chains.push_back(chain);
     }
-    client.Sync();
+    (void)client.Sync();
     world.server().StepFrames(static_cast<int64_t>(period));
 
     // Time 10 s of audio worth of ticks.

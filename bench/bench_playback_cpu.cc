@@ -65,7 +65,7 @@ int Run(const BenchFlags& flags) {
   osc.Generate(8000ull * static_cast<uint64_t>(kSeconds), &pcm);
   ResourceId sound = toolkit.UploadSound(pcm, kTelephoneFormat);
   auto chain = toolkit.BuildPlaybackChain();
-  client.Sync();
+  (void)client.Sync();
 
   world.server().StartRealtime();
   toolkit.set_time_pump({});

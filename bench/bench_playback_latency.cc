@@ -47,7 +47,7 @@ int Run() {
   std::vector<Sample> pcm(1600, 8000);
   ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
   auto chain = toolkit.BuildPlaybackChain();
-  client.Sync();
+  (void)client.Sync();
 
   constexpr int kTrials = 25;
   std::vector<double> latencies_ms;

@@ -41,7 +41,7 @@ void BM_AsyncRequestThroughput(benchmark::State& state) {
     for (int i = 0; i < kBatch; ++i) {
       client->SendRequest(Opcode::kNoOp, {});
     }
-    client->Sync();  // barrier: all processed
+    (void)client->Sync();  // barrier: all processed
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
   state.SetLabel(tcp ? "tcp" : "pipe");
@@ -81,10 +81,10 @@ void BM_PipelinedCreates(benchmark::State& state) {
     for (int i = 0; i < kBatch; ++i) {
       client.CreateDevice(loud, DeviceClass::kPlayer, {});
     }
-    client.Sync();
+    (void)client.Sync();
     state.PauseTiming();
     client.DestroyLoud(loud);
-    client.Sync();
+    (void)client.Sync();
     state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
@@ -97,7 +97,7 @@ void BM_BlockingQueries(benchmark::State& state) {
   AudioConnection& client = world.client();
   ResourceId loud = client.CreateLoud(kNoResource, {});
   ResourceId device = client.CreateDevice(loud, DeviceClass::kPlayer, {});
-  client.Sync();
+  (void)client.Sync();
   constexpr int kBatch = 200;
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) {
@@ -115,12 +115,12 @@ void BM_SoundUpload(benchmark::State& state) {
   AudioConnection& client = world.client();
   size_t chunk = static_cast<size_t>(state.range(0));
   ResourceId sound = client.CreateSound({Encoding::kPcm16, 8000});
-  client.Sync();
+  (void)client.Sync();
   std::vector<uint8_t> data(chunk, 0x5A);
   uint64_t offset = 0;
   for (auto _ : state) {
     client.WriteSound(sound, 0, data);  // overwrite in place: bounded memory
-    client.Sync();
+    (void)client.Sync();
     offset += chunk;
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *

@@ -65,7 +65,7 @@ int Run() {
       client.Enqueue(chain.loud, {PlayCommand(chain.player, sa, 1),
                                   PlayCommand(chain.player, sb, 2)});
       client.StartQueue(chain.loud);
-      client.Sync();
+      (void)client.Sync();
       if (!toolkit.WaitCommandDone(2, 30000)) {
         std::printf("%-12zu %-12zu %-18s FAILED (timeout)\n", a_len, b_len, "-");
         ++failures;
@@ -114,7 +114,7 @@ int Run() {
     client.Enqueue(loud, {PlayCommand(player, prompt_sound, 1),
                           RecordCommand(recorder, message, kTerminateOnStop, 100, 2)});
     client.StartQueue(loud);
-    client.Sync();
+    (void)client.Sync();
     bool ok = toolkit.WaitCommandDone(2, 30000);
     auto recorded = toolkit.DownloadSound(message);
     int64_t silent_lead = 0;

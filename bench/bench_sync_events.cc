@@ -29,7 +29,7 @@ int Run() {
   auto chain = toolkit.BuildPlaybackChain();
   constexpr int kIntervalMs = 125;
   client.SetSyncMarks(chain.loud, kIntervalMs);
-  client.Sync();
+  (void)client.Sync();
 
   world.server().StartRealtime();
   toolkit.set_time_pump({});

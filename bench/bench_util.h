@@ -141,7 +141,7 @@ inline CatalogPlayResult RunCatalogPlayWorkload(size_t cache_bytes, int clients,
     c.conn->Enqueue(c.chain.loud, program);
   }
   for (auto& c : players) {
-    c.conn->Sync();
+    (void)c.conn->Sync();
   }
 
   CatalogPlayResult result;

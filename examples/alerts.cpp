@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   audio.Enqueue(talk_loud, {SpeakTextCommand(talk_tts, "you have new mail", 3)});
   audio.StartQueue(biff_loud);
   audio.StartQueue(talk_loud);
-  audio.Sync();
+  (void)audio.Sync();
   if (!toolkit.WaitCommandDone(3, 60000)) {
     std::printf("talk alert never finished\n");
     return 1;
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   audio.MapLoud(wall_loud);
   audio.Enqueue(wall_loud, {PlayCommand(wall_player, klaxon_sound, 5)});
   audio.StartQueue(wall_loud);
-  audio.Sync();
+  (void)audio.Sync();
   if (!toolkit.WaitCommandDone(5, 60000)) {
     std::printf("wall alert never finished\n");
     return 1;
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   // talk's LOUD was deactivated (its queue server-paused) during the
   // klaxon; unmapping wall lets it finish.
   audio.UnmapLoud(wall_loud);
-  audio.Sync();
+  (void)audio.Sync();
   bool talk_resumed = toolkit.WaitCommandDone(4, 60000);
   std::printf("[talk] interrupted announcement %s\n",
               talk_resumed ? "resumed and completed" : "never completed");

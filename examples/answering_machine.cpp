@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     }
   }
   audio.SelectEvents(phone_device, kTelephoneEvents);
-  audio.Sync();
+  (void)audio.Sync();
 
   // Two scripted callers.
   auto make_speech = [&](double freq, int ms) {
@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
                                  kTerminateOnPause | kTerminateOnHangup, 30000, 4)});
     audio.MapLoud(machine.loud);
     audio.StartQueue(machine.loud);
-    audio.Sync();
+    (void)audio.Sync();
 
     // Wait for the recording to terminate.
     RecorderStoppedArgs stopped;
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
     std::string label = "message-" + std::to_string(messages_taken) + "-from-" +
                         (caller.empty() ? "unknown" : caller);
     audio.SaveCatalogueSound(message, label);
-    audio.Sync();
+    (void)audio.Sync();
     std::printf("[machine] took message %d from %s: %.1f s (ended on %s), saved as \"%s\"\n",
                 messages_taken, caller.c_str(), seconds, why, label.c_str());
 

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   auto manager_conn = connect("audio-manager");
 
   AudioManager manager(manager_conn.get(), AudioManager::Policy::kFocusFollowsMap);
-  manager_conn->Sync();
+  (void)manager_conn->Sync();
   std::printf("manager holds redirection with focus-follows-map policy\n");
 
   auto build_phone_app = [](AudioConnection& conn) {
@@ -48,8 +48,8 @@ int main(int argc, char** argv) {
     return false;
   };
   auto report = [&](const char* when) {
-    app1.Sync();
-    app2->Sync();
+    (void)app1.Sync();
+    (void)app2->Sync();
     auto s1 = app1.QueryLoud(loud1);
     auto s2 = app2->QueryLoud(loud2);
     std::printf("%-28s app1{mapped=%d active=%d}  app2{mapped=%d active=%d}\n", when,
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
 
   std::printf("app1 asks to map (redirected to the manager)...\n");
   app1.MapLoud(loud1);
-  app1.Sync();
+  (void)app1.Sync();
   if (!pump_manager()) {
     std::printf("manager never saw the request\n");
     return 1;
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
 
   std::printf("app2 asks to map; focus policy lowers app1...\n");
   app2->MapLoud(loud2);
-  app2->Sync();
+  (void)app2->Sync();
   if (!pump_manager()) {
     return 1;
   }
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
 
   std::printf("app1 asks to be raised (redirected restack)...\n");
   app1.RaiseLoud(loud1);
-  app1.Sync();
+  (void)app1.Sync();
   if (!pump_manager()) {
     return 1;
   }

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   audio.Enqueue(chain.loud,
                 {PlayCommand(chain.player, beep, 1), PlayCommand(chain.player, beep, 2)});
   audio.StartQueue(chain.loud);
-  audio.Sync();
+  (void)audio.Sync();
   if (!toolkit.WaitCommandDone(2, 30000)) {
     std::printf("queue did not finish\n");
     return 1;

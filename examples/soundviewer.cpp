@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   audio.Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
   audio.StartQueue(chain.loud);
-  audio.Sync();
+  (void)audio.Sync();
 
   int marks = 0;
   bool done = false;

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   audio.CreateWire(player, 0, telephone, 0);
   audio.SelectEvents(loud, kAllEvents);
   audio.MapLoud(loud);
-  audio.Sync();
+  (void)audio.Sync();
 
   // Scripted caller: checks two messages (1, 1), deletes one (3), hangs up.
   FarEndParty* owner = world.board().AddFarEnd("555-9000", "Owner");
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
               TelephoneRingArgs::Decode(ring->args).caller_id.c_str());
   audio.Enqueue(loud, {AnswerCommand(telephone, 1)});
   audio.StartQueue(loud);
-  audio.Sync();
+  (void)audio.Sync();
 
   ToneMenu menu(&toolkit, loud, telephone, player);
   size_t cursor = 0;
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
         uint32_t tag = 100 + static_cast<uint32_t>(cursor);
         audio.Enqueue(loud, {PlayCommand(player, mailbox[cursor], tag)});
         audio.StartQueue(loud);
-        audio.Sync();
+        (void)audio.Sync();
         toolkit.WaitCommandDone(tag, 60000);
         ++served;
         ++cursor;
@@ -119,7 +119,7 @@ int main(int argc, char** argv) {
   }
 
   audio.Immediate(loud, HangUpCommand(telephone));
-  audio.Sync();
+  (void)audio.Sync();
   std::printf("voicemail session done: served %d, deleted %d\n", served, deleted);
   return served >= 2 && deleted >= 1 ? 0 : 1;
 }

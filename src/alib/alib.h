@@ -207,13 +207,13 @@ class AudioConnection {
 
   // Serializes outbound frames, sequence allocation and id allocation.
   // Leaf lock; never held together with queue_mu_ (DESIGN.md decision 9).
-  Mutex write_mu_;
+  Mutex write_mu_{LockRank::kAlibWrite, "AudioConnection::write_mu_"};
   ResourceId id_next_ AUD_GUARDED_BY(write_mu_) = kNoResource;
   ResourceId id_end_ AUD_GUARDED_BY(write_mu_) = kNoResource;
   uint32_t next_sequence_ AUD_GUARDED_BY(write_mu_) = 1;
 
   // Guards everything the reader thread hands to waiting callers.
-  Mutex queue_mu_;
+  Mutex queue_mu_{LockRank::kAlibQueue, "AudioConnection::queue_mu_"};
   CondVar queue_cv_;
   std::deque<EventMessage> events_ AUD_GUARDED_BY(queue_mu_);
   std::deque<AsyncError> errors_ AUD_GUARDED_BY(queue_mu_);

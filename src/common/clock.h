@@ -80,7 +80,7 @@ class VirtualClock : public Clock {
   void AdvanceTo(Ticks t);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kClock, "VirtualClock::mu_"};
   CondVar cv_;
   Ticks now_ AUD_GUARDED_BY(mu_) = 0;
   int64_t skew_ppm_;

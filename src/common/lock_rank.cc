@@ -1,0 +1,119 @@
+#include "src/common/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aud {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:
+      return "kUnranked";
+    case LockRank::kServerState:
+      return "kServerState";
+    case LockRank::kEngineRoot:
+      return "kEngineRoot";
+    case LockRank::kEnginePool:
+      return "kEnginePool";
+    // kEgressQueue/kDecodedCache/kTraceRegistry alias kEnginePool's value;
+    // the switch can only name the first enumerator of the shared rank, so
+    // diagnostics carry the per-mutex name string alongside the rank.
+    case LockRank::kTraceRing:
+      return "kTraceRing";
+    case LockRank::kAlibWrite:
+      return "kAlibWrite";
+    case LockRank::kPipeChannel:
+      return "kPipeChannel";
+    case LockRank::kClock:
+      return "kClock";
+    case LockRank::kLogging:
+      return "kLogging";
+  }
+  return "kUnknown";
+}
+
+namespace lockrank {
+
+namespace {
+
+// Per-thread stack of held ranked locks. A fixed array instead of a
+// std::vector: OnAcquire runs on every Lock() in every lane, and a POD TLS
+// array needs no guarded dynamic initialization or teardown ordering
+// against static-destruction-time logging.
+constexpr int kMaxHeld = 64;
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+  uint64_t order;
+  const char* name;
+};
+
+thread_local HeldLock tls_held[kMaxHeld];
+thread_local int tls_held_count = 0;
+
+[[noreturn]] void Abort(const char* what, const HeldLock& held, int new_rank,
+                        uint64_t new_order, const char* new_name) {
+  std::fprintf(stderr,
+               "lock-rank violation (%s): acquiring %s (rank %d, order %llu) "
+               "while holding %s (rank %d, order %llu)\n",
+               what, new_name, new_rank,
+               static_cast<unsigned long long>(new_order), held.name, held.rank,
+               static_cast<unsigned long long>(held.order));
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, LockRank rank, uint64_t order, const char* name) {
+  if (rank == LockRank::kUnranked) {
+    return;
+  }
+  const int new_rank = static_cast<int>(rank);
+  for (int i = 0; i < tls_held_count; ++i) {
+    if (tls_held[i].mu == mu) {
+      Abort("recursive acquisition", tls_held[i], new_rank, order, name);
+    }
+  }
+  if (tls_held_count > 0) {
+    // Every prior push was validated against the then-newest entry, so the
+    // stack is non-decreasing in rank and the newest entry is the maximum.
+    const HeldLock& top = tls_held[tls_held_count - 1];
+    const bool ascending_rank = new_rank > top.rank;
+    const bool same_rank_ok = new_rank == top.rank &&
+                              LockRankAllowsSameRank(rank) && order > top.order;
+    if (!ascending_rank && !same_rank_ok) {
+      Abort("out-of-order acquisition", top, new_rank, order, name);
+    }
+  }
+  if (tls_held_count >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "lock-rank violation (held-lock stack overflow): acquiring %s "
+                 "with %d locks already held\n",
+                 name, tls_held_count);
+    std::abort();
+  }
+  tls_held[tls_held_count++] = {mu, new_rank, order, name};
+}
+
+void OnRelease(const void* mu) {
+  // Search newest-first: releases are usually LIFO, but IslandRootLocks
+  // releases in reverse and MutexLock::Unlock may release mid-stack.
+  for (int i = tls_held_count - 1; i >= 0; --i) {
+    if (tls_held[i].mu == mu) {
+      for (int j = i; j + 1 < tls_held_count; ++j) {
+        tls_held[j] = tls_held[j + 1];
+      }
+      --tls_held_count;
+      return;
+    }
+  }
+  // Unranked mutexes never call in; a release without a matching acquire
+  // means the entry was dropped, which cannot happen short of memory
+  // corruption — ignore rather than abort so release paths stay noexcept.
+}
+
+int HeldCount() { return tls_held_count; }
+
+}  // namespace lockrank
+}  // namespace aud

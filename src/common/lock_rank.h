@@ -1,0 +1,84 @@
+// Runtime lock-rank enforcement (DESIGN.md decision 9, "lock inventory &
+// ordering"). Every production aud::Mutex declares its place in the global
+// lock hierarchy at construction; when AUD_LOCK_RANK_CHECKS is on (the
+// default — see the AUD_LOCK_RANK CMake option) a per-thread held-lock
+// stack asserts that acquisition order is strictly ascending in rank and
+// aborts, naming both locks and ranks, on any violation. This turns the
+// DESIGN.md lock table from documentation into an invariant executed by
+// every test in every lane (default, TSan, ASan+UBSan).
+//
+// Rules enforced on each acquisition, against the most recent still-held
+// lock of the acquiring thread:
+//   1. Recursion: re-acquiring a mutex already held by this thread aborts.
+//   2. Ascending rank: the new lock's rank must be strictly greater than
+//      the held lock's rank...
+//   3. ...except the same-rank carve-out: ranks flagged by
+//      LockRankAllowsSameRank (only kEngineRoot) may be acquired repeatedly
+//      at the same rank in strictly ascending order-key order. This is the
+//      IslandRootLocks shape: the epoch fan-out takes every root engine
+//      lock of an island in ascending LOUD-id order (server_state.cc).
+//      All other same-rank pairs abort — which is exactly the documented
+//      "never held together" invariant for the rank-2 leaf group.
+//
+// The numeric ranks below ARE the DESIGN.md lock table; tools/audlint
+// cross-references the two (CheckLockRanks) so the code and the doc cannot
+// drift apart. Renumbering a rank means updating both, in one commit.
+
+#ifndef SRC_COMMON_LOCK_RANK_H_
+#define SRC_COMMON_LOCK_RANK_H_
+
+#include <cstdint>
+
+namespace aud {
+
+// The global lock hierarchy, outermost first. A thread holding a lock of
+// rank n may only acquire locks of strictly greater rank (see the same-rank
+// carve-out above). Equal values are deliberate: they declare locks that
+// must NEVER be held together (enforced at runtime), not interchangeable
+// ones. audlint enforces that this enum and the DESIGN.md lock table agree.
+enum class LockRank : int {
+  kUnranked = -1,      // exempt from checking (test-local/ad-hoc mutexes)
+  kServerState = 0,    // AudioServer::mu_ — the "big lock"
+  kEngineRoot = 1,     // Loud::engine_mu_ — per-root engine shard (same-rank
+                       // multi-acquire in ascending LOUD-id order)
+  kEnginePool = 2,     // EnginePool::mu_ — tick worker pool
+  kEgressQueue = 2,    // EgressQueue::mu_ — per-connection outbound queue
+  kDecodedCache = 2,   // DecodedCache::mu_ — decoded-PCM LRU cache
+  kTraceRegistry = 2,  // obs::TraceRegistry::mu_ — ring registration list
+  kTraceRing = 3,      // obs::TraceRing::mu_ — per-thread trace ring
+  kAlibWrite = 4,      // AudioConnection::write_mu_ — client frame writes
+  kAlibQueue = 4,      // AudioConnection::queue_mu_ — client reply queues
+  kPipeChannel = 5,    // PipeChannel::mu_ — in-memory transport byte queue
+  kClock = 6,          // VirtualClock::mu_ — test clock advance/sleep
+  kLogging = 7,        // g_log_mu (logging.cc) — stderr serialization, leaf
+};
+
+// Human-readable enumerator name ("kEngineRoot") for abort diagnostics.
+const char* LockRankName(LockRank rank);
+
+// Ranks that may be acquired repeatedly at the same rank, in strictly
+// ascending order-key order (the IslandRootLocks carve-out).
+constexpr bool LockRankAllowsSameRank(LockRank rank) {
+  return rank == LockRank::kEngineRoot;
+}
+
+namespace lockrank {
+
+// Called by aud::Mutex before blocking on the underlying lock. Validates
+// the acquisition against the calling thread's held-lock stack and pushes
+// the new entry; aborts with both lock names and ranks on violation.
+// `order` disambiguates same-rank acquisitions (LOUD id for kEngineRoot).
+void OnAcquire(const void* mu, LockRank rank, uint64_t order, const char* name);
+
+// Called by aud::Mutex after releasing. Removes the entry from the calling
+// thread's stack (releases need not be LIFO; the stack stays rank-sorted
+// because every push was validated against the then-top).
+void OnRelease(const void* mu);
+
+// Number of ranked locks the calling thread currently holds (tests).
+int HeldCount();
+
+}  // namespace lockrank
+}  // namespace aud
+
+#endif  // SRC_COMMON_LOCK_RANK_H_

@@ -14,7 +14,7 @@ namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
 // Serializes the fprintf so concurrent log lines never interleave; stderr
 // itself is the guarded resource, so no AUD_GUARDED_BY field exists.
-Mutex g_log_mu;
+Mutex g_log_mu{LockRank::kLogging, "g_log_mu"};
 
 // Ring of the most recent formatted lines (flight-recorder log tail).
 constexpr size_t kLogRingCapacity = 64;

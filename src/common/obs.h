@@ -165,7 +165,7 @@ class TraceRing {
 
  private:
   const uint32_t tid_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTraceRing, "TraceRing::mu_"};
   TraceEvent events_[kCapacity] AUD_GUARDED_BY(mu_);
   uint64_t next_ AUD_GUARDED_BY(mu_) = 0;  // total records ever; slot = next_ % kCapacity
 };
@@ -209,7 +209,7 @@ class TraceRegistry {
 
   TraceRing* ThreadRing();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTraceRegistry, "TraceRegistry::mu_"};
   std::vector<std::unique_ptr<TraceRing>> rings_ AUD_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_seq_{0};
   std::chrono::steady_clock::time_point epoch_;

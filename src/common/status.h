@@ -58,8 +58,11 @@ enum class ErrorCode : uint8_t {
 std::string_view ErrorCodeName(ErrorCode code);
 
 // A success-or-error result carrying an optional detail message. Cheap to
-// copy on the success path (no allocation).
-class Status {
+// copy on the success path (no allocation). Class-level [[nodiscard]]: a
+// dropped Status is a swallowed protocol error, so every Status-returning
+// API (Alib veneer, wire decode, server internals) warns on an ignored
+// result and the -Werror=unused-result lanes refuse to build it.
+class [[nodiscard]] Status {
  public:
   // Success.
   Status() = default;
@@ -83,9 +86,10 @@ class Status {
   std::string message_;
 };
 
-// A value-or-Status result. Holds exactly one of the two.
+// A value-or-Status result. Holds exactly one of the two. [[nodiscard]]
+// for the same reason as Status: discarding one drops an error code.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit from value: `return value;`.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -16,7 +16,10 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+
+#include "src/common/lock_rank.h"
 
 #if defined(__clang__) && (!defined(SWIG))
 #define AUD_THREAD_ANNOTATION(x) __attribute__((x))
@@ -72,19 +75,62 @@ class CondVar;
 // Annotated exclusive mutex. Method names are capitalized so un-migrated
 // std::mutex call sites fail to compile rather than silently bypassing the
 // analysis.
+//
+// Every production mutex declares its LockRank (src/common/lock_rank.h) and
+// a diagnostic name at construction; under AUD_LOCK_RANK_CHECKS (the
+// default) each acquisition is validated against the calling thread's
+// held-lock stack and a hierarchy violation aborts naming both locks. The
+// default constructor leaves the mutex kUnranked — exempt from checking —
+// for test-local and ad-hoc mutexes that are not part of the hierarchy.
 class AUD_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() AUD_ACQUIRE() { mu_.lock(); }
-  void Unlock() AUD_RELEASE() { mu_.unlock(); }
-  bool TryLock() AUD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() AUD_ACQUIRE() {
+#if AUD_LOCK_RANK_CHECKS
+    lockrank::OnAcquire(this, rank_, order_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() AUD_RELEASE() {
+    mu_.unlock();
+#if AUD_LOCK_RANK_CHECKS
+    lockrank::OnRelease(this);
+#endif
+  }
+  bool TryLock() AUD_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+#if AUD_LOCK_RANK_CHECKS
+    // A successful try_lock is an acquisition like any other: taking it out
+    // of rank order is the same latent deadlock, just one that happened to
+    // win the race this time.
+    lockrank::OnAcquire(this, rank_, order_, name_);
+#endif
+    return true;
+  }
+
+  // Disambiguates same-rank acquisitions (the IslandRootLocks carve-out):
+  // kEngineRoot mutexes carry their root LOUD's id so ascending-id
+  // acquisition validates. Set once, before the mutex is ever contended.
+  void SetRankOrder(uint64_t order) { order_ = order; }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  // Kept unconditionally so the type's layout does not depend on the
+  // checking flag (one TU built with a stale flag would otherwise corrupt
+  // every mutex it touches).
+  LockRank rank_ = LockRank::kUnranked;
+  uint64_t order_ = 0;
+  const char* name_ = "unranked";
 };
 
 // RAII lock for aud::Mutex. Supports temporary release (Unlock/Lock) for

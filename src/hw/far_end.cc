@@ -115,14 +115,24 @@ bool FarEndParty::StepDone(Step& step, std::span<const Sample> rx, size_t frames
   switch (step.kind) {
     case Step::Kind::kAnswerAfterRings:
       if (rings_seen_ >= step.count && line_->state() == LineState::kRingingIn) {
-        line_->Answer();
+        // Answer on a line observed kRingingIn cannot fail; a failure here
+        // means the scripted party lost a race with a hang-up, and the
+        // progress callback will end the script on its own.
+        if (!line_->Answer().ok()) {
+          return false;
+        }
         return true;
       }
       return false;
 
     case Step::Kind::kDialAndWait:
       if (step_frames_ == 0) {
-        line_->Dial(step.text);
+        if (!line_->Dial(step.text).ok()) {
+          // A rejected dial (line busy/off-hook) ends the script the same
+          // way a kBusy progress event does.
+          step_ = steps_.size() - 1;
+          return true;
+        }
       }
       step_frames_ += static_cast<int64_t>(frames);
       if (answered_ && line_->state() == LineState::kConnected) {

@@ -167,7 +167,9 @@ void CommandQueue::ServerPause(EngineTick* tick) {
     PausePropagate(program_.front().get(), &pausable);
   }
   if (!pausable) {
-    Stop(tick);
+    // Stop never fails on a started queue; it returns Status only so the
+    // wire dispatch path can reuse it.
+    (void)Stop(tick);
     return;
   }
   SetState(QueueState::kServerPaused, tick, true);

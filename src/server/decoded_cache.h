@@ -85,7 +85,7 @@ class DecodedSoundCache {
   // Evicts LRU entries until the payload fits `budget`. Returns evictions.
   size_t EvictToFit(size_t budget) AUD_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDecodedCache, "DecodedCache::mu_"};
   // Front = most recently used.
   std::list<Slot> lru_ AUD_GUARDED_BY(mu_);
   std::unordered_map<Key, std::list<Slot>::iterator, KeyHash> index_ AUD_GUARDED_BY(mu_);

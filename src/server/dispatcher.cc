@@ -187,7 +187,10 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
-      state_.Destroy(req.id);
+      if (Status destroyed = state_.Destroy(req.id); !destroyed.ok()) {
+        send_error(destroyed.code(), req.id);
+        break;
+      }
       state_.RecomputeActivation();
       break;
     }
@@ -228,7 +231,10 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
-      state_.Destroy(req.id);
+      if (Status destroyed = state_.Destroy(req.id); !destroyed.ok()) {
+        send_error(destroyed.code(), req.id);
+        break;
+      }
       break;
     }
 
@@ -344,7 +350,10 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
-      state_.Destroy(req.id);
+      if (Status destroyed = state_.Destroy(req.id); !destroyed.ok()) {
+        send_error(destroyed.code(), req.id);
+        break;
+      }
       break;
     }
 
@@ -473,7 +482,10 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.id);
         break;
       }
-      state_.Destroy(req.id);
+      if (Status destroyed = state_.Destroy(req.id); !destroyed.ok()) {
+        send_error(destroyed.code(), req.id);
+        break;
+      }
       break;
     }
 

@@ -104,7 +104,7 @@ class EgressQueue {
   EgressOverflowPolicy policy_;
   obs::Gauge* bytes_gauge_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kEgressQueue, "EgressQueue::mu_"};
   CondVar cv_;
   std::deque<EgressFrame> frames_ AUD_GUARDED_BY(mu_);
   size_t queued_bytes_ AUD_GUARDED_BY(mu_) = 0;

@@ -57,7 +57,7 @@ class EnginePool {
  private:
   void WorkerLoop(int worker);
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kEnginePool, "EnginePool::mu_"};
   CondVar work_cv_;  // workers wait for jobs
   CondVar done_cv_;  // Run waits for completion
   // Non-null while a batch is live.

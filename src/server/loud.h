@@ -112,7 +112,9 @@ class Loud : public ServerObject {
   uint32_t sync_interval_ms_ = 0;
   int64_t last_sync_position_ = -1;
   // Meaningful on roots only (engine_mutex() resolves through Root()).
-  Mutex engine_mu_;
+  // Rank order key = this LOUD's id (set in the constructor), so the epoch
+  // fan-out's ascending-id multi-acquisition validates (lock_rank.h).
+  Mutex engine_mu_{LockRank::kEngineRoot, "Loud::engine_mu_"};
   // Meaningful on roots only (Count* resolve through Root()).
   std::atomic<uint64_t> frames_produced_{0};
   std::atomic<uint64_t> frames_consumed_{0};

@@ -160,7 +160,7 @@ class AudioServer {
 
   Board* board_;
   ServerOptions options_;
-  Mutex mu_;
+  Mutex mu_{LockRank::kServerState, "AudioServer::mu_"};
   // All protocol state — devices, queues, islands, the registry — is one
   // unit under the big lock (DESIGN.md decision 9).
   ServerState state_ AUD_GUARDED_BY(mu_);

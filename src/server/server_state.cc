@@ -20,6 +20,16 @@ namespace {
 thread_local TickOutputs* tls_tick_outputs = nullptr;
 thread_local std::vector<std::pair<uint32_t, EventMessage>>* tls_island_events = nullptr;
 
+// Cascade teardown and server-side registration operate on ids the caller
+// just enumerated from live registry state, so a failure means the registry
+// is inconsistent with itself — worth a warning, never worth aborting the
+// cascade half-way.
+void WarnIfError(const Status& status, const char* what) {
+  if (!status.ok()) {
+    LogLine(LogLevel::kWarning) << what << ": " << status.ToString();
+  }
+}
+
 // Holds the engine shard locks of every root LOUD in one island, in id
 // order. Islands partition the active roots, so two concurrent island jobs
 // never share a lock; the id order only matters against the dispatcher,
@@ -159,16 +169,16 @@ Status ServerState::Destroy(ResourceId id) {
     case ObjectKind::kLoud: {
       Loud* loud = static_cast<Loud*>(obj);
       if (loud->IsRoot() && loud->mapped()) {
-        UnmapLoud(loud);
+        WarnIfError(UnmapLoud(loud), "destroy: unmap of root loud");
       }
       // Children and devices first (copy lists: destruction mutates them).
       std::vector<Loud*> children = loud->children();
       for (Loud* child : children) {
-        Destroy(child->id());
+        WarnIfError(Destroy(child->id()), "destroy: child loud cascade");
       }
       std::vector<VirtualDevice*> devices = loud->devices();
       for (VirtualDevice* dev : devices) {
-        Destroy(dev->id());
+        WarnIfError(Destroy(dev->id()), "destroy: device cascade");
       }
       if (loud->parent() != nullptr) {
         loud->parent()->RemoveChild(loud);
@@ -187,7 +197,7 @@ Status ServerState::Destroy(ResourceId id) {
         wire_ids.insert(wire->id());
       }
       for (ResourceId wire_id : wire_ids) {
-        Destroy(wire_id);
+        WarnIfError(Destroy(wire_id), "destroy: wire cascade");
       }
       if (dev->active()) {
         dev->AbortCommand();
@@ -253,7 +263,7 @@ void ServerState::DestroyConnectionObjects(uint32_t conn) {
     }
     for (ResourceId id : ids) {
       if (Find(id) != nullptr) {
-        Destroy(id);
+        WarnIfError(Destroy(id), "owner death: cascade");
       }
     }
   }
@@ -277,7 +287,7 @@ void ServerState::BuildDeviceLoud() {
   auto root = std::make_unique<Loud>(next_server_id_++, kServerOwner, this, nullptr, AttrList{});
   device_loud_root_ = root->id();
   Loud* root_ptr = root.get();
-  Register(std::move(root));
+  WarnIfError(Register(std::move(root)), "device loud: register root");
 
   for (PhysicalDevice* device : board_->devices()) {
     auto entry = std::make_unique<Loud>(next_server_id_++, kServerOwner, this, root_ptr,
@@ -285,7 +295,7 @@ void ServerState::BuildDeviceLoud() {
     root_ptr->AddChild(entry.get());
     device_loud_entries_[entry->id()] = device;
     physical_ids_[device] = entry->id();
-    Register(std::move(entry));
+    WarnIfError(Register(std::move(entry)), "device loud: register entry");
   }
 }
 

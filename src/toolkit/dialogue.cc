@@ -62,7 +62,11 @@ std::optional<std::string> AudioDialogue::PromptAndRecognize(ResourceId loud,
     uint32_t tag = next_tag_++;
     conn->Enqueue(loud, {PlayCommand(player, prompt, tag)});
     conn->StartQueue(loud);
-    conn->Sync();
+    // A failed sync means the connection is gone; no prompt completion or
+    // recognition event will ever arrive.
+    if (!conn->Sync().ok()) {
+      return std::nullopt;
+    }
     auto done = toolkit_->WaitFor(
         [&](const EventMessage& e) {
           return e.type == EventType::kCommandDone &&

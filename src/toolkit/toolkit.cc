@@ -139,8 +139,12 @@ bool AudioToolkit::PlayAndWait(const PlaybackChain& chain, ResourceId sound, int
   uint32_t tag = next_tag_++;
   conn_->Enqueue(chain.loud, {PlayCommand(chain.player, sound, tag)});
   conn_->StartQueue(chain.loud);
-  // Flush so virtual-time pumping can't race ahead of the requests.
-  conn_->Sync();
+  // Flush so virtual-time pumping can't race ahead of the requests. A
+  // failed sync means the connection is gone; the command will never
+  // complete, so don't wait for it.
+  if (!conn_->Sync().ok()) {
+    return false;
+  }
   return WaitCommandDone(tag, timeout_ms);
 }
 
@@ -154,7 +158,10 @@ bool AudioToolkit::SayAndWait(const std::string& text, int timeout_ms) {
   uint32_t tag = next_tag_++;
   conn_->Enqueue(loud, {SpeakTextCommand(synth, text, tag)});
   conn_->StartQueue(loud);
-  conn_->Sync();
+  if (!conn_->Sync().ok()) {
+    conn_->DestroyLoud(loud);
+    return false;
+  }
   bool done = WaitCommandDone(tag, timeout_ms);
   conn_->DestroyLoud(loud);
   return done;

@@ -22,7 +22,7 @@ class PipeChannel {
   void Close();
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kPipeChannel, "PipeChannel::mu_"};
   CondVar cv_;
   std::deque<uint8_t> bytes_ AUD_GUARDED_BY(mu_);
   bool closed_ AUD_GUARDED_BY(mu_) = false;

@@ -107,6 +107,76 @@ switch (static_cast<Opcode>(message.header.code)) {
 PingReply carries a single `value` counter.
 )";
   files["schema.lock"] = "PingReply 1 value\n";
+  files["lock_rank.h"] = R"(
+enum class LockRank : int {
+  kUnranked = -1,    // exempt
+  kServerState = 0,  // big lock
+  kEgressQueue = 2,  // per-connection outbound queue
+  kLogging = 7,      // leaf
+};
+)";
+  files["DESIGN.md"] = R"(
+Some prose about locks.
+
+   | Lock | Guards | LockRank | Rank |
+   |---|---|---|---|
+   | `AudioServer::mu_` | everything | `kServerState` | 0 |
+   | `EgressQueue::mu_` | outbound frames | `kEgressQueue` | 2 |
+   | `g_log_mu` | stderr | `kLogging` | 7 |
+
+More prose after the table.
+)";
+  files["status.h"] = R"(
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kBadResource = 1,
+  kTimeout = 2,
+};
+)";
+  files["status.cc"] = R"(
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kBadResource:
+      return "BadResource";
+    case ErrorCode::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+)";
+  // The PROTOCOL.md fixture needs the error-code paragraph too.
+  files["PROTOCOL.md"] += R"(
+Error codes: `BadResource(1)`, `Timeout(2)`. The payload is a code.
+)";
+  files["metrics.h"] = R"(
+struct ServerMetrics {
+  static constexpr size_t kOpcodes = 4;
+  obs::Counter requests[kOpcodes];
+  obs::Counter requests_total;
+  obs::LatencyHistogram dispatch_us;
+  uint64_t uptime_ms() const { return 0; }
+};
+)";
+  files["server_state.cc"] = R"(
+reply.requests_total = metrics_.requests_total.value();
+for (size_t i = 0; i < ServerMetrics::kOpcodes; ++i) row.count = metrics_.requests[i].value();
+)";
+  files["stats_render.cc"] = R"(
+RenderHistogram(out, "aud_dispatch_us", metrics.dispatch_us);
+)";
+  files["flight_recorder.cc"] = "";
+  files["audiond.cc"] = R"(
+    if (arg == "--port") { port = Next(); }
+    if (arg == "--verbose") { verbose = true; }
+)";
+  files["audioctl.cc"] = R"(
+    if (arg == "--json") { json = true; }
+)";
+  files["README.md"] = R"(
+Run `audiond --port 7800 --verbose` and query it with `audioctl --json`.
+)";
   return files;
 }
 
@@ -435,6 +505,221 @@ TEST(AudlintTest, EveryLockedStructNeedsDocCoverage) {
 TEST(AudlintTest, DocumentedNonStatsLockedStructPasses) {
   FileMap files = TreeWithToneReply();
   files["PROTOCOL.md"] += "\nToneReply carries the generator `pitch` in Hz.\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+// --- v2: lock-rank drift (CheckLockRanks) ---------------------------------
+
+TEST(AudlintTest, ParseValuedEnumReadsNamesAndValues) {
+  std::vector<std::string> problems;
+  std::vector<EnumEntry> entries =
+      ParseValuedEnum(CleanTree()["lock_rank.h"], "LockRank", &problems);
+  EXPECT_TRUE(NoProblems(problems));
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "Unranked");
+  EXPECT_EQ(entries[0].value, -1);
+  EXPECT_EQ(entries[2].name, "EgressQueue");
+  EXPECT_EQ(entries[2].value, 2);
+}
+
+TEST(AudlintTest, LockRankMissingDocRowFlagged) {
+  FileMap files = CleanTree();
+  // A new ranked lock lands in code but the DESIGN.md table is not updated.
+  files["lock_rank.h"] = R"(
+enum class LockRank : int {
+  kUnranked = -1,
+  kServerState = 0,
+  kEgressQueue = 2,
+  kDecodedCache = 2,
+  kLogging = 7,
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "lock table has no row for kDecodedCache (rank 2)"));
+}
+
+TEST(AudlintTest, LockRankValueMismatchFlagged) {
+  FileMap files = CleanTree();
+  files["DESIGN.md"] = R"(
+   | Lock | Guards | LockRank | Rank |
+   |---|---|---|---|
+   | `AudioServer::mu_` | everything | `kServerState` | 0 |
+   | `EgressQueue::mu_` | outbound frames | `kEgressQueue` | 3 |
+   | `g_log_mu` | stderr | `kLogging` | 7 |
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "lock table says kEgressQueue = 3, lock_rank.h says 2"));
+}
+
+TEST(AudlintTest, LockRankUnknownDocRowFlagged) {
+  FileMap files = CleanTree();
+  files["DESIGN.md"] = R"(
+   | Lock | Guards | LockRank | Rank |
+   |---|---|---|---|
+   | `AudioServer::mu_` | everything | `kServerState` | 0 |
+   | `EgressQueue::mu_` | outbound frames | `kEgressQueue` | 2 |
+   | `Ghost::mu_` | nothing | `kGhost` | 4 |
+   | `g_log_mu` | stderr | `kLogging` | 7 |
+)";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "lock table lists unknown rank kGhost = 4"));
+}
+
+TEST(AudlintTest, LockRankTableMissingEntirelyFlagged) {
+  FileMap files = CleanTree();
+  files["DESIGN.md"] = "No table here at all.\n";
+  EXPECT_TRUE(HasProblem(LintTree(files), "lock table"));
+}
+
+TEST(AudlintTest, UnrankedNeedsNoDocRow) {
+  // kUnranked is the opt-out sentinel, not a lock; the clean-tree table has
+  // no row for it and that must not be a problem.
+  EXPECT_TRUE(NoProblems(LintTree(CleanTree())));
+}
+
+// --- v2: error-code drift (CheckErrorCodes) -------------------------------
+
+TEST(AudlintTest, ErrorCodeMissingNameCaseFlagged) {
+  FileMap files = CleanTree();
+  files["status.h"] = R"(
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kBadResource = 1,
+  kTimeout = 2,
+  kBadValue = 3,
+};
+)";
+  std::vector<std::string> problems = LintTree(files);
+  EXPECT_TRUE(HasProblem(problems, "ErrorCodeName has no case for kBadValue"));
+  // The new code is also undocumented — both layers complain.
+  EXPECT_TRUE(HasProblem(problems, "error code BadValue(3) is not documented"));
+}
+
+TEST(AudlintTest, ErrorCodeNameTextMismatchFlagged) {
+  FileMap files = CleanTree();
+  files["status.cc"] = R"(
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kBadResource:
+      return "ResourceBad";
+    case ErrorCode::kTimeout:
+      return "Timeout";
+  }
+  return "Unknown";
+}
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "ErrorCodeName maps kBadResource to \"ResourceBad\""));
+}
+
+TEST(AudlintTest, ErrorCodeStaleNameCaseFlagged) {
+  FileMap files = CleanTree();
+  // Enum entry removed; its switch case lingers. (In the real tree
+  // -Werror=switch would also catch this; audlint catches it without a
+  // compiler.)
+  files["status.h"] = R"(
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kBadResource = 1,
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "ErrorCodeName has a case for unknown code kTimeout"));
+}
+
+TEST(AudlintTest, ErrorCodeDocValueMismatchFlagged) {
+  FileMap files = CleanTree();
+  size_t pos = files["PROTOCOL.md"].find("`Timeout(2)`");
+  ASSERT_NE(pos, std::string::npos);
+  files["PROTOCOL.md"].replace(pos, 12, "`Timeout(9)`");
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "error codes say Timeout = 9, status.h says 2"));
+}
+
+TEST(AudlintTest, ErrorCodeUnknownDocCodeFlagged) {
+  FileMap files = CleanTree();
+  size_t pos = files["PROTOCOL.md"].find("`Timeout(2)`");
+  ASSERT_NE(pos, std::string::npos);
+  files["PROTOCOL.md"].insert(pos, "`Ghost(9)`, ");
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "error codes list unknown code Ghost(9)"));
+}
+
+TEST(AudlintTest, OpcodeNotationOutsideErrorParagraphIgnored) {
+  // `CreateLoud(1)` opcode notation elsewhere in the doc must not be read
+  // as an error code.
+  FileMap files = CleanTree();
+  files["PROTOCOL.md"] += "\nSee also the `NoOp(0)` opcode notation.\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+// --- v2: metrics coverage (CheckMetricsCoverage) --------------------------
+
+TEST(AudlintTest, WriteOnlyMetricFlagged) {
+  FileMap files = CleanTree();
+  files["metrics.h"] = R"(
+struct ServerMetrics {
+  static constexpr size_t kOpcodes = 4;
+  obs::Counter requests[kOpcodes];
+  obs::Counter requests_total;
+  obs::Counter ghost_counter;
+  obs::LatencyHistogram dispatch_us;
+  uint64_t uptime_ms() const { return 0; }
+};
+)";
+  EXPECT_TRUE(HasProblem(LintTree(files),
+                         "ServerMetrics.ghost_counter is never rendered"));
+}
+
+TEST(AudlintTest, ArrayMetricFieldRequiresRenderingToo) {
+  FileMap files = CleanTree();
+  // Drop the per-opcode rendering: the array field must be flagged even
+  // though the field declaration carries an array extent.
+  files["server_state.cc"] = "reply.requests_total = metrics_.requests_total.value();\n";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "ServerMetrics.requests is never rendered"));
+}
+
+TEST(AudlintTest, MetricRenderedByFlightRecorderCounts) {
+  FileMap files = CleanTree();
+  files["metrics.h"] = R"(
+struct ServerMetrics {
+  static constexpr size_t kOpcodes = 4;
+  obs::Counter requests[kOpcodes];
+  obs::Counter requests_total;
+  obs::Counter recorded_only;
+  obs::LatencyHistogram dispatch_us;
+};
+)";
+  files["flight_recorder.cc"] = "frame.recorded_only = metrics.recorded_only.value();\n";
+  EXPECT_TRUE(NoProblems(LintTree(files)));
+}
+
+// --- v2: CLI flag documentation (CheckCliDocCoverage) ---------------------
+
+TEST(AudlintTest, UndocumentedCliFlagFlagged) {
+  FileMap files = CleanTree();
+  files["audiond.cc"] += "\n    if (arg == \"--ghost-mode\") { ghost = true; }\n";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "audiond flag --ghost-mode is undocumented"));
+}
+
+TEST(AudlintTest, FlagPrefixOfLongerFlagDoesNotCount) {
+  FileMap files = CleanTree();
+  // README documents only --json-out; the audioctl flag --json must still
+  // be flagged (prefix matches don't count).
+  files["README.md"] = R"(
+Run `audiond --port 7800 --verbose`. Benchmarks accept `--json-out=PATH`.
+)";
+  EXPECT_TRUE(
+      HasProblem(LintTree(files), "audioctl flag --json is undocumented"));
+}
+
+TEST(AudlintTest, BareDashDashSeparatorIgnored) {
+  FileMap files = CleanTree();
+  files["audioctl.cc"] += "\n    if (arg == \"--\") { rest_are_positional = true; }\n";
   EXPECT_TRUE(NoProblems(LintTree(files)));
 }
 

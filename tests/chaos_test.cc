@@ -287,7 +287,7 @@ TEST(ChaosTest, SurvivesServerSideFaultInjection) {
         conn->set_rpc_deadline_ms(2000);  // injected resets must not hang us
         ResourceId loud = conn->CreateLoud(kNoResource, {});
         conn->CreateDevice(loud, DeviceClass::kOutput, {});
-        conn->Sync();  // ok or kTimeout/kConnection — never a hang
+        (void)conn->Sync();  // ok or kTimeout/kConnection — never a hang
         conn->Close();
       }
     });

@@ -1,0 +1,201 @@
+// Standalone fuzz driver: a main() that exercises a LLVMFuzzerTestOneInput
+// harness without libFuzzer, so the fuzz targets run in every lane — the
+// container toolchain is GCC, which has no -fsanitize=fuzzer. Two modes,
+// both deterministic:
+//
+//   1. Corpus replay: every file in the corpus dirs/files on the command
+//      line is fed to the harness once. This is the regression half — a
+//      crasher checked into the corpus keeps failing until fixed.
+//   2. Mutation smoke: -runs=N derives N inputs by mutating corpus entries
+//      with a fixed-seed SplitMix64 PRNG (override with -seed=S). Not a
+//      coverage-guided search, but it sweeps truncations, byte flips and
+//      splices over every seed on every CI run.
+//
+// Real coverage-guided fuzzing uses the same harness sources linked against
+// libFuzzer via -DAUD_FUZZ=ON with a clang toolchain (see
+// tests/fuzz/CMakeLists.txt).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// SplitMix64: tiny, seedable, and good enough to scatter mutations.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform-ish in [0, n); n must be nonzero.
+  size_t Below(size_t n) { return static_cast<size_t>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+bool ReadFileBytes(const std::filesystem::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+// One derived input: pick a seed, then stack 1-4 mutations on it.
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& seeds,
+                            SplitMix64* rng, size_t max_len) {
+  std::vector<uint8_t> input;
+  if (!seeds.empty()) {
+    input = seeds[rng->Below(seeds.size())];
+  }
+  size_t rounds = 1 + rng->Below(4);
+  for (size_t i = 0; i < rounds; ++i) {
+    switch (rng->Below(6)) {
+      case 0:  // flip a byte
+        if (!input.empty()) {
+          input[rng->Below(input.size())] ^= static_cast<uint8_t>(rng->Next());
+        }
+        break;
+      case 1:  // truncate
+        if (!input.empty()) {
+          input.resize(rng->Below(input.size() + 1));
+        }
+        break;
+      case 2: {  // insert random bytes
+        size_t n = 1 + rng->Below(8);
+        size_t at = input.empty() ? 0 : rng->Below(input.size() + 1);
+        std::vector<uint8_t> chunk(n);
+        for (uint8_t& b : chunk) {
+          b = static_cast<uint8_t>(rng->Next());
+        }
+        input.insert(input.begin() + static_cast<ptrdiff_t>(at), chunk.begin(),
+                     chunk.end());
+        break;
+      }
+      case 3: {  // overwrite with an interesting value
+        if (input.size() >= 4) {
+          static constexpr uint32_t kInteresting[] = {
+              0, 1, 0x7F, 0x80, 0xFF, 0x7FFF, 0x8000, 0xFFFF,
+              0x7FFFFFFF, 0x80000000u, 0xFFFFFFFFu, 16u << 20, (16u << 20) + 1};
+          uint32_t v = kInteresting[rng->Below(std::size(kInteresting))];
+          size_t at = rng->Below(input.size() - 3);
+          std::memcpy(input.data() + at, &v, 4);
+        }
+        break;
+      }
+      case 4: {  // splice two seeds
+        if (!seeds.empty()) {
+          const std::vector<uint8_t>& other = seeds[rng->Below(seeds.size())];
+          size_t keep = input.empty() ? 0 : rng->Below(input.size() + 1);
+          input.resize(keep);
+          size_t from = other.empty() ? 0 : rng->Below(other.size() + 1);
+          input.insert(input.end(), other.begin() + static_cast<ptrdiff_t>(from),
+                       other.end());
+        }
+        break;
+      }
+      case 5:  // append random tail
+        for (size_t n = 1 + rng->Below(16); n > 0; --n) {
+          input.push_back(static_cast<uint8_t>(rng->Next()));
+        }
+        break;
+    }
+  }
+  if (input.size() > max_len) {
+    input.resize(max_len);
+  }
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  size_t max_len = 4096;
+  std::vector<std::filesystem::path> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::stoull(arg.substr(9));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: %s [-runs=N] [-seed=S] [-max_len=N] [corpus...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  // Phase 1: replay every corpus entry.
+  std::vector<std::vector<uint8_t>> seeds;
+  for (const std::filesystem::path& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          entries.push_back(entry.path());
+        }
+      }
+      // Directory iteration order is filesystem-dependent; sort for
+      // reproducible replay and mutation seeding.
+      std::sort(entries.begin(), entries.end());
+      for (const auto& entry : entries) {
+        std::vector<uint8_t> bytes;
+        if (!ReadFileBytes(entry, &bytes)) {
+          std::fprintf(stderr, "fuzz driver: cannot read %s\n", entry.c_str());
+          return 2;
+        }
+        seeds.push_back(std::move(bytes));
+      }
+    } else {
+      std::vector<uint8_t> bytes;
+      if (!ReadFileBytes(path, &bytes)) {
+        std::fprintf(stderr, "fuzz driver: cannot read %s\n", path.c_str());
+        return 2;
+      }
+      seeds.push_back(std::move(bytes));
+    }
+  }
+  for (const std::vector<uint8_t>& input : seeds) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("fuzz driver: replayed %zu corpus entr%s\n", seeds.size(),
+              seeds.size() == 1 ? "y" : "ies");
+
+  // Phase 2: deterministic mutation smoke.
+  if (runs > 0) {
+    SplitMix64 rng(seed);
+    for (uint64_t i = 0; i < runs; ++i) {
+      std::vector<uint8_t> input = Mutate(seeds, &rng, max_len);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::printf("fuzz driver: %llu mutated runs ok (seed=%llu)\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

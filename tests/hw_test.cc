@@ -178,8 +178,8 @@ TEST_F(ExchangeTest, BusyLineGetsBusyTone) {
   ExchangeLine* a = exchange_.AddLine("100");
   ExchangeLine* b = exchange_.AddLine("200");
   ExchangeLine* c = exchange_.AddLine("300");
-  a->Dial("200");
-  b->Answer();
+  ASSERT_TRUE(a->Dial("200").ok());
+  ASSERT_TRUE(b->Answer().ok());
 
   CallState state = CallState::kIdle;
   c->SetEventSink([&](const ExchangeLine::Event& e) {
@@ -195,8 +195,8 @@ TEST_F(ExchangeTest, BusyLineGetsBusyTone) {
 TEST_F(ExchangeTest, DialWhileOffHookFails) {
   ExchangeLine* a = exchange_.AddLine("100");
   ExchangeLine* b = exchange_.AddLine("200");
-  a->Dial("200");
-  b->Answer();
+  ASSERT_TRUE(a->Dial("200").ok());
+  ASSERT_TRUE(b->Answer().ok());
   EXPECT_FALSE(a->Dial("300").ok());
 }
 
@@ -208,8 +208,8 @@ TEST_F(ExchangeTest, AnswerWithoutRingFails) {
 TEST_F(ExchangeTest, HangupNotifiesPeer) {
   ExchangeLine* a = exchange_.AddLine("100");
   ExchangeLine* b = exchange_.AddLine("200");
-  a->Dial("200");
-  b->Answer();
+  ASSERT_TRUE(a->Dial("200").ok());
+  ASSERT_TRUE(b->Answer().ok());
 
   CallState b_state = CallState::kIdle;
   b->SetEventSink([&](const ExchangeLine::Event& e) {
@@ -226,7 +226,7 @@ TEST_F(ExchangeTest, HangupNotifiesPeer) {
 TEST_F(ExchangeTest, AbandonedCallStopsRinging) {
   ExchangeLine* a = exchange_.AddLine("100");
   ExchangeLine* b = exchange_.AddLine("200");
-  a->Dial("200");
+  ASSERT_TRUE(a->Dial("200").ok());
   a->HangUp();
   EXPECT_EQ(b->state(), LineState::kOnHook);
 }
@@ -240,7 +240,7 @@ TEST_F(ExchangeTest, RingCadenceRepeats) {
       ++rings;
     }
   });
-  a->Dial("200");
+  ASSERT_TRUE(a->Dial("200").ok());
   Advance(13000);  // 13 s: initial ring + two cadence repeats (6 s period)
   EXPECT_EQ(rings, 3);
 }
@@ -248,8 +248,8 @@ TEST_F(ExchangeTest, RingCadenceRepeats) {
 TEST_F(ExchangeTest, DtmfTravelsInBandAndOutOfBand) {
   ExchangeLine* a = exchange_.AddLine("100");
   ExchangeLine* b = exchange_.AddLine("200");
-  a->Dial("200");
-  b->Answer();
+  ASSERT_TRUE(a->Dial("200").ok());
+  ASSERT_TRUE(b->Answer().ok());
 
   std::string digits;
   b->SetEventSink([&](const ExchangeLine::Event& e) {

@@ -46,7 +46,7 @@ TEST_F(SpeechTest, SetValuesChangesSpeechDuration) {
                             RecordCommand(recorder, sound, kTerminateOnStop, 15000, 3),
                             CoEndCommand()});
     client_->StartQueue(loud);
-    client_->Sync();
+    EXPECT_TRUE(client_->Sync().ok());
     // Wait for speech to finish, then stop the recorder.
     EXPECT_TRUE(toolkit_->WaitCommandDone(2, 30000));
     client_->Immediate(loud, StopCommand(recorder));

@@ -48,7 +48,7 @@ TEST(StressTest, ConcurrentClientsUnderRealtimeEngine) {
           auto chain = toolkit.BuildPlaybackChain();
           client->Enqueue(chain.loud, {PlayCommand(chain.player, sound, round)});
           client->StartQueue(chain.loud);
-          client->Sync();
+          (void)client->Sync();
           client->DestroyLoud(chain.loud);
           client->DestroySound(sound);
           break;
@@ -62,12 +62,12 @@ TEST(StressTest, ConcurrentClientsUnderRealtimeEngine) {
           break;
         }
         case 2: {  // queries and properties
-          client->QueryDeviceLoud();
-          client->QueryActiveStack();
+          (void)client->QueryDeviceLoud();
+          (void)client->QueryActiveStack();
           ResourceId loud = client->CreateLoud(kNoResource, {});
           std::vector<uint8_t> value = {1, 2, 3};
           client->ChangeProperty(loud, "P", "T", value);
-          client->GetProperty(loud, "P");
+          (void)client->GetProperty(loud, "P");
           client->DestroyLoud(loud);
           break;
         }
@@ -75,7 +75,7 @@ TEST(StressTest, ConcurrentClientsUnderRealtimeEngine) {
           client->DestroyLoud(0xDEADBEEF);
           client->StartQueue(0x12345);
           AsyncError error;
-          client->Sync();
+          (void)client->Sync();
           while (client->NextError(&error)) {
           }
           break;

@@ -137,7 +137,10 @@ int CmdRecord(AudioConnection& audio, int seconds, const std::string& path) {
                 {RecordCommand(chain.recorder, sound, kTerminateOnStop,
                                static_cast<uint32_t>(seconds) * 1000, 1)});
   audio.StartQueue(chain.loud);
-  audio.Sync();
+  if (!audio.Sync().ok()) {
+    std::fprintf(stderr, "server connection lost\n");
+    return 1;
+  }
   std::printf("recording %d s...\n", seconds);
   if (!toolkit.WaitCommandDone(1, seconds * 1000 + 10000)) {
     std::fprintf(stderr, "recording did not finish\n");
@@ -163,7 +166,10 @@ int CmdDial(AudioConnection& audio, const std::string& number) {
   audio.MapLoud(loud);
   audio.Enqueue(loud, {DialCommand(telephone, number, 1)});
   audio.StartQueue(loud);
-  audio.Sync();
+  if (!audio.Sync().ok()) {
+    std::fprintf(stderr, "server connection lost\n");
+    return 1;
+  }
   std::printf("dialing %s...\n", number.c_str());
   auto done = toolkit.WaitFor(
       [](const EventMessage& e) {
@@ -182,7 +188,8 @@ int CmdDial(AudioConnection& audio, const std::string& number) {
   CallState state = CallProgressArgs::Decode(done->args).state;
   std::printf("dial finished: %s\n", std::string(CallStateName(state)).c_str());
   audio.Immediate(loud, HangUpCommand(telephone));
-  audio.Sync();
+  // Best-effort flush of the hang-up; the exit code reflects the call.
+  (void)audio.Sync();
   return state == CallState::kConnected ? 0 : 1;
 }
 

@@ -39,6 +39,17 @@ int main(int argc, char** argv) {
       {"dispatcher.cc", "src/server/dispatcher.cc"},
       {"PROTOCOL.md", "docs/PROTOCOL.md"},
       {"schema.lock", "docs/schema.lock"},
+      {"lock_rank.h", "src/common/lock_rank.h"},
+      {"DESIGN.md", "DESIGN.md"},
+      {"status.h", "src/common/status.h"},
+      {"status.cc", "src/common/status.cc"},
+      {"metrics.h", "src/server/metrics.h"},
+      {"server_state.cc", "src/server/server_state.cc"},
+      {"stats_render.cc", "src/server/stats_render.cc"},
+      {"flight_recorder.cc", "src/server/flight_recorder.cc"},
+      {"audiond.cc", "tools/audiond.cc"},
+      {"audioctl.cc", "tools/audioctl.cc"},
+      {"README.md", "README.md"},
   };
 
   std::map<std::string, std::string> files;

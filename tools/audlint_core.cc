@@ -117,6 +117,49 @@ OpcodeEnum ParseOpcodeEnum(const std::string& protocol_h,
   return result;
 }
 
+std::vector<EnumEntry> ParseValuedEnum(const std::string& header,
+                                       const std::string& enum_name,
+                                       std::vector<std::string>* problems) {
+  std::vector<EnumEntry> entries;
+  size_t start = header.find("enum class " + enum_name);
+  if (start == std::string::npos) {
+    problems->push_back("`enum class " + enum_name + "` not found");
+    return entries;
+  }
+  size_t open = header.find('{', start);
+  size_t close = header.find("};", open);
+  if (open == std::string::npos || close == std::string::npos) {
+    problems->push_back(enum_name + " enum body not found");
+    return entries;
+  }
+  for (const std::string& raw : SplitLines(header.substr(open + 1, close - open - 1))) {
+    std::string line = StripLine(raw);
+    if (line.empty() || line[0] != 'k') {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // A continuation of the previous enumerator's comment starting with
+      // 'k' would be stripped above; a real enumerator without an explicit
+      // value is drift waiting to happen in a wire/doc-visible enum.
+      if (line.back() == ',') {
+        problems->push_back(enum_name + ": enumerator without explicit value: " + line);
+      }
+      continue;
+    }
+    std::string name = StripLine(line.substr(0, eq));
+    int value = 0;
+    try {
+      value = std::stoi(StripLine(line.substr(eq + 1)));
+    } catch (...) {
+      problems->push_back(enum_name + ": unparseable value in: " + line);
+      continue;
+    }
+    entries.push_back({name.substr(1), value});
+  }
+  return entries;
+}
+
 std::vector<std::string> ParseStructFields(const std::string& header,
                                            const std::string& name) {
   std::vector<std::string> fields;
@@ -491,6 +534,373 @@ void CheckStatsDocCoverage(const std::string& lock, const std::string& protocol_
   }
 }
 
+// Check 9: the LockRank enum (src/common/lock_rank.h) and the DESIGN.md
+// lock table must agree — same enumerators, same numeric ranks, no extras
+// on either side. The table is the row set under the header
+// `| Lock | Guards | LockRank | Rank |`; the LockRank cell carries the
+// backticked enumerator, the Rank cell its numeric value. Together with the
+// runtime checker this closes the loop: code ranks are executed, and the
+// doc cannot drift from the code.
+void CheckLockRanks(const std::string& lock_rank_h, const std::string& design_md,
+                    std::vector<std::string>* problems) {
+  std::vector<std::string> enum_problems;
+  std::vector<EnumEntry> entries =
+      ParseValuedEnum(lock_rank_h, "LockRank", &enum_problems);
+  for (const std::string& p : enum_problems) {
+    problems->push_back("lock_rank.h: " + p);
+  }
+
+  // Parse the doc table: header row -> following `|` rows.
+  std::map<std::string, int> rows;  // enumerator (with 'k') -> rank
+  bool in_table = false;
+  for (const std::string& raw : SplitLines(design_md)) {
+    std::string line = StripLine(raw);
+    if (line.empty() || line[0] != '|') {
+      if (in_table) {
+        break;  // first non-row line ends the table
+      }
+      continue;
+    }
+    std::vector<std::string> cells;
+    size_t pos = 1;
+    while (pos < line.size()) {
+      size_t next = line.find('|', pos);
+      if (next == std::string::npos) {
+        break;
+      }
+      cells.push_back(StripLine(line.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+    if (!in_table) {
+      in_table = cells.size() == 4 && cells[2] == "LockRank" && cells[3] == "Rank";
+      continue;
+    }
+    if (cells.size() != 4 || cells[2].find('-') == 0) {
+      continue;  // separator row
+    }
+    // Strip backticks from the LockRank cell.
+    std::string name = cells[2];
+    name.erase(std::remove(name.begin(), name.end(), '`'), name.end());
+    if (name.empty() || name[0] != 'k') {
+      problems->push_back("DESIGN.md: lock table LockRank cell is not a `k...` "
+                          "enumerator: " + cells[2]);
+      continue;
+    }
+    int rank = -1;
+    try {
+      rank = std::stoi(cells[3]);
+    } catch (...) {
+      problems->push_back("DESIGN.md: lock table rank for " + name +
+                          " is not a number: " + cells[3]);
+      continue;
+    }
+    if (rows.count(name) != 0) {
+      problems->push_back("DESIGN.md: lock table lists " + name + " twice");
+      continue;
+    }
+    rows[name] = rank;
+  }
+  if (rows.empty()) {
+    problems->push_back(
+        "DESIGN.md: lock table (header `| Lock | Guards | LockRank | Rank |`) "
+        "not found or empty");
+    return;
+  }
+
+  for (const EnumEntry& e : entries) {
+    if (e.name == "Unranked") {
+      continue;  // the opt-out sentinel is not a real lock
+    }
+    auto it = rows.find("k" + e.name);
+    if (it == rows.end()) {
+      problems->push_back("DESIGN.md: lock table has no row for k" + e.name +
+                          " (rank " + std::to_string(e.value) + ")");
+    } else if (it->second != e.value) {
+      problems->push_back("DESIGN.md: lock table says k" + e.name + " = " +
+                          std::to_string(it->second) + ", lock_rank.h says " +
+                          std::to_string(e.value));
+    }
+  }
+  for (const auto& [name, rank] : rows) {
+    bool known = std::any_of(entries.begin(), entries.end(), [&](const EnumEntry& e) {
+      return "k" + e.name == name;
+    });
+    if (!known) {
+      problems->push_back("DESIGN.md: lock table lists unknown rank " + name +
+                          " = " + std::to_string(rank));
+    }
+  }
+}
+
+// Check 10: error-code drift. The ErrorCode enum (status.h), the
+// ErrorCodeName switch (status.cc) and the PROTOCOL.md "Error codes"
+// paragraph (`Name(N)` list) must describe the same code set: every
+// enumerator has a name-table case returning exactly its enumerator name,
+// and every code except Ok is documented with its wire value.
+void CheckErrorCodes(const std::string& status_h, const std::string& status_cc,
+                     const std::string& protocol_md,
+                     std::vector<std::string>* problems) {
+  std::vector<std::string> enum_problems;
+  std::vector<EnumEntry> entries =
+      ParseValuedEnum(status_h, "ErrorCode", &enum_problems);
+  for (const std::string& p : enum_problems) {
+    problems->push_back("status.h: " + p);
+  }
+
+  // Parse the ErrorCodeName switch: `case ErrorCode::kX:` ... `return "Y";`.
+  std::map<std::string, std::string> cases;  // kX -> "Y"
+  size_t fn = status_cc.find("ErrorCodeName");
+  if (fn == std::string::npos) {
+    problems->push_back("status.cc: ErrorCodeName not found");
+  } else {
+    std::string pending;
+    for (const std::string& raw : SplitLines(status_cc.substr(fn))) {
+      std::string line = StripLine(raw);
+      size_t c = line.find("case ErrorCode::");
+      if (c != std::string::npos) {
+        size_t begin = c + 16;
+        size_t end = begin;
+        while (end < line.size() && IsIdentChar(line[end])) {
+          ++end;
+        }
+        pending = line.substr(begin, end - begin);
+        line = line.substr(end);  // `case X: return "Y";` on one line
+      }
+      size_t r = line.find("return \"");
+      if (r != std::string::npos && !pending.empty()) {
+        size_t q2 = line.find('"', r + 8);
+        if (q2 != std::string::npos) {
+          cases[pending] = line.substr(r + 8, q2 - r - 8);
+        }
+        pending.clear();
+      }
+      if (line.find('}') != std::string::npos && line.find('{') == std::string::npos &&
+          !cases.empty() && pending.empty() && line == "}") {
+        break;  // end of function body
+      }
+    }
+  }
+  for (const EnumEntry& e : entries) {
+    auto it = cases.find("k" + e.name);
+    if (it == cases.end()) {
+      problems->push_back("status.cc: ErrorCodeName has no case for k" + e.name);
+    } else if (it->second != e.name) {
+      problems->push_back("status.cc: ErrorCodeName maps k" + e.name + " to \"" +
+                          it->second + "\"");
+    }
+  }
+  for (const auto& [name, text] : cases) {
+    bool known = std::any_of(entries.begin(), entries.end(), [&](const EnumEntry& e) {
+      return "k" + e.name == name;
+    });
+    if (!known) {
+      problems->push_back("status.cc: ErrorCodeName has a case for unknown code " +
+                          name);
+    }
+  }
+
+  // The PROTOCOL.md error-code paragraph: backticked `Name(N)` pairs from
+  // the "Error codes" marker to the end of the paragraph. (Opcodes use the
+  // same notation elsewhere in the doc, hence the scoping.)
+  size_t marker = protocol_md.find("Error codes");
+  if (marker == std::string::npos) {
+    problems->push_back("PROTOCOL.md: \"Error codes\" paragraph not found");
+    return;
+  }
+  size_t para_end = protocol_md.find("\n\n", marker);
+  std::string para = protocol_md.substr(
+      marker, para_end == std::string::npos ? std::string::npos : para_end - marker);
+  std::map<std::string, int> documented;
+  for (size_t pos = 0; (pos = para.find('`', pos)) != std::string::npos;) {
+    size_t close = para.find('`', pos + 1);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string span = para.substr(pos + 1, close - pos - 1);
+    size_t open_paren = span.find('(');
+    size_t close_paren = span.find(')');
+    if (open_paren != std::string::npos && close_paren == span.size() - 1 &&
+        open_paren > 0) {
+      std::string name = span.substr(0, open_paren);
+      std::string digits = span.substr(open_paren + 1, close_paren - open_paren - 1);
+      if (!digits.empty() &&
+          digits.find_first_not_of("0123456789") == std::string::npos) {
+        documented[name] = std::stoi(digits);
+      }
+    }
+    pos = close + 1;
+  }
+  for (const EnumEntry& e : entries) {
+    if (e.name == "Ok") {
+      continue;  // success is not an error code the doc lists
+    }
+    auto it = documented.find(e.name);
+    if (it == documented.end()) {
+      problems->push_back("PROTOCOL.md: error code " + e.name + "(" +
+                          std::to_string(e.value) + ") is not documented");
+    } else if (it->second != e.value) {
+      problems->push_back("PROTOCOL.md: error codes say " + e.name + " = " +
+                          std::to_string(it->second) + ", status.h says " +
+                          std::to_string(e.value));
+    }
+  }
+  for (const auto& [name, value] : documented) {
+    bool known = std::any_of(entries.begin(), entries.end(), [&](const EnumEntry& e) {
+      return e.name == name;
+    });
+    if (!known) {
+      problems->push_back("PROTOCOL.md: error codes list unknown code " + name +
+                          "(" + std::to_string(value) + ")");
+    }
+  }
+}
+
+// Field names of `struct ServerMetrics`, including array fields
+// (`obs::Counter requests[kOpcodes];`), which ParseStructFields skips.
+std::vector<std::string> ParseMetricsFields(const std::string& metrics_h,
+                                            std::vector<std::string>* problems) {
+  std::vector<std::string> fields;
+  size_t start = metrics_h.find("struct ServerMetrics {");
+  if (start == std::string::npos) {
+    problems->push_back("metrics.h: struct ServerMetrics not found");
+    return fields;
+  }
+  size_t open = metrics_h.find('{', start);
+  int depth = 1;
+  size_t end = open + 1;
+  while (end < metrics_h.size() && depth > 0) {
+    if (metrics_h[end] == '{') {
+      ++depth;
+    } else if (metrics_h[end] == '}') {
+      --depth;
+    }
+    ++end;
+  }
+  int line_depth = 1;
+  for (const std::string& raw :
+       SplitLines(metrics_h.substr(open + 1, end - open - 2))) {
+    std::string line = StripLine(raw);
+    int depth_before = line_depth;
+    for (char c : line) {
+      if (c == '{') {
+        ++line_depth;
+      } else if (c == '}') {
+        --line_depth;
+      }
+    }
+    if (depth_before != 1 || line.empty() || line.back() != ';' ||
+        line.rfind("static ", 0) == 0 || line.rfind("using ", 0) == 0) {
+      continue;
+    }
+    // `Type name...;` — the field name is the identifier after the first
+    // whitespace run, up to `[`, `{`, `=` or `;`. Method declarations and
+    // definitions have `(` before any of those; skip them.
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      continue;
+    }
+    // Template types contain spaces inside <>; skip past balanced <>.
+    int angle = 0;
+    size_t i = 0;
+    for (; i < line.size(); ++i) {
+      if (line[i] == '<') {
+        ++angle;
+      } else if (line[i] == '>') {
+        --angle;
+      } else if (line[i] == ' ' && angle == 0) {
+        break;
+      }
+    }
+    size_t name_begin = line.find_first_not_of(' ', i);
+    if (name_begin == std::string::npos) {
+      continue;
+    }
+    size_t name_end = name_begin;
+    while (name_end < line.size() && IsIdentChar(line[name_end])) {
+      ++name_end;
+    }
+    if (name_end == name_begin || (name_end < line.size() && line[name_end] == '(')) {
+      continue;
+    }
+    fields.push_back(line.substr(name_begin, name_end - name_begin));
+  }
+  return fields;
+}
+
+// Check 11: no write-only metrics. Every ServerMetrics field must be
+// referenced by at least one of the paths that surface it to a client —
+// the ServerStatsReply builder (server_state.cc), the Prometheus text
+// renderer (stats_render.cc), the flight recorder, or a dispatch reply
+// (dispatcher.cc, e.g. the trace-id key of GetServerTrace) — otherwise the
+// counter is bumped forever and shown nowhere.
+void CheckMetricsCoverage(const std::string& metrics_h,
+                          const std::string& render_sources,
+                          std::vector<std::string>* problems) {
+  for (const std::string& field : ParseMetricsFields(metrics_h, problems)) {
+    if (field == "start_time") {
+      continue;  // surfaced via the uptime_ms() accessor, not by name
+    }
+    if (!ContainsToken(render_sources, field)) {
+      problems->push_back("metrics.h: ServerMetrics." + field +
+                          " is never rendered (server stats, Prometheus text, "
+                          "or flight recorder)");
+    }
+  }
+}
+
+// `--flag` string literals in a tool's source, deduplicated. The bare `--`
+// separator and template fragments are skipped.
+std::vector<std::string> ExtractCliFlags(const std::string& tool_cc) {
+  std::vector<std::string> flags;
+  for (size_t pos = 0; (pos = tool_cc.find("\"--", pos)) != std::string::npos;
+       ++pos) {
+    size_t close = tool_cc.find('"', pos + 1);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string flag = tool_cc.substr(pos + 1, close - pos - 1);
+    std::string body = flag.substr(2);
+    if (body.empty() ||
+        body.find_first_not_of("abcdefghijklmnopqrstuvwxyz0123456789-") !=
+            std::string::npos) {
+      continue;
+    }
+    if (std::find(flags.begin(), flags.end(), flag) == flags.end()) {
+      flags.push_back(flag);
+    }
+  }
+  return flags;
+}
+
+// True if `--flag` appears in the doc not embedded in a longer flag.
+bool ContainsFlag(const std::string& doc, const std::string& flag) {
+  for (size_t pos = 0; (pos = doc.find(flag, pos)) != std::string::npos;
+       pos += flag.size()) {
+    bool left_ok = pos == 0 || doc[pos - 1] != '-';
+    size_t after = pos + flag.size();
+    bool right_ok = after >= doc.size() ||
+                    (!IsIdentChar(doc[after]) && doc[after] != '-');
+    if (left_ok && right_ok) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Check 12: CLI flag documentation. Every `--flag` literal in audiond.cc
+// and audioctl.cc must appear in README.md — a flag shipped without a line
+// of documentation fails the lint the same commit.
+void CheckCliDocCoverage(const std::string& tool, const std::string& tool_cc,
+                         const std::string& readme,
+                         std::vector<std::string>* problems) {
+  for (const std::string& flag : ExtractCliFlags(tool_cc)) {
+    if (!ContainsFlag(readme, flag)) {
+      problems->push_back("README.md: " + tool + " flag " + flag +
+                          " is undocumented");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> LintTree(const std::map<std::string, std::string>& files) {
@@ -515,6 +925,19 @@ std::vector<std::string> LintTree(const std::map<std::string, std::string>& file
   CheckSchemaLock(*Find(files, "schema.lock"), *Find(files, "messages.h"), &problems);
   CheckStatsDocCoverage(*Find(files, "schema.lock"), *Find(files, "PROTOCOL.md"),
                         &problems);
+  CheckLockRanks(*Find(files, "lock_rank.h"), *Find(files, "DESIGN.md"), &problems);
+  CheckErrorCodes(*Find(files, "status.h"), *Find(files, "status.cc"),
+                  *Find(files, "PROTOCOL.md"), &problems);
+  CheckMetricsCoverage(*Find(files, "metrics.h"),
+                       *Find(files, "server_state.cc") +
+                           *Find(files, "stats_render.cc") +
+                           *Find(files, "flight_recorder.cc") +
+                           *Find(files, "dispatcher.cc"),
+                       &problems);
+  CheckCliDocCoverage("audiond", *Find(files, "audiond.cc"),
+                      *Find(files, "README.md"), &problems);
+  CheckCliDocCoverage("audioctl", *Find(files, "audioctl.cc"),
+                      *Find(files, "README.md"), &problems);
   return problems;
 }
 

@@ -1,8 +1,13 @@
-// audlint: the protocol drift checker. Cross-references the five places an
-// opcode must be wired — the Opcode enum, the kOpcodeNames table, the
-// dispatcher switch, the Alib veneer, and the PROTOCOL.md opcode index —
-// and enforces the append-only reply rule against docs/schema.lock. Runs as
-// a ctest (tools/audlint.cc) so drift fails CI the same commit it happens.
+// audlint: the whole-program invariant linter. Cross-references the five
+// places an opcode must be wired — the Opcode enum, the kOpcodeNames table,
+// the dispatcher switch, the Alib veneer, and the PROTOCOL.md opcode index —
+// and enforces the append-only reply rule against docs/schema.lock. v2 adds
+// whole-program drift checks beyond the protocol: lock ranks (LockRank enum
+// vs the DESIGN.md lock table), error codes (ErrorCode enum vs the name
+// switch vs PROTOCOL.md), metrics coverage (every ServerMetrics field must
+// be rendered somewhere), and CLI flag documentation (every audiond/audioctl
+// --flag must appear in README.md). Runs as a ctest (tools/audlint.cc) so
+// drift fails CI the same commit it happens.
 //
 // The checker is a pure function over file contents so the unit test can
 // lint in-memory fixture trees (tests/audlint_test.cc) without touching
@@ -21,11 +26,16 @@ namespace audlint {
 // Canonical file keys the linter expects in the input map (basenames):
 //   protocol.h protocol.cc messages.h messages.cc alib.h alib.cc
 //   requests.cc dispatcher.cc PROTOCOL.md schema.lock
+//   lock_rank.h DESIGN.md status.h status.cc metrics.h server_state.cc
+//   stats_render.cc flight_recorder.cc audiond.cc audioctl.cc README.md
 // A missing key is itself reported as a problem.
 inline constexpr const char* kRequiredFiles[] = {
-    "protocol.h",  "protocol.cc",   "messages.h",  "messages.cc",
-    "alib.h",      "alib.cc",       "requests.cc", "dispatcher.cc",
-    "PROTOCOL.md", "schema.lock",
+    "protocol.h",      "protocol.cc",        "messages.h",  "messages.cc",
+    "alib.h",          "alib.cc",            "requests.cc", "dispatcher.cc",
+    "PROTOCOL.md",     "schema.lock",        "lock_rank.h", "DESIGN.md",
+    "status.h",        "status.cc",          "metrics.h",   "server_state.cc",
+    "stats_render.cc", "flight_recorder.cc", "audiond.cc",  "audioctl.cc",
+    "README.md",
 };
 
 // One opcode as parsed from the enum in protocol.h.
@@ -48,6 +58,21 @@ OpcodeEnum ParseOpcodeEnum(const std::string& protocol_h,
 // Ordered member field names of `struct <name> { ... };` in a header.
 std::vector<std::string> ParseStructFields(const std::string& header,
                                            const std::string& name);
+
+// One enumerator of a `k`-prefixed enum with explicit values, e.g. LockRank
+// or ErrorCode. `name` drops the leading 'k' ("EngineRoot", "BadValue").
+struct EnumEntry {
+  std::string name;
+  int value = 0;
+};
+
+// Parses `enum class <enum_name>` out of header text into (name, value)
+// pairs, in declaration order. Enumerators without an explicit `= value`
+// are reported as problems (both enums audlint cares about are
+// wire/doc-visible, so implicit values are drift waiting to happen).
+std::vector<EnumEntry> ParseValuedEnum(const std::string& header,
+                                       const std::string& enum_name,
+                                       std::vector<std::string>* problems);
 
 // Runs every check over the given file map and returns the list of
 // problems (empty = clean tree).
