@@ -45,6 +45,7 @@ enum class LockRank : int {
   kEgressQueue = 2,    // EgressQueue::mu_ — per-connection outbound queue
   kDecodedCache = 2,   // DecodedCache::mu_ — decoded-PCM LRU cache
   kTraceRegistry = 2,  // obs::TraceRegistry::mu_ — ring registration list
+  kEventLoop = 2,      // EventLoop::mu_ — pending interest-change queue
   kTraceRing = 3,      // obs::TraceRing::mu_ — per-thread trace ring
   kAlibWrite = 4,      // AudioConnection::write_mu_ — client frame writes
   kAlibQueue = 4,      // AudioConnection::queue_mu_ — client reply queues

@@ -59,6 +59,52 @@ void ClientConnection::WriterLoop() {
   egress_.MarkWriterExited();
 }
 
+ClientConnection::DrainStatus ClientConnection::DrainEgress() {
+  auto& tracer = obs::TraceRegistry::Instance();
+  while (true) {
+    if (wire_off_ >= wire_buf_.size()) {
+      EgressFrame frame;
+      if (!egress_.TryPop(&frame)) {
+        return DrainStatus::kIdle;
+      }
+      wire_buf_ = FrameMessage(frame.type, frame.code, frame.sequence, frame.payload);
+      wire_off_ = 0;
+      wire_trace_ = frame.trace;
+      wire_parent_ = frame.parent;
+      wire_t0_ = frame.trace != 0 ? tracer.NowUs() : 0;
+    }
+    while (wire_off_ < wire_buf_.size()) {
+      IoResult r = stream_->WriteSome(
+          std::span<const uint8_t>(wire_buf_).subspan(wire_off_));
+      if (r.status == IoStatus::kWouldBlock) {
+        return DrainStatus::kBlocked;
+      }
+      if (r.status != IoStatus::kOk) {
+        // Transport dead: same reaction as the writer thread.
+        MarkClosed();
+        egress_.CloseNow();
+        return DrainStatus::kError;
+      }
+      wire_off_ += r.bytes;
+    }
+    const size_t frame_bytes = wire_buf_.size();
+    if (wire_trace_ != 0) {
+      tracer.Span(obs::TraceReason::kSpanWrite, wire_trace_, wire_parent_, wire_t0_,
+                  static_cast<uint32_t>(tracer.NowUs() - wire_t0_),
+                  static_cast<uint32_t>(frame_bytes));
+      if (metrics_ != nullptr) {
+        metrics_->trace_spans.Increment();
+      }
+    }
+    stats_.bytes_out.Increment(frame_bytes);
+    if (metrics_ != nullptr) {
+      metrics_->bytes_out.Increment(frame_bytes);
+    }
+    wire_buf_.clear();
+    wire_off_ = 0;
+  }
+}
+
 void ClientConnection::BeginDrain() {
   MarkClosed();
   egress_.BeginDrain();
@@ -102,6 +148,12 @@ bool ClientConnection::Send(MessageType type, uint16_t code, uint32_t sequence,
   }
   switch (result.status) {
     case EgressPushStatus::kQueued:
+      // Loop mode: make sure the owning loop flushes this frame. (From the
+      // loop thread itself the post-dispatch flush covers it; the notifier
+      // filters that case to avoid per-send interest churn.)
+      if (loop_mode_ && arm_write_) {
+        arm_write_();
+      }
       return true;
     case EgressPushStatus::kClosed:
       return false;

@@ -14,10 +14,12 @@
 #define SRC_SERVER_CONNECTION_H_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/server/egress_queue.h"
 #include "src/server/metrics.h"
@@ -125,6 +127,52 @@ class ClientConnection {
   // the reader touches it, so a plain field suffices).
   uint64_t& trace_sample_counter() { return trace_sample_counter_; }
 
+  // ---- Event-loop mode (DESIGN.md decision 14) ----
+  // In loop mode the connection owns no threads: the loop that the fd
+  // hashes to drives TryReadFrame/DrainEgress from its one thread, and
+  // Send arms write interest via `arm_write` instead of waking a writer.
+
+  // Switches to loop-driven I/O. Call before the fd is registered (and
+  // before any Send can happen).
+  void ConfigureLoopMode(uint32_t loop_index, std::function<void()> arm_write) {
+    loop_mode_ = true;
+    loop_index_ = loop_index;
+    arm_write_ = std::move(arm_write);
+  }
+  bool loop_mode() const { return loop_mode_; }
+  uint32_t loop_index() const { return loop_index_; }
+  int pollable_fd() const { return stream_->pollable_fd(); }
+
+  // Incremental frame reassembly (loop thread only): resumes the partial
+  // frame across readiness events, returning kWouldBlock mid-frame.
+  FrameStatus TryReadFrame(FramedMessage* out) {
+    return framer_.TryReadMessage(stream_.get(), out);
+  }
+
+  // Non-blocking egress drain (loop thread only). kIdle: nothing queued
+  // (write interest can be disarmed); kBlocked: the socket buffer filled
+  // mid-frame (arm write interest); kError: transport dead.
+  enum class DrainStatus : uint8_t { kIdle, kBlocked, kError };
+  DrainStatus DrainEgress();
+
+  // Loop-path drain: stop accepting frames, let the owning loop flush the
+  // backlog (bounded by the server's drain deadline). The legacy
+  // BeginDrain blocks on the writer thread, which does not exist here.
+  void BeginLoopDrain() {
+    MarkClosed();
+    egress_.BeginDrain();
+  }
+
+  // Connection-plane driver state, touched only by the owning loop thread
+  // (the sweep also runs there), so plain fields suffice.
+  struct LoopState {
+    bool awaiting_setup = true;
+    bool draining = false;
+    bool torn_down = false;
+    std::chrono::steady_clock::time_point drain_deadline{};
+  };
+  LoopState& loop_state() { return loop_state_; }
+
  private:
   void WriterLoop();
 
@@ -138,6 +186,18 @@ class ClientConnection {
   ConnectionStats stats_;
   uint64_t trace_sample_counter_ = 0;
   EgressQueue egress_;
+  // Loop-mode I/O state (loop thread only): the resumable framer and the
+  // partially written wire frame carried across EPOLLOUT rounds.
+  Framer framer_;
+  std::vector<uint8_t> wire_buf_;
+  size_t wire_off_ = 0;
+  uint64_t wire_trace_ = 0;
+  uint64_t wire_parent_ = 0;
+  int64_t wire_t0_ = 0;
+  LoopState loop_state_;
+  bool loop_mode_ = false;
+  uint32_t loop_index_ = 0;
+  std::function<void()> arm_write_;
   std::thread writer_thread_;
   std::thread reader_thread_;
   std::atomic<bool> writer_started_{false};

@@ -91,6 +91,26 @@ bool EgressQueue::Pop(EgressFrame* out) {
   }
 }
 
+bool EgressQueue::TryPop(EgressFrame* out) {
+  MutexLock lock(&mu_);
+  if (closed_ || frames_.empty()) {
+    return false;
+  }
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  const size_t bytes = FrameBytes(*out);
+  queued_bytes_ -= bytes;
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Sub(static_cast<int64_t>(bytes));
+  }
+  return true;
+}
+
+bool EgressQueue::finished_draining() const {
+  MutexLock lock(&mu_);
+  return closed_ || (draining_ && frames_.empty());
+}
+
 void EgressQueue::BeginDrain() {
   {
     MutexLock lock(&mu_);

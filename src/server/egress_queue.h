@@ -80,6 +80,15 @@ class EgressQueue {
   // (false): finished means closed, or draining with nothing left.
   bool Pop(EgressFrame* out);
 
+  // Non-blocking Pop for the event-loop drain path: takes the next frame
+  // if one is queued, returns false immediately otherwise (whether empty,
+  // draining-and-empty, or closed).
+  bool TryPop(EgressFrame* out);
+
+  // True once CloseNow ran, or BeginDrain ran and the backlog is empty —
+  // i.e. a drain-to-completion has nothing left to flush.
+  bool finished_draining() const;
+
   // No further pushes; Pop hands out the remaining backlog then returns
   // false. Used on clean reader exit so a final reply/error still flushes.
   void BeginDrain();

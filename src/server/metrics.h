@@ -59,6 +59,13 @@ struct ServerMetrics {
   obs::Gauge egress_queued_bytes;   // sum of all connections' egress backlogs
   obs::Counter accept_retries;      // transient accept(2) failures retried
 
+  // -- Event-loop connection plane (DESIGN.md decision 14) -------------------
+  obs::Counter epoll_waits;         // wait syscalls across all loops
+  obs::Counter loop_wakeups;        // self-pipe wakeups consumed by loops
+  obs::Counter readiness_spurious;  // readiness that yielded no work
+  obs::Gauge fds_watched;           // fds currently registered with loops
+  obs::LatencyHistogram loop_dispatch_us;  // one readiness handler run
+
   // -- Decoded-PCM cache -----------------------------------------------------
   obs::Counter decoded_cache_hits;
   obs::Counter decoded_cache_misses;

@@ -22,6 +22,35 @@ AudioServer::AudioServer(Board* board, ServerOptions options)
   if (!fault_options_.enabled) {
     fault_options_ = FaultOptionsFromEnv("AUD_FAULT");
   }
+  StartLoops();
+  state_.set_connection_loops(static_cast<uint32_t>(loops_.size()));
+}
+
+void AudioServer::StartLoops() {
+  if (options_.connection_threads == 0) {
+    return;
+  }
+  EventLoopOptions lo;
+  lo.backend = options_.loop_use_poll ? EventLoopOptions::Backend::kPoll
+                                      : EventLoopOptions::Backend::kAuto;
+  lo.edge_triggered = options_.loop_edge_triggered;
+  lo.metrics.epoll_waits = &metrics_->epoll_waits;
+  lo.metrics.wakeups = &metrics_->loop_wakeups;
+  lo.metrics.readiness_spurious = &metrics_->readiness_spurious;
+  lo.metrics.fds_watched = &metrics_->fds_watched;
+  lo.metrics.dispatch_us = &metrics_->loop_dispatch_us;
+  for (uint32_t i = 0; i < options_.connection_threads; ++i) {
+    auto loop = std::make_unique<EventLoop>(lo);
+    loop->set_sweep([this, i] { LoopSweep(i); });
+    if (!loop->Start()) {
+      LogLine(LogLevel::kWarning)
+          << "event loop " << i << " failed to start; "
+          << "falling back to thread-per-connection";
+      loops_.clear();
+      return;
+    }
+    loops_.push_back(std::move(loop));
+  }
 }
 
 // Called with mu_ held (from dispatch or engine tick) — see the declaration
@@ -64,6 +93,26 @@ void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
   metrics_->connections_total.Increment();
   metrics_->connections_open.Add(1);
   obs::Trace(obs::TraceReason::kConnectionOpen, raw->index());
+  const int fd = raw->pollable_fd();
+  if (!loops_.empty() && fd >= 0) {
+    // Loop plane: shard by fd hash, no per-connection threads. The fd is
+    // registered after the connection is published (still under mu_, so
+    // the first readiness dispatch — which takes mu_ — cannot overtake us).
+    const uint32_t loop_index = static_cast<uint32_t>(fd) % loops_.size();
+    EventLoop* loop = loops_[loop_index].get();
+    raw->ConfigureLoopMode(loop_index, [loop, fd] {
+      // The owning loop flushes after every dispatch round itself; only
+      // foreign threads (engine events) need to arm write interest.
+      if (!loop->OnLoopThread()) {
+        loop->SetWantWrite(fd, true);
+      }
+    });
+    connections_.push_back(std::move(conn));
+    loop->Add(fd, [this, raw, loop_index](uint32_t events) {
+      LoopHandleReady(raw, loop_index, events);
+    });
+    return;
+  }
   raw->StartWriter();
   raw->StartReader([this, raw] { ReaderLoop(raw); });
   connections_.push_back(std::move(conn));
@@ -94,7 +143,9 @@ void AudioServer::AcceptLoop() {
     // Transient accept failures (EINTR, ECONNABORTED, fd exhaustion) are
     // retried inside Accept with bounded backoff; nullptr means the
     // listener itself was closed.
-    std::unique_ptr<ByteStream> stream = listener_.Accept();
+    // Loop-plane fds are accepted non-blocking (atomically, via accept4);
+    // legacy-mode fds stay blocking for the reader/writer threads.
+    std::unique_ptr<ByteStream> stream = listener_.Accept(!loops_.empty());
     const uint64_t retries = listener_.accept_retries();
     if (retries > retries_seen) {
       metrics_->accept_retries.Increment(retries - retries_seen);
@@ -123,8 +174,6 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     return;
   }
 
-  auto& tracer = obs::TraceRegistry::Instance();
-  const uint32_t sample_every = options_.trace_sample_every;
   while (!conn->closed() && !shutting_down_.load()) {
     std::optional<FramedMessage> message = ReadMessage(conn->stream());
     if (!message) {
@@ -132,36 +181,7 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     }
     metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
     conn->stats().bytes_in.Increment(kHeaderSize + message->payload.size());
-    // Sampling decision (reader-thread-local counter, so no atomics). The
-    // root span's seq is reserved up front: children recorded during
-    // dispatch parent on it, and the root itself is written last with its
-    // start backdated to arrival so the sort-by-time merge nests correctly.
-    TraceContext ctx;
-    int64_t arrival_us = 0;
-    if (sample_every != 0 &&
-        (conn->trace_sample_counter()++ % sample_every) == 0) {
-      ctx.trace_id = (static_cast<uint64_t>(ClientIdBaseFor(conn->index())) << 32) |
-                     message->header.sequence;
-      ctx.root_seq = tracer.ReserveSeq();
-      arrival_us = tracer.NowUs();
-    }
-    const auto wait_t0 = std::chrono::steady_clock::now();
-    MutexLock lock(&mu_);
-    metrics.lock_wait_us.Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - wait_t0)
-            .count()));
-    conn->set_last_sequence(message->header.sequence);
-    HandleRequest(conn, *message, wait_t0, ctx);
-    if (ctx.trace_id != 0) {
-      tracer.SpanWithSeq(ctx.root_seq, obs::TraceReason::kSpanRequest, ctx.trace_id,
-                         0, arrival_us,
-                         static_cast<uint32_t>(tracer.NowUs() - arrival_us),
-                         message->header.code);
-      metrics.trace_spans.Increment();
-      metrics.trace_requests_sampled.Increment();
-      metrics.last_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
-    }
+    DispatchRequest(conn, *message);
   }
 
   // Flush queued replies/events (bounded), then close the transport.
@@ -181,6 +201,211 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
   // Last action: the connection may now be joined and destroyed by the
   // next AddConnection prune or by Shutdown.
   conn->MarkFinished();
+}
+
+void AudioServer::DispatchRequest(ClientConnection* conn, const FramedMessage& message) {
+  ServerMetrics& metrics = *metrics_;
+  auto& tracer = obs::TraceRegistry::Instance();
+  const uint32_t sample_every = options_.trace_sample_every;
+  // Sampling decision (dispatching-thread-local counter, so no atomics).
+  // The root span's seq is reserved up front: children recorded during
+  // dispatch parent on it, and the root itself is written last with its
+  // start backdated to arrival so the sort-by-time merge nests correctly.
+  TraceContext ctx;
+  int64_t arrival_us = 0;
+  if (sample_every != 0 &&
+      (conn->trace_sample_counter()++ % sample_every) == 0) {
+    ctx.trace_id = (static_cast<uint64_t>(ClientIdBaseFor(conn->index())) << 32) |
+                   message.header.sequence;
+    ctx.root_seq = tracer.ReserveSeq();
+    arrival_us = tracer.NowUs();
+  }
+  const auto wait_t0 = std::chrono::steady_clock::now();
+  MutexLock lock(&mu_);
+  metrics.lock_wait_us.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wait_t0)
+          .count()));
+  conn->set_last_sequence(message.header.sequence);
+  HandleRequest(conn, message, wait_t0, ctx);
+  if (ctx.trace_id != 0) {
+    tracer.SpanWithSeq(ctx.root_seq, obs::TraceReason::kSpanRequest, ctx.trace_id,
+                       0, arrival_us,
+                       static_cast<uint32_t>(tracer.NowUs() - arrival_us),
+                       message.header.code);
+    metrics.trace_spans.Increment();
+    metrics.trace_requests_sampled.Increment();
+    metrics.last_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  }
+}
+
+// ---- Event-loop connection plane (DESIGN.md decision 14) -------------------
+//
+// Every function below runs on the loop thread owning the connection's fd
+// (handlers and the sweep are dispatched there, and teardown removes the fd
+// before finishing), so the per-connection LoopState needs no lock.
+
+void AudioServer::LoopHandleReady(ClientConnection* conn, uint32_t loop_index,
+                                  uint32_t events) {
+  // Once LoopTeardown runs it ends in MarkFinished, after which the pruner
+  // (AddConnection) or Shutdown may destroy the object — so every helper
+  // below returns false the moment the connection was torn down, and no
+  // code path touches `conn` after a false return.
+  auto& ls = conn->loop_state();
+  if (ls.torn_down) {
+    return;
+  }
+  if ((events & kLoopError) != 0) {
+    // EPOLLERR/EPOLLHUP: the transport is gone both ways — nothing queued
+    // can be flushed, so skip draining and reclaim immediately.
+    LoopTeardown(conn, loop_index);
+    return;
+  }
+  if (conn->closed() && !ls.draining) {
+    // A foreign thread hard-closed this connection (egress overflow cut a
+    // slow client off); the stream shutdown made the fd readable. The
+    // backlog was already discarded, so there is nothing to drain.
+    LoopTeardown(conn, loop_index);
+    return;
+  }
+  if ((events & kLoopReadable) != 0 && !ls.draining && !conn->closed()) {
+    if (!LoopReadAndDispatch(conn, loop_index)) {
+      return;
+    }
+  }
+  // Flush whatever dispatch queued; also services write readiness.
+  LoopFlush(conn, loop_index);
+}
+
+bool AudioServer::LoopReadAndDispatch(ClientConnection* conn, uint32_t loop_index) {
+  auto& ls = conn->loop_state();
+  // Level-triggered readiness re-reports leftover input, so cap one round
+  // to keep a flooding client from starving its loop siblings. Under
+  // edge-triggering the kernel only reports state *changes*, so the drain
+  // must run all the way to kWouldBlock.
+  const bool edge = loops_[loop_index]->edge_triggered();
+  int budget = edge ? INT32_MAX : 256;
+  bool progressed = false;
+  while (!conn->closed() && !shutting_down_.load() && budget-- > 0) {
+    FramedMessage message;
+    FrameStatus status = conn->TryReadFrame(&message);
+    if (status == FrameStatus::kWouldBlock) {
+      if (!progressed) {
+        // Woken readable but not even one byte to show for it.
+        metrics_->readiness_spurious.Increment();
+      }
+      return true;
+    }
+    if (status != FrameStatus::kMessage) {
+      // kEof (peer died, possibly mid-frame) or kMalformed (poisoned
+      // framing): stop reading, flush what the client is still owed.
+      return LoopBeginDrain(conn, loop_index);
+    }
+    progressed = true;
+    metrics_->bytes_in.Increment(kHeaderSize + message.payload.size());
+    conn->stats().bytes_in.Increment(kHeaderSize + message.payload.size());
+    if (ls.awaiting_setup) {
+      ls.awaiting_setup = false;
+      if (!HandleSetup(conn, message)) {
+        // The refusal reply still flushes through the drain.
+        return LoopBeginDrain(conn, loop_index);
+      }
+      continue;
+    }
+    DispatchRequest(conn, message);
+  }
+  return true;
+}
+
+bool AudioServer::LoopFlush(ClientConnection* conn, uint32_t loop_index) {
+  auto& ls = conn->loop_state();
+  if (ls.torn_down) {
+    return false;
+  }
+  const int fd = conn->pollable_fd();
+  switch (conn->DrainEgress()) {
+    case ClientConnection::DrainStatus::kBlocked:
+      loops_[loop_index]->SetWantWrite(fd, true);
+      return true;
+    case ClientConnection::DrainStatus::kError:
+      LoopTeardown(conn, loop_index);
+      return false;
+    case ClientConnection::DrainStatus::kIdle:
+      if (ls.draining || conn->closed()) {
+        // Drain-to-completion (the backlog has fully flushed), or an
+        // overflow disconnect during dispatch discarded it; reclaim.
+        LoopTeardown(conn, loop_index);
+        return false;
+      }
+      loops_[loop_index]->SetWantWrite(fd, false);
+      return true;
+  }
+  return true;
+}
+
+bool AudioServer::LoopBeginDrain(ClientConnection* conn, uint32_t loop_index) {
+  auto& ls = conn->loop_state();
+  if (ls.torn_down) {
+    return false;
+  }
+  if (ls.draining) {
+    return true;
+  }
+  ls.draining = true;
+  // Same bound as the legacy writer drain: a peer that stops reading
+  // mid-flush cannot pin the loop — the sweep forces teardown at deadline.
+  ls.drain_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  conn->BeginLoopDrain();
+  return LoopFlush(conn, loop_index);
+}
+
+void AudioServer::LoopTeardown(ClientConnection* conn, uint32_t loop_index) {
+  auto& ls = conn->loop_state();
+  if (ls.torn_down) {
+    return;
+  }
+  ls.torn_down = true;
+  loops_[loop_index]->Remove(conn->pollable_fd());
+  conn->HardClose();
+  // Free every resource the client owned — identical to the legacy
+  // reader-thread teardown in ReaderLoop.
+  {
+    MutexLock lock(&mu_);
+    state_.WaitEngineIdle();
+    state_.DestroyConnectionObjects(conn->index());
+    state_.RecomputeActivation();
+    metrics_->connections_open.Sub(1);
+    obs::Trace(obs::TraceReason::kConnectionClose, conn->index());
+  }
+  // Last action: the connection may now be pruned by AddConnection or
+  // destroyed by Shutdown.
+  conn->MarkFinished();
+}
+
+void AudioServer::LoopSweep(uint32_t loop_index) {
+  if (shutting_down_.load()) {
+    return;
+  }
+  // Collect under mu_, tear down outside it (LoopTeardown takes mu_
+  // itself). All state read here belongs to this loop thread.
+  std::vector<ClientConnection*> expired;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(&mu_);
+    for (auto& conn : connections_) {
+      if (!conn->loop_mode() || conn->loop_index() != loop_index ||
+          conn->finished()) {
+        continue;
+      }
+      auto& ls = conn->loop_state();
+      if (ls.draining && !ls.torn_down && now >= ls.drain_deadline) {
+        expired.push_back(conn.get());
+      }
+    }
+  }
+  for (ClientConnection* conn : expired) {
+    LoopTeardown(conn, loop_index);
+  }
 }
 
 bool AudioServer::HandleSetup(ClientConnection* conn, const FramedMessage& message) {
@@ -262,18 +487,41 @@ void AudioServer::Shutdown() {
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
-  // Swap the connections out under the lock, then join/destroy outside it
-  // (the readers themselves take mu_ during teardown). No new connections
-  // can appear: the accept thread has already been joined above.
-  std::vector<std::unique_ptr<ClientConnection>> conns;
+  // Hard-close everything first (under the lock), then stop the event
+  // loops: in-flight loop handlers finish their teardown against live
+  // connection objects before any destruction below.
   {
     MutexLock lock(&mu_);
     for (auto& conn : connections_) {
       conn->HardClose();
     }
+  }
+  for (auto& loop : loops_) {
+    loop->Stop();
+  }
+  // Swap the connections out under the lock, then join/destroy outside it
+  // (legacy readers take mu_ during teardown). No new connections can
+  // appear: the accept thread has already been joined above.
+  std::vector<std::unique_ptr<ClientConnection>> conns;
+  {
+    MutexLock lock(&mu_);
     conns.swap(connections_);
   }
-  conns.clear();  // ~ClientConnection joins each reader + writer
+  // Loop-plane connections whose teardown never ran (their loop stopped
+  // first) get the same reclamation the legacy reader exit performs, so
+  // gauges and the registry end balanced either way.
+  for (auto& conn : conns) {
+    if (conn->loop_mode() && !conn->finished()) {
+      MutexLock lock(&mu_);
+      state_.WaitEngineIdle();
+      state_.DestroyConnectionObjects(conn->index());
+      state_.RecomputeActivation();
+      metrics_->connections_open.Sub(1);
+      obs::Trace(obs::TraceReason::kConnectionClose, conn->index());
+      conn->MarkFinished();
+    }
+  }
+  conns.clear();  // ~ClientConnection joins each legacy reader + writer
 }
 
 }  // namespace aud

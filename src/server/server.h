@@ -37,6 +37,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/server/connection.h"
 #include "src/server/server_state.h"
+#include "src/transport/event_loop.h"
 #include "src/transport/fault_stream.h"
 #include "src/transport/socket_stream.h"
 #include "src/transport/stream.h"
@@ -72,6 +73,17 @@ struct ServerOptions {
   // decision 13). 0 disables tracing entirely (the default) — the hot path
   // then pays only one integer increment per request.
   uint32_t trace_sample_every = 0;
+  // Event-loop connection plane (DESIGN.md decision 14): number of loop
+  // threads sharing all pollable connections, sharded by fd hash. 0 keeps
+  // the legacy thread-per-connection mode (one reader + one writer thread
+  // per client); non-pollable transports (in-process pipes) always use the
+  // legacy mode regardless.
+  uint32_t connection_threads = 0;
+  // Edge-triggered epoll readiness for the loops (level-triggered default).
+  bool loop_edge_triggered = false;
+  // Force the portable poll(2) backend even where epoll is available
+  // (fallback-path test coverage).
+  bool loop_use_poll = false;
 };
 
 // Sampling decision for one request, made by the reader thread before it
@@ -132,10 +144,33 @@ class AudioServer {
   // Stops all threads and closes all connections.
   void Shutdown();
 
+  // Number of event-loop threads actually running (0 in legacy mode).
+  size_t connection_loops() const { return loops_.size(); }
+
  private:
   void ReaderLoop(ClientConnection* conn);
   void AcceptLoop();
   void EngineLoop();
+
+  // Shared per-message dispatch body: byte accounting aside, everything a
+  // request goes through between framing and its reply — trace sampling,
+  // the state-lock acquire, HandleRequest, and the root span. Called from
+  // the legacy ReaderLoop and from the loop-plane read path alike.
+  void DispatchRequest(ClientConnection* conn, const FramedMessage& message);
+
+  // Event-loop connection plane (DESIGN.md decision 14). All of these run
+  // on the loop thread that owns the connection's fd; teardown for a
+  // connection therefore never races itself.
+  void StartLoops();
+  // The bool-returning loop helpers report liveness: false means the
+  // connection was torn down (MarkFinished ran — it may be destroyed by the
+  // pruner at any moment) and the caller must not touch it again.
+  void LoopHandleReady(ClientConnection* conn, uint32_t loop_index, uint32_t events);
+  bool LoopReadAndDispatch(ClientConnection* conn, uint32_t loop_index);
+  bool LoopFlush(ClientConnection* conn, uint32_t loop_index);
+  bool LoopBeginDrain(ClientConnection* conn, uint32_t loop_index);
+  void LoopTeardown(ClientConnection* conn, uint32_t loop_index);
+  void LoopSweep(uint32_t loop_index);
 
   // Tick-driver access to the state. Tick() manages the state lock itself
   // (epoch open/commit take it; the fan-out runs without it — the lock was
@@ -177,6 +212,10 @@ class AudioServer {
 
   SocketListener listener_;
   std::thread accept_thread_;
+
+  // The event-loop pool (empty in legacy mode). Started at construction,
+  // stopped by Shutdown after every connection is hard-closed.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 
   std::thread engine_thread_;
   std::atomic<bool> engine_running_{false};

@@ -1237,6 +1237,12 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.trace_spans = metrics_.trace_spans.value();
   reply.trace_requests_sampled = metrics_.trace_requests_sampled.value();
   reply.trace_sample_every = trace_sample_every_;
+  reply.loops = connection_loops_;
+  reply.fds_watched = metrics_.fds_watched.value();
+  reply.epoll_waits = metrics_.epoll_waits.value();
+  reply.wakeups = metrics_.loop_wakeups.value();
+  reply.readiness_spurious = metrics_.readiness_spurious.value();
+  reply.loop_dispatch_us = metrics_.loop_dispatch_us.Snapshot();
   return reply;
 }
 

@@ -285,6 +285,12 @@ class ServerState {
   void set_trace_sample_every(uint32_t n) { trace_sample_every_ = n; }
   uint32_t trace_sample_every() const { return trace_sample_every_; }
 
+  // Number of event-loop connection threads (ServerOptions::
+  // connection_threads as actually started), mirrored for GetServerStats.
+  // 0 = legacy thread-per-connection plane.
+  void set_connection_loops(uint32_t n) { connection_loops_ = n; }
+  uint32_t connection_loops() const { return connection_loops_; }
+
   // -- Request tracing (DESIGN.md decision 13) -----------------------------------
 
   // Registers a traced play acceptance for mouth-to-ear measurement: the
@@ -395,6 +401,7 @@ class ServerState {
   DecodedSoundCache decoded_cache_;
 
   uint32_t trace_sample_every_ = 0;
+  uint32_t connection_loops_ = 0;
 
   ServerMetrics metrics_;
 };

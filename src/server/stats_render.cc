@@ -87,6 +87,16 @@ std::string RenderPrometheusText(const ServerStatsReply& stats) {
               stats.trace_requests_sampled, "Requests that got a root span");
   EmitGauge(out, "aud_trace_sample_every", stats.trace_sample_every,
             "Trace sampling period (0 = tracing off)");
+  EmitGauge(out, "aud_connection_loops", stats.loops,
+            "Event-loop threads serving connections (0 = thread-per-connection)");
+  EmitGauge(out, "aud_fds_watched", stats.fds_watched,
+            "Connection fds currently registered with event loops");
+  EmitCounter(out, "aud_epoll_waits_total", stats.epoll_waits,
+              "Readiness wait syscalls across all loops");
+  EmitCounter(out, "aud_loop_wakeups_total", stats.wakeups,
+              "Self-pipe wakeups consumed by event loops");
+  EmitCounter(out, "aud_readiness_spurious_total", stats.readiness_spurious,
+              "Readiness events that yielded no work");
   EmitHistogram(out, "aud_dispatch_us", stats.dispatch_us,
                 "Dispatch latency (lock wait + handling), microseconds");
   EmitHistogram(out, "aud_tick_us", stats.tick_us,
@@ -99,6 +109,8 @@ std::string RenderPrometheusText(const ServerStatsReply& stats) {
                 "Epoch commit critical section, microseconds");
   EmitHistogram(out, "aud_mouth_to_ear_us", stats.mouth_to_ear_us,
                 "Play accept to first mixed frame, microseconds");
+  EmitHistogram(out, "aud_loop_dispatch_us", stats.loop_dispatch_us,
+                "One readiness handler run on an event loop, microseconds");
   return out.str();
 }
 
@@ -127,6 +139,10 @@ std::string RenderFlightDumpText(const std::string& reason,
   out << "  trace_spans=" << stats.trace_spans
       << " trace_requests_sampled=" << stats.trace_requests_sampled
       << " trace_sample_every=" << stats.trace_sample_every << "\n";
+  out << "  loops=" << stats.loops << " fds_watched=" << stats.fds_watched
+      << " epoll_waits=" << stats.epoll_waits
+      << " loop_wakeups=" << stats.wakeups
+      << " readiness_spurious=" << stats.readiness_spurious << "\n";
   out << "\n--- latencies (us) ---\n";
   SummarizeHistogram(out, "dispatch", stats.dispatch_us);
   SummarizeHistogram(out, "tick", stats.tick_us);
@@ -134,6 +150,7 @@ std::string RenderFlightDumpText(const std::string& reason,
   SummarizeHistogram(out, "lock_wait", stats.lock_wait_us);
   SummarizeHistogram(out, "epoch_commit", stats.epoch_commit_us);
   SummarizeHistogram(out, "mouth_to_ear", stats.mouth_to_ear_us);
+  SummarizeHistogram(out, "loop_dispatch", stats.loop_dispatch_us);
   out << "\n--- trace ring (" << trace.size() << " events, oldest first) ---\n";
   for (const TraceEventWire& e : trace) {
     out << "  t=" << e.t_us << " seq=" << e.seq << " tid=" << e.tid << " "

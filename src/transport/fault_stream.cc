@@ -138,6 +138,59 @@ size_t FaultStream::Read(std::span<uint8_t> out) {
   return inner_->Read(out);
 }
 
+IoResult FaultStream::ReadSome(std::span<uint8_t> out) {
+  if (reset_.load(std::memory_order_relaxed)) {
+    return {IoStatus::kEof, 0};
+  }
+  if (options_.delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(NextU64() % (options_.delay_us + 1)));
+  }
+  if (options_.reset_read > 0 && NextUniform() < options_.reset_read) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    reset_.store(true, std::memory_order_relaxed);
+    inner_->Close();
+    return {IoStatus::kEof, 0};
+  }
+  if (options_.short_read > 0 && out.size() > 1 && NextUniform() < options_.short_read) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->ReadSome(out.first(1));
+  }
+  return inner_->ReadSome(out);
+}
+
+IoResult FaultStream::WriteSome(std::span<const uint8_t> data) {
+  if (reset_.load(std::memory_order_relaxed)) {
+    return {IoStatus::kError, 0};
+  }
+  if (options_.delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(NextU64() % (options_.delay_us + 1)));
+  }
+  if (options_.reset_write > 0 && NextUniform() < options_.reset_write) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    reset_.store(true, std::memory_order_relaxed);
+    // Mid-frame reset: a best-effort prefix escapes, then the stream dies.
+    if (!data.empty()) {
+      size_t prefix = NextU64() % data.size();
+      if (prefix > 0) {
+        inner_->WriteSome(data.first(prefix));
+      }
+    }
+    inner_->Close();
+    return {IoStatus::kError, 0};
+  }
+  if (options_.chop_write > 0 && data.size() > 1 && NextUniform() < options_.chop_write) {
+    // A partial transfer is already legal for WriteSome, so "chop" here
+    // means capping the attempt — the caller resubmits the tail, giving
+    // the same split-frame coverage as the blocking decorator.
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    size_t cut = 1 + NextU64() % (data.size() - 1);
+    return inner_->WriteSome(data.first(cut));
+  }
+  return inner_->WriteSome(data);
+}
+
 void FaultStream::Close() { inner_->Close(); }
 
 std::unique_ptr<ByteStream> MaybeWrapFault(std::unique_ptr<ByteStream> stream,

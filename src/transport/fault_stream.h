@@ -55,6 +55,13 @@ class FaultStream : public ByteStream {
   size_t Read(std::span<uint8_t> out) override;
   void Close() override;
 
+  // Non-blocking variants apply the same seeded fault schedule (short
+  // reads, chopped writes, sticky resets) so the event-loop plane is
+  // chaos-testable exactly like the thread-per-connection plane.
+  IoResult ReadSome(std::span<uint8_t> out) override;
+  IoResult WriteSome(std::span<const uint8_t> data) override;
+  int pollable_fd() const override { return inner_->pollable_fd(); }
+
   // Injected-fault accounting (test assertions).
   uint64_t faults_injected() const {
     return faults_.load(std::memory_order_relaxed);

@@ -28,4 +28,52 @@ bool WriteMessage(ByteStream* stream, MessageType type, uint16_t code, uint32_t 
   return stream->Write(frame);
 }
 
+FrameStatus Framer::TryReadMessage(ByteStream* stream, FramedMessage* out) {
+  while (true) {
+    if (state_ == State::kDead) {
+      return FrameStatus::kEof;
+    }
+    if (state_ == State::kHeader) {
+      while (filled_ < kHeaderSize) {
+        IoResult r = stream->ReadSome(
+            std::span<uint8_t>(header_bytes_).subspan(filled_));
+        if (r.status == IoStatus::kWouldBlock) {
+          return FrameStatus::kWouldBlock;
+        }
+        if (r.status != IoStatus::kOk) {
+          state_ = State::kDead;
+          return FrameStatus::kEof;
+        }
+        filled_ += r.bytes;
+      }
+      Result<MessageHeader> header = DecodeHeaderStrict(header_bytes_);
+      if (!header.ok()) {
+        state_ = State::kDead;
+        return FrameStatus::kMalformed;
+      }
+      partial_.header = header.take();
+      partial_.payload.resize(partial_.header.length);
+      state_ = State::kPayload;
+      filled_ = 0;
+    }
+    while (filled_ < partial_.payload.size()) {
+      IoResult r = stream->ReadSome(
+          std::span<uint8_t>(partial_.payload).subspan(filled_));
+      if (r.status == IoStatus::kWouldBlock) {
+        return FrameStatus::kWouldBlock;
+      }
+      if (r.status != IoStatus::kOk) {
+        state_ = State::kDead;
+        return FrameStatus::kEof;
+      }
+      filled_ += r.bytes;
+    }
+    *out = std::move(partial_);
+    partial_ = FramedMessage{};
+    state_ = State::kHeader;
+    filled_ = 0;
+    return FrameStatus::kMessage;
+  }
+}
+
 }  // namespace aud

@@ -5,6 +5,8 @@
 #ifndef SRC_TRANSPORT_FRAMER_H_
 #define SRC_TRANSPORT_FRAMER_H_
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -26,6 +28,38 @@ std::optional<FramedMessage> ReadMessage(ByteStream* stream);
 // Writes one framed message; returns false on stream failure.
 bool WriteMessage(ByteStream* stream, MessageType type, uint16_t code, uint32_t sequence,
                   std::span<const uint8_t> payload);
+
+// Outcome of one TryReadMessage attempt.
+enum class FrameStatus : uint8_t {
+  kMessage,     // `*out` holds a complete message
+  kWouldBlock,  // mid-frame; call again when the stream is readable
+  kEof,         // orderly end-of-stream at a frame boundary or mid-frame
+  kMalformed,   // header failed strict decode; the stream is unusable
+};
+
+// Resumable frame reassembly for non-blocking streams: accumulates header
+// and payload bytes across ReadSome calls, surfacing kWouldBlock cleanly on
+// partial frames where the blocking ReadMessage would stall the thread.
+// One instance per connection direction; not thread-safe.
+class Framer {
+ public:
+  // Attempts to complete the in-progress message. kMessage fills `*out`
+  // and resets for the next frame; kWouldBlock preserves partial state.
+  // After kEof or kMalformed the framer is sticky-dead.
+  FrameStatus TryReadMessage(ByteStream* stream, FramedMessage* out);
+
+  // True while a frame is partially assembled (useful for distinguishing a
+  // clean EOF from a mid-frame cut).
+  bool mid_frame() const { return state_ == State::kPayload || filled_ > 0; }
+
+ private:
+  enum class State : uint8_t { kHeader, kPayload, kDead };
+
+  State state_ = State::kHeader;
+  size_t filled_ = 0;  // bytes of the current section accumulated so far
+  std::array<uint8_t, kHeaderSize> header_bytes_{};
+  FramedMessage partial_;
+};
 
 }  // namespace aud
 

@@ -1,6 +1,7 @@
 #include "src/transport/socket_stream.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -52,6 +53,44 @@ size_t SocketStream::Read(std::span<uint8_t> out) {
       return 0;
     }
     return static_cast<size_t>(n);
+  }
+}
+
+IoResult SocketStream::ReadSome(std::span<uint8_t> out) {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  while (true) {
+    ssize_t n = ::recv(fd, out.data(), out.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      return {IoStatus::kOk, static_cast<size_t>(n)};
+    }
+    if (n == 0) {
+      return {IoStatus::kEof, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult SocketStream::WriteSome(std::span<const uint8_t> data) {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  while (true) {
+    ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      return {IoStatus::kOk, static_cast<size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
   }
 }
 
@@ -122,9 +161,29 @@ bool IsTransientAcceptError(int err) {
   }
 }
 
+// Accepts with FD_CLOEXEC (and optionally O_NONBLOCK) applied atomically.
+// accept4(2) closes the race where a concurrent fork() in a spawned tool
+// inherits the freshly accepted fd before fcntl could mark it; the fcntl
+// fallback keeps non-Linux builds working at the cost of that window.
+int AcceptClient(int listen_fd, bool nonblocking) {
+#ifdef SOCK_CLOEXEC
+  int flags = SOCK_CLOEXEC | (nonblocking ? SOCK_NONBLOCK : 0);
+  return ::accept4(listen_fd, nullptr, nullptr, flags);
+#else
+  int client = ::accept(listen_fd, nullptr, nullptr);
+  if (client >= 0) {
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    if (nonblocking) {
+      ::fcntl(client, F_SETFL, ::fcntl(client, F_GETFL, 0) | O_NONBLOCK);
+    }
+  }
+  return client;
+#endif
+}
+
 }  // namespace
 
-std::unique_ptr<ByteStream> SocketListener::Accept() {
+std::unique_ptr<ByteStream> SocketListener::Accept(bool nonblocking) {
   uint32_t backoff_ms = 0;  // 0 → 1 → 2 → ... → 100 (capped)
   while (true) {
     if (closed_.load(std::memory_order_relaxed) || fd_ < 0) {
@@ -137,7 +196,7 @@ std::unique_ptr<ByteStream> SocketListener::Accept() {
       err = injected_errnos_.front();
       injected_errnos_.erase(injected_errnos_.begin());
     } else {
-      client = ::accept(fd_, nullptr, nullptr);
+      client = AcceptClient(fd_, nonblocking);
       err = errno;
     }
     if (client >= 0) {

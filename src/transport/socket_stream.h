@@ -29,6 +29,15 @@ class SocketStream : public ByteStream {
   size_t Read(std::span<uint8_t> out) override;
   void Close() override;
 
+  // Non-blocking variants for the event-loop connection plane. Correct
+  // whether or not the fd carries O_NONBLOCK: blocking-mode fds simply
+  // never return kWouldBlock (send/recv are used with MSG_DONTWAIT).
+  IoResult ReadSome(std::span<uint8_t> out) override;
+  IoResult WriteSome(std::span<const uint8_t> data) override;
+  int pollable_fd() const override {
+    return fd_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Atomic: Close() may run from one thread while another blocks in Read().
   std::atomic<int> fd_;
@@ -55,7 +64,11 @@ class SocketListener {
   // exponential backoff (1 ms doubling to 100 ms) so one failure burst can
   // never permanently stop the server accepting. The first failure of a
   // burst is logged; subsequent ones are only counted.
-  std::unique_ptr<ByteStream> Accept();
+  //
+  // Accepted fds are always FD_CLOEXEC (via accept4 where available, fcntl
+  // otherwise) so they cannot leak into forked tools; pass `nonblocking`
+  // to additionally set O_NONBLOCK atomically for event-loop ownership.
+  std::unique_ptr<ByteStream> Accept(bool nonblocking = false);
 
   // Unblocks Accept.
   void Close();

@@ -7,14 +7,33 @@
 #ifndef SRC_TRANSPORT_STREAM_H_
 #define SRC_TRANSPORT_STREAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
 namespace aud {
 
-// A reliable, ordered, full-duplex byte stream endpoint. All methods are
-// blocking. Thread-compatible: one reader thread and one writer thread may
-// use an endpoint concurrently.
+// Outcome of a single non-blocking I/O attempt.
+enum class IoStatus : uint8_t {
+  kOk,          // `bytes` were transferred (>= 1)
+  kWouldBlock,  // nothing transferable right now; retry on readiness
+  kEof,         // orderly end-of-stream (reads only)
+  kError,       // the stream failed; no further I/O will succeed
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  size_t bytes = 0;
+};
+
+// A reliable, ordered, full-duplex byte stream endpoint. Write/Read/Close
+// are blocking. Thread-compatible: one reader thread and one writer thread
+// may use an endpoint concurrently.
+//
+// Streams backed by a pollable descriptor additionally support the
+// non-blocking ReadSome/WriteSome pair, used by the event-loop connection
+// plane. The default implementations adapt the blocking calls (never
+// returning kWouldBlock) so in-memory transports keep working unchanged.
 class ByteStream {
  public:
   virtual ~ByteStream() = default;
@@ -30,6 +49,31 @@ class ByteStream {
   // Shuts the stream down; concurrent and future Reads return 0 and Writes
   // return false on both ends.
   virtual void Close() = 0;
+
+  // Non-blocking read: transfers up to out.size() bytes that are already
+  // buffered. kWouldBlock means "wait for readability". The default adapts
+  // the blocking Read (so it may block on non-pollable transports).
+  virtual IoResult ReadSome(std::span<uint8_t> out) {
+    size_t n = Read(out);
+    if (n == 0) {
+      return {IoStatus::kEof, 0};
+    }
+    return {IoStatus::kOk, n};
+  }
+
+  // Non-blocking write: transfers up to data.size() bytes without waiting.
+  // kWouldBlock means "wait for writability". Partial transfers are normal.
+  virtual IoResult WriteSome(std::span<const uint8_t> data) {
+    if (!Write(data)) {
+      return {IoStatus::kError, 0};
+    }
+    return {IoStatus::kOk, data.size()};
+  }
+
+  // The descriptor an event loop can watch for readiness, or -1 when the
+  // transport is not pollable (in-memory pipes). A connection whose stream
+  // returns -1 falls back to the legacy thread-per-connection mode.
+  virtual int pollable_fd() const { return -1; }
 };
 
 // Reads exactly out.size() bytes. Returns false on EOF/failure.

@@ -944,6 +944,12 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(trace_spans);
   w->WriteU64(trace_requests_sampled);
   w->WriteU32(trace_sample_every);
+  w->WriteU32(loops);
+  w->WriteI64(fds_watched);
+  w->WriteU64(epoll_waits);
+  w->WriteU64(wakeups);
+  w->WriteU64(readiness_spurious);
+  EncodeHistogram(w, loop_dispatch_us);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -995,6 +1001,12 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.trace_spans = r->ReadU64();
   p.trace_requests_sampled = r->ReadU64();
   p.trace_sample_every = r->ReadU32();
+  p.loops = r->ReadU32();
+  p.fds_watched = r->ReadI64();
+  p.epoll_waits = r->ReadU64();
+  p.wakeups = r->ReadU64();
+  p.readiness_spurious = r->ReadU64();
+  p.loop_dispatch_us = DecodeHistogram(r);
   return p;
 }
 

@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 5;
+inline constexpr uint32_t kServerStatsVersion = 6;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -591,6 +591,14 @@ struct ServerStatsReply {
   uint64_t trace_spans = 0;               // request-scoped spans recorded
   uint64_t trace_requests_sampled = 0;    // requests that got a root span
   uint32_t trace_sample_every = 0;        // sampling period; 0 = tracing off
+
+  // Event-loop connection plane (v6, DESIGN.md decision 14).
+  uint32_t loops = 0;                  // loop threads; 0 = thread-per-connection
+  int64_t fds_watched = 0;             // fds currently registered with loops
+  uint64_t epoll_waits = 0;            // wait syscalls across all loops
+  uint64_t wakeups = 0;                // self-pipe wakeups consumed
+  uint64_t readiness_spurious = 0;     // readiness that yielded no work
+  obs::HistogramSnapshot loop_dispatch_us;  // one readiness handler run
 
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);

@@ -4,7 +4,10 @@
 // EOF mid-header, EOF mid-payload). Every message that does frame is then
 // re-framed with WriteMessage and re-read; the result must be byte-identical
 // — a framer that loses or duplicates bytes aborts here rather than
-// corrupting a live connection.
+// corrupting a live connection. The same content is then parsed a second
+// time through the resumable Framer::TryReadMessage with scripted
+// would-block injections (the event-loop plane's read path); the message
+// sequence must be identical to the blocking parse.
 //
 // Input shape: byte 0 = chunk-pattern length k (0 = whole-buffer reads),
 // bytes 1..k = the repeating chunk-size pattern, the rest is stream content.
@@ -65,6 +68,65 @@ class ScriptedStream : public ByteStream {
   std::vector<uint8_t> written_;
 };
 
+// The same scripted delivery through the non-blocking interface: chunk
+// bytes with the high bit set inject a kWouldBlock (at most one in a row,
+// so the incremental parse always makes progress and terminates). Once the
+// buffer drains, ReadSome reports EOF like a closed socket.
+class ScriptedNonBlockingStream : public ByteStream {
+ public:
+  ScriptedNonBlockingStream(std::vector<uint8_t> data, std::vector<uint8_t> chunks)
+      : data_(std::move(data)), chunks_(std::move(chunks)) {}
+
+  bool Write(std::span<const uint8_t> bytes) override {
+    (void)bytes;
+    return true;
+  }
+
+  size_t Read(std::span<uint8_t> out) override {
+    (void)out;
+    return 0;  // incremental path only
+  }
+
+  void Close() override { pos_ = data_.size(); }
+
+  IoResult ReadSome(std::span<uint8_t> out) override {
+    uint8_t script = chunks_.empty() ? 0 : chunks_[next_chunk_ % chunks_.size()];
+    if (!chunks_.empty()) {
+      ++next_chunk_;
+    }
+    if ((script & 0x80) != 0 && !blocked_) {
+      blocked_ = true;
+      return {IoStatus::kWouldBlock, 0};
+    }
+    blocked_ = false;
+    size_t remaining = data_.size() - pos_;
+    if (remaining == 0) {
+      return {IoStatus::kEof, 0};
+    }
+    size_t want = out.size();
+    if (!chunks_.empty()) {
+      want = std::min(want, static_cast<size_t>(script % 16) + 1);
+    }
+    size_t n = std::min(want, remaining);
+    std::copy_n(data_.begin() + static_cast<ptrdiff_t>(pos_), n, out.begin());
+    pos_ += n;
+    return {IoStatus::kOk, n};
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+  std::vector<uint8_t> chunks_;
+  size_t pos_ = 0;
+  size_t next_chunk_ = 0;
+  bool blocked_ = false;
+};
+
+bool SameMessage(const FramedMessage& a, const FramedMessage& b) {
+  return a.header.type == b.header.type && a.header.code == b.header.code &&
+         a.header.sequence == b.header.sequence &&
+         a.header.length == b.header.length && a.payload == b.payload;
+}
+
 void CheckRoundTrip(const FramedMessage& msg) {
   // Re-frame and re-read through a fresh stream; the framer must reproduce
   // the message exactly.
@@ -99,15 +161,62 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::vector<uint8_t> content(input.begin() + 1 + static_cast<ptrdiff_t>(pattern_len),
                                input.end());
 
-  aud::ScriptedStream stream(std::move(content), std::move(chunks));
+  aud::ScriptedStream stream(content, chunks);
   // Each iteration consumes at least a header's worth of bytes or hits EOF /
   // a malformed header, so this terminates; the cap is belt and braces.
+  std::vector<aud::FramedMessage> blocking_messages;
   for (int i = 0; i < 4096; ++i) {
     std::optional<aud::FramedMessage> msg = aud::ReadMessage(&stream);
     if (!msg.has_value()) {
       break;
     }
     aud::CheckRoundTrip(*msg);
+    blocking_messages.push_back(std::move(*msg));
+  }
+
+  // The resumable framer over the same content must recover the identical
+  // message sequence, no matter where the would-block injections land: the
+  // loop-plane parse (DESIGN.md decision 14) and the legacy blocking parse
+  // are the same protocol or one of them is wrong.
+  aud::ScriptedNonBlockingStream nb(std::move(content), std::move(chunks));
+  aud::Framer framer;
+  std::vector<aud::FramedMessage> incremental_messages;
+  bool dead = false;
+  // Every iteration either delivers a message, consumes bytes, or flips the
+  // one-shot would-block latch; the cap covers the worst interleaving.
+  for (int i = 0; i < (1 << 20) && !dead; ++i) {
+    aud::FramedMessage msg;
+    switch (framer.TryReadMessage(&nb, &msg)) {
+      case aud::FrameStatus::kMessage:
+        incremental_messages.push_back(std::move(msg));
+        break;
+      case aud::FrameStatus::kWouldBlock:
+        break;  // "wait for readiness": just try again
+      case aud::FrameStatus::kEof:
+      case aud::FrameStatus::kMalformed:
+        dead = true;
+        break;
+    }
+    if (incremental_messages.size() > blocking_messages.size()) {
+      std::fprintf(stderr, "fuzz_framer: incremental parse produced extra messages\n");
+      std::abort();
+    }
+  }
+  if (!dead) {
+    std::fprintf(stderr, "fuzz_framer: incremental parse failed to terminate\n");
+    std::abort();
+  }
+  if (incremental_messages.size() != blocking_messages.size()) {
+    std::fprintf(stderr,
+                 "fuzz_framer: incremental parse found %zu messages, blocking found %zu\n",
+                 incremental_messages.size(), blocking_messages.size());
+    std::abort();
+  }
+  for (size_t i = 0; i < blocking_messages.size(); ++i) {
+    if (!aud::SameMessage(blocking_messages[i], incremental_messages[i])) {
+      std::fprintf(stderr, "fuzz_framer: incremental/blocking message %zu mismatch\n", i);
+      std::abort();
+    }
   }
   return 0;
 }

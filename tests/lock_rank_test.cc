@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "src/common/thread_annotations.h"
 
 namespace aud {
@@ -114,6 +117,42 @@ TEST(LockRankTest, EngineRootAscendingIdIsAccepted) {
   MutexLock l1(&root7);
   MutexLock l2(&root9);
   EXPECT_EQ(lockrank::HeldCount(), 3);
+}
+
+TEST(LockRankTest, HeldStackGrowsPastInlineCapacity) {
+  // The serial engine's pseudo-island holds every active root's engine lock
+  // at once, so the held stack must scale with the client count (a capacity-
+  // ladder step holds thousands). Past the inline window the checker grows
+  // into heap storage and keeps enforcing: the monotonic check still rejects
+  // both descending order and re-acquisition.
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "TSan's deadlock detector caps at 64 held mutexes";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "TSan's deadlock detector caps at 64 held mutexes";
+#endif
+#endif
+  constexpr int kRoots = 200;
+  std::vector<std::unique_ptr<Mutex>> roots;
+  roots.reserve(kRoots);
+  for (int i = 0; i < kRoots; ++i) {
+    roots.push_back(std::make_unique<Mutex>(LockRank::kEngineRoot, "test_root"));
+    roots.back()->SetRankOrder(static_cast<uint64_t>(i + 1));
+    roots.back()->Lock();
+  }
+  EXPECT_EQ(lockrank::HeldCount(), kRoots);
+
+  Mutex low(LockRank::kEngineRoot, "test_low");
+  low.SetRankOrder(1);
+  EXPECT_DEATH({ low.Lock(); }, "out-of-order acquisition.*test_low");
+  // Re-acquiring the top presents its own (rank, order), which cannot beat
+  // itself: recursion is still caught past the inline window.
+  EXPECT_DEATH({ roots.back()->Lock(); }, "out-of-order acquisition.*test_root");
+
+  for (int i = kRoots - 1; i >= 0; --i) {
+    roots[static_cast<size_t>(i)]->Unlock();  // the IslandRootLocks LIFO shape
+  }
+  EXPECT_EQ(lockrank::HeldCount(), 0);
 }
 
 TEST(LockRankDeathTest, EngineRootDescendingIdAborts) {

@@ -1,0 +1,607 @@
+// Event-loop connection plane (DESIGN.md decision 14): the same contracts
+// the thread-per-connection plane honors — hostile-client survival, full
+// resource reclamation, serial/parallel bit-identity, slow-client overflow
+// policies — re-proven with connections multiplexed onto a fixed pool of
+// event-loop threads (level- and edge-triggered, epoll and poll backends),
+// plus the one property the legacy plane cannot have: thread count that
+// does not grow with the client count.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/alib/alib.h"
+#include "src/hw/board.h"
+#include "src/server/server.h"
+#include "src/toolkit/toolkit.h"
+#include "src/transport/event_loop.h"
+#include "src/transport/framer.h"
+#include "src/transport/socket_stream.h"
+#include "tests/server_fixture.h"
+
+namespace aud {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;  // fixed: failures replay exactly
+
+// -- Raw protocol helpers (hostile clients do not get the comfort of Alib) --
+
+ResourceId RawSetup(ByteStream* stream, const std::string& name) {
+  SetupRequest request;
+  request.client_name = name;
+  ByteWriter w;
+  request.Encode(&w);
+  if (!WriteMessage(stream, MessageType::kRequest, kSetupOpcode, 0, w.bytes())) {
+    return kNoResource;
+  }
+  std::optional<FramedMessage> reply = ReadMessage(stream);
+  if (!reply) {
+    return kNoResource;
+  }
+  ByteReader r(reply->payload);
+  SetupReply setup = SetupReply::Decode(&r);
+  return (r.ok() && setup.success != 0) ? setup.id_base : kNoResource;
+}
+
+void SendReq(ByteStream* stream, Opcode opcode, uint32_t seq,
+             std::span<const uint8_t> payload) {
+  // Failures are expected (the server may have cut us off); ignored.
+  WriteMessage(stream, MessageType::kRequest, static_cast<uint16_t>(opcode), seq,
+               payload);
+}
+
+// Builds up a reply backlog it never reads: the overflow policy must cut it
+// (and only it) off.
+void StallerClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  ResourceId id_base = RawSetup(stream.get(), "staller-" + std::to_string(index));
+  if (id_base == kNoResource) {
+    return;
+  }
+  CreateSoundReq create;
+  create.id = id_base;
+  create.format = kTelephoneFormat;
+  ByteWriter cw;
+  create.Encode(&cw);
+  SendReq(stream.get(), Opcode::kCreateSound, 1, cw.bytes());
+
+  WriteSoundDataReq write;
+  write.id = id_base;
+  write.data.assign(32 * 1024, 0x55);
+  ByteWriter ww;
+  write.Encode(&ww);
+  SendReq(stream.get(), Opcode::kWriteSoundData, 2, ww.bytes());
+
+  ReadSoundDataReq read;
+  read.id = id_base;
+  read.length = 32 * 1024;
+  ByteWriter rw;
+  read.Encode(&rw);
+  for (uint32_t i = 0; i < 200; ++i) {
+    SendReq(stream.get(), Opcode::kReadSoundData, 3 + i, rw.bytes());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stream->Close();
+}
+
+void FlooderClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  if (RawSetup(stream.get(), "flooder-" + std::to_string(index)) == kNoResource) {
+    return;
+  }
+  std::vector<uint8_t> junk(64, static_cast<uint8_t>(index));
+  for (uint32_t i = 0; i < 400; ++i) {
+    SendReq(stream.get(), static_cast<Opcode>(200 + i % 17), i, junk);
+  }
+  stream->Close();
+}
+
+void TruncatorClient(uint16_t port, int index) {
+  auto stream = ConnectTcp("127.0.0.1", port);
+  if (stream == nullptr) {
+    return;
+  }
+  std::vector<uint8_t> garbage(7 + index % 11, 0xEE);
+  stream->Write(garbage);
+  stream->Close();
+}
+
+// Dies between a header and its payload (the loop's Framer is left
+// mid-frame), then again after a partial payload.
+void MidFrameKillerClient(uint16_t port, int index) {
+  for (size_t cut : {size_t{0}, size_t{5}}) {
+    auto stream = ConnectTcp("127.0.0.1", port);
+    if (stream == nullptr) {
+      return;
+    }
+    if (RawSetup(stream.get(), "killer-" + std::to_string(index)) == kNoResource) {
+      return;
+    }
+    std::vector<uint8_t> frame =
+        FrameMessage(MessageType::kRequest, 3, 1, std::vector<uint8_t>(64, 0xAA));
+    stream->Write(std::span<const uint8_t>(frame).first(kHeaderSize + cut));
+    stream->Close();
+  }
+}
+
+void NormalClient(uint16_t port, int index) {
+  ConnectRetryOptions retry;
+  retry.attempts = 10;
+  retry.backoff_ms = 10;
+  retry.jitter_seed = kSeed + static_cast<uint64_t>(index);
+  auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", port,
+                                            "normal-" + std::to_string(index), retry);
+  if (conn == nullptr) {
+    return;
+  }
+  conn->set_rpc_deadline_ms(5000);
+  for (int round = 0; round < 3; ++round) {
+    ResourceId loud = conn->CreateLoud(kNoResource, {});
+    conn->CreateDevice(loud, DeviceClass::kOutput, {});
+    if (!conn->Sync().ok()) {
+      break;  // server cut us off under pressure; acceptable
+    }
+    conn->DestroyLoud(loud);
+  }
+  conn->Close();
+}
+
+// Current thread count of this process, or -1 when /proc is unavailable.
+int ProcessThreadCount() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  int threads = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+ServerStatsReply StatsOf(AudioServer* server) {
+  MutexLock lock(&server->mutex());
+  return server->state().BuildServerStats(false);
+}
+
+bool WaitForReclaim(AudioServer* server, size_t want_objects) {
+  for (int i = 0; i < 500; ++i) {
+    size_t objects;
+    int64_t open;
+    {
+      MutexLock lock(&server->mutex());
+      objects = server->state().object_count();
+      open = server->state().BuildServerStats(false).connections_open;
+    }
+    if (open == 0 && objects == want_objects) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop unit coverage: both backends through the bare interface.
+
+class EventLoopTest : public ::testing::TestWithParam<EventLoopOptions::Backend> {};
+
+TEST_P(EventLoopTest, DispatchesReadinessAndInterestChanges) {
+  EventLoopOptions options;
+  options.backend = GetParam();
+  options.wait_timeout_ms = 10;
+  EventLoop loop(options);
+  ASSERT_TRUE(loop.Start());
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::atomic<int> readable{0};
+  std::atomic<int> writable{0};
+  loop.Add(fds[0], [&](uint32_t events) {
+    if ((events & kLoopReadable) != 0) {
+      uint8_t buf[16];
+      while (::recv(fds[0], buf, sizeof(buf), MSG_DONTWAIT) > 0) {
+      }
+      readable.fetch_add(1);
+    }
+    if ((events & kLoopWritable) != 0) {
+      writable.fetch_add(1);
+      loop.SetWantWrite(fds[0], false);  // one-shot, from the handler itself
+    }
+  });
+
+  // Readability: a byte from the peer must reach the handler.
+  uint8_t one = 1;
+  ASSERT_EQ(::send(fds[1], &one, 1, 0), 1);
+  for (int i = 0; i < 200 && readable.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(readable.load(), 1);
+
+  // Cross-thread write arming: an idle socket is immediately writable.
+  loop.SetWantWrite(fds[0], true);
+  for (int i = 0; i < 200 && writable.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(writable.load(), 1);
+
+  // After Remove, further readiness must not reach the handler.
+  loop.Remove(fds[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const int readable_after_remove = readable.load();
+  ASSERT_EQ(::send(fds[1], &one, 1, 0), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(readable.load(), readable_after_remove);
+
+  loop.Stop();
+  loop.Stop();  // idempotent
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::Values(EventLoopOptions::Backend::kAuto,
+                                           EventLoopOptions::Backend::kPoll));
+
+// ---------------------------------------------------------------------------
+// Loop-plane server behavior.
+
+TEST(EventLoopPlane, ServesClientsAndReportsLoopStats) {
+  ServerOptions options;
+  options.connection_threads = 2;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_EQ(server.connection_loops(), 2u);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  std::vector<std::unique_ptr<AudioConnection>> clients;
+  for (int i = 0; i < 6; ++i) {
+    auto conn =
+        AudioConnection::OpenTcp("127.0.0.1", port, "loop-" + std::to_string(i));
+    ASSERT_NE(conn, nullptr);
+    ResourceId loud = conn->CreateLoud(kNoResource, {});
+    conn->CreateDevice(loud, DeviceClass::kOutput, {});
+    ASSERT_TRUE(conn->Sync().ok());
+    clients.push_back(std::move(conn));
+  }
+
+  // The stats reply carries the v6 loop plane: both loops up, every client
+  // fd watched, wait syscalls accumulating.
+  auto wire = clients[0]->GetServerStats(false);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  const ServerStatsReply& s = wire.value();
+  EXPECT_EQ(s.stats_version, kServerStatsVersion);
+  EXPECT_EQ(s.loops, 2u);
+  EXPECT_GE(s.fds_watched, 6);
+  EXPECT_GT(s.epoll_waits, 0u);
+  EXPECT_EQ(s.connections_open, 6);
+  EXPECT_GT(s.loop_dispatch_us.count, 0u);
+
+  for (auto& conn : clients) {
+    conn->Close();
+  }
+  clients.clear();
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const ServerStatsReply now = StatsOf(&server);
+    drained = now.connections_open == 0 && now.fds_watched == 0;
+  }
+  const ServerStatsReply end = StatsOf(&server);
+  EXPECT_TRUE(drained) << "open=" << end.connections_open
+                       << " fds_watched=" << end.fds_watched;
+  server.Shutdown();
+}
+
+TEST(EventLoopPlane, PollBackendServesClients) {
+  ServerOptions options;
+  options.connection_threads = 2;
+  options.loop_use_poll = true;  // portable fallback, forced on Linux too
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+
+  auto conn = AudioConnection::OpenTcp("127.0.0.1", server.tcp_port(), "poll-client");
+  ASSERT_NE(conn, nullptr);
+  ResourceId loud = conn->CreateLoud(kNoResource, {});
+  conn->CreateDevice(loud, DeviceClass::kOutput, {});
+  ASSERT_TRUE(conn->Sync().ok());
+  auto stats = conn->GetServerStats(false);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().loops, 2u);
+  EXPECT_GT(stats.value().epoll_waits, 0u);  // poll(2) waits count here too
+  conn->Close();
+  server.Shutdown();
+}
+
+TEST(EventLoopPlane, ThreadCountDoesNotGrowWithClients) {
+  const int probe = ProcessThreadCount();
+  if (probe < 0) {
+    GTEST_SKIP() << "/proc/self/status unavailable";
+  }
+  ServerOptions options;
+  options.connection_threads = 2;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int threads_idle = ProcessThreadCount();
+  ASSERT_GT(threads_idle, 0);
+
+  // Raw clients (no Alib reader threads in this process): every accepted
+  // connection must be multiplexed, not given threads of its own.
+  std::vector<std::unique_ptr<ByteStream>> clients;
+  for (int i = 0; i < 16; ++i) {
+    auto stream = ConnectTcp("127.0.0.1", port);
+    ASSERT_NE(stream, nullptr);
+    ASSERT_NE(RawSetup(stream.get(), "counted-" + std::to_string(i)), kNoResource);
+    clients.push_back(std::move(stream));
+  }
+  EXPECT_EQ(StatsOf(&server).connections_open, 16);
+  const int threads_loaded = ProcessThreadCount();
+  EXPECT_EQ(threads_loaded, threads_idle)
+      << "16 loop-plane clients changed the process thread count";
+
+  for (auto& stream : clients) {
+    stream->Close();
+  }
+  clients.clear();
+  server.Shutdown();
+}
+
+TEST(EventLoopPlane, MidReadinessClientDeathReclaimsEverything) {
+  ServerOptions options;
+  options.connection_threads = 2;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+  size_t objects_before;
+  {
+    MutexLock lock(&server.mutex());
+    objects_before = server.state().object_count();
+  }
+
+  // A client that creates a server-side object, then dies mid-frame: the
+  // loop sees EOF with the Framer mid-payload and must reclaim the sound.
+  auto stream = ConnectTcp("127.0.0.1", port);
+  ASSERT_NE(stream, nullptr);
+  ResourceId id_base = RawSetup(stream.get(), "doomed");
+  ASSERT_NE(id_base, kNoResource);
+  CreateSoundReq create;
+  create.id = id_base;
+  create.format = kTelephoneFormat;
+  ByteWriter cw;
+  create.Encode(&cw);
+  SendReq(stream.get(), Opcode::kCreateSound, 1, cw.bytes());
+  std::vector<uint8_t> frame =
+      FrameMessage(MessageType::kRequest, 3, 2, std::vector<uint8_t>(128, 0xAB));
+  stream->Write(std::span<const uint8_t>(frame).first(kHeaderSize + 17));
+  stream->Close();
+  stream.reset();
+
+  EXPECT_TRUE(WaitForReclaim(&server, objects_before))
+      << "open=" << StatsOf(&server).connections_open;
+  server.Shutdown();
+}
+
+class EventLoopOverflow : public ::testing::TestWithParam<EgressOverflowPolicy> {};
+
+TEST_P(EventLoopOverflow, SlowClientIsCutOffAndReclaimed) {
+  // Replies are never shed under either policy, so a reply backlog past the
+  // budget must disconnect the staller on the loop path — kDropEvents may
+  // shed queued events first, kDisconnect cuts straight away.
+  ServerOptions options;
+  options.connection_threads = 2;
+  options.egress_buffer_bytes = 8 * 1024;
+  options.egress_overflow = GetParam();
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+  size_t objects_before;
+  {
+    MutexLock lock(&server.mutex());
+    objects_before = server.state().object_count();
+  }
+
+  StallerClient(port, 0);
+
+  const ServerStatsReply after = StatsOf(&server);
+  EXPECT_GE(after.egress_disconnects, 1u);
+  EXPECT_TRUE(WaitForReclaim(&server, objects_before))
+      << "open=" << StatsOf(&server).connections_open;
+
+  // The cut-off was surgical: a fresh client is served normally.
+  auto fresh = AudioConnection::OpenTcp("127.0.0.1", port, "fresh");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->Sync().ok());
+  fresh->Close();
+  server.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EventLoopOverflow,
+                         ::testing::Values(EgressOverflowPolicy::kDropEvents,
+                                           EgressOverflowPolicy::kDisconnect));
+
+// The decision-11 chaos contract, re-run with the connection plane
+// multiplexed: 25 hostile clients against 2 loop threads.
+void RunHostileMix(bool edge_triggered) {
+  ServerOptions options;
+  options.egress_buffer_bytes = 8 * 1024;  // small: overflow must trigger
+  options.engine_threads = 2;
+  options.connection_threads = 2;
+  options.loop_edge_triggered = edge_triggered;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const ServerStatsReply idle = StatsOf(&server);
+  ASSERT_GT(idle.ticks_run, 0u);
+  const double idle_p99 = idle.tick_us.empty() ? 0.0 : idle.tick_us.Percentile(99);
+  size_t objects_before;
+  {
+    MutexLock lock(&server.mutex());
+    objects_before = server.state().object_count();
+  }
+
+  constexpr int kClients = 25;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([port, i] {
+      switch (i % 5) {
+        case 0: NormalClient(port, i); break;
+        case 1: StallerClient(port, i); break;
+        case 2: FlooderClient(port, i); break;
+        case 3: TruncatorClient(port, i); break;
+        case 4: MidFrameKillerClient(port, i); break;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  const ServerStatsReply after = StatsOf(&server);
+  EXPECT_GT(after.ticks_run, idle.ticks_run);
+  EXPECT_GE(after.egress_disconnects, 1u);
+  EXPECT_GT(after.requests_total, idle.requests_total);
+  EXPECT_GT(after.request_errors_total, 0u);
+  EXPECT_EQ(after.loops, 2u);
+
+  // Still serving; the loop plane reports over the wire.
+  ConnectRetryOptions retry;
+  retry.attempts = 20;
+  retry.backoff_ms = 10;
+  auto fresh = AudioConnection::OpenTcpRetry("127.0.0.1", port, "survivor", retry);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->Sync().ok());
+  auto wire_stats = fresh->GetServerStats(false);
+  ASSERT_TRUE(wire_stats.ok()) << wire_stats.status().ToString();
+  EXPECT_GE(wire_stats.value().egress_disconnects, 1u);
+  fresh->Close();
+
+  // Full reclamation: gauge to zero, registry back to its pre-chaos size,
+  // and no fd left watched by any loop.
+  bool reclaimed = false;
+  for (int i = 0; i < 500 && !reclaimed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const ServerStatsReply now = StatsOf(&server);
+    size_t objects;
+    {
+      MutexLock lock(&server.mutex());
+      objects = server.state().object_count();
+    }
+    reclaimed = now.connections_open == 0 && now.fds_watched == 0 &&
+                objects == objects_before;
+  }
+  EXPECT_TRUE(reclaimed) << "open=" << StatsOf(&server).connections_open
+                         << " fds_watched=" << StatsOf(&server).fds_watched;
+
+  const double p99 = after.tick_us.empty() ? 0.0 : after.tick_us.Percentile(99);
+  EXPECT_LE(p99, std::max(2.0 * idle_p99, 20000.0));
+
+  server.Shutdown();
+}
+
+TEST(EventLoopPlane, SurvivesHostileClientMixLevelTriggered) {
+  RunHostileMix(/*edge_triggered=*/false);
+}
+
+TEST(EventLoopPlane, SurvivesHostileClientMixEdgeTriggered) {
+  RunHostileMix(/*edge_triggered=*/true);
+}
+
+TEST(EventLoopPlane, SerialAndParallelEnginesStayBitIdentical) {
+  // Decision 7/12's bit-identity contract, with requests arriving through
+  // the loop plane instead of reader threads: the transport swap must not
+  // perturb engine output. A hostile flooder rides along on both runs.
+  std::vector<Sample> captures[2];
+  for (int threads : {1, 4}) {
+    BoardConfig config;
+    ServerOptions options;
+    options.engine_threads = threads;
+    options.connection_threads = 2;
+    Board board(config);
+    AudioServer server(&board, options);
+    board.speakers()[0]->set_capture_output(true);
+    ASSERT_TRUE(server.ListenTcp(0));
+    const uint16_t port = server.tcp_port();
+
+    auto client = AudioConnection::OpenTcp("127.0.0.1", port, "player");
+    ASSERT_NE(client, nullptr);
+    AudioToolkit toolkit(client.get());
+    toolkit.set_time_pump([&] { server.StepFrames(160); });
+
+    std::vector<Sample> pcm(4000);
+    for (size_t i = 0; i < pcm.size(); ++i) {
+      pcm[i] = static_cast<Sample>(6000.0 * std::sin(0.2 * static_cast<double>(i)));
+    }
+    ResourceId sound = toolkit.UploadSound(pcm, {Encoding::kPcm16, 8000});
+    auto chain = toolkit.BuildPlaybackChain();
+    client->Enqueue(chain.loud, {PlayCommand(chain.player, sound, 1)});
+    client->StartQueue(chain.loud);
+    ASSERT_TRUE(client->Sync().ok());
+
+    auto hostile = ConnectTcp("127.0.0.1", port);
+    ASSERT_NE(hostile, nullptr);
+    ASSERT_NE(RawSetup(hostile.get(), "hostile"), kNoResource);
+    std::atomic<bool> stop{false};
+    std::thread hostile_thread([&] {
+      std::vector<uint8_t> junk(32, 0xBD);
+      uint32_t seq = 1;
+      while (!stop.load()) {
+        SendReq(hostile.get(), static_cast<Opcode>(230 + seq % 7), seq, junk);
+        ++seq;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+
+    server.StepFrames(160 * 40);  // 800 ms: the whole sound plus completion
+
+    stop.store(true);
+    hostile_thread.join();
+    hostile->Close();
+    captures[threads == 1 ? 0 : 1] = board.speakers()[0]->played();
+    client->Close();
+    server.Shutdown();
+  }
+  EXPECT_GT(Rms(captures[0]), 0.0) << "workload was silent";
+  ASSERT_EQ(captures[0].size(), captures[1].size());
+  EXPECT_TRUE(captures[0] == captures[1])
+      << "parallel engine output diverged from serial on the loop plane";
+}
+
+}  // namespace
+}  // namespace aud

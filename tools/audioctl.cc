@@ -243,7 +243,8 @@ int CmdStats(AudioConnection& audio, bool json) {
     PrintHistogramJson("dispatch_us", s.dispatch_us, false);
     PrintHistogramJson("lock_wait_us", s.lock_wait_us, false);
     PrintHistogramJson("epoch_commit_us", s.epoch_commit_us, false);
-    PrintHistogramJson("mouth_to_ear_us", s.mouth_to_ear_us, true);
+    PrintHistogramJson("mouth_to_ear_us", s.mouth_to_ear_us, false);
+    PrintHistogramJson("loop_dispatch_us", s.loop_dispatch_us, true);
     std::printf("  },\n");
     std::printf("  \"requests\": {\"total\": %llu, \"errors\": %llu},\n",
                 static_cast<unsigned long long>(s.requests_total),
@@ -291,10 +292,17 @@ int CmdStats(AudioConnection& audio, bool json) {
                 static_cast<unsigned long long>(s.epoch_commits),
                 static_cast<unsigned long long>(s.dispatch_shard_contention));
     std::printf("  \"tracing\": {\"spans\": %llu, \"requests_sampled\": %llu, "
-                "\"sample_every\": %u}\n",
+                "\"sample_every\": %u},\n",
                 static_cast<unsigned long long>(s.trace_spans),
                 static_cast<unsigned long long>(s.trace_requests_sampled),
                 s.trace_sample_every);
+    std::printf("  \"loops\": {\"count\": %u, \"fds_watched\": %lld, "
+                "\"epoll_waits\": %llu, \"wakeups\": %llu, "
+                "\"readiness_spurious\": %llu}\n",
+                s.loops, static_cast<long long>(s.fds_watched),
+                static_cast<unsigned long long>(s.epoll_waits),
+                static_cast<unsigned long long>(s.wakeups),
+                static_cast<unsigned long long>(s.readiness_spurious));
     std::printf("}\n");
     return 0;
   }
@@ -361,6 +369,19 @@ int CmdStats(AudioConnection& audio, bool json) {
     std::printf("tracing: off (start audiond with --trace-sample N)\n");
   }
   PrintHistogramLine("mouth-to-ear us", s.mouth_to_ear_us);
+  if (s.loops > 0) {
+    std::printf("loops: %u event loop%s, %lld fds watched; %llu waits, "
+                "%llu wakeups, %llu spurious\n",
+                s.loops, s.loops == 1 ? "" : "s",
+                static_cast<long long>(s.fds_watched),
+                static_cast<unsigned long long>(s.epoll_waits),
+                static_cast<unsigned long long>(s.wakeups),
+                static_cast<unsigned long long>(s.readiness_spurious));
+    PrintHistogramLine("loop dispatch us", s.loop_dispatch_us);
+  } else {
+    std::printf("loops: off (thread-per-connection; start audiond with "
+                "--connection-threads N)\n");
+  }
   return 0;
 }
 

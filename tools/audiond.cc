@@ -4,9 +4,9 @@
 //
 // Usage:
 //   audiond [--port N] [--speakers N] [--microphones N] [--lines N]
-//           [--engine-threads N] [--speakerphone] [--wav-out FILE]
-//           [--stats-interval-ms N] [--trace-sample N] [--metrics-port N]
-//           [--flight-dump FILE] [--verbose]
+//           [--engine-threads N] [--connection-threads N] [--speakerphone]
+//           [--wav-out FILE] [--stats-interval-ms N] [--trace-sample N]
+//           [--metrics-port N] [--flight-dump FILE] [--verbose]
 //
 // --wav-out streams everything played on speaker0 into a WAV file so the
 // simulated output is audible with ordinary tooling.
@@ -110,6 +110,13 @@ int main(int argc, char** argv) {
       if (options.engine_threads < 1) {
         options.engine_threads = 1;
       }
+    } else if (arg == "--connection-threads") {
+      int n = next_int(0);
+      options.connection_threads = n > 0 ? static_cast<uint32_t>(n) : 0;
+    } else if (arg == "--loop-poll") {
+      options.loop_use_poll = true;
+    } else if (arg == "--loop-edge") {
+      options.loop_edge_triggered = true;
     } else if (arg == "--speakerphone") {
       config.speakerphone = true;
     } else if (arg == "--wav-out") {
@@ -155,7 +162,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: audiond [--port N] [--speakers N] [--microphones N] "
-                   "[--lines N] [--engine-threads N] [--speakerphone] "
+                   "[--lines N] [--engine-threads N] [--connection-threads N] "
+                   "[--loop-poll] [--loop-edge] [--speakerphone] "
                    "[--wav-out FILE] [--catalogue DIR] [--stats-interval-ms N] "
                    "[--trace-sample N] [--metrics-port N] [--flight-dump FILE] "
                    "[--egress-buffer-bytes N] [--egress-overflow drop-events|disconnect] "
@@ -218,6 +226,14 @@ int main(int argc, char** argv) {
               config.speakerphone ? " + speakerphone" : "");
   std::printf("audiond: engine: %d thread(s)%s\n", options.engine_threads,
               options.engine_threads > 1 ? " (island-parallel tick)" : "");
+  if (server.connection_loops() > 0) {
+    std::printf("audiond: connections: %zu event loop(s)%s%s\n",
+                server.connection_loops(),
+                options.loop_use_poll ? " [poll backend]" : "",
+                options.loop_edge_triggered ? " [edge-triggered]" : "");
+  } else {
+    std::printf("audiond: connections: thread-per-connection\n");
+  }
   if (options.trace_sample_every > 0) {
     std::printf("audiond: tracing every %uth request per connection\n",
                 options.trace_sample_every);
@@ -304,12 +320,13 @@ int main(int argc, char** argv) {
         MutexLock lock(&server.mutex());
         stats = server.state().BuildServerStats(false);
       }
-      char line[400];
+      char line[512];
       std::snprintf(line, sizeof(line),
                     "stats: ticks=%llu overruns=%llu tick_p99=%.0fus jitter_p99=%.0fus "
                     "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu "
                     "ev_dropped=%llu egress_cuts=%llu epochs=%llu shard_cont=%llu "
-                    "commit_p99=%.0fus lockwait_p99=%.0fus",
+                    "commit_p99=%.0fus lockwait_p99=%.0fus "
+                    "loops=%u fds=%lld loopdisp_p99=%.0fus",
                     static_cast<unsigned long long>(stats.ticks_run),
                     static_cast<unsigned long long>(stats.tick_overruns),
                     stats.tick_us.empty() ? 0.0 : stats.tick_us.Percentile(99),
@@ -324,7 +341,10 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(stats.epoch_commits),
                     static_cast<unsigned long long>(stats.dispatch_shard_contention),
                     stats.epoch_commit_us.empty() ? 0.0 : stats.epoch_commit_us.Percentile(99),
-                    stats.lock_wait_us.empty() ? 0.0 : stats.lock_wait_us.Percentile(99));
+                    stats.lock_wait_us.empty() ? 0.0 : stats.lock_wait_us.Percentile(99),
+                    stats.loops, static_cast<long long>(stats.fds_watched),
+                    stats.loop_dispatch_us.empty() ? 0.0
+                                                   : stats.loop_dispatch_us.Percentile(99));
       LogMessage(LogLevel::kInfo, line);
     }
   }
