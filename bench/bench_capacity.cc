@@ -31,6 +31,11 @@
 // Emitted via bench/bench_json.h for tools/benchdiff. Capacity counts are
 // named *_speedup so benchdiff treats higher as better; per-step latency
 // extras keep the default lower-is-better direction.
+//
+// --with-limits re-runs the ladder with overload protection armed (decision
+// 15) at thresholds a compliant client never trips; the pass criterion then
+// also requires zero rate-limit/quota/admission refusals, so the run proves
+// the guards are free for clients that behave.
 
 #include <sys/resource.h>
 
@@ -345,17 +350,36 @@ struct StepResult {
   uint64_t egress_disconnects = 0;
   uint64_t events_sent = 0;
   uint64_t events_received = 0;
+  uint64_t rate_limited = 0;
+  uint64_t quota_denials = 0;
   double window_s = 0;
   bool pass = false;
 };
 
-StepResult RunStep(uint32_t connection_threads, int clients, int window_ms) {
+// with_limits runs the identical workload against a server with overload
+// protection armed (DESIGN.md decision 15). The limits are sized so a
+// compliant capacity client never trips them — the chain build bursts ~12
+// requests and one 80 KB sound upload, the hold phase trickles syncs — so
+// the step must pass the same SLOs *and* record zero refusals, proving the
+// admission/bucket/quota checks cost compliant clients nothing.
+StepResult RunStep(uint32_t connection_threads, int clients, int window_ms,
+                   bool with_limits) {
   StepResult result;
   result.clients = clients;
   result.players = (clients + kPlayerStride - 1) / kPlayerStride;
 
   ServerOptions options;
   options.connection_threads = connection_threads;
+  if (with_limits) {
+    options.max_connections = static_cast<size_t>(clients) + 8;
+    options.limit_rps = 2000;
+    options.limit_rps_burst = 256;
+    options.limit_bps = 4 << 20;
+    options.limit_bps_burst = 1 << 20;
+    options.quota_devices = 8;
+    options.quota_sound_bytes = 1 << 20;
+    options.quota_plays = 4;
+  }
   Board board{BoardConfig{}};
   AudioServer server(&board, options);
   if (!server.ListenTcp(0)) {
@@ -462,11 +486,16 @@ StepResult RunStep(uint32_t connection_threads, int clients, int window_ms) {
   result.fds_watched = stats.fds_watched;
   result.egress_disconnects = stats.egress_disconnects;
   result.events_sent = stats.events_sent;
+  result.rate_limited = stats.rate_limited;
+  result.quota_denials = stats.quota_denials;
   result.pass = result.connected == clients && result.died == 0 &&
                 result.egress_disconnects == 0 &&
                 result.tick_p99_us <= kSloTickP99Us &&
                 result.dispatch_p99_us <= kSloDispatchP99Us &&
-                result.events_received >= static_cast<uint64_t>(result.players);
+                result.events_received >= static_cast<uint64_t>(result.players) &&
+                // With limits armed, compliant traffic must sail through.
+                result.rate_limited == 0 && result.quota_denials == 0 &&
+                stats.admission_rejects == 0;
   return result;
 }
 
@@ -478,6 +507,17 @@ const char* PlaneName(uint32_t connection_threads) {
 }  // namespace aud
 
 int main(int argc, char** argv) {
+  // --with-limits is ours; strip it before the common parser warns.
+  bool with_limits = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-limits") == 0) {
+      with_limits = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   aud::BenchFlags flags = aud::BenchFlags::Parse(argc, argv);
 
   // The legacy plane burns 2 fds-worth of kernel objects and 2 threads per
@@ -500,30 +540,35 @@ int main(int argc, char** argv) {
   aud::BenchJsonWriter json("capacity");
   int capacity[2] = {0, 0};  // [0]=legacy, [1]=loop
   int loop_thread_delta_max = 0;
+  // Limit-armed steps get their own names so benchdiff never compares a
+  // guarded run against an unguarded baseline.
+  const std::string step_prefix = with_limits ? "step_limits/" : "step/";
 
   for (int plane = 0; plane < 2; ++plane) {
     const uint32_t connection_threads = plane == 0 ? 0u : 4u;
     const std::vector<int>& ladder = plane == 0 ? legacy_ladder : loop_ladder;
     for (int clients : ladder) {
-      aud::StepResult r = aud::RunStep(connection_threads, clients, window_ms);
+      aud::StepResult r =
+          aud::RunStep(connection_threads, clients, window_ms, with_limits);
       // threads_before is sampled before the bench spawns its own workers,
       // so subtract them: the delta isolates server-side thread growth.
       const int thread_delta = r.threads_loaded - r.threads_before - r.bench_threads;
       std::printf(
-          "capacity/%s/%d: %s connected=%d players=%d died=%d tick_p99=%.0fus "
+          "capacity%s/%s/%d: %s connected=%d players=%d died=%d tick_p99=%.0fus "
           "dispatch_p99=%.0fus loop_dispatch_p99=%.0fus threads=%d (+%d) "
-          "fds=%lld events rx=%llu tx=%llu cuts=%llu\n",
-          aud::PlaneName(connection_threads), clients, r.pass ? "PASS" : "fail",
-          r.connected, r.players, r.died, r.tick_p99_us, r.dispatch_p99_us,
-          r.loop_dispatch_p99_us, r.threads_loaded, thread_delta,
-          static_cast<long long>(r.fds_watched),
+          "fds=%lld events rx=%llu tx=%llu cuts=%llu ratelim=%llu quota=%llu\n",
+          with_limits ? "+limits" : "", aud::PlaneName(connection_threads),
+          clients, r.pass ? "PASS" : "fail", r.connected, r.players, r.died,
+          r.tick_p99_us, r.dispatch_p99_us, r.loop_dispatch_p99_us,
+          r.threads_loaded, thread_delta, static_cast<long long>(r.fds_watched),
           static_cast<unsigned long long>(r.events_received),
           static_cast<unsigned long long>(r.events_sent),
-          static_cast<unsigned long long>(r.egress_disconnects));
+          static_cast<unsigned long long>(r.egress_disconnects),
+          static_cast<unsigned long long>(r.rate_limited),
+          static_cast<unsigned long long>(r.quota_denials));
       std::fflush(stdout);
-      auto& entry = json.Add(std::string("step/") +
-                                 aud::PlaneName(connection_threads) + "/" +
-                                 std::to_string(clients),
+      auto& entry = json.Add(step_prefix + aud::PlaneName(connection_threads) +
+                                 "/" + std::to_string(clients),
                              /*iterations=*/1, r.tick_p99_us * 1000.0);
       entry.extra.emplace_back("tick_p99_us", r.tick_p99_us);
       entry.extra.emplace_back("dispatch_p99_us", r.dispatch_p99_us);
@@ -547,13 +592,18 @@ int main(int argc, char** argv) {
 
   const double ratio =
       capacity[0] > 0 ? static_cast<double>(capacity[1]) / capacity[0] : 0.0;
-  std::printf("capacity: legacy=%d loop=%d ratio=%.2fx loop_thread_delta=%d\n",
-              capacity[0], capacity[1], ratio, loop_thread_delta_max);
+  std::printf("capacity%s: legacy=%d loop=%d ratio=%.2fx loop_thread_delta=%d\n",
+              with_limits ? "+limits" : "", capacity[0], capacity[1], ratio,
+              loop_thread_delta_max);
   // Quick runs use a toy ladder whose ratio says nothing about the full
   // acceptance run; a distinct summary name keeps benchdiff from comparing
   // the two (its per-step names never collide because the ladders differ).
-  auto& summary =
-      json.Add(flags.quick ? "capacity/summary_quick" : "capacity/summary", 1, 1.0);
+  // Limit-armed runs are a third population, named apart for the same reason.
+  std::string summary_name = flags.quick ? "capacity/summary_quick" : "capacity/summary";
+  if (with_limits) {
+    summary_name += "_limits";
+  }
+  auto& summary = json.Add(summary_name, 1, 1.0);
   summary.extra.emplace_back("legacy_clients_speedup", capacity[0]);
   summary.extra.emplace_back("loop_clients_speedup", capacity[1]);
   summary.extra.emplace_back("loop_vs_legacy_speedup", ratio);

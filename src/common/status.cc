@@ -38,6 +38,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "Limit";
     case ErrorCode::kTimeout:
       return "Timeout";
+    case ErrorCode::kRateLimited:
+      return "RateLimited";
+    case ErrorCode::kQuotaExceeded:
+      return "QuotaExceeded";
   }
   return "Unknown";
 }

@@ -52,6 +52,13 @@ enum class ErrorCode : uint8_t {
   // A blocking round-trip exceeded its client-side deadline (the request
   // may still execute on the server; only the wait was abandoned).
   kTimeout = 16,
+  // The connection exceeded its token-bucket request or ingress-byte rate
+  // and the request was dropped without dispatch (soft limit policy; the
+  // hard policy disconnects instead of answering).
+  kRateLimited = 17,
+  // The connection hit one of its per-client resource quotas (live
+  // devices, stored sound bytes, concurrent started queues).
+  kQuotaExceeded = 18,
 };
 
 // Human-readable name for an ErrorCode, for logs and test failures.

@@ -23,6 +23,7 @@
 
 #include "src/server/egress_queue.h"
 #include "src/server/metrics.h"
+#include "src/server/token_bucket.h"
 #include "src/transport/framer.h"
 #include "src/transport/stream.h"
 
@@ -127,6 +128,18 @@ class ClientConnection {
   // the reader touches it, so a plain field suffices).
   uint64_t& trace_sample_counter() { return trace_sample_counter_; }
 
+  // Rate-limit buckets (DESIGN.md decision 15), owned by the same thread
+  // that reads this connection — plain fields like the sample counter.
+  // Configure (from AddConnection, before the first read) via
+  // ConfigureRateLimits; check via CheckRateLimit on the server.
+  void ConfigureRateLimits(double rps, double rps_burst, double bps,
+                           double bps_burst) {
+    rps_bucket_.Configure(rps, rps_burst);
+    bps_bucket_.Configure(bps, bps_burst);
+  }
+  TokenBucket& rps_bucket() { return rps_bucket_; }
+  TokenBucket& bps_bucket() { return bps_bucket_; }
+
   // ---- Event-loop mode (DESIGN.md decision 14) ----
   // In loop mode the connection owns no threads: the loop that the fd
   // hashes to drives TryReadFrame/DrainEgress from its one thread, and
@@ -185,6 +198,8 @@ class ClientConnection {
   std::string client_name_;
   ConnectionStats stats_;
   uint64_t trace_sample_counter_ = 0;
+  TokenBucket rps_bucket_;
+  TokenBucket bps_bucket_;
   EgressQueue egress_;
   // Loop-mode I/O state (loop thread only): the resumable framer and the
   // partially written wire frame carried across EPOLLOUT rounds.

@@ -207,6 +207,12 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kBadResource, req.loud, "bad LOUD for device");
         break;
       }
+      if (options_.quota_devices != 0 &&
+          state_.CountOwnedDevices(conn->index()) >= options_.quota_devices) {
+        metrics.quota_denials.Increment();
+        send_error(ErrorCode::kQuotaExceeded, req.id, "device quota exceeded");
+        break;
+      }
       auto device = CreateVirtualDevice(req.id, conn->index(), req.device_class, loud,
                                         std::move(req.attrs));
       if (device == nullptr) {
@@ -501,6 +507,15 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
         send_error(ErrorCode::kAlloc, req.id, "sound too large");
         break;
       }
+      const uint64_t end = req.offset + req.data.size();
+      const uint64_t growth = end > sound->size_bytes() ? end - sound->size_bytes() : 0;
+      if (options_.quota_sound_bytes != 0 && growth > 0 &&
+          state_.CountOwnedSoundBytes(sound->owner()) + growth >
+              options_.quota_sound_bytes) {
+        metrics.quota_denials.Increment();
+        send_error(ErrorCode::kQuotaExceeded, req.id, "sound byte quota exceeded");
+        break;
+      }
       sound->Write(req.offset, req.data);
       break;
     }
@@ -550,6 +565,13 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
       const CatalogueSound* entry = state_.FindCatalogueSound(req.name);
       if (entry == nullptr) {
         send_error(ErrorCode::kBadName, req.id, "no catalogue sound: " + req.name);
+        break;
+      }
+      if (options_.quota_sound_bytes != 0 &&
+          state_.CountOwnedSoundBytes(conn->index()) + entry->data.size() >
+              options_.quota_sound_bytes) {
+        metrics.quota_denials.Increment();
+        send_error(ErrorCode::kQuotaExceeded, req.id, "sound byte quota exceeded");
         break;
       }
       auto sound = std::make_unique<SoundObject>(req.id, conn->index(), entry->format);
@@ -645,6 +667,16 @@ void AudioServer::HandleRequest(ClientConnection* conn, const FramedMessage& mes
       }
       EngineShardGuard shard(&state_, &metrics, loud);
       CommandQueue* queue = loud->queue();
+      // Concurrent-play quota: only a Start that actually brings a stopped
+      // queue to life consumes a slot (re-starting a started queue is an
+      // error further down, and pause/resume keep the slot they hold).
+      if (opcode == Opcode::kStartQueue && options_.quota_plays != 0 &&
+          queue->state() == QueueState::kStopped &&
+          state_.CountRunningQueues(conn->index()) >= options_.quota_plays) {
+        metrics.quota_denials.Increment();
+        send_error(ErrorCode::kQuotaExceeded, req.id, "concurrent play quota exceeded");
+        break;
+      }
       Status status;
       switch (opcode) {
         case Opcode::kStartQueue:

@@ -78,6 +78,15 @@ struct ServerMetrics {
   obs::Counter trace_requests_sampled;    // requests that got a root span
   std::atomic<uint64_t> last_trace_id{0}; // most recent sampled trace id
 
+  // -- Overload protection (DESIGN.md decision 15) ---------------------------
+  obs::Counter admission_rejects;        // connections closed at accept time
+  obs::Counter rate_limited;             // requests refused by a token bucket
+  obs::Counter rate_limit_disconnects;   // flooders cut by the hard policy
+  obs::Counter quota_denials;            // requests refused by a client quota
+  obs::Gauge draining;                   // 1 while a graceful drain runs
+  obs::Counter drain_forced_closes;      // unflushed conns cut at the deadline
+  obs::Gauge drain_duration_ms;          // wall time of the last drain
+
   // -- Command queues --------------------------------------------------------
   obs::Counter commands_enqueued;
   obs::Counter commands_done;

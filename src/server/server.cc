@@ -82,6 +82,17 @@ void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
       ++it;
     }
   }
+  // Admission control (decision 15): over capacity — or draining toward
+  // shutdown — the connection is politely closed before it gets a reader
+  // or an fd registration, and the accept loop keeps running. connections_
+  // holds only live connections here (the finished were just pruned).
+  if ((options_.max_connections != 0 &&
+       connections_.size() >= options_.max_connections) ||
+      draining_.load()) {
+    metrics_->admission_rejects.Increment();
+    stream->Close();
+    return;
+  }
   const uint32_t index = next_connection_index_++;
   if (fault_options_.enabled) {
     stream = MaybeWrapFault(std::move(stream), fault_options_.ForInstance(index));
@@ -90,6 +101,14 @@ void AudioServer::AddConnection(std::unique_ptr<ByteStream> stream) {
       index, std::move(stream), options_.egress_buffer_bytes, options_.egress_overflow);
   ClientConnection* raw = conn.get();
   raw->set_metrics(metrics_);
+  // Burst defaults to one second's worth of the rate (decision 15).
+  raw->ConfigureRateLimits(
+      static_cast<double>(options_.limit_rps),
+      static_cast<double>(options_.limit_rps_burst != 0 ? options_.limit_rps_burst
+                                                        : options_.limit_rps),
+      static_cast<double>(options_.limit_bps),
+      static_cast<double>(options_.limit_bps_burst != 0 ? options_.limit_bps_burst
+                                                        : options_.limit_bps));
   metrics_->connections_total.Increment();
   metrics_->connections_open.Add(1);
   obs::Trace(obs::TraceReason::kConnectionOpen, raw->index());
@@ -181,6 +200,13 @@ void AudioServer::ReaderLoop(ClientConnection* conn) {
     }
     metrics.bytes_in.Increment(kHeaderSize + message->payload.size());
     conn->stats().bytes_in.Increment(kHeaderSize + message->payload.size());
+    const RateGate gate = CheckRateLimit(conn, *message);
+    if (gate == RateGate::kCut) {
+      break;  // hard policy: fall through to the normal teardown below
+    }
+    if (gate == RateGate::kThrottled) {
+      continue;  // soft policy: kRateLimited queued, request dropped
+    }
     DispatchRequest(conn, *message);
   }
 
@@ -237,6 +263,39 @@ void AudioServer::DispatchRequest(ClientConnection* conn, const FramedMessage& m
     metrics.trace_requests_sampled.Increment();
     metrics.last_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
   }
+}
+
+AudioServer::RateGate AudioServer::CheckRateLimit(ClientConnection* conn,
+                                                  const FramedMessage& message) {
+  TokenBucket& rps = conn->rps_bucket();
+  TokenBucket& bps = conn->bps_bucket();
+  if (!rps.enabled() && !bps.enabled()) {
+    return RateGate::kDispatch;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  // Both buckets are charged even when one refuses, so a client that is
+  // over on requests still pays for the bytes it made the server read.
+  const bool rps_ok = rps.TryAcquire(1.0, now);
+  const bool bps_ok = bps.TryAcquire(
+      static_cast<double>(kHeaderSize + message.payload.size()), now);
+  if (rps_ok && bps_ok) {
+    return RateGate::kDispatch;
+  }
+  metrics_->rate_limited.Increment();
+  if (options_.limit_policy == RateLimitPolicy::kHard) {
+    metrics_->rate_limit_disconnects.Increment();
+    return RateGate::kCut;
+  }
+  // Soft policy: the request is dropped without dispatch and answered with
+  // kRateLimited on its own sequence. Not counted in requests_total — the
+  // dispatcher never saw it.
+  ErrorMessage error;
+  error.code = ErrorCode::kRateLimited;
+  error.resource = kNoResource;
+  error.opcode = message.header.code;
+  error.detail = rps_ok ? "ingress byte rate exceeded" : "request rate exceeded";
+  conn->SendError(message.header.sequence, error);
+  return RateGate::kThrottled;
 }
 
 // ---- Event-loop connection plane (DESIGN.md decision 14) -------------------
@@ -311,6 +370,16 @@ bool AudioServer::LoopReadAndDispatch(ClientConnection* conn, uint32_t loop_inde
         return LoopBeginDrain(conn, loop_index);
       }
       continue;
+    }
+    switch (CheckRateLimit(conn, message)) {
+      case RateGate::kCut:
+        // Hard policy: stop reading; the drain still flushes queued
+        // replies before the teardown reclaims the connection.
+        return LoopBeginDrain(conn, loop_index);
+      case RateGate::kThrottled:
+        continue;
+      case RateGate::kDispatch:
+        break;
     }
     DispatchRequest(conn, message);
   }
@@ -465,10 +534,17 @@ void AudioServer::EngineLoop() {
   Ticks period =
       SamplesToTicks(static_cast<int64_t>(options_.period_frames), board_->sample_rate_hz());
   Ticks next = clock.Now() + period;
+  // Reap finished connections about once a second of engine time.
+  const uint64_t reap_every = std::max<uint64_t>(
+      1, board_->sample_rate_hz() / std::max<size_t>(1, options_.period_frames));
+  uint64_t periods = 0;
   while (engine_running_.load() && !shutting_down_.load()) {
     // Tick manages the state lock itself; the fan-out runs without it, so
     // dispatch on untouched roots overlaps the engine freely.
     tick_state().Tick(options_.period_frames);
+    if (++periods % reap_every == 0) {
+      ReapFinishedConnections();
+    }
     clock.SleepUntil(next);
     // Wakeup lateness: how far past the deadline the engine resumed
     // (Ticks are microseconds). 0 when the tick finished inside the period.
@@ -476,6 +552,76 @@ void AudioServer::EngineLoop() {
     metrics_->tick_jitter_us.Record(late > 0 ? static_cast<uint64_t>(late) : 0);
     next += period;
   }
+}
+
+bool AudioServer::Drain(std::chrono::milliseconds deadline) {
+  if (shutting_down_.load()) {
+    return true;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cutoff = t0 + deadline;
+  if (!draining_.exchange(true)) {
+    metrics_->draining.Set(1);
+  }
+  // Stop accepting: close the listener and join the accept thread. Late
+  // in-process AddConnection calls are refused by the admission check.
+  listener_.Close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // In-flight requests keep dispatching and their replies keep flushing
+  // (readers, writers, loops, and the engine all stay up); wait for every
+  // connection's egress backlog to empty, bounded by the deadline.
+  while (std::chrono::steady_clock::now() < cutoff &&
+         metrics_->egress_queued_bytes.value() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  bool flushed = true;
+  {
+    MutexLock lock(&mu_);
+    // Connections the deadline is about to force closed with unflushed
+    // egress — the price of a slow client meeting a finite drain window.
+    for (auto& conn : connections_) {
+      if (!conn->finished() && conn->egress_queued_bytes() != 0) {
+        metrics_->drain_forced_closes.Increment();
+        flushed = false;
+      }
+    }
+    // Hang up every off-hook telephone line: a terminating server must
+    // leave the building's lines on-hook, exactly as it does when a single
+    // owning client dies (DestroyConnectionObjects).
+    state_.WaitEngineIdle();
+    state_.HangUpAllLines();
+  }
+  metrics_->drain_duration_ms.Set(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  Shutdown();
+  return flushed;
+}
+
+void AudioServer::ReapFinishedConnections() {
+  // Same discipline as the AddConnection prune: collect under the lock,
+  // join/destroy outside it (legacy readers take mu_ during teardown).
+  std::vector<std::unique_ptr<ClientConnection>> finished;
+  {
+    MutexLock lock(&mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->finished()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  finished.clear();  // ~ClientConnection joins the (already exited) threads
+}
+
+size_t AudioServer::connection_objects_for_test() {
+  MutexLock lock(&mu_);
+  return connections_.size();
 }
 
 void AudioServer::Shutdown() {

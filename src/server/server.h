@@ -28,6 +28,8 @@
 #ifndef SRC_SERVER_SERVER_H_
 #define SRC_SERVER_SERVER_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -43,6 +45,11 @@
 #include "src/transport/stream.h"
 
 namespace aud {
+
+// What to do with a request that exceeds the connection's token-bucket
+// rate (DESIGN.md decision 15). Soft answers `kRateLimited` and keeps the
+// connection; hard disconnects the flooder outright.
+enum class RateLimitPolicy : uint8_t { kSoft, kHard };
 
 struct ServerOptions {
   std::string name = "netaudio";
@@ -84,6 +91,25 @@ struct ServerOptions {
   // Force the portable poll(2) backend even where epoll is available
   // (fallback-path test coverage).
   bool loop_use_poll = false;
+  // -- Overload protection (DESIGN.md decision 15). Zero disables each
+  // limit; all limits are per connection except max_connections.
+  // Admission control: connections beyond this are politely closed at
+  // accept time (counted in admission_rejects), on both planes.
+  size_t max_connections = 0;
+  // Token-bucket rate limits checked in the reader before dispatch:
+  // requests per second and ingress bytes per second, each with a burst
+  // capacity (0 = one second's worth of the rate).
+  uint32_t limit_rps = 0;
+  uint32_t limit_rps_burst = 0;
+  uint64_t limit_bps = 0;
+  uint64_t limit_bps_burst = 0;
+  RateLimitPolicy limit_policy = RateLimitPolicy::kSoft;
+  // Per-client resource quotas enforced in the dispatcher with
+  // kQuotaExceeded: live virtual devices, stored sound bytes, and
+  // concurrent plays/records (started command queues) per connection.
+  uint32_t quota_devices = 0;
+  uint64_t quota_sound_bytes = 0;
+  uint32_t quota_plays = 0;
 };
 
 // Sampling decision for one request, made by the reader thread before it
@@ -144,6 +170,24 @@ class AudioServer {
   // Stops all threads and closes all connections.
   void Shutdown();
 
+  // Graceful drain (DESIGN.md decision 15): stop accepting, keep answering
+  // in-flight requests, wait for every connection's egress backlog to flush
+  // (bounded by `deadline`), hang up any off-hook telephone lines, then
+  // Shutdown. Returns true when every backlog flushed inside the deadline;
+  // false when the deadline expired and connections with unflushed egress
+  // were forced closed (counted in drain_forced_closes).
+  bool Drain(std::chrono::milliseconds deadline);
+  bool draining() const { return draining_.load(); }
+
+  // Destroys connections whose reader/loop finished teardown. AddConnection
+  // already prunes on every accept; this is the timed sweep for an
+  // otherwise idle server (called ~1/s by the realtime engine thread), so
+  // a dead client's memory and fds never linger until the next accept.
+  void ReapFinishedConnections();
+
+  // Connection objects still held (live + finished-but-unreaped).
+  size_t connection_objects_for_test();
+
   // Number of event-loop threads actually running (0 in legacy mode).
   size_t connection_loops() const { return loops_.size(); }
 
@@ -157,6 +201,15 @@ class AudioServer {
   // the state-lock acquire, HandleRequest, and the root span. Called from
   // the legacy ReaderLoop and from the loop-plane read path alike.
   void DispatchRequest(ClientConnection* conn, const FramedMessage& message);
+
+  // Token-bucket rate gate, checked by the owning reader/loop thread after
+  // byte accounting and before dispatch (DESIGN.md decision 15).
+  enum class RateGate {
+    kDispatch,   // within budget: dispatch normally
+    kThrottled,  // soft policy: kRateLimited was sent, skip dispatch
+    kCut,        // hard policy: stop reading and tear the connection down
+  };
+  RateGate CheckRateLimit(ClientConnection* conn, const FramedMessage& message);
 
   // Event-loop connection plane (DESIGN.md decision 14). All of these run
   // on the loop thread that owns the connection's fd; teardown for a
@@ -220,6 +273,7 @@ class AudioServer {
   std::thread engine_thread_;
   std::atomic<bool> engine_running_{false};
   std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace aud

@@ -1243,7 +1243,69 @@ ServerStatsReply ServerState::BuildServerStats(bool include_opcodes) {
   reply.wakeups = metrics_.loop_wakeups.value();
   reply.readiness_spurious = metrics_.readiness_spurious.value();
   reply.loop_dispatch_us = metrics_.loop_dispatch_us.Snapshot();
+  reply.admission_rejects = metrics_.admission_rejects.value();
+  reply.rate_limited = metrics_.rate_limited.value();
+  reply.rate_limit_disconnects = metrics_.rate_limit_disconnects.value();
+  reply.quota_denials = metrics_.quota_denials.value();
+  reply.draining = static_cast<uint32_t>(metrics_.draining.value());
+  reply.drain_forced_closes = metrics_.drain_forced_closes.value();
+  reply.drain_duration_ms = static_cast<uint64_t>(metrics_.drain_duration_ms.value());
   return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection (DESIGN.md decision 15)
+// ---------------------------------------------------------------------------
+
+void ServerState::HangUpAllLines() {
+  // Same contract as the owner-death path in DestroyConnectionObjects: a
+  // terminating server must leave every building line on-hook, whoever's
+  // telephone device held it. Bound devices first (the binding registry is
+  // exact), then any off-hook line unit with no binding at all.
+  for (const auto& [unit, device] : telephone_bindings_) {
+    if (unit->line_state() != LineState::kOnHook) {
+      unit->HangUp();
+    }
+  }
+  for (PhoneLineUnit* unit : board_->phone_lines()) {
+    if (unit->line_state() != LineState::kOnHook) {
+      unit->HangUp();
+    }
+  }
+}
+
+uint32_t ServerState::CountOwnedDevices(uint32_t conn) const {
+  uint32_t n = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj->owner() == conn && obj->kind() == ObjectKind::kVirtualDevice) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t ServerState::CountOwnedSoundBytes(uint32_t conn) const {
+  uint64_t bytes = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj->owner() == conn && obj->kind() == ObjectKind::kSound) {
+      bytes += static_cast<const SoundObject*>(obj.get())->size_bytes();
+    }
+  }
+  return bytes;
+}
+
+uint32_t ServerState::CountRunningQueues(uint32_t conn) const {
+  uint32_t n = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj->owner() != conn || obj->kind() != ObjectKind::kLoud) {
+      continue;
+    }
+    CommandQueue* queue = static_cast<Loud*>(obj.get())->queue();
+    if (queue != nullptr && queue->state() != QueueState::kStopped) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 // ---------------------------------------------------------------------------

@@ -304,6 +304,22 @@ class ServerState {
   // LOUD) to `reply`. Called with the state lock held.
   void AppendDeviceStats(EntityStatsReply* reply);
 
+  // -- Overload protection (DESIGN.md decision 15) --------------------------------
+
+  // Hangs up every off-hook telephone line (graceful drain's last act: a
+  // terminating server leaves the building's lines on-hook). Called with
+  // the state lock held and the engine idle.
+  void HangUpAllLines();
+
+  // Per-client quota accounting, counted on demand at the few dispatcher
+  // sites that grow the resource (create device / store sound / start
+  // queue) — no shadow counters to keep balanced through every teardown
+  // path. Called with the state lock held; registry walks are O(objects),
+  // fine at admission-control scale.
+  uint32_t CountOwnedDevices(uint32_t conn) const;
+  uint64_t CountOwnedSoundBytes(uint32_t conn) const;
+  uint32_t CountRunningQueues(uint32_t conn) const;
+
  private:
   void BuildDeviceLoud();
   void SeedCatalogue();

@@ -97,6 +97,22 @@ std::string RenderPrometheusText(const ServerStatsReply& stats) {
               "Self-pipe wakeups consumed by event loops");
   EmitCounter(out, "aud_readiness_spurious_total", stats.readiness_spurious,
               "Readiness events that yielded no work");
+  EmitCounter(out, "aud_admission_rejects_total", stats.admission_rejects,
+              "Connections closed at accept time by admission control");
+  EmitCounter(out, "aud_rate_limited_total", stats.rate_limited,
+              "Requests refused by a per-connection token bucket");
+  EmitCounter(out, "aud_rate_limit_disconnects_total",
+              stats.rate_limit_disconnects,
+              "Flooders disconnected by the hard rate-limit policy");
+  EmitCounter(out, "aud_quota_denials_total", stats.quota_denials,
+              "Requests refused by a per-client resource quota");
+  EmitGauge(out, "aud_draining", stats.draining,
+            "1 while a graceful drain is running");
+  EmitCounter(out, "aud_drain_forced_closes_total", stats.drain_forced_closes,
+              "Connections with unflushed egress cut at the drain deadline");
+  EmitGauge(out, "aud_drain_duration_ms",
+            static_cast<int64_t>(stats.drain_duration_ms),
+            "Wall time of the last graceful drain");
   EmitHistogram(out, "aud_dispatch_us", stats.dispatch_us,
                 "Dispatch latency (lock wait + handling), microseconds");
   EmitHistogram(out, "aud_tick_us", stats.tick_us,
@@ -143,6 +159,13 @@ std::string RenderFlightDumpText(const std::string& reason,
       << " epoll_waits=" << stats.epoll_waits
       << " loop_wakeups=" << stats.wakeups
       << " readiness_spurious=" << stats.readiness_spurious << "\n";
+  out << "  admission_rejects=" << stats.admission_rejects
+      << " rate_limited=" << stats.rate_limited
+      << " rate_limit_disconnects=" << stats.rate_limit_disconnects
+      << " quota_denials=" << stats.quota_denials << "\n";
+  out << "  draining=" << stats.draining
+      << " drain_forced_closes=" << stats.drain_forced_closes
+      << " drain_duration_ms=" << stats.drain_duration_ms << "\n";
   out << "\n--- latencies (us) ---\n";
   SummarizeHistogram(out, "dispatch", stats.dispatch_us);
   SummarizeHistogram(out, "tick", stats.tick_us);

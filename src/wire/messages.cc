@@ -950,6 +950,13 @@ void ServerStatsReply::Encode(ByteWriter* w) const {
   w->WriteU64(wakeups);
   w->WriteU64(readiness_spurious);
   EncodeHistogram(w, loop_dispatch_us);
+  w->WriteU64(admission_rejects);
+  w->WriteU64(rate_limited);
+  w->WriteU64(rate_limit_disconnects);
+  w->WriteU64(quota_denials);
+  w->WriteU32(draining);
+  w->WriteU64(drain_forced_closes);
+  w->WriteU64(drain_duration_ms);
 }
 
 ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
@@ -1007,6 +1014,13 @@ ServerStatsReply ServerStatsReply::Decode(ByteReader* r) {
   p.wakeups = r->ReadU64();
   p.readiness_spurious = r->ReadU64();
   p.loop_dispatch_us = DecodeHistogram(r);
+  p.admission_rejects = r->ReadU64();
+  p.rate_limited = r->ReadU64();
+  p.rate_limit_disconnects = r->ReadU64();
+  p.quota_denials = r->ReadU64();
+  p.draining = r->ReadU32();
+  p.drain_forced_closes = r->ReadU64();
+  p.drain_duration_ms = r->ReadU64();
   return p;
 }
 

@@ -508,7 +508,7 @@ struct LoudStateReply {
 // decodes the prefix it knows and skips the rest, and a new client talking
 // to an old server zero-fills fields past the server's version.
 
-inline constexpr uint32_t kServerStatsVersion = 6;
+inline constexpr uint32_t kServerStatsVersion = 7;
 
 // Per-opcode dispatch accounting. Only opcodes with count > 0 are sent.
 struct OpcodeStats {
@@ -599,6 +599,15 @@ struct ServerStatsReply {
   uint64_t wakeups = 0;                // self-pipe wakeups consumed
   uint64_t readiness_spurious = 0;     // readiness that yielded no work
   obs::HistogramSnapshot loop_dispatch_us;  // one readiness handler run
+
+  // Overload protection (v7, DESIGN.md decision 15).
+  uint64_t admission_rejects = 0;       // connections closed at accept time
+  uint64_t rate_limited = 0;            // requests refused by a token bucket
+  uint64_t rate_limit_disconnects = 0;  // flooders cut by the hard policy
+  uint64_t quota_denials = 0;           // requests refused by a client quota
+  uint32_t draining = 0;                // 1 while a graceful drain runs
+  uint64_t drain_forced_closes = 0;     // unflushed conns cut at the deadline
+  uint64_t drain_duration_ms = 0;       // wall time of the last drain
 
   void Encode(ByteWriter* w) const;
   static ServerStatsReply Decode(ByteReader* r);

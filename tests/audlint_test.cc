@@ -174,8 +174,12 @@ RenderHistogram(out, "aud_dispatch_us", metrics.dispatch_us);
   files["audioctl.cc"] = R"(
     if (arg == "--json") { json = true; }
 )";
+  files["audioload.cc"] = R"(
+    if (arg == "--clients") { clients = Next(); }
+)";
   files["README.md"] = R"(
-Run `audiond --port 7800 --verbose` and query it with `audioctl --json`.
+Run `audiond --port 7800 --verbose` and query it with `audioctl --json`,
+then load it with `audioload --clients 100`.
 )";
   return files;
 }

@@ -28,6 +28,24 @@ namespace {
 
 constexpr uint64_t kChaosSeed = 20260805;  // fixed: failures replay exactly
 
+// Sanitizer builds run instrumented code 5-20x slower, and the ctest
+// scheduler may co-run another soak on the same cores, so wall-clock latency
+// floors widen there. GCC defines __SANITIZE_*; clang uses __has_feature.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define AUD_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define AUD_SANITIZED 1
+#endif
+#endif
+#ifndef AUD_SANITIZED
+#define AUD_SANITIZED 0
+#endif
+
+// Absolute floor for the soak tick-p99 bound: one 20 ms engine period on a
+// clean build, ten under a sanitizer.
+constexpr double kTickSoakFloorUs = AUD_SANITIZED ? 200000.0 : 20000.0;
+
 // -- Raw protocol helpers (hostile clients do not get the comfort of Alib) --
 
 // Performs the setup handshake; returns the client's id base, or
@@ -246,10 +264,11 @@ TEST(ChaosTest, ServerSurvivesHostileClientMix) {
                          << objects_before << ")";
 
   // Soak latency bound: chaos may slow ticks, but p99 stays within 2x the
-  // idle baseline (with an absolute floor of one 20 ms engine period so a
-  // sub-microsecond idle baseline does not make the bound vacuous).
+  // idle baseline (with an absolute floor of one engine period — see
+  // kTickSoakFloorUs — so a sub-microsecond idle baseline does not make the
+  // bound vacuous).
   const double p99 = after.tick_us.empty() ? 0.0 : after.tick_us.Percentile(99);
-  EXPECT_LE(p99, std::max(2.0 * idle_p99, 20000.0));
+  EXPECT_LE(p99, std::max(2.0 * idle_p99, kTickSoakFloorUs));
 
   server.Shutdown();
 }
@@ -491,6 +510,154 @@ TEST(ChaosTest, StatsStayCoherentUnderChaos) {
     joined += "  " + f + "\n";
   }
   EXPECT_TRUE(failures.empty()) << failures.size() << " violations:\n" << joined;
+  server.Shutdown();
+}
+
+TEST(ChaosTest, NoisyNeighborsAreThrottledWhileGoodClientsServe) {
+  // Overload protection under fire (DESIGN.md decision 15): flooders,
+  // device hogs, and sound hogs share a realtime TCP server with polite
+  // clients. The limits must bite (rate-limit and quota counters move),
+  // the abusers must stay *connected* (soft policy refuses, never cuts),
+  // and every well-behaved round trip must keep completing.
+  ServerOptions options;
+  options.max_connections = 32;
+  options.limit_rps = 200;
+  options.limit_rps_burst = 50;
+  options.quota_devices = 4;
+  options.quota_sound_bytes = 16 * 1024;
+  options.quota_plays = 2;
+  Board board{BoardConfig{}};
+  AudioServer server(&board, options);
+  ASSERT_TRUE(server.ListenTcp(0));
+  server.StartRealtime();
+  const uint16_t port = server.tcp_port();
+
+  std::atomic<uint64_t> rate_limited{0};
+  std::atomic<uint64_t> quota_denied{0};
+  std::atomic<uint64_t> good_failures{0};
+  std::atomic<int64_t> worst_good_rtt_us{0};
+  auto drain_errors = [&](AudioConnection* conn) {
+    AsyncError e;
+    while (conn->NextError(&e)) {
+      if (e.error.code == ErrorCode::kRateLimited) {
+        rate_limited.fetch_add(1);
+      } else if (e.error.code == ErrorCode::kQuotaExceeded) {
+        quota_denied.fetch_add(1);
+      }
+    }
+  };
+  auto open = [&](const std::string& name) {
+    ConnectRetryOptions retry;
+    retry.attempts = 10;
+    retry.backoff_ms = 10;
+    auto conn = AudioConnection::OpenTcpRetry("127.0.0.1", port, name, retry);
+    if (conn != nullptr) {
+      conn->set_rpc_deadline_ms(10000);
+    }
+    return conn;
+  };
+
+  constexpr int kGood = 3;
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kGood; ++i) {
+    clients.emplace_back([&, i] {
+      auto conn = open("good-" + std::to_string(i));
+      if (conn == nullptr) {
+        good_failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 20; ++round) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!conn->Sync().ok()) {
+          good_failures.fetch_add(1);
+          break;
+        }
+        const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+        int64_t seen = worst_good_rtt_us.load();
+        while (us > seen && !worst_good_rtt_us.compare_exchange_weak(seen, us)) {
+        }
+        // Polite pacing: far under the 200 rps limit.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      conn->Close();
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&, i] {  // flooder: bursts far past the rps bucket
+      auto conn = open("flood-" + std::to_string(i));
+      if (conn == nullptr) {
+        return;
+      }
+      for (int round = 0; round < 5; ++round) {
+        for (int k = 0; k < 200; ++k) {
+          conn->NoOp();
+        }
+        // The Sync itself may be refused — soft policy answers on its own
+        // sequence, so the round trip completes either way. Its refusal is
+        // counted once, via the async error list like every other refusal.
+        (void)conn->Sync();
+        drain_errors(conn.get());
+      }
+      conn->Close();
+    });
+    clients.emplace_back([&, i] {  // device hog: 20 creates against quota 4
+      auto conn = open("devhog-" + std::to_string(i));
+      if (conn == nullptr) {
+        return;
+      }
+      ResourceId loud = conn->CreateLoud(kNoResource, {});
+      for (int k = 0; k < 20; ++k) {
+        conn->CreateDevice(loud, DeviceClass::kPlayer, {});
+      }
+      (void)conn->Sync();
+      drain_errors(conn.get());
+      conn->Close();
+    });
+    clients.emplace_back([&, i] {  // sound hog: 80 KiB against a 16 KiB quota
+      auto conn = open("sndhog-" + std::to_string(i));
+      if (conn == nullptr) {
+        return;
+      }
+      ResourceId sound = conn->CreateSound(kTelephoneFormat);
+      std::vector<uint8_t> block(8 * 1024, 0x42);
+      for (int k = 0; k < 10; ++k) {
+        conn->WriteSound(sound, static_cast<uint64_t>(k) * block.size(), block);
+      }
+      (void)conn->Sync();
+      drain_errors(conn.get());
+      conn->Close();
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+
+  // The abuse registered, the polite clients never noticed, and the soft
+  // policy refused without disconnecting anyone (no egress cuts either).
+  EXPECT_GT(rate_limited.load(), 0u);
+  EXPECT_GT(quota_denied.load(), 0u);
+  EXPECT_EQ(good_failures.load(), 0u);
+  EXPECT_LT(worst_good_rtt_us.load(), 10'000'000);
+  ServerStatsReply stats;
+  {
+    MutexLock lock(&server.mutex());
+    stats = server.state().BuildServerStats(false);
+  }
+  EXPECT_GE(stats.rate_limited, rate_limited.load());
+  EXPECT_GE(stats.quota_denials, quota_denied.load());
+  EXPECT_EQ(stats.rate_limit_disconnects, 0u);
+  EXPECT_EQ(stats.admission_rejects, 0u);
+
+  // Everyone hung up; reclamation completes as ever.
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    MutexLock lock(&server.mutex());
+    drained = server.state().BuildServerStats(false).connections_open == 0;
+  }
+  EXPECT_TRUE(drained);
   server.Shutdown();
 }
 

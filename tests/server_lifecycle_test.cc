@@ -3,10 +3,14 @@
 // owning client dies, and Alib's resilience knobs (connect retry, RPC
 // deadlines, clean errors when the server goes away). One sick or dead
 // client must never take the server — or the phone line — down with it.
+// The overload-protection suite (DESIGN.md decision 15) exercises
+// admission control, token-bucket rate limiting, per-client quotas,
+// connection reaping, and the SIGTERM graceful drain.
 
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <chrono>
 #include <thread>
 
 #include "src/server/connection.h"
@@ -252,6 +256,210 @@ TEST_F(LifecycleTest, ServerShutdownSurfacesConnectionError) {
   Status status = doomed->Sync();
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), ErrorCode::kConnection);
+}
+
+// -- Overload protection (DESIGN.md decision 15) ------------------------------
+
+class OverloadTest : public ServerFixture {
+ protected:
+  // Stats fetches retry briefly: the fixture client shares the server's
+  // rate limits, so a snapshot right after a flood may itself be refused.
+  ServerStatsReply Stats() {
+    Result<ServerStatsReply> stats = client_->GetServerStats(false);
+    for (int i = 0; i < 100 && !stats.ok(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      stats = client_->GetServerStats(false);
+    }
+    EXPECT_TRUE(stats.ok());
+    return stats.ok() ? stats.value() : ServerStatsReply{};
+  }
+};
+
+TEST_F(OverloadTest, AdmissionControlRejectsOverCap) {
+  ServerOptions options;
+  options.max_connections = 2;  // the fixture client plus one more
+  Init(BoardConfig{}, options);
+  auto second = Connect("second");
+  ASSERT_NE(second, nullptr);
+  ASSERT_TRUE(second->Sync().ok());
+  // Over the cap the stream is closed before setup ever answers, so Open
+  // fails cleanly — and the server keeps serving the admitted clients.
+  EXPECT_EQ(Connect("third"), nullptr);
+  EXPECT_TRUE(client_->Sync().ok());
+  EXPECT_GE(Stats().admission_rejects, 1u);
+  // A slot frees up when an admitted connection dies.
+  second->Close();
+  std::unique_ptr<AudioConnection> fourth;
+  for (int i = 0; i < 500 && fourth == nullptr; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    fourth = Connect("fourth");
+  }
+  ASSERT_NE(fourth, nullptr);
+  EXPECT_TRUE(fourth->Sync().ok());
+}
+
+TEST_F(OverloadTest, SoftRateLimitRefusesWithoutDisconnecting) {
+  ServerOptions options;
+  options.limit_rps = 50;
+  options.limit_rps_burst = 5;
+  Init(BoardConfig{}, options);
+  for (int i = 0; i < 200; ++i) {
+    client_->NoOp();
+  }
+  // The bucket is long dry by the time the Sync frame is parsed, so even
+  // the Sync is refused — on its own sequence, which still completes the
+  // round trip: the soft policy never cuts the connection.
+  Status dry = client_->Sync();
+  ASSERT_FALSE(dry.ok());
+  EXPECT_EQ(dry.code(), ErrorCode::kRateLimited);
+  uint64_t refused = 0;
+  AsyncError error;
+  while (client_->NextError(&error)) {
+    EXPECT_EQ(error.error.code, ErrorCode::kRateLimited);
+    ++refused;
+  }
+  EXPECT_GT(refused, 100u);
+  // Refill restores service on the same connection.
+  Status after = dry;
+  for (int i = 0; i < 200 && !after.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    after = client_->Sync();
+  }
+  EXPECT_TRUE(after.ok());
+  EXPECT_GE(Stats().rate_limited, refused);
+}
+
+TEST_F(OverloadTest, HardRateLimitCutsTheFlooder) {
+  ServerOptions options;
+  options.limit_rps = 50;
+  options.limit_rps_burst = 5;
+  options.limit_policy = RateLimitPolicy::kHard;
+  Init(BoardConfig{}, options);
+  auto flooder = Connect("flooder");
+  ASSERT_NE(flooder, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    flooder->NoOp();
+  }
+  // The first over-limit frame cuts the connection; the round trip fails
+  // with a transport error, not a protocol error.
+  Status status = flooder->Sync();
+  EXPECT_FALSE(status.ok());
+  ServerStatsReply stats = Stats();
+  EXPECT_GE(stats.rate_limit_disconnects, 1u);
+  EXPECT_GE(stats.rate_limited, 1u);
+  // The well-behaved fixture client rode it out.
+  EXPECT_TRUE(client_->Sync().ok());
+}
+
+TEST_F(OverloadTest, DeviceQuotaDeniesCreationUntilAReleasedSlot) {
+  ServerOptions options;
+  options.quota_devices = 2;
+  Init(BoardConfig{}, options);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId first = client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ExpectNoErrors();
+  client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ExpectError(ErrorCode::kQuotaExceeded);
+  // On-demand counting has nothing to unwind: destroying a device frees
+  // its slot immediately.
+  client_->DestroyDevice(first);
+  client_->CreateDevice(loud, DeviceClass::kPlayer, {});
+  ExpectNoErrors();
+  EXPECT_GE(Stats().quota_denials, 1u);
+}
+
+TEST_F(OverloadTest, SoundByteQuotaChargesGrowthOnly) {
+  ServerOptions options;
+  options.quota_sound_bytes = 8192;
+  Init(BoardConfig{}, options);
+  ResourceId sound = client_->CreateSound({Encoding::kPcm16, 8000});
+  std::vector<uint8_t> block(4096, 0x7F);
+  client_->WriteSound(sound, 0, block);
+  client_->WriteSound(sound, 4096, block);  // exactly at the quota
+  ExpectNoErrors();
+  // One byte of growth past the quota is refused...
+  client_->WriteSound(sound, 8192, std::vector<uint8_t>(1, 0x00));
+  ExpectError(ErrorCode::kQuotaExceeded);
+  // ...but rewriting in place is free: the quota charges growth, not I/O.
+  client_->WriteSound(sound, 0, block);
+  ExpectNoErrors();
+}
+
+TEST_F(OverloadTest, PlayQuotaBoundsConcurrentlyRunningQueues) {
+  ServerOptions options;
+  options.quota_plays = 1;
+  Init(BoardConfig{}, options);
+  ResourceId first = client_->CreateLoud(kNoResource, {});
+  ResourceId second = client_->CreateLoud(kNoResource, {});
+  // A long delay keeps each queue running for as long as the test needs
+  // (virtual time only moves when the test steps it).
+  client_->Enqueue(first, {DelayCommand(60000), DelayEndCommand()});
+  client_->Enqueue(second, {DelayCommand(60000), DelayEndCommand()});
+  client_->StartQueue(first);
+  ExpectNoErrors();
+  client_->StartQueue(second);
+  ExpectError(ErrorCode::kQuotaExceeded);
+  // Stopping the running queue releases the play slot.
+  client_->StopQueue(first);
+  client_->StartQueue(second);
+  ExpectNoErrors();
+  EXPECT_GE(Stats().quota_denials, 1u);
+}
+
+TEST_F(OverloadTest, ReapDestroysFinishedConnections) {
+  auto ephemeral = Connect("ephemeral");
+  ASSERT_NE(ephemeral, nullptr);
+  ASSERT_TRUE(ephemeral->Sync().ok());
+  EXPECT_EQ(server_->connection_objects_for_test(), 2u);
+  ephemeral->Close();
+  // The reader notices EOF and finishes teardown asynchronously; the reap
+  // (called ~1/s from the engine loop in a realtime server) then destroys
+  // the carcass and joins its threads.
+  size_t remaining = 2;
+  for (int i = 0; i < 500 && remaining != 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    server_->ReapFinishedConnections();
+    remaining = server_->connection_objects_for_test();
+  }
+  EXPECT_EQ(remaining, 1u);
+  EXPECT_TRUE(client_->Sync().ok());
+}
+
+TEST_F(OverloadTest, DrainHangsUpLinesAndRefusesNewClients) {
+  FarEndParty* callee = board_->AddFarEnd("555-8888");
+  callee->AnswerAfterRings(1);
+  ResourceId loud = client_->CreateLoud(kNoResource, {});
+  ResourceId telephone = client_->CreateDevice(loud, DeviceClass::kTelephone, {});
+  client_->MapLoud(loud);
+  client_->Enqueue(loud, {DialCommand(telephone, "555-8888", 1)});
+  client_->StartQueue(loud);
+  ASSERT_TRUE(client_->Sync().ok());
+
+  PhoneLineUnit* line = board_->phone_lines()[0];
+  auto line_state = [&] {
+    MutexLock lock(&server_->mutex());
+    return line->line_state();
+  };
+  for (int i = 0; i < 600 && line_state() != LineState::kConnected; ++i) {
+    StepMs(20);
+  }
+  ASSERT_EQ(line_state(), LineState::kConnected);
+
+  // SIGTERM path: in-flight work answers, egress flushes, the off-hook
+  // line goes back on hook, and the server ends shut down.
+  EXPECT_TRUE(server_->Drain(std::chrono::milliseconds(2000)));
+  EXPECT_TRUE(server_->draining());
+  EXPECT_EQ(line_state(), LineState::kOnHook);
+  {
+    MutexLock lock(&server_->mutex());
+    ServerMetrics& metrics = server_->state().metrics();
+    EXPECT_EQ(metrics.draining.value(), 1);
+    EXPECT_EQ(metrics.drain_forced_closes.value(), 0u);
+    EXPECT_GE(metrics.drain_duration_ms.value(), 0);
+  }
+  // The drained server refuses round trips like any shut-down server.
+  EXPECT_FALSE(client_->Sync().ok());
 }
 
 TEST(ConnectRetryTest, GivesUpAfterConfiguredAttempts) {

@@ -298,11 +298,21 @@ int CmdStats(AudioConnection& audio, bool json) {
                 s.trace_sample_every);
     std::printf("  \"loops\": {\"count\": %u, \"fds_watched\": %lld, "
                 "\"epoll_waits\": %llu, \"wakeups\": %llu, "
-                "\"readiness_spurious\": %llu}\n",
+                "\"readiness_spurious\": %llu},\n",
                 s.loops, static_cast<long long>(s.fds_watched),
                 static_cast<unsigned long long>(s.epoll_waits),
                 static_cast<unsigned long long>(s.wakeups),
                 static_cast<unsigned long long>(s.readiness_spurious));
+    std::printf("  \"overload\": {\"admission_rejects\": %llu, "
+                "\"rate_limited\": %llu, \"rate_limit_disconnects\": %llu, "
+                "\"quota_denials\": %llu, \"draining\": %u, "
+                "\"drain_forced_closes\": %llu, \"drain_duration_ms\": %llu}\n",
+                static_cast<unsigned long long>(s.admission_rejects),
+                static_cast<unsigned long long>(s.rate_limited),
+                static_cast<unsigned long long>(s.rate_limit_disconnects),
+                static_cast<unsigned long long>(s.quota_denials), s.draining,
+                static_cast<unsigned long long>(s.drain_forced_closes),
+                static_cast<unsigned long long>(s.drain_duration_ms));
     std::printf("}\n");
     return 0;
   }
@@ -381,6 +391,18 @@ int CmdStats(AudioConnection& audio, bool json) {
   } else {
     std::printf("loops: off (thread-per-connection; start audiond with "
                 "--connection-threads N)\n");
+  }
+  std::printf("overload: %llu admission rejects, %llu rate-limited, "
+              "%llu rate-limit disconnects, %llu quota denials\n",
+              static_cast<unsigned long long>(s.admission_rejects),
+              static_cast<unsigned long long>(s.rate_limited),
+              static_cast<unsigned long long>(s.rate_limit_disconnects),
+              static_cast<unsigned long long>(s.quota_denials));
+  if (s.draining != 0 || s.drain_duration_ms != 0 || s.drain_forced_closes != 0) {
+    std::printf("drain: %s, %llu forced closes, last drain %llu ms\n",
+                s.draining != 0 ? "in progress" : "done",
+                static_cast<unsigned long long>(s.drain_forced_closes),
+                static_cast<unsigned long long>(s.drain_duration_ms));
   }
   return 0;
 }

@@ -15,8 +15,15 @@
 // egress) and is reported as p50/p95/p99/max. Exit code 1 when any client
 // died unexpectedly or nothing connected — so CI smoke can assert survival.
 //
+// --abuse swaps the mix for an overload-protection exercise: flooders
+// (request storms), device hogs and sound hogs (quota busters), plus one
+// well-behaved player class whose sync RTT is the fairness verdict. The
+// RateLimited / QuotaExceeded errors each client observes are counted and
+// reported; abusers being throttled or cut does not fail the run.
+//
 // usage: audioload --port P [--host 127.0.0.1] [--clients 100] [--workers 8]
-//                  [--ramp-ms 1000] [--hold-ms 2000] [--sync-every 8] [--json]
+//                  [--ramp-ms 1000] [--hold-ms 2000] [--sync-every 8]
+//                  [--abuse] [--json]
 
 #include <algorithm>
 #include <atomic>
@@ -39,7 +46,21 @@
 namespace aud {
 namespace {
 
-enum class MixClass : uint8_t { kDial, kPlay, kRecord, kSubscribe };
+// The well-behaved mix, plus the --abuse classes: flooders burst requests
+// far past any sane rate (tripping the token buckets), device hogs create
+// virtual devices until the quota says no, sound hogs append sound data
+// until the byte quota says no. Abuse runs keep one well-behaved class in
+// the mix so the server's fairness — abusers throttled, the compliant
+// client's sync RTT intact — is observable from the same process.
+enum class MixClass : uint8_t {
+  kDial,
+  kPlay,
+  kRecord,
+  kSubscribe,
+  kFlood,
+  kDeviceHog,
+  kSoundHog,
+};
 
 const char* MixName(MixClass mix) {
   switch (mix) {
@@ -47,6 +68,9 @@ const char* MixName(MixClass mix) {
     case MixClass::kPlay: return "play";
     case MixClass::kRecord: return "record";
     case MixClass::kSubscribe: return "subscribe";
+    case MixClass::kFlood: return "flood";
+    case MixClass::kDeviceHog: return "devicehog";
+    case MixClass::kSoundHog: return "soundhog";
   }
   return "?";
 }
@@ -60,6 +84,10 @@ struct Options {
   int hold_ms = 2000;
   int sync_every = 8;
   bool json = false;
+  // Abuse mode: 3/4 of clients are flooders and quota-busters, 1/4 stay
+  // well-behaved players. Abusers getting throttled or cut is the expected
+  // outcome, so only "nothing connected" fails the run.
+  bool abuse = false;
 };
 
 // One raw-protocol client: a TCP stream, its id block, and a per-class
@@ -70,8 +98,11 @@ class LoadClient {
 
   bool alive() const { return stream_ != nullptr && !dead_; }
   MixClass mix() const { return mix_; }
+  bool abusive() const { return mix_ >= MixClass::kFlood; }
   uint64_t touches() const { return touches_; }
   uint64_t events_seen() const { return events_seen_; }
+  uint64_t rate_limited_seen() const { return rate_limited_seen_; }
+  uint64_t quota_denied_seen() const { return quota_denied_seen_; }
   const std::vector<uint32_t>& rtts_us() const { return rtts_us_; }
 
   // Connects, performs the setup handshake, and creates the class's server
@@ -127,6 +158,38 @@ class LoadClient {
         map.Encode(&w);
         Send(mapped_ ? Opcode::kUnmapLoud : Opcode::kMapLoud, w.bytes());
         mapped_ = !mapped_;
+        break;
+      }
+      case MixClass::kFlood:
+        // Request storm: a burst of NoOps per visit, far past any sane
+        // request rate. Soft-policy refusals come back as RateLimited
+        // errors (consumed and counted at the next sync); the hard policy
+        // cuts the connection, which abuse-mode scoring expects.
+        for (int k = 0; k < 32 && alive(); ++k) {
+          if (!Send(Opcode::kNoOp, {})) {
+            break;
+          }
+        }
+        break;
+      case MixClass::kDeviceHog:
+        // One more virtual device per visit, forever — the device quota
+        // answers QuotaExceeded once the cap is reached.
+        CreateDevice(DeviceClass::kPlayer);
+        break;
+      case MixClass::kSoundHog: {
+        // Append another block to the hoard; the sound-byte quota denies
+        // all growth past the cap. The offset stops advancing at 1 MiB so
+        // the denial stays a quota denial (not the absolute size cap).
+        WriteSoundDataReq write;
+        write.id = sound_;
+        write.offset = hog_offset_;
+        write.data.assign(4096, 0x40);
+        if (hog_offset_ < (1u << 20)) {
+          hog_offset_ += 4096;
+        }
+        ByteWriter w;
+        write.Encode(&w);
+        Send(Opcode::kWriteSoundData, w.bytes());
         break;
       }
     }
@@ -199,6 +262,15 @@ class LoadClient {
         continue;
       }
       if (msg->header.type == MessageType::kError) {
+        // Tolerated, but overload verdicts are counted: they are the
+        // client-side evidence the server's throttles actually fired.
+        ByteReader er(msg->payload);
+        ErrorMessage error = ErrorMessage::Decode(&er);
+        if (er.ok() && error.code == ErrorCode::kRateLimited) {
+          ++rate_limited_seen_;
+        } else if (er.ok() && error.code == ErrorCode::kQuotaExceeded) {
+          ++quota_denied_seen_;
+        }
         continue;
       }
       if (msg->header.type == MessageType::kReply &&
@@ -246,6 +318,14 @@ class LoadClient {
         }
         break;
       }
+      case MixClass::kFlood:
+      case MixClass::kDeviceHog:
+        break;  // the LOUD alone is enough to abuse from
+      case MixClass::kSoundHog:
+        if (!CreateSound(false)) {
+          return false;
+        }
+        break;
     }
     return SyncRoundTrip();  // all creates landed; errors surfaced, client up
   }
@@ -296,6 +376,9 @@ class LoadClient {
   bool dead_ = false;
   uint64_t touches_ = 0;
   uint64_t events_seen_ = 0;
+  uint64_t rate_limited_seen_ = 0;
+  uint64_t quota_denied_seen_ = 0;
+  uint64_t hog_offset_ = 0;
   std::vector<uint32_t> rtts_us_;
 };
 
@@ -315,8 +398,11 @@ int Run(const Options& options) {
   std::atomic<int64_t> connected{0};
   std::atomic<int64_t> setup_failed{0};
   std::atomic<int64_t> died{0};
+  std::atomic<int64_t> abusers_died{0};
   std::atomic<uint64_t> touches{0};
   std::atomic<uint64_t> events_seen{0};
+  std::atomic<uint64_t> rate_limited_seen{0};
+  std::atomic<uint64_t> quota_denied_seen{0};
   std::vector<std::vector<uint32_t>> worker_rtts(static_cast<size_t>(workers));
 
   const auto started = std::chrono::steady_clock::now();
@@ -336,8 +422,16 @@ int Run(const Options& options) {
                                          options.ramp_ms * (i - lo) / (hi - lo));
           std::this_thread::sleep_until(due);
         }
-        auto client = std::make_unique<LoadClient>(
-            i, static_cast<MixClass>(i % 4));
+        // Abuse mix: flooder / device hog / sound hog / well-behaved
+        // player, so fairness (the player's RTT under attack) is measured
+        // in the same run that generates the attack.
+        const MixClass mix =
+            options.abuse
+                ? (i % 4 == 3 ? MixClass::kPlay
+                              : static_cast<MixClass>(
+                                    static_cast<int>(MixClass::kFlood) + i % 4))
+                : static_cast<MixClass>(i % 4);
+        auto client = std::make_unique<LoadClient>(i, mix);
         if (client->Connect(options)) {
           connected.fetch_add(1);
           mine.push_back(std::move(client));
@@ -358,7 +452,9 @@ int Run(const Options& options) {
           }
           any = true;
           if (!client->Touch(options.sync_every)) {
-            died.fetch_add(1);
+            // An abuser cut by the hard policy is the system working, not a
+            // casualty; only well-behaved deaths count against the run.
+            (client->abusive() ? abusers_died : died).fetch_add(1);
           }
         }
         if (!any) {
@@ -369,9 +465,16 @@ int Run(const Options& options) {
       for (auto& client : mine) {
         touches.fetch_add(client->touches());
         events_seen.fetch_add(client->events_seen());
-        auto& sink = worker_rtts[static_cast<size_t>(w)];
-        sink.insert(sink.end(), client->rtts_us().begin(),
-                    client->rtts_us().end());
+        rate_limited_seen.fetch_add(client->rate_limited_seen());
+        quota_denied_seen.fetch_add(client->quota_denied_seen());
+        // In abuse mode the RTT percentiles are the fairness verdict: only
+        // the well-behaved clients' syncs count (a throttled flooder's sync
+        // queues behind its own refused backlog by design).
+        if (!options.abuse || !client->abusive()) {
+          auto& sink = worker_rtts[static_cast<size_t>(w)];
+          sink.insert(sink.end(), client->rtts_us().begin(),
+                      client->rtts_us().end());
+        }
         client->Close();
       }
     });
@@ -396,15 +499,20 @@ int Run(const Options& options) {
   if (options.json) {
     std::printf(
         "{\"clients\": %d, \"connected\": %lld, \"setup_failed\": %lld, "
-        "\"died\": %lld, \"touches\": %llu, \"events_seen\": %llu, "
+        "\"died\": %lld, \"abusers_died\": %lld, \"touches\": %llu, "
+        "\"events_seen\": %llu, \"rate_limited_seen\": %llu, "
+        "\"quota_denied_seen\": %llu, "
         "\"syncs\": %zu, \"sync_rtt_us\": {\"p50\": %.0f, \"p95\": %.0f, "
         "\"p99\": %.0f, \"max\": %.0f}, \"wall_s\": %.2f}\n",
         options.clients, static_cast<long long>(connected.load()),
         static_cast<long long>(setup_failed.load()),
         static_cast<long long>(died.load()),
+        static_cast<long long>(abusers_died.load()),
         static_cast<unsigned long long>(touches.load()),
-        static_cast<unsigned long long>(events_seen.load()), rtts.size(), p50,
-        p95, p99, max, wall_s);
+        static_cast<unsigned long long>(events_seen.load()),
+        static_cast<unsigned long long>(rate_limited_seen.load()),
+        static_cast<unsigned long long>(quota_denied_seen.load()), rtts.size(),
+        p50, p95, p99, max, wall_s);
   } else {
     std::printf("audioload: %lld/%d clients up (%lld setup failures), "
                 "%llu touches, %llu events, %.1fs\n",
@@ -415,11 +523,20 @@ int Run(const Options& options) {
     std::printf("audioload: sync rtt us p50=%.0f p95=%.0f p99=%.0f max=%.0f "
                 "(%zu samples)\n",
                 p50, p95, p99, max, rtts.size());
+    if (options.abuse) {
+      std::printf("audioload: abuse: %llu rate-limited, %llu quota denials "
+                  "seen, %lld abusers cut\n",
+                  static_cast<unsigned long long>(rate_limited_seen.load()),
+                  static_cast<unsigned long long>(quota_denied_seen.load()),
+                  static_cast<long long>(abusers_died.load()));
+    }
     if (died.load() > 0) {
       std::printf("audioload: %lld clients died mid-hold\n",
                   static_cast<long long>(died.load()));
     }
   }
+  // Abuse runs expect casualties among the abusers; a dead well-behaved
+  // client still fails the run either way.
   const bool ok = connected.load() > 0 && died.load() == 0;
   return ok ? 0 : 1;
 }
@@ -454,11 +571,13 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--abuse") {
+      options.abuse = true;
     } else {
       std::fprintf(stderr,
                    "usage: audioload --port P [--host H] [--clients N] "
                    "[--workers W] [--ramp-ms R] [--hold-ms H] "
-                   "[--sync-every K] [--json]\n");
+                   "[--sync-every K] [--abuse] [--json]\n");
       return 2;
     }
   }

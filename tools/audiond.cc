@@ -18,6 +18,13 @@
 // --flight-dump names the flight-recorder output file (default
 // audiond.flight); SIGUSR2 writes a dump on demand, and fatal signals
 // (SIGSEGV & co.) write the last snapshot before the process dies.
+//
+// Overload protection (DESIGN.md decision 15): --max-connections caps
+// accepted clients; --limit-rps/--limit-bps rate-limit each connection
+// (with --limit-policy soft answering RateLimited and hard disconnecting);
+// --quota-devices/--quota-sound-bytes/--quota-plays bound what one client
+// may hold. SIGTERM triggers a graceful drain bounded by --drain-ms
+// (SIGINT remains the immediate stop).
 
 #include <csignal>
 #include <cstdio>
@@ -37,9 +44,13 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_drain = 0;
 volatile std::sig_atomic_t g_dump = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+// SIGTERM asks for a graceful drain (answer in-flight work, flush egress,
+// hang up phone lines); SIGINT keeps the immediate hard stop.
+void HandleDrainSignal(int) { g_drain = 1; }
 void HandleDumpSignal(int) { g_dump = 1; }
 
 // Minimal HTTP/1.x responder for the metrics endpoint: one request per
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
   std::string catalogue_dir;
   std::string flight_dump = "audiond.flight";
   int stats_interval_ms = 0;
+  int drain_ms = 5000;  // SIGTERM graceful-drain deadline
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next_int = [&](int fallback) {
@@ -157,6 +169,42 @@ int main(int argc, char** argv) {
       // Seeded transport fault injection on every accepted connection
       // (chaos testing): "seed=7,short_read=0.3,reset_write=0.01,...".
       options.fault = ParseFaultSpec(i + 1 < argc ? argv[++i] : "");
+    } else if (arg == "--max-connections") {
+      int n = next_int(0);
+      options.max_connections = n > 0 ? static_cast<size_t>(n) : 0;
+    } else if (arg == "--limit-rps") {
+      int n = next_int(0);
+      options.limit_rps = n > 0 ? static_cast<uint32_t>(n) : 0;
+    } else if (arg == "--limit-rps-burst") {
+      int n = next_int(0);
+      options.limit_rps_burst = n > 0 ? static_cast<uint32_t>(n) : 0;
+    } else if (arg == "--limit-bps") {
+      int n = next_int(0);
+      options.limit_bps = n > 0 ? static_cast<uint64_t>(n) : 0;
+    } else if (arg == "--limit-bps-burst") {
+      int n = next_int(0);
+      options.limit_bps_burst = n > 0 ? static_cast<uint64_t>(n) : 0;
+    } else if (arg == "--limit-policy") {
+      std::string policy = i + 1 < argc ? argv[++i] : "";
+      if (policy == "soft") {
+        options.limit_policy = RateLimitPolicy::kSoft;
+      } else if (policy == "hard") {
+        options.limit_policy = RateLimitPolicy::kHard;
+      } else {
+        std::fprintf(stderr, "audiond: --limit-policy wants soft|hard\n");
+        return 1;
+      }
+    } else if (arg == "--quota-devices") {
+      int n = next_int(0);
+      options.quota_devices = n > 0 ? static_cast<uint32_t>(n) : 0;
+    } else if (arg == "--quota-sound-bytes") {
+      int n = next_int(0);
+      options.quota_sound_bytes = n > 0 ? static_cast<uint64_t>(n) : 0;
+    } else if (arg == "--quota-plays") {
+      int n = next_int(0);
+      options.quota_plays = n > 0 ? static_cast<uint32_t>(n) : 0;
+    } else if (arg == "--drain-ms") {
+      drain_ms = next_int(drain_ms);
     } else if (arg == "--verbose") {
       SetLogLevel(LogLevel::kDebug);
     } else {
@@ -167,7 +215,10 @@ int main(int argc, char** argv) {
                    "[--wav-out FILE] [--catalogue DIR] [--stats-interval-ms N] "
                    "[--trace-sample N] [--metrics-port N] [--flight-dump FILE] "
                    "[--egress-buffer-bytes N] [--egress-overflow drop-events|disconnect] "
-                   "[--fault SPEC] [--verbose]\n");
+                   "[--max-connections N] [--limit-rps N] [--limit-rps-burst N] "
+                   "[--limit-bps N] [--limit-bps-burst N] [--limit-policy soft|hard] "
+                   "[--quota-devices N] [--quota-sound-bytes N] [--quota-plays N] "
+                   "[--drain-ms N] [--fault SPEC] [--verbose]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -272,11 +323,11 @@ int main(int argc, char** argv) {
   }
 
   std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
   std::signal(SIGUSR2, HandleDumpSignal);
   auto next_stats = std::chrono::steady_clock::now();
   auto next_snapshot = std::chrono::steady_clock::now();
-  while (g_stop == 0) {
+  while (g_stop == 0 && g_drain == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     // Refresh the flight-recorder snapshot about once a second (and right
     // before an on-demand dump), so a crash dump is at most ~1 s stale.
@@ -326,7 +377,8 @@ int main(int argc, char** argv) {
                     "req=%llu err=%llu conns=%lld bytes_in=%llu bytes_out=%llu "
                     "ev_dropped=%llu egress_cuts=%llu epochs=%llu shard_cont=%llu "
                     "commit_p99=%.0fus lockwait_p99=%.0fus "
-                    "loops=%u fds=%lld loopdisp_p99=%.0fus",
+                    "loops=%u fds=%lld loopdisp_p99=%.0fus "
+                    "adm_rej=%llu ratelim=%llu rl_cuts=%llu quota_den=%llu",
                     static_cast<unsigned long long>(stats.ticks_run),
                     static_cast<unsigned long long>(stats.tick_overruns),
                     stats.tick_us.empty() ? 0.0 : stats.tick_us.Percentile(99),
@@ -344,17 +396,46 @@ int main(int argc, char** argv) {
                     stats.lock_wait_us.empty() ? 0.0 : stats.lock_wait_us.Percentile(99),
                     stats.loops, static_cast<long long>(stats.fds_watched),
                     stats.loop_dispatch_us.empty() ? 0.0
-                                                   : stats.loop_dispatch_us.Percentile(99));
+                                                   : stats.loop_dispatch_us.Percentile(99),
+                    static_cast<unsigned long long>(stats.admission_rejects),
+                    static_cast<unsigned long long>(stats.rate_limited),
+                    static_cast<unsigned long long>(stats.rate_limit_disconnects),
+                    static_cast<unsigned long long>(stats.quota_denials));
       LogMessage(LogLevel::kInfo, line);
     }
   }
 
-  std::printf("\naudiond: shutting down\n");
+  if (g_drain != 0) {
+    // SIGTERM: graceful drain — stop accepting, answer in-flight requests,
+    // flush egress under the deadline, hang up any off-hook lines.
+    std::printf("\naudiond: draining (deadline %d ms)\n", drain_ms);
+    std::fflush(stdout);
+    const bool flushed = server.Drain(std::chrono::milliseconds(drain_ms));
+    std::printf("audiond: drain %s\n",
+                flushed ? "complete" : "deadline expired (forced closes)");
+  } else {
+    std::printf("\naudiond: shutting down\n");
+  }
   if (metrics_thread.joinable()) {
     metrics_listener.Close();
     metrics_thread.join();
   }
   server.Shutdown();
+  if (g_drain != 0) {
+    // Final flight-recorder dump: the drain's closing stats, written where
+    // a post-mortem would look first.
+    ServerStatsReply stats;
+    {
+      MutexLock lock(&server.mutex());
+      stats = server.state().BuildServerStats(false);
+    }
+    recorder.SetSnapshot(
+        RenderFlightDumpText("SIGTERM drain", stats, {}, RecentLogLines()));
+    if (recorder.WriteDump()) {
+      std::printf("audiond: flight dump written to %s\n",
+                  recorder.dump_path().c_str());
+    }
+  }
   if (!wav_out.empty() && !wav_capture.empty()) {
     if (WriteWavFile(wav_out, wav_capture, board.sample_rate_hz())) {
       std::printf("audiond: wrote %zu samples to %s\n", wav_capture.size(),

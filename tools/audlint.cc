@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
       {"flight_recorder.cc", "src/server/flight_recorder.cc"},
       {"audiond.cc", "tools/audiond.cc"},
       {"audioctl.cc", "tools/audioctl.cc"},
+      {"audioload.cc", "tools/audioload.cc"},
       {"README.md", "README.md"},
   };
 

@@ -887,9 +887,9 @@ bool ContainsFlag(const std::string& doc, const std::string& flag) {
   return false;
 }
 
-// Check 12: CLI flag documentation. Every `--flag` literal in audiond.cc
-// and audioctl.cc must appear in README.md — a flag shipped without a line
-// of documentation fails the lint the same commit.
+// Check 12: CLI flag documentation. Every `--flag` literal in audiond.cc,
+// audioctl.cc, and audioload.cc must appear in README.md — a flag shipped
+// without a line of documentation fails the lint the same commit.
 void CheckCliDocCoverage(const std::string& tool, const std::string& tool_cc,
                          const std::string& readme,
                          std::vector<std::string>* problems) {
@@ -937,6 +937,8 @@ std::vector<std::string> LintTree(const std::map<std::string, std::string>& file
   CheckCliDocCoverage("audiond", *Find(files, "audiond.cc"),
                       *Find(files, "README.md"), &problems);
   CheckCliDocCoverage("audioctl", *Find(files, "audioctl.cc"),
+                      *Find(files, "README.md"), &problems);
+  CheckCliDocCoverage("audioload", *Find(files, "audioload.cc"),
                       *Find(files, "README.md"), &problems);
   return problems;
 }

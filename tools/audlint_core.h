@@ -27,7 +27,8 @@ namespace audlint {
 //   protocol.h protocol.cc messages.h messages.cc alib.h alib.cc
 //   requests.cc dispatcher.cc PROTOCOL.md schema.lock
 //   lock_rank.h DESIGN.md status.h status.cc metrics.h server_state.cc
-//   stats_render.cc flight_recorder.cc audiond.cc audioctl.cc README.md
+//   stats_render.cc flight_recorder.cc audiond.cc audioctl.cc audioload.cc
+//   README.md
 // A missing key is itself reported as a problem.
 inline constexpr const char* kRequiredFiles[] = {
     "protocol.h",      "protocol.cc",        "messages.h",  "messages.cc",
@@ -35,7 +36,7 @@ inline constexpr const char* kRequiredFiles[] = {
     "PROTOCOL.md",     "schema.lock",        "lock_rank.h", "DESIGN.md",
     "status.h",        "status.cc",          "metrics.h",   "server_state.cc",
     "stats_render.cc", "flight_recorder.cc", "audiond.cc",  "audioctl.cc",
-    "README.md",
+    "audioload.cc",    "README.md",
 };
 
 // One opcode as parsed from the enum in protocol.h.
